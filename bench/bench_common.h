@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure reproduction harnesses: each bench
+// prints the paper's reported value next to the simulated one so the
+// paper-vs-measured delta is visible in the output (and in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "support/table.h"
+#include "support/units.h"
+
+namespace cig::bench {
+
+inline std::string us(cig::Seconds t, int precision = 2) {
+  return cig::Table::num(cig::to_us(t), precision);
+}
+
+inline std::string gbps(cig::BytesPerSecond bw, int precision = 2) {
+  return cig::Table::num(cig::to_GBps(bw), precision);
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return cig::Table::num(fraction * 100.0, precision);
+}
+
+// "simulated (paper X)" cell.
+inline std::string vs_paper(const std::string& simulated,
+                            const std::string& paper) {
+  return simulated + " (" + paper + ")";
+}
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace cig::bench

@@ -1,0 +1,119 @@
+// google-benchmark micro-benchmarks of the simulator itself: cache probe
+// throughput, hierarchy walks, stream generation, arbiter scheduling, and
+// a full executor run. These guard the simulator's own performance (the
+// MB2 sweeps walk tens of millions of accesses).
+#include <benchmark/benchmark.h>
+
+#include "comm/executor.h"
+#include "mem/bandwidth.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/stream.h"
+#include "soc/presets.h"
+#include "support/rng.h"
+#include "workload/builders.h"
+
+namespace {
+
+using namespace cig;
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  mem::SetAssocCache cache(mem::make_geometry(KiB(32), 64, 8),
+                           mem::Replacement::Lru);
+  cache.access(0, mem::AccessKind::Read);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, mem::AccessKind::Read));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessRandom(benchmark::State& state) {
+  mem::SetAssocCache cache(
+      mem::make_geometry(static_cast<Bytes>(state.range(0)), 64, 8),
+      mem::Replacement::Lru);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(rng.below(MiB(8)), mem::AccessKind::Read));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessRandom)->Arg(KiB(32))->Arg(KiB(512))->Arg(MiB(2));
+
+void BM_HierarchyWalkLinear(benchmark::State& state) {
+  soc::SoC soc(soc::jetson_tx2());
+  auto& hierarchy = soc.gpu_hierarchy();
+  const mem::PatternSpec pattern{.kind = mem::PatternKind::Linear,
+                                 .base = 0,
+                                 .extent = MiB(1),
+                                 .access_size = 4,
+                                 .rw = mem::RwMix::ReadOnly,
+                                 .passes = 1,
+                                 .line_hint = 64};
+  for (auto _ : state) {
+    mem::walk(pattern, [&](const mem::MemoryAccess& a) { hierarchy.access(a); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mem::line_accesses(pattern)));
+}
+BENCHMARK(BM_HierarchyWalkLinear);
+
+void BM_StreamGenerationOnly(benchmark::State& state) {
+  const mem::PatternSpec pattern{.kind = mem::PatternKind::Random,
+                                 .base = 0,
+                                 .extent = MiB(8),
+                                 .access_size = 4,
+                                 .rw = mem::RwMix::ReadModifyWrite,
+                                 .count = 100000,
+                                 .seed = 3,
+                                 .line_hint = 64};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    mem::walk(pattern,
+              [&](const mem::MemoryAccess& a) { sink += a.address; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_StreamGenerationOnly);
+
+void BM_BandwidthArbiter(benchmark::State& state) {
+  std::vector<mem::BandwidthDemand> demands;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    demands.push_back({1e9 * static_cast<double>(i + 1), GBps(10)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::contended_schedule(demands, GBps(30)));
+  }
+}
+BENCHMARK(BM_BandwidthArbiter)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ExecutorMb1Run(benchmark::State& state) {
+  soc::SoC soc(soc::jetson_tx2());
+  comm::Executor executor(soc);
+  const auto workload = workload::mb1_workload(soc.config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.run(workload, comm::CommModel::StandardCopy));
+  }
+}
+BENCHMARK(BM_ExecutorMb1Run);
+
+void BM_FlushDirtyFullCache(benchmark::State& state) {
+  mem::SetAssocCache cache(mem::make_geometry(MiB(2), 64, 16),
+                           mem::Replacement::Lru);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (Bytes a = 0; a < MiB(2); a += 64) {
+      cache.access(a, mem::AccessKind::Write);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache.flush_dirty());
+  }
+}
+BENCHMARK(BM_FlushDirtyFullCache);
+
+}  // namespace
+
+BENCHMARK_MAIN();

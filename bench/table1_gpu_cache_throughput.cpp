@@ -1,0 +1,47 @@
+// Reproduces Table I: maximum throughput of the GPU cache (LL-L1) on the
+// Jetson TX2 and AGX Xavier under ZC / SC / UM, measured by the first
+// micro-benchmark.
+//
+// Paper values (GB/s):            ZC       SC       UM
+//   TX2                          1.28    97.34   104.15
+//   Xavier                      32.29   214.64   231.14
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/microbench.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Table I: max GPU cache throughput (first micro-benchmark)");
+
+  const struct {
+    soc::BoardConfig board;
+    double paper_zc, paper_sc, paper_um;
+  } rows[] = {
+      {soc::jetson_tx2(), 1.28, 97.34, 104.15},
+      {soc::jetson_agx_xavier(), 32.29, 214.64, 231.14},
+  };
+
+  Table table({"Board", "ZC GB/s (paper)", "SC GB/s (paper)",
+               "UM GB/s (paper)"});
+  for (const auto& row : rows) {
+    soc::SoC soc(row.board);
+    core::MicrobenchSuite suite(soc);
+    const auto mb1 = suite.run_mb1();
+    const auto at = [&](CommModel m) {
+      return mb1.gpu_ll_throughput[core::model_index(m)];
+    };
+    table.add_row({row.board.name,
+                   bench::vs_paper(bench::gbps(at(CommModel::ZeroCopy)),
+                                   Table::num(row.paper_zc)),
+                   bench::vs_paper(bench::gbps(at(CommModel::StandardCopy)),
+                                   Table::num(row.paper_sc)),
+                   bench::vs_paper(bench::gbps(at(CommModel::UnifiedMemory)),
+                                   Table::num(row.paper_um))});
+  }
+  print_table(std::cout, table);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table II: profiling results of the SH-WFS application on
+// Nano / TX2 / Xavier — cache usages vs device thresholds, kernel and copy
+// times, and the framework's estimated SC->ZC speedup.
+//
+// Paper values:
+//   Board   CPUuse  CPUthr  GPUuse  GPUthr       kernel(us) copy(us) SC/ZC up-to
+//   Nano    19.8    15.6    1.7     2.5          453.5      44.8     -
+//   TX2     19.8    15.6    3.7     2.7          175.2      22.4     -
+//   Xavier   6.1    100     7.0     16.2-57.1    41.2       16.88    69.3%
+#include <iostream>
+
+#include "apps/shwfs/workload.h"
+#include "bench_common.h"
+#include "core/framework.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Table II: SH-WFS profiling results (framework inputs)");
+
+  Table table({"Board", "CPU use %", "CPU thr %", "GPU use %", "GPU thr %",
+               "Kernel (us)", "Copy/kernel (us)", "SC/ZC est."});
+  const struct {
+    soc::BoardConfig board;
+    const char* paper_row;
+  } rows[] = {
+      {soc::jetson_nano(), "paper: 19.8 / 15.6 / 1.7 / 2.5 / 453.5 / 44.8 / -"},
+      {soc::jetson_tx2(), "paper: 19.8 / 15.6 / 3.7 / 2.7 / 175.2 / 22.4 / -"},
+      {soc::jetson_agx_xavier(),
+       "paper: 6.1 / 100 / 7.0 / 16.2-57.1 / 41.2 / 16.88 / 69.3%"},
+  };
+
+  for (const auto& row : rows) {
+    core::Framework fw(row.board);
+    const auto workload = apps::shwfs::shwfs_workload(row.board);
+    const auto& device = fw.device();
+    const auto profile = fw.profile(workload, CommModel::StandardCopy);
+    const core::DecisionEngine engine(device);
+    const auto rec = engine.recommend(profile);
+
+    std::string estimate = "-";
+    if (rec.switch_model && rec.suggested == CommModel::ZeroCopy) {
+      estimate = bench::pct(rec.estimated_speedup - 1.0) + "%";
+    }
+    table.add_row(
+        {row.board.name, bench::pct(rec.usage.cpu),
+         Table::num(device.cpu_threshold_pct(), 1), bench::pct(rec.usage.gpu),
+         Table::num(device.gpu_threshold_pct(), 1) + "-" +
+             Table::num(device.gpu_zone2_end_pct(), 1),
+         bench::us(profile.kernel_time), bench::us(profile.copy_time),
+         estimate});
+    std::cout << "  " << row.board.name << " " << row.paper_row << '\n';
+  }
+  std::cout << '\n';
+  print_table(std::cout, table);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table III: SH-WFS centroid extraction measured under SC, UM
+// and ZC on the three boards (per-frame times; CPU-only portion in
+// parentheses), plus the energy note from Section IV-B.
+//
+// Paper values (per frame):
+//   Board   SC total(CPU)      UM total(CPU)      ZC total(CPU)      SC->ZC
+//   Nano    1070.1(238.6)us    1021.5(259.7)us    1796.1(1120.7)us   -67%
+//   TX2      765.0(79.6)us      783.7(217.2)us     801.2(307.4)us    -5%
+//   Xavier   304.6(41.9)us      305.8(88.8)us      220.2(45.4)us    +38%
+// Energy: ZC saves ~0.12 J/s on Xavier and ~0.09 J/s on TX2 vs SC.
+#include <iostream>
+
+#include "apps/shwfs/workload.h"
+#include "bench_common.h"
+#include "comm/executor.h"
+#include "core/microbench.h"
+#include "profile/energy.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Table III: SH-WFS performance per frame (SC / UM / ZC)");
+
+  Table table({"Board", "Model", "total (us)", "CPU only (us)", "kernel (us)",
+               "total vs SC", "kernel vs SC"});
+  Table energy({"Board", "SC energy/frame (mJ)", "ZC energy/frame (mJ)",
+                "ZC saving (J/s @)"});
+
+  for (const auto& board : soc::jetson_family()) {
+    soc::SoC soc(board);
+    comm::Executor executor(soc);
+    const auto workload = apps::shwfs::shwfs_workload(board);
+
+    comm::RunResult runs[3];
+    for (const auto model : core::kAllModels) {
+      runs[core::model_index(model)] = executor.run(workload, model);
+    }
+    const auto& sc = runs[core::model_index(CommModel::StandardCopy)];
+    for (const auto model : core::kAllModels) {
+      const auto& run = runs[core::model_index(model)];
+      const double total_rel = (sc.total / run.total - 1.0) * 100.0;
+      const double kernel_rel =
+          (sc.kernel_time_per_iter() / run.kernel_time_per_iter() - 1.0) *
+          100.0;
+      table.add_row({board.name, comm::model_name(model),
+                     bench::us(run.total), bench::us(run.cpu_time),
+                     bench::us(run.kernel_time_per_iter()),
+                     Table::num(total_rel, 1) + "%",
+                     Table::num(kernel_rel, 1) + "%"});
+    }
+
+    const auto& zc = runs[core::model_index(CommModel::ZeroCopy)];
+    const auto cmp = profile::compare_energy(sc, zc);
+    energy.add_row({board.name, Table::num(sc.energy * 1e3, 3),
+                    Table::num(zc.energy * 1e3, 3),
+                    Table::num(cmp.joules_per_second_saved_at(
+                                   200.0, board.power.idle),
+                               3)});
+  }
+  print_table(std::cout, table);
+  std::cout << "Energy (Section IV-B; paper: ~0.12 J/s saved on Xavier, "
+               "~0.09 J/s on TX2):\n";
+  print_table(std::cout, energy);
+  return 0;
+}

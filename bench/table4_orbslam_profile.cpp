@@ -1,0 +1,55 @@
+// Reproduces Table IV: profiling results of the ORB-SLAM application on
+// TX2 and Xavier (the Nano cannot sustain the real-time constraint and is
+// omitted, as in the paper).
+//
+// Paper values:
+//   Board   CPUuse  CPUthr  GPUuse  GPUthr      kernel(us)  copy(us)  SC/ZC est.
+//   TX2     0       15.6    25.3    2.7         93.56       1.57      -
+//   Xavier  0       100     20.1    16.2-57.1   24.22       1.35      5.9
+#include <iostream>
+
+#include "apps/orbslam/workload.h"
+#include "bench_common.h"
+#include "core/framework.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Table IV: ORB-SLAM profiling results (framework inputs)");
+
+  Table table({"Board", "CPU use %", "CPU thr %", "GPU use %", "GPU thr %",
+               "Kernel (us)", "Copy/kernel (us)", "Zone"});
+  const struct {
+    soc::BoardConfig board;
+    const char* paper_row;
+  } rows[] = {
+      {soc::jetson_tx2(), "paper: 0 / 15.6 / 25.3 / 2.7 / 93.56 / 1.57"},
+      {soc::jetson_agx_xavier(),
+       "paper: 0 / 100 / 20.1 / 16.2-57.1 / 24.22 / 1.35"},
+  };
+
+  for (const auto& row : rows) {
+    core::Framework fw(row.board);
+    const auto workload = apps::orbslam::orbslam_workload(row.board);
+    const auto& device = fw.device();
+    const auto profile = fw.profile(workload, CommModel::StandardCopy);
+    const core::DecisionEngine engine(device);
+    const auto rec = engine.recommend(profile);
+
+    table.add_row(
+        {row.board.name, bench::pct(rec.usage.cpu),
+         Table::num(device.cpu_threshold_pct(), 1), bench::pct(rec.usage.gpu),
+         Table::num(device.gpu_threshold_pct(), 1) + "-" +
+             Table::num(device.gpu_zone2_end_pct(), 1),
+         bench::us(profile.kernel_time), bench::us(profile.copy_time),
+         core::zone_name(rec.gpu_zone)});
+    std::cout << "  " << row.board.name << " " << row.paper_row << '\n';
+  }
+  std::cout << '\n';
+  print_table(std::cout, table);
+  std::cout << "Expected: GPU-cache-dependent on TX2 (zone 3) and in the\n"
+               "grey zone on Xavier (zone 2), as in the paper.\n";
+  return 0;
+}

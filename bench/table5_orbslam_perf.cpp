@@ -1,0 +1,69 @@
+// Reproduces Table V: ORB-SLAM measured under SC and ZC on TX2 and Xavier,
+// plus the energy note from Section IV-C.
+//
+// Paper values (per frame):
+//   Board   SC time  SC kernel   ZC time  ZC kernel   SC->ZC   kernel delta
+//   TX2     70 ms    93.56 us    521 ms   824.20 us   -744%    -880%
+//   Xavier  30 ms    24.22 us    30 ms    26.99 us     0%      -10%
+// Energy: ~0.17 J/s saved on Xavier with ZC (30 Hz camera).
+#include <iostream>
+
+#include "apps/orbslam/workload.h"
+#include "bench_common.h"
+#include "comm/executor.h"
+#include "core/microbench.h"
+#include "profile/energy.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Table V: ORB-SLAM performance per frame (SC vs ZC)");
+
+  Table table({"Board", "SC total (ms)", "SC kernel (us)", "ZC total (ms)",
+               "ZC kernel (us)", "SC->ZC", "kernel delta"});
+  Table energy({"Board", "SC energy/frame (mJ)", "ZC energy/frame (mJ)",
+                "ZC saving (J/s @)"});
+
+  const struct {
+    soc::BoardConfig board;
+    const char* paper_row;
+  } rows[] = {
+      {soc::jetson_tx2(), "paper: 70ms / 93.56us / 521ms / 824.2us / -744%"},
+      {soc::jetson_agx_xavier(),
+       "paper: 30ms / 24.22us / 30ms / 26.99us / 0%"},
+  };
+
+  for (const auto& row : rows) {
+    soc::SoC soc(row.board);
+    comm::Executor executor(soc);
+    const auto workload = apps::orbslam::orbslam_workload(row.board);
+    const auto sc = executor.run(workload, CommModel::StandardCopy);
+    const auto zc = executor.run(workload, CommModel::ZeroCopy);
+    // Paper convention: (t_SC - t_ZC) / t_SC, so a slower ZC is negative.
+    const double total_rel = (sc.total - zc.total) / sc.total * 100.0;
+    const double kernel_rel = (sc.kernel_time_per_iter() -
+                               zc.kernel_time_per_iter()) /
+                              sc.kernel_time_per_iter() * 100.0;
+    table.add_row({row.board.name, Table::num(to_ms(sc.total)),
+                   bench::us(sc.kernel_time_per_iter()),
+                   Table::num(to_ms(zc.total)),
+                   bench::us(zc.kernel_time_per_iter()),
+                   Table::num(total_rel, 1) + "%",
+                   Table::num(kernel_rel, 1) + "%"});
+    std::cout << "  " << row.board.name << " " << row.paper_row << '\n';
+
+    const auto cmp = profile::compare_energy(sc, zc);
+    energy.add_row({row.board.name, Table::num(sc.energy * 1e3, 3),
+                    Table::num(zc.energy * 1e3, 3),
+                    Table::num(cmp.joules_per_second_saved_at(
+                                   30.0, row.board.power.idle),
+                               3)});
+  }
+  std::cout << '\n';
+  print_table(std::cout, table);
+  std::cout << "Energy (Section IV-C; paper: ~0.17 J/s saved on Xavier):\n";
+  print_table(std::cout, energy);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Beyond the paper: decision-quality audit of the framework over the
+// workload zoo — four archetypal kernels x four boards. For every cell we
+// measure all three communication models, then check whether the
+// framework's recommendation (profiled under SC, as a developer would)
+// picks the measured-best model, or declines to switch when SC is already
+// within 10% of the best.
+//
+// This quantifies the claim the paper only demonstrates on two apps: that
+// eqns 1-4 + the micro-benchmark thresholds are a reliable proxy for the
+// real model ranking.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/framework.h"
+#include "soc/board_io.h"
+#include "workload/zoo.h"
+
+int main() {
+  using namespace cig;
+  using comm::CommModel;
+
+  bench::header("Decision-quality audit over the workload zoo");
+
+  Table table({"board", "workload", "best (measured)", "suggested", "est.",
+               "verdict"});
+  int agreements = 0;
+  int cells = 0;
+
+  for (const std::string board_name : {"nano", "tx2", "xavier", "xavier-nx"}) {
+    const auto board = soc::resolve_board(board_name);
+    core::Framework framework(board);
+    for (const auto& [name, workload] : workload::workload_zoo(board)) {
+      const auto report = framework.tune(workload, CommModel::StandardCopy);
+
+      // Measured-best model.
+      CommModel best = CommModel::StandardCopy;
+      for (const auto model : core::kAllModels) {
+        if (report.measured[core::model_index(model)].total <
+            report.measured[core::model_index(best)].total) {
+          best = model;
+        }
+      }
+      const Seconds best_time = report.measured[core::model_index(best)].total;
+      const Seconds sc_time =
+          report.measured[core::model_index(CommModel::StandardCopy)].total;
+      const Seconds suggested_time =
+          report.measured[core::model_index(report.recommendation.suggested)]
+              .total;
+
+      // Agreement: the suggested model is within 10% of the measured best,
+      // with SC and UM treated as one class (the paper considers their
+      // performance equivalent and the porting effort minimal).
+      const auto in_sc_um_class = [](CommModel m) {
+        return m != CommModel::ZeroCopy;
+      };
+      const bool same_class = in_sc_um_class(report.recommendation.suggested)
+                                  ? in_sc_um_class(best)
+                                  : best == CommModel::ZeroCopy;
+      const bool agrees = same_class || suggested_time <= best_time * 1.10;
+      agreements += agrees;
+      ++cells;
+
+      table.add_row(
+          {board_name, name, comm::model_name(best),
+           comm::model_name(report.recommendation.suggested),
+           report.recommendation.switch_model
+               ? Table::num((report.recommendation.estimated_speedup - 1) *
+                                100,
+                            0) +
+                     "%"
+               : "-",
+           agrees ? "ok"
+                  : "MISS (" +
+                        Table::num((sc_time / best_time - 1) * 100, 0) +
+                        "% left on table)"});
+    }
+  }
+  print_table(std::cout, table);
+  std::cout << "agreement: " << agreements << "/" << cells << " cells ("
+            << Table::num(100.0 * agreements / cells, 0) << "%)\n"
+            << "A miss means following the recommendation costs > 10% vs the\n"
+               "measured-best model for that cell.\n";
+  return 0;
+}

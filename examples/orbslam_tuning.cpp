@@ -1,0 +1,59 @@
+// Case study 2 (Section IV-C): the ORB-SLAM front-end on TX2 and Xavier.
+//
+// The functional part runs a real two-frame feature pipeline (pyramid,
+// FAST-9, rBRIEF, Hamming matching); the simulated part shows why zero-copy
+// collapses on the TX2 (GPU-cache-dependent kernels) but breaks even on the
+// I/O-coherent Xavier.
+#include <iostream>
+
+#include "apps/orbslam/fast.h"
+#include "apps/orbslam/matcher.h"
+#include "apps/orbslam/orb.h"
+#include "apps/orbslam/pyramid.h"
+#include "apps/orbslam/workload.h"
+#include "core/framework.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using namespace cig::apps::orbslam;
+
+  // --- functional front-end on two synthetic frames ---------------------------
+  const Image frame0 = make_test_scene(640, 480, 42);
+  const Image frame1 = make_test_scene(640, 480, 42, 4.0, 2.0);  // camera move
+  Pyramid pyramid(frame0);
+  std::cout << "pyramid: " << pyramid.levels() << " levels, "
+            << format_bytes(pyramid.total_bytes()) << " total\n";
+
+  auto k0 = fast_detect(frame0);
+  auto k1 = fast_detect(frame1);
+  const auto d0 = describe(frame0, k0);
+  const auto d1 = describe(frame1, k1);
+  const auto matches = match_descriptors(d0, d1);
+  std::cout << "FAST keypoints: " << k0.size() << " / " << k1.size()
+            << ", ORB matches: " << matches.size() << "\n\n";
+
+  // --- communication-model tuning ----------------------------------------------
+  for (const auto& board : {soc::jetson_tx2(), soc::jetson_agx_xavier()}) {
+    std::cout << "== " << board.name << " ==\n";
+    core::Framework framework(board);
+    const auto workload = orbslam_workload(board);
+
+    // Profile the app as currently implemented (standard copy).
+    const auto rec = framework.analyze(workload, comm::CommModel::StandardCopy);
+    std::cout << rec.to_string();
+
+    // What would happen if someone ported it to ZC anyway?
+    comm::Executor executor(framework.soc());
+    const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
+    const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
+    std::cout << "  measured per frame: SC " << format_time(sc.total)
+              << " vs ZC " << format_time(zc.total) << " (kernel "
+              << format_time(sc.kernel_time_per_iter()) << " -> "
+              << format_time(zc.kernel_time_per_iter()) << ")\n\n";
+  }
+
+  std::cout << "Paper outcome: TX2 collapses under ZC (70 ms -> 521 ms);\n"
+               "Xavier breaks even (30 ms both) thanks to I/O coherence.\n";
+  return 0;
+}

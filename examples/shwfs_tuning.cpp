@@ -1,0 +1,50 @@
+// Case study 1 (Section IV-B): tuning the Shack-Hartmann wavefront-sensor
+// centroid extraction across the three Jetson boards.
+//
+// Also demonstrates the *functional* side of the substrate: a synthetic
+// sensor frame is generated and centroided for real, so you can see the
+// algorithm the simulated workload stands for.
+#include <iostream>
+
+#include "apps/shwfs/centroid.h"
+#include "apps/shwfs/image.h"
+#include "apps/shwfs/workload.h"
+#include "core/framework.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+  using namespace cig::apps::shwfs;
+
+  // --- the algorithm itself (functional payload) ---------------------------
+  const SensorGeometry sensor{.image_width = 256,
+                              .image_height = 256,
+                              .subaperture_px = 32};
+  const Frame frame = make_frame(sensor);
+  const auto centroids = extract_centroids(
+      frame, CentroidOptions{.method = Method::WindowedCoG});
+  std::cout << "SH-WFS: " << sensor.subaperture_count()
+            << " subapertures, centroid RMS error "
+            << rms_error(frame, centroids) << " px\n\n";
+
+  // --- the tuning loop on each board ----------------------------------------
+  for (const auto& board : soc::jetson_family()) {
+    std::cout << "== " << board.name << " ==\n";
+    core::Framework framework(board);
+    const auto workload = shwfs_workload(board);
+    const auto report = framework.tune(workload, comm::CommModel::StandardCopy);
+    std::cout << report.recommendation.to_string();
+
+    const auto& sc =
+        report.measured[core::model_index(comm::CommModel::StandardCopy)];
+    const auto& zc =
+        report.measured[core::model_index(comm::CommModel::ZeroCopy)];
+    std::cout << "  measured per frame: SC " << format_time(sc.total)
+              << ", ZC " << format_time(zc.total) << " ("
+              << (sc.total / zc.total - 1) * 100 << "% vs SC)\n\n";
+  }
+
+  std::cout << "Paper outcome: keep SC on Nano/TX2 (CPU-cache-dependent),\n"
+               "switch to ZC on Xavier (+38% measured, est. up to 69%).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// A streaming camera pipeline on the zero-copy tiled pattern: the CPU
+// acquires sensor frames into the pinned tiled buffer while the "GPU"
+// consumer reduces each tile — the exact producer/consumer shape the
+// paper's Section III-C pattern was designed for.
+//
+// Functional (real threads, real frames) and simulated (per-frame pattern
+// timing on two boards) views side by side.
+#include <iostream>
+
+#include "apps/shwfs/image.h"
+#include "core/pattern_sim.h"
+#include "core/zc_pattern.h"
+#include "soc/presets.h"
+#include "support/stats.h"
+
+int main() {
+  using namespace cig;
+  using namespace cig::core;
+
+  const auto board = soc::jetson_agx_xavier();
+  constexpr std::uint32_t kFrames = 8;
+
+  // The shared structure holds one sensor frame's worth of pixels (as
+  // floats) sized to the GPU LLC; each frame is streamed through it in
+  // tile-sized pieces.
+  const auto tiling = make_tiling(board, /*phases=*/2);
+  TiledBuffer buffer(tiling);
+  std::cout << "pipeline buffer: " << tiling.total_elements << " floats in "
+            << tiling.tile_count() << " tiles\n";
+
+  RunningStat tile_sums;
+  for (std::uint32_t frame_index = 0; frame_index < kFrames; ++frame_index) {
+    // Acquire a real synthetic sensor frame (deterministic per index).
+    const auto frame = apps::shwfs::make_frame(
+        apps::shwfs::SensorGeometry{.image_width = 256,
+                                    .image_height = 256,
+                                    .subaperture_px = 32},
+        apps::shwfs::FrameOptions{.seed = 100 + frame_index});
+
+    double frame_sum = 0.0;
+    const auto stats = run_zero_copy_pipeline(
+        buffer,
+        // CPU producer: copy the frame's pixels into the shared tiles.
+        [&](std::span<float> tile, std::uint32_t, std::size_t tile_index) {
+          const std::size_t offset = tile_index * tiling.tile_elements;
+          for (std::size_t i = 0; i < tile.size(); ++i) {
+            const std::size_t p = (offset + i) % frame.pixels.size();
+            tile[i] = static_cast<float>(frame.pixels[p]);
+          }
+        },
+        // GPU consumer: per-tile intensity reduction.
+        [&](std::span<float> tile, std::uint32_t, std::size_t) {
+          double sum = 0;
+          for (float v : tile) sum += v;
+          frame_sum += sum;
+        },
+        tiling.phases, /*concurrent=*/true);
+    tile_sums.add(frame_sum);
+    if (frame_index == 0) {
+      std::cout << "frame 0: " << stats.cpu_tiles << " produced / "
+                << stats.gpu_tiles << " consumed tiles, intensity sum "
+                << frame_sum << '\n';
+    }
+  }
+  std::cout << kFrames << " frames streamed; mean per-frame intensity "
+            << tile_sums.mean() << " (stddev " << tile_sums.stddev()
+            << ")\n\n";
+
+  // Simulated pattern timing for the same tiling on two boards.
+  for (const auto& b : {soc::jetson_tx2(), soc::jetson_agx_xavier()}) {
+    soc::SoC soc(b);
+    PatternSimulator simulator(soc);
+    PatternSimConfig config;
+    config.tiling = make_tiling(b, 2);
+    const auto result = simulator.simulate(config);
+    std::cout << b.name << ": per-frame pattern time "
+              << format_time(result.total) << " (overlap "
+              << result.overlap_fraction * 100 << "%, skew "
+              << format_time(result.skew_time) << ")\n";
+  }
+  std::cout << "\nThe same pattern that streams at microsecond scale on the\n"
+               "I/O-coherent Xavier crawls on the TX2's uncached pinned path\n"
+               "— the device, not the code, decides.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The zero-copy communication pattern (Section III-C), live: a real
+// two-thread producer/consumer pipeline over a tiled shared buffer, with
+// the determinism check the paper's pattern guarantees, plus the simulated
+// timeline showing the overlap it buys.
+#include <iostream>
+
+#include "comm/executor.h"
+#include "core/zc_pattern.h"
+#include "soc/presets.h"
+#include "workload/builders.h"
+#include "workload/functional.h"
+
+int main() {
+  using namespace cig;
+  using namespace cig::core;
+
+  const auto board = soc::jetson_agx_xavier();
+
+  // --- functional: threaded tiled pipeline -----------------------------------
+  // The CPU produces into its tiles while the "GPU" consumes the tiles of
+  // the opposite parity; parities swap each phase, a barrier separates
+  // phases, and no per-access synchronisation is needed.
+  const auto tiling = make_tiling(board, /*phases=*/6);
+  std::cout << "tiling: " << tiling.total_elements << " floats, "
+            << tiling.tile_count() << " tiles of " << tiling.tile_elements
+            << " elements (one LLC block each)\n";
+
+  double consumed = 0.0;
+  TiledBuffer buffer(tiling);
+  const auto stats = run_zero_copy_pipeline(
+      buffer,
+      [](std::span<float> tile, std::uint32_t phase, std::size_t) {
+        workload::produce_tile(tile.data(), tile.size(), phase);
+      },
+      [&consumed](std::span<float> tile, std::uint32_t, std::size_t) {
+        workload::consume_tile(tile.data(), tile.size(), consumed);
+      },
+      tiling.phases, /*concurrent=*/true);
+  std::cout << "pipeline: " << stats.phases << " phases, CPU tiles "
+            << stats.cpu_tiles << ", GPU tiles " << stats.gpu_tiles
+            << ", checksum " << consumed << "\n";
+
+  // Determinism check: the sequential reference must match bit-for-bit.
+  double consumed_ref = 0.0;
+  TiledBuffer reference(tiling);
+  run_zero_copy_pipeline(
+      reference,
+      [](std::span<float> tile, std::uint32_t phase, std::size_t) {
+        workload::produce_tile(tile.data(), tile.size(), phase);
+      },
+      [&consumed_ref](std::span<float> tile, std::uint32_t, std::size_t) {
+        workload::consume_tile(tile.data(), tile.size(), consumed_ref);
+      },
+      tiling.phases, /*concurrent=*/false);
+  std::cout << "determinism: concurrent checksum "
+            << (consumed == consumed_ref ? "==" : "!=")
+            << " sequential reference\n\n";
+
+  // --- simulated: what the overlap buys on the timeline ------------------------
+  soc::SoC soc(board);
+  comm::Executor executor(soc);
+  auto workload = workload::mb3_workload(board);
+  const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
+  const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
+
+  std::cout << "MB3 under SC (serialized, with copies):\n"
+            << sc.timeline.render_gantt() << '\n';
+  std::cout << "MB3 under ZC (tiled pattern, overlapped):\n"
+            << zc.timeline.render_gantt() << '\n';
+  std::cout << "SC " << format_time(sc.total) << " -> ZC "
+            << format_time(zc.total) << " ("
+            << (sc.total / zc.total - 1) * 100 << "% faster, overlap "
+            << zc.overlap_fraction * 100 << "%)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "apps/orbslam/distribute.h"
+
+#include <algorithm>
+#include <list>
+#include <set>
+
+#include "support/assert.h"
+
+namespace cig::apps::orbslam {
+
+namespace {
+
+struct Node {
+  // Half-open region [x0, x1) x [y0, y1).
+  std::uint32_t x0, y0, x1, y1;
+  std::vector<Keypoint> keypoints;
+
+  bool divisible() const {
+    return keypoints.size() > 1 && (x1 - x0) > 1 && (y1 - y0) > 1;
+  }
+};
+
+// Splits `node` into four children, moving its keypoints into them.
+// Children with no keypoints are discarded.
+std::vector<Node> split(const Node& node) {
+  const std::uint32_t mx = node.x0 + (node.x1 - node.x0) / 2;
+  const std::uint32_t my = node.y0 + (node.y1 - node.y0) / 2;
+  Node children[4] = {
+      {node.x0, node.y0, mx, my, {}},
+      {mx, node.y0, node.x1, my, {}},
+      {node.x0, my, mx, node.y1, {}},
+      {mx, my, node.x1, node.y1, {}},
+  };
+  for (const auto& kp : node.keypoints) {
+    const int child = (kp.x >= mx ? 1 : 0) + (kp.y >= my ? 2 : 0);
+    children[child].keypoints.push_back(kp);
+  }
+  std::vector<Node> out;
+  for (auto& child : children) {
+    if (!child.keypoints.empty()) out.push_back(std::move(child));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Keypoint> distribute_quadtree(const std::vector<Keypoint>& input,
+                                          std::uint32_t image_width,
+                                          std::uint32_t image_height,
+                                          std::size_t target) {
+  CIG_EXPECTS(image_width > 0 && image_height > 0);
+  CIG_EXPECTS(target >= 1);
+  if (input.size() <= target) return input;
+
+  std::list<Node> nodes;
+  nodes.push_back(Node{0, 0, image_width, image_height, input});
+
+  // Breadth-first refinement: always split the node holding the most
+  // keypoints (ORB-SLAM splits all divisible nodes per level; picking the
+  // fullest first converges to the same leaves with a simpler loop).
+  while (nodes.size() < target) {
+    auto fullest = nodes.end();
+    std::size_t most = 1;
+    for (auto it = nodes.begin(); it != nodes.end(); ++it) {
+      if (it->divisible() && it->keypoints.size() > most) {
+        most = it->keypoints.size();
+        fullest = it;
+      }
+    }
+    if (fullest == nodes.end()) break;  // nothing divisible left
+    auto children = split(*fullest);
+    nodes.erase(fullest);
+    for (auto& child : children) nodes.push_back(std::move(child));
+  }
+
+  // Keep the best-scored keypoint per leaf.
+  std::vector<Keypoint> result;
+  result.reserve(nodes.size());
+  for (const auto& node : nodes) {
+    const auto best = std::max_element(
+        node.keypoints.begin(), node.keypoints.end(),
+        [](const Keypoint& a, const Keypoint& b) { return a.score < b.score; });
+    result.push_back(*best);
+  }
+  return result;
+}
+
+double coverage_fraction(const std::vector<Keypoint>& keypoints,
+                         std::uint32_t image_width,
+                         std::uint32_t image_height, std::uint32_t grid) {
+  CIG_EXPECTS(grid >= 1);
+  if (keypoints.empty()) return 0;
+  std::set<std::uint64_t> cells;
+  for (const auto& kp : keypoints) {
+    const std::uint64_t cx = static_cast<std::uint64_t>(kp.x) * grid /
+                             image_width;
+    const std::uint64_t cy = static_cast<std::uint64_t>(kp.y) * grid /
+                             image_height;
+    cells.insert(cy * grid + cx);
+  }
+  return static_cast<double>(cells.size()) /
+         static_cast<double>(grid) / static_cast<double>(grid);
+}
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,30 @@
+// Quadtree keypoint distribution, after ORB-SLAM's DistributeOctTree: the
+// image region is recursively split into four children until there are at
+// least `target` leaf nodes (or no node is divisible), then the best-scored
+// keypoint of each leaf is retained. The result is a spatially uniform
+// subset of the FAST detections — crucial for tracking robustness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/orbslam/fast.h"
+
+namespace cig::apps::orbslam {
+
+// Retains at most ~`target` keypoints, spatially distributed. Returns all
+// keypoints when there are fewer than `target`. The relative order of the
+// survivors follows the quadtree leaf order (spatial), not the input order.
+std::vector<Keypoint> distribute_quadtree(const std::vector<Keypoint>& input,
+                                          std::uint32_t image_width,
+                                          std::uint32_t image_height,
+                                          std::size_t target);
+
+// Measures spatial uniformity: the image is cut into `grid x grid` cells
+// and the result is the fraction of cells containing at least one keypoint
+// (of the cells that contain any keypoint in the reference set).
+double coverage_fraction(const std::vector<Keypoint>& keypoints,
+                         std::uint32_t image_width,
+                         std::uint32_t image_height, std::uint32_t grid);
+
+}  // namespace cig::apps::orbslam

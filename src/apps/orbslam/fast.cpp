@@ -1,0 +1,129 @@
+#include "apps/orbslam/fast.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::apps::orbslam {
+
+namespace {
+
+// Bresenham circle of radius 3: 16 offsets, clockwise from 12 o'clock.
+constexpr std::array<std::pair<int, int>, 16> kCircle = {{{0, -3},
+                                                          {1, -3},
+                                                          {2, -2},
+                                                          {3, -1},
+                                                          {3, 0},
+                                                          {3, 1},
+                                                          {2, 2},
+                                                          {1, 3},
+                                                          {0, 3},
+                                                          {-1, 3},
+                                                          {-2, 2},
+                                                          {-3, 1},
+                                                          {-3, 0},
+                                                          {-3, -1},
+                                                          {-2, -2},
+                                                          {-1, -3}}};
+
+// True if >= 9 *contiguous* circle pixels are all brighter (+1) or all
+// darker (-1) than centre +/- threshold.
+bool is_corner(const Image& image, std::uint32_t x, std::uint32_t y,
+               std::uint8_t threshold) {
+  const int centre = image.at(x, y);
+  const int hi = centre + threshold;
+  const int lo = centre - threshold;
+
+  // Classify the 16 circle pixels, then look for a run of 9 with wraparound
+  // (scan 16 + 8 positions).
+  std::array<int, 16> state{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    const int value =
+        image.at(x + kCircle[i].first, y + kCircle[i].second);
+    state[i] = value > hi ? 1 : value < lo ? -1 : 0;
+  }
+  int run = 0;
+  int current = 0;
+  for (std::size_t i = 0; i < 16 + 8; ++i) {
+    const int s = state[i % 16];
+    if (s != 0 && s == current) {
+      if (++run >= 9) return true;
+    } else {
+      current = s;
+      run = s != 0 ? 1 : 0;
+      if (run >= 9) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+float fast_score(const Image& image, std::uint32_t x, std::uint32_t y,
+                 std::uint8_t threshold) {
+  // Sum of absolute differences over the circle pixels that exceed the
+  // threshold — a standard, cheap NMS score.
+  const int centre = image.at(x, y);
+  float score = 0;
+  for (const auto& [dx, dy] : kCircle) {
+    const int diff = std::abs(static_cast<int>(image.at(x + dx, y + dy)) -
+                              centre);
+    if (diff > threshold) score += static_cast<float>(diff - threshold);
+  }
+  return score;
+}
+
+std::vector<Keypoint> fast_detect(const Image& image,
+                                  const FastOptions& options,
+                                  std::uint32_t level) {
+  CIG_EXPECTS(options.border >= 3);
+  std::vector<Keypoint> raw;
+  if (image.width <= 2 * options.border || image.height <= 2 * options.border) {
+    return raw;
+  }
+
+  for (std::uint32_t y = options.border; y < image.height - options.border;
+       ++y) {
+    for (std::uint32_t x = options.border; x < image.width - options.border;
+         ++x) {
+      if (is_corner(image, x, y, options.threshold)) {
+        raw.push_back(Keypoint{
+            x, y, level, fast_score(image, x, y, options.threshold), 0.0f});
+      }
+    }
+  }
+  if (!options.nonmax_suppression) return raw;
+
+  // 3x3 non-maximum suppression via a score map lookup.
+  std::vector<Keypoint> kept;
+  kept.reserve(raw.size());
+  // Sparse map: (y * width + x) -> score.
+  std::vector<float> scores(static_cast<std::size_t>(image.width) *
+                                image.height,
+                            -1.0f);
+  for (const auto& kp : raw) {
+    scores[static_cast<std::size_t>(kp.y) * image.width + kp.x] = kp.score;
+  }
+  for (const auto& kp : raw) {
+    bool is_max = true;
+    for (int dy = -1; dy <= 1 && is_max; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const float other =
+            scores[static_cast<std::size_t>(kp.y + dy) * image.width +
+                   (kp.x + dx)];
+        if (other > kp.score ||
+            (other == kp.score && (dy < 0 || (dy == 0 && dx < 0)))) {
+          is_max = false;
+          break;
+        }
+      }
+    }
+    if (is_max) kept.push_back(kp);
+  }
+  return kept;
+}
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,38 @@
+// FAST-9 corner detection (Rosten & Drummond), the keypoint stage of the
+// ORB-SLAM front-end. Detects pixels where >= 9 contiguous points on a
+// Bresenham circle of radius 3 are all brighter or all darker than the
+// centre by a threshold, with non-maximum suppression on a score.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/orbslam/pyramid.h"
+
+namespace cig::apps::orbslam {
+
+struct Keypoint {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t level = 0;  // pyramid level
+  float score = 0;          // FAST corner score
+  float angle = 0;          // orientation (set by the ORB stage), radians
+};
+
+struct FastOptions {
+  std::uint8_t threshold = 20;
+  bool nonmax_suppression = true;
+  std::uint32_t border = 16;  // skip margin (descriptor patch radius)
+};
+
+// Detects corners in one image; `level` is recorded into the keypoints.
+std::vector<Keypoint> fast_detect(const Image& image,
+                                  const FastOptions& options = {},
+                                  std::uint32_t level = 0);
+
+// Corner score: maximum threshold for which the pixel is still a corner
+// (sum-of-absolute-differences variant used for NMS ordering).
+float fast_score(const Image& image, std::uint32_t x, std::uint32_t y,
+                 std::uint8_t threshold);
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,55 @@
+#include "apps/orbslam/matcher.h"
+
+#include <limits>
+
+namespace cig::apps::orbslam {
+
+namespace {
+
+struct Best {
+  std::uint32_t index = 0;
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t second = std::numeric_limits<std::uint32_t>::max();
+};
+
+Best find_best(const Descriptor& d, const std::vector<Descriptor>& set) {
+  Best result;
+  for (std::uint32_t i = 0; i < set.size(); ++i) {
+    const std::uint32_t distance = hamming_distance(d, set[i]);
+    if (distance < result.best) {
+      result.second = result.best;
+      result.best = distance;
+      result.index = i;
+    } else if (distance < result.second) {
+      result.second = distance;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Match> match_descriptors(const std::vector<Descriptor>& query,
+                                     const std::vector<Descriptor>& train,
+                                     const MatchOptions& options) {
+  std::vector<Match> matches;
+  if (train.empty()) return matches;
+
+  for (std::uint32_t q = 0; q < query.size(); ++q) {
+    const Best forward = find_best(query[q], train);
+    if (forward.best > options.max_distance) continue;
+    if (forward.second != std::numeric_limits<std::uint32_t>::max() &&
+        static_cast<double>(forward.best) >
+            options.ratio * static_cast<double>(forward.second)) {
+      continue;
+    }
+    if (options.cross_check) {
+      const Best backward = find_best(train[forward.index], query);
+      if (backward.index != q) continue;
+    }
+    matches.push_back(Match{q, forward.index, forward.best});
+  }
+  return matches;
+}
+
+}  // namespace cig::apps::orbslam

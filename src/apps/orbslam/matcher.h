@@ -1,0 +1,29 @@
+// Brute-force descriptor matching with Lowe-style ratio test — the
+// data-association step between consecutive frames in the ORB-SLAM
+// front-end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/orbslam/orb.h"
+
+namespace cig::apps::orbslam {
+
+struct Match {
+  std::uint32_t query = 0;  // index into the query descriptor set
+  std::uint32_t train = 0;  // index into the train descriptor set
+  std::uint32_t distance = 0;
+};
+
+struct MatchOptions {
+  std::uint32_t max_distance = 64;  // reject weak matches (of 256 bits)
+  double ratio = 0.8;               // best/second-best ratio test
+  bool cross_check = true;          // mutual best match required
+};
+
+std::vector<Match> match_descriptors(const std::vector<Descriptor>& query,
+                                     const std::vector<Descriptor>& train,
+                                     const MatchOptions& options = {});
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,111 @@
+#include "apps/orbslam/orb.h"
+
+#include <bit>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::apps::orbslam {
+
+namespace {
+
+struct PointPair {
+  std::int8_t x1, y1, x2, y2;
+};
+
+// 256 seeded comparison pairs within a 31x31 patch (|coord| <= 13 so the
+// rotated points stay inside the patch).
+const std::array<PointPair, 256>& brief_pattern() {
+  static const std::array<PointPair, 256> pattern = [] {
+    std::array<PointPair, 256> p{};
+    Rng rng(0x0B51Fu);
+    for (auto& pair : p) {
+      auto coord = [&rng]() {
+        return static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.below(27)) - 13);
+      };
+      pair = PointPair{coord(), coord(), coord(), coord()};
+    }
+    return p;
+  }();
+  return pattern;
+}
+
+std::uint8_t sample(const Image& image, std::uint32_t cx, std::uint32_t cy,
+                    double dx, double dy) {
+  const auto x = static_cast<std::int64_t>(std::lround(cx + dx));
+  const auto y = static_cast<std::int64_t>(std::lround(cy + dy));
+  if (!image.inside(x, y)) return 0;
+  return image.at(static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y));
+}
+
+}  // namespace
+
+float intensity_centroid_angle(const Image& image, std::uint32_t x,
+                               std::uint32_t y, std::uint32_t radius) {
+  double m01 = 0, m10 = 0;
+  const auto r = static_cast<std::int64_t>(radius);
+  for (std::int64_t dy = -r; dy <= r; ++dy) {
+    for (std::int64_t dx = -r; dx <= r; ++dx) {
+      if (dx * dx + dy * dy > r * r) continue;
+      const std::int64_t px = static_cast<std::int64_t>(x) + dx;
+      const std::int64_t py = static_cast<std::int64_t>(y) + dy;
+      if (!image.inside(px, py)) continue;
+      const double value = image.at(static_cast<std::uint32_t>(px),
+                                    static_cast<std::uint32_t>(py));
+      m10 += static_cast<double>(dx) * value;
+      m01 += static_cast<double>(dy) * value;
+    }
+  }
+  return static_cast<float>(std::atan2(m01, m10));
+}
+
+Descriptor orb_descriptor(const Image& image, const Keypoint& keypoint) {
+  const double c = std::cos(keypoint.angle);
+  const double s = std::sin(keypoint.angle);
+  Descriptor descriptor{};
+  const auto& pattern = brief_pattern();
+  for (std::size_t bit = 0; bit < pattern.size(); ++bit) {
+    const auto& pair = pattern[bit];
+    // Steered BRIEF: rotate both sample points by the keypoint angle.
+    const double x1 = c * pair.x1 - s * pair.y1;
+    const double y1 = s * pair.x1 + c * pair.y1;
+    const double x2 = c * pair.x2 - s * pair.y2;
+    const double y2 = s * pair.x2 + c * pair.y2;
+    const std::uint8_t a = sample(image, keypoint.x, keypoint.y, x1, y1);
+    const std::uint8_t b = sample(image, keypoint.x, keypoint.y, x2, y2);
+    if (a < b) {
+      descriptor[bit / 32] |= 1u << (bit % 32);
+    }
+  }
+  return descriptor;
+}
+
+void compute_orientations(const Image& image, std::vector<Keypoint>& keypoints,
+                          std::uint32_t radius) {
+  for (auto& kp : keypoints) {
+    kp.angle = intensity_centroid_angle(image, kp.x, kp.y, radius);
+  }
+}
+
+std::vector<Descriptor> describe(const Image& image,
+                                 std::vector<Keypoint>& keypoints) {
+  compute_orientations(image, keypoints);
+  std::vector<Descriptor> descriptors;
+  descriptors.reserve(keypoints.size());
+  for (const auto& kp : keypoints) {
+    descriptors.push_back(orb_descriptor(image, kp));
+  }
+  return descriptors;
+}
+
+std::uint32_t hamming_distance(const Descriptor& a, const Descriptor& b) {
+  std::uint32_t distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    distance += static_cast<std::uint32_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return distance;
+}
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,39 @@
+// ORB descriptors: oriented BRIEF, 256 bits per keypoint.
+//
+// Orientation comes from the intensity centroid of a radius-15 patch
+// (Rublee et al.); the descriptor compares 256 seeded point pairs rotated
+// by the keypoint angle. The pair set is generated once, deterministically,
+// at first use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/orbslam/fast.h"
+#include "apps/orbslam/pyramid.h"
+
+namespace cig::apps::orbslam {
+
+using Descriptor = std::array<std::uint32_t, 8>;  // 256 bits
+
+// Intensity-centroid orientation of the patch around (x, y), radians.
+float intensity_centroid_angle(const Image& image, std::uint32_t x,
+                               std::uint32_t y, std::uint32_t radius = 15);
+
+// Computes the rotated-BRIEF descriptor for one keypoint (whose `angle`
+// must already be set, e.g. by compute_orientations).
+Descriptor orb_descriptor(const Image& image, const Keypoint& keypoint);
+
+// Sets `angle` on every keypoint.
+void compute_orientations(const Image& image, std::vector<Keypoint>& keypoints,
+                          std::uint32_t radius = 15);
+
+// Full per-image extraction: orientation + descriptor for every keypoint.
+std::vector<Descriptor> describe(const Image& image,
+                                 std::vector<Keypoint>& keypoints);
+
+// Hamming distance between two descriptors (0..256).
+std::uint32_t hamming_distance(const Descriptor& a, const Descriptor& b);
+
+}  // namespace cig::apps::orbslam

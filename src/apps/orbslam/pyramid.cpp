@@ -1,0 +1,102 @@
+#include "apps/orbslam/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::apps::orbslam {
+
+Image make_test_scene(std::uint32_t width, std::uint32_t height,
+                      std::uint64_t seed, double shift_x, double shift_y) {
+  CIG_EXPECTS(width >= 64 && height >= 64);
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.pixels.assign(static_cast<std::size_t>(width) * height, 0);
+
+  // Gradient background (gives FAST nothing, gives ORB orientation texture).
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      image.at(x, y) = static_cast<std::uint8_t>(40 + (x * 40) / width +
+                                                 (y * 30) / height);
+    }
+  }
+
+  // Deterministic corner-rich squares: high-contrast blocks at seeded
+  // positions, shifted by the camera motion.
+  Rng rng(seed);
+  const std::uint32_t blocks = 160;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const double bx = rng.uniform(16.0, width - 32.0) + shift_x;
+    const double by = rng.uniform(16.0, height - 32.0) + shift_y;
+    const std::uint32_t size = 4 + static_cast<std::uint32_t>(rng.below(9));
+    const std::uint8_t intensity =
+        static_cast<std::uint8_t>(120 + rng.below(120));
+    const auto x0 = static_cast<std::int64_t>(std::lround(bx));
+    const auto y0 = static_cast<std::int64_t>(std::lround(by));
+    for (std::int64_t y = y0; y < y0 + size; ++y) {
+      for (std::int64_t x = x0; x < x0 + size; ++x) {
+        if (image.inside(x, y)) {
+          image.at(static_cast<std::uint32_t>(x),
+                   static_cast<std::uint32_t>(y)) = intensity;
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Pyramid::Pyramid(const Image& base, const PyramidOptions& options)
+    : options_(options) {
+  CIG_EXPECTS(options.levels >= 1);
+  CIG_EXPECTS(options.scale_factor > 1.0);
+  levels_.push_back(base);
+  for (std::uint32_t lvl = 1; lvl < options.levels; ++lvl) {
+    const Image& prev = levels_.back();
+    const double scale = options.scale_factor;
+    const auto w = static_cast<std::uint32_t>(prev.width / scale);
+    const auto h = static_cast<std::uint32_t>(prev.height / scale);
+    if (w < 32 || h < 32) break;
+
+    Image down;
+    down.width = w;
+    down.height = h;
+    down.pixels.assign(static_cast<std::size_t>(w) * h, 0);
+    // Bilinear resample.
+    for (std::uint32_t y = 0; y < h; ++y) {
+      for (std::uint32_t x = 0; x < w; ++x) {
+        const double sx = (x + 0.5) * scale - 0.5;
+        const double sy = (y + 0.5) * scale - 0.5;
+        const auto x0 = static_cast<std::uint32_t>(
+            std::clamp(std::floor(sx), 0.0, prev.width - 1.0));
+        const auto y0 = static_cast<std::uint32_t>(
+            std::clamp(std::floor(sy), 0.0, prev.height - 1.0));
+        const std::uint32_t x1 = std::min(x0 + 1, prev.width - 1);
+        const std::uint32_t y1 = std::min(y0 + 1, prev.height - 1);
+        const double fx = std::clamp(sx - x0, 0.0, 1.0);
+        const double fy = std::clamp(sy - y0, 0.0, 1.0);
+        const double value =
+            (1 - fx) * (1 - fy) * prev.at(x0, y0) +
+            fx * (1 - fy) * prev.at(x1, y0) +
+            (1 - fx) * fy * prev.at(x0, y1) + fx * fy * prev.at(x1, y1);
+        down.at(x, y) = static_cast<std::uint8_t>(std::lround(value));
+      }
+    }
+    levels_.push_back(std::move(down));
+  }
+}
+
+double Pyramid::scale_of(std::uint32_t i) const {
+  CIG_EXPECTS(i < levels());
+  return std::pow(options_.scale_factor, static_cast<double>(i));
+}
+
+std::size_t Pyramid::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& lvl : levels_) total += lvl.pixels.size();
+  return total;
+}
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,55 @@
+// Grayscale image container and scale pyramid for the ORB-SLAM front-end
+// (the second case study, after Mur-Artal & Tardos [15]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cig::apps::orbslam {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> pixels;  // row-major
+
+  std::uint8_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  std::uint8_t& at(std::uint32_t x, std::uint32_t y) {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  bool inside(std::int64_t x, std::int64_t y) const {
+    return x >= 0 && y >= 0 && x < width && y < height;
+  }
+};
+
+// Deterministic synthetic test scene: textured blobs + gradient background,
+// translated by (shift_x, shift_y) to emulate camera motion between frames.
+Image make_test_scene(std::uint32_t width, std::uint32_t height,
+                      std::uint64_t seed, double shift_x = 0,
+                      double shift_y = 0);
+
+struct PyramidOptions {
+  std::uint32_t levels = 8;
+  double scale_factor = 1.2;
+};
+
+// ORB-SLAM style scale pyramid; level 0 is the input image.
+class Pyramid {
+ public:
+  Pyramid(const Image& base, const PyramidOptions& options = {});
+
+  std::uint32_t levels() const { return static_cast<std::uint32_t>(levels_.size()); }
+  const Image& level(std::uint32_t i) const { return levels_[i]; }
+  double scale_of(std::uint32_t i) const;
+  const PyramidOptions& options() const { return options_; }
+
+  // Total pixel footprint across all levels (bytes).
+  std::size_t total_bytes() const;
+
+ private:
+  PyramidOptions options_;
+  std::vector<Image> levels_;
+};
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,17 @@
+// Simulator mapping of the ORB-SLAM front-end (Section IV-C): per camera
+// frame the GPU runs many small FAST/ORB kernels over pyramid levels and
+// cells, re-reading the pinned frame data, while the CPU runs tracking.
+// One workload iteration == one kernel launch.
+#pragma once
+
+#include "soc/board.h"
+#include "workload/task.h"
+
+namespace cig::apps::orbslam {
+
+// Kernel launches per camera frame (per-level x per-cell batches).
+inline constexpr std::uint32_t kKernelsPerFrame = 500;
+
+workload::Workload orbslam_workload(const soc::BoardConfig& board);
+
+}  // namespace cig::apps::orbslam

@@ -1,0 +1,102 @@
+#include "apps/shwfs/centroid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::apps::shwfs {
+
+namespace {
+
+// Thresholded CoG over the box [x0,x1) x [y0,y1); coordinates relative to
+// the subaperture centre (cx, cy).
+Centroid cog_box(const Frame& frame, double cx, double cy, double x0,
+                 double y0, double x1, double y1, double threshold) {
+  const auto& g = frame.geometry;
+  Centroid c;
+  double sx = 0, sy = 0, mass = 0;
+  const auto xi0 = static_cast<std::uint32_t>(std::max(0.0, std::floor(x0)));
+  const auto yi0 = static_cast<std::uint32_t>(std::max(0.0, std::floor(y0)));
+  const auto xi1 = static_cast<std::uint32_t>(
+      std::min<double>(g.image_width, std::ceil(x1)));
+  const auto yi1 = static_cast<std::uint32_t>(
+      std::min<double>(g.image_height, std::ceil(y1)));
+  for (std::uint32_t y = yi0; y < yi1; ++y) {
+    for (std::uint32_t x = xi0; x < xi1; ++x) {
+      const double value = frame.at(x, y) - threshold;
+      if (value <= 0) continue;
+      sx += value * (x + 0.5);
+      sy += value * (y + 0.5);
+      mass += value;
+    }
+  }
+  if (mass > 0) {
+    c.x = sx / mass - cx;
+    c.y = sy / mass - cy;
+    c.mass = mass;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<Centroid> extract_centroids(const Frame& frame,
+                                        const CentroidOptions& options) {
+  const auto& g = frame.geometry;
+  std::vector<Centroid> centroids;
+  centroids.reserve(g.subaperture_count());
+
+  const double sub = g.subaperture_px;
+  for (std::uint32_t row = 0; row < g.grid_rows(); ++row) {
+    for (std::uint32_t col = 0; col < g.grid_cols(); ++col) {
+      const double cx = col * sub + sub / 2.0;
+      const double cy = row * sub + sub / 2.0;
+      const double x0 = col * sub;
+      const double y0 = row * sub;
+
+      switch (options.method) {
+        case Method::CenterOfGravity:
+          centroids.push_back(
+              cog_box(frame, cx, cy, x0, y0, x0 + sub, y0 + sub, 0.0));
+          break;
+        case Method::ThresholdedCoG:
+          centroids.push_back(cog_box(frame, cx, cy, x0, y0, x0 + sub,
+                                      y0 + sub, options.threshold));
+          break;
+        case Method::WindowedCoG: {
+          Centroid estimate = cog_box(frame, cx, cy, x0, y0, x0 + sub,
+                                      y0 + sub, options.threshold);
+          double window = options.initial_window_px;
+          for (std::uint32_t it = 0; it < options.window_iterations; ++it) {
+            const double wx = cx + estimate.x;
+            const double wy = cy + estimate.y;
+            const double half = window / 2.0;
+            const Centroid refined = cog_box(
+                frame, cx, cy, std::max(x0, wx - half), std::max(y0, wy - half),
+                std::min(x0 + sub, wx + half), std::min(y0 + sub, wy + half),
+                options.threshold);
+            if (refined.mass > 0) estimate = refined;
+            window *= options.window_shrink;
+          }
+          centroids.push_back(estimate);
+          break;
+        }
+      }
+    }
+  }
+  return centroids;
+}
+
+double rms_error(const Frame& frame, const std::vector<Centroid>& centroids) {
+  CIG_EXPECTS(centroids.size() == frame.truth.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    const double ex = centroids[i].x - frame.truth[i].dx;
+    const double ey = centroids[i].y - frame.truth[i].dy;
+    sum += ex * ex + ey * ey;
+  }
+  return std::sqrt(sum / static_cast<double>(centroids.size()));
+}
+
+}  // namespace cig::apps::shwfs

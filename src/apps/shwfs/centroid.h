@@ -1,0 +1,40 @@
+// Centroid extraction for Shack-Hartmann frames (the GPU-kernel payload of
+// the first case study, after Kong et al. [14]).
+//
+// Three estimators of increasing robustness:
+//  - CoG: plain centre of gravity over the subaperture.
+//  - Thresholded CoG: background-subtracted (pixels below threshold ignored).
+//  - Windowed CoG: thresholded CoG iterated in a shrinking window around the
+//    previous estimate (stream-processing formulation of [14]).
+#pragma once
+
+#include <vector>
+
+#include "apps/shwfs/image.h"
+
+namespace cig::apps::shwfs {
+
+struct Centroid {
+  double x = 0;  // displacement from the subaperture centre, pixels
+  double y = 0;
+  double mass = 0;  // total (thresholded) intensity
+};
+
+enum class Method { CenterOfGravity, ThresholdedCoG, WindowedCoG };
+
+struct CentroidOptions {
+  Method method = Method::ThresholdedCoG;
+  double threshold = 1200.0;   // absolute intensity threshold
+  std::uint32_t window_iterations = 3;  // WindowedCoG refinement steps
+  double initial_window_px = 16.0;
+  double window_shrink = 0.6;
+};
+
+// Extracts one centroid per subaperture.
+std::vector<Centroid> extract_centroids(const Frame& frame,
+                                        const CentroidOptions& options = {});
+
+// RMS error of the estimated displacements against the frame's ground truth.
+double rms_error(const Frame& frame, const std::vector<Centroid>& centroids);
+
+}  // namespace cig::apps::shwfs

@@ -1,0 +1,78 @@
+#include "apps/shwfs/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::apps::shwfs {
+
+namespace {
+
+// Box-Muller from two uniforms (deterministic given the Rng state).
+double gaussian(Rng& rng, double sigma) {
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  return sigma * std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+Frame make_frame(const SensorGeometry& geometry, const FrameOptions& options) {
+  CIG_EXPECTS(geometry.image_width % geometry.subaperture_px == 0);
+  CIG_EXPECTS(geometry.image_height % geometry.subaperture_px == 0);
+  CIG_EXPECTS(options.max_displacement_px * 2 < geometry.subaperture_px);
+
+  Frame frame;
+  frame.geometry = geometry;
+  frame.pixels.assign(
+      static_cast<std::size_t>(geometry.image_width) * geometry.image_height,
+      0);
+  frame.truth.resize(geometry.subaperture_count());
+
+  Rng rng(options.seed);
+
+  // Background + noise.
+  for (auto& px : frame.pixels) {
+    const double value = options.background + gaussian(rng, options.noise_sigma);
+    px = static_cast<std::uint16_t>(std::clamp(value, 0.0, 65535.0));
+  }
+
+  // One Gaussian spot per subaperture.
+  const double sub = geometry.subaperture_px;
+  for (std::uint32_t row = 0; row < geometry.grid_rows(); ++row) {
+    for (std::uint32_t col = 0; col < geometry.grid_cols(); ++col) {
+      const std::size_t index =
+          static_cast<std::size_t>(row) * geometry.grid_cols() + col;
+      Spot& spot = frame.truth[index];
+      spot.dx = rng.uniform(-options.max_displacement_px,
+                            options.max_displacement_px);
+      spot.dy = rng.uniform(-options.max_displacement_px,
+                            options.max_displacement_px);
+
+      const double cx = col * sub + sub / 2.0 + spot.dx;
+      const double cy = row * sub + sub / 2.0 + spot.dy;
+      const double two_sigma2 =
+          2.0 * options.spot_sigma_px * options.spot_sigma_px;
+
+      const std::uint32_t x0 = col * geometry.subaperture_px;
+      const std::uint32_t y0 = row * geometry.subaperture_px;
+      for (std::uint32_t y = y0; y < y0 + geometry.subaperture_px; ++y) {
+        for (std::uint32_t x = x0; x < x0 + geometry.subaperture_px; ++x) {
+          const double dx = x + 0.5 - cx;
+          const double dy = y + 0.5 - cy;
+          const double value =
+              options.peak_intensity * std::exp(-(dx * dx + dy * dy) / two_sigma2);
+          const std::size_t p =
+              static_cast<std::size_t>(y) * geometry.image_width + x;
+          frame.pixels[p] = static_cast<std::uint16_t>(
+              std::clamp(frame.pixels[p] + value, 0.0, 65535.0));
+        }
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace cig::apps::shwfs

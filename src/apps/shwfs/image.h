@@ -1,0 +1,55 @@
+// Synthetic Shack-Hartmann wavefront-sensor frames.
+//
+// A SH sensor images a lenslet array: each subaperture produces one focal
+// spot whose displacement from the subaperture centre encodes the local
+// wavefront slope. We synthesize frames with Gaussian spots at known
+// (deterministic, seeded) displacements plus background and shot-like
+// noise, so centroiding accuracy can be checked against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cig::apps::shwfs {
+
+struct SensorGeometry {
+  std::uint32_t image_width = 512;
+  std::uint32_t image_height = 512;
+  std::uint32_t subaperture_px = 32;  // square subapertures
+
+  std::uint32_t grid_cols() const { return image_width / subaperture_px; }
+  std::uint32_t grid_rows() const { return image_height / subaperture_px; }
+  std::uint32_t subaperture_count() const { return grid_cols() * grid_rows(); }
+};
+
+struct Spot {
+  double dx = 0;  // true displacement from the subaperture centre (pixels)
+  double dy = 0;
+};
+
+struct Frame {
+  SensorGeometry geometry;
+  std::vector<std::uint16_t> pixels;        // row-major
+  std::vector<Spot> truth;                  // per subaperture
+
+  std::uint16_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[static_cast<std::size_t>(y) * geometry.image_width + x];
+  }
+};
+
+struct FrameOptions {
+  double spot_sigma_px = 2.0;       // Gaussian spot width
+  double max_displacement_px = 6.0; // slope range (< subaperture_px / 2)
+  double peak_intensity = 40000.0;  // of 16-bit range
+  double background = 800.0;        // constant background level
+  double noise_sigma = 120.0;       // additive Gaussian noise
+  std::uint64_t seed = 42;
+};
+
+// Renders a frame with one spot per subaperture at seeded displacements.
+Frame make_frame(const SensorGeometry& geometry,
+                 const FrameOptions& options = {});
+
+}  // namespace cig::apps::shwfs

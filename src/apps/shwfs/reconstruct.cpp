@@ -1,0 +1,111 @@
+#include "apps/shwfs/reconstruct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::apps::shwfs {
+
+namespace {
+
+void remove_piston(std::vector<double>& phase) {
+  double mean = 0;
+  for (double v : phase) mean += v;
+  mean /= static_cast<double>(phase.size());
+  for (double& v : phase) v -= mean;
+}
+
+}  // namespace
+
+WavefrontGrid reconstruct_wavefront(const std::vector<double>& sx,
+                                    const std::vector<double>& sy,
+                                    std::uint32_t cols, std::uint32_t rows,
+                                    const ReconstructOptions& options) {
+  CIG_EXPECTS(cols >= 2 && rows >= 2);
+  CIG_EXPECTS(sx.size() == static_cast<std::size_t>(cols) * rows);
+  CIG_EXPECTS(sy.size() == sx.size());
+  CIG_EXPECTS(options.max_iterations >= 1);
+
+  const auto index = [cols](std::uint32_t c, std::uint32_t r) {
+    return static_cast<std::size_t>(r) * cols + c;
+  };
+
+  WavefrontGrid grid;
+  grid.cols = cols;
+  grid.rows = rows;
+  grid.phase.assign(static_cast<std::size_t>(cols) * rows, 0.0);
+  auto& phi = grid.phase;
+
+  // Gauss-Seidel on the normal equations of the Hudgin model. For an
+  // interior point the stationarity condition is
+  //   N * phi(c,r) = sum(neighbours) + divergence of the slope field,
+  // where N is the number of neighbours (2..4 at borders/corners).
+  for (std::uint32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    double max_update = 0;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        double sum = 0;
+        double weight = 0;
+        if (c > 0) {  // left neighbour, x-difference phi(c) - phi(c-1) = sx(c-1)
+          sum += phi[index(c - 1, r)] + sx[index(c - 1, r)];
+          weight += 1;
+        }
+        if (c + 1 < cols) {  // right: phi(c+1) - phi(c) = sx(c)
+          sum += phi[index(c + 1, r)] - sx[index(c, r)];
+          weight += 1;
+        }
+        if (r > 0) {  // up: phi(r) - phi(r-1) = sy(r-1)
+          sum += phi[index(c, r - 1)] + sy[index(c, r - 1)];
+          weight += 1;
+        }
+        if (r + 1 < rows) {  // down
+          sum += phi[index(c, r + 1)] - sy[index(c, r)];
+          weight += 1;
+        }
+        const double updated = sum / weight;
+        max_update = std::max(max_update,
+                              std::abs(updated - phi[index(c, r)]));
+        phi[index(c, r)] = updated;
+      }
+    }
+    if (max_update < options.tolerance) break;
+  }
+
+  remove_piston(phi);
+  return grid;
+}
+
+WavefrontGrid reconstruct_wavefront(const std::vector<Centroid>& centroids,
+                                    const SensorGeometry& geometry,
+                                    const ReconstructOptions& options) {
+  CIG_EXPECTS(centroids.size() == geometry.subaperture_count());
+  std::vector<double> sx(centroids.size());
+  std::vector<double> sy(centroids.size());
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    sx[i] = centroids[i].x;
+    sy[i] = centroids[i].y;
+  }
+  return reconstruct_wavefront(sx, sy, geometry.grid_cols(),
+                               geometry.grid_rows(), options);
+}
+
+double rms_phase_difference(const WavefrontGrid& a, const WavefrontGrid& b) {
+  CIG_EXPECTS(a.cols == b.cols && a.rows == b.rows);
+  CIG_EXPECTS(!a.phase.empty());
+  double mean_difference = 0;
+  for (std::size_t i = 0; i < a.phase.size(); ++i) {
+    mean_difference += a.phase[i] - b.phase[i];
+  }
+  mean_difference /= static_cast<double>(a.phase.size());
+
+  double sum = 0;
+  for (std::size_t i = 0; i < a.phase.size(); ++i) {
+    const double d = a.phase[i] - b.phase[i] - mean_difference;
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.phase.size()));
+}
+
+}  // namespace cig::apps::shwfs

@@ -1,0 +1,57 @@
+// Zonal wavefront reconstruction from Shack-Hartmann slope measurements —
+// the step after centroiding in a real adaptive-optics loop (the CPU-side
+// work that makes the application CPU-cache-hungry in Table II).
+//
+// Hudgin-geometry least squares: the measured centroid displacements are
+// proportional to the local wavefront gradients; the phase surface
+// phi(i, j) minimising
+//
+//   sum_x ( phi(i, j+1) - phi(i, j) - sx(i, j) )^2
+// + sum_y ( phi(i+1, j) - phi(i, j) - sy(i, j) )^2
+//
+// is found with Gauss-Seidel iterations on the normal equations. The
+// solution is unique up to piston; we return the zero-mean solution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/shwfs/centroid.h"
+
+namespace cig::apps::shwfs {
+
+struct WavefrontGrid {
+  std::uint32_t cols = 0;
+  std::uint32_t rows = 0;
+  std::vector<double> phase;  // row-major, rows x cols, zero mean
+
+  double at(std::uint32_t col, std::uint32_t row) const {
+    return phase[static_cast<std::size_t>(row) * cols + col];
+  }
+};
+
+struct ReconstructOptions {
+  std::uint32_t max_iterations = 500;
+  double tolerance = 1e-10;  // max phase update per sweep to stop
+};
+
+// Reconstructs the wavefront from per-subaperture slopes. `sx`/`sy` are
+// row-major slope grids (rows x cols), e.g. centroid displacements in
+// pixels; the phase comes back in the same units (pixel-displacement
+// integrated over subaperture pitch of 1).
+WavefrontGrid reconstruct_wavefront(const std::vector<double>& sx,
+                                    const std::vector<double>& sy,
+                                    std::uint32_t cols, std::uint32_t rows,
+                                    const ReconstructOptions& options = {});
+
+// Convenience: reconstruct directly from extract_centroids() output
+// arranged on the sensor's subaperture grid.
+WavefrontGrid reconstruct_wavefront(const std::vector<Centroid>& centroids,
+                                    const SensorGeometry& geometry,
+                                    const ReconstructOptions& options = {});
+
+// RMS of the difference between two grids after removing piston
+// (their mean difference).
+double rms_phase_difference(const WavefrontGrid& a, const WavefrontGrid& b);
+
+}  // namespace cig::apps::shwfs

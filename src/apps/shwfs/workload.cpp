@@ -1,0 +1,82 @@
+#include "apps/shwfs/workload.h"
+
+#include "support/assert.h"
+
+namespace cig::apps::shwfs {
+
+namespace {
+constexpr std::uint64_t kFrameBase = 0x1000'0000ull;    // pinned/shared
+constexpr std::uint64_t kCpuScratch = 0x5000'0000ull;   // CPU-private
+constexpr std::uint64_t kGpuScratch = 0x6000'0000ull;   // device-private
+}  // namespace
+
+workload::Workload shwfs_workload(const soc::BoardConfig& board) {
+  using namespace cig::workload;
+  using namespace cig::mem;
+
+  Workload w;
+  w.name = "shwfs-centroid";
+  w.iterations = kKernelsPerFrame;
+
+  // --- GPU: windowed-CoG centroiding over the frame -------------------------
+  // Linear 2-byte pixel loads over the whole frame, ~48 ops/pixel
+  // (3 windowed-CoG refinement iterations), per-subaperture partial sums in
+  // device-local scratch.
+  const double pixels = static_cast<double>(kFrameBytes) / 2.0;
+  w.gpu.name = "centroid-kernel";
+  w.gpu.pattern = PatternSpec{.kind = PatternKind::Linear,
+                              .base = kFrameBase,
+                              .extent = kFrameBytes,
+                              .access_size = 2,
+                              .rw = RwMix::ReadOnly,
+                              .passes = 1,
+                              .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.private_pattern = PatternSpec{.kind = PatternKind::Linear,
+                                      .base = kGpuScratch,
+                                      .extent = KiB(128),
+                                      .access_size = 4,
+                                      .rw = RwMix::ReadModifyWrite,
+                                      .passes = 2,
+                                      .line_hint =
+                                          board.gpu.llc.geometry.line};
+  w.gpu.ops = pixels * 48.0;
+  w.gpu.utilization = 0.5;
+
+  // --- CPU: frame acquisition + slope/reconstruction work -------------------
+  // Writes (a share of) the frame into the shared buffer, then does
+  // reconstruction arithmetic over a private working set that exceeds L1 on
+  // A57-class cores (32 KiB) but fits Carmel's 64 KiB — the source of the
+  // Table II CPU-cache-usage split between Nano/TX2 (19.8%) and Xavier
+  // (6.1%).
+  w.cpu.name = "acquire+reconstruct";
+  w.cpu.pattern = PatternSpec{.kind = PatternKind::Linear,
+                              .base = kFrameBase,
+                              .extent = kFrameBytes,
+                              .access_size = 64,  // write-combined stores
+                              .rw = RwMix::WriteOnly,
+                              .passes = 1,
+                              .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.private_pattern = PatternSpec{.kind = PatternKind::Random,
+                                      .base = kCpuScratch,
+                                      .extent = KiB(40),
+                                      .access_size = 4,
+                                      .rw = RwMix::ReadOnly,
+                                      .count = 46000,
+                                      .seed = 0x5A,
+                                      .line_hint =
+                                          board.cpu.l1.geometry.line};
+  w.cpu.ops = 65536;        // reconstruction arithmetic per kernel slot
+  w.cpu.ops_per_cycle = 1.0;
+  w.cpu.mlp = 8.0;          // streaming stores, write-combining
+
+  // --- communication ----------------------------------------------------------
+  w.h2d_bytes = kFrameBytes;  // frame upload per kernel (as in the paper)
+  w.d2h_bytes = KiB(2);       // centroid table back
+  // The reference implementation synchronises after each kernel (the next
+  // CPU stage consumes the centroids), so CPU and GPU do not overlap.
+  w.overlappable = false;
+  w.validate();
+  return w;
+}
+
+}  // namespace cig::apps::shwfs

@@ -1,0 +1,22 @@
+// Simulator mapping of the SH-WFS centroid-extraction application
+// (Section IV-B): what the real CUDA implementation does per frame,
+// expressed as CPU-task / GPU-kernel specs the execution engine can run on
+// any board. One workload iteration == one kernel launch; the paper's
+// implementation launches kNumKernels centroiding kernels per frame, each
+// consuming the full sensor frame from the shared buffer.
+#pragma once
+
+#include "soc/board.h"
+#include "workload/task.h"
+
+namespace cig::apps::shwfs {
+
+// Kernel launches per sensor frame in the reference implementation.
+inline constexpr std::uint32_t kKernelsPerFrame = 3;
+
+// Sensor frame bytes exchanged between CPU and iGPU per kernel.
+inline constexpr cig::Bytes kFrameBytes = cig::KiB(256);
+
+workload::Workload shwfs_workload(const soc::BoardConfig& board);
+
+}  // namespace cig::apps::shwfs

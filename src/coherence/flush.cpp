@@ -1,0 +1,48 @@
+#include "coherence/flush.h"
+
+namespace cig::coherence {
+
+Seconds FlushEngine::cost_for(std::uint64_t dirty_lines,
+                              std::uint32_t line_bytes) const {
+  const double bytes =
+      static_cast<double>(dirty_lines) * static_cast<double>(line_bytes);
+  return costs_.op_overhead + bytes / costs_.writeback_bw +
+         static_cast<double>(dirty_lines) * costs_.per_line;
+}
+
+FlushResult FlushEngine::flush(mem::SetAssocCache& cache) const {
+  FlushResult result;
+  result.dirty_lines = cache.flush_dirty();
+  result.bytes_written = result.dirty_lines * cache.geometry().line;
+  result.time = cost_for(result.dirty_lines, cache.geometry().line);
+  return result;
+}
+
+FlushResult FlushEngine::invalidate(mem::SetAssocCache& cache) const {
+  FlushResult result;
+  result.dirty_lines = cache.invalidate_all();
+  result.bytes_written = result.dirty_lines * cache.geometry().line;
+  result.time = cost_for(result.dirty_lines, cache.geometry().line);
+  return result;
+}
+
+FlushResult FlushEngine::invalidate_range(mem::SetAssocCache& cache,
+                                          std::uint64_t base,
+                                          Bytes bytes) const {
+  FlushResult result;
+  result.dirty_lines = cache.invalidate_range(base, bytes);
+  result.bytes_written = result.dirty_lines * cache.geometry().line;
+  result.time = cost_for(result.dirty_lines, cache.geometry().line);
+  return result;
+}
+
+FlushResult FlushEngine::clean_range(mem::SetAssocCache& cache,
+                                     std::uint64_t base, Bytes bytes) const {
+  FlushResult result;
+  result.dirty_lines = cache.clean_range(base, bytes);
+  result.bytes_written = result.dirty_lines * cache.geometry().line;
+  result.time = cost_for(result.dirty_lines, cache.geometry().line);
+  return result;
+}
+
+}  // namespace cig::coherence

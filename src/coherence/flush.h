@@ -1,0 +1,56 @@
+// Software coherence: cache-maintenance (flush / invalidate) cost model.
+//
+// Under standard copy, the runtime flushes the CPU LLC before a kernel
+// launch (so the GPU observes produced data) and invalidates after (so the
+// CPU observes results). The cost is dominated by writing dirty lines back
+// to DRAM plus a fixed maintenance-operation overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.h"
+#include "support/units.h"
+
+namespace cig::coherence {
+
+struct FlushCosts {
+  Seconds op_overhead = microsec(3);        // driver + barrier fixed cost
+  BytesPerSecond writeback_bw = GBps(20);   // dirty-line drain bandwidth
+  Seconds per_line = nanosec(2);            // tag-walk cost per dirty line
+};
+
+struct FlushResult {
+  std::uint64_t dirty_lines = 0;
+  Bytes bytes_written = 0;
+  Seconds time = 0;
+};
+
+class FlushEngine {
+ public:
+  explicit FlushEngine(FlushCosts costs) : costs_(costs) {}
+
+  // Cleans all dirty lines of `cache` (writes them back, keeps them valid)
+  // and returns the modelled cost.
+  FlushResult flush(mem::SetAssocCache& cache) const;
+
+  // Invalidates the whole cache (dirty lines written back first).
+  FlushResult invalidate(mem::SetAssocCache& cache) const;
+
+  // Ranged maintenance over [base, base+bytes).
+  FlushResult invalidate_range(mem::SetAssocCache& cache, std::uint64_t base,
+                               Bytes bytes) const;
+
+  // Ranged clean (write back, keep valid) over [base, base+bytes).
+  FlushResult clean_range(mem::SetAssocCache& cache, std::uint64_t base,
+                          Bytes bytes) const;
+
+  // Pure cost query (no cache mutation) for a known dirty-line count.
+  Seconds cost_for(std::uint64_t dirty_lines, std::uint32_t line_bytes) const;
+
+  const FlushCosts& costs() const { return costs_; }
+
+ private:
+  FlushCosts costs_;
+};
+
+}  // namespace cig::coherence

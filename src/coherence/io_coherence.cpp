@@ -1,0 +1,27 @@
+#include "coherence/io_coherence.h"
+
+namespace cig::coherence {
+
+bool IoCoherencePort::device_access(std::uint64_t address, std::uint32_t size,
+                                    mem::AccessKind kind,
+                                    mem::SetAssocCache* cpu_llc) {
+  counters_.bytes += size;
+  if (cpu_llc == nullptr) {
+    ++counters_.snoop_misses;
+    return false;
+  }
+  // A device write must invalidate/own the line; a read snoops it. Either
+  // way the CPU LLC is probed. We model a write as updating the line in
+  // place (the port is coherent), a read as a plain lookup.
+  const bool hit = cpu_llc->probe(address);
+  if (hit) {
+    // Keep LRU state realistic: a snoop hit touches the line.
+    cpu_llc->access(address, kind);
+    ++counters_.snoop_hits;
+  } else {
+    ++counters_.snoop_misses;
+  }
+  return hit;
+}
+
+}  // namespace cig::coherence

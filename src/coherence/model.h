@@ -1,0 +1,52 @@
+// Coherence capability descriptors.
+//
+// The communication model chosen by an application interacts with what the
+// SoC can actually guarantee:
+//  - SwFlush: no hardware path between CPU caches and the iGPU; coherence
+//    for SC/UM is obtained by flushing/invalidating around kernel launches,
+//    and zero-copy forces the affected last-level caches OFF (Nano, TX2).
+//  - HwIoCoherent: the iGPU reads snoop the CPU cache hierarchy through an
+//    I/O-coherent port, so the CPU LLC stays ON under zero-copy and only
+//    the GPU LLC is bypassed (AGX Xavier).
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace cig::coherence {
+
+enum class Capability : std::uint8_t {
+  SwFlush,        // software-managed coherence only
+  HwIoCoherent,   // hardware I/O coherence (one-way: GPU snoops CPU)
+};
+
+inline const char* capability_name(Capability c) {
+  switch (c) {
+    case Capability::SwFlush: return "sw-flush";
+    case Capability::HwIoCoherent: return "hw-io-coherent";
+  }
+  return "?";
+}
+
+// Which last-level caches remain enabled when the zero-copy model maps a
+// pinned allocation. Derived from the capability, matching the paper's
+// observations (Fig. 1 and Section IV-A).
+struct ZeroCopyCacheEffect {
+  bool cpu_llc_enabled = false;
+  bool gpu_llc_enabled = false;
+};
+
+inline ZeroCopyCacheEffect zero_copy_effect(Capability c) {
+  switch (c) {
+    case Capability::SwFlush:
+      return ZeroCopyCacheEffect{.cpu_llc_enabled = false,
+                                 .gpu_llc_enabled = false};
+    case Capability::HwIoCoherent:
+      return ZeroCopyCacheEffect{.cpu_llc_enabled = true,
+                                 .gpu_llc_enabled = false};
+  }
+  return {};
+}
+
+}  // namespace cig::coherence

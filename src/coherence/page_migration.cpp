@@ -1,0 +1,51 @@
+#include "coherence/page_migration.h"
+
+#include "support/assert.h"
+
+namespace cig::coherence {
+
+MigrationResult PageMigrationEngine::touch_range(Owner accessor,
+                                                 std::uint64_t base,
+                                                 Bytes bytes) {
+  MigrationResult result;
+  if (bytes == 0) return result;
+  const Bytes page = config_.page_size;
+  const std::uint64_t first = base / page;
+  const std::uint64_t last = (base + bytes - 1) / page;
+  result.pages_touched = last - first + 1;
+
+  std::uint64_t run = 0;  // consecutive pages needing migration
+  auto close_run = [&] {
+    if (run == 0) return;
+    // One batched fault services up to batch_pages consecutive pages.
+    result.faults += (run + config_.batch_pages - 1) / config_.batch_pages;
+    run = 0;
+  };
+
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const auto it = owner_.find(p);
+    const Owner current = it == owner_.end() ? Owner::Host : it->second;
+    if (current != accessor) {
+      owner_[p] = accessor;
+      ++result.pages_migrated;
+      ++run;
+    } else {
+      close_run();
+    }
+  }
+  close_run();
+
+  result.bytes_moved = result.pages_migrated * page;
+  result.time = static_cast<double>(result.faults) * config_.fault_latency +
+                static_cast<double>(result.bytes_moved) / config_.migration_bw;
+  return result;
+}
+
+void PageMigrationEngine::reset() { owner_.clear(); }
+
+Owner PageMigrationEngine::owner_of(std::uint64_t address) const {
+  const auto it = owner_.find(address / config_.page_size);
+  return it == owner_.end() ? Owner::Host : it->second;
+}
+
+}  // namespace cig::coherence

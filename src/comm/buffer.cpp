@@ -1,0 +1,31 @@
+#include "comm/buffer.h"
+
+#include "support/assert.h"
+
+namespace cig::comm {
+
+namespace {
+constexpr std::uint64_t region_base(mem::Space space) {
+  return (static_cast<std::uint64_t>(space) + 1) * 0x4000'0000ull;
+}
+}  // namespace
+
+AddressMap::AddressMap() {
+  for (auto& c : cursor_) c = 0;
+}
+
+Buffer AddressMap::allocate(std::string name, Bytes size, mem::Space space) {
+  CIG_EXPECTS(size > 0);
+  auto& cursor = cursor_[static_cast<std::size_t>(space)];
+  CIG_EXPECTS(cursor + size <= kRegionSize);
+  const std::uint64_t base = region_base(space) + cursor;
+  cursor = (cursor + size + 63) & ~63ull;  // keep buffers line-aligned
+  buffers_.emplace_back(std::move(name), size, space, base);
+  return buffers_.back();
+}
+
+Bytes AddressMap::allocated(mem::Space space) const {
+  return cursor_[static_cast<std::size_t>(space)];
+}
+
+}  // namespace cig::comm

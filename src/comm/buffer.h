@@ -1,0 +1,56 @@
+// Logical buffers and a bump allocator over the simulated address space.
+// Applications allocate named buffers per Space; the workload patterns then
+// reference buffer.base() so shared/private classification stays explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/access.h"
+#include "support/units.h"
+
+namespace cig::comm {
+
+class Buffer {
+ public:
+  Buffer(std::string name, Bytes size, mem::Space space, std::uint64_t base)
+      : name_(std::move(name)), size_(size), space_(space), base_(base) {}
+
+  const std::string& name() const { return name_; }
+  Bytes size() const { return size_; }
+  mem::Space space() const { return space_; }
+  std::uint64_t base() const { return base_; }
+  std::uint64_t end() const { return base_ + size_; }
+
+  bool contains(std::uint64_t address) const {
+    return address >= base_ && address < end();
+  }
+
+ private:
+  std::string name_;
+  Bytes size_;
+  mem::Space space_;
+  std::uint64_t base_;
+};
+
+// Carves the simulated physical address space into per-Space regions and
+// bump-allocates buffers within them (64-byte aligned).
+class AddressMap {
+ public:
+  AddressMap();
+
+  Buffer allocate(std::string name, Bytes size, mem::Space space);
+
+  // Total bytes allocated in a space so far.
+  Bytes allocated(mem::Space space) const;
+
+  const std::vector<Buffer>& buffers() const { return buffers_; }
+
+ private:
+  static constexpr std::uint64_t kRegionSize = 0x4000'0000ull;  // 1 GiB each
+  std::uint64_t cursor_[4];
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace cig::comm

@@ -1,0 +1,459 @@
+#include "comm/executor.h"
+
+#include <algorithm>
+
+#include "mem/bandwidth.h"
+#include "mem/stream.h"
+#include "support/assert.h"
+
+namespace cig::comm {
+
+namespace {
+
+// Measured-phase cache-stat snapshot used to derive profiler rates.
+struct StatsSnapshot {
+  mem::CacheStats cpu_l1, cpu_llc, gpu_l1, gpu_llc;
+};
+
+StatsSnapshot snapshot(soc::SoC& s) {
+  return StatsSnapshot{s.cpu_l1().stats(), s.cpu_llc().stats(),
+                       s.gpu_l1().stats(), s.gpu_llc().stats()};
+}
+
+mem::CacheStats delta(const mem::CacheStats& after,
+                      const mem::CacheStats& before) {
+  mem::CacheStats d;
+  d.read_hits = after.read_hits - before.read_hits;
+  d.read_misses = after.read_misses - before.read_misses;
+  d.write_hits = after.write_hits - before.write_hits;
+  d.write_misses = after.write_misses - before.write_misses;
+  d.evictions = after.evictions - before.evictions;
+  d.writebacks = after.writebacks - before.writebacks;
+  return d;
+}
+
+// Emitter for a symbolic pattern or, when present, a recorded trace.
+Executor::StreamEmitter make_emitter(
+    const mem::PatternSpec& pattern,
+    const std::shared_ptr<const workload::TraceRecorder>& trace) {
+  if (trace) {
+    return [trace](const mem::AccessSink& sink) { trace->replay(sink); };
+  }
+  return [&pattern](const mem::AccessSink& sink) { mem::walk(pattern, sink); };
+}
+
+Bytes shared_requested_bytes(
+    const mem::PatternSpec& pattern,
+    const std::shared_ptr<const workload::TraceRecorder>& trace) {
+  return trace ? trace->requested_bytes() : mem::requested_bytes(pattern);
+}
+
+}  // namespace
+
+Executor::Executor(soc::SoC& soc, ExecOptions options)
+    : soc_(soc), options_(options) {
+  CIG_EXPECTS(options_.um_llc_bandwidth_factor > 0);
+}
+
+Executor::BilledWalk Executor::walk_and_bill(
+    mem::MemoryHierarchy& hierarchy, const StreamEmitter& emit,
+    bool l1_enabled, bool llc_enabled, BytesPerSecond bottom_bw,
+    Seconds bottom_latency, double mlp, double bw_factor) {
+  CIG_EXPECTS(mlp >= 1.0);
+  CIG_EXPECTS(bw_factor > 0);
+
+  hierarchy.set_enabled(0, l1_enabled);
+  hierarchy.set_enabled(1, llc_enabled);
+  hierarchy.reset_counters();
+
+  const bool bypassed = !l1_enabled && !llc_enabled;
+  coherence::IoCoherencePort* port = nullptr;
+  mem::SetAssocCache* snoop_target = nullptr;
+  if (bypassed &&
+      soc_.config().capability == coherence::Capability::HwIoCoherent &&
+      &hierarchy == &soc_.gpu_hierarchy()) {
+    // Xavier-style ZC: device accesses snoop the CPU LLC through the
+    // I/O-coherent port (keeps the CPU cache state realistic).
+    port = &soc_.io_port();
+    snoop_target = &soc_.cpu_llc();
+  }
+
+  emit([&](const mem::MemoryAccess& access) {
+    hierarchy.access(access);
+    if (port != nullptr) {
+      port->device_access(access.address, access.size, access.kind,
+                          snoop_target);
+    }
+  });
+
+  const mem::WalkCounters& c = hierarchy.counters();
+
+  BilledWalk bill;
+  for (std::size_t i = 0; i < hierarchy.level_count(); ++i) {
+    const auto& lvl = hierarchy.level(i);
+    const auto& lc = c.level[i];
+    bill.cache_time += static_cast<double>(lc.bytes) /
+                       (lvl.bandwidth * bw_factor);
+    if (i > 0) {
+      // Stall component: read misses that reach level i pay its latency,
+      // hidden in proportion to the stream's memory-level parallelism.
+      // Writes are posted (write buffers / write-combining) and stall only
+      // through bandwidth, which the terms above already charge.
+      bill.latency_time +=
+          static_cast<double>(lc.read_served) * lvl.latency / mlp;
+    }
+  }
+  bill.dram_time += static_cast<double>(c.dram_bytes) / bottom_bw +
+                    static_cast<double>(c.uncached_bytes) / bottom_bw;
+  bill.latency_time +=
+      static_cast<double>(c.dram_read_served) * bottom_latency / mlp +
+      static_cast<double>(c.uncached_read_served) * bottom_latency / mlp;
+  bill.dram_bytes = c.dram_bytes + c.uncached_bytes;
+  if (hierarchy.level_count() > 0) {
+    bill.llc_bytes = c.level[hierarchy.level_count() - 1].bytes;
+  }
+
+  // Leave the hierarchy fully enabled for the next user.
+  hierarchy.set_enabled(0, true);
+  hierarchy.set_enabled(1, true);
+  return bill;
+}
+
+Executor::TaskRun Executor::run_cpu_task(const workload::CpuTaskSpec& task,
+                                         CommModel model) {
+  const auto& board = soc_.config();
+  const auto enables = enables_for_shared(model, board.capability);
+  auto& hierarchy = soc_.cpu_hierarchy();
+
+  // Shared-structure fall-through traffic goes over the uncached pinned
+  // path under ZC on a SwFlush board; everything else bottoms out in DRAM.
+  const bool shared_uncached = model == CommModel::ZeroCopy &&
+                               board.capability ==
+                                   coherence::Capability::SwFlush;
+  const BytesPerSecond shared_bottom_bw =
+      shared_uncached ? board.cpu.uncached_bandwidth : board.dram.bandwidth;
+  const BilledWalk shared = walk_and_bill(
+      hierarchy, make_emitter(task.pattern, task.shared_trace),
+      enables.cpu_l1, enables.cpu_llc, shared_bottom_bw, board.dram.latency,
+      task.mlp, 1.0);
+  BilledWalk priv;
+  if (task.private_pattern) {
+    priv = walk_and_bill(hierarchy, make_emitter(*task.private_pattern, {}),
+                         true, true, board.dram.bandwidth, board.dram.latency,
+                         task.mlp, 1.0);
+  }
+
+  const double scale = task.time_scale;
+  TaskRun run;
+  run.compute =
+      soc_.cpu_compute_time(task.ops, task.ops_per_cycle, task.threads) *
+      scale;
+  run.cache_time = (shared.cache_time + priv.cache_time) * scale;
+  run.dram_time = (shared.dram_time + priv.dram_time) * scale;
+  run.latency_time = (shared.latency_time + priv.latency_time) * scale;
+  // Bandwidth streams overlap with compute (roofline); serialized stalls
+  // (latency / MLP) do not.
+  run.time = std::max(run.compute, run.cache_time + run.dram_time) +
+             run.latency_time;
+  run.dram_bytes =
+      static_cast<double>(shared.dram_bytes + priv.dram_bytes) * scale;
+  run.llc_bytes = static_cast<double>(shared.llc_bytes + priv.llc_bytes) * scale;
+  run.requested_bytes =
+      static_cast<double>(
+          shared_requested_bytes(task.pattern, task.shared_trace) +
+          (task.private_pattern ? mem::requested_bytes(*task.private_pattern)
+                                : 0)) *
+      scale;
+  run.energy_bytes = static_cast<Bytes>(run.dram_bytes);
+  return run;
+}
+
+Executor::TaskRun Executor::run_gpu_kernel(const workload::GpuKernelSpec& kernel,
+                                           CommModel model) {
+  const auto& board = soc_.config();
+  const auto enables = enables_for_shared(model, board.capability);
+  auto& hierarchy = soc_.gpu_hierarchy();
+
+  const bool io_coherent =
+      board.capability == coherence::Capability::HwIoCoherent;
+  const bool zero_copy = model == CommModel::ZeroCopy;
+  const BytesPerSecond shared_bottom_bw =
+      zero_copy ? (io_coherent ? board.io_coherence.snoop_bandwidth
+                               : board.gpu.uncached_bandwidth)
+                : board.dram.bandwidth;
+  const Seconds shared_bottom_latency =
+      zero_copy && io_coherent ? board.io_coherence.snoop_latency
+                               : board.dram.latency;
+  const double bw_factor = model == CommModel::UnifiedMemory
+                               ? options_.um_llc_bandwidth_factor
+                               : 1.0;
+
+  const BilledWalk shared = walk_and_bill(
+      hierarchy, make_emitter(kernel.pattern, kernel.shared_trace),
+      enables.gpu_l1, enables.gpu_llc, shared_bottom_bw,
+      shared_bottom_latency, kernel.mlp, bw_factor);
+  BilledWalk priv;
+  if (kernel.private_pattern) {
+    priv = walk_and_bill(hierarchy, make_emitter(*kernel.private_pattern, {}),
+                         true, true, board.dram.bandwidth, board.dram.latency,
+                         kernel.mlp, bw_factor);
+  }
+
+  const double scale = kernel.time_scale;
+  TaskRun run;
+  run.compute = soc_.gpu_compute_time(kernel.ops, kernel.utilization) * scale;
+  run.cache_time = (shared.cache_time + priv.cache_time) * scale;
+  run.dram_time = (shared.dram_time + priv.dram_time) * scale;
+  run.latency_time = (shared.latency_time + priv.latency_time) * scale;
+  run.time = std::max(run.compute, run.cache_time + run.dram_time) +
+             run.latency_time + board.gpu.launch_overhead;
+  run.dram_bytes =
+      static_cast<double>(shared.dram_bytes + priv.dram_bytes) * scale;
+  run.llc_bytes = static_cast<double>(shared.llc_bytes + priv.llc_bytes) * scale;
+  run.requested_bytes =
+      static_cast<double>(
+          shared_requested_bytes(kernel.pattern, kernel.shared_trace) +
+          (kernel.private_pattern
+               ? mem::requested_bytes(*kernel.private_pattern)
+               : 0)) *
+      scale;
+  run.energy_bytes = static_cast<Bytes>(run.dram_bytes);
+  return run;
+}
+
+RunResult Executor::run(const workload::Workload& workload, CommModel model) {
+  workload.validate();
+  soc_.reset();
+  const auto& board = soc_.config();
+  auto& flush = soc_.flush_engine();
+
+  RunResult result;
+  result.model = model;
+  result.workload = workload.name;
+  result.iterations = workload.iterations;
+
+  const Bytes cpu_span = mem::footprint(workload.cpu.pattern);
+  const Bytes gpu_span = mem::footprint(workload.gpu.pattern);
+
+  Seconds now = 0;  // timeline clock (measured phase only)
+  double requested_gpu_bytes = 0;
+  double llc_gpu_bytes = 0;
+  double requested_cpu_bytes = 0;
+  double llc_cpu_bytes = 0;
+
+  auto iteration = [&](bool measured) {
+    Seconds cpu_time = 0, gpu_time = 0, copy_time = 0, coherence_time = 0,
+            migration_time = 0;
+    Bytes extra_dram = 0;  // copies + migrations + maintenance writebacks
+    bool overlapped = false;
+    TaskRun cpu{}, gpu{};
+
+    switch (model) {
+      case CommModel::StandardCopy: {
+        cpu = run_cpu_task(workload.cpu, model);
+        cpu_time = cpu.time;
+        if (workload.h2d_bytes > 0) {
+          // Clean producer-side caches, DMA, invalidate consumer-side LLC.
+          const Bytes range = std::min<Bytes>(cpu_span, workload.h2d_bytes);
+          auto clean_l1 = flush.clean_range(
+              soc_.cpu_l1(), workload.cpu.pattern.base, range);
+          auto clean_llc = flush.clean_range(
+              soc_.cpu_llc(), workload.cpu.pattern.base, range);
+          coherence_time += clean_l1.time + clean_llc.time;
+          extra_dram += clean_l1.bytes_written + clean_llc.bytes_written;
+          copy_time += board.copy.per_call_overhead +
+                       static_cast<double>(workload.h2d_bytes) /
+                           board.copy.bandwidth;
+          const Bytes gpu_range = std::min<Bytes>(gpu_span, workload.h2d_bytes);
+          auto inval = flush.invalidate_range(
+              soc_.gpu_llc(), workload.gpu.pattern.base, gpu_range);
+          coherence_time += inval.time;
+          extra_dram += inval.bytes_written;
+          extra_dram += workload.h2d_bytes * 2;  // DMA read + write
+        }
+        gpu = run_gpu_kernel(workload.gpu, model);
+        gpu_time = gpu.time;
+        if (workload.d2h_bytes > 0) {
+          const Bytes gpu_range = std::min<Bytes>(gpu_span, workload.d2h_bytes);
+          auto clean = flush.clean_range(soc_.gpu_llc(),
+                                         workload.gpu.pattern.base, gpu_range);
+          coherence_time += clean.time;
+          extra_dram += clean.bytes_written;
+          copy_time += board.copy.per_call_overhead +
+                       static_cast<double>(workload.d2h_bytes) /
+                           board.copy.bandwidth;
+          const Bytes cpu_range = std::min<Bytes>(cpu_span, workload.d2h_bytes);
+          auto inval_l1 = flush.invalidate_range(
+              soc_.cpu_l1(), workload.cpu.pattern.base, cpu_range);
+          auto inval_llc = flush.invalidate_range(
+              soc_.cpu_llc(), workload.cpu.pattern.base, cpu_range);
+          coherence_time += inval_l1.time + inval_llc.time;
+          extra_dram += inval_l1.bytes_written + inval_llc.bytes_written;
+          extra_dram += workload.d2h_bytes * 2;
+        }
+        break;
+      }
+      case CommModel::UnifiedMemory: {
+        // CPU touch migrates device-owned pages back.
+        auto mig_cpu = soc_.um_engine().touch_range(
+            coherence::Owner::Host, workload.cpu.pattern.base, cpu_span);
+        migration_time += mig_cpu.time * workload.cpu.time_scale;
+        extra_dram += mig_cpu.bytes_moved * 2;
+        cpu = run_cpu_task(workload.cpu, model);
+        cpu_time = cpu.time;
+
+        auto mig_gpu = soc_.um_engine().touch_range(
+            coherence::Owner::Device, workload.gpu.pattern.base, gpu_span);
+        migration_time += mig_gpu.time * workload.gpu.time_scale;
+        extra_dram += mig_gpu.bytes_moved * 2;
+        gpu = run_gpu_kernel(workload.gpu, model);
+        gpu_time = gpu.time;
+        break;
+      }
+      case CommModel::ZeroCopy: {
+        cpu = run_cpu_task(workload.cpu, model);
+        gpu = run_gpu_kernel(workload.gpu, model);
+        cpu_time = cpu.time;
+        gpu_time = gpu.time;
+        overlapped = options_.overlap && workload.overlappable;
+        break;
+      }
+    }
+
+    // Assemble the iteration on the timeline.
+    Seconds iter_time = 0;
+    if (overlapped) {
+      // Both agents stream from DRAM concurrently: recompute the DRAM
+      // phases under fair contention.
+      std::vector<mem::BandwidthDemand> demands;
+      const double cpu_rate =
+          cpu.dram_time > 0 ? cpu.dram_bytes / cpu.dram_time : 0;
+      const double gpu_rate =
+          gpu.dram_time > 0 ? gpu.dram_bytes / gpu.dram_time : 0;
+      demands.push_back({cpu.dram_bytes, cpu_rate > 0 ? cpu_rate : GBps(1)});
+      demands.push_back({gpu.dram_bytes, gpu_rate > 0 ? gpu_rate : GBps(1)});
+      const auto shares =
+          mem::contended_schedule(demands, board.dram.bandwidth);
+      const Seconds cpu_total =
+          std::max(cpu.compute, cpu.cache_time + shares[0].finish_time) +
+          cpu.latency_time;
+      const Seconds gpu_total =
+          std::max(gpu.compute, gpu.cache_time + shares[1].finish_time) +
+          gpu.latency_time + board.gpu.launch_overhead;
+      cpu_time = cpu_total;
+      gpu_time = gpu_total;
+      iter_time = std::max(cpu_total, gpu_total);
+      if (measured) {
+        result.timeline.add(sim::Lane::Cpu, now, now + cpu_total,
+                            workload.cpu.name);
+        result.timeline.add(sim::Lane::Gpu, now, now + gpu_total,
+                            workload.gpu.name);
+      }
+    } else {
+      iter_time =
+          cpu_time + gpu_time + copy_time + coherence_time + migration_time;
+      if (measured) {
+        Seconds t = now;
+        result.timeline.add(sim::Lane::Cpu, t, t + cpu_time,
+                            workload.cpu.name);
+        t += cpu_time;
+        const Seconds pre_kernel =
+            copy_time / 2 + coherence_time / 2 + migration_time / 2;
+        if (pre_kernel > 0) {
+          result.timeline.add(sim::Lane::Copy, t, t + pre_kernel, "h2d+coh");
+          t += pre_kernel;
+        }
+        result.timeline.add(sim::Lane::Gpu, t, t + gpu_time,
+                            workload.gpu.name);
+        t += gpu_time;
+        const Seconds post_kernel =
+            copy_time + coherence_time + migration_time - pre_kernel;
+        if (post_kernel > 0) {
+          result.timeline.add(sim::Lane::Copy, t, t + post_kernel, "d2h+coh");
+        }
+      }
+    }
+
+    if (measured) {
+      now += iter_time;
+      result.total += iter_time;
+      result.cpu_time += cpu_time;
+      result.kernel_time += gpu_time;
+      result.copy_time += copy_time;
+      result.coherence_time += coherence_time;
+      result.migration_time += migration_time;
+      result.dram_traffic += static_cast<Bytes>(cpu.dram_bytes) +
+                             static_cast<Bytes>(gpu.dram_bytes) + extra_dram;
+      requested_gpu_bytes += gpu.requested_bytes;
+      llc_gpu_bytes += gpu.llc_bytes;
+      requested_cpu_bytes += cpu.requested_bytes;
+      llc_cpu_bytes += cpu.llc_bytes;
+    }
+  };
+
+  for (std::uint32_t i = 0; i < options_.warmup_iterations; ++i) {
+    iteration(false);
+  }
+  soc_.cpu_l1().reset_stats();
+  soc_.cpu_llc().reset_stats();
+  soc_.gpu_l1().reset_stats();
+  soc_.gpu_llc().reset_stats();
+  const StatsSnapshot before = snapshot(soc_);
+  for (std::uint32_t i = 0; i < workload.iterations; ++i) {
+    iteration(true);
+  }
+  const StatsSnapshot after = snapshot(soc_);
+
+  // --- profiler-visible rates -----------------------------------------------
+  const auto cpu_l1 = delta(after.cpu_l1, before.cpu_l1);
+  const auto cpu_llc = delta(after.cpu_llc, before.cpu_llc);
+  const auto gpu_l1 = delta(after.gpu_l1, before.gpu_l1);
+  const auto gpu_llc = delta(after.gpu_llc, before.gpu_llc);
+  result.cpu_l1_miss_rate = cpu_l1.miss_rate();
+  result.cpu_llc_miss_rate = cpu_llc.miss_rate();
+  result.gpu_l1_hit_rate = gpu_l1.hit_rate();
+  result.gpu_llc_hit_rate = gpu_llc.hit_rate();
+
+  result.gpu_transactions =
+      static_cast<double>(
+          mem::element_accesses(workload.gpu.pattern) +
+          (workload.gpu.private_pattern
+               ? mem::element_accesses(*workload.gpu.private_pattern)
+               : 0)) *
+      workload.gpu.time_scale * workload.iterations;
+  result.gpu_transaction_size = workload.gpu.pattern.access_size;
+
+  if (result.kernel_time > 0) {
+    const double serving_bytes =
+        llc_gpu_bytes > 0 ? llc_gpu_bytes : requested_gpu_bytes;
+    result.gpu_ll_throughput = serving_bytes / result.kernel_time;
+    result.gpu_demand_throughput = requested_gpu_bytes / result.kernel_time;
+  }
+  if (result.cpu_time > 0) {
+    const double serving_bytes =
+        llc_cpu_bytes > 0 ? llc_cpu_bytes : requested_cpu_bytes;
+    result.cpu_ll_throughput = serving_bytes / result.cpu_time;
+    result.cpu_demand_throughput = requested_cpu_bytes / result.cpu_time;
+  }
+
+  // --- energy ----------------------------------------------------------------
+  const Seconds cpu_busy = result.timeline.busy(sim::Lane::Cpu);
+  const Seconds gpu_busy = result.timeline.busy(sim::Lane::Gpu);
+  const Seconds copy_busy = result.timeline.busy(sim::Lane::Copy);
+  result.energy = cpu_busy * board.power.cpu_active +
+                  gpu_busy * board.power.gpu_active +
+                  copy_busy * board.power.copy_active +
+                  result.total * board.power.idle +
+                  static_cast<double>(result.dram_traffic) *
+                      board.dram.energy_per_byte;
+
+  result.overlap_fraction =
+      result.total > 0
+          ? result.timeline.overlap(sim::Lane::Cpu, sim::Lane::Gpu) /
+                result.total
+          : 0;
+  CIG_ENSURES(result.timeline.lanes_consistent());
+  return result;
+}
+
+}  // namespace cig::comm

@@ -1,0 +1,92 @@
+// Execution engine: runs a Workload on a simulated SoC under a chosen
+// communication model and produces a RunResult.
+//
+// Per-iteration semantics:
+//  - SC: cpu task -> clean CPU LLC (src) -> H2D copy -> invalidate GPU LLC
+//        (dst) -> kernel -> clean GPU LLC -> D2H copy -> invalidate CPU
+//        caches (results). Strictly serialized.
+//  - UM: cpu task -> page migration (device touch) -> kernel -> page
+//        migration back on the next CPU touch. Serialized, no copies.
+//  - ZC: cpu task and kernel on the pinned space; caches per the board's
+//        coherence capability; optional overlapped execution with DRAM
+//        contention modelled by the bandwidth arbiter.
+//
+// Task time = max(compute, memory) * time_scale (+ kernel launch overhead),
+// with memory time billed per hierarchy level from the walk counters.
+#pragma once
+
+#include <functional>
+
+#include "comm/model.h"
+#include "comm/runresult.h"
+#include "mem/stream.h"
+#include "soc/soc.h"
+#include "workload/task.h"
+
+namespace cig::comm {
+
+struct ExecOptions {
+  std::uint32_t warmup_iterations = 1;
+  // Allow CPU/GPU overlap under ZC when the workload supports it (the
+  // paper's tiled communication pattern). Off = serialized ZC.
+  bool overlap = true;
+  // UM allocations interleave slightly better across LLC banks than
+  // cudaMalloc on these boards; the paper measures UM LL throughput ~7%
+  // above SC (Table I: 104.15 vs 97.34 GB/s).
+  double um_llc_bandwidth_factor = 1.07;
+};
+
+class Executor {
+ public:
+  explicit Executor(soc::SoC& soc, ExecOptions options = {});
+
+  // Runs warmup + measured iterations from a pristine SoC state.
+  RunResult run(const workload::Workload& workload, CommModel model);
+
+  const ExecOptions& options() const { return options_; }
+
+  // `emit` feeds an access stream (a PatternSpec walk or a recorded trace
+  // replay) into the provided sink.
+  using StreamEmitter = std::function<void(const mem::AccessSink&)>;
+
+ private:
+  struct TaskRun {
+    Seconds time = 0;          // scaled wall-clock for the task
+    Seconds compute = 0;       // scaled
+    Seconds cache_time = 0;    // scaled; serviced by cache levels
+    Seconds dram_time = 0;     // scaled; serviced by DRAM / uncached path
+    Seconds latency_time = 0;  // scaled; serialized stalls (adds on top)
+    double dram_bytes = 0;     // scaled DRAM traffic (fills + uncached)
+    double llc_bytes = 0;      // scaled bytes served by the device's LLC
+    double requested_bytes = 0;  // scaled element-granular demand
+    Bytes energy_bytes = 0;    // scaled DRAM bytes for the energy model
+  };
+
+  TaskRun run_cpu_task(const workload::CpuTaskSpec& task, CommModel model);
+  TaskRun run_gpu_kernel(const workload::GpuKernelSpec& kernel,
+                         CommModel model);
+
+  // Walks `pattern` through `hierarchy` with the given level enables and
+  // bills the traffic. `bottom_bw`/`bottom_latency` price whatever sits
+  // below the last enabled cache — plain DRAM for SC/UM and private data,
+  // the uncached/pinned path (or I/O-coherent port) for ZC shared data.
+  // `mlp` divides latency penalties; `bw_factor` scales cache-level
+  // bandwidths (UM).
+  struct BilledWalk {
+    Seconds cache_time = 0;    // bandwidth component, cache levels
+    Seconds dram_time = 0;     // bandwidth component, bottom path
+    Seconds latency_time = 0;  // MLP-adjusted stall component (all levels)
+    Bytes dram_bytes = 0;
+    Bytes llc_bytes = 0;
+  };
+  BilledWalk walk_and_bill(mem::MemoryHierarchy& hierarchy,
+                           const StreamEmitter& emit, bool l1_enabled,
+                           bool llc_enabled, BytesPerSecond bottom_bw,
+                           Seconds bottom_latency, double mlp,
+                           double bw_factor);
+
+  soc::SoC& soc_;
+  ExecOptions options_;
+};
+
+}  // namespace cig::comm

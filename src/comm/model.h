@@ -1,0 +1,59 @@
+// The three CPU-iGPU communication models and their cache-enable semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "coherence/model.h"
+
+namespace cig::comm {
+
+enum class CommModel : std::uint8_t {
+  StandardCopy,   // SC: explicit transfers, all caches on, flush coherence
+  UnifiedMemory,  // UM: on-demand page migration, all caches on
+  ZeroCopy,       // ZC: pinned shared space, concurrent access
+};
+
+inline const char* model_name(CommModel model) {
+  switch (model) {
+    case CommModel::StandardCopy: return "SC";
+    case CommModel::UnifiedMemory: return "UM";
+    case CommModel::ZeroCopy: return "ZC";
+  }
+  return "?";
+}
+
+// Cache enablement for accesses to the *shared* data structure. Private
+// working data is always fully cached regardless of model.
+struct CacheEnables {
+  bool cpu_l1 = true;
+  bool cpu_llc = true;
+  bool gpu_l1 = true;
+  bool gpu_llc = true;
+};
+
+inline CacheEnables enables_for_shared(CommModel model,
+                                       coherence::Capability capability) {
+  switch (model) {
+    case CommModel::StandardCopy:
+    case CommModel::UnifiedMemory:
+      return CacheEnables{};  // everything on
+    case CommModel::ZeroCopy:
+      if (capability == coherence::Capability::HwIoCoherent) {
+        // GPU accesses route through the I/O-coherent port (uncached on the
+        // GPU side); the CPU hierarchy stays fully enabled.
+        return CacheEnables{.cpu_l1 = true,
+                            .cpu_llc = true,
+                            .gpu_l1 = false,
+                            .gpu_llc = false};
+      }
+      // SwFlush boards map pinned memory uncacheable on both sides
+      // (the paper: "TX2 disables also the CPU cache" under ZC).
+      return CacheEnables{.cpu_l1 = false,
+                          .cpu_llc = false,
+                          .gpu_l1 = false,
+                          .gpu_llc = false};
+  }
+  return CacheEnables{};
+}
+
+}  // namespace cig::comm

@@ -1,0 +1,54 @@
+// Result of executing a workload on a simulated SoC under one communication
+// model: time breakdown, timeline, energy, and the profiler-visible counters
+// the paper's performance model consumes (eqns 1-2).
+#pragma once
+
+#include <string>
+
+#include "comm/model.h"
+#include "sim/timeline.h"
+#include "support/units.h"
+
+namespace cig::comm {
+
+struct RunResult {
+  CommModel model = CommModel::StandardCopy;
+  std::string workload;
+  std::uint32_t iterations = 1;
+
+  // --- totals over the measured iterations ---------------------------------
+  Seconds total = 0;
+  Seconds cpu_time = 0;        // CPU task busy time
+  Seconds kernel_time = 0;     // GPU kernel busy time (incl. launch)
+  Seconds copy_time = 0;       // explicit SC transfers
+  Seconds coherence_time = 0;  // cache-maintenance (clean/invalidate)
+  Seconds migration_time = 0;  // UM page migration
+  Joules energy = 0;
+  sim::Timeline timeline;
+
+  // --- per-iteration convenience --------------------------------------------
+  Seconds total_per_iter() const { return total / iterations; }
+  Seconds cpu_time_per_iter() const { return cpu_time / iterations; }
+  Seconds kernel_time_per_iter() const { return kernel_time / iterations; }
+  Seconds copy_time_per_iter() const { return copy_time / iterations; }
+
+  // --- profiler-visible counters (measured phase) ---------------------------
+  double cpu_l1_miss_rate = 0;
+  double cpu_llc_miss_rate = 0;   // of accesses that reached the CPU LLC
+  double gpu_l1_hit_rate = 0;
+  double gpu_llc_hit_rate = 0;
+  double gpu_transactions = 0;    // t_n: element-granular memory transactions
+  double gpu_transaction_size = 0;  // t_size (bytes)
+  BytesPerSecond gpu_ll_throughput = 0;  // GPU LL-L1 delivered bandwidth
+  BytesPerSecond cpu_ll_throughput = 0;
+  // Demand throughput: element-granular bytes the cores requested per unit
+  // of task time (the metric the MB2 sweep compares across models).
+  BytesPerSecond gpu_demand_throughput = 0;
+  BytesPerSecond cpu_demand_throughput = 0;
+  Bytes dram_traffic = 0;         // total DRAM bytes (walks + copies), scaled
+
+  // Fraction of wall-clock during which CPU and GPU ran concurrently.
+  double overlap_fraction = 0;
+};
+
+}  // namespace cig::comm

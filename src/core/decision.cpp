@@ -1,0 +1,176 @@
+#include "core/decision.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::core {
+
+namespace {
+
+std::string percent(double fraction) {
+  std::ostringstream out;
+  out.precision(3);
+  out << fraction * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace
+
+std::string Recommendation::to_string() const {
+  std::ostringstream out;
+  out << "current model " << comm::model_name(current) << " -> suggested "
+      << comm::model_name(suggested);
+  if (use_overlap_pattern) out << " + tiled overlap pattern";
+  out << "\n  gpu cache usage " << percent(usage.gpu) << " ("
+      << zone_name(gpu_zone) << "), cpu cache usage " << percent(usage.cpu)
+      << (cpu_over_threshold ? " (over threshold)" : " (under threshold)")
+      << "\n  estimated speedup " << estimated_speedup << "x (device bound "
+      << max_speedup << "x)\n  " << rationale << "\n";
+  return out.str();
+}
+
+DecisionEngine::DecisionEngine(DeviceCharacterization device)
+    : device_(std::move(device)) {}
+
+SpeedupInputs DecisionEngine::inputs_from(
+    const profile::ProfileReport& profile) {
+  return SpeedupInputs{.runtime = profile.total_time,
+                       .copy_time = profile.copy_time,
+                       .cpu_time = profile.cpu_time,
+                       .gpu_time = profile.kernel_time};
+}
+
+Recommendation DecisionEngine::recommend(
+    const profile::ProfileReport& profile) const {
+  Recommendation rec;
+  rec.current = profile.model;
+  rec.suggested = profile.model;
+  // Eqn 2 normalises the kernel's LL demand by the *measured* peak of the
+  // model the profile was taken under: a ZC-implemented app runs against
+  // the uncached-path throughput, an SC/UM app against the cached one.
+  const BytesPerSecond peak =
+      device_.mb1.gpu_ll_throughput[model_index(profile.model)];
+  rec.usage = cache_usage(profile, peak);
+  rec.gpu_zone = device_.mb2.gpu.classify(rec.usage.gpu_pct());
+  if (rec.gpu_zone == Zone::Grey &&
+      device_.capability == coherence::Capability::SwFlush) {
+    // The grey zone only exists on I/O-coherent devices (the paper defines
+    // it on Xavier); without HW coherence any usage above the threshold
+    // means the bypassed caches dominate.
+    rec.gpu_zone = Zone::CacheBound;
+  }
+  rec.cpu_over_threshold =
+      rec.usage.cpu_pct() > device_.cpu_threshold_pct();
+
+  const bool on_zero_copy = profile.model == comm::CommModel::ZeroCopy;
+  const SpeedupInputs inputs = inputs_from(profile);
+
+  switch (rec.gpu_zone) {
+    case Zone::CacheBound: {
+      // GPU-cache-dependent application: ZC's bypassed caches would (or do)
+      // bottleneck the kernel.
+      if (on_zero_copy) {
+        rec.suggested = comm::CommModel::StandardCopy;
+        rec.switch_model = true;
+        rec.max_speedup = device_.zc_sc_max_speedup();
+        rec.estimated_speedup = zc_to_sc_speedup(inputs, rec.max_speedup);
+        rec.rationale =
+            "GPU cache usage exceeds zone 2: the disabled GPU LLC throttles "
+            "the kernel under ZC; switch to SC (or UM).";
+      } else {
+        rec.switch_model = false;
+        rec.rationale =
+            "GPU cache usage exceeds zone 2 and the application already "
+            "uses SC/UM: no change suggested (per the framework flow).";
+      }
+      return rec;
+    }
+    case Zone::Grey: {
+      // ZC may still break even if the saved copies + overlap outweigh the
+      // reduced GPU throughput (I/O-coherent devices).
+      if (on_zero_copy) {
+        rec.switch_model = false;
+        rec.rationale =
+            "GPU cache usage is in zone 2: ZC remains viable; keep it and "
+            "retain the overlap pattern.";
+        rec.use_overlap_pattern = true;
+      } else {
+        rec.max_speedup = device_.sc_zc_max_speedup();
+        rec.estimated_speedup = sc_to_zc_speedup(inputs, rec.max_speedup);
+        if (rec.estimated_speedup >= 1.0) {
+          rec.suggested = comm::CommModel::ZeroCopy;
+          rec.switch_model = true;
+          rec.use_overlap_pattern = true;
+          rec.rationale =
+              "GPU cache usage is in zone 2: ZC can match or beat SC when "
+              "the eliminated copies and CPU/GPU overlap offset the cache "
+              "loss; evaluate ZC with the tiled pattern.";
+        } else {
+          rec.switch_model = false;
+          rec.rationale =
+              "GPU cache usage is in zone 2 but the device-level bound "
+              "(MB3) already predicts a ZC slowdown here: keep SC/UM.";
+        }
+      }
+      return rec;
+    }
+    case Zone::Comparable:
+      break;  // fall through to the CPU-side check below
+  }
+
+  // GPU cache usage is low; the CPU side decides.
+  if (rec.cpu_over_threshold) {
+    // The CPU task depends on its caches, and this device sacrifices them
+    // under ZC (a SwFlush board — on I/O-coherent boards the CPU threshold
+    // is 100% and this branch is unreachable).
+    if (on_zero_copy) {
+      rec.suggested = comm::CommModel::StandardCopy;
+      rec.switch_model = true;
+      rec.max_speedup = device_.zc_sc_max_speedup();
+      rec.estimated_speedup = zc_to_sc_speedup(inputs, rec.max_speedup);
+      rec.rationale =
+          "CPU cache usage exceeds the device threshold: pinned accesses "
+          "bypass the CPU cache on this board; switch to SC (or UM).";
+    } else {
+      rec.switch_model = false;
+      rec.rationale =
+          "CPU cache usage exceeds the device threshold: keep SC/UM — ZC "
+          "would degrade the CPU task on this board.";
+    }
+    return rec;
+  }
+
+  // Neither cache matters: ZC gives at least equal performance and saves
+  // the copy energy.
+  if (on_zero_copy) {
+    rec.switch_model = false;
+    rec.use_overlap_pattern = true;
+    rec.rationale =
+        "Cache usage is low on both sides: ZC is already the right model "
+        "(lowest energy); use the tiled pattern for overlap.";
+  } else {
+    rec.max_speedup = device_.sc_zc_max_speedup();
+    rec.estimated_speedup = sc_to_zc_speedup(inputs, rec.max_speedup);
+    if (rec.estimated_speedup >= 1.0) {
+      rec.suggested = comm::CommModel::ZeroCopy;
+      rec.switch_model = true;
+      rec.use_overlap_pattern = true;
+      rec.rationale =
+          "Cache usage is low on both sides: ZC removes the copies, enables "
+          "CPU/GPU overlap and lowers energy.";
+    } else {
+      // Low cache usage, but the device's pinned path is so slow that even
+      // the cache-independent micro-benchmark loses under ZC (MB3 bound
+      // below 1): switching would trade copies for something worse.
+      rec.switch_model = false;
+      rec.rationale =
+          "Cache usage is low, but this device's uncached pinned path makes "
+          "even cache-independent ZC a net slowdown (MB3 bound < 1): keep "
+          "SC/UM.";
+    }
+  }
+  return rec;
+}
+
+}  // namespace cig::core

@@ -1,0 +1,56 @@
+// The decision flow of Fig. 2: given the device characterization (from the
+// micro-benchmarks) and an application profile (from any standard profiling
+// tool), recommend the most suitable communication model and estimate the
+// potential speedup of switching.
+#pragma once
+
+#include <string>
+
+#include "comm/model.h"
+#include "core/microbench.h"
+#include "core/perfmodel.h"
+#include "core/thresholds.h"
+#include "profile/report.h"
+
+namespace cig::core {
+
+struct Recommendation {
+  comm::CommModel current = comm::CommModel::StandardCopy;
+  comm::CommModel suggested = comm::CommModel::StandardCopy;
+  bool switch_model = false;
+  // When ZC is suggested: also adopt the tiled communication pattern
+  // (Section III-C) to overlap CPU and GPU tasks.
+  bool use_overlap_pattern = false;
+
+  CacheUsage usage;          // eqns 1-2, fractions
+  Zone gpu_zone = Zone::Comparable;
+  bool cpu_over_threshold = false;
+
+  // Potential speedup of the switch (eqn 3 or 4), and the device bound.
+  double estimated_speedup = 1.0;
+  double max_speedup = 1.0;
+
+  std::string rationale;
+
+  std::string to_string() const;
+};
+
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(DeviceCharacterization device);
+
+  // `profile` must have been taken under `profile.model` (the application
+  // as currently implemented). `timing` supplies eqn-3/4 inputs; pass the
+  // same report's times via `inputs_from`.
+  Recommendation recommend(const profile::ProfileReport& profile) const;
+
+  const DeviceCharacterization& device() const { return device_; }
+
+  // Helper: eqn-3/4 inputs from a profile report.
+  static SpeedupInputs inputs_from(const profile::ProfileReport& profile);
+
+ private:
+  DeviceCharacterization device_;
+};
+
+}  // namespace cig::core

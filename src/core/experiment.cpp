@@ -1,0 +1,120 @@
+#include "core/experiment.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/orbslam/workload.h"
+#include "apps/shwfs/workload.h"
+#include "soc/board_io.h"
+#include "support/assert.h"
+#include "workload/builders.h"
+
+namespace cig::core {
+
+workload::Workload resolve_application(const std::string& name,
+                                       const soc::BoardConfig& board) {
+  if (name == "shwfs") return apps::shwfs::shwfs_workload(board);
+  if (name == "orbslam") return apps::orbslam::orbslam_workload(board);
+  if (name == "mb1") return workload::mb1_workload(board);
+  if (name == "mb3") return workload::mb3_workload(board);
+  throw std::runtime_error("unknown app '" + name +
+                           "' (shwfs, orbslam, mb1 or mb3)");
+}
+
+ExperimentGrid::ExperimentGrid(std::vector<ExperimentCell> cells)
+    : cells_(std::move(cells)) {}
+
+const ExperimentCell& ExperimentGrid::at(const std::string& board,
+                                         const std::string& app,
+                                         comm::CommModel model) const {
+  for (const auto& cell : cells_) {
+    if (cell.board == board && cell.app == app && cell.model == model) {
+      return cell;
+    }
+  }
+  throw std::runtime_error("no cell for " + board + "/" + app + "/" +
+                           comm::model_name(model));
+}
+
+double ExperimentGrid::speedup_vs_sc(const std::string& board,
+                                     const std::string& app,
+                                     comm::CommModel model) const {
+  const auto& sc = at(board, app, comm::CommModel::StandardCopy);
+  const auto& other = at(board, app, model);
+  CIG_EXPECTS(other.run.total > 0);
+  return sc.run.total / other.run.total;
+}
+
+Table ExperimentGrid::to_table() const {
+  Table table({"board", "app", "model", "total (us)", "cpu (us)",
+               "kernel (us)", "copy (us)", "energy (mJ)"});
+  for (const auto& cell : cells_) {
+    table.add_row({cell.board, cell.app, comm::model_name(cell.model),
+                   Table::num(to_us(cell.run.total)),
+                   Table::num(to_us(cell.run.cpu_time)),
+                   Table::num(to_us(cell.run.kernel_time)),
+                   Table::num(to_us(cell.run.copy_time)),
+                   Table::num(cell.run.energy * 1e3, 3)});
+  }
+  return table;
+}
+
+std::string ExperimentGrid::to_csv() const {
+  std::ostringstream out;
+  out << "board,app,model,total_us,cpu_us,kernel_us,copy_us,energy_mj\n";
+  for (const auto& cell : cells_) {
+    out << cell.board << ',' << cell.app << ','
+        << comm::model_name(cell.model) << ',' << to_us(cell.run.total) << ','
+        << to_us(cell.run.cpu_time) << ',' << to_us(cell.run.kernel_time)
+        << ',' << to_us(cell.run.copy_time) << ',' << cell.run.energy * 1e3
+        << '\n';
+  }
+  return out.str();
+}
+
+Json ExperimentGrid::to_json() const {
+  Json cells;
+  for (const auto& cell : cells_) {
+    Json j;
+    j["board"] = Json(cell.board);
+    j["app"] = Json(cell.app);
+    j["model"] = Json(std::string(comm::model_name(cell.model)));
+    j["total_us"] = Json(to_us(cell.run.total));
+    j["cpu_us"] = Json(to_us(cell.run.cpu_time));
+    j["kernel_us"] = Json(to_us(cell.run.kernel_time));
+    j["copy_us"] = Json(to_us(cell.run.copy_time));
+    j["energy_mj"] = Json(cell.run.energy * 1e3);
+    j["overlap_fraction"] = Json(cell.run.overlap_fraction);
+    cells.push_back(std::move(j));
+  }
+  Json document;
+  document["cells"] = std::move(cells);
+  return document;
+}
+
+ExperimentGrid run_grid(const ExperimentSpec& spec) {
+  CIG_EXPECTS(!spec.boards.empty());
+  CIG_EXPECTS(!spec.apps.empty());
+  CIG_EXPECTS(!spec.models.empty());
+
+  std::vector<ExperimentCell> cells;
+  for (const auto& board_name : spec.boards) {
+    const auto board = soc::resolve_board(board_name);
+    for (const auto& app : spec.apps) {
+      const auto workload = resolve_application(app, board);
+      for (const auto model : spec.models) {
+        soc::SoC soc(board);
+        comm::Executor executor(soc);
+        ExperimentCell cell;
+        cell.board = board_name;
+        cell.app = app;
+        cell.model = model;
+        cell.run = executor.run(workload, model);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return ExperimentGrid(std::move(cells));
+}
+
+}  // namespace cig::core

@@ -1,0 +1,69 @@
+// Declarative experiment grids: run every (board x application x model)
+// combination and collect the results for tabular, CSV or JSON output.
+// This is what powers `cigtool grid` and makes sweep studies one-liners:
+//
+//   ExperimentSpec spec;
+//   spec.boards = {"tx2", "xavier"};
+//   spec.apps = {"shwfs", "orbslam"};
+//   auto grid = run_grid(spec);
+//   std::cout << grid.to_table().render();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/executor.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace cig::core {
+
+struct ExperimentSpec {
+  // Board preset names or JSON file paths (see soc::resolve_board).
+  std::vector<std::string> boards;
+  // Application names: "shwfs", "orbslam", "mb1", "mb3".
+  std::vector<std::string> apps;
+  // Communication models to measure; all three by default.
+  std::vector<comm::CommModel> models = {comm::CommModel::StandardCopy,
+                                         comm::CommModel::UnifiedMemory,
+                                         comm::CommModel::ZeroCopy};
+};
+
+// Resolves a named application workload for a board (shared with cigtool).
+// Throws std::runtime_error for unknown names.
+workload::Workload resolve_application(const std::string& name,
+                                       const soc::BoardConfig& board);
+
+struct ExperimentCell {
+  std::string board;
+  std::string app;
+  comm::CommModel model = comm::CommModel::StandardCopy;
+  comm::RunResult run;
+};
+
+class ExperimentGrid {
+ public:
+  explicit ExperimentGrid(std::vector<ExperimentCell> cells);
+
+  const std::vector<ExperimentCell>& cells() const { return cells_; }
+
+  // Finds a cell (throws if absent).
+  const ExperimentCell& at(const std::string& board, const std::string& app,
+                           comm::CommModel model) const;
+
+  // Speedup of `model` relative to StandardCopy for one (board, app).
+  double speedup_vs_sc(const std::string& board, const std::string& app,
+                       comm::CommModel model) const;
+
+  Table to_table() const;
+  std::string to_csv() const;
+  Json to_json() const;
+
+ private:
+  std::vector<ExperimentCell> cells_;
+};
+
+// Runs the full grid (each cell on a fresh SoC). Throws on unknown names.
+ExperimentGrid run_grid(const ExperimentSpec& spec);
+
+}  // namespace cig::core

@@ -1,0 +1,74 @@
+#include "core/framework.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::core {
+
+Framework::Framework(soc::BoardConfig board, comm::ExecOptions options)
+    : soc_(std::make_unique<soc::SoC>(std::move(board))),
+      options_(options),
+      profiler_(*soc_, options),
+      executor_(*soc_, options) {}
+
+const DeviceCharacterization& Framework::device() {
+  if (!device_) {
+    MicrobenchSuite suite(*soc_, options_);
+    device_ = suite.characterize();
+  }
+  return *device_;
+}
+
+profile::ProfileReport Framework::profile(const workload::Workload& workload,
+                                          comm::CommModel current_model) {
+  return profiler_.profile(workload, current_model);
+}
+
+Recommendation Framework::analyze(const workload::Workload& workload,
+                                  comm::CommModel current_model) {
+  const DecisionEngine engine(device());
+  return engine.recommend(profile(workload, current_model));
+}
+
+double Framework::TuningReport::actual_speedup() const {
+  const auto& current = measured[model_index(recommendation.current)];
+  const auto& suggested = measured[model_index(recommendation.suggested)];
+  CIG_EXPECTS(suggested.total > 0);
+  return current.total / suggested.total;
+}
+
+std::string Framework::TuningReport::to_string() const {
+  std::ostringstream out;
+  out << profile.to_string() << '\n' << recommendation.to_string() << '\n';
+  out << "measured (all models):\n";
+  for (const auto model : kAllModels) {
+    const auto& run = measured[model_index(model)];
+    out << "  " << comm::model_name(model) << ": total "
+        << format_time(run.total_per_iter()) << " (cpu "
+        << format_time(run.cpu_time_per_iter()) << ", kernel "
+        << format_time(run.kernel_time_per_iter()) << ", copy "
+        << format_time(run.copy_time_per_iter()) << "), energy " << run.energy
+        << " J\n";
+  }
+  if (recommendation.switch_model) {
+    out << "actual speedup of suggested switch: " << actual_speedup()
+        << "x (estimated " << recommendation.estimated_speedup << "x, bound "
+        << recommendation.max_speedup << "x)\n";
+  }
+  return out.str();
+}
+
+Framework::TuningReport Framework::tune(const workload::Workload& workload,
+                                        comm::CommModel current_model) {
+  TuningReport report;
+  report.profile = profile(workload, current_model);
+  const DecisionEngine engine(device());
+  report.recommendation = engine.recommend(report.profile);
+  for (const auto model : kAllModels) {
+    report.measured[model_index(model)] = executor_.run(workload, model);
+  }
+  return report;
+}
+
+}  // namespace cig::core

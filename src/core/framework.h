@@ -1,0 +1,65 @@
+// Top-level API of the framework (Fig. 2): owns a simulated board,
+// characterizes it with the micro-benchmark suite, profiles applications,
+// and produces communication-model recommendations and tuning reports.
+//
+//   cig::core::Framework fw(cig::soc::jetson_agx_xavier());
+//   auto report = fw.tune(my_workload, cig::comm::CommModel::StandardCopy);
+//   std::cout << report.to_string();
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "comm/executor.h"
+#include "core/decision.h"
+#include "core/microbench.h"
+#include "profile/profiler.h"
+#include "soc/soc.h"
+#include "workload/task.h"
+
+namespace cig::core {
+
+class Framework {
+ public:
+  explicit Framework(soc::BoardConfig board, comm::ExecOptions options = {});
+
+  // Device characterization (micro-benchmarks); cached after the first call.
+  const DeviceCharacterization& device();
+
+  // Profiles the application under its current communication model.
+  profile::ProfileReport profile(const workload::Workload& workload,
+                                 comm::CommModel current_model);
+
+  // Profiling + decision flow: what the paper's framework outputs.
+  Recommendation analyze(const workload::Workload& workload,
+                         comm::CommModel current_model);
+
+  struct TuningReport {
+    profile::ProfileReport profile;
+    Recommendation recommendation;
+    // Ground truth: the workload measured under all three models
+    // (what a developer would obtain by porting and re-measuring).
+    PerModel<comm::RunResult> measured;
+
+    double actual_speedup() const;  // current vs suggested, measured
+    std::string to_string() const;
+  };
+
+  // Full loop: profile, recommend, and verify by running all three models.
+  TuningReport tune(const workload::Workload& workload,
+                    comm::CommModel current_model);
+
+  soc::SoC& soc() { return *soc_; }
+  const soc::BoardConfig& board() const { return soc_->config(); }
+
+ private:
+  std::unique_ptr<soc::SoC> soc_;
+  comm::ExecOptions options_;
+  profile::Profiler profiler_;
+  comm::Executor executor_;
+  std::optional<DeviceCharacterization> device_;
+};
+
+}  // namespace cig::core

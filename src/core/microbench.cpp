@@ -1,0 +1,113 @@
+#include "core/microbench.h"
+
+#include "core/perfmodel.h"
+#include "support/assert.h"
+#include "workload/builders.h"
+
+namespace cig::core {
+
+double Mb1Result::zc_sc_max_speedup() const {
+  const Seconds sc = gpu_time[model_index(comm::CommModel::StandardCopy)];
+  const Seconds zc = gpu_time[model_index(comm::CommModel::ZeroCopy)];
+  CIG_EXPECTS(sc > 0);
+  return zc / sc;
+}
+
+double Mb3Result::sc_zc_max_speedup() const {
+  const Seconds sc = total_time[model_index(comm::CommModel::StandardCopy)];
+  const Seconds zc = total_time[model_index(comm::CommModel::ZeroCopy)];
+  CIG_EXPECTS(zc > 0);
+  return sc / zc;
+}
+
+double Mb3Result::um_zc_max_speedup() const {
+  const Seconds um = total_time[model_index(comm::CommModel::UnifiedMemory)];
+  const Seconds zc = total_time[model_index(comm::CommModel::ZeroCopy)];
+  CIG_EXPECTS(zc > 0);
+  return um / zc;
+}
+
+MicrobenchSuite::MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options)
+    : soc_(soc), executor_(soc, options) {}
+
+Mb1Result MicrobenchSuite::run_mb1() {
+  const auto workload = workload::mb1_workload(soc_.config());
+  Mb1Result result;
+  for (const auto model : kAllModels) {
+    const auto run = executor_.run(workload, model);
+    const auto i = model_index(model);
+    result.gpu_ll_throughput[i] = run.gpu_ll_throughput;
+    result.cpu_time[i] = run.cpu_time_per_iter();
+    result.gpu_time[i] = run.kernel_time_per_iter();
+    result.total_time[i] = run.total_per_iter();
+  }
+  return result;
+}
+
+Mb2Result MicrobenchSuite::run_mb2() {
+  Mb2Result result;
+
+  std::vector<SweepPoint> gpu_points;
+  for (const double fraction : workload::mb2_fractions()) {
+    const auto workload = workload::mb2_workload(soc_.config(), fraction);
+    const auto sc = executor_.run(workload, comm::CommModel::StandardCopy);
+    const auto zc = executor_.run(workload, comm::CommModel::ZeroCopy);
+    gpu_points.push_back(SweepPoint{.fraction = fraction,
+                                    .time_sc = sc.kernel_time_per_iter(),
+                                    .time_zc = zc.kernel_time_per_iter(),
+                                    .throughput_sc = sc.gpu_demand_throughput,
+                                    .throughput_zc =
+                                        zc.gpu_demand_throughput});
+  }
+
+  std::vector<SweepPoint> cpu_points;
+  for (const double fraction : workload::mb2_cpu_fractions()) {
+    const auto workload = workload::mb2_cpu_workload(soc_.config(), fraction);
+    const auto sc = executor_.run(workload, comm::CommModel::StandardCopy);
+    const auto zc = executor_.run(workload, comm::CommModel::ZeroCopy);
+    SweepPoint p{.fraction = fraction,
+                 .time_sc = sc.cpu_time_per_iter(),
+                 .time_zc = zc.cpu_time_per_iter(),
+                 .throughput_sc = sc.cpu_demand_throughput,
+                 .throughput_zc = zc.cpu_demand_throughput};
+    // The CPU threshold is expressed directly in eqn-1 cache usage.
+    p.usage_pct =
+        cpu_cache_usage(sc.cpu_l1_miss_rate, sc.cpu_llc_miss_rate) * 100.0;
+    cpu_points.push_back(p);
+  }
+  result.gpu = analyze_sweep(std::move(gpu_points));
+  // The CPU side has no launch-overhead floor, so "comparable" is judged
+  // more tightly than the GPU sweep.
+  result.cpu = analyze_sweep(std::move(cpu_points), /*tolerance=*/0.4);
+  return result;
+}
+
+Mb3Result MicrobenchSuite::run_mb3() {
+  const auto workload = workload::mb3_workload(soc_.config());
+  Mb3Result result;
+  for (const auto model : kAllModels) {
+    const auto run = executor_.run(workload, model);
+    const auto i = model_index(model);
+    result.total_time[i] = run.total_per_iter();
+    result.cpu_time[i] = run.cpu_time_per_iter();
+    result.gpu_time[i] = run.kernel_time_per_iter();
+    result.copy_time[i] = run.copy_time_per_iter() +
+                          run.migration_time / run.iterations;
+    if (model == comm::CommModel::ZeroCopy) {
+      result.overlap_fraction_zc = run.overlap_fraction;
+    }
+  }
+  return result;
+}
+
+DeviceCharacterization MicrobenchSuite::characterize() {
+  DeviceCharacterization device;
+  device.board = soc_.config().name;
+  device.capability = soc_.config().capability;
+  device.mb1 = run_mb1();
+  device.mb2 = run_mb2();
+  device.mb3 = run_mb3();
+  return device;
+}
+
+}  // namespace cig::core

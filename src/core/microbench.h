@@ -1,0 +1,93 @@
+// The micro-benchmark suite (Section III-B): three calibrated workloads run
+// against a simulated board to extract its communication characteristics:
+//
+//  MB1 -> GPU_Cache_LL_L1^max_throughput per model (Table I), CPU/GPU task
+//         times per model (Fig. 5), and ZC/SC_Max_speedup (the kernel-time
+//         ratio: 70x on TX2, 3.7x on Xavier).
+//  MB2 -> GPU_Cache_Threshold & zones (Figs 3/6) and CPU_Cache_Threshold.
+//  MB3 -> SC/ZC_Max_speedup from a balanced, cache-independent, fully
+//         overlapped workload on 2^27 floats (Fig. 7).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "comm/executor.h"
+#include "core/thresholds.h"
+#include "soc/soc.h"
+
+namespace cig::core {
+
+// Indexable per-model storage (order: SC, UM, ZC).
+template <typename T>
+using PerModel = std::array<T, 3>;
+
+inline std::size_t model_index(comm::CommModel model) {
+  return static_cast<std::size_t>(model);
+}
+
+constexpr std::array<comm::CommModel, 3> kAllModels = {
+    comm::CommModel::StandardCopy, comm::CommModel::UnifiedMemory,
+    comm::CommModel::ZeroCopy};
+
+struct Mb1Result {
+  PerModel<BytesPerSecond> gpu_ll_throughput{};  // Table I row
+  PerModel<Seconds> cpu_time{};                  // Fig. 5 bars
+  PerModel<Seconds> gpu_time{};
+  PerModel<Seconds> total_time{};
+
+  // ZC/SC_Max_speedup: how much faster the GPU kernel can get by leaving ZC.
+  double zc_sc_max_speedup() const;
+};
+
+struct Mb2Result {
+  ThresholdAnalysis gpu;  // GPU_Cache_Threshold & zones
+  ThresholdAnalysis cpu;  // CPU_Cache_Threshold
+};
+
+struct Mb3Result {
+  PerModel<Seconds> total_time{};
+  PerModel<Seconds> cpu_time{};
+  PerModel<Seconds> gpu_time{};
+  PerModel<Seconds> copy_time{};
+  double overlap_fraction_zc = 0;
+
+  double sc_zc_max_speedup() const;  // total SC / total ZC
+  double um_zc_max_speedup() const;
+};
+
+// Everything the decision framework needs to know about a device.
+struct DeviceCharacterization {
+  std::string board;
+  coherence::Capability capability = coherence::Capability::SwFlush;
+  Mb1Result mb1;
+  Mb2Result mb2;
+  Mb3Result mb3;
+
+  BytesPerSecond gpu_cache_max_throughput() const {
+    return mb1.gpu_ll_throughput[model_index(comm::CommModel::StandardCopy)];
+  }
+  double gpu_threshold_pct() const { return mb2.gpu.threshold_pct; }
+  double gpu_zone2_end_pct() const { return mb2.gpu.zone2_end_pct; }
+  double cpu_threshold_pct() const { return mb2.cpu.threshold_pct; }
+  double sc_zc_max_speedup() const { return mb3.sc_zc_max_speedup(); }
+  double zc_sc_max_speedup() const { return mb1.zc_sc_max_speedup(); }
+};
+
+class MicrobenchSuite {
+ public:
+  explicit MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options = {});
+
+  Mb1Result run_mb1();
+  Mb2Result run_mb2();
+  Mb3Result run_mb3();
+
+  // Runs all three and assembles the characterization.
+  DeviceCharacterization characterize();
+
+ private:
+  soc::SoC& soc_;
+  comm::Executor executor_;
+};
+
+}  // namespace cig::core

@@ -1,0 +1,159 @@
+#include "core/pattern_sim.h"
+
+#include <algorithm>
+
+#include "comm/model.h"
+#include "mem/bandwidth.h"
+#include "support/assert.h"
+
+namespace cig::core {
+
+namespace {
+
+struct SideCosts {
+  Seconds compute_per_tile = 0;
+  Seconds bw_per_tile = 0;       // bandwidth component
+  Seconds latency_per_tile = 0;  // serialized stall component
+  double dram_bytes_per_tile = 0;
+  BytesPerSecond path_bw = GBps(1);
+};
+
+// Costs of one tile on the CPU side under the zero-copy model.
+SideCosts cpu_costs(const soc::SoC& soc, const PatternSimConfig& config) {
+  const auto& board = soc.config();
+  const Bytes tile_bytes = config.tiling.tile_elements * sizeof(float);
+  const double elements = static_cast<double>(config.tiling.tile_elements);
+
+  SideCosts costs;
+  costs.compute_per_tile = elements * config.cpu_ops_per_element /
+                           (board.cpu_peak_ops_per_second() *
+                            config.cpu_ops_per_cycle);
+  const bool uncached =
+      board.capability == coherence::Capability::SwFlush;
+  if (uncached) {
+    // Pinned space is uncacheable: read + write at the uncached CPU rate,
+    // one read stall per line (write-combining posts the stores).
+    costs.path_bw = board.cpu.uncached_bandwidth;
+    costs.bw_per_tile = 2.0 * static_cast<double>(tile_bytes) / costs.path_bw;
+    const double lines =
+        std::max<double>(1.0, static_cast<double>(tile_bytes) /
+                                  board.cpu.l1.geometry.line);
+    costs.latency_per_tile = lines * board.dram.latency / 8.0;
+    costs.dram_bytes_per_tile = 2.0 * static_cast<double>(tile_bytes);
+  } else {
+    // I/O-coherent board: the CPU keeps its hierarchy; steady state the
+    // tile streams through the LLC.
+    costs.path_bw = board.cpu.llc.bandwidth;
+    costs.bw_per_tile = 2.0 * static_cast<double>(tile_bytes) / costs.path_bw;
+    // Hardware prefetch pipelines the tile stream; ~8 outstanding lines.
+    costs.latency_per_tile = board.cpu.llc.latency / 8.0;
+    costs.dram_bytes_per_tile = 0;  // LLC-resident
+  }
+  return costs;
+}
+
+// Costs of one tile on the GPU side under the zero-copy model.
+SideCosts gpu_costs(const soc::SoC& soc, const PatternSimConfig& config) {
+  const auto& board = soc.config();
+  const Bytes tile_bytes = config.tiling.tile_elements * sizeof(float);
+  const double elements = static_cast<double>(config.tiling.tile_elements);
+
+  SideCosts costs;
+  costs.compute_per_tile =
+      elements * config.gpu_ops_per_element /
+      (board.gpu_peak_ops_per_second() * config.gpu_utilization);
+  const bool io_coherent =
+      board.capability == coherence::Capability::HwIoCoherent;
+  costs.path_bw = io_coherent ? board.io_coherence.snoop_bandwidth
+                              : board.gpu.uncached_bandwidth;
+  costs.bw_per_tile = 2.0 * static_cast<double>(tile_bytes) / costs.path_bw;
+  const Seconds access_latency =
+      io_coherent ? board.io_coherence.snoop_latency : board.dram.latency;
+  // Warps hide most latency; one stall per tile burst at MLP ~ 64.
+  costs.latency_per_tile = access_latency / 64.0;
+  costs.dram_bytes_per_tile = 2.0 * static_cast<double>(tile_bytes);
+  return costs;
+}
+
+Seconds side_phase_time(const SideCosts& costs, double tiles,
+                        Seconds contended_bw_time) {
+  const Seconds compute = costs.compute_per_tile * tiles;
+  const Seconds latency = costs.latency_per_tile * tiles;
+  return std::max(compute, contended_bw_time) + latency;
+}
+
+}  // namespace
+
+PatternSimulator::PatternSimulator(soc::SoC& soc) : soc_(soc) {}
+
+Seconds PatternSimulator::cpu_tile_time(const PatternSimConfig& config) const {
+  const auto costs = cpu_costs(soc_, config);
+  return std::max(costs.compute_per_tile, costs.bw_per_tile) +
+         costs.latency_per_tile;
+}
+
+Seconds PatternSimulator::gpu_tile_time(const PatternSimConfig& config) const {
+  const auto costs = gpu_costs(soc_, config);
+  return std::max(costs.compute_per_tile, costs.bw_per_tile) +
+         costs.latency_per_tile;
+}
+
+PatternSimResult PatternSimulator::simulate(const PatternSimConfig& config) {
+  config.tiling.validate();
+  CIG_EXPECTS(config.barrier_cost >= 0);
+
+  const auto cpu = cpu_costs(soc_, config);
+  const auto gpu = gpu_costs(soc_, config);
+  const double tiles_per_side =
+      static_cast<double>(config.tiling.tile_count()) / 2.0;
+
+  PatternSimResult result;
+  sim::EventQueue queue;
+
+  // Per phase: both sides process their parity's tiles concurrently,
+  // sharing the DRAM interface; the phase ends when both finish, plus the
+  // barrier cost. The event queue advances phase by phase.
+  Seconds now = 0;
+  for (std::uint32_t phase = 0; phase < config.tiling.phases; ++phase) {
+    // DRAM contention between the two sides for this phase.
+    const std::vector<mem::BandwidthDemand> demands = {
+        {cpu.dram_bytes_per_tile * tiles_per_side, cpu.path_bw},
+        {gpu.dram_bytes_per_tile * tiles_per_side, gpu.path_bw},
+    };
+    const auto shares =
+        mem::contended_schedule(demands, soc_.config().dram.bandwidth);
+
+    const Seconds cpu_time =
+        side_phase_time(cpu, tiles_per_side, shares[0].finish_time);
+    const Seconds gpu_time =
+        side_phase_time(gpu, tiles_per_side, shares[1].finish_time);
+
+    Seconds cpu_end = 0, gpu_end = 0;
+    queue.schedule_at(now + cpu_time, [&] { cpu_end = queue.now(); });
+    queue.schedule_at(now + gpu_time, [&] { gpu_end = queue.now(); });
+    queue.run();
+
+    result.timeline.add(sim::Lane::Cpu, now, cpu_end,
+                        "phase" + std::to_string(phase));
+    result.timeline.add(sim::Lane::Gpu, now, gpu_end,
+                        "phase" + std::to_string(phase));
+    result.cpu_busy += cpu_time;
+    result.gpu_busy += gpu_time;
+
+    const Seconds phase_end = std::max(cpu_end, gpu_end);
+    result.skew_time += phase_end - std::min(cpu_end, gpu_end);
+    result.barrier_time += config.barrier_cost;
+    now = phase_end + config.barrier_cost;
+  }
+
+  result.total = now;
+  result.overlap_fraction =
+      result.total > 0
+          ? result.timeline.overlap(sim::Lane::Cpu, sim::Lane::Gpu) /
+                result.total
+          : 0;
+  CIG_ENSURES(result.timeline.lanes_consistent());
+  return result;
+}
+
+}  // namespace cig::core

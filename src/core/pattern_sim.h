@@ -1,0 +1,57 @@
+// Discrete-event simulation of the zero-copy tiled communication pattern
+// (Section III-C) on a simulated board.
+//
+// While the execution engine models ZC overlap at task granularity (one
+// bandwidth-arbitrated block per iteration), this simulator models the
+// pattern itself: per-phase tile batches on the CPU and GPU lanes, a phase
+// barrier between them, and per-side tile service times derived from the
+// board's hierarchies. It answers pattern-level design questions — tile
+// size, phase count, barrier cost, side imbalance — and produces a real
+// Timeline (used by the ablation bench and the pattern demo).
+#pragma once
+
+#include "core/zc_pattern.h"
+#include "sim/event_queue.h"
+#include "sim/timeline.h"
+#include "soc/soc.h"
+
+namespace cig::core {
+
+struct PatternSimConfig {
+  TilingConfig tiling;
+  // Cost of one phase barrier (two-sided synchronisation + fence).
+  Seconds barrier_cost = microsec(2);
+  // Arithmetic per element on each side (ops).
+  double cpu_ops_per_element = 2.0;
+  double gpu_ops_per_element = 2.0;
+  double cpu_ops_per_cycle = 2.0;  // independent per-element work pipelines
+  double gpu_utilization = 0.5;
+};
+
+struct PatternSimResult {
+  Seconds total = 0;
+  Seconds cpu_busy = 0;
+  Seconds gpu_busy = 0;
+  Seconds barrier_time = 0;  // total spent in phase barriers
+  Seconds skew_time = 0;     // faster side idle, waiting at barriers
+  double overlap_fraction = 0;
+  sim::Timeline timeline;    // one segment per side per phase
+};
+
+class PatternSimulator {
+ public:
+  explicit PatternSimulator(soc::SoC& soc);
+
+  // Simulates the full pipelined schedule under the zero-copy model
+  // (pinned space: cache enables per the board's coherence capability).
+  PatternSimResult simulate(const PatternSimConfig& config);
+
+  // Per-tile service time on each side (exposed for tests/ablation).
+  Seconds cpu_tile_time(const PatternSimConfig& config) const;
+  Seconds gpu_tile_time(const PatternSimConfig& config) const;
+
+ private:
+  soc::SoC& soc_;
+};
+
+}  // namespace cig::core

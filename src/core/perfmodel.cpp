@@ -1,0 +1,67 @@
+#include "core/perfmodel.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace cig::core {
+
+double cpu_cache_usage(double cpu_l1_miss_rate, double cpu_llc_miss_rate) {
+  CIG_EXPECTS(cpu_l1_miss_rate >= 0 && cpu_l1_miss_rate <= 1);
+  CIG_EXPECTS(cpu_llc_miss_rate >= 0 && cpu_llc_miss_rate <= 1);
+  return cpu_l1_miss_rate * (1.0 - cpu_llc_miss_rate);
+}
+
+double gpu_cache_usage(double transactions, double transaction_size_bytes,
+                       double gpu_l1_hit_rate, Seconds kernel_runtime,
+                       BytesPerSecond max_ll_throughput) {
+  CIG_EXPECTS(transactions >= 0);
+  CIG_EXPECTS(transaction_size_bytes > 0);
+  CIG_EXPECTS(gpu_l1_hit_rate >= 0 && gpu_l1_hit_rate <= 1);
+  CIG_EXPECTS(kernel_runtime > 0);
+  CIG_EXPECTS(max_ll_throughput > 0);
+  const double ll_demand_bw =
+      transactions * transaction_size_bytes * (1.0 - gpu_l1_hit_rate) /
+      kernel_runtime;
+  return ll_demand_bw / max_ll_throughput;
+}
+
+CacheUsage cache_usage(const profile::ProfileReport& report,
+                       BytesPerSecond max_ll_throughput) {
+  CacheUsage usage;
+  usage.cpu = cpu_cache_usage(report.cpu_l1_miss_rate,
+                              report.cpu_llc_miss_rate);
+  if (report.kernel_time > 0 && report.gpu_transactions > 0) {
+    usage.gpu = gpu_cache_usage(report.gpu_transactions,
+                                report.gpu_transaction_size,
+                                report.gpu_l1_hit_rate, report.kernel_time,
+                                max_ll_throughput);
+  }
+  return usage;
+}
+
+double sc_to_zc_speedup(const SpeedupInputs& in, double max_speedup) {
+  CIG_EXPECTS(in.runtime > 0);
+  CIG_EXPECTS(in.gpu_time > 0);
+  CIG_EXPECTS(in.copy_time >= 0 && in.copy_time < in.runtime);
+  CIG_EXPECTS(max_speedup > 0);
+  // Eqn 3: ZC removes the copies and overlaps the CPU and GPU tasks.
+  const double overlap_factor = 1.0 + in.cpu_time / in.gpu_time;
+  const double zc_estimate = (in.runtime - in.copy_time) / overlap_factor;
+  return std::min(in.runtime / zc_estimate, max_speedup);
+}
+
+double zc_to_sc_speedup(const SpeedupInputs& in, double max_speedup) {
+  CIG_EXPECTS(in.runtime > 0);
+  CIG_EXPECTS(in.gpu_time > 0);
+  CIG_EXPECTS(max_speedup > 0);
+  // Eqn 4: SC re-introduces the copies and serializes CPU and GPU. The
+  // formula accounts only for those structural costs; the cache benefit of
+  // SC is bounded separately by ZC/SC_Max_speedup — the decision engine
+  // reports [eqn 4, max] as the expected range.
+  const double serial_factor = 1.0 / (1.0 + in.cpu_time / in.gpu_time);
+  const double sc_estimate = in.runtime / serial_factor + in.copy_time;
+  return std::min(in.runtime / sc_estimate, max_speedup);
+}
+
+}  // namespace cig::core

@@ -1,0 +1,58 @@
+// The paper's performance model (Section III-A, equations 1-4).
+//
+// Cache-usage metrics quantify how much of a task's data demand is served
+// by the last-level caches; the speedup estimators predict what switching
+// communication model would buy, bounded by the device-specific maxima the
+// micro-benchmarks extract.
+#pragma once
+
+#include "profile/report.h"
+#include "support/units.h"
+
+namespace cig::core {
+
+// Eqn 1: CPU_Cache_usage_LL_L1 = miss_rate_L1_CPU * (1 - miss_rate_LL_CPU).
+// The fraction of CPU demand that misses L1 but is served by the LLC.
+// Returned as a fraction in [0, 1].
+double cpu_cache_usage(double cpu_l1_miss_rate, double cpu_llc_miss_rate);
+
+// Eqn 2: GPU_Cache_usage_LL_L1 =
+//   [ t_n * t_size * (1 - hit_rate_L1_GPU) / kernel_runtime ]
+//     / GPU_Cache_LL_L1^max_throughput.
+// The LL-delivered bandwidth the kernel consumes, normalised by the
+// device's peak LL-L1 throughput (from micro-benchmark 1). In [0, 1+].
+double gpu_cache_usage(double transactions, double transaction_size_bytes,
+                       double gpu_l1_hit_rate, Seconds kernel_runtime,
+                       BytesPerSecond max_ll_throughput);
+
+struct CacheUsage {
+  double cpu = 0;  // fraction
+  double gpu = 0;  // fraction
+
+  double cpu_pct() const { return cpu * 100.0; }
+  double gpu_pct() const { return gpu * 100.0; }
+};
+
+// Convenience: evaluate both metrics from a profile report.
+CacheUsage cache_usage(const profile::ProfileReport& report,
+                       BytesPerSecond max_ll_throughput);
+
+// Inputs to eqns 3-4: the application as currently implemented.
+struct SpeedupInputs {
+  Seconds runtime = 0;    // whole-application time under the current model
+  Seconds copy_time = 0;  // CPU-iGPU transfer time within `runtime`
+  Seconds cpu_time = 0;   // CPU-task-only portion
+  Seconds gpu_time = 0;   // GPU-kernel-only portion
+};
+
+// Eqn 3: potential speedup of replacing SC with ZC (not-cache-dependent
+// apps): copies are eliminated and CPU/GPU computation may overlap.
+// Bounded above by `max_speedup` (SC/ZC_Max_speedup from MB3).
+double sc_to_zc_speedup(const SpeedupInputs& in, double max_speedup);
+
+// Eqn 4: potential speedup of replacing ZC with SC (cache-dependent apps):
+// copies come back and CPU/GPU serialize. Bounded by ZC/SC_Max_speedup
+// (from MB1's kernel-time ratio).
+double zc_to_sc_speedup(const SpeedupInputs& in, double max_speedup);
+
+}  // namespace cig::core

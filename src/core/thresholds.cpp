@@ -1,0 +1,95 @@
+#include "core/thresholds.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::core {
+
+const char* zone_name(Zone zone) {
+  switch (zone) {
+    case Zone::Comparable: return "zone-1 (ZC comparable)";
+    case Zone::Grey: return "zone-2 (ZC possible with overlap)";
+    case Zone::CacheBound: return "zone-3 (cache-bound, avoid ZC)";
+  }
+  return "?";
+}
+
+Zone ThresholdAnalysis::classify(double usage_pct) const {
+  if (usage_pct <= threshold_pct) return Zone::Comparable;
+  if (usage_pct <= zone2_end_pct) return Zone::Grey;
+  return Zone::CacheBound;
+}
+
+std::string ThresholdAnalysis::to_string() const {
+  std::ostringstream out;
+  out << "threshold " << threshold_pct << " %, zone-2 end " << zone2_end_pct
+      << " %, peak " << format_bandwidth(peak_throughput);
+  return out.str();
+}
+
+ThresholdAnalysis analyze_sweep(std::vector<SweepPoint> points,
+                                double comparable_tolerance,
+                                double zone3_slowdown) {
+  CIG_EXPECTS(!points.empty());
+  CIG_EXPECTS(comparable_tolerance > 0);
+  CIG_EXPECTS(zone3_slowdown > comparable_tolerance);
+  CIG_EXPECTS(std::is_sorted(points.begin(), points.end(),
+                             [](const SweepPoint& a, const SweepPoint& b) {
+                               return a.fraction < b.fraction;
+                             }));
+
+  ThresholdAnalysis analysis;
+  analysis.comparable_tolerance = comparable_tolerance;
+  for (const auto& p : points) {
+    analysis.peak_throughput =
+        std::max(analysis.peak_throughput, p.throughput_sc);
+  }
+  CIG_EXPECTS(analysis.peak_throughput > 0);
+
+  // Last point of the initial comparable run.
+  const SweepPoint* last_comparable = nullptr;
+  for (const auto& p : points) {
+    CIG_EXPECTS(p.time_sc > 0);
+    const double slowdown = (p.time_zc - p.time_sc) / p.time_sc;
+    if (slowdown <= comparable_tolerance) {
+      last_comparable = &p;
+    } else {
+      break;
+    }
+  }
+  const auto point_usage = [&](const SweepPoint& p) {
+    return p.usage_pct >= 0
+               ? p.usage_pct
+               : p.throughput_sc / analysis.peak_throughput * 100.0;
+  };
+
+  if (last_comparable == &points.back()) {
+    // ZC tracked SC across the whole sweep: the cache never bottlenecks the
+    // bypassed path (e.g. the CPU side of an I/O-coherent board) — the
+    // threshold is unreachable (paper reports it as 100%).
+    analysis.threshold_pct = 100.0;
+  } else if (last_comparable != nullptr) {
+    analysis.threshold_pct = point_usage(*last_comparable);
+  } else {
+    analysis.threshold_pct = 0.0;  // ZC never comparable on this device
+  }
+
+  // First point whose ZC slowdown exceeds the zone-3 boundary.
+  analysis.zone2_end_pct = 100.0;
+  for (const auto& p : points) {
+    const double slowdown = (p.time_zc - p.time_sc) / p.time_sc;
+    if (slowdown > zone3_slowdown) {
+      analysis.zone2_end_pct = point_usage(p);
+      break;
+    }
+  }
+  analysis.zone2_end_pct =
+      std::max(analysis.zone2_end_pct, analysis.threshold_pct);
+
+  analysis.points = std::move(points);
+  return analysis;
+}
+
+}  // namespace cig::core

@@ -1,0 +1,64 @@
+// Threshold and zone extraction from the micro-benchmark-2 sweep
+// (Section III-B and Figs 3/6 of the paper).
+//
+// Sweeping the fraction of a fixed array a kernel touches produces, for
+// each fraction, a (runtime, demand-throughput) pair under ZC and under SC.
+// While the kernel is overhead/compute-bound the two models are
+// *comparable*; once the cache-bypassed ZC path saturates they diverge.
+// The cache threshold is the SC throughput at the last comparable point
+// normalised by the SC peak throughput; on I/O-coherent devices a second
+// boundary (slowdown > 200%) splits a "grey" zone 2 from the ZC-hostile
+// zone 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.h"
+
+namespace cig::core {
+
+struct SweepPoint {
+  double fraction = 0;             // of the fixed array accessed
+  Seconds time_sc = 0;             // kernel/task time under SC
+  Seconds time_zc = 0;             // under ZC
+  BytesPerSecond throughput_sc = 0;  // demand throughput under SC
+  BytesPerSecond throughput_zc = 0;
+  // Directly measured cache usage (eqn 1/2) at this point, in percent.
+  // Negative = not available; the analysis then falls back to
+  // throughput_sc / peak (the paper's Fig. 3 construction).
+  double usage_pct = -1.0;
+};
+
+enum class Zone {
+  Comparable,   // zone 1: ZC == SC; prefer ZC (energy)
+  Grey,         // zone 2: ZC may still win with overlap (I/O-coherent only)
+  CacheBound,   // zone 3: ZC severely bottlenecked; use SC/UM
+};
+
+const char* zone_name(Zone zone);
+
+struct ThresholdAnalysis {
+  double threshold_pct = 0;    // cache-usage % at the last comparable point
+  double zone2_end_pct = 100;  // cache-usage % where slowdown exceeds 200%
+  BytesPerSecond peak_throughput = 0;  // SC peak over the sweep
+  double comparable_tolerance = 0;     // relative runtime tolerance used
+  std::vector<SweepPoint> points;
+
+  // Classifies an application's measured cache usage (in %).
+  Zone classify(double usage_pct) const;
+
+  std::string to_string() const;
+};
+
+// Analyses a sweep (points must be in increasing fraction order).
+// `comparable_tolerance`: max (t_zc - t_sc) / t_sc counting as comparable
+// (the paper reads this off the plots; 0.8 reproduces its thresholds).
+// `zone3_slowdown`: (t_zc - t_sc) / t_sc boundary of zone 3. The paper
+// quotes "200%" on its measured curves; on the simulated curves 170%
+// reproduces the same 57.1%-style zone-2 end (calibrated, see DESIGN.md).
+ThresholdAnalysis analyze_sweep(std::vector<SweepPoint> points,
+                                double comparable_tolerance = 0.8,
+                                double zone3_slowdown = 1.7);
+
+}  // namespace cig::core

@@ -1,0 +1,110 @@
+#include "core/zc_pattern.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "support/assert.h"
+
+namespace cig::core {
+
+void TilingConfig::validate() const {
+  CIG_EXPECTS(total_elements > 0);
+  CIG_EXPECTS(tile_elements > 0);
+  CIG_EXPECTS(phases >= 1);
+  CIG_EXPECTS(tile_count() >= 2);  // need both parities
+}
+
+TilingConfig make_tiling(const soc::BoardConfig& board, std::uint32_t phases) {
+  TilingConfig config;
+  // Structure sized to the GPU LL cache so the GPU-side tiles stay resident.
+  config.total_elements = board.gpu.llc.geometry.capacity / sizeof(float);
+  const std::uint32_t block = std::min(board.cpu.llc.geometry.line,
+                                       board.gpu.llc.geometry.line);
+  config.tile_elements = std::max<std::size_t>(1, block / sizeof(float));
+  config.phases = phases;
+  config.validate();
+  return config;
+}
+
+TiledBuffer::TiledBuffer(TilingConfig config) : config_(config) {
+  config_.validate();
+  data_.assign(config_.total_elements, 0.0f);
+}
+
+std::span<float> TiledBuffer::tile(std::size_t index) {
+  CIG_EXPECTS(index < tile_count());
+  const std::size_t begin = index * config_.tile_elements;
+  const std::size_t end =
+      std::min(begin + config_.tile_elements, data_.size());
+  return std::span<float>(data_.data() + begin, end - begin);
+}
+
+std::span<const float> TiledBuffer::tile(std::size_t index) const {
+  CIG_EXPECTS(index < tile_count());
+  const std::size_t begin = index * config_.tile_elements;
+  const std::size_t end =
+      std::min(begin + config_.tile_elements, data_.size());
+  return std::span<const float>(data_.data() + begin, end - begin);
+}
+
+namespace {
+
+// Processes every tile of `buffer` whose parity matches `parity` in `phase`.
+void process_parity(TiledBuffer& buffer, const TileFn& fn, std::uint32_t phase,
+                    std::size_t parity, std::uint64_t& processed) {
+  const std::size_t tiles = buffer.tile_count();
+  for (std::size_t t = parity; t < tiles; t += 2) {
+    fn(buffer.tile(t), phase, t);
+    ++processed;
+  }
+}
+
+}  // namespace
+
+PipelineStats run_zero_copy_pipeline(TiledBuffer& buffer, const TileFn& cpu_fn,
+                                     const TileFn& gpu_fn,
+                                     std::uint32_t phases, bool concurrent) {
+  CIG_EXPECTS(phases >= 1);
+  CIG_EXPECTS(cpu_fn != nullptr && gpu_fn != nullptr);
+
+  PipelineStats stats;
+  stats.phases = phases;
+
+  if (!concurrent) {
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+      // CPU on even tiles at even phases, odd tiles at odd phases; the GPU
+      // takes the complement. Sequential reference: CPU first, then GPU —
+      // order is irrelevant because the tile sets are disjoint.
+      const std::size_t cpu_parity = phase % 2;
+      process_parity(buffer, cpu_fn, phase, cpu_parity, stats.cpu_tiles);
+      process_parity(buffer, gpu_fn, phase, 1 - cpu_parity, stats.gpu_tiles);
+    }
+    return stats;
+  }
+
+  std::barrier sync(2);
+  auto worker = [&](bool is_cpu) {
+    std::uint64_t processed = 0;
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+      const std::size_t cpu_parity = phase % 2;
+      const std::size_t parity = is_cpu ? cpu_parity : 1 - cpu_parity;
+      process_parity(buffer, is_cpu ? cpu_fn : gpu_fn, phase, parity,
+                     processed);
+      // Phase barrier: both sides must finish before parities swap,
+      // guaranteeing exclusive tile ownership within each phase.
+      sync.arrive_and_wait();
+    }
+    return processed;
+  };
+
+  std::uint64_t gpu_processed = 0;
+  std::thread gpu_thread(
+      [&] { gpu_processed = worker(/*is_cpu=*/false); });
+  stats.cpu_tiles = worker(/*is_cpu=*/true);
+  gpu_thread.join();
+  stats.gpu_tiles = gpu_processed;
+  return stats;
+}
+
+}  // namespace cig::core

@@ -1,0 +1,39 @@
+// Elementary memory-access types shared by the cache simulator, the access
+// stream generators and the execution engine.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace cig::mem {
+
+enum class AccessKind : std::uint8_t { Read, Write };
+
+// Logical address space of a buffer. On a physically-unified SoC all of
+// these live in the same DRAM; the distinction drives the communication
+// model semantics (copies, coherence, cacheability).
+enum class Space : std::uint8_t {
+  HostPartition,    // CPU-owned logical partition (standard copy)
+  DevicePartition,  // GPU-owned logical partition (standard copy)
+  Pinned,           // page-locked, shared, uncacheable in the GPU LLC (ZC)
+  Managed,          // unified-memory managed allocation (UM)
+};
+
+inline const char* space_name(Space space) {
+  switch (space) {
+    case Space::HostPartition: return "host";
+    case Space::DevicePartition: return "device";
+    case Space::Pinned: return "pinned";
+    case Space::Managed: return "managed";
+  }
+  return "?";
+}
+
+struct MemoryAccess {
+  std::uint64_t address = 0;  // byte address
+  std::uint32_t size = 4;     // bytes touched by this access
+  AccessKind kind = AccessKind::Read;
+};
+
+}  // namespace cig::mem

@@ -1,0 +1,55 @@
+// Analytical cache model: closed-form steady-state estimates for the
+// stream generators, without walking the simulator.
+//
+// The full set-associative simulation is exact but costs one probe per
+// line access; for large sweeps (or interactive what-if queries from the
+// CLI) a closed-form estimate is enough. The model treats each cache as
+// fully associative with LRU (a good approximation at 8-16 ways) and the
+// patterns as stationary:
+//
+//   Linear/Tiled2D sweep over E bytes, capacity C:
+//     steady hit rate = 1 if E <= C (after the cold pass), else 0
+//     (cyclic LRU thrash: every line is evicted before reuse).
+//   Random over E bytes:  hit rate = min(1, C / E).
+//   SingleLocation:       hit rate = 1 (after one cold miss).
+//
+// Tests cross-validate these against the exact simulator
+// (tests/test_analytic.cpp).
+#pragma once
+
+#include "mem/geometry.h"
+#include "mem/stream.h"
+
+namespace cig::mem {
+
+struct AnalyticEstimate {
+  double hit_rate = 0;            // steady-state, per line-granular access
+  double cold_misses = 0;         // one-time compulsory misses
+  double steady_misses_per_pass = 0;  // recurring misses per full sweep
+};
+
+// Steady-state behaviour of `pattern` against one cache of `geometry`
+// that it has exclusive use of.
+AnalyticEstimate estimate_cache_behaviour(const PatternSpec& pattern,
+                                          const CacheGeometry& geometry);
+
+// Composes two levels (L1 then LLC): the fraction of accesses served at
+// L1, at the LLC, and falling through to DRAM.
+struct AnalyticServiceSplit {
+  double l1 = 0;
+  double llc = 0;
+  double dram = 0;  // l1 + llc + dram == 1
+};
+
+AnalyticServiceSplit estimate_service_split(const PatternSpec& pattern,
+                                            const CacheGeometry& l1,
+                                            const CacheGeometry& llc);
+
+// Estimated memory service time for the whole pattern given per-level
+// bandwidths (roofline-style bandwidth components only; latency excluded).
+Seconds estimate_memory_time(const PatternSpec& pattern,
+                             const CacheGeometry& l1, BytesPerSecond l1_bw,
+                             const CacheGeometry& llc, BytesPerSecond llc_bw,
+                             BytesPerSecond dram_bw);
+
+}  // namespace cig::mem

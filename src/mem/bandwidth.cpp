@@ -1,0 +1,90 @@
+#include "mem/bandwidth.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace cig::mem {
+
+std::vector<BandwidthShare> contended_schedule(
+    const std::vector<BandwidthDemand>& demands, BytesPerSecond shared_bw) {
+  CIG_EXPECTS(shared_bw > 0);
+  const std::size_t n = demands.size();
+  std::vector<BandwidthShare> result(n);
+  std::vector<double> remaining(n);
+  std::vector<bool> active(n, false);
+  std::size_t active_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CIG_EXPECTS(demands[i].bytes >= 0);
+    CIG_EXPECTS(demands[i].cap > 0);
+    remaining[i] = demands[i].bytes;
+    if (remaining[i] > 0) {
+      active[i] = true;
+      ++active_count;
+    }
+  }
+
+  Seconds now = 0.0;
+  while (active_count > 0) {
+    // Compute each active agent's current rate: water-fill the shared
+    // bandwidth among agents, honouring per-agent caps.
+    std::vector<double> rate(n, 0.0);
+    double pool = shared_bw;
+    std::size_t unsated = active_count;
+    // Iteratively hand out fair shares; capped agents release their excess.
+    std::vector<bool> sated(n, false);
+    while (unsated > 0) {
+      const double fair = pool / static_cast<double>(unsated);
+      bool anyone_capped = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!active[i] || sated[i]) continue;
+        if (demands[i].cap <= fair) {
+          rate[i] = demands[i].cap;
+          pool -= demands[i].cap;
+          sated[i] = true;
+          --unsated;
+          anyone_capped = true;
+        }
+      }
+      if (!anyone_capped) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (active[i] && !sated[i]) rate[i] = fair;
+        }
+        break;
+      }
+    }
+
+    // Advance to the earliest completion at these rates.
+    Seconds dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] && rate[i] > 0) {
+        dt = std::min(dt, remaining[i] / rate[i]);
+      }
+    }
+    CIG_ASSERT(dt < std::numeric_limits<double>::infinity());
+    now += dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      remaining[i] -= rate[i] * dt;
+      if (remaining[i] <= 1e-9) {
+        remaining[i] = 0;
+        active[i] = false;
+        --active_count;
+        result[i].finish_time = now;
+      }
+    }
+  }
+  return result;
+}
+
+Seconds contended_makespan(const std::vector<BandwidthDemand>& demands,
+                           BytesPerSecond shared_bw) {
+  Seconds makespan = 0.0;
+  for (const auto& share : contended_schedule(demands, shared_bw)) {
+    makespan = std::max(makespan, share.finish_time);
+  }
+  return makespan;
+}
+
+}  // namespace cig::mem

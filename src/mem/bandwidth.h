@@ -1,0 +1,33 @@
+// Shared-DRAM bandwidth arbitration.
+//
+// When CPU and iGPU run concurrently (the zero-copy overlapped pattern) they
+// contend for the single LPDDR interface. `contended_schedule` computes each
+// agent's finish time under fair progressive sharing (water-filling): while
+// k agents are active each receives min(cap_i, fair share of the remaining
+// shared bandwidth); when one finishes, its share is redistributed.
+#pragma once
+
+#include <vector>
+
+#include "support/units.h"
+
+namespace cig::mem {
+
+struct BandwidthDemand {
+  double bytes = 0;                   // total bytes the agent must move
+  BytesPerSecond cap = GBps(1e9);     // agent's private link limit
+};
+
+struct BandwidthShare {
+  Seconds finish_time = 0;            // when this agent completes
+};
+
+// Returns per-agent finish times. Agents with zero bytes finish at t=0.
+std::vector<BandwidthShare> contended_schedule(
+    const std::vector<BandwidthDemand>& demands, BytesPerSecond shared_bw);
+
+// Convenience: makespan of the contended schedule.
+Seconds contended_makespan(const std::vector<BandwidthDemand>& demands,
+                           BytesPerSecond shared_bw);
+
+}  // namespace cig::mem

@@ -1,0 +1,261 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace cig::mem {
+
+const char* replacement_name(Replacement policy) {
+  switch (policy) {
+    case Replacement::Lru: return "LRU";
+    case Replacement::Fifo: return "FIFO";
+    case Replacement::TreePlru: return "tree-PLRU";
+    case Replacement::Random: return "random";
+  }
+  return "?";
+}
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry, Replacement policy,
+                             std::uint64_t seed)
+    : geometry_(geometry), policy_(policy), rng_(seed) {
+  CIG_EXPECTS(geometry_.valid());
+  const std::uint64_t entries = geometry_.lines();
+  tags_.assign(entries, 0);
+  valid_.assign(entries, 0);
+  dirty_.assign(entries, 0);
+  meta_.assign(entries, 0);
+  plru_bits_.assign(geometry_.sets(), 0);
+}
+
+AccessOutcome SetAssocCache::access(std::uint64_t address, AccessKind kind) {
+  const std::uint64_t set = geometry_.set_of(address);
+  const std::uint64_t tag = geometry_.tag_of(address);
+  const std::uint64_t base = set * geometry_.ways;
+  ++tick_;
+
+  for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+    const std::uint64_t idx = base + way;
+    if (valid_[idx] && tags_[idx] == tag) {
+      touch(set, way);
+      if (kind == AccessKind::Write) {
+        dirty_[idx] = 1;
+        ++stats_.write_hits;
+      } else {
+        ++stats_.read_hits;
+      }
+      return AccessOutcome{.hit = true, .victim_dirty = false};
+    }
+  }
+
+  // Miss: allocate (write-allocate for both reads and writes).
+  if (kind == AccessKind::Write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+
+  std::uint32_t way = geometry_.ways;  // first invalid way if any
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (!valid_[base + w]) {
+      way = w;
+      break;
+    }
+  }
+  bool victim_dirty = false;
+  if (way == geometry_.ways) {
+    way = pick_victim(set);
+    const std::uint64_t idx = base + way;
+    ++stats_.evictions;
+    if (dirty_[idx]) {
+      victim_dirty = true;
+      ++stats_.writebacks;
+    }
+  }
+
+  const std::uint64_t idx = base + way;
+  tags_[idx] = tag;
+  valid_[idx] = 1;
+  dirty_[idx] = kind == AccessKind::Write ? 1 : 0;
+  meta_[idx] = tick_;  // both LRU stamp and FIFO insertion stamp
+  touch(set, way);
+  return AccessOutcome{.hit = false, .victim_dirty = victim_dirty};
+}
+
+bool SetAssocCache::probe(std::uint64_t address) const {
+  const std::uint64_t set = geometry_.set_of(address);
+  const std::uint64_t tag = geometry_.tag_of(address);
+  const std::uint64_t base = set * geometry_.ways;
+  for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+    const std::uint64_t idx = base + way;
+    if (valid_[idx] && tags_[idx] == tag) return true;
+  }
+  return false;
+}
+
+std::uint64_t SetAssocCache::flush_dirty() {
+  std::uint64_t flushed = 0;
+  for (std::uint64_t idx = 0; idx < dirty_.size(); ++idx) {
+    if (valid_[idx] && dirty_[idx]) {
+      dirty_[idx] = 0;
+      ++flushed;
+      ++stats_.writebacks;
+    }
+  }
+  return flushed;
+}
+
+std::uint64_t SetAssocCache::invalidate_all() {
+  std::uint64_t flushed = 0;
+  for (std::uint64_t idx = 0; idx < valid_.size(); ++idx) {
+    if (valid_[idx] && dirty_[idx]) {
+      ++flushed;
+      ++stats_.writebacks;
+    }
+    valid_[idx] = 0;
+    dirty_[idx] = 0;
+  }
+  return flushed;
+}
+
+std::uint64_t SetAssocCache::invalidate_range(std::uint64_t base, Bytes bytes) {
+  if (bytes == 0) return 0;
+  std::uint64_t flushed = 0;
+  const std::uint64_t first_line = geometry_.line_of(base);
+  const std::uint64_t last_line = geometry_.line_of(base + bytes - 1);
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    const std::uint64_t address = line * geometry_.line;
+    const std::uint64_t set = geometry_.set_of(address);
+    const std::uint64_t tag = geometry_.tag_of(address);
+    const std::uint64_t set_base = set * geometry_.ways;
+    for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+      const std::uint64_t idx = set_base + way;
+      if (valid_[idx] && tags_[idx] == tag) {
+        if (dirty_[idx]) {
+          ++flushed;
+          ++stats_.writebacks;
+        }
+        valid_[idx] = 0;
+        dirty_[idx] = 0;
+      }
+    }
+  }
+  return flushed;
+}
+
+std::uint64_t SetAssocCache::clean_range(std::uint64_t base, Bytes bytes) {
+  if (bytes == 0) return 0;
+  std::uint64_t flushed = 0;
+  const std::uint64_t first_line = geometry_.line_of(base);
+  const std::uint64_t last_line = geometry_.line_of(base + bytes - 1);
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    const std::uint64_t address = line * geometry_.line;
+    const std::uint64_t set = geometry_.set_of(address);
+    const std::uint64_t tag = geometry_.tag_of(address);
+    const std::uint64_t set_base = set * geometry_.ways;
+    for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+      const std::uint64_t idx = set_base + way;
+      if (valid_[idx] && tags_[idx] == tag && dirty_[idx]) {
+        dirty_[idx] = 0;
+        ++flushed;
+        ++stats_.writebacks;
+      }
+    }
+  }
+  return flushed;
+}
+
+std::uint64_t SetAssocCache::valid_lines() const {
+  return static_cast<std::uint64_t>(
+      std::count(valid_.begin(), valid_.end(), std::uint8_t{1}));
+}
+
+std::uint64_t SetAssocCache::dirty_lines() const {
+  std::uint64_t count = 0;
+  for (std::uint64_t idx = 0; idx < dirty_.size(); ++idx) {
+    if (valid_[idx] && dirty_[idx]) ++count;
+  }
+  return count;
+}
+
+void SetAssocCache::reset() {
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  std::fill(meta_.begin(), meta_.end(), std::uint64_t{0});
+  std::fill(plru_bits_.begin(), plru_bits_.end(), std::uint32_t{0});
+  tick_ = 0;
+  stats_.reset();
+}
+
+std::uint32_t SetAssocCache::pick_victim(std::uint64_t set) {
+  const std::uint64_t base = set * geometry_.ways;
+  switch (policy_) {
+    case Replacement::Lru:
+    case Replacement::Fifo: {
+      // LRU: meta_ refreshed on touch. FIFO: meta_ set only on fill.
+      std::uint32_t victim = 0;
+      std::uint64_t oldest = meta_[base];
+      for (std::uint32_t way = 1; way < geometry_.ways; ++way) {
+        if (meta_[base + way] < oldest) {
+          oldest = meta_[base + way];
+          victim = way;
+        }
+      }
+      return victim;
+    }
+    case Replacement::TreePlru: {
+      // Walk the PLRU bit tree towards the pseudo-least-recently-used leaf.
+      std::uint32_t bits = plru_bits_[set];
+      std::uint32_t node = 0;
+      std::uint32_t way = 0;
+      for (std::uint32_t depth = geometry_.ways; depth > 1; depth /= 2) {
+        const std::uint32_t bit = (bits >> node) & 1u;
+        way = way * 2 + bit;
+        node = node * 2 + 1 + bit;
+      }
+      return way;
+    }
+    case Replacement::Random:
+      return static_cast<std::uint32_t>(rng_.below(geometry_.ways));
+  }
+  return 0;
+}
+
+void SetAssocCache::touch(std::uint64_t set, std::uint32_t way) {
+  const std::uint64_t base = set * geometry_.ways;
+  switch (policy_) {
+    case Replacement::Lru:
+      meta_[base + way] = tick_;
+      break;
+    case Replacement::Fifo:
+    case Replacement::Random:
+      break;  // no recency update
+    case Replacement::TreePlru: {
+      // Flip bits along the path so they point away from `way`.
+      std::uint32_t bits = plru_bits_[set];
+      std::uint32_t node = 0;
+      std::uint32_t lo = 0;
+      std::uint32_t hi = geometry_.ways;
+      while (hi - lo > 1) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const std::uint32_t going_right = way >= mid ? 1u : 0u;
+        // Point the bit at the *other* half.
+        if (going_right) {
+          bits &= ~(1u << node);
+        } else {
+          bits |= (1u << node);
+        }
+        node = node * 2 + 1 + going_right;
+        if (going_right) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      plru_bits_[set] = bits;
+      break;
+    }
+  }
+}
+
+}  // namespace cig::mem

@@ -1,0 +1,105 @@
+// Set-associative, write-back, write-allocate cache simulator.
+//
+// The simulator is functional at line granularity: it tracks tag, valid and
+// dirty state per way and reports hits/misses/evictions. Replacement policy
+// is selected at construction (LRU, FIFO, tree-PLRU, random) — no virtual
+// dispatch on the access path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/access.h"
+#include "mem/geometry.h"
+#include "support/rng.h"
+
+namespace cig::mem {
+
+enum class Replacement : std::uint8_t { Lru, Fifo, TreePlru, Random };
+
+const char* replacement_name(Replacement policy);
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  // dirty evictions + explicit flushes
+
+  std::uint64_t hits() const { return read_hits + write_hits; }
+  std::uint64_t misses() const { return read_misses + write_misses; }
+  std::uint64_t accesses() const { return hits() + misses(); }
+  double miss_rate() const {
+    const std::uint64_t total = accesses();
+    return total == 0 ? 0.0 : static_cast<double>(misses()) /
+                                  static_cast<double>(total);
+  }
+  double hit_rate() const { return accesses() == 0 ? 0.0 : 1.0 - miss_rate(); }
+
+  void reset() { *this = CacheStats{}; }
+};
+
+struct AccessOutcome {
+  bool hit = false;
+  bool victim_dirty = false;  // a dirty line was written back to fill
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(CacheGeometry geometry, Replacement policy,
+                std::uint64_t seed = 0xCACEu);
+
+  // Accesses the line containing `address`. Allocates on miss.
+  AccessOutcome access(std::uint64_t address, AccessKind kind);
+
+  // True if the line containing `address` is present (no state change).
+  bool probe(std::uint64_t address) const;
+
+  // Writes back all dirty lines; returns the number written back.
+  // Lines stay valid (a "clean" operation).
+  std::uint64_t flush_dirty();
+
+  // Invalidates everything; dirty lines count as writebacks first.
+  // Returns the number of dirty lines written back.
+  std::uint64_t invalidate_all();
+
+  // Invalidates any lines overlapping [base, base+bytes); dirty ones are
+  // written back. Returns dirty count (models a ranged cache-maintenance op).
+  std::uint64_t invalidate_range(std::uint64_t base, Bytes bytes);
+
+  // Writes back dirty lines overlapping [base, base+bytes) but keeps them
+  // valid (a ranged "clean" maintenance op). Returns the dirty count.
+  std::uint64_t clean_range(std::uint64_t base, Bytes bytes);
+
+  std::uint64_t valid_lines() const;
+  std::uint64_t dirty_lines() const;
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  Replacement policy() const { return policy_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  // Full reset: contents and stats.
+  void reset();
+
+ private:
+  std::uint32_t pick_victim(std::uint64_t set);
+  void touch(std::uint64_t set, std::uint32_t way);
+
+  CacheGeometry geometry_;
+  Replacement policy_;
+
+  // Flat per-way state: index = set * ways + way.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint64_t> meta_;      // LRU stamp or FIFO insertion stamp
+  std::vector<std::uint32_t> plru_bits_; // one bit-tree per set
+  std::uint64_t tick_ = 0;
+  Rng rng_;
+  CacheStats stats_;
+};
+
+}  // namespace cig::mem

@@ -1,0 +1,34 @@
+#include "mem/geometry.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::mem {
+
+namespace {
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+bool CacheGeometry::valid() const {
+  if (capacity == 0 || line == 0 || ways == 0) return false;
+  if (!is_pow2(capacity) || !is_pow2(line) || !is_pow2(ways)) return false;
+  if (capacity % (static_cast<std::uint64_t>(line) * ways) != 0) return false;
+  return sets() >= 1;
+}
+
+std::string CacheGeometry::to_string() const {
+  std::ostringstream out;
+  out << format_bytes(capacity) << ", " << line << " B lines, " << ways
+      << "-way (" << sets() << " sets)";
+  return out.str();
+}
+
+CacheGeometry make_geometry(Bytes capacity, std::uint32_t line,
+                            std::uint32_t ways) {
+  const CacheGeometry geom{capacity, line, ways};
+  CIG_EXPECTS(geom.valid());
+  return geom;
+}
+
+}  // namespace cig::mem

@@ -1,0 +1,39 @@
+// Cache geometry: capacity / line size / associativity, with the usual
+// power-of-two address decomposition (offset | index | tag).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/units.h"
+
+namespace cig::mem {
+
+struct CacheGeometry {
+  Bytes capacity = 0;       // total bytes
+  std::uint32_t line = 64;  // line (block) size in bytes
+  std::uint32_t ways = 8;   // associativity
+
+  std::uint64_t lines() const { return capacity / line; }
+  std::uint64_t sets() const { return lines() / ways; }
+
+  // True if capacity, line and ways describe a realisable cache
+  // (powers of two, at least one set).
+  bool valid() const;
+
+  std::uint64_t line_of(std::uint64_t address) const { return address / line; }
+  std::uint64_t set_of(std::uint64_t address) const {
+    return line_of(address) % sets();
+  }
+  std::uint64_t tag_of(std::uint64_t address) const {
+    return line_of(address) / sets();
+  }
+
+  std::string to_string() const;
+};
+
+// Convenience factory with validation.
+CacheGeometry make_geometry(Bytes capacity, std::uint32_t line,
+                            std::uint32_t ways);
+
+}  // namespace cig::mem

@@ -1,0 +1,143 @@
+#include "mem/hierarchy.h"
+
+#include "support/assert.h"
+
+namespace cig::mem {
+
+void WalkCounters::reset() {
+  for (auto& l : level) l = LevelCounters{};
+  dram_served = 0;
+  dram_read_served = 0;
+  dram_bytes = 0;
+  uncached_served = 0;
+  uncached_read_served = 0;
+  uncached_bytes = 0;
+  total_accesses = 0;
+  requested_bytes = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(std::vector<HierarchyLevel> levels,
+                                 MainMemory* dram)
+    : levels_(std::move(levels)), dram_(dram) {
+  CIG_EXPECTS(dram_ != nullptr);
+  for (const auto& l : levels_) CIG_EXPECTS(l.cache != nullptr);
+  counters_.level.resize(levels_.size());
+}
+
+std::size_t MemoryHierarchy::access(const MemoryAccess& request) {
+  ++counters_.total_accesses;
+  counters_.requested_bytes += request.size;
+
+  if (!any_level_enabled()) {
+    // Uncacheable path: the access goes to DRAM at its own granularity.
+    ++counters_.uncached_served;
+    if (request.kind == AccessKind::Read) ++counters_.uncached_read_served;
+    counters_.uncached_bytes += request.size;
+    dram_->add_uncached_traffic(request.size);
+    return kDram;
+  }
+
+  // Walk enabled levels top-down until a hit.
+  std::size_t serving = kDram;
+  std::vector<std::size_t> missed;  // enabled levels that missed (to fill)
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    auto& lvl = levels_[i];
+    if (!lvl.enabled) continue;
+    const AccessOutcome outcome = lvl.cache->access(request.address, request.kind);
+    if (outcome.victim_dirty) {
+      // Dirty victim written back one level down (or DRAM from the LLC).
+      const Bytes line = lvl.cache->geometry().line;
+      bool lower_found = false;
+      for (std::size_t j = i + 1; j < levels_.size(); ++j) {
+        if (levels_[j].enabled) {
+          counters_.level[j].bytes += line;
+          lower_found = true;
+          break;
+        }
+      }
+      if (!lower_found) {
+        counters_.dram_bytes += line;
+        dram_->add_cached_traffic(line);
+      }
+    }
+    if (outcome.hit) {
+      serving = i;
+      break;
+    }
+    missed.push_back(i);
+  }
+
+  if (serving != kDram) {
+    const auto& lvl = levels_[serving];
+    counters_.level[serving].served += 1;
+    if (request.kind == AccessKind::Read) {
+      counters_.level[serving].read_served += 1;
+    }
+    // A hit at the first enabled level delivers just the requested bytes to
+    // the core; a hit at a deeper level also fills a whole line upwards.
+    const bool first_enabled = [&] {
+      for (std::size_t j = 0; j < serving; ++j) {
+        if (levels_[j].enabled) return false;
+      }
+      return true;
+    }();
+    counters_.level[serving].bytes +=
+        first_enabled ? request.size : lvl.cache->geometry().line;
+  } else {
+    // Fell through every enabled cache: DRAM supplies one LLC line.
+    const std::size_t llc = last_enabled();
+    CIG_ASSERT(llc != kDram);
+    const Bytes line = levels_[llc].cache->geometry().line;
+    ++counters_.dram_served;
+    if (request.kind == AccessKind::Read) ++counters_.dram_read_served;
+    counters_.dram_bytes += line;
+    dram_->add_cached_traffic(line);
+  }
+  // Note: the miss path already allocated the line into each enabled level
+  // (SetAssocCache::access is allocate-on-miss), so inclusive fill needs no
+  // extra work here; `missed` documents which levels allocated.
+  (void)missed;
+  return serving;
+}
+
+void MemoryHierarchy::access_linear(std::uint64_t base, Bytes bytes,
+                                    AccessKind kind) {
+  if (bytes == 0) return;
+  // Use the smallest enabled line size for iteration granularity; if all
+  // caches are disabled, model 16-byte uncoalesced device bursts.
+  std::uint32_t step = 16;
+  for (const auto& lvl : levels_) {
+    if (lvl.enabled) {
+      step = lvl.cache->geometry().line;
+      break;
+    }
+  }
+  const std::uint64_t end = base + bytes;
+  for (std::uint64_t addr = base; addr < end; addr += step) {
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(step, end - addr));
+    access(MemoryAccess{addr, size, kind});
+  }
+}
+
+void MemoryHierarchy::set_enabled(std::size_t i, bool enabled) {
+  CIG_EXPECTS(i < levels_.size());
+  levels_[i].enabled = enabled;
+}
+
+bool MemoryHierarchy::any_level_enabled() const {
+  for (const auto& l : levels_)
+    if (l.enabled) return true;
+  return false;
+}
+
+void MemoryHierarchy::reset_counters() { counters_.reset(); }
+
+std::size_t MemoryHierarchy::last_enabled() const {
+  for (std::size_t i = levels_.size(); i > 0; --i) {
+    if (levels_[i - 1].enabled) return i - 1;
+  }
+  return kDram;
+}
+
+}  // namespace cig::mem

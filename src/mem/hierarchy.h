@@ -1,0 +1,91 @@
+// Multi-level memory hierarchy walker.
+//
+// A hierarchy is a view over caches owned elsewhere (the SoC): an ordered
+// list of levels (L1 first, LLC last) in front of DRAM. Each access walks
+// the enabled levels; the first hit serves it, and the line is allocated
+// into every enabled level above (inclusive fill). Byte traffic is
+// accounted per level so the execution engine can turn counters into time:
+//
+//   memory_time = sum_i bytes_served[i] / bandwidth[i]  (+ latency terms)
+//
+// Disabling every level models the zero-copy uncacheable regime: accesses
+// then hit DRAM at their natural (non-coalesced) granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/access.h"
+#include "mem/cache.h"
+#include "mem/memory.h"
+#include "support/units.h"
+
+namespace cig::mem {
+
+struct HierarchyLevel {
+  SetAssocCache* cache = nullptr;  // non-owning; never null
+  BytesPerSecond bandwidth = GBps(100);
+  Seconds latency = nanosec(5);
+  bool enabled = true;
+  std::string name = "L?";
+};
+
+struct LevelCounters {
+  std::uint64_t served = 0;       // accesses satisfied at this level
+  std::uint64_t read_served = 0;  // of which reads (writes post, reads stall)
+  Bytes bytes = 0;                // line-granular bytes this level delivered
+};
+
+struct WalkCounters {
+  std::vector<LevelCounters> level;  // parallel to hierarchy levels
+  std::uint64_t dram_served = 0;     // accesses that reached DRAM (cached path)
+  std::uint64_t dram_read_served = 0;
+  Bytes dram_bytes = 0;              // fills + writebacks, line-granular
+  std::uint64_t uncached_served = 0; // accesses on the uncacheable path
+  std::uint64_t uncached_read_served = 0;
+  Bytes uncached_bytes = 0;          // at natural access granularity
+  std::uint64_t total_accesses = 0;
+  Bytes requested_bytes = 0;         // sum of access sizes (the demand)
+
+  void reset();
+};
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(std::vector<HierarchyLevel> levels, MainMemory* dram);
+
+  // Index returned by access() when DRAM served the request.
+  static constexpr std::size_t kDram = static_cast<std::size_t>(-1);
+
+  // Walks one access through the hierarchy; returns the serving level index
+  // (kDram when it fell through all enabled caches).
+  std::size_t access(const MemoryAccess& request);
+
+  // Convenience: walk a whole span as sequential line-granular reads/writes.
+  void access_linear(std::uint64_t base, Bytes bytes, AccessKind kind);
+
+  std::size_t level_count() const { return levels_.size(); }
+  const HierarchyLevel& level(std::size_t i) const { return levels_[i]; }
+  HierarchyLevel& level(std::size_t i) { return levels_[i]; }
+
+  // Enables/disables a level in place (zero-copy cache-bypass switch).
+  void set_enabled(std::size_t i, bool enabled);
+  bool any_level_enabled() const;
+
+  const WalkCounters& counters() const { return counters_; }
+  void reset_counters();
+
+  // Index of the last enabled level (the effective LLC), or kDram if none.
+  std::size_t last_enabled() const;
+
+  MainMemory& dram() { return *dram_; }
+  const MainMemory& dram() const { return *dram_; }
+
+ private:
+  std::vector<HierarchyLevel> levels_;
+  MainMemory* dram_;  // non-owning; never null
+  WalkCounters counters_;
+};
+
+}  // namespace cig::mem

@@ -1,0 +1,4 @@
+#include "mem/memory.h"
+
+// MainMemory is currently header-only; this TU anchors the library target
+// and reserves a home for future DRAM features (banking, refresh).

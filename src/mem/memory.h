@@ -1,0 +1,57 @@
+// Main-memory (LPDDR) model: bandwidth, latency, per-byte energy, plus an
+// efficiency factor for uncached fine-grained device accesses (the regime a
+// Jetson iGPU falls into when zero-copy disables its LLC).
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace cig::mem {
+
+struct DramConfig {
+  BytesPerSecond bandwidth = GBps(25.6);   // peak sequential bandwidth
+  Seconds latency = nanosec(120);          // single-access latency
+  // Effective bandwidth for uncached, non-coalesced accesses as a fraction
+  // of peak. Uncacheable pinned accesses issue narrow bursts that waste the
+  // DRAM interface; on the TX2 this is catastrophic (paper: 1.28 GB/s
+  // against ~60 GB/s peak).
+  double uncached_efficiency = 0.05;
+  Joules energy_per_byte = 40e-12;         // ~40 pJ/B for LPDDR4-class DRAM
+};
+
+class MainMemory {
+ public:
+  explicit MainMemory(DramConfig config) : config_(config) {}
+
+  const DramConfig& config() const { return config_; }
+
+  BytesPerSecond cached_bandwidth() const { return config_.bandwidth; }
+  BytesPerSecond uncached_bandwidth() const {
+    return config_.bandwidth * config_.uncached_efficiency;
+  }
+
+  // --- traffic accounting ---------------------------------------------------
+  void add_cached_traffic(Bytes bytes) { cached_bytes_ += bytes; }
+  void add_uncached_traffic(Bytes bytes) { uncached_bytes_ += bytes; }
+
+  Bytes cached_bytes() const { return cached_bytes_; }
+  Bytes uncached_bytes() const { return uncached_bytes_; }
+  Bytes total_bytes() const { return cached_bytes_ + uncached_bytes_; }
+
+  Joules traffic_energy() const {
+    return static_cast<double>(total_bytes()) * config_.energy_per_byte;
+  }
+
+  void reset_traffic() {
+    cached_bytes_ = 0;
+    uncached_bytes_ = 0;
+  }
+
+ private:
+  DramConfig config_;
+  Bytes cached_bytes_ = 0;
+  Bytes uncached_bytes_ = 0;
+};
+
+}  // namespace cig::mem

@@ -1,0 +1,181 @@
+#include "mem/stream.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::mem {
+
+namespace {
+
+void emit(const AccessSink& sink, std::uint64_t address, std::uint32_t size,
+          RwMix rw) {
+  switch (rw) {
+    case RwMix::ReadOnly:
+      sink(MemoryAccess{address, size, AccessKind::Read});
+      break;
+    case RwMix::WriteOnly:
+      sink(MemoryAccess{address, size, AccessKind::Write});
+      break;
+    case RwMix::ReadModifyWrite:
+      sink(MemoryAccess{address, size, AccessKind::Read});
+      sink(MemoryAccess{address, size, AccessKind::Write});
+      break;
+  }
+}
+
+std::uint64_t sweep_points(const PatternSpec& spec) {
+  // Distinct line-granular touch points in one pass.
+  switch (spec.kind) {
+    case PatternKind::Linear:
+      return (spec.extent + spec.line_hint - 1) / spec.line_hint;
+    case PatternKind::Strided: {
+      CIG_EXPECTS(spec.stride > 0);
+      const std::uint64_t steps = spec.extent / spec.stride;
+      return std::max<std::uint64_t>(steps, 1);
+    }
+    case PatternKind::Tiled2D: {
+      const std::uint64_t row_bytes =
+          static_cast<std::uint64_t>(spec.width) * spec.access_size;
+      const std::uint64_t lines_per_row =
+          (row_bytes + spec.line_hint - 1) / spec.line_hint;
+      return lines_per_row * spec.height;
+    }
+    case PatternKind::Random:
+    case PatternKind::SingleLocation:
+      return spec.count;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void walk(const PatternSpec& spec, const AccessSink& sink) {
+  CIG_EXPECTS(spec.line_hint > 0);
+  CIG_EXPECTS(spec.access_size > 0);
+  switch (spec.kind) {
+    case PatternKind::Linear: {
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        const std::uint64_t end = spec.base + spec.extent;
+        for (std::uint64_t addr = spec.base; addr < end;
+             addr += spec.line_hint) {
+          const auto size = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(spec.line_hint, end - addr));
+          emit(sink, addr, size, spec.rw);
+        }
+      }
+      break;
+    }
+    case PatternKind::Strided: {
+      CIG_EXPECTS(spec.stride > 0);
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        const std::uint64_t end = spec.base + spec.extent;
+        for (std::uint64_t addr = spec.base; addr < end; addr += spec.stride) {
+          emit(sink, addr, spec.access_size, spec.rw);
+        }
+      }
+      break;
+    }
+    case PatternKind::Random: {
+      Rng rng(spec.seed);
+      const std::uint64_t lines =
+          std::max<std::uint64_t>(spec.extent / spec.line_hint, 1);
+      for (std::uint64_t i = 0; i < spec.count; ++i) {
+        const std::uint64_t line = rng.below(lines);
+        emit(sink, spec.base + line * spec.line_hint, spec.access_size,
+             spec.rw);
+      }
+      break;
+    }
+    case PatternKind::SingleLocation: {
+      for (std::uint64_t i = 0; i < spec.count; ++i) {
+        emit(sink, spec.base, spec.access_size, spec.rw);
+      }
+      break;
+    }
+    case PatternKind::Tiled2D: {
+      CIG_EXPECTS(spec.width > 0 && spec.height > 0);
+      CIG_EXPECTS(spec.tile_width > 0 && spec.tile_height > 0);
+      const std::uint64_t row_bytes =
+          static_cast<std::uint64_t>(spec.width) * spec.access_size;
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        for (std::uint32_t ty = 0; ty < spec.height; ty += spec.tile_height) {
+          for (std::uint32_t tx = 0; tx < spec.width; tx += spec.tile_width) {
+            const std::uint32_t tile_h =
+                std::min(spec.tile_height, spec.height - ty);
+            const std::uint32_t tile_w =
+                std::min(spec.tile_width, spec.width - tx);
+            for (std::uint32_t y = 0; y < tile_h; ++y) {
+              const std::uint64_t row_base =
+                  spec.base + (ty + y) * row_bytes +
+                  static_cast<std::uint64_t>(tx) * spec.access_size;
+              const std::uint64_t tile_row_bytes =
+                  static_cast<std::uint64_t>(tile_w) * spec.access_size;
+              for (std::uint64_t off = 0; off < tile_row_bytes;
+                   off += spec.line_hint) {
+                const auto size = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(spec.line_hint,
+                                            tile_row_bytes - off));
+                emit(sink, row_base + off, size, spec.rw);
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::uint64_t element_accesses(const PatternSpec& spec) {
+  std::uint64_t elements = 0;
+  switch (spec.kind) {
+    case PatternKind::Linear:
+      elements = (spec.extent / spec.access_size) * spec.passes;
+      break;
+    case PatternKind::Strided:
+      elements = std::max<std::uint64_t>(spec.extent / spec.stride, 1) *
+                 spec.passes;
+      break;
+    case PatternKind::Tiled2D:
+      elements = static_cast<std::uint64_t>(spec.width) * spec.height *
+                 spec.passes;
+      break;
+    case PatternKind::Random:
+    case PatternKind::SingleLocation:
+      elements = spec.count;
+      break;
+  }
+  return spec.rw == RwMix::ReadModifyWrite ? elements * 2 : elements;
+}
+
+Bytes requested_bytes(const PatternSpec& spec) {
+  return element_accesses(spec) * spec.access_size;
+}
+
+Bytes footprint(const PatternSpec& spec) {
+  switch (spec.kind) {
+    case PatternKind::Linear:
+    case PatternKind::Strided:
+    case PatternKind::Random:
+      return spec.extent;
+    case PatternKind::SingleLocation:
+      return spec.access_size;
+    case PatternKind::Tiled2D:
+      return static_cast<Bytes>(spec.width) * spec.height * spec.access_size;
+  }
+  return 0;
+}
+
+std::uint64_t line_accesses(const PatternSpec& spec) {
+  std::uint64_t per_pass = sweep_points(spec);
+  std::uint64_t total = per_pass;
+  if (spec.kind == PatternKind::Linear || spec.kind == PatternKind::Strided ||
+      spec.kind == PatternKind::Tiled2D) {
+    total = per_pass * spec.passes;
+  }
+  return spec.rw == RwMix::ReadModifyWrite ? total * 2 : total;
+}
+
+}  // namespace cig::mem

@@ -1,0 +1,73 @@
+// Access-stream generators.
+//
+// A PatternSpec describes a memory access pattern symbolically (the way the
+// paper's micro-benchmarks describe their ld.global/st.global behaviour);
+// walk() replays it against a sink — normally MemoryHierarchy::access. The
+// generators are deterministic (seeded) so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/access.h"
+#include "support/units.h"
+
+namespace cig::mem {
+
+enum class PatternKind : std::uint8_t {
+  Linear,          // sequential sweep over [base, base+extent)
+  Strided,         // every `stride` bytes over the extent
+  Random,          // uniform random lines within the extent (max miss rate)
+  SingleLocation,  // repeated access to one address (register-like hot spot)
+  Tiled2D,         // 2D row-major matrix walked tile by tile
+};
+
+enum class RwMix : std::uint8_t {
+  ReadOnly,
+  WriteOnly,
+  ReadModifyWrite,  // each location read then written (ld + st)
+};
+
+struct PatternSpec {
+  PatternKind kind = PatternKind::Linear;
+  std::uint64_t base = 0;
+  Bytes extent = KiB(64);        // working-set size in bytes
+  std::uint32_t access_size = 4; // natural (uncoalesced) access granularity
+  RwMix rw = RwMix::ReadOnly;
+  std::uint32_t passes = 1;      // repeat whole sweeps (Linear/Strided/Tiled2D)
+  std::uint32_t stride = 64;     // Strided only
+  std::uint64_t count = 0;       // Random/SingleLocation: number of accesses
+  std::uint64_t seed = 1;        // Random only
+
+  // Tiled2D only: matrix and tile shape in elements of `access_size` bytes.
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint32_t tile_width = 0;
+  std::uint32_t tile_height = 0;
+
+  // Granularity used when walking a cache hierarchy. Accesses to the same
+  // line are coalesced, which is what a warp's coalescer / a CPU line fill
+  // does; the uncached path instead uses `access_size` accounting.
+  std::uint32_t line_hint = 64;
+};
+
+using AccessSink = std::function<void(const MemoryAccess&)>;
+
+// Replays the pattern at line granularity into `sink` (one MemoryAccess per
+// distinct line touch, ReadModifyWrite issuing a read then a write).
+void walk(const PatternSpec& spec, const AccessSink& sink);
+
+// Number of *element-granular* accesses the pattern represents (what a
+// profiler would count as transactions). ReadModifyWrite counts both.
+std::uint64_t element_accesses(const PatternSpec& spec);
+
+// Bytes requested at element granularity (transactions × size).
+Bytes requested_bytes(const PatternSpec& spec);
+
+// Distinct bytes touched (the working set actually covered).
+Bytes footprint(const PatternSpec& spec);
+
+// Number of sink invocations walk() will make (for cost estimation).
+std::uint64_t line_accesses(const PatternSpec& spec);
+
+}  // namespace cig::mem

@@ -1,0 +1,35 @@
+#include "profile/energy.h"
+
+namespace cig::profile {
+
+Watts EnergyComparison::power_saving() const {
+  const Watts baseline_power =
+      baseline_time > 0 ? baseline_energy / baseline_time : 0;
+  const Watts candidate_power =
+      candidate_time > 0 ? candidate_energy / candidate_time : 0;
+  return baseline_power - candidate_power;
+}
+
+double EnergyComparison::joules_per_second_saved() const {
+  if (baseline_time <= 0) return 0;
+  // Same amount of useful work in both runs; normalise the energy delta by
+  // the baseline duration to get J saved per second of execution.
+  return (baseline_energy - candidate_energy) / baseline_time;
+}
+
+double EnergyComparison::joules_per_second_saved_at(double frame_rate_hz,
+                                                    Watts idle_power) const {
+  const Joules per_frame = (baseline_energy - candidate_energy) -
+                           idle_power * (baseline_time - candidate_time);
+  return per_frame * frame_rate_hz;
+}
+
+EnergyComparison compare_energy(const comm::RunResult& baseline,
+                                const comm::RunResult& candidate) {
+  return EnergyComparison{.baseline_energy = baseline.energy,
+                          .candidate_energy = candidate.energy,
+                          .baseline_time = baseline.total,
+                          .candidate_time = candidate.total};
+}
+
+}  // namespace cig::profile

@@ -1,0 +1,39 @@
+// Energy comparison helper: the paper reports zero-copy's benefit as
+// "joules saved per second of execution" relative to standard copy
+// (Section IV-B/C: 0.12 J/s on Xavier, 0.09 J/s on TX2 for SH-WFS).
+#pragma once
+
+#include "comm/runresult.h"
+#include "support/units.h"
+
+namespace cig::profile {
+
+struct EnergyComparison {
+  Joules baseline_energy = 0;
+  Joules candidate_energy = 0;
+  Seconds baseline_time = 0;
+  Seconds candidate_time = 0;
+
+  // Average power delta (positive = candidate consumes less power).
+  Watts power_saving() const;
+
+  // Joules saved per second of (baseline) execution — the paper's metric.
+  double joules_per_second_saved() const;
+
+  // Energy saved per iteration-equivalent work.
+  Joules energy_saving() const { return baseline_energy - candidate_energy; }
+
+  // Joules saved per second when frames are processed at a fixed rate
+  // (e.g. a 30 Hz camera): the faster model idles at `idle_power` for the
+  // time it saves, so the net saving per frame is
+  //   (E_base - E_cand) - idle_power * (t_base - t_cand),
+  // multiplied by the frame rate. This is the paper's J/s metric
+  // (Sections IV-B/C).
+  double joules_per_second_saved_at(double frame_rate_hz,
+                                    Watts idle_power) const;
+};
+
+EnergyComparison compare_energy(const comm::RunResult& baseline,
+                                const comm::RunResult& candidate);
+
+}  // namespace cig::profile

@@ -1,0 +1,40 @@
+#include "profile/profiler.h"
+
+namespace cig::profile {
+
+Profiler::Profiler(soc::SoC& soc, comm::ExecOptions options)
+    : soc_(soc), executor_(soc, options) {}
+
+ProfileReport Profiler::profile(const workload::Workload& workload,
+                                comm::CommModel model) {
+  comm::RunResult raw;
+  return profile(workload, model, raw);
+}
+
+ProfileReport Profiler::profile(const workload::Workload& workload,
+                                comm::CommModel model, comm::RunResult& raw) {
+  raw = executor_.run(workload, model);
+
+  ProfileReport report;
+  report.workload = workload.name;
+  report.board = soc_.config().name;
+  report.model = model;
+  report.iterations = workload.iterations;
+  report.cpu_l1_miss_rate = raw.cpu_l1_miss_rate;
+  report.cpu_llc_miss_rate = raw.cpu_llc_miss_rate;
+  report.gpu_l1_hit_rate = raw.gpu_l1_hit_rate;
+  report.gpu_llc_hit_rate = raw.gpu_llc_hit_rate;
+  report.gpu_transactions = raw.gpu_transactions / workload.iterations;
+  report.gpu_transaction_size = raw.gpu_transaction_size;
+  report.kernel_time = raw.kernel_time_per_iter();
+  report.cpu_time = raw.cpu_time_per_iter();
+  report.copy_time = raw.copy_time_per_iter();
+  report.total_time = raw.total_per_iter();
+  report.gpu_ll_throughput = raw.gpu_ll_throughput;
+  report.cpu_ll_throughput = raw.cpu_ll_throughput;
+  report.energy = raw.energy;
+  report.average_power = raw.total > 0 ? raw.energy / raw.total : 0;
+  return report;
+}
+
+}  // namespace cig::profile

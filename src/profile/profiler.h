@@ -1,0 +1,27 @@
+// Profiler: runs a workload under its current communication model on the
+// simulated SoC and produces a ProfileReport — the simulator-side stand-in
+// for nvprof + tegrastats on a real board.
+#pragma once
+
+#include "comm/executor.h"
+#include "profile/report.h"
+
+namespace cig::profile {
+
+class Profiler {
+ public:
+  explicit Profiler(soc::SoC& soc, comm::ExecOptions options = {});
+
+  ProfileReport profile(const workload::Workload& workload,
+                        comm::CommModel model);
+
+  // Also returns the raw RunResult (used by benches that need timelines).
+  ProfileReport profile(const workload::Workload& workload,
+                        comm::CommModel model, comm::RunResult& raw);
+
+ private:
+  soc::SoC& soc_;
+  comm::Executor executor_;
+};
+
+}  // namespace cig::profile

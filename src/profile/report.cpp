@@ -1,0 +1,30 @@
+#include "profile/report.h"
+
+#include <sstream>
+
+namespace cig::profile {
+
+std::string ProfileReport::to_string() const {
+  std::ostringstream out;
+  out << "profile: " << workload << " on " << board << " ["
+      << comm::model_name(model) << "]\n";
+  out << "  cpu L1 miss rate    : " << cpu_l1_miss_rate * 100 << " %\n";
+  out << "  cpu LLC miss rate   : " << cpu_llc_miss_rate * 100 << " %\n";
+  out << "  gpu L1 hit rate     : " << gpu_l1_hit_rate * 100 << " %\n";
+  out << "  gpu LLC hit rate    : " << gpu_llc_hit_rate * 100 << " %\n";
+  out << "  gpu transactions    : " << gpu_transactions << " x "
+      << gpu_transaction_size << " B\n";
+  out << "  kernel time         : " << format_time(kernel_time) << "\n";
+  out << "  cpu time            : " << format_time(cpu_time) << "\n";
+  out << "  copy time           : " << format_time(copy_time) << "\n";
+  out << "  total time          : " << format_time(total_time) << "\n";
+  out << "  gpu LL throughput   : " << format_bandwidth(gpu_ll_throughput)
+      << "\n";
+  out << "  cpu LL throughput   : " << format_bandwidth(cpu_ll_throughput)
+      << "\n";
+  out << "  energy              : " << energy << " J (" << average_power
+      << " W)\n";
+  return out.str();
+}
+
+}  // namespace cig::profile

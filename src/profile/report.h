@@ -1,0 +1,47 @@
+// Profile report: the "standard profiling tool" output the framework
+// consumes (Fig. 2, left input). Field names mirror what nvprof / perf
+// expose on real boards: per-cache hit/miss rates, transaction counts,
+// kernel and copy times.
+#pragma once
+
+#include <string>
+
+#include "comm/model.h"
+#include "support/units.h"
+
+namespace cig::profile {
+
+struct ProfileReport {
+  std::string workload;
+  std::string board;
+  comm::CommModel model = comm::CommModel::StandardCopy;
+  std::uint32_t iterations = 1;
+
+  // Cache behaviour (measured-phase rates).
+  double cpu_l1_miss_rate = 0;
+  double cpu_llc_miss_rate = 0;
+  double gpu_l1_hit_rate = 0;
+  double gpu_llc_hit_rate = 0;
+
+  // GPU memory transactions (t_n and t_size in eqn 2).
+  double gpu_transactions = 0;
+  double gpu_transaction_size = 0;
+
+  // Times (per iteration).
+  Seconds kernel_time = 0;
+  Seconds cpu_time = 0;
+  Seconds copy_time = 0;
+  Seconds total_time = 0;
+
+  // Delivered bandwidths.
+  BytesPerSecond gpu_ll_throughput = 0;
+  BytesPerSecond cpu_ll_throughput = 0;
+
+  // Energy over the measured phase.
+  Joules energy = 0;
+  Watts average_power = 0;
+
+  std::string to_string() const;
+};
+
+}  // namespace cig::profile

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace cig::sim {
+
+void EventQueue::schedule_at(Seconds when, Action action) {
+  CIG_EXPECTS(when >= now_);
+  queue_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void EventQueue::schedule_after(Seconds delay, Action action) {
+  CIG_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+Seconds EventQueue::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop: the action may schedule further events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+  }
+  return now_;
+}
+
+Seconds EventQueue::run_until(Seconds until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+void EventQueue::reset() {
+  queue_ = {};
+  now_ = 0.0;
+  next_sequence_ = 0;
+}
+
+}  // namespace cig::sim

@@ -1,0 +1,58 @@
+// Discrete-event simulation core.
+//
+// The execution engine and the zero-copy pattern simulator schedule closures
+// at absolute simulated times; `run()` drains them in time order. Events
+// scheduled at equal times fire in insertion order (stable), which keeps the
+// simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/units.h"
+
+namespace cig::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `when` (must not be in the past).
+  void schedule_at(Seconds when, Action action);
+
+  // Schedules `action` `delay` seconds after the current time.
+  void schedule_after(Seconds delay, Action action);
+
+  // Runs until the queue is empty (or `until`, if given). Returns the time
+  // of the last fired event.
+  Seconds run();
+  Seconds run_until(Seconds until);
+
+  Seconds now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Drops all pending events and resets the clock to zero.
+  void reset();
+
+ private:
+  struct Event {
+    Seconds when;
+    std::uint64_t sequence;  // tie-break: stable FIFO at equal times
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace cig::sim

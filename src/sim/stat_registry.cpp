@@ -1,0 +1,46 @@
+#include "sim/stat_registry.h"
+
+#include <sstream>
+
+namespace cig::sim {
+
+void StatRegistry::add(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void StatRegistry::set(const std::string& name, double value) {
+  counters_[name] = value;
+}
+
+double StatRegistry::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool StatRegistry::contains(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+
+double StatRegistry::ratio(const std::string& numerator,
+                           const std::string& complement) const {
+  const double a = get(numerator);
+  const double b = get(complement);
+  const double total = a + b;
+  return total == 0.0 ? 0.0 : a / total;
+}
+
+void StatRegistry::clear() { counters_.clear(); }
+
+void StatRegistry::merge(const StatRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+std::string StatRegistry::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << " = " << value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cig::sim

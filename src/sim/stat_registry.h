@@ -1,0 +1,40 @@
+// Named counters collected during a simulated run — the simulator-side
+// analogue of a hardware PMU. The profiler reads these to build its report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cig::sim {
+
+class StatRegistry {
+ public:
+  // Adds `delta` to counter `name`, creating it at zero if absent.
+  void add(const std::string& name, double delta = 1.0);
+
+  // Sets counter `name` to `value`.
+  void set(const std::string& name, double value);
+
+  // Returns the value, or 0 if the counter does not exist.
+  double get(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  // ratio(a, b) = a / (a + b); returns 0 when both are zero.
+  double ratio(const std::string& numerator,
+               const std::string& complement) const;
+
+  const std::map<std::string, double>& all() const { return counters_; }
+  void clear();
+
+  // Merges another registry into this one (counter-wise sum).
+  void merge(const StatRegistry& other);
+
+  // Renders "name = value" lines sorted by name (for debugging/reports).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace cig::sim

@@ -1,0 +1,107 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::sim {
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::Cpu: return "CPU";
+    case Lane::Gpu: return "GPU";
+    case Lane::Copy: return "COPY";
+  }
+  return "?";
+}
+
+void Timeline::add(Lane lane, Seconds start, Seconds end, std::string label) {
+  CIG_EXPECTS(end >= start);
+  CIG_EXPECTS(start >= 0.0);
+  segments_.push_back(Segment{lane, start, end, std::move(label)});
+}
+
+Seconds Timeline::busy(Lane lane) const {
+  Seconds total = 0.0;
+  for (const auto& s : segments_)
+    if (s.lane == lane) total += s.duration();
+  return total;
+}
+
+Seconds Timeline::makespan() const {
+  Seconds end = 0.0;
+  for (const auto& s : segments_) end = std::max(end, s.end);
+  return end;
+}
+
+std::vector<Segment> Timeline::sorted_lane(Lane lane) const {
+  std::vector<Segment> lane_segments;
+  for (const auto& s : segments_)
+    if (s.lane == lane) lane_segments.push_back(s);
+  std::sort(lane_segments.begin(), lane_segments.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return lane_segments;
+}
+
+bool Timeline::lanes_consistent() const {
+  // Tolerate floating-point jitter of a picosecond.
+  constexpr Seconds kEps = 1e-12;
+  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+    const auto lane_segments = sorted_lane(lane);
+    for (std::size_t i = 1; i < lane_segments.size(); ++i) {
+      if (lane_segments[i].start + kEps < lane_segments[i - 1].end) return false;
+    }
+  }
+  return true;
+}
+
+Seconds Timeline::overlap(Lane a, Lane b) const {
+  const auto sa = sorted_lane(a);
+  const auto sb = sorted_lane(b);
+  Seconds total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const Seconds lo = std::max(sa[i].start, sb[j].start);
+    const Seconds hi = std::min(sa[i].end, sb[j].end);
+    if (hi > lo) total += hi - lo;
+    if (sa[i].end < sb[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+void Timeline::append(const Timeline& other, Seconds offset) {
+  CIG_EXPECTS(offset >= 0.0);
+  for (const auto& s : other.segments_) {
+    segments_.push_back(Segment{s.lane, s.start + offset, s.end + offset, s.label});
+  }
+}
+
+std::string Timeline::render_gantt(int width) const {
+  CIG_EXPECTS(width > 8);
+  const Seconds span = makespan();
+  std::ostringstream out;
+  if (span <= 0.0) return "(empty timeline)\n";
+  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+    const auto lane_segments = sorted_lane(lane);
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (const auto& s : lane_segments) {
+      auto lo = static_cast<std::size_t>(std::floor(s.start / span * width));
+      auto hi = static_cast<std::size_t>(std::ceil(s.end / span * width));
+      lo = std::min(lo, bar.size() - 1);
+      hi = std::min(std::max(hi, lo + 1), bar.size());
+      const char glyph = lane == Lane::Cpu ? 'C' : lane == Lane::Gpu ? 'G' : 'x';
+      for (std::size_t k = lo; k < hi; ++k) bar[k] = glyph;
+    }
+    out << lane_name(lane) << '\t' << bar << '\n';
+  }
+  out << "span\t" << format_time(span) << '\n';
+  return out.str();
+}
+
+}  // namespace cig::sim

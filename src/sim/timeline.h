@@ -1,0 +1,62 @@
+// Execution timeline: per-lane (CPU / GPU / copy-engine) time segments of a
+// simulated run. The execution engine emits segments; the profiler and the
+// benches read them; tests check the invariant that segments on one lane
+// never overlap. Also renders a small ASCII Gantt chart for the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.h"
+
+namespace cig::sim {
+
+enum class Lane { Cpu, Gpu, Copy };
+
+const char* lane_name(Lane lane);
+
+struct Segment {
+  Lane lane;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  std::string label;
+
+  Seconds duration() const { return end - start; }
+};
+
+class Timeline {
+ public:
+  // Appends a segment; `end >= start` required. Segments may be added out of
+  // chronological order (they are sorted on demand).
+  void add(Lane lane, Seconds start, Seconds end, std::string label);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  // Total busy time on a lane (sum of segment durations).
+  Seconds busy(Lane lane) const;
+
+  // End of the last segment across all lanes (0 if empty).
+  Seconds makespan() const;
+
+  // True if no two segments on the same lane overlap (touching is allowed).
+  bool lanes_consistent() const;
+
+  // Time during which both `a` and `b` lanes have an active segment —
+  // used to quantify CPU/GPU overlap under the zero-copy pattern.
+  Seconds overlap(Lane a, Lane b) const;
+
+  // Merges another timeline shifted by `offset`.
+  void append(const Timeline& other, Seconds offset);
+
+  void clear() { segments_.clear(); }
+
+  // ASCII Gantt chart, `width` characters across the makespan.
+  std::string render_gantt(int width = 72) const;
+
+ private:
+  std::vector<Segment> sorted_lane(Lane lane) const;
+
+  std::vector<Segment> segments_;
+};
+
+}  // namespace cig::sim

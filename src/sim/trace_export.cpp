@@ -1,0 +1,65 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+
+namespace cig::sim {
+
+namespace {
+
+int lane_tid(Lane lane) {
+  switch (lane) {
+    case Lane::Cpu: return 1;
+    case Lane::Gpu: return 2;
+    case Lane::Copy: return 3;
+  }
+  return 0;
+}
+
+Json metadata_event(const std::string& name, int tid, const std::string& label) {
+  Json event;
+  event["ph"] = Json("M");
+  event["pid"] = Json(1);
+  event["tid"] = Json(tid);
+  event["name"] = Json(name);
+  Json args;
+  args["name"] = Json(label);
+  event["args"] = std::move(args);
+  return event;
+}
+
+}  // namespace
+
+Json to_chrome_trace(const Timeline& timeline,
+                     const std::string& process_name) {
+  Json events;
+  events.push_back(metadata_event("process_name", 0, process_name));
+  for (const Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+    events.push_back(
+        metadata_event("thread_name", lane_tid(lane), lane_name(lane)));
+  }
+  for (const auto& segment : timeline.segments()) {
+    Json event;
+    event["ph"] = Json("X");  // complete event
+    event["pid"] = Json(1);
+    event["tid"] = Json(lane_tid(segment.lane));
+    event["name"] = Json(segment.label.empty() ? "(unnamed)" : segment.label);
+    event["ts"] = Json(to_us(segment.start));
+    event["dur"] = Json(to_us(segment.duration()));
+    event["cat"] = Json(std::string(lane_name(segment.lane)));
+    events.push_back(std::move(event));
+  }
+
+  Json document;
+  document["traceEvents"] = std::move(events);
+  document["displayTimeUnit"] = Json("ns");
+  return document;
+}
+
+void write_chrome_trace(const Timeline& timeline, const std::string& path,
+                        const std::string& process_name) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << to_chrome_trace(timeline, process_name).dump(1) << '\n';
+}
+
+}  // namespace cig::sim

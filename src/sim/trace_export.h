@@ -1,0 +1,29 @@
+// Timeline export in the Chrome trace-event format (the JSON consumed by
+// chrome://tracing and Perfetto), so simulated runs can be inspected in a
+// real trace viewer:
+//
+//   auto run = executor.run(workload, CommModel::ZeroCopy);
+//   sim::write_chrome_trace(run.timeline, "run.json");
+//   # open chrome://tracing -> Load -> run.json
+//
+// Each lane (CPU / GPU / copy engine) becomes a thread; each segment a
+// complete ("X") event with microsecond timestamps.
+#pragma once
+
+#include <string>
+
+#include "sim/timeline.h"
+#include "support/json.h"
+
+namespace cig::sim {
+
+// Builds the trace-event JSON document for a timeline. `process_name`
+// labels the process row in the viewer.
+Json to_chrome_trace(const Timeline& timeline,
+                     const std::string& process_name = "cigopt");
+
+// Writes the document to `path` (throws std::runtime_error on I/O error).
+void write_chrome_trace(const Timeline& timeline, const std::string& path,
+                        const std::string& process_name = "cigopt");
+
+}  // namespace cig::sim

@@ -1,0 +1,37 @@
+#include "soc/board.h"
+
+#include "support/assert.h"
+
+namespace cig::soc {
+
+void BoardConfig::validate() const {
+  CIG_EXPECTS(!name.empty());
+  CIG_EXPECTS(cpu.cores >= 1);
+  CIG_EXPECTS(cpu.frequency > 0);
+  CIG_EXPECTS(cpu.l1.geometry.valid());
+  CIG_EXPECTS(cpu.llc.geometry.valid());
+  CIG_EXPECTS(cpu.l1.geometry.capacity < cpu.llc.geometry.capacity);
+  CIG_EXPECTS(cpu.uncached_bandwidth > 0);
+
+  CIG_EXPECTS(gpu.sms >= 1);
+  CIG_EXPECTS(gpu.frequency > 0);
+  CIG_EXPECTS(gpu.l1.geometry.valid());
+  CIG_EXPECTS(gpu.llc.geometry.valid());
+  CIG_EXPECTS(gpu.uncached_bandwidth > 0);
+
+  CIG_EXPECTS(dram.bandwidth > 0);
+  CIG_EXPECTS(dram.uncached_efficiency > 0 && dram.uncached_efficiency <= 1.0);
+  CIG_EXPECTS(copy.bandwidth > 0);
+  CIG_EXPECTS(um.page_size > 0 && um.batch_pages >= 1);
+}
+
+double BoardConfig::cpu_peak_ops_per_second() const {
+  return cpu.frequency * cpu.ipc;  // one core
+}
+
+double BoardConfig::gpu_peak_ops_per_second() const {
+  return static_cast<double>(gpu.sms) * gpu.lanes_per_sm * gpu.frequency *
+         gpu.issue_efficiency;
+}
+
+}  // namespace cig::soc

@@ -1,0 +1,88 @@
+// Board (SoC) configuration: everything the simulator needs to know about a
+// target embedded platform. Presets for the three Jetson boards the paper
+// evaluates live in soc/presets.h; users can hand-build a BoardConfig for
+// any other unified-memory SoC (see examples/custom_board.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coherence/flush.h"
+#include "coherence/io_coherence.h"
+#include "coherence/model.h"
+#include "coherence/page_migration.h"
+#include "mem/geometry.h"
+#include "mem/memory.h"
+#include "support/units.h"
+
+namespace cig::soc {
+
+struct CacheLevelConfig {
+  mem::CacheGeometry geometry;
+  BytesPerSecond bandwidth = GBps(100);  // sustained service bandwidth
+  Seconds latency = nanosec(4);          // load-to-use on hit
+};
+
+struct CpuConfig {
+  std::uint32_t cores = 4;
+  Hertz frequency = GHz(2.0);
+  // Micro-architectural efficiency multiplier on the nominal 1 op/cycle
+  // scalar rate (wide OoO cores like Carmel sustain > 1, in-order or
+  // branchy pipelines less).
+  double ipc = 1.0;
+  CacheLevelConfig l1;   // per-core L1D (the task runs on one core)
+  CacheLevelConfig llc;  // shared last-level cache
+  // Effective bandwidth of CPU accesses that bypass the LLC (zero-copy on a
+  // SwFlush board maps pinned memory with the outer cache off).
+  BytesPerSecond uncached_bandwidth = GBps(3);
+};
+
+struct GpuConfig {
+  std::uint32_t sms = 2;           // streaming multiprocessors
+  std::uint32_t lanes_per_sm = 128;
+  Hertz frequency = GHz(1.3);
+  // Fraction of peak lanes a well-written kernel actually sustains on this
+  // micro-architecture (scheduler quality, dual-issue, occupancy limits).
+  double issue_efficiency = 1.0;
+  CacheLevelConfig l1;             // aggregate L1/texture cache
+  CacheLevelConfig llc;            // device L2 (the paper's GPU LL cache)
+  Seconds launch_overhead = microsec(8);  // kernel launch + sync cost
+  // Effective bandwidth of pinned (zero-copy) accesses when the GPU caches
+  // are bypassed and no I/O-coherent port exists: narrow uncoalesced bursts
+  // straight to DRAM. This is the paper's 1.28 GB/s on the TX2.
+  BytesPerSecond uncached_bandwidth = GBps(1.28);
+};
+
+struct CopyEngineConfig {
+  BytesPerSecond bandwidth = GBps(12);  // DRAM-to-DRAM memcpy throughput
+  Seconds per_call_overhead = microsec(6);  // driver/API launch cost
+};
+
+struct PowerConfig {
+  Watts cpu_active = 3.0;
+  Watts gpu_active = 5.0;
+  Watts copy_active = 1.5;   // copy engine + DRAM burst power
+  Watts idle = 1.0;          // rest-of-SoC floor while the app runs
+};
+
+struct BoardConfig {
+  std::string name = "generic";
+  CpuConfig cpu;
+  GpuConfig gpu;
+  mem::DramConfig dram;
+  coherence::Capability capability = coherence::Capability::SwFlush;
+  coherence::FlushCosts flush;
+  coherence::IoCoherenceConfig io_coherence;
+  coherence::PageMigrationConfig um;
+  CopyEngineConfig copy;
+  PowerConfig power;
+
+  // Validates geometries and rates; aborts (contract violation) on nonsense.
+  void validate() const;
+
+  // Peak arithmetic rates implied by the clocking configuration.
+  double cpu_peak_ops_per_second() const;  // single-core scalar FP
+  double gpu_peak_ops_per_second() const;  // all SMs, one op/lane/cycle
+};
+
+}  // namespace cig::soc

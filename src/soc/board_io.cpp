@@ -1,0 +1,259 @@
+#include "soc/board_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "soc/presets.h"
+#include "support/assert.h"
+
+namespace cig::soc {
+
+namespace {
+
+Json cache_level_to_json(const CacheLevelConfig& level) {
+  Json j;
+  j["capacity_bytes"] = Json(static_cast<double>(level.geometry.capacity));
+  j["line_bytes"] = Json(static_cast<double>(level.geometry.line));
+  j["ways"] = Json(static_cast<double>(level.geometry.ways));
+  j["bandwidth_gbps"] = Json(to_GBps(level.bandwidth));
+  j["latency_ns"] = Json(to_ns(level.latency));
+  return j;
+}
+
+CacheLevelConfig cache_level_from_json(const Json& j,
+                                       const CacheLevelConfig& fallback) {
+  CacheLevelConfig level = fallback;
+  level.geometry.capacity = static_cast<Bytes>(j.number_or(
+      "capacity_bytes", static_cast<double>(fallback.geometry.capacity)));
+  level.geometry.line = static_cast<std::uint32_t>(
+      j.number_or("line_bytes", fallback.geometry.line));
+  level.geometry.ways = static_cast<std::uint32_t>(
+      j.number_or("ways", fallback.geometry.ways));
+  level.bandwidth = GBps(j.number_or("bandwidth_gbps",
+                                     to_GBps(fallback.bandwidth)));
+  level.latency = nanosec(j.number_or("latency_ns", to_ns(fallback.latency)));
+  return level;
+}
+
+}  // namespace
+
+Json board_to_json(const BoardConfig& board) {
+  Json j;
+  j["name"] = Json(board.name);
+  j["capability"] = Json(std::string(
+      board.capability == coherence::Capability::HwIoCoherent
+          ? "hw-io-coherent"
+          : "sw-flush"));
+
+  Json cpu;
+  cpu["cores"] = Json(static_cast<double>(board.cpu.cores));
+  cpu["frequency_mhz"] = Json(board.cpu.frequency / 1e6);
+  cpu["ipc"] = Json(board.cpu.ipc);
+  cpu["l1"] = cache_level_to_json(board.cpu.l1);
+  cpu["llc"] = cache_level_to_json(board.cpu.llc);
+  cpu["uncached_bandwidth_gbps"] = Json(to_GBps(board.cpu.uncached_bandwidth));
+  j["cpu"] = std::move(cpu);
+
+  Json gpu;
+  gpu["sms"] = Json(static_cast<double>(board.gpu.sms));
+  gpu["lanes_per_sm"] = Json(static_cast<double>(board.gpu.lanes_per_sm));
+  gpu["frequency_mhz"] = Json(board.gpu.frequency / 1e6);
+  gpu["issue_efficiency"] = Json(board.gpu.issue_efficiency);
+  gpu["l1"] = cache_level_to_json(board.gpu.l1);
+  gpu["llc"] = cache_level_to_json(board.gpu.llc);
+  gpu["launch_overhead_us"] = Json(to_us(board.gpu.launch_overhead));
+  gpu["uncached_bandwidth_gbps"] = Json(to_GBps(board.gpu.uncached_bandwidth));
+  j["gpu"] = std::move(gpu);
+
+  Json dram;
+  dram["bandwidth_gbps"] = Json(to_GBps(board.dram.bandwidth));
+  dram["latency_ns"] = Json(to_ns(board.dram.latency));
+  dram["uncached_efficiency"] = Json(board.dram.uncached_efficiency);
+  dram["energy_pj_per_byte"] = Json(board.dram.energy_per_byte * 1e12);
+  j["dram"] = std::move(dram);
+
+  Json flush;
+  flush["op_overhead_us"] = Json(to_us(board.flush.op_overhead));
+  flush["writeback_bandwidth_gbps"] = Json(to_GBps(board.flush.writeback_bw));
+  flush["per_line_ns"] = Json(to_ns(board.flush.per_line));
+  j["flush"] = std::move(flush);
+
+  Json io;
+  io["snoop_bandwidth_gbps"] = Json(to_GBps(board.io_coherence.snoop_bandwidth));
+  io["snoop_latency_ns"] = Json(to_ns(board.io_coherence.snoop_latency));
+  j["io_coherence"] = std::move(io);
+
+  Json um;
+  um["page_bytes"] = Json(static_cast<double>(board.um.page_size));
+  um["fault_latency_us"] = Json(to_us(board.um.fault_latency));
+  um["migration_bandwidth_gbps"] = Json(to_GBps(board.um.migration_bw));
+  um["batch_pages"] = Json(static_cast<double>(board.um.batch_pages));
+  j["um"] = std::move(um);
+
+  Json copy;
+  copy["bandwidth_gbps"] = Json(to_GBps(board.copy.bandwidth));
+  copy["per_call_overhead_us"] = Json(to_us(board.copy.per_call_overhead));
+  j["copy"] = std::move(copy);
+
+  Json power;
+  power["cpu_active_w"] = Json(board.power.cpu_active);
+  power["gpu_active_w"] = Json(board.power.gpu_active);
+  power["copy_active_w"] = Json(board.power.copy_active);
+  power["idle_w"] = Json(board.power.idle);
+  j["power"] = std::move(power);
+  return j;
+}
+
+BoardConfig board_from_json(const Json& j) {
+  BoardConfig board = generic_board();  // sparse files inherit the generic
+  board.name = j.string_or("name", board.name);
+  const std::string capability = j.string_or("capability", "sw-flush");
+  board.capability = capability == "hw-io-coherent"
+                         ? coherence::Capability::HwIoCoherent
+                         : coherence::Capability::SwFlush;
+
+  if (j.contains("cpu")) {
+    const auto& cpu = j.at("cpu");
+    board.cpu.cores =
+        static_cast<std::uint32_t>(cpu.number_or("cores", board.cpu.cores));
+    board.cpu.frequency =
+        MHz(cpu.number_or("frequency_mhz", board.cpu.frequency / 1e6));
+    board.cpu.ipc = cpu.number_or("ipc", board.cpu.ipc);
+    if (cpu.contains("l1")) {
+      board.cpu.l1 = cache_level_from_json(cpu.at("l1"), board.cpu.l1);
+    }
+    if (cpu.contains("llc")) {
+      board.cpu.llc = cache_level_from_json(cpu.at("llc"), board.cpu.llc);
+    }
+    board.cpu.uncached_bandwidth =
+        GBps(cpu.number_or("uncached_bandwidth_gbps",
+                           to_GBps(board.cpu.uncached_bandwidth)));
+  }
+
+  if (j.contains("gpu")) {
+    const auto& gpu = j.at("gpu");
+    board.gpu.sms =
+        static_cast<std::uint32_t>(gpu.number_or("sms", board.gpu.sms));
+    board.gpu.lanes_per_sm = static_cast<std::uint32_t>(
+        gpu.number_or("lanes_per_sm", board.gpu.lanes_per_sm));
+    board.gpu.frequency =
+        MHz(gpu.number_or("frequency_mhz", board.gpu.frequency / 1e6));
+    board.gpu.issue_efficiency =
+        gpu.number_or("issue_efficiency", board.gpu.issue_efficiency);
+    if (gpu.contains("l1")) {
+      board.gpu.l1 = cache_level_from_json(gpu.at("l1"), board.gpu.l1);
+    }
+    if (gpu.contains("llc")) {
+      board.gpu.llc = cache_level_from_json(gpu.at("llc"), board.gpu.llc);
+    }
+    board.gpu.launch_overhead = microsec(
+        gpu.number_or("launch_overhead_us", to_us(board.gpu.launch_overhead)));
+    board.gpu.uncached_bandwidth =
+        GBps(gpu.number_or("uncached_bandwidth_gbps",
+                           to_GBps(board.gpu.uncached_bandwidth)));
+  }
+
+  if (j.contains("dram")) {
+    const auto& dram = j.at("dram");
+    board.dram.bandwidth =
+        GBps(dram.number_or("bandwidth_gbps", to_GBps(board.dram.bandwidth)));
+    board.dram.latency =
+        nanosec(dram.number_or("latency_ns", to_ns(board.dram.latency)));
+    board.dram.uncached_efficiency =
+        dram.number_or("uncached_efficiency", board.dram.uncached_efficiency);
+    board.dram.energy_per_byte =
+        dram.number_or("energy_pj_per_byte",
+                       board.dram.energy_per_byte * 1e12) *
+        1e-12;
+  }
+
+  if (j.contains("flush")) {
+    const auto& flush = j.at("flush");
+    board.flush.op_overhead = microsec(
+        flush.number_or("op_overhead_us", to_us(board.flush.op_overhead)));
+    board.flush.writeback_bw =
+        GBps(flush.number_or("writeback_bandwidth_gbps",
+                             to_GBps(board.flush.writeback_bw)));
+    board.flush.per_line =
+        nanosec(flush.number_or("per_line_ns", to_ns(board.flush.per_line)));
+  }
+
+  if (j.contains("io_coherence")) {
+    const auto& io = j.at("io_coherence");
+    board.io_coherence.snoop_bandwidth =
+        GBps(io.number_or("snoop_bandwidth_gbps",
+                          to_GBps(board.io_coherence.snoop_bandwidth)));
+    board.io_coherence.snoop_latency =
+        nanosec(io.number_or("snoop_latency_ns",
+                             to_ns(board.io_coherence.snoop_latency)));
+  }
+
+  if (j.contains("um")) {
+    const auto& um = j.at("um");
+    board.um.page_size = static_cast<Bytes>(
+        um.number_or("page_bytes", static_cast<double>(board.um.page_size)));
+    board.um.fault_latency = microsec(
+        um.number_or("fault_latency_us", to_us(board.um.fault_latency)));
+    board.um.migration_bw = GBps(um.number_or(
+        "migration_bandwidth_gbps", to_GBps(board.um.migration_bw)));
+    board.um.batch_pages = static_cast<std::uint32_t>(
+        um.number_or("batch_pages", board.um.batch_pages));
+  }
+
+  if (j.contains("copy")) {
+    const auto& copy = j.at("copy");
+    board.copy.bandwidth =
+        GBps(copy.number_or("bandwidth_gbps", to_GBps(board.copy.bandwidth)));
+    board.copy.per_call_overhead = microsec(copy.number_or(
+        "per_call_overhead_us", to_us(board.copy.per_call_overhead)));
+  }
+
+  if (j.contains("power")) {
+    const auto& power = j.at("power");
+    board.power.cpu_active =
+        power.number_or("cpu_active_w", board.power.cpu_active);
+    board.power.gpu_active =
+        power.number_or("gpu_active_w", board.power.gpu_active);
+    board.power.copy_active =
+        power.number_or("copy_active_w", board.power.copy_active);
+    board.power.idle = power.number_or("idle_w", board.power.idle);
+  }
+
+  board.validate();
+  return board;
+}
+
+void save_board(const BoardConfig& board, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << board_to_json(board).dump(2) << '\n';
+}
+
+BoardConfig load_board(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return board_from_json(Json::parse(buffer.str()));
+}
+
+BoardConfig resolve_board(const std::string& name_or_path) {
+  std::string lower = name_or_path;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "nano" || lower == "jetson-nano") return jetson_nano();
+  if (lower == "tx2" || lower == "jetson-tx2") return jetson_tx2();
+  if (lower == "xavier" || lower == "agx-xavier" || lower == "jetson-xavier") {
+    return jetson_agx_xavier();
+  }
+  if (lower == "xavier-nx" || lower == "nx") return jetson_xavier_nx();
+  if (lower == "generic") return generic_board();
+  if (std::ifstream(name_or_path).good()) return load_board(name_or_path);
+  throw std::runtime_error("unknown board '" + name_or_path +
+                           "' (try nano, tx2, xavier, xavier-nx, generic or a "
+                           "JSON file path)");
+}
+
+}  // namespace cig::soc

@@ -1,0 +1,30 @@
+// Board-config serialisation: BoardConfig <-> JSON, so boards can be
+// shipped as files and loaded by the CLI (`cigtool --board myboard.json`).
+//
+// Format (units chosen for human editing):
+//   sizes in bytes, frequencies in MHz, bandwidths in GB/s (decimal),
+//   latencies in nanoseconds, power in watts. Missing members fall back to
+//   the corresponding `generic_board()` value, so sparse files stay valid.
+#pragma once
+
+#include <string>
+
+#include "soc/board.h"
+#include "support/json.h"
+
+namespace cig::soc {
+
+// Full round-trip serialisation.
+Json board_to_json(const BoardConfig& board);
+BoardConfig board_from_json(const Json& json);
+
+// File helpers (throw std::runtime_error on I/O or parse failure).
+void save_board(const BoardConfig& board, const std::string& path);
+BoardConfig load_board(const std::string& path);
+
+// Resolves a board by preset name ("nano", "tx2", "xavier", "generic",
+// case-insensitive) or, if `name_or_path` names a readable file, loads it
+// as JSON. Throws on unknown names.
+BoardConfig resolve_board(const std::string& name_or_path);
+
+}  // namespace cig::soc

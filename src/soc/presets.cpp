@@ -1,0 +1,229 @@
+#include "soc/presets.h"
+
+#include <vector>
+
+namespace cig::soc {
+
+using mem::make_geometry;
+
+BoardConfig jetson_nano() {
+  BoardConfig b;
+  b.name = "Jetson Nano";
+  b.capability = coherence::Capability::SwFlush;
+
+  b.cpu.cores = 4;
+  b.cpu.frequency = GHz(1.43);
+  b.cpu.ipc = 0.6;  // A57 at low clock, calibrated vs Table III CPU times
+  b.cpu.l1 = CacheLevelConfig{make_geometry(KiB(32), 64, 2), GBps(25),
+                              nanosec(1.5)};
+  b.cpu.llc = CacheLevelConfig{make_geometry(MiB(2), 64, 16), GBps(16),
+                               nanosec(9)};
+  b.cpu.uncached_bandwidth = GBps(0.5);  // A57 uncached LPDDR4 path
+
+  b.gpu.sms = 1;
+  b.gpu.lanes_per_sm = 128;
+  b.gpu.frequency = MHz(921);
+  b.gpu.issue_efficiency = 0.28;  // Maxwell, calibrated vs Table III
+  b.gpu.l1 = CacheLevelConfig{make_geometry(KiB(32), 64, 4), GBps(50),
+                              nanosec(6)};
+  // Maxwell L2 256 KiB; bandwidth scaled from TX2's measured 97 GB/s by the
+  // SM/clock ratio.
+  b.gpu.llc = CacheLevelConfig{make_geometry(KiB(256), 64, 16), GBps(35),
+                               nanosec(25)};
+  b.gpu.launch_overhead = microsec(12);
+  b.gpu.uncached_bandwidth = GBps(0.9);  // "equivalent to TX2" regime
+
+  b.dram = mem::DramConfig{.bandwidth = GBps(25.6),
+                           .latency = nanosec(140),
+                           .uncached_efficiency = 0.05,
+                           .energy_per_byte = 45e-12};
+  b.flush = coherence::FlushCosts{.op_overhead = microsec(4),
+                                  .writeback_bw = GBps(8),
+                                  .per_line = nanosec(3)};
+  b.um = coherence::PageMigrationConfig{.page_size = KiB(4),
+                                        .fault_latency = microsec(12),
+                                        .migration_bw = GBps(8),
+                                        .batch_pages = 128};
+  // Calibrated against Table II: 44.8 us copy per SH-WFS kernel (256 KiB
+  // frame): 6 us overhead + 256 KiB / 7 GB/s ~= 43 us.
+  b.copy = CopyEngineConfig{.bandwidth = GBps(7),
+                            .per_call_overhead = microsec(6)};
+  b.power = PowerConfig{.cpu_active = 1.8,
+                        .gpu_active = 2.8,
+                        .copy_active = 1.2,
+                        .idle = 1.25};
+  b.validate();
+  return b;
+}
+
+BoardConfig jetson_tx2() {
+  BoardConfig b;
+  b.name = "Jetson TX2";
+  b.capability = coherence::Capability::SwFlush;
+
+  b.cpu.cores = 4;
+  b.cpu.frequency = GHz(2.0);
+  b.cpu.ipc = 1.2;
+  b.cpu.l1 = CacheLevelConfig{make_geometry(KiB(32), 64, 2), GBps(40),
+                              nanosec(1.2)};
+  b.cpu.llc = CacheLevelConfig{make_geometry(MiB(2), 64, 16), GBps(26),
+                               nanosec(8)};
+  b.cpu.uncached_bandwidth = GBps(2.2);
+
+  b.gpu.sms = 2;
+  b.gpu.lanes_per_sm = 128;
+  b.gpu.frequency = GHz(1.3);
+  b.gpu.issue_efficiency = 0.25;  // Pascal scheduler, calibrated vs Table III
+  b.gpu.l1 = CacheLevelConfig{make_geometry(KiB(64), 64, 4), GBps(120),
+                              nanosec(5)};
+  // Table I: SC GPU LL-L1 throughput 97.34 GB/s (UM 104.15 via the UM
+  // allocator's slightly better L2 interleaving, modelled in the executor).
+  b.gpu.llc = CacheLevelConfig{make_geometry(KiB(512), 64, 16), GBps(106),
+                               nanosec(20)};
+  b.gpu.launch_overhead = microsec(8);
+  // Table I: ZC GPU throughput 1.28 GB/s (uncoalesced uncached bursts).
+  b.gpu.uncached_bandwidth = GBps(1.28);
+
+  b.dram = mem::DramConfig{.bandwidth = GBps(59.7),
+                           .latency = nanosec(120),
+                           .uncached_efficiency = 0.04,
+                           .energy_per_byte = 40e-12};
+  b.flush = coherence::FlushCosts{.op_overhead = microsec(3),
+                                  .writeback_bw = GBps(12),
+                                  .per_line = nanosec(2)};
+  b.um = coherence::PageMigrationConfig{.page_size = KiB(4),
+                                        .fault_latency = microsec(8),
+                                        .migration_bw = GBps(16),
+                                        .batch_pages = 128};
+  // Table II: 22.4 us copy per SH-WFS kernel (256 KiB frame):
+  // 4 us + 256 KiB / 14 GB/s ~= 23 us.
+  b.copy = CopyEngineConfig{.bandwidth = GBps(14),
+                            .per_call_overhead = microsec(4)};
+  b.power = PowerConfig{.cpu_active = 3.2,
+                        .gpu_active = 4.6,
+                        .copy_active = 1.6,
+                        .idle = 2.0};
+  b.validate();
+  return b;
+}
+
+BoardConfig jetson_agx_xavier() {
+  BoardConfig b;
+  b.name = "Jetson AGX Xavier";
+  b.capability = coherence::Capability::HwIoCoherent;
+
+  b.cpu.cores = 8;
+  b.cpu.frequency = GHz(2.26);
+  b.cpu.ipc = 2.0;  // Carmel 10-wide OoO
+  b.cpu.l1 = CacheLevelConfig{make_geometry(KiB(64), 64, 4), GBps(60),
+                              nanosec(1.0)};
+  // Carmel: 2 MiB L2 per duplex + 4 MiB L3; modelled as one 4 MiB LLC.
+  b.cpu.llc = CacheLevelConfig{make_geometry(MiB(4), 64, 16), GBps(40),
+                               nanosec(7)};
+  b.cpu.uncached_bandwidth = GBps(6);  // unused: ZC keeps the CPU LLC on
+
+  b.gpu.sms = 8;
+  b.gpu.lanes_per_sm = 64;
+  b.gpu.frequency = GHz(1.377);
+  b.gpu.issue_efficiency = 1.0;  // Volta independent thread scheduling
+  b.gpu.l1 = CacheLevelConfig{make_geometry(KiB(128), 64, 4), GBps(400),
+                              nanosec(4)};
+  // Table I: SC GPU LL-L1 throughput 214.64 GB/s.
+  b.gpu.llc = CacheLevelConfig{make_geometry(KiB(512), 64, 16), GBps(242),
+                               nanosec(15)};
+  b.gpu.launch_overhead = microsec(5);
+  b.gpu.uncached_bandwidth = GBps(4);  // unused: ZC routes via the I/O port
+
+  b.dram = mem::DramConfig{.bandwidth = GBps(136.5),
+                           .latency = nanosec(110),
+                           .uncached_efficiency = 0.08,
+                           .energy_per_byte = 30e-12};
+  b.flush = coherence::FlushCosts{.op_overhead = microsec(2),
+                                  .writeback_bw = GBps(25),
+                                  .per_line = nanosec(0.5)};
+  // Table I: ZC GPU throughput 32.29 GB/s == the I/O-coherent port limit.
+  b.io_coherence = coherence::IoCoherenceConfig{
+      .snoop_bandwidth = GBps(35.1), .snoop_latency = nanosec(160)};
+  b.um = coherence::PageMigrationConfig{.page_size = KiB(4),
+                                        .fault_latency = microsec(10),
+                                        .migration_bw = GBps(25),
+                                        .batch_pages = 128};
+  // Table II: 16.88 us copy per SH-WFS kernel (256 KiB frame):
+  // 2.5 us + 256 KiB / 18 GB/s ~= 17 us.
+  b.copy = CopyEngineConfig{.bandwidth = GBps(18),
+                            .per_call_overhead = microsec(2.5)};
+  b.power = PowerConfig{.cpu_active = 7.0,
+                        .gpu_active = 11.0,
+                        .copy_active = 2.4,
+                        .idle = 4.0};
+  b.validate();
+  return b;
+}
+
+BoardConfig jetson_xavier_nx() {
+  // Derived from the AGX preset by public NX module specs: fewer cores and
+  // SMs, lower clocks, half the DRAM bandwidth, a proportionally narrower
+  // I/O-coherent port. Untouched by calibration (no paper data): this is
+  // the framework's *prediction* for the board.
+  BoardConfig b = jetson_agx_xavier();
+  b.name = "Jetson Xavier NX";
+  b.cpu.cores = 6;
+  b.cpu.frequency = GHz(1.9);
+  b.gpu.sms = 6;
+  b.gpu.frequency = GHz(1.1);
+  b.gpu.llc = CacheLevelConfig{make_geometry(KiB(512), 64, 16), GBps(150),
+                               nanosec(15)};
+  b.dram = mem::DramConfig{.bandwidth = GBps(59.7),
+                           .latency = nanosec(115),
+                           .uncached_efficiency = 0.08,
+                           .energy_per_byte = 30e-12};
+  b.io_coherence = coherence::IoCoherenceConfig{
+      .snoop_bandwidth = GBps(20), .snoop_latency = nanosec(170)};
+  b.copy = CopyEngineConfig{.bandwidth = GBps(12),
+                            .per_call_overhead = microsec(2.5)};
+  b.power = PowerConfig{.cpu_active = 4.5,
+                        .gpu_active = 7.0,
+                        .copy_active = 1.8,
+                        .idle = 3.0};
+  b.validate();
+  return b;
+}
+
+BoardConfig generic_board() {
+  BoardConfig b;
+  b.name = "generic";
+  b.capability = coherence::Capability::SwFlush;
+
+  b.cpu.cores = 2;
+  b.cpu.frequency = GHz(1.0);
+  b.cpu.l1 = CacheLevelConfig{make_geometry(KiB(4), 64, 2), GBps(20),
+                              nanosec(1)};
+  b.cpu.llc = CacheLevelConfig{make_geometry(KiB(64), 64, 4), GBps(10),
+                               nanosec(8)};
+  b.cpu.uncached_bandwidth = GBps(1);
+
+  b.gpu.sms = 1;
+  b.gpu.lanes_per_sm = 32;
+  b.gpu.frequency = GHz(1.0);
+  b.gpu.l1 = CacheLevelConfig{make_geometry(KiB(4), 64, 2), GBps(40),
+                              nanosec(4)};
+  b.gpu.llc = CacheLevelConfig{make_geometry(KiB(32), 64, 4), GBps(20),
+                               nanosec(15)};
+  b.gpu.launch_overhead = microsec(5);
+  b.gpu.uncached_bandwidth = GBps(0.5);
+
+  b.dram = mem::DramConfig{.bandwidth = GBps(10),
+                           .latency = nanosec(100),
+                           .uncached_efficiency = 0.1,
+                           .energy_per_byte = 40e-12};
+  b.copy = CopyEngineConfig{.bandwidth = GBps(4),
+                            .per_call_overhead = microsec(5)};
+  b.validate();
+  return b;
+}
+
+std::vector<BoardConfig> jetson_family() {
+  return {jetson_nano(), jetson_tx2(), jetson_agx_xavier()};
+}
+
+}  // namespace cig::soc

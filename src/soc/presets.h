@@ -1,0 +1,39 @@
+// Board presets for the three NVIDIA Jetson platforms evaluated in the
+// paper, plus a deliberately small "generic" SoC for tests and examples.
+//
+// Cache geometries and DRAM bandwidths come from public Jetson module specs;
+// the service-bandwidth and uncached-path parameters are calibrated so the
+// micro-benchmarks land near the paper's measurements (Table I, Figs 3/6/7).
+// Every calibrated constant is commented with its target.
+#pragma once
+
+#include <vector>
+
+#include "soc/board.h"
+
+namespace cig::soc {
+
+// Jetson Nano: 4x Cortex-A57 @ 1.43 GHz, 128-core Maxwell @ 921 MHz,
+// 4 GB LPDDR4 @ 25.6 GB/s, software coherence only.
+BoardConfig jetson_nano();
+
+// Jetson TX2: 4x Cortex-A57 @ 2.0 GHz (Denver cluster unused), 256-core
+// Pascal @ 1.3 GHz, 8 GB LPDDR4 @ 59.7 GB/s, software coherence only.
+BoardConfig jetson_tx2();
+
+// Jetson AGX Xavier: 8x Carmel @ 2.26 GHz, 512-core Volta @ 1.377 GHz,
+// 16 GB LPDDR4x @ 136.5 GB/s, hardware I/O coherence.
+BoardConfig jetson_agx_xavier();
+
+// Jetson Xavier NX: 6x Carmel @ 1.9 GHz, 384-core Volta @ 1.1 GHz,
+// 8 GB LPDDR4x @ 59.7 GB/s, hardware I/O coherence (scaled-down AGX;
+// not evaluated in the paper — provided as a prediction target).
+BoardConfig jetson_xavier_nx();
+
+// Small synthetic SoC (tiny caches, round numbers) for fast unit tests.
+BoardConfig generic_board();
+
+// All three Jetson presets, in the order the paper tables use.
+std::vector<BoardConfig> jetson_family();
+
+}  // namespace cig::soc

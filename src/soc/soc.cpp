@@ -1,0 +1,71 @@
+#include "soc/soc.h"
+
+#include "support/assert.h"
+
+namespace cig::soc {
+
+SoC::SoC(BoardConfig config)
+    : config_(std::move(config)),
+      dram_(config_.dram),
+      cpu_l1_(config_.cpu.l1.geometry, mem::Replacement::Lru, 0xC1),
+      cpu_llc_(config_.cpu.llc.geometry, mem::Replacement::Lru, 0xC2),
+      gpu_l1_(config_.gpu.l1.geometry, mem::Replacement::Lru, 0x61),
+      gpu_llc_(config_.gpu.llc.geometry, mem::Replacement::Lru, 0x62),
+      flush_engine_(config_.flush),
+      io_port_(config_.io_coherence),
+      um_engine_(config_.um) {
+  config_.validate();
+
+  cpu_hierarchy_ = std::make_unique<mem::MemoryHierarchy>(
+      std::vector<mem::HierarchyLevel>{
+          {&cpu_l1_, config_.cpu.l1.bandwidth, config_.cpu.l1.latency, true,
+           "CPU-L1"},
+          {&cpu_llc_, config_.cpu.llc.bandwidth, config_.cpu.llc.latency, true,
+           "CPU-LLC"},
+      },
+      &dram_);
+  gpu_hierarchy_ = std::make_unique<mem::MemoryHierarchy>(
+      std::vector<mem::HierarchyLevel>{
+          {&gpu_l1_, config_.gpu.l1.bandwidth, config_.gpu.l1.latency, true,
+           "GPU-L1"},
+          {&gpu_llc_, config_.gpu.llc.bandwidth, config_.gpu.llc.latency, true,
+           "GPU-LLC"},
+      },
+      &dram_);
+}
+
+Seconds SoC::cpu_compute_time(double ops, double ops_per_cycle,
+                              std::uint32_t threads) const {
+  CIG_EXPECTS(ops >= 0);
+  CIG_EXPECTS(ops_per_cycle > 0);
+  CIG_EXPECTS(threads >= 1 && threads <= config_.cpu.cores);
+  const double rate = config_.cpu_peak_ops_per_second() * ops_per_cycle *
+                      static_cast<double>(threads);
+  return ops / rate;
+}
+
+Seconds SoC::gpu_compute_time(double ops, double utilization) const {
+  CIG_EXPECTS(ops >= 0);
+  CIG_EXPECTS(utilization > 0 && utilization <= 1.0);
+  const double rate = config_.gpu_peak_ops_per_second() * utilization;
+  return ops / rate;
+}
+
+void SoC::reset() {
+  cpu_l1_.reset();
+  cpu_llc_.reset();
+  gpu_l1_.reset();
+  gpu_llc_.reset();
+  dram_.reset_traffic();
+  io_port_.reset_counters();
+  um_engine_.reset();
+  cpu_hierarchy_->reset_counters();
+  gpu_hierarchy_->reset_counters();
+  // Cache enables may have been flipped by an executor run; restore.
+  for (std::size_t i = 0; i < cpu_hierarchy_->level_count(); ++i)
+    cpu_hierarchy_->set_enabled(i, true);
+  for (std::size_t i = 0; i < gpu_hierarchy_->level_count(); ++i)
+    gpu_hierarchy_->set_enabled(i, true);
+}
+
+}  // namespace cig::soc

@@ -1,0 +1,69 @@
+// SoC assembly: owns the simulated caches, DRAM and coherence engines for
+// one board, and exposes the CPU-side and GPU-side memory hierarchies as
+// views. The communication-model executor flips cache enables on these
+// hierarchies; the SoC itself is model-agnostic.
+#pragma once
+
+#include <memory>
+
+#include "coherence/flush.h"
+#include "coherence/io_coherence.h"
+#include "coherence/page_migration.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/memory.h"
+#include "soc/board.h"
+
+namespace cig::soc {
+
+class SoC {
+ public:
+  explicit SoC(BoardConfig config);
+
+  // Non-copyable: hierarchies hold pointers into the caches.
+  SoC(const SoC&) = delete;
+  SoC& operator=(const SoC&) = delete;
+
+  const BoardConfig& config() const { return config_; }
+
+  mem::SetAssocCache& cpu_l1() { return cpu_l1_; }
+  mem::SetAssocCache& cpu_llc() { return cpu_llc_; }
+  mem::SetAssocCache& gpu_l1() { return gpu_l1_; }
+  mem::SetAssocCache& gpu_llc() { return gpu_llc_; }
+  mem::MainMemory& dram() { return dram_; }
+
+  coherence::FlushEngine& flush_engine() { return flush_engine_; }
+  coherence::IoCoherencePort& io_port() { return io_port_; }
+  coherence::PageMigrationEngine& um_engine() { return um_engine_; }
+
+  // Level order: [0]=L1, [1]=LLC.
+  mem::MemoryHierarchy& cpu_hierarchy() { return *cpu_hierarchy_; }
+  mem::MemoryHierarchy& gpu_hierarchy() { return *gpu_hierarchy_; }
+
+  // Time for `ops` arithmetic operations on one CPU core at the given
+  // effective issue rate (dependent sqrt/div chains have rates << 1).
+  Seconds cpu_compute_time(double ops, double ops_per_cycle = 1.0,
+                           std::uint32_t threads = 1) const;
+
+  // Time for `ops` operations across the whole GPU at the given utilization
+  // (fraction of peak lanes actually issuing each cycle).
+  Seconds gpu_compute_time(double ops, double utilization = 1.0) const;
+
+  // Restores pristine state: cold caches, zeroed counters, host-owned pages.
+  void reset();
+
+ private:
+  BoardConfig config_;
+  mem::MainMemory dram_;
+  mem::SetAssocCache cpu_l1_;
+  mem::SetAssocCache cpu_llc_;
+  mem::SetAssocCache gpu_l1_;
+  mem::SetAssocCache gpu_llc_;
+  coherence::FlushEngine flush_engine_;
+  coherence::IoCoherencePort io_port_;
+  coherence::PageMigrationEngine um_engine_;
+  std::unique_ptr<mem::MemoryHierarchy> cpu_hierarchy_;
+  std::unique_ptr<mem::MemoryHierarchy> gpu_hierarchy_;
+};
+
+}  // namespace cig::soc

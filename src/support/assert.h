@@ -1,0 +1,32 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations abort with a source location;
+// they indicate programming errors, not runtime conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cig::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace cig::detail
+
+#define CIG_EXPECTS(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::cig::detail::contract_failure("Precondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define CIG_ENSURES(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                              \
+          : ::cig::detail::contract_failure("Postcondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define CIG_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::cig::detail::contract_failure("Assertion", #cond, __FILE__, \
+                                            __LINE__))

@@ -1,0 +1,54 @@
+#include "support/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/assert.h"
+
+namespace cig {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  CIG_EXPECTS(!columns.empty());
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(columns);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  CIG_EXPECTS(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << v;
+    cells.push_back(ss.str());
+  }
+  add_row(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace cig

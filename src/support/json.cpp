@@ -1,0 +1,386 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cig {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected) {
+  throw std::runtime_error(std::string("Json: value is not ") + expected);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& Json::as_array() {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& Json::as_object() {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    throw std::runtime_error("Json: missing member '" + key + "'");
+  }
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) != 0;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::string_or(const std::string& key,
+                            std::string fallback) const {
+  return contains(key) ? at(key).as_string() : std::move(fallback);
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = JsonObject{};
+  return as_object()[key];
+}
+
+void Json::push_back(Json value) {
+  if (is_null()) value_ = JsonArray{};
+  as_array().push_back(std::move(value));
+}
+
+// --- serialisation -------------------------------------------------------------
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(out, std::get<double>(value_));
+  } else if (is_string()) {
+    dump_string(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const auto& array = std::get<JsonArray>(value_);
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i) out += ',';
+      newline_indent(out, indent, depth + 1);
+      array[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& object = std::get<JsonObject>(value_);
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : object) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_string(out, key);
+      out += indent > 0 ? ": " : ":";
+      value.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parsing --------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(message, pos_);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code += 10 + h - 'a';
+              } else if (h >= 'A' && h <= 'F') {
+                code += 10 + h - 'A';
+              } else {
+                fail("bad \\u escape digit");
+              }
+            }
+            // Latin-1 subset is enough for config files; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{} || result.ptr != text_.data() + pos_ ||
+        start == pos_) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cig

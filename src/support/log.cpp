@@ -1,0 +1,103 @@
+#include "support/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.h"
+#include "support/units.h"
+
+namespace cig {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("CIG_LOG")) {
+      return parse_log_level(env);
+    }
+    return LogLevel::Warn;
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[cig %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+// --- unit formatting (declared in units.h) ----------------------------------
+
+std::string format_time(Seconds t) {
+  char buf[64];
+  const double abs = t < 0 ? -t : t;
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", t);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", to_ms(t));
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", to_ns(t));
+  }
+  return buf;
+}
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= GiB(1)) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", v / static_cast<double>(GiB(1)));
+  } else if (b >= MiB(1)) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", v / static_cast<double>(MiB(1)));
+  } else if (b >= KiB(1)) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", v / static_cast<double>(KiB(1)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(BytesPerSecond bw) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f GB/s", to_GBps(bw));
+  return buf;
+}
+
+}  // namespace cig

@@ -1,0 +1,38 @@
+// Leveled logging to stderr. Default level is Warn so library users see
+// problems but benches stay quiet; set CIG_LOG=debug|info|warn|error or call
+// set_log_level() to change it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cig {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+}  // namespace cig
+
+#define CIG_LOG(level, expr)                                      \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::cig::log_level())) {                   \
+      std::ostringstream cig_log_ss;                              \
+      cig_log_ss << expr;                                         \
+      ::cig::detail::emit_log(level, cig_log_ss.str());           \
+    }                                                             \
+  } while (0)
+
+#define CIG_DEBUG(expr) CIG_LOG(::cig::LogLevel::Debug, expr)
+#define CIG_INFO(expr) CIG_LOG(::cig::LogLevel::Info, expr)
+#define CIG_WARN(expr) CIG_LOG(::cig::LogLevel::Warn, expr)
+#define CIG_ERROR(expr) CIG_LOG(::cig::LogLevel::Error, expr)

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be fully reproducible across runs and platforms, so we
+// ship our own small generators instead of relying on the
+// implementation-defined distributions of <random>.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.h"
+
+namespace cig {
+
+// SplitMix64 — used to seed and for cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDC16u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) {
+    CIG_EXPECTS(bound > 0);
+    // Multiply-shift rejection-free mapping (slight modulo bias is
+    // irrelevant for workload generation).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace cig

@@ -1,0 +1,58 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  CIG_EXPECTS(!samples.empty());
+  CIG_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double median(std::vector<double> samples) {
+  return percentile(std::move(samples), 0.5);
+}
+
+double geometric_mean(const std::vector<double>& samples) {
+  CIG_EXPECTS(!samples.empty());
+  double log_sum = 0.0;
+  for (double s : samples) {
+    CIG_EXPECTS(s > 0.0);
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace cig

@@ -1,0 +1,42 @@
+// Streaming and batch summary statistics used by benchmark harnesses and
+// the profiler (Welford's algorithm for numerically stable variance).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cig {
+
+// Single-pass mean/variance/min/max accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile with linear interpolation; `q` in [0,1]. Sorts a copy.
+double percentile(std::vector<double> samples, double q);
+
+// Median absolute deviation — robust spread estimate for noisy measurements.
+double median(std::vector<double> samples);
+
+// Geometric mean (all samples must be > 0).
+double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace cig

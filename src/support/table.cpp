@@ -1,0 +1,98 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= s.size();
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return right ? fill + s : s + fill;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CIG_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CIG_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::render(Align numbers) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  rule();
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << ' ' << pad(headers_[c], widths[c], false) << " |";
+  out << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = numbers == Align::Right && looks_numeric(row[c]);
+      out << ' ' << pad(row[c], widths[c], right) << " |";
+    }
+    out << '\n';
+  }
+  rule();
+  return out.str();
+}
+
+std::string Table::render_markdown() const {
+  std::ostringstream out;
+  out << '|';
+  for (const auto& h : headers_) out << ' ' << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : rows_) {
+    out << '|';
+    for (const auto& cell : row) out << ' ' << cell << " |";
+    out << '\n';
+  }
+  return out.str();
+}
+
+void print_table(std::ostream& os, const Table& table) {
+  os << table.render() << '\n';
+}
+
+}  // namespace cig

@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark harnesses: every bench binary
+// prints rows in the same layout the paper's tables/figures use.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cig {
+
+enum class Align { Left, Right };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the row must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  // Renders with box-drawing separators, one aligned column per header.
+  std::string render(Align numbers = Align::Right) const;
+
+  // Renders as GitHub-flavoured Markdown (used by EXPERIMENTS.md tooling).
+  std::string render_markdown() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints `table.render()` followed by a blank line.
+void print_table(std::ostream& os, const Table& table);
+
+}  // namespace cig

@@ -1,0 +1,51 @@
+// Units used throughout the library.
+//
+// Times are plain `double` seconds (alias `Seconds`) — the simulator is a
+// continuous-time performance model, not a cycle-accurate RTL model, so
+// floating-point seconds with named constructors keep the arithmetic
+// readable. Byte counts are unsigned 64-bit. Bandwidths are bytes/second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cig {
+
+using Seconds = double;        // simulated wall-clock time
+using Bytes = std::uint64_t;   // data sizes
+using BytesPerSecond = double; // bandwidths
+using Joules = double;         // energy
+using Watts = double;          // power
+
+// --- time constructors -----------------------------------------------------
+constexpr Seconds seconds(double v) { return v; }
+constexpr Seconds millisec(double v) { return v * 1e-3; }
+constexpr Seconds microsec(double v) { return v * 1e-6; }
+constexpr Seconds nanosec(double v) { return v * 1e-9; }
+
+constexpr double to_us(Seconds t) { return t * 1e6; }
+constexpr double to_ms(Seconds t) { return t * 1e3; }
+constexpr double to_ns(Seconds t) { return t * 1e9; }
+
+// --- size constructors ------------------------------------------------------
+constexpr Bytes KiB(std::uint64_t v) { return v * 1024ull; }
+constexpr Bytes MiB(std::uint64_t v) { return v * 1024ull * 1024ull; }
+constexpr Bytes GiB(std::uint64_t v) { return v * 1024ull * 1024ull * 1024ull; }
+
+// --- bandwidth constructors ---------------------------------------------------
+// Vendor-style decimal giga (1e9), matching how the paper reports GB/s.
+constexpr BytesPerSecond GBps(double v) { return v * 1e9; }
+constexpr BytesPerSecond MBps(double v) { return v * 1e6; }
+constexpr double to_GBps(BytesPerSecond bw) { return bw / 1e9; }
+
+// --- frequency ----------------------------------------------------------------
+using Hertz = double;
+constexpr Hertz MHz(double v) { return v * 1e6; }
+constexpr Hertz GHz(double v) { return v * 1e9; }
+
+// Human-readable renderings ("453.5 us", "512.0 MiB", "97.3 GB/s").
+std::string format_time(Seconds t);
+std::string format_bytes(Bytes b);
+std::string format_bandwidth(BytesPerSecond bw);
+
+}  // namespace cig

@@ -1,0 +1,240 @@
+#include "workload/builders.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::workload {
+
+namespace {
+
+// Disjoint logical address regions so shared and private streams never alias.
+constexpr std::uint64_t kSharedBase = 0x1000'0000ull;
+constexpr std::uint64_t kPrivateBase = 0x4000'0000ull;
+
+}  // namespace
+
+Workload mb1_workload(const soc::BoardConfig& board) {
+  Workload w;
+  w.name = "mb1-peak-cache-throughput";
+
+  // Matrix sized to sit in the GPU LLC while exceeding the L1, so the
+  // steady-state linear reduction measures LL-L1 throughput.
+  const Bytes extent = std::max<Bytes>(board.gpu.l1.geometry.capacity * 2,
+                                       board.gpu.llc.geometry.capacity * 3 / 4);
+  constexpr std::uint32_t kPasses = 64;
+  const double elements = static_cast<double>(extent) / 4.0;
+
+  w.gpu.name = "reduction2d";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = extent,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .passes = kPasses,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.ops = elements * kPasses;  // one add per loaded element
+  w.gpu.utilization = 0.5;
+  w.gpu.mlp = 1024;  // throughput kernel: enough warps to hide all latency
+
+  // CPU: K touches of one shared address, ~110 dependent FP ops per touch
+  // (sqrt/div/mul chain). K chosen so the CPU routine and the GPU kernel
+  // have comparable SC runtimes ("balanced", as in Fig. 5).
+  const Seconds gpu_time_estimate =
+      static_cast<double>(extent) * kPasses / board.gpu.llc.bandwidth;
+  constexpr double kOpsPerTouch = 110.0;
+  constexpr double kCpuOpc = 0.25;  // dependent-chain issue rate
+  const double touch_time =
+      kOpsPerTouch / (kCpuOpc * board.cpu_peak_ops_per_second());
+  const auto touches = static_cast<std::uint64_t>(
+      std::max(1.0, gpu_time_estimate / touch_time));
+
+  w.cpu.name = "fp-chain";
+  w.cpu.ops = kOpsPerTouch * static_cast<double>(touches);
+  w.cpu.ops_per_cycle = kCpuOpc;
+  w.cpu.mlp = 1.0;  // fully dependent
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::SingleLocation,
+                                   .base = kSharedBase,
+                                   .extent = 64,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .count = touches,
+                                   .line_hint = board.cpu.l1.geometry.line};
+
+  w.h2d_bytes = extent;
+  w.d2h_bytes = 64;
+  w.iterations = 1;
+  w.overlappable = true;
+  w.validate();
+  return w;
+}
+
+Workload mb2_workload(const soc::BoardConfig& board, double fraction) {
+  CIG_EXPECTS(fraction > 0.0 && fraction <= 0.5);
+  Workload w;
+  w.name = "mb2-cache-threshold";
+
+  // Fixed array: sized so the ZC-vs-SC divergence point lands where the
+  // board's uncached/coherent-port bandwidth says it should (see DESIGN.md
+  // calibration notes): SwFlush boards use 8 MiB, I/O-coherent 32 MiB.
+  const Bytes extent = board.capability == coherence::Capability::HwIoCoherent
+                           ? MiB(32)
+                           : MiB(8);
+  const Bytes span = std::max<Bytes>(
+      64, static_cast<Bytes>(static_cast<double>(extent) * fraction));
+  constexpr std::uint32_t kPasses = 3;
+  const double elements = static_cast<double>(span) / 4.0;
+
+  w.gpu.name = "fma-sweep";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = span,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = kPasses,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  // ld + fma + st plus the two locally-calculated operands ~ 6 ops/element.
+  w.gpu.ops = elements * kPasses * 6.0;
+  w.gpu.utilization = 0.4;
+  w.gpu.mlp = 1024;  // streaming sweep saturates the memory pipeline
+
+  w.cpu.name = "idle";
+  w.cpu.ops = 0;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::SingleLocation,
+                                   .base = kSharedBase,
+                                   .extent = 64,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .count = 0};
+
+  w.h2d_bytes = 0;  // MB2 compares kernel times only
+  w.d2h_bytes = 0;
+  w.iterations = 1;
+  w.overlappable = false;
+  w.validate();
+  return w;
+}
+
+Workload mb2_cpu_workload(const soc::BoardConfig& board, double fraction) {
+  CIG_EXPECTS(fraction > 0.0 && fraction <= 0.5);
+  Workload w;
+  w.name = "mb2-cpu-cache-threshold";
+
+  // The CPU-side sweep varies the *mix*: a fixed amount of arithmetic plus
+  // L1-resident accesses, with `fraction` of an LLC-band array (larger than
+  // L1, smaller than the LLC) touched per run. Cache usage (eqn 1) grows
+  // with the fraction; under ZC on a SwFlush board that traffic turns
+  // uncacheable, and the divergence point defines CPU_Cache_Threshold.
+  const Bytes array = KiB(512);  // sits in the LLC band on all Jetsons
+  const Bytes span = std::max<Bytes>(
+      64, static_cast<Bytes>(static_cast<double>(array) * fraction));
+
+  w.cpu.name = "mix-sweep-cpu";
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = span,
+                                   .access_size = 64,  // vectorised chunks
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = 1,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  // L1-resident working data, touched heavily regardless of the fraction.
+  w.cpu.private_pattern =
+      mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                       .base = kPrivateBase,
+                       .extent = KiB(8),
+                       .access_size = 64,
+                       .rw = mem::RwMix::ReadModifyWrite,
+                       .passes = 48,
+                       .line_hint = board.cpu.l1.geometry.line};
+  // Fixed arithmetic, independent of the fraction, scaled so the compute
+  // phase lasts ~120 us on every board (the sweep probes the mix, not the
+  // core speed).
+  w.cpu.ops_per_cycle = 2.0;
+  w.cpu.ops = 120e-6 * board.cpu_peak_ops_per_second() * w.cpu.ops_per_cycle;
+  w.cpu.mlp = 8.0;
+
+  w.gpu.name = "idle";
+  w.gpu.ops = 0;
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::SingleLocation,
+                                   .base = kSharedBase,
+                                   .extent = 64,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .count = 0};
+  w.h2d_bytes = 0;
+  w.d2h_bytes = 0;
+  w.iterations = 1;
+  w.overlappable = false;
+  w.validate();
+  return w;
+}
+
+std::vector<double> mb2_fractions() {
+  return {1.0 / 16000, 1.0 / 8000, 1.0 / 4000, 1.0 / 2000, 1.0 / 1000,
+          1.0 / 500,   1.0 / 250,  1.0 / 100,  1.0 / 50,   1.0 / 20,
+          1.0 / 10,    1.0 / 4,    1.0 / 2};
+}
+
+std::vector<double> mb2_cpu_fractions() {
+  return {0.01, 0.02, 0.05, 0.08, 0.10, 0.125, 0.15, 0.20, 0.30, 0.40, 0.50};
+}
+
+Workload mb3_workload(const soc::BoardConfig& board,
+                      std::uint32_t scale_down) {
+  CIG_EXPECTS(scale_down >= 1);
+  Workload w;
+  w.name = "mb3-overlap-max-speedup";
+
+  // 2^27 floats = 512 MiB logical footprint; the cache simulation walks a
+  // 1/scale_down slice (every regime is DRAM-bound, so scaling is exact)
+  // and time_scale restores the logical duration.
+  const Bytes logical = GiB(1) / 2;
+  const Bytes extent = logical / scale_down;
+  const double scale = static_cast<double>(scale_down);
+
+  // GPU: sparse read-modify-writes with maximal miss rate.
+  const std::uint64_t sim_updates = extent / 8;  // one update per 2 floats
+  w.gpu.name = "sparse-update";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Random,
+                                   .base = kSharedBase,
+                                   .extent = extent,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .count = sim_updates,
+                                   .seed = 0xB3,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.ops = static_cast<double>(sim_updates) * 4.0;
+  w.gpu.utilization = 0.5;
+  w.gpu.time_scale = scale;
+
+  // CPU: streaming pass over the shared structure plus enough arithmetic to
+  // balance the kernel runtime (estimated from DRAM fill traffic).
+  const double gpu_mem_estimate =
+      static_cast<double>(sim_updates) * board.gpu.llc.geometry.line /
+      board.dram.bandwidth;
+  w.cpu.name = "stream-update";
+  // CPU streams over the same shared structure the GPU updates (the tiled
+  // pattern interleaves them safely under ZC; under UM this is what makes
+  // the pages ping-pong every iteration).
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = extent,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = 1,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.ops_per_cycle = 2.0;
+  w.cpu.ops = gpu_mem_estimate * board.cpu.frequency * w.cpu.ops_per_cycle * 0.6;
+  w.cpu.mlp = 8.0;
+  w.cpu.time_scale = scale;
+
+  w.h2d_bytes = logical;
+  w.d2h_bytes = logical;
+  w.iterations = 1;
+  w.overlappable = true;
+  w.validate();
+  return w;
+}
+
+}  // namespace cig::workload

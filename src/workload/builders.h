@@ -1,0 +1,42 @@
+// Builders for the paper's three micro-benchmark workloads (Section III-B).
+// Sizes are derived from the target board's cache geometry so each
+// micro-benchmark stresses the component it is meant to isolate
+// ("selectivity" property) at a steady state ("stressing capability").
+#pragma once
+
+#include <vector>
+
+#include "soc/board.h"
+#include "workload/task.h"
+
+namespace cig::workload {
+
+// MB1 — peak GPU LL-L1 cache throughput. GPU: repeated 2D reduction with
+// linear loads over a matrix sized to live in the GPU LLC (but exceed L1);
+// CPU: dependent sqrt/div/mul chain on a single shared address. CPU and GPU
+// work are balanced against each other.
+Workload mb1_workload(const soc::BoardConfig& board);
+
+// MB2 — GPU cache-threshold sweep. The kernel does ld+fma+st over the first
+// `fraction` of a fixed array (16x the GPU LLC), several passes per launch.
+Workload mb2_workload(const soc::BoardConfig& board, double fraction);
+
+// MB2 (CPU variant) — used to extrapolate CPU_Cache_Threshold: fixed
+// arithmetic + L1-resident data, with `fraction` of an LLC-band array
+// touched per run (the mix drives eqn-1 cache usage).
+Workload mb2_cpu_workload(const soc::BoardConfig& board, double fraction);
+
+// Sweep points used by the framework (1/16000 ... 1/2, log-spaced).
+std::vector<double> mb2_fractions();
+
+// Mix fractions for the CPU-side sweep (linear in the interesting band).
+std::vector<double> mb2_cpu_fractions();
+
+// MB3 — balanced, cache-independent CPU+GPU workload on 2^27 floats
+// (512 MB) with sparse GPU accesses (maximum miss rate) and full overlap
+// capability. `scale_down` divides the simulated footprint while keeping
+// reported times at the logical size (time_scale compensates).
+Workload mb3_workload(const soc::BoardConfig& board,
+                      std::uint32_t scale_down = 8);
+
+}  // namespace cig::workload

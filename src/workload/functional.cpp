@@ -1,0 +1,150 @@
+#include "workload/functional.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::workload {
+
+double fp_chain(double seed, std::uint64_t iterations) {
+  // Dependent chain: every step needs the previous result, defeating both
+  // superscalar issue and vectorisation — exactly why the paper's CPU
+  // routine is latency-bound (~0.2 ops/cycle effective).
+  double value = seed > 0 ? seed : 1.5;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    value = std::sqrt(value) * 1.9 + 0.7;
+    value = value / 1.3 + 0.1;
+  }
+  return value;
+}
+
+double fp_chain_flops(std::uint64_t iterations) {
+  // sqrt + mul + add + div + add per loop body.
+  return static_cast<double>(iterations) * 5.0;
+}
+
+double reduction_2d(const std::vector<double>& matrix, std::uint32_t width,
+                    std::uint32_t height) {
+  CIG_EXPECTS(matrix.size() ==
+              static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  // Row-wise partial sums then a column reduction: two linear passes, the
+  // shape of the paper's iterative ld.global / add / st.global kernel.
+  std::vector<double> row_sums(height, 0.0);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    double sum = 0.0;
+    const double* row = matrix.data() + static_cast<std::size_t>(y) * width;
+    for (std::uint32_t x = 0; x < width; ++x) sum += row[x];
+    row_sums[y] = sum;
+  }
+  double total = 0.0;
+  for (double s : row_sums) total += s;
+  return total;
+}
+
+double fma_sweep(std::vector<float>& data, double fraction,
+                 std::uint32_t passes) {
+  CIG_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  const std::size_t span =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(data.size()) * fraction));
+  double checksum = 0.0;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    // Two locally-calculated operands (pass-dependent), as in the paper's
+    // fma.rn description.
+    const float a = 1.0f + 1.0f / static_cast<float>(pass + 2);
+    const float b = 0.5f / static_cast<float>(pass + 1);
+    for (std::size_t i = 0; i < span; ++i) {
+      data[i] = data[i] * a + b;  // ld + fma + st
+    }
+  }
+  for (std::size_t i = 0; i < span; ++i) checksum += data[i];
+  return checksum;
+}
+
+double sparse_update(std::vector<float>& data, std::uint64_t count,
+                     std::uint64_t seed) {
+  CIG_EXPECTS(!data.empty());
+  Rng rng(seed);
+  double checksum = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t j = rng.below(data.size());
+    data[j] = data[j] * 0.97f + 0.013f;
+    checksum += data[j];
+  }
+  return checksum;
+}
+
+std::vector<float> convolve_2d(const std::vector<float>& input,
+                               std::uint32_t width, std::uint32_t height,
+                               std::uint32_t kernel_size) {
+  CIG_EXPECTS(input.size() ==
+              static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  CIG_EXPECTS(kernel_size % 2 == 1 && kernel_size >= 1);
+  const int radius = static_cast<int>(kernel_size / 2);
+  const float weight =
+      1.0f / (static_cast<float>(kernel_size) * static_cast<float>(kernel_size));
+  std::vector<float> output(input.size());
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      float sum = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const std::int64_t sx = std::clamp<std::int64_t>(x + dx, 0, width - 1);
+          const std::int64_t sy =
+              std::clamp<std::int64_t>(y + dy, 0, height - 1);
+          sum += input[static_cast<std::size_t>(sy) * width + sx];
+        }
+      }
+      output[static_cast<std::size_t>(y) * width + x] = sum * weight;
+    }
+  }
+  return output;
+}
+
+std::vector<std::uint32_t> histogram(const std::vector<float>& data,
+                                     std::uint32_t bins, float lo, float hi) {
+  CIG_EXPECTS(bins >= 1);
+  CIG_EXPECTS(hi > lo);
+  std::vector<std::uint32_t> counts(bins, 0);
+  const float scale = static_cast<float>(bins) / (hi - lo);
+  for (float v : data) {
+    auto bin = static_cast<std::int64_t>((v - lo) * scale);
+    bin = std::clamp<std::int64_t>(bin, 0, bins - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  return counts;
+}
+
+std::size_t pointer_chase(std::size_t nodes, std::uint64_t hops,
+                          std::uint64_t seed) {
+  CIG_EXPECTS(nodes >= 1);
+  // Sattolo's algorithm: a single-cycle permutation, so every walk visits
+  // fresh nodes until it wraps.
+  std::vector<std::size_t> next(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) next[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = nodes - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i);  // j in [0, i)
+    std::swap(next[i], next[j]);
+  }
+  std::size_t position = 0;
+  for (std::uint64_t hop = 0; hop < hops; ++hop) position = next[position];
+  return position;
+}
+
+void produce_tile(float* tile, std::size_t elements, std::uint32_t phase) {
+  CIG_EXPECTS(tile != nullptr);
+  for (std::size_t i = 0; i < elements; ++i) {
+    tile[i] = static_cast<float>((phase + 1) * 1000 + i % 97);
+  }
+}
+
+void consume_tile(const float* tile, std::size_t elements,
+                  double& accumulator) {
+  CIG_EXPECTS(tile != nullptr);
+  for (std::size_t i = 0; i < elements; ++i) accumulator += tile[i];
+}
+
+}  // namespace cig::workload

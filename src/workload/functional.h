@@ -1,0 +1,64 @@
+// Functional payloads: the actual computations behind the micro-benchmark
+// specs, implemented in plain C++ so tests and examples can check *results*
+// (the simulator provides timing; these provide values). Each mirrors the
+// PTX-level description in Section III-B of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/units.h"
+
+namespace cig::workload {
+
+// MB1 CPU routine: dependent floating-point chain (sqrt, div, mul) on a
+// single memory location. Returns the final value; `flops(iterations)`
+// reports the op count the chain represents.
+double fp_chain(double seed, std::uint64_t iterations);
+double fp_chain_flops(std::uint64_t iterations);
+
+// MB1 GPU kernel: 2D reduction of a row-major matrix via linear loads
+// (ld.global), adds (add.s32 in the paper; we reduce doubles) and a final
+// store. Returns the reduction value.
+double reduction_2d(const std::vector<double>& matrix, std::uint32_t width,
+                    std::uint32_t height);
+
+// MB2 kernel body: for the first `fraction` of `data`, do ld + fma + st with
+// two locally-derived operands, `passes` times. Mutates data in place and
+// returns a checksum.
+double fma_sweep(std::vector<float>& data, double fraction,
+                 std::uint32_t passes);
+
+// MB3 kernel body: sparse gather/scatter with maximal cache-miss behaviour:
+// for `count` pseudo-random indices, data[j] = data[j] * a + b. Deterministic
+// for a given seed. Returns a checksum.
+double sparse_update(std::vector<float>& data, std::uint64_t count,
+                     std::uint64_t seed);
+
+// Workload-zoo payloads (see workload/zoo.h for the simulator mappings).
+// 2D convolution with a box kernel of odd size K; border pixels are
+// clamped. Returns the output image.
+std::vector<float> convolve_2d(const std::vector<float>& input,
+                               std::uint32_t width, std::uint32_t height,
+                               std::uint32_t kernel_size);
+
+// Histogram of `data` into `bins` equal-width buckets over [lo, hi).
+// Out-of-range samples are clamped into the edge buckets.
+std::vector<std::uint32_t> histogram(const std::vector<float>& data,
+                                     std::uint32_t bins, float lo, float hi);
+
+// Pointer chase: builds a random permutation cycle of `nodes` entries
+// (seeded) and walks it `hops` times. Returns the final index — checking
+// it pins both the permutation and the walk.
+std::size_t pointer_chase(std::size_t nodes, std::uint64_t hops,
+                          std::uint64_t seed);
+
+// Tiled producer step used by the ZC pattern demo: writes a deterministic
+// function of (phase, index) into every element of the tile.
+void produce_tile(float* tile, std::size_t elements, std::uint32_t phase);
+
+// Tiled consumer step: reduces the tile and accumulates into `accumulator`.
+void consume_tile(const float* tile, std::size_t elements,
+                  double& accumulator);
+
+}  // namespace cig::workload

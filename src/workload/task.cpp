@@ -1,0 +1,18 @@
+#include "workload/task.h"
+
+#include "support/assert.h"
+
+namespace cig::workload {
+
+void Workload::validate() const {
+  CIG_EXPECTS(!name.empty());
+  CIG_EXPECTS(iterations >= 1);
+  CIG_EXPECTS(cpu.ops >= 0 && gpu.ops >= 0);
+  CIG_EXPECTS(cpu.ops_per_cycle > 0);
+  CIG_EXPECTS(gpu.utilization > 0 && gpu.utilization <= 1.0);
+  CIG_EXPECTS(cpu.threads >= 1);
+  CIG_EXPECTS(cpu.time_scale >= 1.0);
+  CIG_EXPECTS(gpu.time_scale >= 1.0);
+}
+
+}  // namespace cig::workload

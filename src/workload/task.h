@@ -1,0 +1,75 @@
+// Workload description: what a CPU routine and a GPU kernel *do*, expressed
+// as an instruction mix plus a symbolic memory-access pattern. The execution
+// engine replays the pattern against the board's simulated hierarchy and
+// combines it with the compute time in a roofline fashion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mem/stream.h"
+#include "support/units.h"
+#include "workload/trace.h"
+
+namespace cig::workload {
+
+struct CpuTaskSpec {
+  std::string name = "cpu-task";
+  double ops = 0;              // arithmetic operations per iteration
+  // Effective ops/cycle on one core: ~0.2 for dependent sqrt/div chains
+  // (the paper's MB1 CPU routine), up to ~4 for vectorised independent FP.
+  double ops_per_cycle = 1.0;
+  std::uint32_t threads = 1;
+  // Accesses to the CPU-GPU *shared* data structure. Under zero-copy on a
+  // SwFlush board these become uncacheable; under SC/UM they are cached.
+  mem::PatternSpec pattern;
+  // Optional recorded trace for the shared stream; when set it replaces
+  // `pattern` for the hierarchy walk (trace-driven workloads — see
+  // workload/trace.h). The pattern's `base`/`extent` should still describe
+  // the buffer for copy/coherence range purposes.
+  std::shared_ptr<const TraceRecorder> shared_trace;
+  // Accesses to CPU-private working data (always cached, every model).
+  std::optional<mem::PatternSpec> private_pattern;
+  // Memory-level parallelism: how many outstanding misses the access stream
+  // sustains. 1 = fully dependent chain (latency-bound); 8+ = streaming.
+  double mlp = 8.0;
+  // Reported times are multiplied by this factor — used when a builder
+  // simulates a down-scaled footprint of a huge logical workload.
+  double time_scale = 1.0;
+};
+
+struct GpuKernelSpec {
+  std::string name = "gpu-kernel";
+  double ops = 0;              // operations per launch
+  double utilization = 1.0;    // fraction of peak lanes issuing
+  // Accesses to the shared data structure (bypasses GPU caches under ZC).
+  mem::PatternSpec pattern;
+  // Optional recorded trace replacing `pattern` for the walk (see above).
+  std::shared_ptr<const TraceRecorder> shared_trace;
+  // Accesses to device-local scratch (always cached, every model).
+  std::optional<mem::PatternSpec> private_pattern;
+  // Thousands of resident threads hide latency; misses rarely serialize.
+  double mlp = 64.0;
+  double time_scale = 1.0;
+};
+
+// One producer/consumer exchange between CPU and iGPU, repeated
+// `iterations` times. `h2d_bytes`/`d2h_bytes` is what standard copy moves
+// per iteration (and what UM migrates on first cross-processor touch).
+struct Workload {
+  std::string name = "workload";
+  CpuTaskSpec cpu;
+  GpuKernelSpec gpu;
+  Bytes h2d_bytes = 0;
+  Bytes d2h_bytes = 0;
+  std::uint32_t iterations = 1;
+  // True if the algorithm admits the paper's tiled ZC pattern (CPU and GPU
+  // can make progress concurrently on disjoint tiles).
+  bool overlappable = false;
+
+  void validate() const;
+};
+
+}  // namespace cig::workload

@@ -1,0 +1,85 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/assert.h"
+
+namespace cig::workload {
+
+void TraceRecorder::record(std::uint64_t address, std::uint32_t size,
+                           mem::AccessKind kind) {
+  CIG_EXPECTS(size > 0);
+  trace_.push_back(mem::MemoryAccess{address, size, kind});
+}
+
+void TraceRecorder::replay(const mem::AccessSink& sink) const {
+  for (const auto& access : trace_) sink(access);
+}
+
+TraceRecorder TraceRecorder::coalesced(std::uint32_t line_bytes) const {
+  CIG_EXPECTS(line_bytes > 0);
+  TraceRecorder out;
+  for (const auto& access : trace_) {
+    const std::uint64_t line = access.address / line_bytes;
+    if (!out.trace_.empty()) {
+      auto& last = out.trace_.back();
+      const std::uint64_t last_line = last.address / line_bytes;
+      if (last_line == line && last.kind == access.kind) {
+        // Same line, same direction: one coalesced transaction. Grow the
+        // recorded size up to the line (bounded, so billing stays sane).
+        const std::uint64_t end = std::max(
+            last.address + last.size,
+            access.address + static_cast<std::uint64_t>(access.size));
+        const std::uint64_t begin = std::min(last.address, access.address);
+        last.address = begin;
+        last.size = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(end - begin, line_bytes));
+        continue;
+      }
+    }
+    out.trace_.push_back(access);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::reads() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(trace_.begin(), trace_.end(), [](const auto& a) {
+        return a.kind == mem::AccessKind::Read;
+      }));
+}
+
+std::uint64_t TraceRecorder::writes() const {
+  return static_cast<std::uint64_t>(trace_.size()) - reads();
+}
+
+Bytes TraceRecorder::requested_bytes() const {
+  Bytes total = 0;
+  for (const auto& access : trace_) total += access.size;
+  return total;
+}
+
+std::uint64_t TraceRecorder::unique_lines(std::uint32_t line_bytes) const {
+  CIG_EXPECTS(line_bytes > 0);
+  std::unordered_set<std::uint64_t> lines;
+  for (const auto& access : trace_) {
+    const std::uint64_t first = access.address / line_bytes;
+    const std::uint64_t last =
+        (access.address + access.size - 1) / line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) lines.insert(line);
+  }
+  return lines.size();
+}
+
+std::pair<std::uint64_t, std::uint64_t> TraceRecorder::address_range() const {
+  if (trace_.empty()) return {0, 0};
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& access : trace_) {
+    lo = std::min(lo, access.address);
+    hi = std::max(hi, access.address + access.size);
+  }
+  return {lo, hi};
+}
+
+}  // namespace cig::workload

@@ -1,0 +1,115 @@
+// Trace-driven workloads: record the memory accesses a *real* computation
+// performs (through an instrumented array), then replay the trace against a
+// simulated board's hierarchy.
+//
+// The PatternSpec generators approximate a kernel's behaviour symbolically;
+// tracing removes the approximation for code you can run on the host:
+//
+//   TraceRecorder recorder;
+//   std::vector<float> image = ...;
+//   TracedArray<float> traced(image, /*base=*/0x1000'0000, recorder);
+//   my_real_filter(traced);                     // runs unchanged
+//   auto trace = recorder.coalesced(64);        // warp/line coalescing
+//   trace.replay([&](auto& a) { hierarchy.access(a); });
+//
+// Traces can also be summarised into the statistics the perf model needs
+// (footprint, read/write mix, line-granular access count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/access.h"
+#include "mem/stream.h"
+
+namespace cig::workload {
+
+class TraceRecorder {
+ public:
+  void record(std::uint64_t address, std::uint32_t size,
+              mem::AccessKind kind);
+
+  const std::vector<mem::MemoryAccess>& trace() const { return trace_; }
+  std::size_t size() const { return trace_.size(); }
+  bool empty() const { return trace_.empty(); }
+  void clear() { trace_.clear(); }
+
+  // Replays every access into the sink, in recorded order.
+  void replay(const mem::AccessSink& sink) const;
+
+  // Returns a new recorder whose trace merges consecutive accesses that
+  // fall in the same `line_bytes`-sized block (what a warp coalescer or a
+  // CPU line fill does). Reads and writes never merge with each other.
+  TraceRecorder coalesced(std::uint32_t line_bytes) const;
+
+  // --- summary statistics -----------------------------------------------------
+  std::uint64_t reads() const;
+  std::uint64_t writes() const;
+  Bytes requested_bytes() const;
+  // Distinct lines touched at the given granularity.
+  std::uint64_t unique_lines(std::uint32_t line_bytes) const;
+  // [min address, one past max touched byte); {0,0} when empty.
+  std::pair<std::uint64_t, std::uint64_t> address_range() const;
+
+ private:
+  std::vector<mem::MemoryAccess> trace_;
+};
+
+// Array wrapper that records every element access into a TraceRecorder.
+// The wrapped storage is borrowed, not owned.
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray(std::vector<T>& data, std::uint64_t base_address,
+              TraceRecorder& recorder)
+      : data_(data), base_(base_address), recorder_(recorder) {}
+
+  // Write/read proxy so both sides of an assignment are captured.
+  class Reference {
+   public:
+    Reference(TracedArray& array, std::size_t index)
+        : array_(array), index_(index) {}
+
+    operator T() const {  // NOLINT(google-explicit-constructor): proxy
+      array_.recorder_.record(array_.address_of(index_), sizeof(T),
+                              mem::AccessKind::Read);
+      return array_.data_[index_];
+    }
+
+    Reference& operator=(T value) {
+      array_.recorder_.record(array_.address_of(index_), sizeof(T),
+                              mem::AccessKind::Write);
+      array_.data_[index_] = value;
+      return *this;
+    }
+
+    Reference& operator+=(T value) { return *this = T(*this) + value; }
+    Reference& operator*=(T value) { return *this = T(*this) * value; }
+
+   private:
+    TracedArray& array_;
+    std::size_t index_;
+  };
+
+  Reference operator[](std::size_t index) { return Reference(*this, index); }
+
+  T read(std::size_t index) const {
+    recorder_.record(address_of(index), sizeof(T), mem::AccessKind::Read);
+    return data_[index];
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t base() const { return base_; }
+
+ private:
+  friend class Reference;
+  std::uint64_t address_of(std::size_t index) const {
+    return base_ + index * sizeof(T);
+  }
+
+  std::vector<T>& data_;
+  std::uint64_t base_;
+  TraceRecorder& recorder_;
+};
+
+}  // namespace cig::workload

@@ -1,0 +1,217 @@
+#include "workload/zoo.h"
+
+#include "support/assert.h"
+
+namespace cig::workload {
+
+namespace {
+constexpr std::uint64_t kSharedBase = 0x1000'0000ull;
+constexpr std::uint64_t kCpuScratch = 0x5000'0000ull;
+constexpr std::uint64_t kGpuScratch = 0x6000'0000ull;
+}  // namespace
+
+Workload conv2d_workload(const soc::BoardConfig& board, std::uint32_t width,
+                         std::uint32_t height, std::uint32_t kernel_size) {
+  CIG_EXPECTS(kernel_size >= 3 && kernel_size % 2 == 1);
+  Workload w;
+  w.name = "conv2d";
+
+  const Bytes image_bytes = static_cast<Bytes>(width) * height * 4;
+  const double pixels = static_cast<double>(width) * height;
+  const double taps = static_cast<double>(kernel_size) * kernel_size;
+
+  // The CPU stages the frame into the shared buffer.
+  w.cpu.name = "stage-frame";
+  w.cpu.ops = pixels * 0.5;
+  w.cpu.ops_per_cycle = 2.0;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = image_bytes,
+                                   .access_size = 64,
+                                   .rw = mem::RwMix::WriteOnly,
+                                   .passes = 1,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.mlp = 8.0;
+
+  // The GPU reads the shared frame once per tap row (the vertical halo
+  // cannot be captured by L1 alone), accumulating into a private output.
+  w.gpu.name = "conv2d-kernel";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = image_bytes,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .passes = kernel_size,  // K row sweeps
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.private_pattern =
+      mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                       .base = kGpuScratch,
+                       .extent = image_bytes,
+                       .access_size = 4,
+                       .rw = mem::RwMix::WriteOnly,
+                       .passes = 1,
+                       .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.ops = pixels * taps * 2;  // one fma per tap
+  w.gpu.utilization = 0.6;
+  w.gpu.mlp = 128;
+
+  w.h2d_bytes = image_bytes;
+  w.d2h_bytes = image_bytes;
+  w.iterations = 2;
+  w.overlappable = false;  // output consumed as a whole
+  w.validate();
+  return w;
+}
+
+Workload histogram_workload(const soc::BoardConfig& board, Bytes input_bytes,
+                            std::uint32_t bins) {
+  CIG_EXPECTS(bins >= 2);
+  Workload w;
+  w.name = "histogram";
+
+  const double elements = static_cast<double>(input_bytes) / 4.0;
+
+  w.cpu.name = "produce-samples";
+  w.cpu.ops = elements * 0.25;
+  w.cpu.ops_per_cycle = 2.0;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = input_bytes,
+                                   .access_size = 64,
+                                   .rw = mem::RwMix::WriteOnly,
+                                   .passes = 1,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.mlp = 8.0;
+
+  // Streaming input reads + scattered bin updates (the bins stay resident
+  // in the GPU caches; atomics modelled as the rmw traffic).
+  w.gpu.name = "histogram-kernel";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = input_bytes,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .passes = 1,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.private_pattern =
+      mem::PatternSpec{.kind = mem::PatternKind::Random,
+                       .base = kGpuScratch,
+                       .extent = static_cast<Bytes>(bins) * 4,
+                       .access_size = 4,
+                       .rw = mem::RwMix::ReadModifyWrite,
+                       .count = static_cast<std::uint64_t>(elements),
+                       .seed = 0x4157,
+                       .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.ops = elements * 3;
+  w.gpu.utilization = 0.4;
+  w.gpu.mlp = 64;
+
+  w.h2d_bytes = input_bytes;
+  w.d2h_bytes = static_cast<Bytes>(bins) * 4;
+  w.iterations = 2;
+  w.overlappable = true;  // input chunks are independent
+  w.validate();
+  return w;
+}
+
+Workload saxpy_stream_workload(const soc::BoardConfig& board,
+                               Bytes elements_bytes) {
+  Workload w;
+  w.name = "saxpy-stream";
+
+  const double elements = static_cast<double>(elements_bytes) / 4.0;
+  const Bytes half = elements_bytes / 2;
+
+  w.cpu.name = "stream-half";
+  w.cpu.ops = elements;
+  w.cpu.ops_per_cycle = 2.0;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = half,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = 1,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.mlp = 8.0;
+
+  w.gpu.name = "stream-other-half";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase + half,
+                                   .extent = half,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = 1,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.ops = elements;
+  w.gpu.utilization = 0.5;
+  w.gpu.mlp = 256;
+
+  w.h2d_bytes = elements_bytes;
+  w.d2h_bytes = elements_bytes;
+  w.iterations = 1;
+  w.overlappable = true;
+  w.validate();
+  return w;
+}
+
+Workload pointer_chase_workload(const soc::BoardConfig& board,
+                                Bytes working_set) {
+  Workload w;
+  w.name = "pointer-chase";
+
+  // One dependent access per node, nodes scattered over a working set in
+  // the CPU LLC band.
+  const std::uint64_t hops = working_set / 64;
+
+  w.cpu.name = "list-walk";
+  w.cpu.ops = static_cast<double>(hops) * 4;
+  w.cpu.ops_per_cycle = 0.5;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Random,
+                                   .base = kSharedBase,
+                                   .extent = working_set,
+                                   .access_size = 8,  // next pointer
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .count = hops,
+                                   .seed = 0xC7A5E,
+                                   .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.private_pattern =
+      mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                       .base = kCpuScratch,
+                       .extent = KiB(8),
+                       .access_size = 64,
+                       .rw = mem::RwMix::ReadModifyWrite,
+                       .passes = 16,
+                       .line_hint = board.cpu.l1.geometry.line};
+  w.cpu.mlp = 1.0;  // fully dependent
+
+  w.gpu.name = "token-kernel";
+  w.gpu.ops = 100000;
+  w.gpu.utilization = 0.5;
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = KiB(64),
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .passes = 1,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  w.gpu.mlp = 64;
+
+  w.h2d_bytes = KiB(64);
+  w.d2h_bytes = KiB(4);
+  w.iterations = 2;
+  w.overlappable = false;
+  w.validate();
+  return w;
+}
+
+std::vector<std::pair<std::string, Workload>> workload_zoo(
+    const soc::BoardConfig& board) {
+  return {
+      {"conv2d", conv2d_workload(board)},
+      {"histogram", histogram_workload(board)},
+      {"saxpy", saxpy_stream_workload(board)},
+      {"chase", pointer_chase_workload(board)},
+  };
+}
+
+}  // namespace cig::workload

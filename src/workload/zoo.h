@@ -1,0 +1,50 @@
+// Workload zoo: archetypal CPU+iGPU kernels beyond the paper's two case
+// studies, used to probe the framework's decision quality across the whole
+// behaviour space (bench/zoo_accuracy):
+//
+//   conv2d        - GPU-cache-heavy stencil (halo reuse in the LLC)
+//   histogram     - scattered updates to a cache-resident table
+//   saxpy_stream  - pure streaming, cache-independent, overlap-friendly
+//   pointer_chase - latency-bound dependent CPU walk
+//
+// Each has a symbolic simulator mapping here and a real functional
+// implementation in workload/functional.h for correctness tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/board.h"
+#include "workload/task.h"
+
+namespace cig::workload {
+
+// 2D convolution: the GPU re-reads each input pixel K*K times; with a
+// tiled schedule the reuse is captured by the LLC, making the kernel
+// strongly GPU-cache-dependent (the ORB-SLAM regime).
+Workload conv2d_workload(const soc::BoardConfig& board,
+                         std::uint32_t width = 640, std::uint32_t height = 480,
+                         std::uint32_t kernel_size = 5);
+
+// Histogram: streaming reads of the input with scattered read-modify-write
+// updates into a small bin table that lives in the GPU caches.
+Workload histogram_workload(const soc::BoardConfig& board,
+                            Bytes input_bytes = MiB(4),
+                            std::uint32_t bins = 4096);
+
+// SAXPY-style streaming: single-pass, no reuse, balanced CPU/GPU halves —
+// the MB3 regime where zero-copy with overlap shines on coherent boards.
+Workload saxpy_stream_workload(const soc::BoardConfig& board,
+                               Bytes elements_bytes = MiB(32));
+
+// Pointer chase: the CPU walks a dependent linked list through its LLC
+// (high eqn-1 usage, MLP = 1) while the GPU does token work — the SH-WFS
+// CPU-side regime taken to the extreme.
+Workload pointer_chase_workload(const soc::BoardConfig& board,
+                                Bytes working_set = MiB(1));
+
+// All four, with stable names (for grids and benches).
+std::vector<std::pair<std::string, Workload>> workload_zoo(
+    const soc::BoardConfig& board);
+
+}  // namespace cig::workload

@@ -1,0 +1,108 @@
+// Tests for the shared-DRAM bandwidth arbiter (water-filling scheduler).
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth.h"
+
+namespace cig::mem {
+namespace {
+
+TEST(Bandwidth, SingleAgentRunsAtOwnCap) {
+  const auto shares = contended_schedule({{1e9, GBps(2)}}, GBps(10));
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_NEAR(shares[0].finish_time, 0.5, 1e-9);  // 1 GB at 2 GB/s
+}
+
+TEST(Bandwidth, SingleAgentLimitedBySharedBw) {
+  const auto shares = contended_schedule({{1e9, GBps(100)}}, GBps(10));
+  EXPECT_NEAR(shares[0].finish_time, 0.1, 1e-9);
+}
+
+TEST(Bandwidth, EqualAgentsShareFairly) {
+  const auto shares =
+      contended_schedule({{1e9, GBps(100)}, {1e9, GBps(100)}}, GBps(10));
+  EXPECT_NEAR(shares[0].finish_time, 0.2, 1e-9);
+  EXPECT_NEAR(shares[1].finish_time, 0.2, 1e-9);
+}
+
+TEST(Bandwidth, EarlyFinisherReleasesBandwidth) {
+  // Agent 0 moves 1 GB, agent 1 moves 3 GB, 10 GB/s shared, uncapped.
+  // Phase 1: both at 5 GB/s until agent 0 finishes at t=0.2 (1 GB).
+  // Agent 1 then has 2 GB left at 10 GB/s -> finishes at 0.4.
+  const auto shares =
+      contended_schedule({{1e9, GBps(100)}, {3e9, GBps(100)}}, GBps(10));
+  EXPECT_NEAR(shares[0].finish_time, 0.2, 1e-9);
+  EXPECT_NEAR(shares[1].finish_time, 0.4, 1e-9);
+}
+
+TEST(Bandwidth, CapLimitsFairShareRedistribution) {
+  // Agent 0 capped at 2 GB/s; agent 1 gets the remaining 8 GB/s.
+  const auto shares =
+      contended_schedule({{2e9, GBps(2)}, {8e9, GBps(100)}}, GBps(10));
+  EXPECT_NEAR(shares[0].finish_time, 1.0, 1e-9);
+  EXPECT_NEAR(shares[1].finish_time, 1.0, 1e-9);
+}
+
+TEST(Bandwidth, ZeroByteAgentsFinishImmediately) {
+  const auto shares =
+      contended_schedule({{0, GBps(1)}, {1e9, GBps(100)}}, GBps(10));
+  EXPECT_DOUBLE_EQ(shares[0].finish_time, 0.0);
+  EXPECT_NEAR(shares[1].finish_time, 0.1, 1e-9);
+}
+
+TEST(Bandwidth, EmptyDemandsNoWork) {
+  EXPECT_TRUE(contended_schedule({}, GBps(10)).empty());
+  EXPECT_DOUBLE_EQ(contended_makespan({}, GBps(10)), 0.0);
+}
+
+TEST(Bandwidth, MakespanIsMaxFinish) {
+  const Seconds makespan =
+      contended_makespan({{1e9, GBps(100)}, {3e9, GBps(100)}}, GBps(10));
+  EXPECT_NEAR(makespan, 0.4, 1e-9);
+}
+
+TEST(Bandwidth, ThreeAgentsStagedFinishes) {
+  // 1, 2 and 3 GB, 9 GB/s shared, uncapped: all run at 3 until t=1/3
+  // (agent 0 done), then 4.5 each until agent 1 done, then full rate.
+  const auto shares = contended_schedule(
+      {{1e9, GBps(100)}, {2e9, GBps(100)}, {3e9, GBps(100)}}, GBps(9));
+  EXPECT_NEAR(shares[0].finish_time, 1.0 / 3, 1e-9);
+  // Agent 1: 1 GB left at t=1/3, rate 4.5 GB/s -> finishes at 1/3 + 2/9.
+  EXPECT_NEAR(shares[1].finish_time, 1.0 / 3 + 1.0 / 4.5, 1e-9);
+  // Agent 2: by conservation the 6 GB drain exactly at t = 6/9 = 2/3.
+  EXPECT_NEAR(shares[2].finish_time, 2.0 / 3, 1e-9);
+}
+
+// Conservation property: makespan >= total bytes / shared bandwidth and
+// >= each agent's solo time at its cap.
+TEST(Bandwidth, ConservationLowerBounds) {
+  const std::vector<BandwidthDemand> demands = {
+      {2.5e9, GBps(4)}, {1.0e9, GBps(50)}, {0.5e9, GBps(1)}};
+  const BytesPerSecond shared = GBps(6);
+  const Seconds makespan = contended_makespan(demands, shared);
+  double total = 0;
+  for (const auto& d : demands) {
+    total += d.bytes;
+    EXPECT_GE(makespan + 1e-9, d.bytes / d.cap);
+  }
+  EXPECT_GE(makespan + 1e-9, total / shared);
+}
+
+// Work-conserving property: with a single uncapped agent class, the
+// makespan equals exactly total/shared.
+TEST(Bandwidth, WorkConservingWhenUncapped) {
+  const std::vector<BandwidthDemand> demands = {
+      {1e9, GBps(100)}, {2e9, GBps(100)}, {4e9, GBps(100)}};
+  EXPECT_NEAR(contended_makespan(demands, GBps(7)), 1.0, 1e-9);
+}
+
+TEST(BandwidthDeath, RejectsNegativeBytes) {
+  EXPECT_DEATH(contended_schedule({{-1.0, GBps(1)}}, GBps(10)),
+               "Precondition");
+}
+
+TEST(BandwidthDeath, RejectsZeroSharedBandwidth) {
+  EXPECT_DEATH(contended_schedule({{1.0, GBps(1)}}, 0), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::mem

@@ -1,0 +1,108 @@
+// Tests for board-config serialisation and resolution.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "soc/board_io.h"
+#include "soc/presets.h"
+
+namespace cig::soc {
+namespace {
+
+TEST(BoardIo, RoundTripPreservesEveryPreset) {
+  for (const auto& original :
+       {jetson_nano(), jetson_tx2(), jetson_agx_xavier(), generic_board()}) {
+    const auto restored = board_from_json(board_to_json(original));
+    EXPECT_EQ(restored.name, original.name);
+    EXPECT_EQ(restored.capability, original.capability);
+    EXPECT_EQ(restored.cpu.cores, original.cpu.cores);
+    EXPECT_DOUBLE_EQ(restored.cpu.frequency, original.cpu.frequency);
+    EXPECT_DOUBLE_EQ(restored.cpu.ipc, original.cpu.ipc);
+    EXPECT_EQ(restored.cpu.llc.geometry.capacity,
+              original.cpu.llc.geometry.capacity);
+    EXPECT_EQ(restored.gpu.sms, original.gpu.sms);
+    EXPECT_DOUBLE_EQ(restored.gpu.issue_efficiency,
+                     original.gpu.issue_efficiency);
+    EXPECT_NEAR(restored.gpu.uncached_bandwidth,
+                original.gpu.uncached_bandwidth, 1e3);
+    EXPECT_NEAR(restored.dram.bandwidth, original.dram.bandwidth, 1e3);
+    EXPECT_NEAR(restored.io_coherence.snoop_bandwidth,
+                original.io_coherence.snoop_bandwidth, 1e3);
+    EXPECT_EQ(restored.um.batch_pages, original.um.batch_pages);
+    EXPECT_NEAR(restored.copy.bandwidth, original.copy.bandwidth, 1e3);
+    EXPECT_NEAR(restored.power.idle, original.power.idle, 1e-9);
+    EXPECT_NEAR(restored.dram.energy_per_byte, original.dram.energy_per_byte,
+                1e-15);
+  }
+}
+
+TEST(BoardIo, SparseJsonInheritsGenericDefaults) {
+  const auto board = board_from_json(Json::parse(R"({
+    "name": "minimal",
+    "dram": {"bandwidth_gbps": 100}
+  })"));
+  EXPECT_EQ(board.name, "minimal");
+  EXPECT_NEAR(to_GBps(board.dram.bandwidth), 100.0, 1e-9);
+  // Everything else came from generic_board().
+  const auto generic = generic_board();
+  EXPECT_EQ(board.cpu.cores, generic.cpu.cores);
+  EXPECT_EQ(board.gpu.llc.geometry.capacity,
+            generic.gpu.llc.geometry.capacity);
+}
+
+TEST(BoardIo, CapabilityStringsParse) {
+  const auto io = board_from_json(
+      Json::parse(R"({"capability": "hw-io-coherent"})"));
+  EXPECT_EQ(io.capability, coherence::Capability::HwIoCoherent);
+  const auto sw = board_from_json(Json::parse(R"({"capability": "sw-flush"})"));
+  EXPECT_EQ(sw.capability, coherence::Capability::SwFlush);
+}
+
+TEST(BoardIo, InvalidGeometryIsRejectedOnLoad) {
+  EXPECT_DEATH(board_from_json(Json::parse(
+                   R"({"cpu": {"l1": {"capacity_bytes": 1000}}})")),
+               "Precondition");  // 1000 is not a power of two
+}
+
+TEST(BoardIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cig_board.json";
+  save_board(jetson_tx2(), path);
+  const auto loaded = load_board(path);
+  EXPECT_EQ(loaded.name, "Jetson TX2");
+  EXPECT_NEAR(to_GBps(loaded.gpu.uncached_bandwidth), 1.28, 0.01);
+  std::remove(path.c_str());
+}
+
+TEST(BoardIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_board("/nonexistent/board.json"), std::runtime_error);
+}
+
+TEST(BoardIo, ResolveByPresetNameCaseInsensitive) {
+  EXPECT_EQ(resolve_board("tx2").name, "Jetson TX2");
+  EXPECT_EQ(resolve_board("TX2").name, "Jetson TX2");
+  EXPECT_EQ(resolve_board("xavier").name, "Jetson AGX Xavier");
+  EXPECT_EQ(resolve_board("jetson-nano").name, "Jetson Nano");
+  EXPECT_EQ(resolve_board("xavier-nx").name, "Jetson Xavier NX");
+  EXPECT_EQ(resolve_board("generic").name, "generic");
+}
+
+TEST(BoardIo, ResolveByFilePath) {
+  const std::string path = ::testing::TempDir() + "/cig_resolve.json";
+  save_board(jetson_nano(), path);
+  EXPECT_EQ(resolve_board(path).name, "Jetson Nano");
+  std::remove(path.c_str());
+}
+
+TEST(BoardIo, ResolveUnknownThrows) {
+  EXPECT_THROW(resolve_board("orin-agx-9000"), std::runtime_error);
+}
+
+TEST(BoardIo, EditedFieldSurvivesRoundTrip) {
+  auto j = board_to_json(jetson_tx2());
+  j["gpu"]["llc"]["bandwidth_gbps"] = Json(123.0);
+  const auto board = board_from_json(j);
+  EXPECT_NEAR(to_GBps(board.gpu.llc.bandwidth), 123.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cig::soc

@@ -1,0 +1,87 @@
+// Tests for logical buffers and the simulated-address-space allocator.
+#include <gtest/gtest.h>
+
+#include "comm/buffer.h"
+
+namespace cig::comm {
+namespace {
+
+TEST(Buffer, BasicProperties) {
+  Buffer b("frame", KiB(256), mem::Space::Pinned, 0x4000'0000);
+  EXPECT_EQ(b.name(), "frame");
+  EXPECT_EQ(b.size(), KiB(256));
+  EXPECT_EQ(b.space(), mem::Space::Pinned);
+  EXPECT_EQ(b.base(), 0x4000'0000u);
+  EXPECT_EQ(b.end(), 0x4000'0000u + KiB(256));
+}
+
+TEST(Buffer, ContainsIsHalfOpen) {
+  Buffer b("x", 64, mem::Space::HostPartition, 0x1000);
+  EXPECT_TRUE(b.contains(0x1000));
+  EXPECT_TRUE(b.contains(0x103F));
+  EXPECT_FALSE(b.contains(0x1040));
+  EXPECT_FALSE(b.contains(0x0FFF));
+}
+
+TEST(AddressMap, BuffersWithinASpaceAreDisjoint) {
+  AddressMap map;
+  const auto a = map.allocate("a", 1000, mem::Space::Pinned);
+  const auto b = map.allocate("b", 1000, mem::Space::Pinned);
+  EXPECT_GE(b.base(), a.end());
+  EXPECT_FALSE(a.contains(b.base()));
+}
+
+TEST(AddressMap, BuffersAreLineAligned) {
+  AddressMap map;
+  map.allocate("odd", 100, mem::Space::HostPartition);
+  const auto next = map.allocate("next", 64, mem::Space::HostPartition);
+  EXPECT_EQ(next.base() % 64, 0u);
+}
+
+TEST(AddressMap, SpacesHaveDisjointRegions) {
+  AddressMap map;
+  const auto host = map.allocate("h", KiB(4), mem::Space::HostPartition);
+  const auto device = map.allocate("d", KiB(4), mem::Space::DevicePartition);
+  const auto pinned = map.allocate("p", KiB(4), mem::Space::Pinned);
+  const auto managed = map.allocate("m", KiB(4), mem::Space::Managed);
+  // No pairwise overlap.
+  const Buffer* buffers[] = {&host, &device, &pinned, &managed};
+  for (const auto* x : buffers) {
+    for (const auto* y : buffers) {
+      if (x == y) continue;
+      EXPECT_FALSE(x->contains(y->base()))
+          << x->name() << " overlaps " << y->name();
+    }
+  }
+}
+
+TEST(AddressMap, TracksAllocatedBytesPerSpace) {
+  AddressMap map;
+  map.allocate("a", 100, mem::Space::Pinned);
+  EXPECT_GE(map.allocated(mem::Space::Pinned), 100u);
+  EXPECT_EQ(map.allocated(mem::Space::Managed), 0u);
+}
+
+TEST(AddressMap, RecordsAllBuffers) {
+  AddressMap map;
+  map.allocate("a", 64, mem::Space::Pinned);
+  map.allocate("b", 64, mem::Space::Managed);
+  ASSERT_EQ(map.buffers().size(), 2u);
+  EXPECT_EQ(map.buffers()[0].name(), "a");
+  EXPECT_EQ(map.buffers()[1].name(), "b");
+}
+
+TEST(AddressMapDeath, RejectsZeroSize) {
+  AddressMap map;
+  EXPECT_DEATH(map.allocate("zero", 0, mem::Space::Pinned), "Precondition");
+}
+
+TEST(Space, NamesAreStable) {
+  EXPECT_STREQ(mem::space_name(mem::Space::HostPartition), "host");
+  EXPECT_STREQ(mem::space_name(mem::Space::DevicePartition), "device");
+  EXPECT_STREQ(mem::space_name(mem::Space::Pinned), "pinned");
+  EXPECT_STREQ(mem::space_name(mem::Space::Managed), "managed");
+}
+
+}  // namespace
+}  // namespace cig::comm

@@ -1,0 +1,329 @@
+// Unit and property tests for the set-associative cache simulator.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/cache.h"
+#include "mem/geometry.h"
+#include "support/rng.h"
+
+namespace cig::mem {
+namespace {
+
+// --- geometry -------------------------------------------------------------------
+
+TEST(Geometry, BasicDerivedQuantities) {
+  const auto g = make_geometry(KiB(32), 64, 2);
+  EXPECT_EQ(g.lines(), 512u);
+  EXPECT_EQ(g.sets(), 256u);
+}
+
+TEST(Geometry, AddressDecomposition) {
+  const auto g = make_geometry(KiB(4), 64, 2);  // 32 sets
+  EXPECT_EQ(g.line_of(0), 0u);
+  EXPECT_EQ(g.line_of(63), 0u);
+  EXPECT_EQ(g.line_of(64), 1u);
+  EXPECT_EQ(g.set_of(64), 1u);
+  EXPECT_EQ(g.set_of(64 * 32), 0u);  // wraps around the sets
+  EXPECT_EQ(g.tag_of(64 * 32), 1u);
+}
+
+TEST(Geometry, ValidityChecks) {
+  const auto valid = [](Bytes capacity, std::uint32_t line,
+                        std::uint32_t ways) {
+    return CacheGeometry{capacity, line, ways}.valid();
+  };
+  EXPECT_TRUE(valid(KiB(32), 64, 2));
+  EXPECT_FALSE(valid(0, 64, 2));
+  EXPECT_FALSE(valid(KiB(32), 0, 2));
+  EXPECT_FALSE(valid(KiB(32), 64, 0));
+  EXPECT_FALSE(valid(KiB(31), 64, 2));  // not a power of two
+  EXPECT_FALSE(valid(KiB(32), 48, 2));
+}
+
+TEST(Geometry, FullyAssociativeSingleSet) {
+  const auto g = make_geometry(KiB(1), 64, 16);
+  EXPECT_EQ(g.sets(), 1u);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(GeometryDeath, MakeGeometryRejectsInvalid) {
+  EXPECT_DEATH(make_geometry(KiB(31), 64, 2), "Precondition");
+}
+
+TEST(Geometry, ToStringDescribes) {
+  const auto g = make_geometry(MiB(2), 64, 16);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("2.00 MiB"), std::string::npos);
+  EXPECT_NE(s.find("16-way"), std::string::npos);
+}
+
+// --- basic cache behaviour --------------------------------------------------------
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  EXPECT_FALSE(c.access(0x100, AccessKind::Read).hit);
+  EXPECT_TRUE(c.access(0x100, AccessKind::Read).hit);
+  EXPECT_TRUE(c.access(0x13F, AccessKind::Read).hit);  // same line
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  EXPECT_EQ(c.stats().read_hits, 2u);
+}
+
+TEST(Cache, WriteMarksDirty) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Write);
+  EXPECT_EQ(c.dirty_lines(), 1u);
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(Cache, ReadDoesNotDirty) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Read);
+  EXPECT_EQ(c.dirty_lines(), 0u);
+}
+
+TEST(Cache, ProbeDoesNotMutate) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  EXPECT_FALSE(c.probe(0x0));
+  c.access(0x0, AccessKind::Read);
+  const auto stats_before = c.stats().accesses();
+  EXPECT_TRUE(c.probe(0x0));
+  EXPECT_EQ(c.stats().accesses(), stats_before);
+}
+
+TEST(Cache, EvictionOnSetConflict) {
+  // 2-way, 32 sets: three lines mapping to set 0 must evict one.
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  const std::uint64_t set_stride = 64 * 32;
+  c.access(0 * set_stride, AccessKind::Read);
+  c.access(1 * set_stride, AccessKind::Read);
+  c.access(2 * set_stride, AccessKind::Read);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  const std::uint64_t s = 64 * 32;
+  c.access(0 * s, AccessKind::Read);  // A
+  c.access(1 * s, AccessKind::Read);  // B
+  c.access(0 * s, AccessKind::Read);  // touch A -> B is LRU
+  c.access(2 * s, AccessKind::Read);  // C evicts B
+  EXPECT_TRUE(c.probe(0 * s));
+  EXPECT_FALSE(c.probe(1 * s));
+  EXPECT_TRUE(c.probe(2 * s));
+}
+
+TEST(Cache, FifoIgnoresRecency) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Fifo);
+  const std::uint64_t s = 64 * 32;
+  c.access(0 * s, AccessKind::Read);  // A (first in)
+  c.access(1 * s, AccessKind::Read);  // B
+  c.access(0 * s, AccessKind::Read);  // touching A must not save it
+  c.access(2 * s, AccessKind::Read);  // evicts A (FIFO)
+  EXPECT_FALSE(c.probe(0 * s));
+  EXPECT_TRUE(c.probe(1 * s));
+  EXPECT_TRUE(c.probe(2 * s));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  const std::uint64_t s = 64 * 32;
+  c.access(0 * s, AccessKind::Write);
+  c.access(1 * s, AccessKind::Read);
+  const auto outcome = c.access(2 * s, AccessKind::Read);  // evicts dirty A
+  EXPECT_TRUE(outcome.victim_dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, RandomPolicyDeterministicForSeed) {
+  const auto geom = make_geometry(KiB(4), 64, 2);
+  SetAssocCache a(geom, Replacement::Random, 99);
+  SetAssocCache b(geom, Replacement::Random, 99);
+  Rng addr(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t address = addr.below(KiB(16));
+    EXPECT_EQ(a.access(address, AccessKind::Read).hit,
+              b.access(address, AccessKind::Read).hit);
+  }
+}
+
+TEST(Cache, TreePlruKeepsHotLine) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 4), Replacement::TreePlru);
+  const std::uint64_t s = 64 * 16;  // 16 sets with 4 ways
+  // Fill set 0 with 4 lines, touching line 0 repeatedly.
+  for (std::uint64_t i = 0; i < 4; ++i) c.access(i * s, AccessKind::Read);
+  c.access(0, AccessKind::Read);
+  c.access(4 * s, AccessKind::Read);  // eviction needed
+  EXPECT_TRUE(c.probe(0));            // the hottest line must survive
+}
+
+// --- maintenance ops ----------------------------------------------------------------
+
+TEST(Cache, FlushDirtyKeepsLinesValid) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Write);
+  c.access(0x40, AccessKind::Write);
+  EXPECT_EQ(c.flush_dirty(), 2u);
+  EXPECT_EQ(c.dirty_lines(), 0u);
+  EXPECT_EQ(c.valid_lines(), 2u);
+  EXPECT_TRUE(c.access(0x0, AccessKind::Read).hit);
+}
+
+TEST(Cache, InvalidateAllDropsEverything) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Write);
+  c.access(0x40, AccessKind::Read);
+  EXPECT_EQ(c.invalidate_all(), 1u);  // one dirty line written back
+  EXPECT_EQ(c.valid_lines(), 0u);
+  EXPECT_FALSE(c.access(0x0, AccessKind::Read).hit);
+}
+
+TEST(Cache, InvalidateRangeIsSelective) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x000, AccessKind::Write);
+  c.access(0x400, AccessKind::Write);
+  EXPECT_EQ(c.invalidate_range(0x000, 0x40), 1u);
+  EXPECT_FALSE(c.probe(0x000));
+  EXPECT_TRUE(c.probe(0x400));
+}
+
+TEST(Cache, InvalidateRangeZeroBytesNoop) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Write);
+  EXPECT_EQ(c.invalidate_range(0x0, 0), 0u);
+  EXPECT_TRUE(c.probe(0x0));
+}
+
+TEST(Cache, CleanRangeKeepsValidity) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x00, AccessKind::Write);
+  c.access(0x80, AccessKind::Write);
+  EXPECT_EQ(c.clean_range(0x00, 0x40), 1u);
+  EXPECT_EQ(c.dirty_lines(), 1u);  // the 0x80 line stays dirty
+  EXPECT_TRUE(c.probe(0x00));
+}
+
+TEST(Cache, ResetClearsContentsAndStats) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Write);
+  c.reset();
+  EXPECT_EQ(c.valid_lines(), 0u);
+  EXPECT_EQ(c.stats().accesses(), 0u);
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x0, AccessKind::Read);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  EXPECT_TRUE(c.probe(0x0));
+}
+
+TEST(CacheStats, MissRateArithmetic) {
+  CacheStats s;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.0);
+  s.read_hits = 3;
+  s.read_misses = 1;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+TEST(Cache, ReplacementNames) {
+  EXPECT_STREQ(replacement_name(Replacement::Lru), "LRU");
+  EXPECT_STREQ(replacement_name(Replacement::Fifo), "FIFO");
+  EXPECT_STREQ(replacement_name(Replacement::TreePlru), "tree-PLRU");
+  EXPECT_STREQ(replacement_name(Replacement::Random), "random");
+}
+
+// --- property sweeps -----------------------------------------------------------------
+
+using CachePropertyParams = std::tuple<Bytes, std::uint32_t, Replacement>;
+
+class CacheProperties : public ::testing::TestWithParam<CachePropertyParams> {};
+
+// A working set that fits entirely must produce only cold misses.
+TEST_P(CacheProperties, FittingWorkingSetHasOnlyColdMisses) {
+  const auto [capacity, ways, policy] = GetParam();
+  SetAssocCache c(make_geometry(capacity, 64, ways), policy);
+  const Bytes working_set = capacity / 2;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < working_set; a += 64) {
+      c.access(a, AccessKind::Read);
+    }
+  }
+  EXPECT_EQ(c.stats().read_misses, working_set / 64);
+}
+
+// Sequential streaming over 4x the capacity must keep missing (LRU/FIFO).
+TEST_P(CacheProperties, StreamingOverCapacityKeepsMissing) {
+  const auto [capacity, ways, policy] = GetParam();
+  if (policy == Replacement::Random || policy == Replacement::TreePlru) {
+    GTEST_SKIP() << "guarantee only holds for strict-age policies";
+  }
+  SetAssocCache c(make_geometry(capacity, 64, ways), policy);
+  const Bytes span = capacity * 4;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += 64) {
+      c.access(a, AccessKind::Read);
+    }
+  }
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 1.0);
+}
+
+// Valid lines never exceed the capacity in lines.
+TEST_P(CacheProperties, ValidLinesBounded) {
+  const auto [capacity, ways, policy] = GetParam();
+  SetAssocCache c(make_geometry(capacity, 64, ways), policy, 3);
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    c.access(rng.below(capacity * 8),
+             rng.below(2) ? AccessKind::Read : AccessKind::Write);
+  }
+  EXPECT_LE(c.valid_lines(), capacity / 64);
+  EXPECT_LE(c.dirty_lines(), c.valid_lines());
+}
+
+// Hits + misses == accesses, and flushing twice writes back nothing new.
+TEST_P(CacheProperties, AccountingIdentities) {
+  const auto [capacity, ways, policy] = GetParam();
+  SetAssocCache c(make_geometry(capacity, 64, ways), policy, 5);
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    c.access(rng.below(capacity * 2),
+             rng.below(4) == 0 ? AccessKind::Write : AccessKind::Read);
+  }
+  const auto& s = c.stats();
+  EXPECT_EQ(s.hits() + s.misses(), s.accesses());
+  c.flush_dirty();
+  EXPECT_EQ(c.flush_dirty(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperties,
+    ::testing::Combine(::testing::Values(KiB(4), KiB(32), KiB(256)),
+                       ::testing::Values(2u, 4u, 16u),
+                       ::testing::Values(Replacement::Lru, Replacement::Fifo,
+                                         Replacement::TreePlru,
+                                         Replacement::Random)));
+
+// Larger caches never have more misses on the same trace (LRU inclusion).
+TEST(CacheProperty, MissRateMonotoneInCapacityForLru) {
+  Rng rng(31);
+  std::vector<std::uint64_t> trace(30000);
+  for (auto& a : trace) a = rng.below(KiB(64));
+
+  std::uint64_t previous_misses = ~0ull;
+  for (Bytes capacity : {KiB(4), KiB(8), KiB(16), KiB(32), KiB(64)}) {
+    // Fully associative: the LRU stack property guarantees inclusion.
+    SetAssocCache c(make_geometry(capacity, 64,
+                                  static_cast<std::uint32_t>(capacity / 64)),
+                    Replacement::Lru);
+    for (auto a : trace) c.access(a, AccessKind::Read);
+    EXPECT_LE(c.stats().read_misses, previous_misses)
+        << "capacity " << capacity;
+    previous_misses = c.stats().read_misses;
+  }
+}
+
+}  // namespace
+}  // namespace cig::mem

@@ -1,0 +1,218 @@
+// Tests for the coherence machinery: flush engine, I/O-coherence port,
+// page-migration engine, capability semantics.
+#include <gtest/gtest.h>
+
+#include "coherence/flush.h"
+#include "coherence/io_coherence.h"
+#include "coherence/model.h"
+#include "coherence/page_migration.h"
+
+namespace cig::coherence {
+namespace {
+
+// --- capability model ------------------------------------------------------------
+
+TEST(Capability, Names) {
+  EXPECT_STREQ(capability_name(Capability::SwFlush), "sw-flush");
+  EXPECT_STREQ(capability_name(Capability::HwIoCoherent), "hw-io-coherent");
+}
+
+TEST(Capability, ZeroCopyEffectSwFlushDisablesBoth) {
+  const auto effect = zero_copy_effect(Capability::SwFlush);
+  EXPECT_FALSE(effect.cpu_llc_enabled);
+  EXPECT_FALSE(effect.gpu_llc_enabled);
+}
+
+TEST(Capability, ZeroCopyEffectIoCoherentKeepsCpuLlc) {
+  const auto effect = zero_copy_effect(Capability::HwIoCoherent);
+  EXPECT_TRUE(effect.cpu_llc_enabled);
+  EXPECT_FALSE(effect.gpu_llc_enabled);
+}
+
+// --- flush engine ----------------------------------------------------------------
+
+class FlushTest : public ::testing::Test {
+ protected:
+  FlushTest()
+      : cache_(mem::make_geometry(KiB(4), 64, 2), mem::Replacement::Lru),
+        engine_(FlushCosts{.op_overhead = microsec(2),
+                           .writeback_bw = GBps(10),
+                           .per_line = nanosec(2)}) {}
+  mem::SetAssocCache cache_;
+  FlushEngine engine_;
+};
+
+TEST_F(FlushTest, CostGrowsWithDirtyLines) {
+  const Seconds none = engine_.cost_for(0, 64);
+  const Seconds some = engine_.cost_for(100, 64);
+  const Seconds more = engine_.cost_for(1000, 64);
+  EXPECT_DOUBLE_EQ(none, microsec(2));  // just the op overhead
+  EXPECT_LT(none, some);
+  EXPECT_LT(some, more);
+}
+
+TEST_F(FlushTest, CostIsLinearInLines) {
+  const Seconds base = engine_.cost_for(0, 64);
+  const Seconds one = engine_.cost_for(1, 64) - base;
+  const Seconds hundred = engine_.cost_for(100, 64) - base;
+  EXPECT_NEAR(hundred, one * 100, 1e-12);
+}
+
+TEST_F(FlushTest, FlushWritesBackDirtyLines) {
+  cache_.access(0x00, mem::AccessKind::Write);
+  cache_.access(0x40, mem::AccessKind::Write);
+  cache_.access(0x80, mem::AccessKind::Read);
+  const auto result = engine_.flush(cache_);
+  EXPECT_EQ(result.dirty_lines, 2u);
+  EXPECT_EQ(result.bytes_written, 128u);
+  EXPECT_GT(result.time, 0.0);
+  EXPECT_EQ(cache_.dirty_lines(), 0u);
+  EXPECT_EQ(cache_.valid_lines(), 3u);  // clean, not invalidate
+}
+
+TEST_F(FlushTest, InvalidateDropsLines) {
+  cache_.access(0x00, mem::AccessKind::Write);
+  const auto result = engine_.invalidate(cache_);
+  EXPECT_EQ(result.dirty_lines, 1u);
+  EXPECT_EQ(cache_.valid_lines(), 0u);
+}
+
+TEST_F(FlushTest, RangedOpsTouchOnlyRange) {
+  cache_.access(0x000, mem::AccessKind::Write);
+  cache_.access(0x800, mem::AccessKind::Write);
+  const auto inval = engine_.invalidate_range(cache_, 0x000, 0x40);
+  EXPECT_EQ(inval.dirty_lines, 1u);
+  EXPECT_TRUE(cache_.probe(0x800));
+  const auto clean = engine_.clean_range(cache_, 0x800, 0x40);
+  EXPECT_EQ(clean.dirty_lines, 1u);
+  EXPECT_TRUE(cache_.probe(0x800));
+  EXPECT_EQ(cache_.dirty_lines(), 0u);
+}
+
+// --- I/O coherence port -----------------------------------------------------------
+
+TEST(IoPort, SnoopHitWhenLinePresent) {
+  mem::SetAssocCache llc(mem::make_geometry(KiB(4), 64, 2),
+                         mem::Replacement::Lru);
+  IoCoherencePort port(IoCoherenceConfig{});
+  llc.access(0x100, mem::AccessKind::Write);
+  EXPECT_TRUE(port.device_access(0x100, 4, mem::AccessKind::Read, &llc));
+  EXPECT_FALSE(port.device_access(0x900, 4, mem::AccessKind::Read, &llc));
+  EXPECT_EQ(port.counters().snoop_hits, 1u);
+  EXPECT_EQ(port.counters().snoop_misses, 1u);
+  EXPECT_EQ(port.counters().bytes, 8u);
+}
+
+TEST(IoPort, NullTargetAlwaysMisses) {
+  IoCoherencePort port(IoCoherenceConfig{});
+  EXPECT_FALSE(port.device_access(0x0, 4, mem::AccessKind::Read, nullptr));
+  EXPECT_EQ(port.counters().snoop_misses, 1u);
+}
+
+TEST(IoPort, TransferTimeMatchesBandwidth) {
+  IoCoherencePort port(
+      IoCoherenceConfig{.snoop_bandwidth = GBps(32), .snoop_latency = 0});
+  EXPECT_NEAR(port.transfer_time(MiB(32)), MiB(32) / 32e9, 1e-12);
+}
+
+TEST(IoPort, ResetClearsCounters) {
+  IoCoherencePort port(IoCoherenceConfig{});
+  port.device_access(0, 4, mem::AccessKind::Read, nullptr);
+  port.reset_counters();
+  EXPECT_EQ(port.counters().snoop_misses, 0u);
+  EXPECT_EQ(port.counters().bytes, 0u);
+}
+
+// --- page migration ----------------------------------------------------------------
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest()
+      : engine_(PageMigrationConfig{.page_size = KiB(4),
+                                    .fault_latency = microsec(10),
+                                    .migration_bw = GBps(10),
+                                    .batch_pages = 4}) {}
+  PageMigrationEngine engine_;
+};
+
+TEST_F(MigrationTest, HostOwnsFreshPages) {
+  EXPECT_EQ(engine_.owner_of(0x0), Owner::Host);
+  const auto result = engine_.touch_range(Owner::Host, 0, KiB(64));
+  EXPECT_EQ(result.pages_migrated, 0u);
+  EXPECT_EQ(result.faults, 0u);
+  EXPECT_DOUBLE_EQ(result.time, 0.0);
+}
+
+TEST_F(MigrationTest, DeviceFirstTouchMigrates) {
+  const auto result = engine_.touch_range(Owner::Device, 0, KiB(64));
+  EXPECT_EQ(result.pages_touched, 16u);
+  EXPECT_EQ(result.pages_migrated, 16u);
+  EXPECT_EQ(result.faults, 4u);  // 16 pages / batch of 4
+  EXPECT_EQ(result.bytes_moved, KiB(64));
+  EXPECT_GT(result.time, 0.0);
+  EXPECT_EQ(engine_.owner_of(0x0), Owner::Device);
+}
+
+TEST_F(MigrationTest, RepeatedDeviceTouchIsFree) {
+  engine_.touch_range(Owner::Device, 0, KiB(64));
+  const auto again = engine_.touch_range(Owner::Device, 0, KiB(64));
+  EXPECT_EQ(again.pages_migrated, 0u);
+  EXPECT_DOUBLE_EQ(again.time, 0.0);
+}
+
+TEST_F(MigrationTest, PingPongMigratesBothWays) {
+  const auto to_device = engine_.touch_range(Owner::Device, 0, KiB(16));
+  const auto to_host = engine_.touch_range(Owner::Host, 0, KiB(16));
+  EXPECT_EQ(to_device.pages_migrated, 4u);
+  EXPECT_EQ(to_host.pages_migrated, 4u);
+}
+
+TEST_F(MigrationTest, PartialOverlapMigratesOnlyForeignPages) {
+  engine_.touch_range(Owner::Device, 0, KiB(8));  // pages 0,1
+  const auto result = engine_.touch_range(Owner::Host, 0, KiB(16));
+  EXPECT_EQ(result.pages_touched, 4u);
+  EXPECT_EQ(result.pages_migrated, 2u);
+}
+
+TEST_F(MigrationTest, UnalignedRangeCoversStraddledPages) {
+  const auto result =
+      engine_.touch_range(Owner::Device, KiB(4) - 1, 2);  // straddles 2 pages
+  EXPECT_EQ(result.pages_touched, 2u);
+}
+
+TEST_F(MigrationTest, ZeroBytesIsNoop) {
+  const auto result = engine_.touch_range(Owner::Device, 0, 0);
+  EXPECT_EQ(result.pages_touched, 0u);
+}
+
+TEST_F(MigrationTest, BatchingReducesFaults) {
+  PageMigrationEngine fine(PageMigrationConfig{.page_size = KiB(4),
+                                               .fault_latency = microsec(10),
+                                               .migration_bw = GBps(10),
+                                               .batch_pages = 1});
+  const auto batched = engine_.touch_range(Owner::Device, 0, KiB(64));
+  const auto unbatched = fine.touch_range(Owner::Device, 0, KiB(64));
+  EXPECT_LT(batched.faults, unbatched.faults);
+  EXPECT_LT(batched.time, unbatched.time);
+}
+
+TEST_F(MigrationTest, NonContiguousRunsFaultSeparately) {
+  // Pre-own pages 0..3 and 8..11 on the device; a host sweep over 0..11
+  // then has two disjoint runs of foreign pages... actually host touch of
+  // the full range sees runs [0..3] and [8..11] separated by host pages.
+  engine_.touch_range(Owner::Device, 0, KiB(16));            // pages 0-3
+  engine_.touch_range(Owner::Device, KiB(32), KiB(16));      // pages 8-11
+  const auto result = engine_.touch_range(Owner::Host, 0, KiB(48));
+  EXPECT_EQ(result.pages_migrated, 8u);
+  EXPECT_EQ(result.faults, 2u);  // two runs of 4 pages, batch 4
+}
+
+TEST_F(MigrationTest, ResetRestoresHostOwnership) {
+  engine_.touch_range(Owner::Device, 0, KiB(16));
+  engine_.reset();
+  EXPECT_EQ(engine_.owner_of(0), Owner::Host);
+  EXPECT_EQ(engine_.pages_tracked(), 0u);
+}
+
+}  // namespace
+}  // namespace cig::coherence

@@ -1,0 +1,196 @@
+// Tests for the decision engine (the Fig. 2 flow), using a fabricated
+// device characterization so every branch is reachable deterministically.
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+
+namespace cig::core {
+namespace {
+
+using comm::CommModel;
+
+DeviceCharacterization fake_device() {
+  DeviceCharacterization d;
+  d.board = "fake";
+  d.capability = coherence::Capability::HwIoCoherent;  // grey zone exists
+  // MB1: SC LL throughput 100 GB/s; ZC kernel 10x slower.
+  d.mb1.gpu_ll_throughput[model_index(CommModel::StandardCopy)] = GBps(100);
+  d.mb1.gpu_ll_throughput[model_index(CommModel::UnifiedMemory)] = GBps(107);
+  d.mb1.gpu_ll_throughput[model_index(CommModel::ZeroCopy)] = GBps(10);
+  d.mb1.gpu_time[model_index(CommModel::StandardCopy)] = microsec(100);
+  d.mb1.gpu_time[model_index(CommModel::UnifiedMemory)] = microsec(95);
+  d.mb1.gpu_time[model_index(CommModel::ZeroCopy)] = microsec(1000);
+  // MB2: GPU threshold 10%, zone 2 up to 50%; CPU threshold 20%.
+  d.mb2.gpu.threshold_pct = 10.0;
+  d.mb2.gpu.zone2_end_pct = 50.0;
+  d.mb2.gpu.peak_throughput = GBps(100);
+  d.mb2.cpu.threshold_pct = 20.0;
+  d.mb2.cpu.zone2_end_pct = 60.0;
+  d.mb2.cpu.peak_throughput = GBps(20);
+  // MB3: overlapped ZC up to 2x faster than SC.
+  d.mb3.total_time[model_index(CommModel::StandardCopy)] = millisec(2);
+  d.mb3.total_time[model_index(CommModel::UnifiedMemory)] = millisec(2.1);
+  d.mb3.total_time[model_index(CommModel::ZeroCopy)] = millisec(1);
+  return d;
+}
+
+// Profile with the given cache behaviour; kernel demand is chosen so that
+// eqn 2 yields `gpu_usage_pct` against the fake 100 GB/s peak.
+profile::ProfileReport fake_profile(CommModel model, double gpu_usage_pct,
+                                    double cpu_usage_fraction) {
+  profile::ProfileReport p;
+  p.workload = "app";
+  p.board = "fake";
+  p.model = model;
+  p.kernel_time = microsec(100);
+  p.cpu_time = microsec(80);
+  p.copy_time = microsec(20);
+  p.total_time = microsec(220);
+  p.gpu_transaction_size = 4;
+  p.gpu_l1_hit_rate = 0.0;
+  // The decision engine normalises eqn 2 by the MB1 peak of the model the
+  // profile was taken under; build the demand accordingly so
+  // `gpu_usage_pct` is the resulting usage.
+  const double peak = model == CommModel::ZeroCopy
+                          ? 10e9
+                          : model == CommModel::UnifiedMemory ? 107e9 : 100e9;
+  p.gpu_transactions = gpu_usage_pct / 100.0 * peak * 100e-6 / 4.0;
+  p.cpu_l1_miss_rate = cpu_usage_fraction;  // with LLC miss 0 -> usage == this
+  p.cpu_llc_miss_rate = 0.0;
+  return p;
+}
+
+class DecisionTest : public ::testing::Test {
+ protected:
+  DecisionEngine engine_{fake_device()};
+};
+
+TEST_F(DecisionTest, Zone3OnScKeepsSc) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 80.0, 0.05));
+  EXPECT_EQ(rec.gpu_zone, Zone::CacheBound);
+  EXPECT_FALSE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
+}
+
+TEST_F(DecisionTest, Zone3OnZcSwitchesToSc) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::ZeroCopy, 80.0, 0.05));
+  EXPECT_TRUE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
+  EXPECT_DOUBLE_EQ(rec.max_speedup, 10.0);  // from the MB1 kernel ratio
+  EXPECT_LE(rec.estimated_speedup, rec.max_speedup);
+}
+
+TEST_F(DecisionTest, GreyZoneOnScSuggestsTryingZc) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 30.0, 0.05));
+  EXPECT_EQ(rec.gpu_zone, Zone::Grey);
+  EXPECT_TRUE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::ZeroCopy);
+  EXPECT_TRUE(rec.use_overlap_pattern);
+}
+
+TEST_F(DecisionTest, GreyZoneOnZcKeepsZc) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::ZeroCopy, 30.0, 0.05));
+  EXPECT_FALSE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::ZeroCopy);
+}
+
+TEST_F(DecisionTest, LowUsageSuggestsZcForEnergy) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 5.0, 0.05));
+  EXPECT_EQ(rec.gpu_zone, Zone::Comparable);
+  EXPECT_FALSE(rec.cpu_over_threshold);
+  EXPECT_TRUE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::ZeroCopy);
+  EXPECT_GT(rec.estimated_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rec.max_speedup, 2.0);  // from MB3
+}
+
+TEST_F(DecisionTest, LowGpuHighCpuUsageKeepsSc) {
+  // The SH-WFS-on-TX2 situation: GPU usage below threshold, CPU above.
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 5.0, 0.4));
+  EXPECT_TRUE(rec.cpu_over_threshold);
+  EXPECT_FALSE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
+}
+
+TEST_F(DecisionTest, LowGpuHighCpuOnZcSwitchesBack) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::ZeroCopy, 5.0, 0.4));
+  EXPECT_TRUE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
+}
+
+TEST_F(DecisionTest, ZcAlreadyOptimalIsConfirmed) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::ZeroCopy, 5.0, 0.05));
+  EXPECT_FALSE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::ZeroCopy);
+  EXPECT_TRUE(rec.use_overlap_pattern);
+}
+
+TEST_F(DecisionTest, UnifiedMemoryTreatedLikeSc) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::UnifiedMemory, 5.0, 0.05));
+  EXPECT_TRUE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::ZeroCopy);
+}
+
+TEST_F(DecisionTest, EstimateRespectsEqn3) {
+  const auto profile = fake_profile(CommModel::StandardCopy, 5.0, 0.05);
+  const auto rec = engine_.recommend(profile);
+  const auto inputs = DecisionEngine::inputs_from(profile);
+  EXPECT_DOUBLE_EQ(rec.estimated_speedup,
+                   sc_to_zc_speedup(inputs, rec.max_speedup));
+}
+
+TEST_F(DecisionTest, RationaleAndToStringPopulated) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 5.0, 0.05));
+  EXPECT_FALSE(rec.rationale.empty());
+  const std::string s = rec.to_string();
+  EXPECT_NE(s.find("SC"), std::string::npos);
+  EXPECT_NE(s.find("ZC"), std::string::npos);
+  EXPECT_NE(s.find("estimated speedup"), std::string::npos);
+}
+
+TEST_F(DecisionTest, UsageComputedFromProfile) {
+  const auto rec =
+      engine_.recommend(fake_profile(CommModel::StandardCopy, 30.0, 0.1));
+  EXPECT_NEAR(rec.usage.gpu_pct(), 30.0, 0.5);
+  EXPECT_NEAR(rec.usage.cpu_pct(), 10.0, 0.5);
+}
+
+TEST_F(DecisionTest, NoZcSuggestionWhenDeviceBoundBelowOne) {
+  // A TX2/Nano-like device where even the cache-independent MB3 loses
+  // under ZC: low cache usage must NOT trigger a switch.
+  auto device = fake_device();
+  device.capability = coherence::Capability::SwFlush;
+  device.mb3.total_time[model_index(CommModel::ZeroCopy)] = millisec(4);
+  const DecisionEngine engine(device);
+  const auto rec =
+      engine.recommend(fake_profile(CommModel::StandardCopy, 5.0, 0.05));
+  EXPECT_FALSE(rec.switch_model);
+  EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
+  EXPECT_NE(rec.rationale.find("MB3 bound"), std::string::npos);
+}
+
+TEST(DecisionEngine, InputsFromMapsFields) {
+  profile::ProfileReport p;
+  p.total_time = 1.0;
+  p.copy_time = 0.25;
+  p.cpu_time = 0.3;
+  p.kernel_time = 0.4;
+  const auto in = DecisionEngine::inputs_from(p);
+  EXPECT_DOUBLE_EQ(in.runtime, 1.0);
+  EXPECT_DOUBLE_EQ(in.copy_time, 0.25);
+  EXPECT_DOUBLE_EQ(in.cpu_time, 0.3);
+  EXPECT_DOUBLE_EQ(in.gpu_time, 0.4);
+}
+
+}  // namespace
+}  // namespace cig::core

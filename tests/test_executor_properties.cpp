@@ -1,0 +1,153 @@
+// Property suite: execution-engine invariants that must hold for every
+// (board, model, workload) combination — conservation, consistency and
+// ordering laws rather than calibrated values.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "apps/shwfs/workload.h"
+#include "comm/executor.h"
+#include "soc/board_io.h"
+#include "workload/builders.h"
+
+namespace cig::comm {
+namespace {
+
+using Param = std::tuple<std::string /*board*/, std::string /*workload*/,
+                         CommModel>;
+
+workload::Workload make_named_workload(const std::string& name,
+                                       const soc::BoardConfig& board) {
+  if (name == "mb1") return workload::mb1_workload(board);
+  if (name == "mb2small") return workload::mb2_workload(board, 1.0 / 1000);
+  if (name == "shwfs") return apps::shwfs::shwfs_workload(board);
+  ADD_FAILURE() << "unknown workload " << name;
+  return workload::mb1_workload(board);
+}
+
+class ExecutorProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  RunResult run() {
+    const auto& [board_name, workload_name, model] = GetParam();
+    const auto board = soc::resolve_board(board_name);
+    soc_ = std::make_unique<soc::SoC>(board);
+    Executor executor(*soc_);
+    return executor.run(make_named_workload(workload_name, board), model);
+  }
+
+  std::unique_ptr<soc::SoC> soc_;
+};
+
+TEST_P(ExecutorProperties, TimesAreFiniteAndPositive) {
+  const auto r = run();
+  EXPECT_GT(r.total, 0.0);
+  EXPECT_TRUE(std::isfinite(r.total));
+  EXPECT_GE(r.cpu_time, 0.0);
+  EXPECT_GT(r.kernel_time, 0.0);
+  EXPECT_GE(r.copy_time, 0.0);
+  EXPECT_GE(r.coherence_time, 0.0);
+  EXPECT_GE(r.migration_time, 0.0);
+}
+
+TEST_P(ExecutorProperties, TimelineMatchesTotals) {
+  const auto r = run();
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+  EXPECT_NEAR(r.timeline.makespan(), r.total, r.total * 1e-9 + 1e-12);
+  // Busy time on each lane never exceeds the makespan.
+  for (const auto lane : {sim::Lane::Cpu, sim::Lane::Gpu, sim::Lane::Copy}) {
+    EXPECT_LE(r.timeline.busy(lane), r.total * (1 + 1e-9));
+  }
+}
+
+TEST_P(ExecutorProperties, ComponentsNeverExceedTotal) {
+  const auto r = run();
+  // Under serialized models the parts sum to the total; under overlapped
+  // ZC they may exceed it, but no single component can.
+  EXPECT_LE(r.copy_time, r.total * (1 + 1e-9));
+  EXPECT_LE(r.coherence_time, r.total * (1 + 1e-9));
+  EXPECT_LE(r.migration_time, r.total * (1 + 1e-9));
+}
+
+TEST_P(ExecutorProperties, ModelSemanticsRespected) {
+  const auto r = run();
+  const auto model = std::get<2>(GetParam());
+  switch (model) {
+    case CommModel::StandardCopy:
+      EXPECT_DOUBLE_EQ(r.migration_time, 0.0);
+      break;
+    case CommModel::UnifiedMemory:
+      EXPECT_DOUBLE_EQ(r.copy_time, 0.0);
+      EXPECT_DOUBLE_EQ(r.coherence_time, 0.0);
+      break;
+    case CommModel::ZeroCopy:
+      EXPECT_DOUBLE_EQ(r.copy_time, 0.0);
+      EXPECT_DOUBLE_EQ(r.coherence_time, 0.0);
+      EXPECT_DOUBLE_EQ(r.migration_time, 0.0);
+      break;
+  }
+}
+
+TEST_P(ExecutorProperties, EnergyAndTrafficPositive) {
+  const auto r = run();
+  EXPECT_GT(r.energy, 0.0);
+  // A fully LLC-resident steady state may legitimately have zero DRAM
+  // traffic; the demand-side counter must still be positive.
+  EXPECT_GT(r.gpu_transactions, 0.0);
+  // Average power must sit between the idle floor and the all-on ceiling.
+  const auto& power = soc_->config().power;
+  const double average = r.energy / r.total;
+  EXPECT_GT(average, power.idle * 0.99);
+  EXPECT_LT(average, (power.idle + power.cpu_active + power.gpu_active +
+                      power.copy_active) *
+                             1.01 +
+                         5.0 /* DRAM traffic term bound */);
+}
+
+TEST_P(ExecutorProperties, RatesWithinUnitInterval) {
+  const auto r = run();
+  for (const double rate : {r.cpu_l1_miss_rate, r.cpu_llc_miss_rate,
+                            r.gpu_l1_hit_rate, r.gpu_llc_hit_rate}) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  EXPECT_GE(r.overlap_fraction, 0.0);
+  EXPECT_LE(r.overlap_fraction, 1.0 + 1e-9);
+}
+
+TEST_P(ExecutorProperties, DeterministicAcrossRuns) {
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.total, b.total);
+  EXPECT_DOUBLE_EQ(a.kernel_time, b.kernel_time);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.dram_traffic, b.dram_traffic);
+}
+
+TEST_P(ExecutorProperties, SocLeftCleanForReuse) {
+  run();
+  EXPECT_TRUE(soc_->cpu_hierarchy().any_level_enabled());
+  EXPECT_TRUE(soc_->gpu_hierarchy().any_level_enabled());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ExecutorProperties,
+    ::testing::Combine(
+        ::testing::Values("generic", "tx2", "xavier", "xavier-nx"),
+        ::testing::Values("mb1", "mb2small", "shwfs"),
+        ::testing::Values(CommModel::StandardCopy, CommModel::UnifiedMemory,
+                          CommModel::ZeroCopy)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         comm::model_name(std::get<2>(info.param));
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cig::comm

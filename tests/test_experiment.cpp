@@ -1,0 +1,101 @@
+// Tests for the declarative experiment-grid runner.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "soc/presets.h"
+
+namespace cig::core {
+namespace {
+
+TEST(Experiment, ResolveApplicationKnowsAllApps) {
+  const auto board = soc::generic_board();
+  for (const std::string name : {"shwfs", "orbslam", "mb1", "mb3"}) {
+    const auto workload = resolve_application(name, board);
+    workload.validate();
+    EXPECT_FALSE(workload.name.empty());
+  }
+  EXPECT_THROW(resolve_application("nope", board), std::runtime_error);
+}
+
+TEST(Experiment, GridCoversFullCartesianProduct) {
+  ExperimentSpec spec;
+  spec.boards = {"generic"};
+  spec.apps = {"mb1"};
+  const auto grid = run_grid(spec);
+  EXPECT_EQ(grid.cells().size(), 3u);  // three models by default
+  for (const auto& cell : grid.cells()) {
+    EXPECT_GT(cell.run.total, 0.0);
+  }
+}
+
+TEST(Experiment, AtFindsCellsAndThrowsOnMiss) {
+  ExperimentSpec spec;
+  spec.boards = {"generic"};
+  spec.apps = {"mb1"};
+  spec.models = {comm::CommModel::StandardCopy};
+  const auto grid = run_grid(spec);
+  EXPECT_NO_THROW(grid.at("generic", "mb1", comm::CommModel::StandardCopy));
+  EXPECT_THROW(grid.at("generic", "mb1", comm::CommModel::ZeroCopy),
+               std::runtime_error);
+  EXPECT_THROW(grid.at("tx2", "mb1", comm::CommModel::StandardCopy),
+               std::runtime_error);
+}
+
+TEST(Experiment, SpeedupVsScIsConsistent) {
+  ExperimentSpec spec;
+  spec.boards = {"generic"};
+  spec.apps = {"mb1"};
+  const auto grid = run_grid(spec);
+  EXPECT_DOUBLE_EQ(
+      grid.speedup_vs_sc("generic", "mb1", comm::CommModel::StandardCopy),
+      1.0);
+  const double zc =
+      grid.speedup_vs_sc("generic", "mb1", comm::CommModel::ZeroCopy);
+  const auto& sc_cell =
+      grid.at("generic", "mb1", comm::CommModel::StandardCopy);
+  const auto& zc_cell = grid.at("generic", "mb1", comm::CommModel::ZeroCopy);
+  EXPECT_DOUBLE_EQ(zc, sc_cell.run.total / zc_cell.run.total);
+}
+
+TEST(Experiment, OutputsAreWellFormed) {
+  ExperimentSpec spec;
+  spec.boards = {"generic"};
+  spec.apps = {"mb1"};
+  spec.models = {comm::CommModel::StandardCopy, comm::CommModel::ZeroCopy};
+  const auto grid = run_grid(spec);
+
+  const auto table = grid.to_table();
+  EXPECT_EQ(table.rows(), 2u);
+
+  const auto csv = grid.to_csv();
+  EXPECT_NE(csv.find("board,app,model"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+
+  const auto json = grid.to_json();
+  EXPECT_EQ(json.at("cells").as_array().size(), 2u);
+  EXPECT_EQ(json.at("cells").as_array()[0].at("model").as_string(), "SC");
+}
+
+TEST(Experiment, MatchesDirectExecutorRun) {
+  ExperimentSpec spec;
+  spec.boards = {"generic"};
+  spec.apps = {"mb1"};
+  spec.models = {comm::CommModel::StandardCopy};
+  const auto grid = run_grid(spec);
+
+  soc::SoC soc(soc::generic_board());
+  comm::Executor executor(soc);
+  const auto direct = executor.run(
+      resolve_application("mb1", soc.config()), comm::CommModel::StandardCopy);
+  EXPECT_DOUBLE_EQ(
+      grid.at("generic", "mb1", comm::CommModel::StandardCopy).run.total,
+      direct.total);
+}
+
+TEST(ExperimentDeath, RejectsEmptySpec) {
+  ExperimentSpec spec;
+  EXPECT_DEATH(run_grid(spec), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,96 @@
+// Integration tests for the top-level Framework API on the generic board.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "soc/presets.h"
+
+namespace cig::core {
+namespace {
+
+workload::Workload small_app() {
+  workload::Workload w;
+  w.name = "small-app";
+  w.cpu.ops = 5000;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = 0x1000'0000,
+                                   .extent = KiB(8),
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::WriteOnly,
+                                   .passes = 1,
+                                   .line_hint = 64};
+  w.gpu.ops = 20000;
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = 0x1000'0000,
+                                   .extent = KiB(8),
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadOnly,
+                                   .passes = 2,
+                                   .line_hint = 64};
+  w.h2d_bytes = KiB(8);
+  w.iterations = 3;
+  w.overlappable = true;
+  return w;
+}
+
+TEST(Framework, DeviceCharacterizationIsCached) {
+  Framework fw(soc::generic_board());
+  const auto* first = &fw.device();
+  const auto* second = &fw.device();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->board, "generic");
+}
+
+TEST(Framework, ProfileReportsSaneNumbers) {
+  Framework fw(soc::generic_board());
+  const auto profile =
+      fw.profile(small_app(), comm::CommModel::StandardCopy);
+  EXPECT_EQ(profile.workload, "small-app");
+  EXPECT_EQ(profile.board, "generic");
+  EXPECT_GT(profile.kernel_time, 0.0);
+  EXPECT_GT(profile.cpu_time, 0.0);
+  EXPECT_GT(profile.copy_time, 0.0);
+  EXPECT_GT(profile.total_time,
+            profile.kernel_time + profile.cpu_time);
+  EXPECT_GT(profile.average_power, 0.0);
+  EXPECT_FALSE(profile.to_string().empty());
+}
+
+TEST(Framework, AnalyzeProducesRecommendation) {
+  Framework fw(soc::generic_board());
+  const auto rec = fw.analyze(small_app(), comm::CommModel::StandardCopy);
+  EXPECT_EQ(rec.current, comm::CommModel::StandardCopy);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(Framework, TuneMeasuresAllThreeModels) {
+  Framework fw(soc::generic_board());
+  const auto report = fw.tune(small_app(), comm::CommModel::StandardCopy);
+  for (const auto model : kAllModels) {
+    const auto& run = report.measured[model_index(model)];
+    EXPECT_GT(run.total, 0.0) << comm::model_name(model);
+    EXPECT_EQ(run.model, model);
+  }
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Framework, TuneReportSpeedupConsistent) {
+  Framework fw(soc::generic_board());
+  const auto report = fw.tune(small_app(), comm::CommModel::StandardCopy);
+  if (report.recommendation.switch_model) {
+    const auto& current =
+        report.measured[model_index(report.recommendation.current)];
+    const auto& suggested =
+        report.measured[model_index(report.recommendation.suggested)];
+    EXPECT_NEAR(report.actual_speedup(), current.total / suggested.total,
+                1e-12);
+  }
+}
+
+TEST(Framework, BoardAccessors) {
+  Framework fw(soc::jetson_tx2());
+  EXPECT_EQ(fw.board().name, "Jetson TX2");
+  EXPECT_EQ(&fw.soc().config(), &fw.board());
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,168 @@
+// Tests for the multi-level hierarchy walker: service attribution, byte
+// accounting, enable/disable semantics, uncached path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/hierarchy.h"
+
+namespace cig::mem {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest()
+      : dram_(DramConfig{.bandwidth = GBps(10),
+                         .latency = nanosec(100),
+                         .uncached_efficiency = 0.1,
+                         .energy_per_byte = 40e-12}),
+        l1_(make_geometry(KiB(1), 64, 2), Replacement::Lru),
+        llc_(make_geometry(KiB(8), 64, 4), Replacement::Lru),
+        hierarchy_({{&l1_, GBps(50), nanosec(1), true, "L1"},
+                    {&llc_, GBps(20), nanosec(8), true, "LLC"}},
+                   &dram_) {}
+
+  MainMemory dram_;
+  SetAssocCache l1_;
+  SetAssocCache llc_;
+  MemoryHierarchy hierarchy_;
+};
+
+TEST_F(HierarchyTest, ColdAccessReachesDram) {
+  EXPECT_EQ(hierarchy_.access({0x0, 4, AccessKind::Read}),
+            MemoryHierarchy::kDram);
+  EXPECT_EQ(hierarchy_.counters().dram_served, 1u);
+  EXPECT_EQ(hierarchy_.counters().dram_read_served, 1u);
+  // Fill granularity is the LLC line.
+  EXPECT_EQ(hierarchy_.counters().dram_bytes, 64u);
+}
+
+TEST_F(HierarchyTest, SecondAccessHitsL1) {
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  EXPECT_EQ(hierarchy_.access({0x0, 4, AccessKind::Read}), 0u);
+  EXPECT_EQ(hierarchy_.counters().level[0].served, 1u);
+  // An L1 hit delivers only the requested bytes, not a whole line.
+  EXPECT_EQ(hierarchy_.counters().level[0].bytes, 4u);
+}
+
+TEST_F(HierarchyTest, L1EvictionServedByLlc) {
+  // Touch 3 lines mapping to the same L1 set (1 KiB, 2-way, 8 sets).
+  const std::uint64_t l1_set_stride = 64 * 8;
+  hierarchy_.access({0 * l1_set_stride, 4, AccessKind::Read});
+  hierarchy_.access({1 * l1_set_stride, 4, AccessKind::Read});
+  hierarchy_.access({2 * l1_set_stride, 4, AccessKind::Read});
+  // First line evicted from L1 but still in the (8 KiB) LLC.
+  EXPECT_EQ(hierarchy_.access({0, 4, AccessKind::Read}), 1u);
+  EXPECT_EQ(hierarchy_.counters().level[1].served, 1u);
+  EXPECT_EQ(hierarchy_.counters().level[1].bytes, 64u);  // line fill upward
+}
+
+TEST_F(HierarchyTest, WriteCountsAsNonReadServe) {
+  hierarchy_.access({0x0, 4, AccessKind::Write});
+  EXPECT_EQ(hierarchy_.counters().dram_served, 1u);
+  EXPECT_EQ(hierarchy_.counters().dram_read_served, 0u);
+}
+
+TEST_F(HierarchyTest, DisabledL1FallsThroughToLlc) {
+  hierarchy_.set_enabled(0, false);
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  EXPECT_EQ(hierarchy_.counters().level[0].served, 0u);
+  EXPECT_EQ(hierarchy_.counters().level[1].served, 1u);
+  // With L1 off, an LLC hit is the first enabled level: requested bytes.
+  EXPECT_EQ(hierarchy_.counters().level[1].bytes, 4u);
+}
+
+TEST_F(HierarchyTest, AllDisabledUsesUncachedPath) {
+  hierarchy_.set_enabled(0, false);
+  hierarchy_.set_enabled(1, false);
+  EXPECT_FALSE(hierarchy_.any_level_enabled());
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  hierarchy_.access({0x4, 4, AccessKind::Write});
+  const auto& c = hierarchy_.counters();
+  EXPECT_EQ(c.uncached_served, 2u);
+  EXPECT_EQ(c.uncached_read_served, 1u);
+  EXPECT_EQ(c.uncached_bytes, 8u);  // natural granularity, no line fills
+  EXPECT_EQ(c.dram_served, 0u);
+  EXPECT_EQ(dram_.uncached_bytes(), 8u);
+}
+
+TEST_F(HierarchyTest, RequestedBytesTracksDemand) {
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  hierarchy_.access({0x40, 16, AccessKind::Read});
+  EXPECT_EQ(hierarchy_.counters().requested_bytes, 20u);
+  EXPECT_EQ(hierarchy_.counters().total_accesses, 2u);
+}
+
+TEST_F(HierarchyTest, DirtyL1VictimWritesBackToLlc) {
+  const std::uint64_t l1_set_stride = 64 * 8;
+  hierarchy_.access({0, 4, AccessKind::Write});
+  hierarchy_.access({1 * l1_set_stride, 4, AccessKind::Read});
+  hierarchy_.reset_counters();
+  hierarchy_.access({2 * l1_set_stride, 4, AccessKind::Read});  // evicts dirty
+  // The dirty line moved down to the LLC: its bytes appear at level 1.
+  EXPECT_EQ(hierarchy_.counters().level[1].bytes, 64u);
+}
+
+TEST_F(HierarchyTest, LastEnabledTracksEnables) {
+  EXPECT_EQ(hierarchy_.last_enabled(), 1u);
+  hierarchy_.set_enabled(1, false);
+  EXPECT_EQ(hierarchy_.last_enabled(), 0u);
+  hierarchy_.set_enabled(0, false);
+  EXPECT_EQ(hierarchy_.last_enabled(), MemoryHierarchy::kDram);
+}
+
+TEST_F(HierarchyTest, ResetCountersZeroesEverything) {
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  hierarchy_.reset_counters();
+  const auto& c = hierarchy_.counters();
+  EXPECT_EQ(c.total_accesses, 0u);
+  EXPECT_EQ(c.dram_bytes, 0u);
+  EXPECT_EQ(c.level[0].served, 0u);
+  EXPECT_EQ(c.level[1].served, 0u);
+}
+
+TEST_F(HierarchyTest, AccessLinearWalksWholeSpan) {
+  hierarchy_.access_linear(0, 1024, AccessKind::Read);
+  EXPECT_EQ(hierarchy_.counters().total_accesses, 1024u / 64);
+  EXPECT_EQ(hierarchy_.counters().requested_bytes, 1024u);
+}
+
+TEST_F(HierarchyTest, AccessLinearZeroBytesIsNoop) {
+  hierarchy_.access_linear(0, 0, AccessKind::Read);
+  EXPECT_EQ(hierarchy_.counters().total_accesses, 0u);
+}
+
+TEST_F(HierarchyTest, DramTrafficEnergyAccrues) {
+  hierarchy_.access({0x0, 4, AccessKind::Read});
+  EXPECT_GT(dram_.total_bytes(), 0u);
+  EXPECT_GT(dram_.traffic_energy(), 0.0);
+  dram_.reset_traffic();
+  EXPECT_EQ(dram_.total_bytes(), 0u);
+}
+
+TEST(MainMemory, UncachedBandwidthScales) {
+  MainMemory m(DramConfig{.bandwidth = GBps(60),
+                          .latency = nanosec(100),
+                          .uncached_efficiency = 0.05,
+                          .energy_per_byte = 0});
+  EXPECT_DOUBLE_EQ(m.cached_bandwidth(), GBps(60));
+  EXPECT_DOUBLE_EQ(m.uncached_bandwidth(), GBps(3));
+}
+
+// Steady-state property: a working set fitting the LLC but not L1 is served
+// by the LLC after warmup (the MB1 "LL-L1 throughput" situation).
+TEST_F(HierarchyTest, LlcBandWorkingSetServedByLlc) {
+  const Bytes span = KiB(4);  // > 1 KiB L1, < 8 KiB LLC
+  for (int pass = 0; pass < 3; ++pass) {
+    hierarchy_.access_linear(0, span, AccessKind::Read);
+  }
+  hierarchy_.reset_counters();
+  hierarchy_.access_linear(0, span, AccessKind::Read);
+  const auto& c = hierarchy_.counters();
+  EXPECT_EQ(c.dram_served, 0u);
+  EXPECT_GT(c.level[1].served, c.level[0].served);
+}
+
+}  // namespace
+}  // namespace cig::mem

@@ -1,0 +1,150 @@
+// Tests for the minimal JSON value type, parser and writer.
+#include <gtest/gtest.h>
+
+#include "support/json.h"
+
+namespace cig {
+namespace {
+
+// --- value type -----------------------------------------------------------------
+
+TEST(JsonValue, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+}
+
+TEST(JsonValue, TypePredicates) {
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json(JsonArray{}).is_array());
+  EXPECT_TRUE(Json(JsonObject{}).is_object());
+}
+
+TEST(JsonValue, CheckedAccessorsThrowOnMismatch) {
+  EXPECT_THROW(Json(1.0).as_string(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+  EXPECT_THROW(Json(true).as_array(), std::runtime_error);
+}
+
+TEST(JsonValue, ObjectBuilderCreatesMembers) {
+  Json j;
+  j["a"] = Json(1.0);
+  j["b"]["nested"] = Json("x");
+  EXPECT_DOUBLE_EQ(j.at("a").as_number(), 1.0);
+  EXPECT_EQ(j.at("b").at("nested").as_string(), "x");
+}
+
+TEST(JsonValue, ArrayBuilderAppends) {
+  Json j;
+  j.push_back(Json(1.0));
+  j.push_back(Json("two"));
+  ASSERT_EQ(j.as_array().size(), 2u);
+  EXPECT_EQ(j.as_array()[1].as_string(), "two");
+}
+
+TEST(JsonValue, FallbackAccessors) {
+  Json j;
+  j["present"] = Json(5.0);
+  EXPECT_DOUBLE_EQ(j.number_or("present", 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(j.number_or("absent", 1.0), 1.0);
+  EXPECT_EQ(j.string_or("absent", "fb"), "fb");
+  EXPECT_TRUE(j.bool_or("absent", true));
+  EXPECT_THROW(j.at("absent"), std::runtime_error);
+}
+
+// --- parsing --------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_number(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e3").as_number(), 1500);
+  EXPECT_EQ(Json::parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto j = Json::parse(R"({
+    "name": "tx2",
+    "cores": 4,
+    "caches": [{"level": 1, "kib": 32}, {"level": 2, "kib": 2048}],
+    "io_coherent": false
+  })");
+  EXPECT_EQ(j.at("name").as_string(), "tx2");
+  EXPECT_DOUBLE_EQ(j.at("cores").as_number(), 4);
+  ASSERT_EQ(j.at("caches").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("caches").as_array()[1].at("kib").as_number(), 2048);
+  EXPECT_FALSE(j.at("io_coherent").as_bool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_TRUE(Json::parse("  [ ]  ").as_array().empty());
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto j = Json::parse(" {\n\t\"a\" :\t[ 1 ,2 ] }\r\n");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse("{'single':1}"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_THROW(Json::parse("\"a\nb\""), JsonParseError);
+}
+
+// --- round trips -----------------------------------------------------------------
+
+TEST(JsonRoundTrip, CompactAndPretty) {
+  Json j;
+  j["b"] = Json(true);
+  j["n"] = Json(2.5);
+  j["s"] = Json("text with \"quotes\"");
+  j["list"].push_back(Json(1.0));
+  j["list"].push_back(Json(nullptr));
+
+  for (int indent : {0, 2, 4}) {
+    const auto reparsed = Json::parse(j.dump(indent));
+    EXPECT_EQ(reparsed, j) << "indent " << indent;
+  }
+}
+
+TEST(JsonRoundTrip, IntegersStayIntegral) {
+  EXPECT_EQ(Json(1024).dump(), "1024");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json::parse(Json(1e12).dump()).as_number(), 1e12);
+}
+
+TEST(JsonRoundTrip, DoublesSurvive) {
+  const double value = 97.340000000000003;
+  EXPECT_DOUBLE_EQ(Json::parse(Json(value).dump()).as_number(), value);
+}
+
+TEST(JsonDump, ObjectKeysSortedDeterministically) {
+  Json j;
+  j["zeta"] = Json(1.0);
+  j["alpha"] = Json(2.0);
+  const std::string s = j.dump();
+  EXPECT_LT(s.find("alpha"), s.find("zeta"));
+}
+
+}  // namespace
+}  // namespace cig

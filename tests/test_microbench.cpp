@@ -1,0 +1,144 @@
+// Integration tests for the micro-benchmark suite on the board presets.
+// These pin the qualitative device characteristics the paper's framework
+// depends on (Table I ordering, thresholds, max speedups).
+#include <gtest/gtest.h>
+
+#include "core/microbench.h"
+#include "soc/presets.h"
+
+namespace cig::core {
+namespace {
+
+using comm::CommModel;
+
+TEST(Mb1Tx2, ThroughputOrderingMatchesTable1) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  const auto zc = mb1.gpu_ll_throughput[model_index(CommModel::ZeroCopy)];
+  const auto sc = mb1.gpu_ll_throughput[model_index(CommModel::StandardCopy)];
+  const auto um = mb1.gpu_ll_throughput[model_index(CommModel::UnifiedMemory)];
+  EXPECT_LT(zc, sc);
+  EXPECT_LT(sc, um);
+  // Table I magnitudes (within 15%).
+  EXPECT_NEAR(to_GBps(zc), 1.28, 1.28 * 0.15);
+  EXPECT_NEAR(to_GBps(sc), 97.34, 97.34 * 0.15);
+  EXPECT_NEAR(to_GBps(um), 104.15, 104.15 * 0.15);
+}
+
+TEST(Mb1Xavier, ThroughputMatchesTable1) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  EXPECT_NEAR(
+      to_GBps(mb1.gpu_ll_throughput[model_index(CommModel::ZeroCopy)]), 32.29,
+      32.29 * 0.15);
+  EXPECT_NEAR(
+      to_GBps(mb1.gpu_ll_throughput[model_index(CommModel::StandardCopy)]),
+      214.64, 214.64 * 0.15);
+}
+
+TEST(Mb1Tx2, ZcScMaxSpeedupIsLarge) {
+  // The paper: GPU throughput up to ~77x lower under ZC on the TX2,
+  // yielding a ZC->SC kernel-speedup bound of ~70.
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  EXPECT_GT(mb1.zc_sc_max_speedup(), 40.0);
+  EXPECT_LT(mb1.zc_sc_max_speedup(), 110.0);
+}
+
+TEST(Mb1Xavier, ZcScMaxSpeedupIsModerate) {
+  // Paper: "limited" to ~3.7x thanks to I/O coherence; our port model
+  // lands in the single digits.
+  soc::SoC soc(soc::jetson_agx_xavier());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  EXPECT_GT(mb1.zc_sc_max_speedup(), 2.0);
+  EXPECT_LT(mb1.zc_sc_max_speedup(), 12.0);
+}
+
+TEST(Mb1Tx2, ZcPunishesCpuOnSwFlushBoards) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  const auto sc = mb1.cpu_time[model_index(CommModel::StandardCopy)];
+  const auto zc = mb1.cpu_time[model_index(CommModel::ZeroCopy)];
+  EXPECT_GT(zc / sc, 1.5);  // paper: "up to 70%" worse
+}
+
+TEST(Mb1Xavier, ZcLeavesCpuAloneOnIoCoherentBoards) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  MicrobenchSuite suite(soc);
+  const auto mb1 = suite.run_mb1();
+  const auto sc = mb1.cpu_time[model_index(CommModel::StandardCopy)];
+  const auto zc = mb1.cpu_time[model_index(CommModel::ZeroCopy)];
+  EXPECT_NEAR(zc / sc, 1.0, 0.05);
+}
+
+TEST(Mb2Tx2, ThresholdNearPaper) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb2 = suite.run_mb2();
+  EXPECT_GT(mb2.gpu.threshold_pct, 0.5);
+  EXPECT_LT(mb2.gpu.threshold_pct, 6.0);  // paper: 2.7
+  EXPECT_GT(mb2.cpu.threshold_pct, 4.0);
+  EXPECT_LT(mb2.cpu.threshold_pct, 30.0);  // paper: 15.6
+}
+
+TEST(Mb2Xavier, ThresholdAndZonesNearPaper) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  MicrobenchSuite suite(soc);
+  const auto mb2 = suite.run_mb2();
+  EXPECT_NEAR(mb2.gpu.threshold_pct, 16.2, 6.0);   // paper: 16.2
+  EXPECT_NEAR(mb2.gpu.zone2_end_pct, 57.1, 15.0);  // paper: 57.1
+  // HW I/O coherence keeps the CPU cache on: the threshold is unreachable.
+  EXPECT_DOUBLE_EQ(mb2.cpu.threshold_pct, 100.0);
+}
+
+TEST(Mb2, SweepPointsAreWellFormed) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb2 = suite.run_mb2();
+  ASSERT_FALSE(mb2.gpu.points.empty());
+  for (const auto& p : mb2.gpu.points) {
+    EXPECT_GT(p.time_sc, 0.0);
+    EXPECT_GT(p.time_zc, 0.0);
+    EXPECT_GE(p.time_zc, p.time_sc * 0.8);  // ZC never mysteriously faster
+  }
+}
+
+TEST(Mb3Xavier, ZcWinsWithOverlap) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  MicrobenchSuite suite(soc);
+  const auto mb3 = suite.run_mb3();
+  // Paper: ZC up to 152% faster than SC, 164% than UM on the I/O-coherent
+  // board; we require at least +60% and UM within 15% of SC.
+  EXPECT_GT(mb3.sc_zc_max_speedup(), 1.6);
+  EXPECT_GT(mb3.um_zc_max_speedup(), 1.6);
+  const auto sc = mb3.total_time[model_index(CommModel::StandardCopy)];
+  const auto um = mb3.total_time[model_index(CommModel::UnifiedMemory)];
+  EXPECT_NEAR(um / sc, 1.0, 0.15);
+  EXPECT_GT(mb3.overlap_fraction_zc, 0.5);
+}
+
+TEST(Mb3Tx2, ZcLosesOnSwFlushBoards) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto mb3 = suite.run_mb3();
+  EXPECT_LT(mb3.sc_zc_max_speedup(), 1.0);
+}
+
+TEST(Characterize, AssemblesAllPieces) {
+  soc::SoC soc(soc::jetson_tx2());
+  MicrobenchSuite suite(soc);
+  const auto device = suite.characterize();
+  EXPECT_EQ(device.board, "Jetson TX2");
+  EXPECT_GT(device.gpu_cache_max_throughput(), 0.0);
+  EXPECT_GT(device.gpu_threshold_pct(), 0.0);
+  EXPECT_GE(device.gpu_zone2_end_pct(), device.gpu_threshold_pct());
+  EXPECT_GT(device.zc_sc_max_speedup(), 1.0);
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,344 @@
+// Tests for the ORB-SLAM front-end substrate: pyramid, FAST, ORB
+// descriptors, matching, and the simulator workload mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/orbslam/fast.h"
+#include "apps/orbslam/matcher.h"
+#include "apps/orbslam/orb.h"
+#include "apps/orbslam/pyramid.h"
+#include "apps/orbslam/workload.h"
+#include "soc/presets.h"
+
+namespace cig::apps::orbslam {
+namespace {
+
+Image scene() { return make_test_scene(320, 240, 7); }
+
+// --- scene & pyramid --------------------------------------------------------------
+
+TEST(Scene, DeterministicForSeed) {
+  const auto a = make_test_scene(320, 240, 7);
+  const auto b = make_test_scene(320, 240, 7);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+TEST(Scene, ShiftMovesContent) {
+  const auto a = make_test_scene(320, 240, 7, 0, 0);
+  const auto b = make_test_scene(320, 240, 7, 5, 0);
+  EXPECT_NE(a.pixels, b.pixels);
+}
+
+TEST(Pyramid, BuildsRequestedLevels) {
+  Pyramid pyramid(scene(), PyramidOptions{.levels = 4, .scale_factor = 1.2});
+  EXPECT_EQ(pyramid.levels(), 4u);
+  EXPECT_EQ(pyramid.level(0).width, 320u);
+  EXPECT_LT(pyramid.level(1).width, 320u);
+  EXPECT_NEAR(pyramid.scale_of(2), 1.44, 1e-9);
+}
+
+TEST(Pyramid, LevelsShrinkGeometrically) {
+  Pyramid pyramid(scene(), PyramidOptions{.levels = 5, .scale_factor = 1.5});
+  for (std::uint32_t l = 1; l < pyramid.levels(); ++l) {
+    EXPECT_NEAR(static_cast<double>(pyramid.level(l - 1).width) /
+                    pyramid.level(l).width,
+                1.5, 0.05);
+  }
+}
+
+TEST(Pyramid, StopsBeforeDegenerateLevels) {
+  Pyramid pyramid(make_test_scene(64, 64, 1),
+                  PyramidOptions{.levels = 20, .scale_factor = 2.0});
+  EXPECT_LT(pyramid.levels(), 20u);
+  EXPECT_GE(pyramid.level(pyramid.levels() - 1).width, 32u);
+}
+
+TEST(Pyramid, TotalBytesSumsLevels) {
+  Pyramid pyramid(scene(), PyramidOptions{.levels = 2, .scale_factor = 2.0});
+  EXPECT_EQ(pyramid.total_bytes(),
+            pyramid.level(0).pixels.size() + pyramid.level(1).pixels.size());
+}
+
+// --- FAST ---------------------------------------------------------------------------
+
+TEST(Fast, FindsCornersInTexturedScene) {
+  const auto keypoints = fast_detect(scene());
+  EXPECT_GT(keypoints.size(), 50u);
+}
+
+TEST(Fast, FlatImageHasNoCorners) {
+  Image flat;
+  flat.width = 128;
+  flat.height = 128;
+  flat.pixels.assign(128 * 128, 100);
+  EXPECT_TRUE(fast_detect(flat).empty());
+}
+
+TEST(Fast, SyntheticCornerDetected) {
+  // A bright square on dark background: its corners are FAST corners.
+  Image img;
+  img.width = 64;
+  img.height = 64;
+  img.pixels.assign(64 * 64, 20);
+  for (std::uint32_t y = 28; y < 40; ++y) {
+    for (std::uint32_t x = 28; x < 40; ++x) img.at(x, y) = 220;
+  }
+  FastOptions options;
+  options.border = 16;
+  const auto keypoints = fast_detect(img, options);
+  ASSERT_FALSE(keypoints.empty());
+  // At least one detection near a square corner.
+  bool near_corner = false;
+  for (const auto& kp : keypoints) {
+    for (const auto& [cx, cy] : {std::pair{28u, 28u}, {39u, 28u},
+                                 {28u, 39u}, {39u, 39u}}) {
+      if (std::abs(static_cast<int>(kp.x) - static_cast<int>(cx)) <= 2 &&
+          std::abs(static_cast<int>(kp.y) - static_cast<int>(cy)) <= 2) {
+        near_corner = true;
+      }
+    }
+  }
+  EXPECT_TRUE(near_corner);
+}
+
+TEST(Fast, NonMaxSuppressionReducesCount) {
+  FastOptions with;
+  FastOptions without;
+  without.nonmax_suppression = false;
+  const auto suppressed = fast_detect(scene(), with);
+  const auto raw = fast_detect(scene(), without);
+  EXPECT_LT(suppressed.size(), raw.size());
+  EXPECT_GT(suppressed.size(), 0u);
+}
+
+TEST(Fast, HigherThresholdFindsFewerCorners) {
+  FastOptions low;
+  low.threshold = 10;
+  FastOptions high;
+  high.threshold = 60;
+  EXPECT_GE(fast_detect(scene(), low).size(),
+            fast_detect(scene(), high).size());
+}
+
+TEST(Fast, ScoresPositiveAtDetections) {
+  const auto keypoints = fast_detect(scene());
+  for (const auto& kp : keypoints) EXPECT_GT(kp.score, 0.0f);
+}
+
+TEST(Fast, RespectsBorder) {
+  FastOptions options;
+  options.border = 20;
+  const auto image = scene();
+  for (const auto& kp : fast_detect(image, options)) {
+    EXPECT_GE(kp.x, 20u);
+    EXPECT_LT(kp.x, image.width - 20);
+    EXPECT_GE(kp.y, 20u);
+    EXPECT_LT(kp.y, image.height - 20);
+  }
+}
+
+// --- ORB ---------------------------------------------------------------------------
+
+TEST(Orb, DescriptorDeterministic) {
+  const auto image = scene();
+  auto keypoints = fast_detect(image);
+  ASSERT_FALSE(keypoints.empty());
+  compute_orientations(image, keypoints);
+  const auto a = orb_descriptor(image, keypoints[0]);
+  const auto b = orb_descriptor(image, keypoints[0]);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Orb, HammingDistanceSelfIsZero) {
+  const auto image = scene();
+  auto keypoints = fast_detect(image);
+  ASSERT_GE(keypoints.size(), 2u);
+  const auto descriptors = describe(image, keypoints);
+  EXPECT_EQ(hamming_distance(descriptors[0], descriptors[0]), 0u);
+  EXPECT_LE(hamming_distance(descriptors[0], descriptors[1]), 256u);
+}
+
+TEST(Orb, OrientationPointsTowardBrightSide) {
+  // Bright half-plane to the right of the keypoint: the intensity centroid
+  // angle must be near 0 (pointing +x).
+  Image img;
+  img.width = 64;
+  img.height = 64;
+  img.pixels.assign(64 * 64, 10);
+  for (std::uint32_t y = 0; y < 64; ++y) {
+    for (std::uint32_t x = 32; x < 64; ++x) img.at(x, y) = 200;
+  }
+  const float angle = intensity_centroid_angle(img, 32, 32, 15);
+  EXPECT_NEAR(angle, 0.0f, 0.2f);
+}
+
+TEST(Orb, DistinctKeypointsUsuallyDiffer) {
+  const auto image = scene();
+  auto keypoints = fast_detect(image);
+  ASSERT_GE(keypoints.size(), 10u);
+  const auto descriptors = describe(image, keypoints);
+  int zero_pairs = 0;
+  for (std::size_t i = 1; i < 10; ++i) {
+    if (hamming_distance(descriptors[0], descriptors[i]) == 0) ++zero_pairs;
+  }
+  EXPECT_LE(zero_pairs, 2);
+}
+
+// --- matching -------------------------------------------------------------------------
+
+TEST(Matcher, SelfMatchIsIdentity) {
+  const auto image = scene();
+  auto keypoints = fast_detect(image);
+  const auto descriptors = describe(image, keypoints);
+  MatchOptions options;
+  options.ratio = 1.0;  // allow ties against near-duplicates
+  const auto matches = match_descriptors(descriptors, descriptors, options);
+  EXPECT_GT(matches.size(), descriptors.size() / 2);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.distance, 0u);
+    EXPECT_EQ(m.query, m.train);
+  }
+}
+
+TEST(Matcher, EmptyTrainSetNoMatches) {
+  const auto image = scene();
+  auto keypoints = fast_detect(image);
+  const auto descriptors = describe(image, keypoints);
+  EXPECT_TRUE(match_descriptors(descriptors, {}).empty());
+}
+
+TEST(Matcher, CrossCheckNeverIncreasesMatches) {
+  const auto a = scene();
+  const auto b = make_test_scene(320, 240, 7, 3, 2);
+  auto ka = fast_detect(a);
+  auto kb = fast_detect(b);
+  const auto da = describe(a, ka);
+  const auto db = describe(b, kb);
+  MatchOptions with;
+  with.cross_check = true;
+  MatchOptions without;
+  without.cross_check = false;
+  EXPECT_LE(match_descriptors(da, db, with).size(),
+            match_descriptors(da, db, without).size());
+}
+
+TEST(Matcher, ShiftedSceneStillMatches) {
+  const auto a = scene();
+  const auto b = make_test_scene(320, 240, 7, 2, 1);
+  auto ka = fast_detect(a);
+  auto kb = fast_detect(b);
+  ASSERT_GT(ka.size(), 20u);
+  const auto da = describe(a, ka);
+  const auto db = describe(b, kb);
+  const auto matches = match_descriptors(da, db);
+  EXPECT_GT(matches.size(), 10u);
+  // The dominant displacement among matches should be near (2, 1).
+  int consistent = 0;
+  for (const auto& m : matches) {
+    const double dx = static_cast<double>(kb[m.train].x) - ka[m.query].x;
+    const double dy = static_cast<double>(kb[m.train].y) - ka[m.query].y;
+    if (std::abs(dx - 2) <= 2 && std::abs(dy - 1) <= 2) ++consistent;
+  }
+  EXPECT_GT(consistent * 2, static_cast<int>(matches.size()));
+}
+
+// --- workload mapping --------------------------------------------------------------
+
+TEST(OrbWorkload, ValidatesOnEvaluatedBoards) {
+  for (const auto& board : {soc::jetson_tx2(), soc::jetson_agx_xavier()}) {
+    const auto w = orbslam_workload(board);
+    w.validate();
+    EXPECT_EQ(w.iterations, kKernelsPerFrame);
+    EXPECT_FALSE(w.overlappable);  // tracking depends on extraction
+    EXPECT_EQ(w.h2d_bytes, 0u);    // frame upload amortised
+    EXPECT_TRUE(w.gpu.private_pattern.has_value());
+  }
+}
+
+TEST(OrbWorkload, GpuHeavySharedTrafficMakesZcHostile) {
+  const auto w = orbslam_workload(soc::jetson_tx2());
+  // Shared per-launch traffic is large (the ZC-killer on the TX2)...
+  EXPECT_GE(w.gpu.pattern.extent, KiB(256));
+  // ...while the CPU side barely touches the shared buffer (Table IV: 0%).
+  EXPECT_LE(w.cpu.pattern.extent, KiB(32));
+}
+
+}  // namespace
+}  // namespace cig::apps::orbslam
+
+// --- quadtree keypoint distribution ------------------------------------------------
+
+#include "apps/orbslam/distribute.h"
+
+namespace cig::apps::orbslam {
+namespace {
+
+TEST(Distribute, FewKeypointsPassThrough) {
+  std::vector<Keypoint> keypoints = {{10, 10, 0, 1.0f, 0.0f},
+                                     {20, 20, 0, 2.0f, 0.0f}};
+  const auto result = distribute_quadtree(keypoints, 100, 100, 10);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(Distribute, ReducesToRoughlyTarget) {
+  const auto image = make_test_scene(320, 240, 7);
+  const auto keypoints = fast_detect(image);
+  ASSERT_GT(keypoints.size(), 100u);
+  const auto result = distribute_quadtree(keypoints, 320, 240, 50);
+  EXPECT_LE(result.size(), keypoints.size());
+  EXPECT_GE(result.size(), 40u);
+  EXPECT_LE(result.size(), 80u);  // quadtree granularity overshoot bound
+}
+
+TEST(Distribute, KeepsHighestScorePerRegion) {
+  // Two clustered keypoints: the stronger must survive.
+  std::vector<Keypoint> keypoints;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    keypoints.push_back({10 + i, 10, 0, static_cast<float>(i), 0.0f});
+  }
+  const auto result = distribute_quadtree(keypoints, 64, 64, 1);
+  ASSERT_GE(result.size(), 1u);
+  float best = 0;
+  for (const auto& kp : result) best = std::max(best, kp.score);
+  EXPECT_FLOAT_EQ(best, 7.0f);
+}
+
+TEST(Distribute, ImprovesSpatialCoverage) {
+  // A scene where detections cluster: after distribution the per-keypoint
+  // coverage must not be worse.
+  const auto image = make_test_scene(320, 240, 11);
+  const auto keypoints = fast_detect(image);
+  ASSERT_GT(keypoints.size(), 80u);
+  const auto distributed = distribute_quadtree(keypoints, 320, 240, 60);
+
+  const double before =
+      coverage_fraction(keypoints, 320, 240, 8) / keypoints.size();
+  const double after =
+      coverage_fraction(distributed, 320, 240, 8) / distributed.size();
+  EXPECT_GE(after, before);  // coverage per retained keypoint improves
+}
+
+TEST(Distribute, SurvivorsAreFromInput) {
+  const auto image = make_test_scene(320, 240, 3);
+  const auto keypoints = fast_detect(image);
+  const auto result = distribute_quadtree(keypoints, 320, 240, 30);
+  for (const auto& kp : result) {
+    const bool found = std::any_of(
+        keypoints.begin(), keypoints.end(), [&](const Keypoint& other) {
+          return other.x == kp.x && other.y == kp.y &&
+                 other.score == kp.score;
+        });
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Distribute, CoverageFractionBounds) {
+  EXPECT_DOUBLE_EQ(coverage_fraction({}, 100, 100, 4), 0.0);
+  std::vector<Keypoint> one = {{50, 50, 0, 1.0f, 0.0f}};
+  EXPECT_DOUBLE_EQ(coverage_fraction(one, 100, 100, 1), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_fraction(one, 100, 100, 4), 1.0 / 16);
+}
+
+}  // namespace
+}  // namespace cig::apps::orbslam

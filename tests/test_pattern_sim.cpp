@@ -1,0 +1,117 @@
+// Tests for the event-driven simulator of the zero-copy tiled pattern.
+#include <gtest/gtest.h>
+
+#include "core/pattern_sim.h"
+#include "soc/presets.h"
+
+namespace cig::core {
+namespace {
+
+PatternSimConfig config_for(const soc::BoardConfig& board,
+                            std::uint32_t phases = 4) {
+  PatternSimConfig config;
+  config.tiling = make_tiling(board, phases);
+  return config;
+}
+
+TEST(PatternSim, ProducesConsistentTimeline) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  PatternSimulator simulator(soc);
+  const auto result = simulator.simulate(config_for(soc.config()));
+  EXPECT_GT(result.total, 0.0);
+  EXPECT_TRUE(result.timeline.lanes_consistent());
+  // One CPU and one GPU segment per phase.
+  EXPECT_EQ(result.timeline.segments().size(), 2u * 4);
+}
+
+TEST(PatternSim, TotalBoundsBusyTimes) {
+  soc::SoC soc(soc::jetson_tx2());
+  PatternSimulator simulator(soc);
+  const auto result = simulator.simulate(config_for(soc.config()));
+  EXPECT_GE(result.total + 1e-12, result.cpu_busy);
+  EXPECT_GE(result.total + 1e-12, result.gpu_busy);
+  EXPECT_LE(result.total,
+            result.cpu_busy + result.gpu_busy + result.barrier_time + 1e-9);
+}
+
+TEST(PatternSim, OverlapIsSubstantial) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  PatternSimulator simulator(soc);
+  const auto result = simulator.simulate(config_for(soc.config()));
+  EXPECT_GT(result.overlap_fraction, 0.4);
+}
+
+TEST(PatternSim, MorePhasesMoreBarrierTime) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  PatternSimulator simulator(soc);
+  const auto few = simulator.simulate(config_for(soc.config(), 2));
+  const auto many = simulator.simulate(config_for(soc.config(), 16));
+  EXPECT_GT(many.barrier_time, few.barrier_time);
+  EXPECT_NEAR(many.barrier_time, 16 * microsec(2), 1e-12);
+}
+
+TEST(PatternSim, SkewReflectsSideImbalance) {
+  soc::SoC soc(soc::jetson_tx2());
+  PatternSimulator simulator(soc);
+  auto config = config_for(soc.config());
+  // Pile arithmetic on the CPU side only: skew must grow.
+  const auto balanced = simulator.simulate(config);
+  config.cpu_ops_per_element = 400.0;
+  const auto skewed = simulator.simulate(config);
+  EXPECT_GT(skewed.skew_time, balanced.skew_time);
+}
+
+TEST(PatternSim, XavierFasterThanTx2PerByte) {
+  // The TX2's 1.28 GB/s uncached GPU path must dominate its pattern time;
+  // Xavier's coherent port is ~25x faster.
+  soc::SoC tx2(soc::jetson_tx2());
+  soc::SoC xavier(soc::jetson_agx_xavier());
+  PatternSimulator sim_tx2(tx2);
+  PatternSimulator sim_xavier(xavier);
+  const auto config_tx2 = config_for(tx2.config());
+  const auto config_xavier = config_for(xavier.config());
+  const double bytes_tx2 =
+      static_cast<double>(config_tx2.tiling.total_elements) * 4;
+  const double bytes_xavier =
+      static_cast<double>(config_xavier.tiling.total_elements) * 4;
+  const double tx2_per_byte =
+      sim_tx2.simulate(config_tx2).total / bytes_tx2;
+  const double xavier_per_byte =
+      sim_xavier.simulate(config_xavier).total / bytes_xavier;
+  EXPECT_GT(tx2_per_byte, xavier_per_byte * 5);
+}
+
+TEST(PatternSim, TileTimesScaleWithTileSize) {
+  soc::SoC soc(soc::jetson_agx_xavier());
+  PatternSimulator simulator(soc);
+  auto small = config_for(soc.config());
+  auto large = config_for(soc.config());
+  large.tiling.tile_elements = small.tiling.tile_elements * 16;
+  EXPECT_GT(simulator.gpu_tile_time(large), simulator.gpu_tile_time(small));
+  EXPECT_GT(simulator.cpu_tile_time(large), simulator.cpu_tile_time(small));
+}
+
+TEST(PatternSim, CpuSideCheapOnIoCoherentBoards) {
+  // Xavier's CPU keeps its caches under ZC; the TX2's does not. Per-tile
+  // CPU cost (normalised by CPU speed) must be far worse on the TX2.
+  soc::SoC tx2(soc::jetson_tx2());
+  soc::SoC xavier(soc::jetson_agx_xavier());
+  PatternSimulator sim_tx2(tx2);
+  PatternSimulator sim_xavier(xavier);
+  const auto c_tx2 = config_for(tx2.config());
+  const auto c_xavier = config_for(xavier.config());
+  EXPECT_GT(sim_tx2.cpu_tile_time(c_tx2),
+            sim_xavier.cpu_tile_time(c_xavier) * 3);
+}
+
+TEST(PatternSimDeath, RejectsInvalidTiling) {
+  soc::SoC soc(soc::generic_board());
+  PatternSimulator simulator(soc);
+  PatternSimConfig config;
+  config.tiling.total_elements = 4;   // a single tile: no parities
+  config.tiling.tile_elements = 16;
+  EXPECT_DEATH(simulator.simulate(config), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,167 @@
+// Tests for the performance model (eqns 1-4 of the paper).
+#include <gtest/gtest.h>
+
+#include "core/perfmodel.h"
+
+namespace cig::core {
+namespace {
+
+// --- eqn 1: CPU cache usage ---------------------------------------------------
+
+TEST(CpuCacheUsage, Definition) {
+  // 20% of accesses miss L1; 10% of those also miss the LLC.
+  EXPECT_DOUBLE_EQ(cpu_cache_usage(0.2, 0.1), 0.18);
+}
+
+TEST(CpuCacheUsage, ZeroMissRateMeansZeroUsage) {
+  EXPECT_DOUBLE_EQ(cpu_cache_usage(0.0, 0.5), 0.0);
+}
+
+TEST(CpuCacheUsage, AllMissesToDramMeansZeroUsage) {
+  EXPECT_DOUBLE_EQ(cpu_cache_usage(1.0, 1.0), 0.0);
+}
+
+TEST(CpuCacheUsage, PerfectLlcServiceEqualsL1MissRate) {
+  EXPECT_DOUBLE_EQ(cpu_cache_usage(0.35, 0.0), 0.35);
+}
+
+TEST(CpuCacheUsageDeath, RejectsOutOfRangeRates) {
+  EXPECT_DEATH(cpu_cache_usage(1.5, 0.0), "Precondition");
+  EXPECT_DEATH(cpu_cache_usage(0.5, -0.1), "Precondition");
+}
+
+// --- eqn 2: GPU cache usage ---------------------------------------------------
+
+TEST(GpuCacheUsage, Definition) {
+  // 1e6 transactions x 4 B, 50% L1 hit, 100 us kernel: LL demand
+  // = 1e6*4*0.5/1e-4 = 20 GB/s; over a 100 GB/s peak -> 20%.
+  EXPECT_NEAR(gpu_cache_usage(1e6, 4, 0.5, 100e-6, GBps(20 / 0.2)), 0.2,
+              1e-12);
+}
+
+TEST(GpuCacheUsage, FullL1HitMeansZeroLlDemand) {
+  EXPECT_DOUBLE_EQ(gpu_cache_usage(1e6, 4, 1.0, 1e-3, GBps(100)), 0.0);
+}
+
+TEST(GpuCacheUsage, ScalesInverselyWithKernelTime) {
+  const double fast = gpu_cache_usage(1e6, 4, 0.0, 50e-6, GBps(100));
+  const double slow = gpu_cache_usage(1e6, 4, 0.0, 200e-6, GBps(100));
+  EXPECT_NEAR(fast, slow * 4, 1e-12);
+}
+
+TEST(GpuCacheUsageDeath, RejectsNonPositiveRuntime) {
+  EXPECT_DEATH(gpu_cache_usage(1e6, 4, 0.5, 0.0, GBps(100)), "Precondition");
+}
+
+TEST(CacheUsage, FromProfileReport) {
+  profile::ProfileReport report;
+  report.cpu_l1_miss_rate = 0.25;
+  report.cpu_llc_miss_rate = 0.2;
+  report.gpu_transactions = 1e6;
+  report.gpu_transaction_size = 4;
+  report.gpu_l1_hit_rate = 0.0;
+  report.kernel_time = 100e-6;
+  const auto usage = cache_usage(report, GBps(100));
+  EXPECT_DOUBLE_EQ(usage.cpu, 0.2);
+  EXPECT_NEAR(usage.gpu, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(usage.cpu_pct(), 20.0);
+}
+
+TEST(CacheUsage, ZeroKernelTimeYieldsZeroGpuUsage) {
+  profile::ProfileReport report;
+  report.kernel_time = 0;
+  const auto usage = cache_usage(report, GBps(100));
+  EXPECT_DOUBLE_EQ(usage.gpu, 0.0);
+}
+
+// --- eqn 3: SC -> ZC speedup -----------------------------------------------------
+
+TEST(Eqn3, PerfectOverlapAndNoCopyDoubles) {
+  // runtime 100, no copies, cpu == gpu: ZC estimate = 100/2 -> speedup 2.
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 0,
+                         .cpu_time = 40e-6,
+                         .gpu_time = 40e-6};
+  EXPECT_NEAR(sc_to_zc_speedup(in, 10.0), 2.0, 1e-12);
+}
+
+TEST(Eqn3, CopyRemovalAddsToSpeedup) {
+  const SpeedupInputs with_copy{.runtime = 100e-6,
+                                .copy_time = 20e-6,
+                                .cpu_time = 40e-6,
+                                .gpu_time = 40e-6};
+  const SpeedupInputs without{.runtime = 100e-6,
+                              .copy_time = 0,
+                              .cpu_time = 40e-6,
+                              .gpu_time = 40e-6};
+  EXPECT_GT(sc_to_zc_speedup(with_copy, 10.0),
+            sc_to_zc_speedup(without, 10.0));
+}
+
+TEST(Eqn3, GpuDominatedWorkloadGainsLittleFromOverlap) {
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 0,
+                         .cpu_time = 1e-6,
+                         .gpu_time = 99e-6};
+  EXPECT_NEAR(sc_to_zc_speedup(in, 10.0), 1.0 + 1.0 / 99, 1e-9);
+}
+
+TEST(Eqn3, CapAppliesDeviceBound) {
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 50e-6,
+                         .cpu_time = 40e-6,
+                         .gpu_time = 40e-6};
+  EXPECT_DOUBLE_EQ(sc_to_zc_speedup(in, 1.5), 1.5);
+}
+
+TEST(Eqn3Death, RejectsCopyExceedingRuntime) {
+  const SpeedupInputs in{.runtime = 10e-6,
+                         .copy_time = 20e-6,
+                         .cpu_time = 1e-6,
+                         .gpu_time = 1e-6};
+  EXPECT_DEATH(sc_to_zc_speedup(in, 2.0), "Precondition");
+}
+
+// --- eqn 4: ZC -> SC speedup -----------------------------------------------------
+
+TEST(Eqn4, StructuralCostsAlonePredictSlowdown) {
+  // Balanced tasks: serialization doubles the time, plus the copy; the raw
+  // formula therefore predicts < 1 and the device bound supplies the
+  // cache-side upside.
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 10e-6,
+                         .cpu_time = 40e-6,
+                         .gpu_time = 40e-6};
+  const double speedup = zc_to_sc_speedup(in, 70.0);
+  EXPECT_LT(speedup, 1.0);
+  EXPECT_NEAR(speedup, 100.0 / 210.0, 1e-9);
+}
+
+TEST(Eqn4, CapBoundsTheEstimate) {
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 0,
+                         .cpu_time = 1e-9,
+                         .gpu_time = 100e-6};
+  EXPECT_LE(zc_to_sc_speedup(in, 3.7), 3.7);
+}
+
+TEST(Eqn4, GpuOnlyWorkloadApproachesUnityBeforeCap) {
+  const SpeedupInputs in{.runtime = 100e-6,
+                         .copy_time = 0,
+                         .cpu_time = 0,
+                         .gpu_time = 100e-6};
+  EXPECT_NEAR(zc_to_sc_speedup(in, 70.0), 1.0, 1e-9);
+}
+
+TEST(Eqn4, MoreCopiesLowerTheEstimate) {
+  SpeedupInputs in{.runtime = 100e-6,
+                   .copy_time = 0,
+                   .cpu_time = 20e-6,
+                   .gpu_time = 80e-6};
+  const double no_copy = zc_to_sc_speedup(in, 70.0);
+  in.copy_time = 30e-6;
+  EXPECT_LT(zc_to_sc_speedup(in, 70.0), no_copy);
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,270 @@
+// Tests for the Shack-Hartmann application substrate: synthetic frames,
+// centroid extraction accuracy, and the simulator workload mapping.
+#include <gtest/gtest.h>
+
+#include "apps/shwfs/centroid.h"
+#include "apps/shwfs/image.h"
+#include "apps/shwfs/workload.h"
+#include "soc/presets.h"
+
+namespace cig::apps::shwfs {
+namespace {
+
+SensorGeometry small_sensor() {
+  return SensorGeometry{.image_width = 128,
+                        .image_height = 128,
+                        .subaperture_px = 32};
+}
+
+TEST(Frame, GeometryDerivedQuantities) {
+  const auto g = small_sensor();
+  EXPECT_EQ(g.grid_cols(), 4u);
+  EXPECT_EQ(g.grid_rows(), 4u);
+  EXPECT_EQ(g.subaperture_count(), 16u);
+}
+
+TEST(Frame, HasPixelsAndTruth) {
+  const auto frame = make_frame(small_sensor());
+  EXPECT_EQ(frame.pixels.size(), 128u * 128);
+  EXPECT_EQ(frame.truth.size(), 16u);
+}
+
+TEST(Frame, DeterministicForSeed) {
+  FrameOptions options;
+  options.seed = 99;
+  const auto a = make_frame(small_sensor(), options);
+  const auto b = make_frame(small_sensor(), options);
+  EXPECT_EQ(a.pixels, b.pixels);
+  for (std::size_t i = 0; i < a.truth.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.truth[i].dx, b.truth[i].dx);
+  }
+}
+
+TEST(Frame, SpotsBrighterThanBackground) {
+  FrameOptions options;
+  options.noise_sigma = 0;
+  const auto frame = make_frame(small_sensor(), options);
+  std::uint16_t max_px = 0;
+  for (auto px : frame.pixels) max_px = std::max(max_px, px);
+  EXPECT_GT(max_px, options.background + options.peak_intensity / 2);
+}
+
+TEST(Frame, TruthWithinDisplacementBound) {
+  FrameOptions options;
+  options.max_displacement_px = 5.0;
+  const auto frame = make_frame(small_sensor(), options);
+  for (const auto& spot : frame.truth) {
+    EXPECT_LE(std::abs(spot.dx), 5.0);
+    EXPECT_LE(std::abs(spot.dy), 5.0);
+  }
+}
+
+TEST(FrameDeath, RejectsNonDividingSubapertures) {
+  EXPECT_DEATH(make_frame(SensorGeometry{.image_width = 100,
+                                         .image_height = 100,
+                                         .subaperture_px = 32}),
+               "Precondition");
+}
+
+// --- centroid accuracy ------------------------------------------------------------
+
+TEST(Centroid, ThresholdedCogRecoversCleanSpots) {
+  FrameOptions options;
+  options.noise_sigma = 0;
+  options.background = 0;
+  const auto frame = make_frame(small_sensor(), options);
+  CentroidOptions copts;
+  copts.method = Method::ThresholdedCoG;
+  copts.threshold = 100;
+  const auto centroids = extract_centroids(frame, copts);
+  EXPECT_LT(rms_error(frame, centroids), 0.05);  // sub-pixel, near-exact
+}
+
+TEST(Centroid, ThresholdingBeatsPlainCogUnderBackground) {
+  FrameOptions options;
+  options.noise_sigma = 60;
+  options.background = 2000;
+  const auto frame = make_frame(small_sensor(), options);
+
+  CentroidOptions plain;
+  plain.method = Method::CenterOfGravity;
+  CentroidOptions thresholded;
+  thresholded.method = Method::ThresholdedCoG;
+  thresholded.threshold = 3000;
+
+  const double plain_rms = rms_error(frame, extract_centroids(frame, plain));
+  const double thr_rms =
+      rms_error(frame, extract_centroids(frame, thresholded));
+  EXPECT_LT(thr_rms, plain_rms);
+  EXPECT_LT(thr_rms, 0.5);
+}
+
+TEST(Centroid, WindowedRefinementAtLeastAsGood) {
+  FrameOptions options;
+  options.noise_sigma = 100;
+  const auto frame = make_frame(small_sensor(), options);
+
+  CentroidOptions thresholded;
+  thresholded.method = Method::ThresholdedCoG;
+  CentroidOptions windowed;
+  windowed.method = Method::WindowedCoG;
+
+  const double thr =
+      rms_error(frame, extract_centroids(frame, thresholded));
+  const double win = rms_error(frame, extract_centroids(frame, windowed));
+  // Windowing trades a small clean-frame bias for robustness; both must
+  // stay well inside sub-pixel accuracy.
+  EXPECT_LT(thr, 0.3);
+  EXPECT_LT(win, 0.3);
+}
+
+TEST(Centroid, OneCentroidPerSubaperture) {
+  const auto frame = make_frame(small_sensor());
+  const auto centroids = extract_centroids(frame);
+  EXPECT_EQ(centroids.size(), frame.geometry.subaperture_count());
+  for (const auto& c : centroids) EXPECT_GT(c.mass, 0.0);
+}
+
+TEST(CentroidDeath, RmsErrorChecksArity) {
+  const auto frame = make_frame(small_sensor());
+  EXPECT_DEATH(rms_error(frame, {}), "Precondition");
+}
+
+// --- workload mapping --------------------------------------------------------------
+
+TEST(ShwfsWorkload, ValidatesOnAllBoards) {
+  for (const auto& board : soc::jetson_family()) {
+    const auto w = shwfs_workload(board);
+    w.validate();
+    EXPECT_EQ(w.iterations, kKernelsPerFrame);
+    EXPECT_EQ(w.h2d_bytes, kFrameBytes);
+    EXPECT_FALSE(w.overlappable);
+    EXPECT_TRUE(w.cpu.private_pattern.has_value());
+    EXPECT_TRUE(w.gpu.private_pattern.has_value());
+  }
+}
+
+TEST(ShwfsWorkload, CpuPrivateWorkingSetSplitsA57FromCarmel) {
+  // The private working set (40 KiB) exceeds a 32 KiB A57 L1 but fits
+  // Carmel's 64 KiB — this is what differentiates the Table II CPU cache
+  // usage between Nano/TX2 and Xavier.
+  const auto w = shwfs_workload(soc::jetson_tx2());
+  const Bytes ws = w.cpu.private_pattern->extent;
+  EXPECT_GT(ws, soc::jetson_tx2().cpu.l1.geometry.capacity);
+  EXPECT_LT(ws, soc::jetson_agx_xavier().cpu.l1.geometry.capacity);
+}
+
+}  // namespace
+}  // namespace cig::apps::shwfs
+
+// --- wavefront reconstruction -------------------------------------------------
+
+#include <cmath>
+
+#include "apps/shwfs/reconstruct.h"
+
+namespace cig::apps::shwfs {
+namespace {
+
+// Analytic slope fields for known wavefronts.
+std::pair<std::vector<double>, std::vector<double>> slopes_of(
+    std::uint32_t cols, std::uint32_t rows,
+    const std::function<double(double, double)>& phase) {
+  // Hudgin: sx(c, r) = phi(c+1, r) - phi(c, r); last column/row unused but
+  // filled consistently.
+  std::vector<double> sx(static_cast<std::size_t>(cols) * rows);
+  std::vector<double> sy(sx.size());
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+      sx[i] = phase(c + 1, r) - phase(c, r);
+      sy[i] = phase(c, r + 1) - phase(c, r);
+    }
+  }
+  return {sx, sy};
+}
+
+WavefrontGrid grid_of(std::uint32_t cols, std::uint32_t rows,
+                      const std::function<double(double, double)>& phase) {
+  WavefrontGrid grid;
+  grid.cols = cols;
+  grid.rows = rows;
+  grid.phase.resize(static_cast<std::size_t>(cols) * rows);
+  double mean = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      grid.phase[static_cast<std::size_t>(r) * cols + c] = phase(c, r);
+      mean += phase(c, r);
+    }
+  }
+  mean /= static_cast<double>(grid.phase.size());
+  for (auto& v : grid.phase) v -= mean;
+  return grid;
+}
+
+TEST(Reconstruct, FlatWavefrontFromZeroSlopes) {
+  const std::vector<double> zero(64, 0.0);
+  const auto grid = reconstruct_wavefront(zero, zero, 8, 8);
+  for (double v : grid.phase) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Reconstruct, RecoversTilt) {
+  const auto tilt = [](double x, double y) { return 0.3 * x - 0.1 * y; };
+  const auto [sx, sy] = slopes_of(12, 10, tilt);
+  const auto reconstructed = reconstruct_wavefront(sx, sy, 12, 10);
+  const auto truth = grid_of(12, 10, tilt);
+  EXPECT_LT(rms_phase_difference(reconstructed, truth), 1e-6);
+}
+
+TEST(Reconstruct, RecoversDefocus) {
+  const auto defocus = [](double x, double y) {
+    const double cx = x - 5.5, cy = y - 5.5;
+    return 0.05 * (cx * cx + cy * cy);
+  };
+  const auto [sx, sy] = slopes_of(12, 12, defocus);
+  const auto reconstructed = reconstruct_wavefront(sx, sy, 12, 12);
+  const auto truth = grid_of(12, 12, defocus);
+  EXPECT_LT(rms_phase_difference(reconstructed, truth), 1e-4);
+}
+
+TEST(Reconstruct, PistonFreeOutput) {
+  const auto tilt = [](double x, double) { return x * 2.0 + 100.0; };
+  const auto [sx, sy] = slopes_of(8, 8, tilt);
+  const auto grid = reconstruct_wavefront(sx, sy, 8, 8);
+  double mean = 0;
+  for (double v : grid.phase) mean += v;
+  EXPECT_NEAR(mean / grid.phase.size(), 0.0, 1e-9);
+}
+
+TEST(Reconstruct, EndToEndFromSyntheticFrame) {
+  // Frame -> centroids -> wavefront: the full AO pipeline on clean data.
+  // The synthetic frame's truth displacements ARE the slope field.
+  SensorGeometry geometry{.image_width = 256,
+                          .image_height = 256,
+                          .subaperture_px = 32};
+  FrameOptions options;
+  options.noise_sigma = 0;
+  options.background = 0;
+  const auto frame = make_frame(geometry, options);
+  auto centroids = extract_centroids(
+      frame, CentroidOptions{.method = Method::ThresholdedCoG,
+                             .threshold = 100});
+  const auto reconstructed = reconstruct_wavefront(centroids, geometry);
+
+  std::vector<double> sx(frame.truth.size()), sy(frame.truth.size());
+  for (std::size_t i = 0; i < frame.truth.size(); ++i) {
+    sx[i] = frame.truth[i].dx;
+    sy[i] = frame.truth[i].dy;
+  }
+  const auto from_truth = reconstruct_wavefront(sx, sy, geometry.grid_cols(),
+                                                geometry.grid_rows());
+  EXPECT_LT(rms_phase_difference(reconstructed, from_truth), 0.1);
+}
+
+TEST(ReconstructDeath, RejectsMismatchedSizes) {
+  const std::vector<double> sx(64, 0.0), sy(32, 0.0);
+  EXPECT_DEATH(reconstruct_wavefront(sx, sy, 8, 8), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::apps::shwfs

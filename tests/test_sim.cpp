@@ -1,0 +1,287 @@
+// Unit tests for the simulation core: event queue, stat registry, timeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/stat_registry.h"
+#include "sim/timeline.h"
+
+namespace cig::sim {
+namespace {
+
+// --- event queue --------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  Seconds seen = -1;
+  q.schedule_at(2.5, [&] { seen = q.now(); });
+  const Seconds end = q.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(end, 2.5);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  Seconds fired = -1;
+  q.schedule_at(1.0, [&] {
+    q.schedule_after(0.5, [&] { fired = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired, 1.5);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  const Seconds end = q.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(end, 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueDeath, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run();
+  EXPECT_DEATH(q.schedule_at(1.0, [] {}), "Precondition");
+}
+
+// --- stat registry -------------------------------------------------------------
+
+TEST(StatRegistry, AddAccumulates) {
+  StatRegistry r;
+  r.add("hits");
+  r.add("hits", 2.0);
+  EXPECT_DOUBLE_EQ(r.get("hits"), 3.0);
+}
+
+TEST(StatRegistry, MissingIsZero) {
+  StatRegistry r;
+  EXPECT_DOUBLE_EQ(r.get("nothing"), 0.0);
+  EXPECT_FALSE(r.contains("nothing"));
+}
+
+TEST(StatRegistry, SetOverwrites) {
+  StatRegistry r;
+  r.add("x", 5);
+  r.set("x", 1);
+  EXPECT_DOUBLE_EQ(r.get("x"), 1);
+}
+
+TEST(StatRegistry, RatioHandlesZeroTotal) {
+  StatRegistry r;
+  EXPECT_DOUBLE_EQ(r.ratio("a", "b"), 0.0);
+  r.add("a", 3);
+  r.add("b", 1);
+  EXPECT_DOUBLE_EQ(r.ratio("a", "b"), 0.75);
+}
+
+TEST(StatRegistry, MergeSums) {
+  StatRegistry a, b;
+  a.add("x", 1);
+  b.add("x", 2);
+  b.add("y", 5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 3);
+  EXPECT_DOUBLE_EQ(a.get("y"), 5);
+}
+
+TEST(StatRegistry, ToStringListsSorted) {
+  StatRegistry r;
+  r.add("b", 2);
+  r.add("a", 1);
+  const std::string s = r.to_string();
+  EXPECT_LT(s.find("a = 1"), s.find("b = 2"));
+}
+
+// --- timeline -------------------------------------------------------------------
+
+TEST(Timeline, BusySumsLaneDurations) {
+  Timeline t;
+  t.add(Lane::Cpu, 0, 1, "a");
+  t.add(Lane::Cpu, 2, 4, "b");
+  t.add(Lane::Gpu, 0, 3, "k");
+  EXPECT_DOUBLE_EQ(t.busy(Lane::Cpu), 3.0);
+  EXPECT_DOUBLE_EQ(t.busy(Lane::Gpu), 3.0);
+  EXPECT_DOUBLE_EQ(t.busy(Lane::Copy), 0.0);
+}
+
+TEST(Timeline, MakespanIsLastEnd) {
+  Timeline t;
+  t.add(Lane::Cpu, 0, 1, "a");
+  t.add(Lane::Copy, 5, 7, "c");
+  EXPECT_DOUBLE_EQ(t.makespan(), 7.0);
+}
+
+TEST(Timeline, EmptyMakespanZero) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_TRUE(t.lanes_consistent());
+}
+
+TEST(Timeline, DetectsLaneOverlap) {
+  Timeline t;
+  t.add(Lane::Gpu, 0, 2, "a");
+  t.add(Lane::Gpu, 1, 3, "b");
+  EXPECT_FALSE(t.lanes_consistent());
+}
+
+TEST(Timeline, TouchingSegmentsAreConsistent) {
+  Timeline t;
+  t.add(Lane::Gpu, 0, 2, "a");
+  t.add(Lane::Gpu, 2, 3, "b");
+  EXPECT_TRUE(t.lanes_consistent());
+}
+
+TEST(Timeline, CrossLaneOverlapMeasured) {
+  Timeline t;
+  t.add(Lane::Cpu, 0, 4, "cpu");
+  t.add(Lane::Gpu, 2, 6, "gpu");
+  EXPECT_DOUBLE_EQ(t.overlap(Lane::Cpu, Lane::Gpu), 2.0);
+}
+
+TEST(Timeline, OverlapWithMultipleSegments) {
+  Timeline t;
+  t.add(Lane::Cpu, 0, 1, "a");
+  t.add(Lane::Cpu, 2, 3, "b");
+  t.add(Lane::Gpu, 0.5, 2.5, "k");
+  EXPECT_DOUBLE_EQ(t.overlap(Lane::Cpu, Lane::Gpu), 1.0);
+}
+
+TEST(Timeline, AppendShiftsByOffset) {
+  Timeline a, b;
+  b.add(Lane::Cpu, 0, 1, "x");
+  a.append(b, 10.0);
+  ASSERT_EQ(a.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(a.segments()[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(a.segments()[0].end, 11.0);
+}
+
+TEST(Timeline, GanttMentionsAllLanes) {
+  Timeline t;
+  t.add(Lane::Cpu, 0, 1, "a");
+  const std::string gantt = t.render_gantt();
+  EXPECT_NE(gantt.find("CPU"), std::string::npos);
+  EXPECT_NE(gantt.find("GPU"), std::string::npos);
+  EXPECT_NE(gantt.find("COPY"), std::string::npos);
+}
+
+TEST(Timeline, LaneNames) {
+  EXPECT_STREQ(lane_name(Lane::Cpu), "CPU");
+  EXPECT_STREQ(lane_name(Lane::Gpu), "GPU");
+  EXPECT_STREQ(lane_name(Lane::Copy), "COPY");
+}
+
+TEST(TimelineDeath, RejectsNegativeDuration) {
+  Timeline t;
+  EXPECT_DEATH(t.add(Lane::Cpu, 2, 1, "bad"), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::sim
+
+// --- chrome trace export ---------------------------------------------------------
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/trace_export.h"
+
+namespace cig::sim {
+namespace {
+
+Timeline example_timeline() {
+  Timeline t;
+  t.add(Lane::Cpu, microsec(0), microsec(10), "produce");
+  t.add(Lane::Gpu, microsec(5), microsec(25), "kernel");
+  t.add(Lane::Copy, microsec(25), microsec(30), "d2h");
+  return t;
+}
+
+TEST(TraceExport, DocumentHasEventsAndMetadata) {
+  const auto doc = to_chrome_trace(example_timeline(), "unit-test");
+  const auto& events = doc.at("traceEvents").as_array();
+  // 1 process-name + 3 thread-name metadata + 3 segments.
+  ASSERT_EQ(events.size(), 7u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("args").at("name").as_string(), "unit-test");
+}
+
+TEST(TraceExport, SegmentsBecomeCompleteEvents) {
+  const auto doc = to_chrome_trace(example_timeline());
+  bool found_kernel = false;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    if (event.at("name").as_string() == "kernel") {
+      found_kernel = true;
+      EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 5.0);
+      EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 20.0);
+      EXPECT_EQ(event.at("cat").as_string(), "GPU");
+    }
+  }
+  EXPECT_TRUE(found_kernel);
+}
+
+TEST(TraceExport, WritesParsableFile) {
+  const std::string path = ::testing::TempDir() + "/cig_trace.json";
+  write_chrome_trace(example_timeline(), path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto doc = Json::parse(text);
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, EmptyTimelineStillValid) {
+  const auto doc = to_chrome_trace(Timeline{});
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 4u);  // metadata only
+}
+
+}  // namespace
+}  // namespace cig::sim

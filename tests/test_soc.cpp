@@ -1,0 +1,162 @@
+// Tests for the SoC layer: board presets, validation, compute-time model,
+// SoC assembly and reset semantics.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "soc/presets.h"
+#include "soc/soc.h"
+
+namespace cig::soc {
+namespace {
+
+// --- presets -----------------------------------------------------------------
+
+class PresetTest : public ::testing::TestWithParam<BoardConfig> {};
+
+TEST_P(PresetTest, Validates) {
+  GetParam().validate();  // aborts on violation
+  SUCCEED();
+}
+
+TEST_P(PresetTest, CacheSizesAreOrdered) {
+  const auto& b = GetParam();
+  EXPECT_LT(b.cpu.l1.geometry.capacity, b.cpu.llc.geometry.capacity);
+  EXPECT_LT(b.gpu.l1.geometry.capacity, b.gpu.llc.geometry.capacity);
+}
+
+TEST_P(PresetTest, UncachedPathSlowerThanDram) {
+  const auto& b = GetParam();
+  EXPECT_LT(b.gpu.uncached_bandwidth, b.dram.bandwidth);
+  EXPECT_LT(b.cpu.uncached_bandwidth, b.dram.bandwidth);
+}
+
+TEST_P(PresetTest, PeakRatesPositive) {
+  const auto& b = GetParam();
+  EXPECT_GT(b.cpu_peak_ops_per_second(), 0.0);
+  EXPECT_GT(b.gpu_peak_ops_per_second(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boards, PresetTest,
+    ::testing::Values(jetson_nano(), jetson_tx2(), jetson_agx_xavier(),
+                      jetson_xavier_nx(), generic_board()),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(Presets, OnlyXavierIsIoCoherent) {
+  EXPECT_EQ(jetson_nano().capability, coherence::Capability::SwFlush);
+  EXPECT_EQ(jetson_tx2().capability, coherence::Capability::SwFlush);
+  EXPECT_EQ(jetson_agx_xavier().capability,
+            coherence::Capability::HwIoCoherent);
+}
+
+TEST(Presets, DramBandwidthsMatchModules) {
+  EXPECT_NEAR(to_GBps(jetson_nano().dram.bandwidth), 25.6, 0.1);
+  EXPECT_NEAR(to_GBps(jetson_tx2().dram.bandwidth), 59.7, 0.1);
+  EXPECT_NEAR(to_GBps(jetson_agx_xavier().dram.bandwidth), 136.5, 0.1);
+}
+
+TEST(Presets, Tx2UncachedGpuPathMatchesTable1) {
+  // The paper's Table I: 1.28 GB/s ZC throughput on the TX2.
+  EXPECT_NEAR(to_GBps(jetson_tx2().gpu.uncached_bandwidth), 1.28, 0.01);
+}
+
+TEST(Presets, XavierNxIsScaledDownAgx) {
+  const auto nx = jetson_xavier_nx();
+  const auto agx = jetson_agx_xavier();
+  EXPECT_EQ(nx.capability, coherence::Capability::HwIoCoherent);
+  EXPECT_LT(nx.gpu.sms, agx.gpu.sms);
+  EXPECT_LT(nx.dram.bandwidth, agx.dram.bandwidth);
+  EXPECT_LT(nx.io_coherence.snoop_bandwidth,
+            agx.io_coherence.snoop_bandwidth);
+}
+
+TEST(Presets, FamilyHasAllThreeBoards) {
+  const auto family = jetson_family();
+  ASSERT_EQ(family.size(), 3u);
+  EXPECT_EQ(family[0].name, "Jetson Nano");
+  EXPECT_EQ(family[1].name, "Jetson TX2");
+  EXPECT_EQ(family[2].name, "Jetson AGX Xavier");
+}
+
+// --- compute-time model ---------------------------------------------------------
+
+TEST(ComputeModel, CpuTimeInverseToRate) {
+  SoC soc(generic_board());  // 1 GHz, ipc 1
+  EXPECT_NEAR(soc.cpu_compute_time(1e9, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(soc.cpu_compute_time(1e9, 0.5), 2.0, 1e-9);
+  EXPECT_NEAR(soc.cpu_compute_time(1e9, 1.0, 2), 0.5, 1e-9);
+}
+
+TEST(ComputeModel, GpuTimeScalesWithUtilization) {
+  SoC soc(generic_board());  // 1 SM x 32 lanes x 1 GHz = 32 Gops
+  EXPECT_NEAR(soc.gpu_compute_time(32e9, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(soc.gpu_compute_time(32e9, 0.5), 2.0, 1e-9);
+}
+
+TEST(ComputeModel, IpcScalesCpuRate) {
+  auto board = generic_board();
+  board.cpu.ipc = 2.0;
+  SoC soc(std::move(board));
+  EXPECT_NEAR(soc.cpu_compute_time(1e9, 1.0), 0.5, 1e-9);
+}
+
+TEST(ComputeModelDeath, RejectsTooManyThreads) {
+  SoC soc(generic_board());  // 2 cores
+  EXPECT_DEATH(soc.cpu_compute_time(1e9, 1.0, 3), "Precondition");
+}
+
+TEST(ComputeModelDeath, RejectsBadUtilization) {
+  SoC soc(generic_board());
+  EXPECT_DEATH(soc.gpu_compute_time(1.0, 1.5), "Precondition");
+}
+
+// --- SoC assembly ----------------------------------------------------------------
+
+TEST(Soc, HierarchiesWireToOwnCaches) {
+  SoC soc(generic_board());
+  soc.cpu_hierarchy().access({0x0, 4, mem::AccessKind::Read});
+  EXPECT_EQ(soc.cpu_l1().stats().read_misses, 1u);
+  EXPECT_EQ(soc.gpu_l1().stats().read_misses, 0u);
+  soc.gpu_hierarchy().access({0x0, 4, mem::AccessKind::Read});
+  EXPECT_EQ(soc.gpu_l1().stats().read_misses, 1u);
+}
+
+TEST(Soc, SharedDramSeesBothAgents) {
+  SoC soc(generic_board());
+  soc.cpu_hierarchy().access({0x0, 4, mem::AccessKind::Read});
+  soc.gpu_hierarchy().access({0x10000, 4, mem::AccessKind::Read});
+  EXPECT_EQ(soc.dram().cached_bytes(), 128u);  // two 64 B fills
+}
+
+TEST(Soc, ResetRestoresPristineState) {
+  SoC soc(generic_board());
+  soc.cpu_hierarchy().set_enabled(0, false);
+  soc.cpu_hierarchy().access({0x0, 4, mem::AccessKind::Write});
+  soc.um_engine().touch_range(coherence::Owner::Device, 0, KiB(8));
+  soc.reset();
+  EXPECT_EQ(soc.cpu_l1().valid_lines(), 0u);
+  EXPECT_EQ(soc.cpu_l1().stats().accesses(), 0u);
+  EXPECT_EQ(soc.dram().total_bytes(), 0u);
+  EXPECT_EQ(soc.um_engine().pages_tracked(), 0u);
+  EXPECT_TRUE(soc.cpu_hierarchy().any_level_enabled());
+  // Re-enabled after reset: the L1 serves again.
+  soc.cpu_hierarchy().access({0x0, 4, mem::AccessKind::Read});
+  soc.cpu_hierarchy().access({0x0, 4, mem::AccessKind::Read});
+  EXPECT_EQ(soc.cpu_l1().stats().read_hits, 1u);
+}
+
+TEST(Soc, ConfigIsValidatedOnConstruction) {
+  BoardConfig bad = generic_board();
+  bad.cpu.l1.geometry.capacity = bad.cpu.llc.geometry.capacity * 2;
+  EXPECT_DEATH(SoC{std::move(bad)}, "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::soc

@@ -1,0 +1,277 @@
+// Tests for the access-stream generators: coverage, determinism, and
+// consistency between walk() and the analytical counters.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/stream.h"
+
+namespace cig::mem {
+namespace {
+
+std::vector<MemoryAccess> collect(const PatternSpec& spec) {
+  std::vector<MemoryAccess> out;
+  walk(spec, [&](const MemoryAccess& a) { out.push_back(a); });
+  return out;
+}
+
+TEST(Stream, LinearCoversExtentOnce) {
+  PatternSpec spec{.kind = PatternKind::Linear,
+                   .base = 0x1000,
+                   .extent = 512,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 1,
+                   .line_hint = 64};
+  const auto accesses = collect(spec);
+  ASSERT_EQ(accesses.size(), 8u);
+  Bytes covered = 0;
+  for (const auto& a : accesses) {
+    EXPECT_GE(a.address, 0x1000u);
+    EXPECT_LT(a.address, 0x1200u);
+    EXPECT_EQ(a.kind, AccessKind::Read);
+    covered += a.size;
+  }
+  EXPECT_EQ(covered, 512u);
+}
+
+TEST(Stream, LinearTailSmallerThanLine) {
+  PatternSpec spec{.kind = PatternKind::Linear,
+                   .base = 0,
+                   .extent = 100,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 1,
+                   .line_hint = 64};
+  const auto accesses = collect(spec);
+  ASSERT_EQ(accesses.size(), 2u);
+  EXPECT_EQ(accesses[0].size, 64u);
+  EXPECT_EQ(accesses[1].size, 36u);
+}
+
+TEST(Stream, PassesRepeatSweep) {
+  PatternSpec spec{.kind = PatternKind::Linear,
+                   .base = 0,
+                   .extent = 256,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 3,
+                   .line_hint = 64};
+  EXPECT_EQ(collect(spec).size(), 12u);
+}
+
+TEST(Stream, ReadModifyWriteEmitsPairs) {
+  PatternSpec spec{.kind = PatternKind::Linear,
+                   .base = 0,
+                   .extent = 128,
+                   .access_size = 4,
+                   .rw = RwMix::ReadModifyWrite,
+                   .passes = 1,
+                   .line_hint = 64};
+  const auto accesses = collect(spec);
+  ASSERT_EQ(accesses.size(), 4u);
+  EXPECT_EQ(accesses[0].kind, AccessKind::Read);
+  EXPECT_EQ(accesses[1].kind, AccessKind::Write);
+  EXPECT_EQ(accesses[0].address, accesses[1].address);
+}
+
+TEST(Stream, WriteOnlyEmitsWrites) {
+  PatternSpec spec{.kind = PatternKind::Linear,
+                   .base = 0,
+                   .extent = 128,
+                   .access_size = 4,
+                   .rw = RwMix::WriteOnly,
+                   .passes = 1,
+                   .line_hint = 64};
+  for (const auto& a : collect(spec)) EXPECT_EQ(a.kind, AccessKind::Write);
+}
+
+TEST(Stream, StridedStepsByStride) {
+  PatternSpec spec{.kind = PatternKind::Strided,
+                   .base = 0,
+                   .extent = 1024,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 1,
+                   .stride = 256};
+  const auto accesses = collect(spec);
+  ASSERT_EQ(accesses.size(), 4u);
+  EXPECT_EQ(accesses[1].address - accesses[0].address, 256u);
+  EXPECT_EQ(accesses[0].size, 4u);  // natural granularity
+}
+
+TEST(Stream, RandomStaysInExtentAndIsDeterministic) {
+  PatternSpec spec{.kind = PatternKind::Random,
+                   .base = 0x8000,
+                   .extent = 4096,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .count = 500,
+                   .seed = 9,
+                   .line_hint = 64};
+  const auto a = collect(spec);
+  const auto b = collect(spec);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].address, b[i].address);
+    EXPECT_GE(a[i].address, 0x8000u);
+    EXPECT_LT(a[i].address, 0x9000u);
+    EXPECT_EQ(a[i].address % 64, 0u);  // line-aligned touches
+  }
+}
+
+TEST(Stream, RandomDifferentSeedsDiffer) {
+  PatternSpec spec{.kind = PatternKind::Random,
+                   .base = 0,
+                   .extent = KiB(64),
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .count = 100,
+                   .seed = 1,
+                   .line_hint = 64};
+  const auto a = collect(spec);
+  spec.seed = 2;
+  const auto b = collect(spec);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i].address == b[i].address;
+  EXPECT_LT(same, 20);
+}
+
+TEST(Stream, SingleLocationRepeats) {
+  PatternSpec spec{.kind = PatternKind::SingleLocation,
+                   .base = 0xAB40,
+                   .extent = 64,
+                   .access_size = 4,
+                   .rw = RwMix::ReadModifyWrite,
+                   .count = 10};
+  const auto accesses = collect(spec);
+  ASSERT_EQ(accesses.size(), 20u);  // rmw doubles
+  for (const auto& a : accesses) EXPECT_EQ(a.address, 0xAB40u);
+}
+
+TEST(Stream, Tiled2DCoversMatrixExactlyOncePerPass) {
+  PatternSpec spec{.kind = PatternKind::Tiled2D,
+                   .base = 0,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 1,
+                   .width = 64,
+                   .height = 32,
+                   .tile_width = 16,
+                   .tile_height = 16,
+                   .line_hint = 64};
+  Bytes covered = 0;
+  std::set<std::uint64_t> touched;
+  walk(spec, [&](const MemoryAccess& a) {
+    covered += a.size;
+    touched.insert(a.address);
+  });
+  EXPECT_EQ(covered, 64u * 32 * 4);
+  EXPECT_EQ(touched.size(), 64u * 32 * 4 / 64);  // one line per 64 B
+}
+
+TEST(Stream, Tiled2DHandlesPartialTiles) {
+  PatternSpec spec{.kind = PatternKind::Tiled2D,
+                   .base = 0,
+                   .access_size = 4,
+                   .rw = RwMix::ReadOnly,
+                   .passes = 1,
+                   .width = 40,   // not a multiple of the tile
+                   .height = 20,
+                   .tile_width = 16,
+                   .tile_height = 16,
+                   .line_hint = 64};
+  Bytes covered = 0;
+  walk(spec, [&](const MemoryAccess& a) { covered += a.size; });
+  EXPECT_EQ(covered, 40u * 20 * 4);
+}
+
+// --- analytical counters vs actual walk -------------------------------------------
+
+struct CounterCase {
+  PatternSpec spec;
+  const char* name;
+};
+
+class StreamCounters : public ::testing::TestWithParam<CounterCase> {};
+
+TEST_P(StreamCounters, LineAccessesMatchesWalk) {
+  const auto& spec = GetParam().spec;
+  std::uint64_t emitted = 0;
+  walk(spec, [&](const MemoryAccess&) { ++emitted; });
+  EXPECT_EQ(line_accesses(spec), emitted);
+}
+
+TEST_P(StreamCounters, FootprintBoundsAddresses) {
+  const auto& spec = GetParam().spec;
+  walk(spec, [&](const MemoryAccess& a) {
+    EXPECT_GE(a.address, spec.base);
+    EXPECT_LE(a.address + a.size, spec.base + footprint(spec));
+  });
+}
+
+TEST_P(StreamCounters, RequestedBytesPositive) {
+  const auto& spec = GetParam().spec;
+  EXPECT_GT(requested_bytes(spec), 0u);
+  EXPECT_EQ(requested_bytes(spec), element_accesses(spec) * spec.access_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, StreamCounters,
+    ::testing::Values(
+        CounterCase{{.kind = PatternKind::Linear,
+                     .base = 0x100,
+                     .extent = 1000,
+                     .access_size = 4,
+                     .rw = RwMix::ReadOnly,
+                     .passes = 2,
+                     .line_hint = 64},
+                    "linear"},
+        CounterCase{{.kind = PatternKind::Linear,
+                     .base = 0,
+                     .extent = 4096,
+                     .access_size = 8,
+                     .rw = RwMix::ReadModifyWrite,
+                     .passes = 1,
+                     .line_hint = 128},
+                    "linear_rmw"},
+        CounterCase{{.kind = PatternKind::Strided,
+                     .base = 64,
+                     .extent = 8192,
+                     .access_size = 4,
+                     .rw = RwMix::WriteOnly,
+                     .passes = 3,
+                     .stride = 128},
+                    "strided"},
+        CounterCase{{.kind = PatternKind::Random,
+                     .base = 0x4000,
+                     .extent = KiB(16),
+                     .access_size = 4,
+                     .rw = RwMix::ReadModifyWrite,
+                     .count = 333,
+                     .seed = 4,
+                     .line_hint = 64},
+                    "random"},
+        CounterCase{{.kind = PatternKind::SingleLocation,
+                     .base = 0x40,
+                     .extent = 64,
+                     .access_size = 4,
+                     .rw = RwMix::ReadOnly,
+                     .count = 77},
+                    "single"},
+        CounterCase{{.kind = PatternKind::Tiled2D,
+                     .base = 0,
+                     .access_size = 4,
+                     .rw = RwMix::ReadOnly,
+                     .passes = 2,
+                     .width = 48,
+                     .height = 48,
+                     .tile_width = 16,
+                     .tile_height = 16,
+                     .line_hint = 64},
+                    "tiled"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cig::mem

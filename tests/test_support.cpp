@@ -1,0 +1,282 @@
+// Unit tests for the support library: units, RNG, statistics, tables, CSV,
+// logging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "support/csv.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/units.h"
+
+namespace cig {
+namespace {
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, TimeConstructors) {
+  EXPECT_DOUBLE_EQ(seconds(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(millisec(2.0), 2e-3);
+  EXPECT_DOUBLE_EQ(microsec(3.0), 3e-6);
+  EXPECT_DOUBLE_EQ(nanosec(4.0), 4e-9);
+}
+
+TEST(Units, TimeConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_us(microsec(453.5)), 453.5);
+  EXPECT_DOUBLE_EQ(to_ms(millisec(70)), 70);
+  EXPECT_DOUBLE_EQ(to_ns(nanosec(120)), 120);
+}
+
+TEST(Units, SizeConstructors) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(1), 1024ull * 1024 * 1024);
+}
+
+TEST(Units, BandwidthIsDecimal) {
+  EXPECT_DOUBLE_EQ(GBps(1.28), 1.28e9);
+  EXPECT_DOUBLE_EQ(to_GBps(GBps(97.34)), 97.34);
+  EXPECT_DOUBLE_EQ(MBps(500), 5e8);
+}
+
+TEST(Units, FrequencyConstructors) {
+  EXPECT_DOUBLE_EQ(MHz(921), 921e6);
+  EXPECT_DOUBLE_EQ(GHz(1.3), 1.3e9);
+}
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(format_time(seconds(1.5)), "1.500 s");
+  EXPECT_EQ(format_time(millisec(70)), "70.00 ms");
+  EXPECT_EQ(format_time(microsec(453.54)), "453.54 us");
+  EXPECT_EQ(format_time(nanosec(120)), "120.0 ns");
+}
+
+TEST(Units, FormatBytesPicksScale) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(KiB(256)), "256.00 KiB");
+  EXPECT_EQ(format_bytes(MiB(512)), "512.00 MiB");
+  EXPECT_EQ(format_bytes(GiB(2)), "2.00 GiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(GBps(97.34)), "97.34 GB/s");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, SplitMixAdvancesState) {
+  std::uint64_t state = 1;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(1);
+  s.add(2);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsDeath, PercentileRejectsEmpty) {
+  EXPECT_DEATH(percentile({}, 0.5), "Precondition");
+}
+
+TEST(StatsDeath, GeometricMeanRejectsNonPositive) {
+  EXPECT_DEATH(geometric_mean({1.0, 0.0}), "Precondition");
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RenderContainsCells) {
+  Table t({"Board", "GB/s"});
+  t.add_row({"TX2", "97.34"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Board"), std::string::npos);
+  EXPECT_NE(out.find("97.34"), std::string::npos);
+  EXPECT_NE(out.find("TX2"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.5, 0), "2");
+}
+
+TEST(TableDeath, RowArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "Precondition");
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/cig_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row(std::vector<std::string>{"1", "2"});
+    csv.add_row(std::vector<double>{3.5, 4.5});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,4.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  const std::string path = ::testing::TempDir() + "/cig_csv_escape.csv";
+  {
+    CsvWriter csv(path, {"v"});
+    csv.add_row(std::vector<std::string>{"a,b"});
+    csv.add_row(std::vector<std::string>{"say \"hi\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+// --- log ---------------------------------------------------------------------
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::Warn);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace cig

@@ -1,0 +1,144 @@
+// Tests for the MB2 sweep analysis: threshold extraction, zone boundaries,
+// classification.
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+
+namespace cig::core {
+namespace {
+
+SweepPoint point(double fraction, double t_sc_us, double t_zc_us,
+                 double tput_sc_gbps) {
+  return SweepPoint{.fraction = fraction,
+                    .time_sc = microsec(t_sc_us),
+                    .time_zc = microsec(t_zc_us),
+                    .throughput_sc = GBps(tput_sc_gbps),
+                    .throughput_zc = GBps(tput_sc_gbps / 2)};
+}
+
+TEST(Thresholds, DivergenceMidSweep) {
+  // Comparable at the first two points, diverging after.
+  const auto analysis = analyze_sweep(
+      {
+          point(0.01, 10, 11, 2),    // +10%
+          point(0.02, 10, 14, 5),    // +40%  (still within 0.8)
+          point(0.05, 10, 30, 20),   // +200% -> diverged, zone 3 at 1.7
+          point(0.10, 10, 80, 50),   // worse
+          point(0.50, 10, 200, 100), // peak throughput 100
+      },
+      /*comparable_tolerance=*/0.8, /*zone3_slowdown=*/1.7);
+  EXPECT_DOUBLE_EQ(analysis.threshold_pct, 5.0);    // 5 of 100 GB/s
+  EXPECT_DOUBLE_EQ(analysis.zone2_end_pct, 20.0);   // first > 170%
+  EXPECT_DOUBLE_EQ(to_GBps(analysis.peak_throughput), 100.0);
+}
+
+TEST(Thresholds, AllComparableMeansHundredPercent) {
+  const auto analysis = analyze_sweep({
+      point(0.01, 10, 10, 5),
+      point(0.10, 20, 21, 50),
+      point(0.50, 40, 42, 100),
+  });
+  EXPECT_DOUBLE_EQ(analysis.threshold_pct, 100.0);
+  EXPECT_DOUBLE_EQ(analysis.zone2_end_pct, 100.0);
+}
+
+TEST(Thresholds, NeverComparableMeansZero) {
+  const auto analysis = analyze_sweep({
+      point(0.01, 10, 100, 5),
+      point(0.10, 10, 200, 50),
+  });
+  EXPECT_DOUBLE_EQ(analysis.threshold_pct, 0.0);
+}
+
+TEST(Thresholds, ComparableRunMustBePrefix) {
+  // A late re-convergence does not extend the threshold: only the initial
+  // comparable run counts.
+  const auto analysis = analyze_sweep(
+      {
+          point(0.01, 10, 11, 5),
+          point(0.02, 10, 100, 10),  // diverged here
+          point(0.10, 10, 10, 50),   // (re-converged; must be ignored)
+          point(0.50, 10, 10, 100),
+      },
+      0.5, 2.0);
+  EXPECT_DOUBLE_EQ(analysis.threshold_pct, 5.0);
+}
+
+TEST(Thresholds, UsagePctOverridesThroughputRatio) {
+  auto p1 = point(0.01, 10, 11, 5);
+  p1.usage_pct = 12.5;
+  auto p2 = point(0.10, 10, 100, 50);
+  p2.usage_pct = 40.0;
+  const auto analysis = analyze_sweep({p1, p2}, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(analysis.threshold_pct, 12.5);
+  EXPECT_DOUBLE_EQ(analysis.zone2_end_pct, 40.0);
+}
+
+TEST(Thresholds, ToleranceWidensComparableRegion) {
+  const std::vector<SweepPoint> points = {
+      point(0.01, 10, 13, 5),   // +30%
+      point(0.10, 10, 16, 50),  // +60%
+      point(0.50, 10, 40, 100),
+  };
+  const auto tight = analyze_sweep(points, 0.2, 3.0);
+  const auto loose = analyze_sweep(points, 0.7, 3.0);
+  EXPECT_DOUBLE_EQ(tight.threshold_pct, 0.0);
+  EXPECT_DOUBLE_EQ(loose.threshold_pct, 50.0);
+}
+
+TEST(Thresholds, Zone2EndNeverBelowThreshold) {
+  const auto analysis = analyze_sweep(
+      {
+          point(0.01, 10, 11, 50),
+          point(0.50, 10, 100, 10),  // diverged at lower throughput
+      },
+      0.5, 2.0);
+  EXPECT_GE(analysis.zone2_end_pct, analysis.threshold_pct);
+}
+
+TEST(Thresholds, ClassifyZones) {
+  ThresholdAnalysis analysis;
+  analysis.threshold_pct = 16.2;
+  analysis.zone2_end_pct = 57.1;
+  EXPECT_EQ(analysis.classify(7.0), Zone::Comparable);
+  EXPECT_EQ(analysis.classify(16.2), Zone::Comparable);
+  EXPECT_EQ(analysis.classify(20.1), Zone::Grey);
+  EXPECT_EQ(analysis.classify(57.1), Zone::Grey);
+  EXPECT_EQ(analysis.classify(80.0), Zone::CacheBound);
+}
+
+TEST(Thresholds, ZoneNames) {
+  EXPECT_NE(std::string(zone_name(Zone::Comparable)).find("zone-1"),
+            std::string::npos);
+  EXPECT_NE(std::string(zone_name(Zone::Grey)).find("zone-2"),
+            std::string::npos);
+  EXPECT_NE(std::string(zone_name(Zone::CacheBound)).find("zone-3"),
+            std::string::npos);
+}
+
+TEST(Thresholds, ToStringMentionsNumbers) {
+  ThresholdAnalysis analysis;
+  analysis.threshold_pct = 2.7;
+  analysis.zone2_end_pct = 30;
+  analysis.peak_throughput = GBps(97.34);
+  const std::string s = analysis.to_string();
+  EXPECT_NE(s.find("2.7"), std::string::npos);
+  EXPECT_NE(s.find("97.34"), std::string::npos);
+}
+
+TEST(ThresholdsDeath, RejectsEmptySweep) {
+  EXPECT_DEATH(analyze_sweep({}), "Precondition");
+}
+
+TEST(ThresholdsDeath, RejectsUnsortedSweep) {
+  EXPECT_DEATH(analyze_sweep({point(0.5, 10, 10, 10),
+                              point(0.1, 10, 10, 10)}),
+               "Precondition");
+}
+
+TEST(ThresholdsDeath, RejectsZeroScTime) {
+  EXPECT_DEATH(analyze_sweep({point(0.1, 0, 10, 10)}), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::core

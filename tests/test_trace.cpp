@@ -1,0 +1,269 @@
+// Tests for trace-driven workloads: recorder semantics, the TracedArray
+// instrumentation, coalescing, and replay against the cache simulator.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "workload/trace.h"
+
+namespace cig::workload {
+namespace {
+
+using mem::AccessKind;
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder recorder;
+  recorder.record(0x10, 4, AccessKind::Read);
+  recorder.record(0x20, 8, AccessKind::Write);
+  ASSERT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.trace()[0].address, 0x10u);
+  EXPECT_EQ(recorder.trace()[1].size, 8u);
+  EXPECT_EQ(recorder.reads(), 1u);
+  EXPECT_EQ(recorder.writes(), 1u);
+  EXPECT_EQ(recorder.requested_bytes(), 12u);
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder recorder;
+  recorder.record(0, 4, AccessKind::Read);
+  recorder.clear();
+  EXPECT_TRUE(recorder.empty());
+}
+
+TEST(TraceRecorder, ReplayPreservesOrder) {
+  TraceRecorder recorder;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.record(i * 4, 4, AccessKind::Read);
+  }
+  std::uint64_t expected = 0;
+  recorder.replay([&](const mem::MemoryAccess& a) {
+    EXPECT_EQ(a.address, expected);
+    expected += 4;
+  });
+  EXPECT_EQ(expected, 40u);
+}
+
+TEST(TraceRecorder, UniqueLinesAndRange) {
+  TraceRecorder recorder;
+  recorder.record(0, 4, AccessKind::Read);
+  recorder.record(60, 8, AccessKind::Read);  // straddles lines 0 and 1
+  recorder.record(128, 4, AccessKind::Read);
+  EXPECT_EQ(recorder.unique_lines(64), 3u);
+  const auto [lo, hi] = recorder.address_range();
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 132u);
+}
+
+TEST(TraceRecorder, EmptyRangeIsZero) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.address_range(), (std::pair<std::uint64_t,
+                                                 std::uint64_t>{0, 0}));
+}
+
+// --- coalescing ----------------------------------------------------------------
+
+TEST(TraceCoalesce, MergesConsecutiveSameLineAccesses) {
+  TraceRecorder recorder;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    recorder.record(i * 4, 4, AccessKind::Read);  // one 64 B line
+  }
+  const auto coalesced = recorder.coalesced(64);
+  ASSERT_EQ(coalesced.size(), 1u);
+  EXPECT_EQ(coalesced.trace()[0].size, 64u);
+}
+
+TEST(TraceCoalesce, DoesNotMergeAcrossLines) {
+  TraceRecorder recorder;
+  recorder.record(60, 4, AccessKind::Read);
+  recorder.record(64, 4, AccessKind::Read);  // next line
+  EXPECT_EQ(recorder.coalesced(64).size(), 2u);
+}
+
+TEST(TraceCoalesce, DoesNotMergeReadsWithWrites) {
+  TraceRecorder recorder;
+  recorder.record(0, 4, AccessKind::Read);
+  recorder.record(4, 4, AccessKind::Write);
+  recorder.record(8, 4, AccessKind::Read);
+  EXPECT_EQ(recorder.coalesced(64).size(), 3u);
+}
+
+TEST(TraceCoalesce, NonAdjacentSameLineStillMerges) {
+  // Strided accesses within one line coalesce (warp semantics), even when
+  // not byte-adjacent.
+  TraceRecorder recorder;
+  recorder.record(0, 4, AccessKind::Read);
+  recorder.record(32, 4, AccessKind::Read);
+  const auto coalesced = recorder.coalesced(64);
+  ASSERT_EQ(coalesced.size(), 1u);
+  EXPECT_EQ(coalesced.trace()[0].size, 36u);
+}
+
+// --- TracedArray ------------------------------------------------------------------
+
+TEST(TracedArray, RecordsReadsAndWrites) {
+  std::vector<float> data(8, 1.0f);
+  TraceRecorder recorder;
+  TracedArray<float> traced(data, 0x1000, recorder);
+
+  const float x = traced[2];       // read
+  traced[3] = x + 1.0f;            // write
+  traced[3] += 2.0f;               // read + write
+
+  ASSERT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.trace()[0].address, 0x1000u + 8);
+  EXPECT_EQ(recorder.trace()[0].kind, AccessKind::Read);
+  EXPECT_EQ(recorder.trace()[1].address, 0x1000u + 12);
+  EXPECT_EQ(recorder.trace()[1].kind, AccessKind::Write);
+  EXPECT_EQ(recorder.trace()[2].kind, AccessKind::Read);
+  EXPECT_EQ(recorder.trace()[3].kind, AccessKind::Write);
+  EXPECT_FLOAT_EQ(data[3], 4.0f);  // the computation really happened
+}
+
+TEST(TracedArray, RealLoopProducesLinearTrace) {
+  std::vector<float> data(256, 2.0f);
+  TraceRecorder recorder;
+  TracedArray<float> traced(data, 0, recorder);
+
+  // A real saxpy-like loop, unmodified apart from the wrapper.
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    traced[i] = traced.read(i) * 1.5f + 0.5f;
+  }
+
+  EXPECT_EQ(recorder.reads(), 256u);
+  EXPECT_EQ(recorder.writes(), 256u);
+  EXPECT_EQ(recorder.unique_lines(64), 256u * 4 / 64);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+// The headline property: replaying a traced loop against the exact cache
+// simulator gives the same hit behaviour as the equivalent PatternSpec.
+TEST(TracedArray, TraceMatchesEquivalentPattern) {
+  std::vector<float> data(4096);
+  TraceRecorder recorder;
+  TracedArray<float> traced(data, 0, recorder);
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    traced[i] = 1.0f;  // write-only sweep over 16 KiB
+  }
+  const auto coalesced = recorder.coalesced(64);
+
+  const auto geometry = mem::make_geometry(KiB(8), 64, 4);
+  mem::SetAssocCache from_trace(geometry, mem::Replacement::Lru);
+  coalesced.replay([&](const mem::MemoryAccess& a) {
+    from_trace.access(a.address, a.kind);
+  });
+
+  mem::SetAssocCache from_pattern(geometry, mem::Replacement::Lru);
+  mem::walk(mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                             .base = 0,
+                             .extent = KiB(16),
+                             .access_size = 4,
+                             .rw = mem::RwMix::WriteOnly,
+                             .passes = 1,
+                             .line_hint = 64},
+            [&](const mem::MemoryAccess& a) {
+              from_pattern.access(a.address, a.kind);
+            });
+
+  EXPECT_EQ(from_trace.stats().write_misses,
+            from_pattern.stats().write_misses);
+  EXPECT_EQ(from_trace.stats().accesses(), from_pattern.stats().accesses());
+}
+
+TEST(TracedArray, UncoalescedTraceSeesPerElementAccesses) {
+  std::vector<float> data(64);
+  TraceRecorder recorder;
+  TracedArray<float> traced(data, 0, recorder);
+  for (std::size_t i = 0; i < traced.size(); ++i) traced[i] = 0.0f;
+  // Raw trace: one access per element; coalesced: one per line.
+  EXPECT_EQ(recorder.size(), 64u);
+  EXPECT_EQ(recorder.coalesced(64).size(), 64u * 4 / 64);
+}
+
+}  // namespace
+}  // namespace cig::workload
+
+// --- trace-driven execution ---------------------------------------------------
+
+#include "comm/executor.h"
+#include "soc/presets.h"
+
+namespace cig::workload {
+namespace {
+
+TEST(TraceDrivenExecutor, TraceEquivalentToPatternRun) {
+  // A workload whose shared stream is a recorded linear sweep must time
+  // exactly like the symbolic pattern describing the same sweep.
+  const auto board = soc::generic_board();
+
+  Workload by_pattern;
+  by_pattern.name = "by-pattern";
+  by_pattern.gpu.ops = 1000;
+  by_pattern.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                            .base = 0x1000'0000,
+                                            .extent = KiB(16),
+                                            .access_size = 4,
+                                            .rw = mem::RwMix::ReadOnly,
+                                            .passes = 2,
+                                            .line_hint = 64};
+  by_pattern.cpu.ops = 500;
+  by_pattern.cpu.pattern = by_pattern.gpu.pattern;
+  by_pattern.h2d_bytes = KiB(16);
+  by_pattern.iterations = 2;
+
+  // Record the identical stream into a trace.
+  auto recorder = std::make_shared<TraceRecorder>();
+  mem::walk(by_pattern.gpu.pattern, [&](const mem::MemoryAccess& a) {
+    recorder->record(a.address, a.size, a.kind);
+  });
+  Workload by_trace = by_pattern;
+  by_trace.name = "by-trace";
+  by_trace.gpu.shared_trace = recorder;
+
+  soc::SoC soc_a(board);
+  soc::SoC soc_b(board);
+  comm::Executor exec_a(soc_a);
+  comm::Executor exec_b(soc_b);
+  const auto a = exec_a.run(by_pattern, comm::CommModel::StandardCopy);
+  const auto b = exec_b.run(by_trace, comm::CommModel::StandardCopy);
+  EXPECT_DOUBLE_EQ(a.kernel_time, b.kernel_time);
+  EXPECT_DOUBLE_EQ(a.total, b.total);
+  EXPECT_DOUBLE_EQ(a.gpu_demand_throughput, b.gpu_demand_throughput);
+}
+
+TEST(TraceDrivenExecutor, RealLoopTraceRunsUnderAllModels) {
+  // Instrument a real computation, hand its coalesced trace to the
+  // executor, and check the ZC-vs-SC relationship still emerges.
+  std::vector<float> data(8192);
+  TraceRecorder raw;
+  TracedArray<float> traced(data, 0x1000'0000, raw);
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    traced[i] = traced.read(i) * 2.0f + 1.0f;
+  }
+  auto coalesced =
+      std::make_shared<TraceRecorder>(raw.coalesced(64));
+
+  Workload w;
+  w.name = "traced-saxpy";
+  w.gpu.ops = 16384;
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = 0x1000'0000,
+                                   .extent = 8192 * 4,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = 1,
+                                   .line_hint = 64};
+  w.gpu.shared_trace = coalesced;
+  w.cpu.ops = 100;
+  w.cpu.pattern.count = 0;
+  w.cpu.pattern.kind = mem::PatternKind::SingleLocation;
+  w.overlappable = false;
+
+  soc::SoC soc(soc::jetson_tx2());
+  comm::Executor executor(soc);
+  const auto sc = executor.run(w, comm::CommModel::StandardCopy);
+  const auto zc = executor.run(w, comm::CommModel::ZeroCopy);
+  EXPECT_GT(zc.kernel_time, sc.kernel_time * 2);  // uncached pinned path
+}
+
+}  // namespace
+}  // namespace cig::workload

@@ -1,0 +1,216 @@
+// Tests for the workload layer: task specs, functional payloads, and the
+// micro-benchmark builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "soc/presets.h"
+#include "workload/builders.h"
+#include "workload/functional.h"
+#include "workload/task.h"
+
+namespace cig::workload {
+namespace {
+
+// --- task validation -------------------------------------------------------------
+
+TEST(Task, DefaultWorkloadValidates) {
+  Workload w;
+  w.cpu.pattern.count = 1;
+  w.validate();
+  SUCCEED();
+}
+
+TEST(TaskDeath, RejectsZeroIterations) {
+  Workload w;
+  w.iterations = 0;
+  EXPECT_DEATH(w.validate(), "Precondition");
+}
+
+TEST(TaskDeath, RejectsBadUtilization) {
+  Workload w;
+  w.gpu.utilization = 0.0;
+  EXPECT_DEATH(w.validate(), "Precondition");
+}
+
+TEST(TaskDeath, RejectsSubUnityTimeScale) {
+  Workload w;
+  w.cpu.time_scale = 0.5;
+  EXPECT_DEATH(w.validate(), "Precondition");
+}
+
+// --- functional payloads -----------------------------------------------------------
+
+TEST(Functional, FpChainIsFiniteAndDeterministic) {
+  const double a = fp_chain(1.5, 10000);
+  const double b = fp_chain(1.5, 10000);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Functional, FpChainConvergesToFixedPoint) {
+  // The chain x -> (sqrt(x)*1.9+0.7)/1.3+0.1 contracts; long runs converge.
+  const double x1 = fp_chain(1.0, 100000);
+  const double x2 = fp_chain(50.0, 100000);
+  EXPECT_NEAR(x1, x2, 1e-9);
+}
+
+TEST(Functional, FpChainFlops) {
+  EXPECT_DOUBLE_EQ(fp_chain_flops(10), 50.0);
+}
+
+TEST(Functional, Reduction2dMatchesNaiveSum) {
+  std::vector<double> m(16 * 8);
+  double expected = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(i) * 0.25;
+    expected += m[i];
+  }
+  EXPECT_NEAR(reduction_2d(m, 16, 8), expected, 1e-9);
+}
+
+TEST(FunctionalDeath, Reduction2dChecksShape) {
+  std::vector<double> m(10);
+  EXPECT_DEATH(reduction_2d(m, 4, 4), "Precondition");
+}
+
+TEST(Functional, FmaSweepTouchesOnlyFraction) {
+  std::vector<float> data(1000, 1.0f);
+  fma_sweep(data, 0.1, 1);
+  // First 100 elements transformed, the rest untouched.
+  EXPECT_NE(data[0], 1.0f);
+  EXPECT_NE(data[99], 1.0f);
+  EXPECT_EQ(data[100], 1.0f);
+  EXPECT_EQ(data[999], 1.0f);
+}
+
+TEST(Functional, FmaSweepDeterministicChecksum) {
+  std::vector<float> a(512, 2.0f), b(512, 2.0f);
+  EXPECT_DOUBLE_EQ(fma_sweep(a, 0.5, 4), fma_sweep(b, 0.5, 4));
+}
+
+TEST(Functional, SparseUpdateDeterministic) {
+  std::vector<float> a(4096, 1.0f), b(4096, 1.0f);
+  EXPECT_DOUBLE_EQ(sparse_update(a, 10000, 7), sparse_update(b, 10000, 7));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Functional, SparseUpdateDifferentSeedsDiffer) {
+  std::vector<float> a(4096, 1.0f), b(4096, 1.0f);
+  EXPECT_NE(sparse_update(a, 1000, 1), sparse_update(b, 1000, 2));
+}
+
+TEST(Functional, ProduceConsumeTileRoundTrip) {
+  std::vector<float> tile(97);
+  produce_tile(tile.data(), tile.size(), 3);
+  double acc = 0;
+  consume_tile(tile.data(), tile.size(), acc);
+  double expected = 0;
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    expected += static_cast<float>(4 * 1000 + i % 97);
+  }
+  EXPECT_DOUBLE_EQ(acc, expected);
+}
+
+// --- builders, per board ------------------------------------------------------------
+
+class BuilderTest : public ::testing::TestWithParam<soc::BoardConfig> {};
+
+TEST_P(BuilderTest, Mb1IsValidAndOverlappable) {
+  const auto w = mb1_workload(GetParam());
+  w.validate();
+  EXPECT_TRUE(w.overlappable);
+  EXPECT_GT(w.h2d_bytes, 0u);
+  EXPECT_EQ(w.gpu.pattern.kind, mem::PatternKind::Linear);
+  EXPECT_EQ(w.cpu.pattern.kind, mem::PatternKind::SingleLocation);
+  EXPECT_EQ(w.cpu.mlp, 1.0);  // dependent chain
+}
+
+TEST_P(BuilderTest, Mb1MatrixSitsInLlcBand) {
+  const auto& board = GetParam();
+  const auto w = mb1_workload(board);
+  EXPECT_GT(w.gpu.pattern.extent, board.gpu.l1.geometry.capacity);
+  EXPECT_LE(w.gpu.pattern.extent, board.gpu.llc.geometry.capacity);
+}
+
+TEST_P(BuilderTest, Mb2SpanScalesWithFraction) {
+  const auto& board = GetParam();
+  const auto small = mb2_workload(board, 1.0 / 16000);
+  const auto large = mb2_workload(board, 0.5);
+  EXPECT_LT(small.gpu.pattern.extent, large.gpu.pattern.extent);
+  EXPECT_EQ(large.gpu.pattern.extent / large.gpu.pattern.passes,
+            large.gpu.pattern.extent / large.gpu.pattern.passes);
+  small.validate();
+  large.validate();
+}
+
+TEST_P(BuilderTest, Mb2HasNoCopies) {
+  const auto w = mb2_workload(GetParam(), 0.01);
+  EXPECT_EQ(w.h2d_bytes, 0u);
+  EXPECT_EQ(w.d2h_bytes, 0u);
+  EXPECT_FALSE(w.overlappable);
+}
+
+TEST_P(BuilderTest, Mb2CpuComputeIsBoardRelative) {
+  const auto& board = GetParam();
+  const auto w = mb2_cpu_workload(board, 0.1);
+  // Fixed ~120 us of arithmetic regardless of board speed.
+  const double compute =
+      w.cpu.ops / (board.cpu_peak_ops_per_second() * w.cpu.ops_per_cycle);
+  EXPECT_NEAR(compute, 120e-6, 1e-9);
+}
+
+TEST_P(BuilderTest, Mb3ScalingPreservesLogicalSize) {
+  const auto& board = GetParam();
+  const auto w1 = mb3_workload(board, 1);
+  const auto w8 = mb3_workload(board, 8);
+  EXPECT_EQ(w1.h2d_bytes, w8.h2d_bytes);  // logical copies identical
+  EXPECT_EQ(w1.gpu.pattern.extent, w8.gpu.pattern.extent * 8);
+  EXPECT_DOUBLE_EQ(w8.gpu.time_scale, 8.0);
+  EXPECT_DOUBLE_EQ(w1.gpu.time_scale, 1.0);
+}
+
+TEST_P(BuilderTest, Mb3IsCacheIndependentShape) {
+  const auto& board = GetParam();
+  const auto w = mb3_workload(board);
+  EXPECT_EQ(w.gpu.pattern.kind, mem::PatternKind::Random);
+  EXPECT_GT(w.gpu.pattern.extent, board.gpu.llc.geometry.capacity);
+  EXPECT_GT(mem::footprint(w.cpu.pattern), board.cpu.llc.geometry.capacity);
+  EXPECT_TRUE(w.overlappable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boards, BuilderTest,
+                         ::testing::Values(soc::jetson_nano(),
+                                           soc::jetson_tx2(),
+                                           soc::jetson_agx_xavier()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Builders, FractionsAreSortedAndInRange) {
+  const auto gpu = mb2_fractions();
+  const auto cpu = mb2_cpu_fractions();
+  EXPECT_TRUE(std::is_sorted(gpu.begin(), gpu.end()));
+  EXPECT_TRUE(std::is_sorted(cpu.begin(), cpu.end()));
+  for (double f : gpu) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 0.5);
+  }
+  for (double f : cpu) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 0.5);
+  }
+}
+
+TEST(BuildersDeath, Mb2RejectsBadFraction) {
+  EXPECT_DEATH(mb2_workload(soc::jetson_tx2(), 0.0), "Precondition");
+  EXPECT_DEATH(mb2_workload(soc::jetson_tx2(), 0.6), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::workload

@@ -1,0 +1,190 @@
+// Tests for the zero-copy tiled communication pattern (Section III-C):
+// tiling derivation, disjointness, determinism of the concurrent schedule.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/zc_pattern.h"
+#include "soc/presets.h"
+
+namespace cig::core {
+namespace {
+
+TEST(Tiling, MakeTilingUsesBoardGeometry) {
+  const auto board = soc::jetson_tx2();
+  const auto tiling = make_tiling(board, 4);
+  // Structure sized to the GPU LLC (512 KiB of floats).
+  EXPECT_EQ(tiling.total_elements,
+            board.gpu.llc.geometry.capacity / sizeof(float));
+  // Tile = min(CPU LLC line, GPU LLC line) = 64 B = 16 floats.
+  EXPECT_EQ(tiling.tile_elements, 16u);
+  EXPECT_EQ(tiling.phases, 4u);
+}
+
+TEST(Tiling, TileCountRoundsUp) {
+  TilingConfig config{.total_elements = 100, .tile_elements = 16, .phases = 1};
+  EXPECT_EQ(config.tile_count(), 7u);
+}
+
+TEST(TilingDeath, RejectsDegenerateConfigs) {
+  TilingConfig config{.total_elements = 8, .tile_elements = 16, .phases = 1};
+  EXPECT_DEATH(config.validate(), "Precondition");  // only one tile
+}
+
+TEST(TiledBuffer, TilesPartitionTheBuffer) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 100, .tile_elements = 16, .phases = 1});
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < buffer.tile_count(); ++t) {
+    total += buffer.tile(t).size();
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(buffer.tile(6).size(), 4u);  // ragged tail tile
+}
+
+TEST(TiledBuffer, TilesAreContiguousAndDisjoint) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 64, .tile_elements = 16, .phases = 1});
+  for (std::size_t t = 1; t < buffer.tile_count(); ++t) {
+    EXPECT_EQ(buffer.tile(t - 1).data() + buffer.tile(t - 1).size(),
+              buffer.tile(t).data());
+  }
+}
+
+TEST(Pipeline, SequentialAssignsParitiesPerPhase) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 64, .tile_elements = 16, .phases = 2});
+  std::vector<std::pair<std::uint32_t, std::size_t>> cpu_log, gpu_log;
+  const auto stats = run_zero_copy_pipeline(
+      buffer,
+      [&](std::span<float>, std::uint32_t phase, std::size_t tile) {
+        cpu_log.emplace_back(phase, tile);
+      },
+      [&](std::span<float>, std::uint32_t phase, std::size_t tile) {
+        gpu_log.emplace_back(phase, tile);
+      },
+      2, /*concurrent=*/false);
+  EXPECT_EQ(stats.cpu_tiles, 4u);
+  EXPECT_EQ(stats.gpu_tiles, 4u);
+  // Phase 0: CPU even, GPU odd; phase 1 swapped.
+  EXPECT_EQ(cpu_log[0], (std::pair<std::uint32_t, std::size_t>{0, 0}));
+  EXPECT_EQ(cpu_log[1], (std::pair<std::uint32_t, std::size_t>{0, 2}));
+  EXPECT_EQ(cpu_log[2], (std::pair<std::uint32_t, std::size_t>{1, 1}));
+  EXPECT_EQ(gpu_log[0], (std::pair<std::uint32_t, std::size_t>{0, 1}));
+  EXPECT_EQ(gpu_log[2], (std::pair<std::uint32_t, std::size_t>{1, 0}));
+}
+
+TEST(Pipeline, EveryTileVisitedByBothSidesOverTwoPhases) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 160, .tile_elements = 16, .phases = 2});
+  std::set<std::size_t> cpu_tiles, gpu_tiles;
+  run_zero_copy_pipeline(
+      buffer,
+      [&](std::span<float>, std::uint32_t, std::size_t t) {
+        cpu_tiles.insert(t);
+      },
+      [&](std::span<float>, std::uint32_t, std::size_t t) {
+        gpu_tiles.insert(t);
+      },
+      2, /*concurrent=*/false);
+  EXPECT_EQ(cpu_tiles.size(), buffer.tile_count());
+  EXPECT_EQ(gpu_tiles.size(), buffer.tile_count());
+}
+
+TEST(Pipeline, ConcurrentNeverSharesATileWithinAPhase) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 4096, .tile_elements = 16, .phases = 8});
+  std::mutex mutex;
+  std::map<std::uint32_t, std::set<std::size_t>> cpu_by_phase, gpu_by_phase;
+  run_zero_copy_pipeline(
+      buffer,
+      [&](std::span<float>, std::uint32_t phase, std::size_t t) {
+        std::lock_guard lock(mutex);
+        cpu_by_phase[phase].insert(t);
+      },
+      [&](std::span<float>, std::uint32_t phase, std::size_t t) {
+        std::lock_guard lock(mutex);
+        gpu_by_phase[phase].insert(t);
+      },
+      8, /*concurrent=*/true);
+  for (std::uint32_t phase = 0; phase < 8; ++phase) {
+    for (std::size_t t : cpu_by_phase[phase]) {
+      EXPECT_EQ(gpu_by_phase[phase].count(t), 0u)
+          << "tile " << t << " shared in phase " << phase;
+    }
+  }
+}
+
+// The headline property: the concurrent pipelined execution produces
+// exactly the same data as the sequential reference (deterministic results
+// without per-access synchronisation).
+class PipelineDeterminism : public ::testing::TestWithParam<
+                                std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(PipelineDeterminism, ConcurrentMatchesSequential) {
+  const auto [elements, phases] = GetParam();
+  const TilingConfig config{
+      .total_elements = elements, .tile_elements = 16, .phases = phases};
+
+  // Producer adds a phase/tile-dependent value; consumer squares tiles.
+  const auto producer = [](std::span<float> tile, std::uint32_t phase,
+                           std::size_t index) {
+    for (std::size_t i = 0; i < tile.size(); ++i) {
+      tile[i] += static_cast<float>(phase * 31 + index * 7 + i);
+    }
+  };
+  const auto consumer = [](std::span<float> tile, std::uint32_t phase,
+                           std::size_t) {
+    for (auto& v : tile) v = v * 0.5f + static_cast<float>(phase);
+  };
+
+  TiledBuffer sequential(config);
+  run_zero_copy_pipeline(sequential, producer, consumer, phases, false);
+
+  for (int run = 0; run < 3; ++run) {
+    TiledBuffer concurrent(config);
+    run_zero_copy_pipeline(concurrent, producer, consumer, phases, true);
+    ASSERT_EQ(concurrent.all().size(), sequential.all().size());
+    for (std::size_t i = 0; i < sequential.all().size(); ++i) {
+      ASSERT_EQ(concurrent.all()[i], sequential.all()[i])
+          << "element " << i << " run " << run;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineDeterminism,
+    ::testing::Combine(::testing::Values(64, 1000, 4096),
+                       ::testing::Values(1u, 2u, 5u)));
+
+TEST(Pipeline, StatsCountPhases) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 64, .tile_elements = 16, .phases = 3});
+  const auto stats = run_zero_copy_pipeline(
+      buffer, [](std::span<float>, std::uint32_t, std::size_t) {},
+      [](std::span<float>, std::uint32_t, std::size_t) {}, 3, true);
+  EXPECT_EQ(stats.phases, 3u);
+  EXPECT_EQ(stats.cpu_tiles + stats.gpu_tiles, 4u * 3);
+}
+
+TEST(PipelineDeath, RejectsNullCallbacks) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 64, .tile_elements = 16, .phases = 1});
+  EXPECT_DEATH(run_zero_copy_pipeline(buffer, nullptr,
+                                      [](std::span<float>, std::uint32_t,
+                                         std::size_t) {},
+                                      1),
+               "Precondition");
+}
+
+TEST(TiledBufferDeath, TileIndexOutOfRange) {
+  TiledBuffer buffer(
+      TilingConfig{.total_elements = 64, .tile_elements = 16, .phases = 1});
+  EXPECT_DEATH(buffer.tile(4), "Precondition");
+}
+
+}  // namespace
+}  // namespace cig::core

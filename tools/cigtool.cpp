@@ -1,0 +1,327 @@
+// cigtool — command-line front end for the framework.
+//
+//   cigtool boards                         list built-in board presets
+//   cigtool show <board>                   dump a board config as JSON
+//   cigtool export <board> <file.json>     save a preset as an editable file
+//   cigtool characterize <board> [--json]  run the micro-benchmark suite
+//   cigtool tune <board> <app> [--model sc|um|zc] [--json]
+//                                          profile + recommend + verify
+//   cigtool sweep <board>                  MB2 sweep as CSV on stdout
+//
+// <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
+// <app> is one of: shwfs, orbslam, mb1, mb3.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/orbslam/workload.h"
+#include "apps/shwfs/workload.h"
+#include "core/framework.h"
+#include "core/experiment.h"
+#include "core/pattern_sim.h"
+#include "soc/board_io.h"
+#include "soc/presets.h"
+#include "support/table.h"
+#include "workload/builders.h"
+
+namespace {
+
+using namespace cig;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  cigtool boards\n"
+      "  cigtool show <board>\n"
+      "  cigtool export <board> <file.json>\n"
+      "  cigtool characterize <board> [--json]\n"
+      "  cigtool tune <board> <shwfs|orbslam|mb1|mb3> [--model sc|um|zc]"
+      " [--json]\n"
+      "  cigtool sweep <board>\n"
+      "  cigtool pattern <board> [--json]\n"
+      "  cigtool grid <boards,csv> <apps,csv> [--json|--csv]\n";
+  return 2;
+}
+
+comm::CommModel parse_model(const std::string& name) {
+  if (name == "sc") return comm::CommModel::StandardCopy;
+  if (name == "um") return comm::CommModel::UnifiedMemory;
+  if (name == "zc") return comm::CommModel::ZeroCopy;
+  throw std::runtime_error("unknown model '" + name + "' (sc, um or zc)");
+}
+
+Json characterization_to_json(const core::DeviceCharacterization& device) {
+  Json j;
+  j["board"] = Json(device.board);
+  j["capability"] = Json(std::string(capability_name(device.capability)));
+  Json mb1;
+  for (const auto model : core::kAllModels) {
+    Json per_model;
+    per_model["gpu_ll_throughput_gbps"] =
+        Json(to_GBps(device.mb1.gpu_ll_throughput[core::model_index(model)]));
+    per_model["cpu_time_us"] =
+        Json(to_us(device.mb1.cpu_time[core::model_index(model)]));
+    per_model["gpu_time_us"] =
+        Json(to_us(device.mb1.gpu_time[core::model_index(model)]));
+    mb1[comm::model_name(model)] = std::move(per_model);
+  }
+  j["mb1"] = std::move(mb1);
+  j["gpu_cache_threshold_pct"] = Json(device.gpu_threshold_pct());
+  j["gpu_zone2_end_pct"] = Json(device.gpu_zone2_end_pct());
+  j["cpu_cache_threshold_pct"] = Json(device.cpu_threshold_pct());
+  j["sc_zc_max_speedup"] = Json(device.sc_zc_max_speedup());
+  j["zc_sc_max_speedup"] = Json(device.zc_sc_max_speedup());
+  return j;
+}
+
+int cmd_boards() {
+  Table table({"name", "capability", "DRAM GB/s", "GPU LLC", "CPU LLC"});
+  for (const auto& board : soc::jetson_family()) {
+    table.add_row({board.name, capability_name(board.capability),
+                   Table::num(to_GBps(board.dram.bandwidth), 1),
+                   format_bytes(board.gpu.llc.geometry.capacity),
+                   format_bytes(board.cpu.llc.geometry.capacity)});
+  }
+  const auto nx = soc::jetson_xavier_nx();
+  table.add_row({nx.name, capability_name(nx.capability),
+                 Table::num(to_GBps(nx.dram.bandwidth), 1),
+                 format_bytes(nx.gpu.llc.geometry.capacity),
+                 format_bytes(nx.cpu.llc.geometry.capacity)});
+  const auto generic = soc::generic_board();
+  table.add_row({generic.name, capability_name(generic.capability),
+                 Table::num(to_GBps(generic.dram.bandwidth), 1),
+                 format_bytes(generic.gpu.llc.geometry.capacity),
+                 format_bytes(generic.cpu.llc.geometry.capacity)});
+  print_table(std::cout, table);
+  return 0;
+}
+
+int cmd_show(const std::string& board_name) {
+  const auto board = soc::resolve_board(board_name);
+  std::cout << soc::board_to_json(board).dump(2) << '\n';
+  return 0;
+}
+
+int cmd_export(const std::string& board_name, const std::string& path) {
+  soc::save_board(soc::resolve_board(board_name), path);
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}
+
+int cmd_characterize(const std::string& board_name, bool as_json) {
+  core::Framework framework(soc::resolve_board(board_name));
+  const auto& device = framework.device();
+  if (as_json) {
+    std::cout << characterization_to_json(device).dump(2) << '\n';
+    return 0;
+  }
+  Table table({"characteristic", "value"});
+  table.add_row({"board", device.board});
+  table.add_row({"capability", capability_name(device.capability)});
+  for (const auto model : core::kAllModels) {
+    table.add_row(
+        {std::string("MB1 GPU LL throughput [") + comm::model_name(model) +
+             "]",
+         format_bandwidth(
+             device.mb1.gpu_ll_throughput[core::model_index(model)])});
+  }
+  table.add_row({"GPU cache threshold",
+                 Table::num(device.gpu_threshold_pct(), 1) + " %"});
+  table.add_row(
+      {"GPU zone-2 end", Table::num(device.gpu_zone2_end_pct(), 1) + " %"});
+  table.add_row({"CPU cache threshold",
+                 Table::num(device.cpu_threshold_pct(), 1) + " %"});
+  table.add_row({"SC->ZC max speedup",
+                 Table::num(device.sc_zc_max_speedup(), 2) + "x"});
+  table.add_row({"ZC->SC max speedup",
+                 Table::num(device.zc_sc_max_speedup(), 2) + "x"});
+  print_table(std::cout, table);
+  return 0;
+}
+
+int cmd_tune(const std::string& board_name, const std::string& app_name,
+             comm::CommModel model, bool as_json) {
+  const auto board = soc::resolve_board(board_name);
+  core::Framework framework(board);
+  const auto workload = core::resolve_application(app_name, board);
+  const auto report = framework.tune(workload, model);
+
+  if (!as_json) {
+    std::cout << report.to_string();
+    return 0;
+  }
+  Json j;
+  j["board"] = Json(board.name);
+  j["app"] = Json(workload.name);
+  j["current_model"] = Json(std::string(comm::model_name(model)));
+  j["suggested_model"] =
+      Json(std::string(comm::model_name(report.recommendation.suggested)));
+  j["switch"] = Json(report.recommendation.switch_model);
+  j["use_overlap_pattern"] = Json(report.recommendation.use_overlap_pattern);
+  j["gpu_cache_usage_pct"] = Json(report.recommendation.usage.gpu_pct());
+  j["cpu_cache_usage_pct"] = Json(report.recommendation.usage.cpu_pct());
+  j["gpu_zone"] =
+      Json(std::string(core::zone_name(report.recommendation.gpu_zone)));
+  j["estimated_speedup"] = Json(report.recommendation.estimated_speedup);
+  j["max_speedup"] = Json(report.recommendation.max_speedup);
+  Json measured;
+  for (const auto m : core::kAllModels) {
+    const auto& run = report.measured[core::model_index(m)];
+    Json per_model;
+    per_model["total_us"] = Json(to_us(run.total));
+    per_model["cpu_us"] = Json(to_us(run.cpu_time));
+    per_model["kernel_us"] = Json(to_us(run.kernel_time));
+    per_model["copy_us"] = Json(to_us(run.copy_time));
+    per_model["energy_mj"] = Json(run.energy * 1e3);
+    measured[comm::model_name(m)] = std::move(per_model);
+  }
+  j["measured"] = std::move(measured);
+  std::cout << j.dump(2) << '\n';
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+int cmd_grid(const std::string& boards_csv, const std::string& apps_csv,
+             bool as_json, bool as_csv) {
+  core::ExperimentSpec spec;
+  spec.boards = split_csv(boards_csv);
+  spec.apps = split_csv(apps_csv);
+  const auto grid = core::run_grid(spec);
+  if (as_json) {
+    std::cout << grid.to_json().dump(2) << '\n';
+  } else if (as_csv) {
+    std::cout << grid.to_csv();
+  } else {
+    print_table(std::cout, grid.to_table());
+  }
+  return 0;
+}
+
+int cmd_pattern(const std::string& board_name, bool as_json) {
+  const auto board = soc::resolve_board(board_name);
+  soc::SoC soc(board);
+  core::PatternSimulator simulator(soc);
+  core::PatternSimConfig config;
+  config.tiling = core::make_tiling(board, /*phases=*/4);
+  const auto result = simulator.simulate(config);
+
+  if (as_json) {
+    Json j;
+    j["board"] = Json(board.name);
+    j["tiles"] = Json(static_cast<double>(config.tiling.tile_count()));
+    j["tile_elements"] =
+        Json(static_cast<double>(config.tiling.tile_elements));
+    j["phases"] = Json(static_cast<double>(config.tiling.phases));
+    j["total_us"] = Json(to_us(result.total));
+    j["overlap_fraction"] = Json(result.overlap_fraction);
+    j["skew_us"] = Json(to_us(result.skew_time));
+    j["barrier_us"] = Json(to_us(result.barrier_time));
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  Table table({"quantity", "value"});
+  table.add_row({"board", board.name});
+  table.add_row({"tiles",
+                 std::to_string(config.tiling.tile_count()) + " x " +
+                     std::to_string(config.tiling.tile_elements) +
+                     " elements"});
+  table.add_row({"phases", std::to_string(config.tiling.phases)});
+  table.add_row({"total", format_time(result.total)});
+  table.add_row({"CPU busy", format_time(result.cpu_busy)});
+  table.add_row({"GPU busy", format_time(result.gpu_busy)});
+  table.add_row(
+      {"overlap", Table::num(result.overlap_fraction * 100, 1) + " %"});
+  table.add_row({"skew", format_time(result.skew_time)});
+  table.add_row({"barriers", format_time(result.barrier_time)});
+  print_table(std::cout, table);
+  std::cout << result.timeline.render_gantt() << '\n';
+  return 0;
+}
+
+int cmd_sweep(const std::string& board_name) {
+  const auto board = soc::resolve_board(board_name);
+  soc::SoC soc(board);
+  comm::Executor executor(soc);
+  std::cout << "fraction,t_sc_us,t_zc_us,tput_sc_gbps,tput_zc_gbps\n";
+  for (const double fraction : workload::mb2_fractions()) {
+    const auto workload = workload::mb2_workload(board, fraction);
+    const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
+    const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
+    std::cout << fraction << ',' << to_us(sc.kernel_time_per_iter()) << ','
+              << to_us(zc.kernel_time_per_iter()) << ','
+              << to_GBps(sc.gpu_demand_throughput) << ','
+              << to_GBps(zc.gpu_demand_throughput) << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool as_json = false;
+  bool as_csv = false;
+  comm::CommModel model = comm::CommModel::StandardCopy;
+  std::vector<std::string> positional;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        as_json = true;
+      } else if (args[i] == "--csv") {
+        as_csv = true;
+      } else if (args[i] == "--model") {
+        if (++i >= args.size()) return usage();
+        model = parse_model(args[i]);
+      } else if (args[i] == "--help" || args[i] == "-h") {
+        usage();
+        return 0;
+      } else {
+        positional.push_back(args[i]);
+      }
+    }
+    if (positional.empty()) return usage();
+    const std::string& command = positional[0];
+
+    if (command == "boards") return cmd_boards();
+    if (command == "show" && positional.size() == 2) {
+      return cmd_show(positional[1]);
+    }
+    if (command == "export" && positional.size() == 3) {
+      return cmd_export(positional[1], positional[2]);
+    }
+    if (command == "characterize" && positional.size() == 2) {
+      return cmd_characterize(positional[1], as_json);
+    }
+    if (command == "tune" && positional.size() == 3) {
+      return cmd_tune(positional[1], positional[2], model, as_json);
+    }
+    if (command == "sweep" && positional.size() == 2) {
+      return cmd_sweep(positional[1]);
+    }
+    if (command == "pattern" && positional.size() == 2) {
+      return cmd_pattern(positional[1], as_json);
+    }
+    if (command == "grid" && positional.size() == 3) {
+      return cmd_grid(positional[1], positional[2], as_json, as_csv);
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "cigtool: " << error.what() << '\n';
+    return 1;
+  }
+}
