@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pattern.dir/ablation_pattern.cpp.o"
+  "CMakeFiles/ablation_pattern.dir/ablation_pattern.cpp.o.d"
+  "ablation_pattern"
+  "ablation_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

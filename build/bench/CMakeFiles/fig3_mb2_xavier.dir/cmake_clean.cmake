@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mb2_xavier.dir/fig3_mb2_xavier.cpp.o"
+  "CMakeFiles/fig3_mb2_xavier.dir/fig3_mb2_xavier.cpp.o.d"
+  "fig3_mb2_xavier"
+  "fig3_mb2_xavier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mb2_xavier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_mb2_xavier.
+# This may be replaced when dependencies are built.

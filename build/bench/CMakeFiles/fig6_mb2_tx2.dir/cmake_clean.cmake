@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mb2_tx2.dir/fig6_mb2_tx2.cpp.o"
+  "CMakeFiles/fig6_mb2_tx2.dir/fig6_mb2_tx2.cpp.o.d"
+  "fig6_mb2_tx2"
+  "fig6_mb2_tx2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mb2_tx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mb3_overlap.dir/fig7_mb3_overlap.cpp.o"
+  "CMakeFiles/fig7_mb3_overlap.dir/fig7_mb3_overlap.cpp.o.d"
+  "fig7_mb3_overlap"
+  "fig7_mb3_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mb3_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

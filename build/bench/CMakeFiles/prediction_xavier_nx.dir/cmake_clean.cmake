@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_xavier_nx.dir/prediction_xavier_nx.cpp.o"
+  "CMakeFiles/prediction_xavier_nx.dir/prediction_xavier_nx.cpp.o.d"
+  "prediction_xavier_nx"
+  "prediction_xavier_nx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_xavier_nx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

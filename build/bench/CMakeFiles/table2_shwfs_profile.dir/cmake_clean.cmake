@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_shwfs_profile.dir/table2_shwfs_profile.cpp.o"
+  "CMakeFiles/table2_shwfs_profile.dir/table2_shwfs_profile.cpp.o.d"
+  "table2_shwfs_profile"
+  "table2_shwfs_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_shwfs_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

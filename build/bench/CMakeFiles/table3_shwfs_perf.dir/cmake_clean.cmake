@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_shwfs_perf.dir/table3_shwfs_perf.cpp.o"
+  "CMakeFiles/table3_shwfs_perf.dir/table3_shwfs_perf.cpp.o.d"
+  "table3_shwfs_perf"
+  "table3_shwfs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_shwfs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_orbslam_profile.dir/table4_orbslam_profile.cpp.o"
+  "CMakeFiles/table4_orbslam_profile.dir/table4_orbslam_profile.cpp.o.d"
+  "table4_orbslam_profile"
+  "table4_orbslam_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_orbslam_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

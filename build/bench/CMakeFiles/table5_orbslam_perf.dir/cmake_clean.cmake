@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_orbslam_perf.dir/table5_orbslam_perf.cpp.o"
+  "CMakeFiles/table5_orbslam_perf.dir/table5_orbslam_perf.cpp.o.d"
+  "table5_orbslam_perf"
+  "table5_orbslam_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_orbslam_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_accuracy.dir/zoo_accuracy.cpp.o"
+  "CMakeFiles/zoo_accuracy.dir/zoo_accuracy.cpp.o.d"
+  "zoo_accuracy"
+  "zoo_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_board.dir/custom_board.cpp.o"
+  "CMakeFiles/custom_board.dir/custom_board.cpp.o.d"
+  "custom_board"
+  "custom_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbslam_tuning.dir/orbslam_tuning.cpp.o"
+  "CMakeFiles/orbslam_tuning.dir/orbslam_tuning.cpp.o.d"
+  "orbslam_tuning"
+  "orbslam_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbslam_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shwfs_tuning.dir/shwfs_tuning.cpp.o"
+  "CMakeFiles/shwfs_tuning.dir/shwfs_tuning.cpp.o.d"
+  "shwfs_tuning"
+  "shwfs_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shwfs_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

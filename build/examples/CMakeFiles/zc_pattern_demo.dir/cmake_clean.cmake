@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_pattern_demo.dir/zc_pattern_demo.cpp.o"
+  "CMakeFiles/zc_pattern_demo.dir/zc_pattern_demo.cpp.o.d"
+  "zc_pattern_demo"
+  "zc_pattern_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_pattern_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

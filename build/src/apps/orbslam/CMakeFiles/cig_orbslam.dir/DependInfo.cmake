@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/orbslam/distribute.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/distribute.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/distribute.cpp.o.d"
+  "/root/repo/src/apps/orbslam/fast.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/fast.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/fast.cpp.o.d"
+  "/root/repo/src/apps/orbslam/matcher.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/matcher.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/matcher.cpp.o.d"
+  "/root/repo/src/apps/orbslam/orb.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/orb.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/orb.cpp.o.d"
+  "/root/repo/src/apps/orbslam/pyramid.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/pyramid.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/pyramid.cpp.o.d"
+  "/root/repo/src/apps/orbslam/workload.cpp" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/workload.cpp.o" "gcc" "src/apps/orbslam/CMakeFiles/cig_orbslam.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/cig_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/cig_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cig_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

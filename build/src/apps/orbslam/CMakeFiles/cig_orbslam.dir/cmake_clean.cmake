@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_orbslam.dir/distribute.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/distribute.cpp.o.d"
+  "CMakeFiles/cig_orbslam.dir/fast.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/fast.cpp.o.d"
+  "CMakeFiles/cig_orbslam.dir/matcher.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/matcher.cpp.o.d"
+  "CMakeFiles/cig_orbslam.dir/orb.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/orb.cpp.o.d"
+  "CMakeFiles/cig_orbslam.dir/pyramid.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/pyramid.cpp.o.d"
+  "CMakeFiles/cig_orbslam.dir/workload.cpp.o"
+  "CMakeFiles/cig_orbslam.dir/workload.cpp.o.d"
+  "libcig_orbslam.a"
+  "libcig_orbslam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_orbslam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

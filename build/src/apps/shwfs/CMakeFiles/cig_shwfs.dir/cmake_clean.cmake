@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_shwfs.dir/centroid.cpp.o"
+  "CMakeFiles/cig_shwfs.dir/centroid.cpp.o.d"
+  "CMakeFiles/cig_shwfs.dir/image.cpp.o"
+  "CMakeFiles/cig_shwfs.dir/image.cpp.o.d"
+  "CMakeFiles/cig_shwfs.dir/reconstruct.cpp.o"
+  "CMakeFiles/cig_shwfs.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/cig_shwfs.dir/workload.cpp.o"
+  "CMakeFiles/cig_shwfs.dir/workload.cpp.o.d"
+  "libcig_shwfs.a"
+  "libcig_shwfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_shwfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

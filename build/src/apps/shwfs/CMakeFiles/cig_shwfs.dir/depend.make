@@ -1,0 +1,2 @@
+# Empty dependencies file for cig_shwfs.
+# This may be replaced when dependencies are built.

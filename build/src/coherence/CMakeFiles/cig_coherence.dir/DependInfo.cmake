@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/flush.cpp" "src/coherence/CMakeFiles/cig_coherence.dir/flush.cpp.o" "gcc" "src/coherence/CMakeFiles/cig_coherence.dir/flush.cpp.o.d"
+  "/root/repo/src/coherence/io_coherence.cpp" "src/coherence/CMakeFiles/cig_coherence.dir/io_coherence.cpp.o" "gcc" "src/coherence/CMakeFiles/cig_coherence.dir/io_coherence.cpp.o.d"
+  "/root/repo/src/coherence/page_migration.cpp" "src/coherence/CMakeFiles/cig_coherence.dir/page_migration.cpp.o" "gcc" "src/coherence/CMakeFiles/cig_coherence.dir/page_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cig_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_coherence.dir/flush.cpp.o"
+  "CMakeFiles/cig_coherence.dir/flush.cpp.o.d"
+  "CMakeFiles/cig_coherence.dir/io_coherence.cpp.o"
+  "CMakeFiles/cig_coherence.dir/io_coherence.cpp.o.d"
+  "CMakeFiles/cig_coherence.dir/page_migration.cpp.o"
+  "CMakeFiles/cig_coherence.dir/page_migration.cpp.o.d"
+  "libcig_coherence.a"
+  "libcig_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

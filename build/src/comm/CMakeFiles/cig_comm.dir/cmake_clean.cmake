@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_comm.dir/buffer.cpp.o"
+  "CMakeFiles/cig_comm.dir/buffer.cpp.o.d"
+  "CMakeFiles/cig_comm.dir/executor.cpp.o"
+  "CMakeFiles/cig_comm.dir/executor.cpp.o.d"
+  "libcig_comm.a"
+  "libcig_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

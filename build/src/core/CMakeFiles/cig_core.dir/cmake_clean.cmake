@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_core.dir/decision.cpp.o"
+  "CMakeFiles/cig_core.dir/decision.cpp.o.d"
+  "CMakeFiles/cig_core.dir/experiment.cpp.o"
+  "CMakeFiles/cig_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cig_core.dir/framework.cpp.o"
+  "CMakeFiles/cig_core.dir/framework.cpp.o.d"
+  "CMakeFiles/cig_core.dir/microbench.cpp.o"
+  "CMakeFiles/cig_core.dir/microbench.cpp.o.d"
+  "CMakeFiles/cig_core.dir/pattern_sim.cpp.o"
+  "CMakeFiles/cig_core.dir/pattern_sim.cpp.o.d"
+  "CMakeFiles/cig_core.dir/perfmodel.cpp.o"
+  "CMakeFiles/cig_core.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/cig_core.dir/thresholds.cpp.o"
+  "CMakeFiles/cig_core.dir/thresholds.cpp.o.d"
+  "CMakeFiles/cig_core.dir/zc_pattern.cpp.o"
+  "CMakeFiles/cig_core.dir/zc_pattern.cpp.o.d"
+  "libcig_core.a"
+  "libcig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

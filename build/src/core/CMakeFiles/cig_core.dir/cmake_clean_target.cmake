@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcig_core.a"
+)

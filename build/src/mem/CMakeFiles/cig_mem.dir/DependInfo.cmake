@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/analytic.cpp" "src/mem/CMakeFiles/cig_mem.dir/analytic.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/analytic.cpp.o.d"
+  "/root/repo/src/mem/bandwidth.cpp" "src/mem/CMakeFiles/cig_mem.dir/bandwidth.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/cig_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/geometry.cpp" "src/mem/CMakeFiles/cig_mem.dir/geometry.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/geometry.cpp.o.d"
+  "/root/repo/src/mem/hierarchy.cpp" "src/mem/CMakeFiles/cig_mem.dir/hierarchy.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/mem/CMakeFiles/cig_mem.dir/memory.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/memory.cpp.o.d"
+  "/root/repo/src/mem/stream.cpp" "src/mem/CMakeFiles/cig_mem.dir/stream.cpp.o" "gcc" "src/mem/CMakeFiles/cig_mem.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cig_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

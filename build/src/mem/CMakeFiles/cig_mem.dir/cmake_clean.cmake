@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_mem.dir/analytic.cpp.o"
+  "CMakeFiles/cig_mem.dir/analytic.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/bandwidth.cpp.o"
+  "CMakeFiles/cig_mem.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/cache.cpp.o"
+  "CMakeFiles/cig_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/geometry.cpp.o"
+  "CMakeFiles/cig_mem.dir/geometry.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/cig_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/memory.cpp.o"
+  "CMakeFiles/cig_mem.dir/memory.cpp.o.d"
+  "CMakeFiles/cig_mem.dir/stream.cpp.o"
+  "CMakeFiles/cig_mem.dir/stream.cpp.o.d"
+  "libcig_mem.a"
+  "libcig_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

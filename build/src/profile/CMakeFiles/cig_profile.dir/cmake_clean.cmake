@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_profile.dir/energy.cpp.o"
+  "CMakeFiles/cig_profile.dir/energy.cpp.o.d"
+  "CMakeFiles/cig_profile.dir/profiler.cpp.o"
+  "CMakeFiles/cig_profile.dir/profiler.cpp.o.d"
+  "CMakeFiles/cig_profile.dir/report.cpp.o"
+  "CMakeFiles/cig_profile.dir/report.cpp.o.d"
+  "libcig_profile.a"
+  "libcig_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

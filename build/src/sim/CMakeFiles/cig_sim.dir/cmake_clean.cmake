@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cig_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cig_sim.dir/stat_registry.cpp.o"
+  "CMakeFiles/cig_sim.dir/stat_registry.cpp.o.d"
+  "CMakeFiles/cig_sim.dir/timeline.cpp.o"
+  "CMakeFiles/cig_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/cig_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/cig_sim.dir/trace_export.cpp.o.d"
+  "libcig_sim.a"
+  "libcig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

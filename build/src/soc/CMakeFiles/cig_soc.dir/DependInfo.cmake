@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/board.cpp" "src/soc/CMakeFiles/cig_soc.dir/board.cpp.o" "gcc" "src/soc/CMakeFiles/cig_soc.dir/board.cpp.o.d"
+  "/root/repo/src/soc/board_io.cpp" "src/soc/CMakeFiles/cig_soc.dir/board_io.cpp.o" "gcc" "src/soc/CMakeFiles/cig_soc.dir/board_io.cpp.o.d"
+  "/root/repo/src/soc/presets.cpp" "src/soc/CMakeFiles/cig_soc.dir/presets.cpp.o" "gcc" "src/soc/CMakeFiles/cig_soc.dir/presets.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/cig_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/cig_soc.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/cig_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cig_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_soc.dir/board.cpp.o"
+  "CMakeFiles/cig_soc.dir/board.cpp.o.d"
+  "CMakeFiles/cig_soc.dir/board_io.cpp.o"
+  "CMakeFiles/cig_soc.dir/board_io.cpp.o.d"
+  "CMakeFiles/cig_soc.dir/presets.cpp.o"
+  "CMakeFiles/cig_soc.dir/presets.cpp.o.d"
+  "CMakeFiles/cig_soc.dir/soc.cpp.o"
+  "CMakeFiles/cig_soc.dir/soc.cpp.o.d"
+  "libcig_soc.a"
+  "libcig_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

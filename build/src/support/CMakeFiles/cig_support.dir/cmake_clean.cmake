@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_support.dir/csv.cpp.o"
+  "CMakeFiles/cig_support.dir/csv.cpp.o.d"
+  "CMakeFiles/cig_support.dir/json.cpp.o"
+  "CMakeFiles/cig_support.dir/json.cpp.o.d"
+  "CMakeFiles/cig_support.dir/log.cpp.o"
+  "CMakeFiles/cig_support.dir/log.cpp.o.d"
+  "CMakeFiles/cig_support.dir/stats.cpp.o"
+  "CMakeFiles/cig_support.dir/stats.cpp.o.d"
+  "CMakeFiles/cig_support.dir/table.cpp.o"
+  "CMakeFiles/cig_support.dir/table.cpp.o.d"
+  "libcig_support.a"
+  "libcig_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cig_workload.dir/builders.cpp.o"
+  "CMakeFiles/cig_workload.dir/builders.cpp.o.d"
+  "CMakeFiles/cig_workload.dir/functional.cpp.o"
+  "CMakeFiles/cig_workload.dir/functional.cpp.o.d"
+  "CMakeFiles/cig_workload.dir/task.cpp.o"
+  "CMakeFiles/cig_workload.dir/task.cpp.o.d"
+  "CMakeFiles/cig_workload.dir/trace.cpp.o"
+  "CMakeFiles/cig_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/cig_workload.dir/zoo.cpp.o"
+  "CMakeFiles/cig_workload.dir/zoo.cpp.o.d"
+  "libcig_workload.a"
+  "libcig_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cig_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth.dir/test_bandwidth.cpp.o"
+  "CMakeFiles/test_bandwidth.dir/test_bandwidth.cpp.o.d"
+  "test_bandwidth"
+  "test_bandwidth.pdb"
+  "test_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

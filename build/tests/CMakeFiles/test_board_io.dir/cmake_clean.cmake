@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board_io.dir/test_board_io.cpp.o"
+  "CMakeFiles/test_board_io.dir/test_board_io.cpp.o.d"
+  "test_board_io"
+  "test_board_io.pdb"
+  "test_board_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

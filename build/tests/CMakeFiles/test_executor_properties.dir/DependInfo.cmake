@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_executor_properties.cpp" "tests/CMakeFiles/test_executor_properties.dir/test_executor_properties.cpp.o" "gcc" "tests/CMakeFiles/test_executor_properties.dir/test_executor_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cig_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cig_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/shwfs/CMakeFiles/cig_shwfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/orbslam/CMakeFiles/cig_orbslam.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/cig_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/cig_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cig_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

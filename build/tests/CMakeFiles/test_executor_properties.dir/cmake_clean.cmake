@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_properties.dir/test_executor_properties.cpp.o"
+  "CMakeFiles/test_executor_properties.dir/test_executor_properties.cpp.o.d"
+  "test_executor_properties"
+  "test_executor_properties.pdb"
+  "test_executor_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

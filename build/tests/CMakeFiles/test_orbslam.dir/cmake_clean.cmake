@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbslam.dir/test_orbslam.cpp.o"
+  "CMakeFiles/test_orbslam.dir/test_orbslam.cpp.o.d"
+  "test_orbslam"
+  "test_orbslam.pdb"
+  "test_orbslam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbslam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

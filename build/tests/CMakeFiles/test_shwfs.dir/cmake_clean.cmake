@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shwfs.dir/test_shwfs.cpp.o"
+  "CMakeFiles/test_shwfs.dir/test_shwfs.cpp.o.d"
+  "test_shwfs"
+  "test_shwfs.pdb"
+  "test_shwfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shwfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

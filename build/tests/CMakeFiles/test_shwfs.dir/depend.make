@@ -1,0 +1,2 @@
+# Empty dependencies file for test_shwfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zc_pattern.dir/test_zc_pattern.cpp.o"
+  "CMakeFiles/test_zc_pattern.dir/test_zc_pattern.cpp.o.d"
+  "test_zc_pattern"
+  "test_zc_pattern.pdb"
+  "test_zc_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zc_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_thresholds[1]_include.cmake")
+include("/root/repo/build/tests/test_microbench[1]_include.cmake")
+include("/root/repo/build/tests/test_decision[1]_include.cmake")
+include("/root/repo/build/tests/test_zc_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_shwfs[1]_include.cmake")
+include("/root/repo/build/tests/test_orbslam[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_board_io[1]_include.cmake")
+include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_executor_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_zoo[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cigtool.dir/cigtool.cpp.o"
+  "CMakeFiles/cigtool.dir/cigtool.cpp.o.d"
+  "cigtool"
+  "cigtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cigtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
