@@ -6,11 +6,23 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "support/table.h"
 #include "support/units.h"
+#include "workload/builders.h"
 
 namespace cig::bench {
+
+// Bench-standard phasic trace: the alternating cache-light/cache-heavy
+// sequence the adaptive-runtime evaluation replays. Shared by
+// runtime_adaptive and ablation_pattern so both report on the same
+// workload (and it matches `cigtool runtime --trace phasic`).
+inline std::vector<cig::workload::PhasicPhase> phasic_trace(
+    const cig::soc::BoardConfig& board) {
+  return cig::workload::phasic_workload_phases(board,
+                                               cig::workload::PhasicConfig{});
+}
 
 inline std::string us(cig::Seconds t, int precision = 2) {
   return cig::Table::num(cig::to_us(t), precision);

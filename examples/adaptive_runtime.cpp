@@ -1,0 +1,62 @@
+// Adaptive runtime demo: a phasic workload (alternating cache-light and
+// cache-heavy phases) streamed through the online controller. The controller
+// starts on standard copy, detects the phase changes from the windowed
+// eqn-1/2 metrics, and switches the communication model mid-run — then the
+// adaptive run is compared against every static model and the per-phase
+// oracle.
+//
+//   $ ./adaptive_runtime
+#include <cstdio>
+#include <iostream>
+
+#include "core/framework.h"
+#include "runtime/replay.h"
+#include "soc/presets.h"
+
+int main() {
+  using namespace cig;
+
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases = workload::phasic_workload_phases(framework.board());
+
+  std::cout << "phasic trace on " << framework.board().name << ":\n";
+  for (const auto& phase : phases) {
+    std::printf("  %-5s x%u samples (kernel %s)\n",
+                phase.cache_heavy ? "heavy" : "light", phase.samples,
+                phase.workload.gpu.name.c_str());
+  }
+
+  runtime::ReplayOptions options;
+  const auto result = runtime::replay_phasic(framework, phases, options);
+  const auto ref = runtime::compare_static(framework, phases, options.exec);
+
+  std::cout << '\n' << result.metrics.to_string() << '\n';
+
+  std::cout << "switch log:\n";
+  for (const auto& s : result.samples) {
+    if (!s.decision.switched && !s.decision.vetoed_by_cost) continue;
+    std::printf("  t=%8.1f us  phase %u (%s)  %s %s->%s  pred %.2fx\n",
+                s.time * 1e6, s.phase, s.cache_heavy ? "heavy" : "light",
+                s.decision.switched ? "switch" : "veto  ",
+                comm::model_name(s.decision.model_before),
+                comm::model_name(s.decision.switched
+                                     ? s.decision.model_after
+                                     : s.decision.model_before),
+                s.decision.predicted_speedup);
+  }
+
+  std::printf("\nadaptive  %10.1f us\n", result.adaptive_time * 1e6);
+  std::printf("oracle    %10.1f us  (per-phase best static)\n",
+              ref.oracle_time * 1e6);
+  for (const comm::CommModel m : core::kAllModels) {
+    std::printf("static %s %10.1f us%s\n", comm::model_name(m),
+                ref.static_time[core::model_index(m)] * 1e6,
+                m == ref.best_static ? "  (best static)"
+                : m == ref.worst_static ? "  (worst static)" : "");
+  }
+  std::printf("adaptive/oracle = %.3f, adaptive/worst-static = %.3f\n",
+              result.adaptive_time / ref.oracle_time,
+              result.adaptive_time /
+                  ref.static_time[core::model_index(ref.worst_static)]);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "comm/executor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "mem/bandwidth.h"
 #include "mem/stream.h"
@@ -222,8 +223,13 @@ Executor::TaskRun Executor::run_gpu_kernel(const workload::GpuKernelSpec& kernel
 }
 
 RunResult Executor::run(const workload::Workload& workload, CommModel model) {
-  workload.validate();
   soc_.reset();
+  return run_session(workload, model, options_.warmup_iterations);
+}
+
+RunResult Executor::run_session(const workload::Workload& workload,
+                                CommModel model, std::uint32_t warmup) {
+  workload.validate();
   const auto& board = soc_.config();
   auto& flush = soc_.flush_engine();
 
@@ -391,7 +397,7 @@ RunResult Executor::run(const workload::Workload& workload, CommModel model) {
     }
   };
 
-  for (std::uint32_t i = 0; i < options_.warmup_iterations; ++i) {
+  for (std::uint32_t i = 0; i < warmup; ++i) {
     iteration(false);
   }
   soc_.cpu_l1().reset_stats();
@@ -454,6 +460,96 @@ RunResult Executor::run(const workload::Workload& workload, CommModel model) {
           : 0;
   CIG_ENSURES(result.timeline.lanes_consistent());
   return result;
+}
+
+namespace {
+
+// Allocation-side cost of moving a live buffer to the target model's space:
+// free + alloc driver calls, one memcpy of the contents, and — for pinned
+// (ZC) targets — the page-locking walk, which drivers batch like UM faults.
+Seconds realloc_cost(const soc::BoardConfig& board, CommModel to,
+                     Bytes bytes) {
+  Seconds time = 2 * board.copy.per_call_overhead;
+  time += static_cast<double>(bytes) / board.copy.bandwidth;
+  if (to == CommModel::ZeroCopy) {
+    const double pages = std::ceil(static_cast<double>(bytes) /
+                                   static_cast<double>(board.um.page_size));
+    time += pages / board.um.batch_pages * board.um.fault_latency;
+  }
+  return time;
+}
+
+}  // namespace
+
+Executor::SwitchCost Executor::estimate_switch_cost(CommModel from,
+                                                    CommModel to,
+                                                    Bytes shared_bytes) const {
+  SwitchCost cost;
+  if (from == to) return cost;
+  const auto& board = soc_.config();
+  cost.bytes_moved = shared_bytes;
+  cost.realloc_time = realloc_cost(board, to, shared_bytes);
+
+  // Leaving a cached model: dirty shared lines must drain before the remap.
+  // Worst case, the range is dirty up to the LLC capacity on each side that
+  // loses its cache under the target model.
+  const auto from_enables = enables_for_shared(from, board.capability);
+  const auto to_enables = enables_for_shared(to, board.capability);
+  const coherence::FlushEngine flush(board.flush);
+  auto drained = [&](const soc::CacheLevelConfig& llc) {
+    const std::uint64_t lines =
+        std::min<Bytes>(shared_bytes, llc.geometry.capacity) /
+        llc.geometry.line;
+    return flush.cost_for(lines, llc.geometry.line);
+  };
+  if (from_enables.cpu_llc && !to_enables.cpu_llc) {
+    cost.coherence_time += drained(board.cpu.llc);
+  }
+  if (from_enables.gpu_llc && !to_enables.gpu_llc) {
+    cost.coherence_time += drained(board.gpu.llc);
+  }
+  // Re-entering a cached model still pays the maintenance-op overhead for
+  // the remap barrier even though the (previously uncached) range is clean.
+  if (cost.coherence_time == 0) {
+    cost.coherence_time = flush.costs().op_overhead;
+  }
+  return cost;
+}
+
+Executor::SwitchCost Executor::apply_model_switch(CommModel from, CommModel to,
+                                                  std::uint64_t shared_base,
+                                                  Bytes shared_bytes) {
+  SwitchCost cost;
+  if (from == to) return cost;
+  const auto& board = soc_.config();
+  auto& flush = soc_.flush_engine();
+  cost.bytes_moved = shared_bytes;
+  cost.realloc_time = realloc_cost(board, to, shared_bytes);
+
+  const auto from_enables = enables_for_shared(from, board.capability);
+  const auto to_enables = enables_for_shared(to, board.capability);
+  if (from_enables.cpu_llc && !to_enables.cpu_llc) {
+    const auto l1 = flush.invalidate_range(soc_.cpu_l1(), shared_base,
+                                           shared_bytes);
+    const auto llc = flush.invalidate_range(soc_.cpu_llc(), shared_base,
+                                            shared_bytes);
+    cost.coherence_time += l1.time + llc.time;
+  }
+  if (from_enables.gpu_llc && !to_enables.gpu_llc) {
+    const auto l1 = flush.invalidate_range(soc_.gpu_l1(), shared_base,
+                                           shared_bytes);
+    const auto llc = flush.invalidate_range(soc_.gpu_llc(), shared_base,
+                                            shared_bytes);
+    cost.coherence_time += l1.time + llc.time;
+  }
+  if (cost.coherence_time == 0) {
+    cost.coherence_time = flush.costs().op_overhead;
+  }
+  if (to == CommModel::UnifiedMemory) {
+    // Fresh managed allocation: all pages host-owned again.
+    soc_.um_engine().reset();
+  }
+  return cost;
 }
 
 }  // namespace cig::comm

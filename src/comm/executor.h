@@ -43,7 +43,39 @@ class Executor {
   // Runs warmup + measured iterations from a pristine SoC state.
   RunResult run(const workload::Workload& workload, CommModel model);
 
+  // Continues from the *current* SoC state — no reset, `warmup` unmeasured
+  // iterations. The adaptive runtime (src/runtime) uses this to execute one
+  // phase of a longer run under the currently selected model, so cache and
+  // page-ownership state carries across phases and model switches.
+  RunResult run_session(const workload::Workload& workload, CommModel model,
+                        std::uint32_t warmup = 0);
+
+  // --- mid-run model-switch support -----------------------------------------
+  // Re-pointing a live application's shared buffers at a different
+  // communication model costs real time: the contents move between
+  // pageable/managed and pinned allocations, and dirty cache lines must
+  // reach DRAM before the mapping changes.
+  struct SwitchCost {
+    Seconds realloc_time = 0;    // free + alloc + memcpy into the new space
+    Seconds coherence_time = 0;  // cache maintenance around the remap
+    Bytes bytes_moved = 0;       // buffer contents copied
+    Seconds total() const { return realloc_time + coherence_time; }
+  };
+
+  // Deterministic planning estimate (no SoC mutation): assumes the shared
+  // range is LLC-resident and dirty up to the cache capacity — the worst
+  // case the switch planner must amortize against the predicted gain.
+  SwitchCost estimate_switch_cost(CommModel from, CommModel to,
+                                  Bytes shared_bytes) const;
+
+  // Performs the switch on the simulated SoC: ranged clean/invalidate of
+  // the shared buffer through the flush engine, page-ownership reset when
+  // entering UM, and the re-allocation bill. Returns the realized cost.
+  SwitchCost apply_model_switch(CommModel from, CommModel to,
+                                std::uint64_t shared_base, Bytes shared_bytes);
+
   const ExecOptions& options() const { return options_; }
+  const soc::BoardConfig& board() const { return soc_.config(); }
 
   // `emit` feeds an access stream (a PatternSpec walk or a recorded trace
   // replay) into the provided sink.

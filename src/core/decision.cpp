@@ -41,30 +41,52 @@ SpeedupInputs DecisionEngine::inputs_from(
                        .gpu_time = profile.kernel_time};
 }
 
-Recommendation DecisionEngine::recommend(
+CacheUsage DecisionEngine::usage_from(
     const profile::ProfileReport& profile) const {
-  Recommendation rec;
-  rec.current = profile.model;
-  rec.suggested = profile.model;
   // Eqn 2 normalises the kernel's LL demand by the *measured* peak of the
   // model the profile was taken under: a ZC-implemented app runs against
   // the uncached-path throughput, an SC/UM app against the cached one.
   const BytesPerSecond peak =
       device_.mb1.gpu_ll_throughput[model_index(profile.model)];
-  rec.usage = cache_usage(profile, peak);
-  rec.gpu_zone = device_.mb2.gpu.classify(rec.usage.gpu_pct());
-  if (rec.gpu_zone == Zone::Grey &&
+  return cache_usage(profile, peak);
+}
+
+Zone DecisionEngine::classify_gpu(double usage_pct) const {
+  Zone zone = device_.mb2.gpu.classify(usage_pct);
+  if (zone == Zone::Grey &&
       device_.capability == coherence::Capability::SwFlush) {
     // The grey zone only exists on I/O-coherent devices (the paper defines
     // it on Xavier); without HW coherence any usage above the threshold
     // means the bypassed caches dominate.
-    rec.gpu_zone = Zone::CacheBound;
+    zone = Zone::CacheBound;
   }
-  rec.cpu_over_threshold =
-      rec.usage.cpu_pct() > device_.cpu_threshold_pct();
+  return zone;
+}
 
-  const bool on_zero_copy = profile.model == comm::CommModel::ZeroCopy;
-  const SpeedupInputs inputs = inputs_from(profile);
+Recommendation DecisionEngine::recommend(
+    const profile::ProfileReport& profile) const {
+  return recommend_for(usage_from(profile), profile.model,
+                       inputs_from(profile));
+}
+
+Recommendation DecisionEngine::recommend_for(
+    const CacheUsage& usage, comm::CommModel current,
+    const SpeedupInputs& inputs) const {
+  return recommend_for(usage, classify_gpu(usage.gpu_pct()),
+                       cpu_over_threshold(usage.cpu_pct()), current, inputs);
+}
+
+Recommendation DecisionEngine::recommend_for(
+    const CacheUsage& usage, Zone gpu_zone, bool cpu_over,
+    comm::CommModel current, const SpeedupInputs& inputs) const {
+  Recommendation rec;
+  rec.current = current;
+  rec.suggested = current;
+  rec.usage = usage;
+  rec.gpu_zone = gpu_zone;
+  rec.cpu_over_threshold = cpu_over;
+
+  const bool on_zero_copy = current == comm::CommModel::ZeroCopy;
 
   switch (rec.gpu_zone) {
     case Zone::CacheBound: {

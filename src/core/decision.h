@@ -44,10 +44,37 @@ class DecisionEngine {
   // same report's times via `inputs_from`.
   Recommendation recommend(const profile::ProfileReport& profile) const;
 
+  // --- incremental entry points (used by the src/runtime controller) -------
+  // The online controller maintains windowed cache-usage statistics itself
+  // and re-runs only the decision flow, skipping the eqn-1/2 evaluation.
+  Recommendation recommend_for(const CacheUsage& usage,
+                               comm::CommModel current,
+                               const SpeedupInputs& inputs) const;
+
+  // Same flow with the caller supplying the classification — the runtime
+  // controller passes its hysteresis-debounced zone and CPU-threshold state
+  // here so a boundary-straddling metric cannot flap the recommendation.
+  Recommendation recommend_for(const CacheUsage& usage, Zone gpu_zone,
+                               bool cpu_over, comm::CommModel current,
+                               const SpeedupInputs& inputs) const;
+
+  // Zone classification for a GPU cache usage in percent, with the
+  // SwFlush grey-zone collapse applied (the grey zone only exists on
+  // I/O-coherent devices).
+  Zone classify_gpu(double usage_pct) const;
+
+  bool cpu_over_threshold(double usage_pct) const {
+    return usage_pct > device_.cpu_threshold_pct();
+  }
+
   const DeviceCharacterization& device() const { return device_; }
 
   // Helper: eqn-3/4 inputs from a profile report.
   static SpeedupInputs inputs_from(const profile::ProfileReport& profile);
+
+  // Helper: eqn-1/2 cache usage from a profile report, normalised by the
+  // MB1 peak of the model the profile was taken under.
+  CacheUsage usage_from(const profile::ProfileReport& profile) const;
 
  private:
   DeviceCharacterization device_;

@@ -14,7 +14,18 @@ ProfileReport Profiler::profile(const workload::Workload& workload,
 ProfileReport Profiler::profile(const workload::Workload& workload,
                                 comm::CommModel model, comm::RunResult& raw) {
   raw = executor_.run(workload, model);
+  return report_from(workload, model, raw);
+}
 
+ProfileReport Profiler::sample(const workload::Workload& workload,
+                               comm::CommModel model, comm::RunResult& raw) {
+  raw = executor_.run_session(workload, model, /*warmup=*/0);
+  return report_from(workload, model, raw);
+}
+
+ProfileReport Profiler::report_from(const workload::Workload& workload,
+                                    comm::CommModel model,
+                                    const comm::RunResult& raw) const {
   ProfileReport report;
   report.workload = workload.name;
   report.board = soc_.config().name;

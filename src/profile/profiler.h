@@ -19,6 +19,19 @@ class Profiler {
   ProfileReport profile(const workload::Workload& workload,
                         comm::CommModel model, comm::RunResult& raw);
 
+  // Per-phase sampling for the online runtime (src/runtime): continues from
+  // the *current* SoC state — no reset, no warmup — so consecutive samples
+  // form a stream the controller's sliding window can ingest.
+  ProfileReport sample(const workload::Workload& workload,
+                       comm::CommModel model, comm::RunResult& raw);
+
+  // Builds the report fields from an already-executed run.
+  ProfileReport report_from(const workload::Workload& workload,
+                            comm::CommModel model,
+                            const comm::RunResult& raw) const;
+
+  comm::Executor& executor() { return executor_; }
+
  private:
   soc::SoC& soc_;
   comm::Executor executor_;

@@ -1,0 +1,201 @@
+#include "runtime/controller.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace cig::runtime {
+
+namespace {
+
+std::string switch_label(comm::CommModel from, comm::CommModel to,
+                         double predicted) {
+  std::ostringstream out;
+  out << "switch " << comm::model_name(from) << "->" << comm::model_name(to);
+  out.precision(3);
+  out << " (pred " << predicted << "x)";
+  return out.str();
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(const core::DecisionEngine& engine,
+                                       comm::Executor& executor,
+                                       ControllerConfig config)
+    : engine_(engine),
+      executor_(executor),
+      estimator_(engine.device(), executor.board()),
+      config_(config),
+      model_(config.initial_model),
+      window_(config.window),
+      zone_tracker_(engine.device().gpu_threshold_pct(),
+                    engine.device().gpu_zone2_end_pct(),
+                    engine.device().capability ==
+                        coherence::Capability::HwIoCoherent,
+                    config.hysteresis),
+      cpu_band_(engine.device().cpu_threshold_pct(), config.hysteresis) {
+  CIG_EXPECTS(config_.amortization_horizon_iters > 0);
+  CIG_EXPECTS(config_.min_samples >= 1);
+  CIG_EXPECTS(config_.zc_saturation_pct > 0);
+  arm_tracker();
+}
+
+void AdaptiveController::arm_tracker() {
+  if (model_ == comm::CommModel::ZeroCopy) {
+    // Under ZC the eqn-2 metric is normalised by the ZC path's own peak, so
+    // the MB2 threshold (derived on the SC scale) does not apply; the zone
+    // boundary is saturation of that path.
+    zone_tracker_.rearm(config_.zc_saturation_pct, config_.zc_saturation_pct,
+                        /*grey_exists=*/false);
+  } else {
+    zone_tracker_.rearm(engine_.device().gpu_threshold_pct(),
+                        engine_.device().gpu_zone2_end_pct(),
+                        engine_.device().capability ==
+                            coherence::Capability::HwIoCoherent);
+  }
+  cpu_band_.rearm(engine_.device().cpu_threshold_pct());
+}
+
+ControlDecision AdaptiveController::on_sample(
+    const profile::ProfileReport& sample, std::uint64_t shared_base,
+    Bytes shared_bytes) {
+  ControlDecision decision;
+  decision.model_before = model_;
+  decision.model_after = model_;
+
+  // Advance observed time and the per-model ledger by the sampled phase.
+  const Seconds phase_time =
+      sample.total_time * static_cast<double>(sample.iterations);
+  metrics_.samples += 1;
+  metrics_.time_in_model[core::model_index(model_)] += phase_time;
+  now_ += phase_time;
+
+  // Verify the previous switch against the first sample taken after it.
+  if (verify_pending_) {
+    verify_pending_ = false;
+    if (sample.total_time > 0 && pre_switch_iter_time_ > 0) {
+      const double realized = pre_switch_iter_time_ / sample.total_time;
+      metrics_.realized_speedup_product *= realized;
+      metrics_.predicted_speedup_product *= pending_predicted_;
+      if (realized < 1.0) metrics_.mispredicted_switches += 1;
+    }
+  }
+
+  window_.add(sample);
+  if (window_.size() < config_.min_samples) return decision;
+
+  // Incremental decision flow over the smoothed counters, with the zone
+  // classification debounced through the hysteresis bands.
+  profile::ProfileReport smoothed = window_.smoothed();
+  smoothed.model = model_;
+  const core::CacheUsage usage = engine_.usage_from(smoothed);
+  const core::Zone zone = zone_tracker_.update(usage.gpu_pct());
+  const bool cpu_over = cpu_band_.update(usage.cpu_pct());
+  if (zone_tracker_.changed()) {
+    metrics_.phase_changes += 1;
+    timeline_.mark(sim::Lane::Ctrl, now_,
+                   std::string("zone -> ") + core::zone_name(zone));
+  }
+
+  const auto rec = engine_.recommend_for(
+      usage, zone, cpu_over, model_, core::DecisionEngine::inputs_from(smoothed));
+  decision.evaluated = true;
+  decision.zone = zone;
+  decision.offline_speedup = rec.estimated_speedup;
+  decision.rationale = rec.rationale;
+  metrics_.decisions += 1;
+
+  // Candidate targets. The offline flow's suggestion leads when it wants a
+  // switch ("switch to SC (or UM)" expands to both cached models). When the
+  // flow keeps the current model, the roofline estimator still gets to
+  // re-examine what the offline framework cannot price: ZC in zone 1 when
+  // the MB3 cap (a memory-heavy worst case) kills eqn 3, and the cached
+  // sibling (copy engine vs page migration) in the cache-bound zone.
+  comm::CommModel candidates[2];
+  std::size_t num_candidates = 0;
+  const bool on_zc = model_ == comm::CommModel::ZeroCopy;
+  if (rec.switch_model) {
+    candidates[num_candidates++] = rec.suggested;
+    if (rec.suggested == comm::CommModel::StandardCopy) {
+      candidates[num_candidates++] = comm::CommModel::UnifiedMemory;
+    }
+  } else if (zone == core::Zone::Comparable && !cpu_over && !on_zc) {
+    candidates[num_candidates++] = comm::CommModel::ZeroCopy;
+  } else if (zone == core::Zone::CacheBound && !on_zc) {
+    candidates[num_candidates++] =
+        model_ == comm::CommModel::StandardCopy
+            ? comm::CommModel::UnifiedMemory
+            : comm::CommModel::StandardCopy;
+  }
+  if (num_candidates == 0) return decision;
+
+  RefinedEstimate refined;
+  comm::CommModel candidate = model_;
+  for (std::size_t i = 0; i < num_candidates; ++i) {
+    const auto est = estimator_.refine(smoothed, candidates[i], shared_bytes);
+    if (candidate == model_ || est.speedup > refined.speedup) {
+      refined = est;
+      candidate = candidates[i];
+    }
+  }
+  decision.predicted_speedup = refined.speedup;
+  if (refined.speedup <= 1.0) {
+    if (rec.switch_model) {
+      // The offline flow wanted this switch; the online refinement says it
+      // would not pay at the current operating point.
+      decision.wanted_switch = true;
+      metrics_.vetoed_by_estimate += 1;
+    }
+    return decision;
+  }
+  decision.wanted_switch = true;
+
+  // Switch planner: the predicted per-iteration gain over the amortization
+  // horizon must cover the modelled re-allocation + coherence cost.
+  const auto estimate =
+      executor_.estimate_switch_cost(model_, candidate, shared_bytes);
+  const Seconds gain_per_iter =
+      smoothed.total_time * (1.0 - 1.0 / refined.speedup);
+  decision.predicted_gain =
+      gain_per_iter * config_.amortization_horizon_iters;
+  if (decision.predicted_gain < estimate.total()) {
+    decision.vetoed_by_cost = true;
+    decision.switch_cost = estimate.total();
+    metrics_.vetoed_by_cost += 1;
+    timeline_.mark(sim::Lane::Ctrl, now_,
+                   std::string("veto ") + comm::model_name(model_) + "->" +
+                       comm::model_name(candidate) + " (cost)");
+    return decision;
+  }
+
+  // Commit: perform the switch on the live SoC and bill its cost.
+  const auto realized =
+      executor_.apply_model_switch(model_, candidate, shared_base,
+                                   shared_bytes);
+  timeline_.add(sim::Lane::Ctrl, now_, now_ + realized.total(),
+                switch_label(model_, candidate, refined.speedup));
+  now_ += realized.total();
+  metrics_.switches += 1;
+  metrics_.switch_overhead += realized.total();
+
+  decision.switched = true;
+  decision.switch_cost = realized.total();
+  decision.model_after = candidate;
+
+  verify_pending_ = true;
+  // Verify against the newest raw sample, not the smoothed aggregate: the
+  // window may still mix the previous phase in, and the switch responds to
+  // the *new* phase.
+  pre_switch_iter_time_ = window_.latest().total_time;
+  pending_predicted_ = refined.speedup;
+
+  model_ = candidate;
+  // Samples taken under the old model are no longer comparable: the eqn-2
+  // normalisation peak changes with the model, so restart the statistics
+  // and re-target the zone boundaries for the new model.
+  window_.clear();
+  arm_tracker();
+  return decision;
+}
+
+}  // namespace cig::runtime

@@ -1,0 +1,116 @@
+// Online adaptive communication-model controller: wraps the paper's
+// offline decision framework (Fig. 2) in a closed control loop.
+//
+//   sample --> StreamingProfile (window/EWMA of eqn-1/2 counters)
+//          --> HysteresisZoneTracker (debounced threshold/zone crossings)
+//          --> DecisionEngine::recommend_for (incremental Fig. 2 flow)
+//          --> switch planner (commit only if the predicted gain amortizes
+//              the modelled switch cost within a configurable horizon)
+//          --> Executor::apply_model_switch + RuntimeMetrics + trace marks
+//
+// The loop converts the one-shot "profile once, pick a model forever"
+// framework into a runtime that chases phasic workloads (tracking vs
+// relocalization in ORB-SLAM, spot-density swings in SH-WFS) while the
+// hysteresis margins and the switch-cost veto keep it from flapping at the
+// zone boundaries.
+#pragma once
+
+#include <string>
+
+#include "comm/executor.h"
+#include "core/decision.h"
+#include "runtime/estimator.h"
+#include "runtime/hysteresis.h"
+#include "runtime/metrics.h"
+#include "runtime/window.h"
+#include "sim/timeline.h"
+
+namespace cig::runtime {
+
+struct ControllerConfig {
+  WindowConfig window;
+  HysteresisConfig hysteresis;
+  // A switch is committed only when the predicted per-iteration gain,
+  // summed over this many upcoming iterations, covers the modelled switch
+  // cost. Small horizon = conservative controller.
+  double amortization_horizon_iters = 64;
+  // Samples required in the window before the decision flow runs.
+  std::size_t min_samples = 1;
+  comm::CommModel initial_model = comm::CommModel::StandardCopy;
+  // Zone boundary while *running* ZC, as percent saturation of the ZC path
+  // (the eqn-2 normaliser under ZC is that path's tiny peak, so the MB2
+  // threshold — an SC-scale number — does not apply; what matters is
+  // whether the uncached/snoop path is saturated enough to throttle the
+  // kernel).
+  double zc_saturation_pct = 60.0;
+};
+
+// What the controller decided after ingesting one sample.
+struct ControlDecision {
+  comm::CommModel model_before = comm::CommModel::StandardCopy;
+  comm::CommModel model_after = comm::CommModel::StandardCopy;
+  bool evaluated = false;       // decision flow ran (enough samples)
+  bool wanted_switch = false;   // Fig. 2 flow suggested switching
+  bool switched = false;        // switch committed
+  bool vetoed_by_cost = false;  // wanted, but the gain does not amortize
+  core::Zone zone = core::Zone::Comparable;
+  double predicted_speedup = 1.0;  // refined (roofline) estimate
+  double offline_speedup = 1.0;    // what the capped offline flow predicted
+  Seconds switch_cost = 0;      // realized when switched, estimate when vetoed
+  Seconds predicted_gain = 0;   // over the amortization horizon
+  std::string rationale;
+};
+
+class AdaptiveController {
+ public:
+  // `engine` supplies the board characterization and the decision flow;
+  // `executor` executes switches against the live simulated SoC. Both are
+  // borrowed and must outlive the controller.
+  AdaptiveController(const core::DecisionEngine& engine,
+                     comm::Executor& executor, ControllerConfig config = {});
+
+  comm::CommModel model() const { return model_; }
+
+  // Ingests one per-phase profile sample taken under model() and runs the
+  // control loop. `shared_base`/`shared_bytes` describe the application's
+  // shared buffer (what a switch would re-allocate).
+  ControlDecision on_sample(const profile::ProfileReport& sample,
+                            std::uint64_t shared_base, Bytes shared_bytes);
+
+  // Cumulative observed time: sample time plus realized switch overhead.
+  // Drivers use this as the offset when assembling a merged timeline.
+  Seconds now() const { return now_; }
+
+  const RuntimeMetrics& metrics() const { return metrics_; }
+
+  // Controller-lane annotations (switches as segments, vetoes and phase
+  // changes as instant marks) for merging into an exported trace.
+  const sim::Timeline& timeline() const { return timeline_; }
+
+  const StreamingProfile& window() const { return window_; }
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  // Re-targets the zone tracker for the current model's boundary set.
+  void arm_tracker();
+
+  const core::DecisionEngine& engine_;
+  comm::Executor& executor_;
+  SwitchEstimator estimator_;
+  ControllerConfig config_;
+  comm::CommModel model_;
+  StreamingProfile window_;
+  HysteresisZoneTracker zone_tracker_;
+  HysteresisBand cpu_band_;
+  RuntimeMetrics metrics_;
+  sim::Timeline timeline_;
+  Seconds now_ = 0;
+
+  // Pending prediction verification: per-iteration time before the last
+  // switch, compared against the first sample taken after it.
+  bool verify_pending_ = false;
+  Seconds pre_switch_iter_time_ = 0;
+  double pending_predicted_ = 1.0;
+};
+
+}  // namespace cig::runtime

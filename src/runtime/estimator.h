@@ -1,0 +1,59 @@
+// Online refinement of the eqn-3/4 speedup estimators.
+//
+// The offline flow caps eqn 3 with SC/ZC_Max_speedup from MB3 — a bound
+// measured on a *memory-heavy* workload. On SwFlush boards that bound is
+// below 1 (ZC loses MB3 outright), which makes the offline flow reject
+// SC->ZC for every application, including compute-bound phases whose
+// kernels never touch the slow pinned path. The runtime has something the
+// offline flow does not: live counters. From the windowed profile it knows
+// the kernel's element-granular demand, so it can price the *same kernel*
+// on the target model's memory path (roofline style) instead of applying a
+// worst-case device constant:
+//
+//   SC->ZC: zc_kernel = max(kernel_time, demand_bytes / ZC_LL_peak)
+//           (ZC never speeds the kernel up; the uncached path bounds it)
+//   ZC->SC: sc_kernel = demand_bytes / SC_LL_peak, plus the copies and the
+//           serialization eqn 4 charges (capped by ZC/SC_Max_speedup)
+//
+// The structural eqn-3 term (copies removed, CPU/GPU overlapped) still
+// applies; the refined estimate is min(structural, roofline). At full
+// memory saturation the roofline converges to the MB3 ratio, so the MB3
+// bound is the special case this generalises.
+#pragma once
+
+#include "core/microbench.h"
+#include "core/perfmodel.h"
+#include "profile/report.h"
+#include "soc/board.h"
+
+namespace cig::runtime {
+
+struct RefinedEstimate {
+  double speedup = 1.0;          // refined prediction for the switch
+  Seconds target_time = 0;       // predicted per-iteration time after it
+  double structural = 1.0;       // uncapped eqn-3/4 term
+  double roofline = 1.0;         // memory-path term from live counters
+};
+
+class SwitchEstimator {
+ public:
+  SwitchEstimator(const core::DeviceCharacterization& device,
+                  const soc::BoardConfig& board);
+
+  // Refines the speedup of switching `smoothed.model` -> `to`, where
+  // `smoothed` is the windowed profile of the current phase and
+  // `shared_bytes` the application's shared-buffer size (what SC would copy
+  // each iteration).
+  RefinedEstimate refine(const profile::ProfileReport& smoothed,
+                         comm::CommModel to, Bytes shared_bytes) const;
+
+ private:
+  RefinedEstimate to_zero_copy(const profile::ProfileReport& smoothed) const;
+  RefinedEstimate to_cached(const profile::ProfileReport& smoothed,
+                            comm::CommModel to, Bytes shared_bytes) const;
+
+  const core::DeviceCharacterization& device_;
+  const soc::BoardConfig& board_;
+};
+
+}  // namespace cig::runtime

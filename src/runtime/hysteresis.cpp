@@ -1,0 +1,79 @@
+#include "runtime/hysteresis.h"
+
+#include "support/assert.h"
+
+namespace cig::runtime {
+
+HysteresisBand::HysteresisBand(double boundary_pct, HysteresisConfig config)
+    : boundary_pct_(boundary_pct), config_(config) {
+  CIG_EXPECTS(config_.margin_frac >= 0.0 && config_.margin_frac < 1.0);
+  CIG_EXPECTS(config_.confirm_samples >= 1);
+}
+
+bool HysteresisBand::update(double value_pct) {
+  const double margin = boundary_pct_ * config_.margin_frac;
+  const double exit_boundary =
+      over_ ? boundary_pct_ - margin : boundary_pct_ + margin;
+  const bool beyond = over_ ? value_pct < exit_boundary
+                            : value_pct > exit_boundary;
+  if (!beyond) {
+    streak_ = 0;
+    return over_;
+  }
+  if (++streak_ >= config_.confirm_samples) {
+    over_ = !over_;
+    streak_ = 0;
+  }
+  return over_;
+}
+
+void HysteresisBand::reset(bool over) {
+  over_ = over;
+  streak_ = 0;
+}
+
+void HysteresisBand::rearm(double boundary_pct) {
+  boundary_pct_ = boundary_pct;
+  reset();
+}
+
+HysteresisZoneTracker::HysteresisZoneTracker(double threshold_pct,
+                                             double zone2_end_pct,
+                                             bool grey_exists,
+                                             HysteresisConfig config)
+    : threshold_(threshold_pct, config),
+      zone2_end_(zone2_end_pct, config),
+      grey_exists_(grey_exists) {
+  CIG_EXPECTS(zone2_end_pct >= threshold_pct);
+}
+
+core::Zone HysteresisZoneTracker::update(double usage_pct) {
+  const core::Zone before = zone();
+  threshold_.update(usage_pct);
+  zone2_end_.update(usage_pct);
+  changed_ = zone() != before;
+  return zone();
+}
+
+core::Zone HysteresisZoneTracker::zone() const {
+  if (!threshold_.over()) return core::Zone::Comparable;
+  if (grey_exists_ && !zone2_end_.over()) return core::Zone::Grey;
+  return core::Zone::CacheBound;
+}
+
+void HysteresisZoneTracker::reset() {
+  threshold_.reset();
+  zone2_end_.reset();
+  changed_ = false;
+}
+
+void HysteresisZoneTracker::rearm(double threshold_pct, double zone2_end_pct,
+                                  bool grey_exists) {
+  CIG_EXPECTS(zone2_end_pct >= threshold_pct);
+  threshold_.rearm(threshold_pct);
+  zone2_end_.rearm(zone2_end_pct);
+  grey_exists_ = grey_exists;
+  changed_ = false;
+}
+
+}  // namespace cig::runtime

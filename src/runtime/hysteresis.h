@@ -1,0 +1,83 @@
+// Phase-change detection with hysteresis: the windowed cache-usage metrics
+// are compared against the board's GPU_Cache_Threshold / zone boundaries
+// (and the CPU threshold) through dead bands, so a metric oscillating ±ε
+// around a boundary cannot flap the controller between models.
+#pragma once
+
+#include <cstdint>
+
+#include "core/thresholds.h"
+
+namespace cig::runtime {
+
+struct HysteresisConfig {
+  // Half-width of the dead band around each boundary, as a fraction of the
+  // boundary itself: crossing *up* requires value > boundary * (1 + frac),
+  // crossing back *down* requires value < boundary * (1 - frac). Relative
+  // margins keep the band meaningful across boards whose thresholds differ
+  // by an order of magnitude (TX2 1.8% vs Xavier ~50%).
+  double margin_frac = 0.25;
+  // Consecutive out-of-band observations required to confirm a crossing
+  // (1 = the margin alone debounces).
+  std::uint32_t confirm_samples = 1;
+};
+
+// Debounced over/under state for a single boundary.
+class HysteresisBand {
+ public:
+  HysteresisBand(double boundary_pct, HysteresisConfig config);
+
+  // Feeds one observation; returns the debounced "over boundary" state.
+  bool update(double value_pct);
+
+  bool over() const { return over_; }
+  double boundary_pct() const { return boundary_pct_; }
+
+  void reset(bool over = false);
+
+  // Moves the band to a new boundary and resets the debounced state — used
+  // when a model switch changes the scale the metric is normalised by.
+  void rearm(double boundary_pct);
+
+ private:
+  double boundary_pct_;
+  HysteresisConfig config_;
+  bool over_ = false;
+  std::uint32_t streak_ = 0;  // consecutive observations beyond the band
+};
+
+// Debounced zone classification: two bands (threshold, zone-2 end) combined
+// into the paper's three zones, with the SwFlush grey-zone collapse.
+class HysteresisZoneTracker {
+ public:
+  // `grey_exists`: false on SwFlush boards, where zone 2 collapses into
+  // zone 3 (DecisionEngine::classify_gpu applies the same rule).
+  HysteresisZoneTracker(double threshold_pct, double zone2_end_pct,
+                        bool grey_exists, HysteresisConfig config);
+
+  // Feeds one windowed GPU cache-usage observation (percent); returns the
+  // debounced zone.
+  core::Zone update(double usage_pct);
+
+  core::Zone zone() const;
+
+  // True if the most recent update() changed the zone (a detected phase
+  // change).
+  bool changed() const { return changed_; }
+
+  void reset();
+
+  // Re-targets the bands (and resets state): the controller re-arms the
+  // tracker after a model switch because the zone boundaries that apply
+  // under SC/UM (the MB2 threshold and zone-2 end) differ from the ones
+  // that apply under ZC (saturation of the uncached/snoop path).
+  void rearm(double threshold_pct, double zone2_end_pct, bool grey_exists);
+
+ private:
+  HysteresisBand threshold_;
+  HysteresisBand zone2_end_;
+  bool grey_exists_;
+  bool changed_ = false;
+};
+
+}  // namespace cig::runtime

@@ -1,0 +1,47 @@
+#include "runtime/metrics.h"
+
+#include <sstream>
+
+#include "comm/model.h"
+
+namespace cig::runtime {
+
+void RuntimeMetrics::export_to(sim::StatRegistry& registry) const {
+  registry.set("runtime.samples", static_cast<double>(samples));
+  registry.set("runtime.decisions", static_cast<double>(decisions));
+  registry.set("runtime.switches", static_cast<double>(switches));
+  registry.set("runtime.vetoed_by_cost", static_cast<double>(vetoed_by_cost));
+  registry.set("runtime.vetoed_by_estimate",
+               static_cast<double>(vetoed_by_estimate));
+  registry.set("runtime.mispredicted_switches",
+               static_cast<double>(mispredicted_switches));
+  registry.set("runtime.phase_changes", static_cast<double>(phase_changes));
+  registry.set("runtime.switch_overhead_us", to_us(switch_overhead));
+  for (const auto model : core::kAllModels) {
+    registry.set(std::string("runtime.time_in_") + comm::model_name(model) +
+                     "_us",
+                 to_us(time_in_model[core::model_index(model)]));
+  }
+  registry.set("runtime.predicted_speedup_product", predicted_speedup_product);
+  registry.set("runtime.realized_speedup_product", realized_speedup_product);
+}
+
+std::string RuntimeMetrics::to_string() const {
+  std::ostringstream out;
+  out << "samples " << samples << ", decisions " << decisions << ", switches "
+      << switches << " (" << vetoed_by_cost << " vetoed by cost, "
+      << vetoed_by_estimate << " by estimate, " << mispredicted_switches
+      << " mispredicted), phase changes "
+      << phase_changes << "\n";
+  out << "time in model:";
+  for (const auto model : core::kAllModels) {
+    out << ' ' << comm::model_name(model) << ' '
+        << format_time(time_in_model[core::model_index(model)]);
+  }
+  out << "; switch overhead " << format_time(switch_overhead) << "\n";
+  out << "speedup products: predicted " << predicted_speedup_product
+      << "x, realized " << realized_speedup_product << "x\n";
+  return out.str();
+}
+
+}  // namespace cig::runtime

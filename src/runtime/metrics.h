@@ -1,0 +1,43 @@
+// Runtime metrics of the adaptive controller: how often it switched, how
+// long it spent in each communication model, and how its speedup
+// predictions compared with what the switches actually realized. Exported
+// into the simulator's stat registry (prefix "runtime.") so controller
+// behaviour shows up next to the PMU-style counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/microbench.h"
+#include "sim/stat_registry.h"
+#include "support/units.h"
+
+namespace cig::runtime {
+
+struct RuntimeMetrics {
+  std::uint64_t samples = 0;        // profile samples ingested
+  std::uint64_t decisions = 0;      // decision-flow evaluations
+  std::uint64_t switches = 0;       // committed model switches
+  std::uint64_t vetoed_by_cost = 0; // wanted switches the cost model blocked
+  // Switches the offline flow wanted but the online roofline refinement
+  // predicts would not pay (refined speedup <= 1).
+  std::uint64_t vetoed_by_estimate = 0;
+  // Switches whose realized speedup (pre-switch vs post-switch phase time)
+  // came in below 1: the controller made things worse.
+  std::uint64_t mispredicted_switches = 0;
+  std::uint64_t phase_changes = 0;  // debounced zone transitions observed
+
+  core::PerModel<Seconds> time_in_model{};  // observed time per model
+  Seconds switch_overhead = 0;              // cumulative realized switch cost
+
+  // Geometric accumulation over committed switches: the products of the
+  // predicted and of the realized speedups. predicted/realized near 1 of
+  // each other = the eqn-3/4 estimators track reality online.
+  double predicted_speedup_product = 1.0;
+  double realized_speedup_product = 1.0;
+
+  void export_to(sim::StatRegistry& registry) const;
+  std::string to_string() const;
+};
+
+}  // namespace cig::runtime

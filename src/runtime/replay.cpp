@@ -1,0 +1,100 @@
+#include "runtime/replay.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "profile/profiler.h"
+#include "support/assert.h"
+
+namespace cig::runtime {
+
+std::uint64_t ReplayResult::switches_into(comm::CommModel model) const {
+  std::uint64_t count = 0;
+  for (const auto& record : samples) {
+    if (record.decision.switched && record.decision.model_after == model) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ReplayResult replay_phasic(core::Framework& framework,
+                           const std::vector<workload::PhasicPhase>& phases,
+                           const ReplayOptions& options) {
+  CIG_EXPECTS(!phases.empty());
+  const core::DecisionEngine engine(framework.device());
+
+  framework.soc().reset();
+  profile::Profiler profiler(framework.soc(), options.exec);
+  AdaptiveController controller(engine, profiler.executor(),
+                                options.controller);
+
+  ReplayResult result;
+  for (std::uint32_t p = 0; p < phases.size(); ++p) {
+    const auto& phase = phases[p];
+    for (std::uint32_t s = 0; s < phase.samples; ++s) {
+      const Seconds t0 = controller.now();
+      comm::RunResult raw;
+      const profile::ProfileReport report =
+          profiler.sample(phase.workload, controller.model(), raw);
+      result.timeline.append(raw.timeline, t0);
+
+      SampleRecord record;
+      record.phase = p;
+      record.cache_heavy = phase.cache_heavy;
+      record.model = controller.model();
+      record.time = t0;
+      record.decision = controller.on_sample(
+          report, phase.workload.gpu.pattern.base,
+          phase.workload.gpu.pattern.extent);
+      result.samples.push_back(std::move(record));
+    }
+  }
+
+  result.timeline.append(controller.timeline(), 0.0);
+  result.adaptive_time = controller.now();
+  result.metrics = controller.metrics();
+  result.metrics.export_to(result.registry);
+  return result;
+}
+
+StaticComparison compare_static(core::Framework& framework,
+                                const std::vector<workload::PhasicPhase>& phases,
+                                const comm::ExecOptions& exec) {
+  CIG_EXPECTS(!phases.empty());
+  StaticComparison out;
+
+  // phase_time[m][p]: the phase measured end-to-end under one static model.
+  std::array<std::vector<Seconds>, 3> phase_time;
+  for (const comm::CommModel model : core::kAllModels) {
+    const std::size_t m = core::model_index(model);
+    framework.soc().reset();
+    comm::Executor executor(framework.soc(), exec);
+    Seconds total = 0;
+    for (const auto& phase : phases) {
+      Seconds in_phase = 0;
+      for (std::uint32_t s = 0; s < phase.samples; ++s) {
+        in_phase += executor.run_session(phase.workload, model).total;
+      }
+      phase_time[m].push_back(in_phase);
+      total += in_phase;
+    }
+    out.static_time[m] = total;
+  }
+
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    Seconds best = phase_time[0][p];
+    for (std::size_t m = 1; m < 3; ++m) best = std::min(best, phase_time[m][p]);
+    out.oracle_time += best;
+  }
+
+  const auto begin = out.static_time.begin();
+  out.best_static = core::kAllModels[static_cast<std::size_t>(
+      std::min_element(begin, out.static_time.end()) - begin)];
+  out.worst_static = core::kAllModels[static_cast<std::size_t>(
+      std::max_element(begin, out.static_time.end()) - begin)];
+  return out;
+}
+
+}  // namespace cig::runtime

@@ -1,0 +1,60 @@
+// Replay driver: streams a phasic trace (a sequence of workload phases)
+// through the adaptive controller, sampling the executor once per control
+// period, and assembles the merged timeline (CPU/GPU/copy lanes from the
+// executor, CTRL lane from the controller) plus the runtime stat registry.
+//
+// Also computes the reference points the evaluation needs: each static
+// model run over the same trace, and the per-phase oracle (the best static
+// model chosen per phase with perfect knowledge).
+#pragma once
+
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/controller.h"
+#include "sim/stat_registry.h"
+#include "workload/builders.h"
+
+namespace cig::runtime {
+
+struct ReplayOptions {
+  ControllerConfig controller;
+  comm::ExecOptions exec;
+};
+
+struct SampleRecord {
+  std::uint32_t phase = 0;
+  bool cache_heavy = false;
+  comm::CommModel model = comm::CommModel::StandardCopy;  // model sampled under
+  Seconds time = 0;                                       // sample wall-clock
+  ControlDecision decision;
+};
+
+struct ReplayResult {
+  Seconds adaptive_time = 0;  // controller clock: samples + switch overhead
+  RuntimeMetrics metrics;
+  sim::StatRegistry registry;  // "runtime.*" counters
+  sim::Timeline timeline;      // merged lanes + controller annotations
+  std::vector<SampleRecord> samples;
+
+  std::uint64_t switches_into(comm::CommModel model) const;
+};
+
+// Replays `phases` through a fresh controller on `framework`'s board.
+ReplayResult replay_phasic(core::Framework& framework,
+                           const std::vector<workload::PhasicPhase>& phases,
+                           const ReplayOptions& options = {});
+
+// Reference runs over the same trace.
+struct StaticComparison {
+  core::PerModel<Seconds> static_time{};  // whole trace under one model
+  Seconds oracle_time = 0;                // per-phase best static model
+  comm::CommModel best_static = comm::CommModel::StandardCopy;
+  comm::CommModel worst_static = comm::CommModel::StandardCopy;
+};
+
+StaticComparison compare_static(core::Framework& framework,
+                                const std::vector<workload::PhasicPhase>& phases,
+                                const comm::ExecOptions& exec = {});
+
+}  // namespace cig::runtime

@@ -1,0 +1,92 @@
+#include "runtime/window.h"
+
+#include "support/assert.h"
+
+namespace cig::runtime {
+
+namespace {
+
+// Applies `fn(accumulator_field, sample_field)` to every counter field the
+// decision flow consumes, so the window and EWMA aggregations cannot drift
+// out of sync with each other.
+template <typename Fn>
+void for_each_counter(profile::ProfileReport& acc,
+                      const profile::ProfileReport& sample, Fn fn) {
+  fn(acc.cpu_l1_miss_rate, sample.cpu_l1_miss_rate);
+  fn(acc.cpu_llc_miss_rate, sample.cpu_llc_miss_rate);
+  fn(acc.gpu_l1_hit_rate, sample.gpu_l1_hit_rate);
+  fn(acc.gpu_llc_hit_rate, sample.gpu_llc_hit_rate);
+  fn(acc.gpu_transactions, sample.gpu_transactions);
+  fn(acc.gpu_transaction_size, sample.gpu_transaction_size);
+  fn(acc.kernel_time, sample.kernel_time);
+  fn(acc.cpu_time, sample.cpu_time);
+  fn(acc.copy_time, sample.copy_time);
+  fn(acc.total_time, sample.total_time);
+  fn(acc.gpu_ll_throughput, sample.gpu_ll_throughput);
+  fn(acc.cpu_ll_throughput, sample.cpu_ll_throughput);
+  fn(acc.energy, sample.energy);
+  fn(acc.average_power, sample.average_power);
+}
+
+void copy_identity(profile::ProfileReport& to,
+                   const profile::ProfileReport& from) {
+  to.workload = from.workload;
+  to.board = from.board;
+  to.model = from.model;
+  to.iterations = from.iterations;
+}
+
+}  // namespace
+
+StreamingProfile::StreamingProfile(WindowConfig config) : config_(config) {
+  CIG_EXPECTS(config_.capacity >= 1);
+  CIG_EXPECTS(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+}
+
+void StreamingProfile::add(const profile::ProfileReport& sample) {
+  window_.push_back(sample);
+  if (window_.size() > config_.capacity) window_.pop_front();
+
+  if (!ewma_valid_) {
+    ewma_ = sample;
+    ewma_valid_ = true;
+  } else {
+    const double alpha = config_.ewma_alpha;
+    for_each_counter(ewma_, sample, [alpha](double& acc, double value) {
+      acc = (1.0 - alpha) * acc + alpha * value;
+    });
+    copy_identity(ewma_, sample);
+  }
+}
+
+const profile::ProfileReport& StreamingProfile::latest() const {
+  CIG_EXPECTS(!window_.empty());
+  return window_.back();
+}
+
+profile::ProfileReport StreamingProfile::windowed() const {
+  CIG_EXPECTS(!window_.empty());
+  profile::ProfileReport mean;
+  for (const auto& sample : window_) {
+    for_each_counter(mean, sample,
+                     [](double& acc, double value) { acc += value; });
+  }
+  const double n = static_cast<double>(window_.size());
+  const profile::ProfileReport zero;
+  for_each_counter(mean, zero,
+                   [n](double& acc, double) { acc /= n; });
+  copy_identity(mean, window_.back());
+  return mean;
+}
+
+profile::ProfileReport StreamingProfile::smoothed() const {
+  CIG_EXPECTS(ewma_valid_);
+  return ewma_;
+}
+
+void StreamingProfile::clear() {
+  window_.clear();
+  ewma_valid_ = false;
+}
+
+}  // namespace cig::runtime

@@ -1,0 +1,59 @@
+// Streaming profile ingester: consumes per-phase ProfileReport-shaped
+// counter samples from the executor and maintains sliding-window and EWMA
+// statistics of the raw counters the eqn-1/2 cache-usage metrics consume.
+//
+// The window averages *counters*, not derived metrics, so the controller
+// can hand the aggregate straight back to the decision engine: a windowed
+// report is just another ProfileReport, taken over a longer virtual phase.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "profile/report.h"
+
+namespace cig::runtime {
+
+struct WindowConfig {
+  std::size_t capacity = 8;  // sliding-window length, in samples
+  // EWMA weight of the newest sample; higher = faster reaction to phase
+  // changes, lower = smoother metrics at the zone boundaries. 0.6 reaches
+  // ~85% of a step change within two samples — one control period of
+  // reaction lag on top of the hysteresis confirmation.
+  double ewma_alpha = 0.6;
+};
+
+class StreamingProfile {
+ public:
+  explicit StreamingProfile(WindowConfig config = {});
+
+  // Ingests one per-phase sample. Samples must all be taken under the same
+  // communication model — the controller clears the window on a switch,
+  // because the eqn-2 normalisation peak changes with the model.
+  void add(const profile::ProfileReport& sample);
+
+  std::size_t size() const { return window_.size(); }
+  bool empty() const { return window_.empty(); }
+
+  // Newest raw sample (window must be non-empty).
+  const profile::ProfileReport& latest() const;
+
+  // Arithmetic mean of the counters over the sliding window; identity
+  // fields (workload/board/model) come from the newest sample.
+  profile::ProfileReport windowed() const;
+
+  // EWMA-smoothed counters over every sample since the last clear().
+  profile::ProfileReport smoothed() const;
+
+  void clear();
+
+  const WindowConfig& config() const { return config_; }
+
+ private:
+  WindowConfig config_;
+  std::deque<profile::ProfileReport> window_;
+  profile::ProfileReport ewma_;
+  bool ewma_valid_ = false;
+};
+
+}  // namespace cig::runtime

@@ -13,6 +13,7 @@ const char* lane_name(Lane lane) {
     case Lane::Cpu: return "CPU";
     case Lane::Gpu: return "GPU";
     case Lane::Copy: return "COPY";
+    case Lane::Ctrl: return "CTRL";
   }
   return "?";
 }
@@ -21,6 +22,10 @@ void Timeline::add(Lane lane, Seconds start, Seconds end, std::string label) {
   CIG_EXPECTS(end >= start);
   CIG_EXPECTS(start >= 0.0);
   segments_.push_back(Segment{lane, start, end, std::move(label)});
+}
+
+void Timeline::mark(Lane lane, Seconds at, std::string label) {
+  add(lane, at, at, std::move(label));
 }
 
 Seconds Timeline::busy(Lane lane) const {
@@ -48,7 +53,7 @@ std::vector<Segment> Timeline::sorted_lane(Lane lane) const {
 bool Timeline::lanes_consistent() const {
   // Tolerate floating-point jitter of a picosecond.
   constexpr Seconds kEps = 1e-12;
-  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy, Lane::Ctrl}) {
     const auto lane_segments = sorted_lane(lane);
     for (std::size_t i = 1; i < lane_segments.size(); ++i) {
       if (lane_segments[i].start + kEps < lane_segments[i - 1].end) return false;
@@ -87,15 +92,19 @@ std::string Timeline::render_gantt(int width) const {
   const Seconds span = makespan();
   std::ostringstream out;
   if (span <= 0.0) return "(empty timeline)\n";
-  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+  for (Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy, Lane::Ctrl}) {
     const auto lane_segments = sorted_lane(lane);
+    if (lane == Lane::Ctrl && lane_segments.empty()) continue;
     std::string bar(static_cast<std::size_t>(width), '.');
     for (const auto& s : lane_segments) {
       auto lo = static_cast<std::size_t>(std::floor(s.start / span * width));
       auto hi = static_cast<std::size_t>(std::ceil(s.end / span * width));
       lo = std::min(lo, bar.size() - 1);
       hi = std::min(std::max(hi, lo + 1), bar.size());
-      const char glyph = lane == Lane::Cpu ? 'C' : lane == Lane::Gpu ? 'G' : 'x';
+      const char glyph = lane == Lane::Cpu   ? 'C'
+                         : lane == Lane::Gpu ? 'G'
+                         : lane == Lane::Copy ? 'x'
+                                              : '!';
       for (std::size_t k = lo; k < hi; ++k) bar[k] = glyph;
     }
     out << lane_name(lane) << '\t' << bar << '\n';

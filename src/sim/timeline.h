@@ -11,7 +11,7 @@
 
 namespace cig::sim {
 
-enum class Lane { Cpu, Gpu, Copy };
+enum class Lane { Cpu, Gpu, Copy, Ctrl };
 
 const char* lane_name(Lane lane);
 
@@ -29,6 +29,11 @@ class Timeline {
   // Appends a segment; `end >= start` required. Segments may be added out of
   // chronological order (they are sorted on demand).
   void add(Lane lane, Seconds start, Seconds end, std::string label);
+
+  // Zero-duration annotation (rendered as an instant event in the Chrome
+  // trace) — used by the adaptive controller to mark decisions on the
+  // timeline without occupying lane time.
+  void mark(Lane lane, Seconds at, std::string label);
 
   const std::vector<Segment>& segments() const { return segments_; }
 

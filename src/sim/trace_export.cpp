@@ -11,6 +11,7 @@ int lane_tid(Lane lane) {
     case Lane::Cpu: return 1;
     case Lane::Gpu: return 2;
     case Lane::Copy: return 3;
+    case Lane::Ctrl: return 4;
   }
   return 0;
 }
@@ -33,19 +34,26 @@ Json to_chrome_trace(const Timeline& timeline,
                      const std::string& process_name) {
   Json events;
   events.push_back(metadata_event("process_name", 0, process_name));
-  for (const Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy}) {
+  for (const Lane lane : {Lane::Cpu, Lane::Gpu, Lane::Copy, Lane::Ctrl}) {
     events.push_back(
         metadata_event("thread_name", lane_tid(lane), lane_name(lane)));
   }
   for (const auto& segment : timeline.segments()) {
     Json event;
-    event["ph"] = Json("X");  // complete event
     event["pid"] = Json(1);
     event["tid"] = Json(lane_tid(segment.lane));
     event["name"] = Json(segment.label.empty() ? "(unnamed)" : segment.label);
     event["ts"] = Json(to_us(segment.start));
-    event["dur"] = Json(to_us(segment.duration()));
     event["cat"] = Json(std::string(lane_name(segment.lane)));
+    if (segment.duration() > 0) {
+      event["ph"] = Json("X");  // complete event
+      event["dur"] = Json(to_us(segment.duration()));
+    } else {
+      // Timeline::mark annotations (e.g. controller decisions) become
+      // instant events so the viewer draws them as arrows, not slivers.
+      event["ph"] = Json("i");
+      event["s"] = Json("t");  // thread-scoped
+    }
     events.push_back(std::move(event));
   }
 

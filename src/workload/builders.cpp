@@ -237,4 +237,125 @@ Workload mb3_workload(const soc::BoardConfig& board,
   return w;
 }
 
+BytesPerSecond zc_path_bandwidth(const soc::BoardConfig& board) {
+  return board.capability == coherence::Capability::HwIoCoherent
+             ? board.io_coherence.snoop_bandwidth
+             : board.gpu.uncached_bandwidth;
+}
+
+Workload phasic_phase_workload(const soc::BoardConfig& board, Bytes span,
+                               BytesPerSecond demand, bool cache_heavy,
+                               std::uint32_t iterations) {
+  CIG_EXPECTS(span >= 64);
+  CIG_EXPECTS(demand > 0);
+  Workload w;
+  w.name = cache_heavy ? "phasic-heavy" : "phasic-light";
+
+  constexpr std::uint32_t kPasses = 4;
+  const double bytes_per_iter = static_cast<double>(span) * kPasses;
+  const double elements = bytes_per_iter / 4.0;
+
+  w.gpu.name = cache_heavy ? "fma-heavy" : "fma-light";
+  w.gpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::Linear,
+                                   .base = kSharedBase,
+                                   .extent = span,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .passes = kPasses,
+                                   .line_hint = board.gpu.llc.geometry.line};
+  // Arithmetic sized so the kernel's compute time pins the LL demand at the
+  // requested level when the memory side keeps up (light phases are
+  // compute-bound; heavy ones saturate whichever path the model provides).
+  const Seconds compute_target = bytes_per_iter / demand;
+  w.gpu.utilization = 0.5;
+  w.gpu.ops = compute_target * board.gpu_peak_ops_per_second() *
+              w.gpu.utilization;
+  w.gpu.mlp = 1024;
+  CIG_EXPECTS(w.gpu.ops >= elements);  // at least one op per loaded element
+
+  w.cpu.name = "producer";
+  // Minimal CPU side: tick the shared buffer head each iteration (the
+  // producer hand-off); keeps eqn-1 CPU usage far below every threshold.
+  w.cpu.ops = 1000;
+  w.cpu.ops_per_cycle = 1.0;
+  w.cpu.mlp = 1.0;
+  w.cpu.pattern = mem::PatternSpec{.kind = mem::PatternKind::SingleLocation,
+                                   .base = kSharedBase,
+                                   .extent = 64,
+                                   .access_size = 4,
+                                   .rw = mem::RwMix::ReadModifyWrite,
+                                   .count = 4,
+                                   .line_hint = board.cpu.l1.geometry.line};
+
+  w.h2d_bytes = span;
+  w.d2h_bytes = span;
+  w.iterations = iterations;
+  w.overlappable = true;
+  w.validate();
+  return w;
+}
+
+std::vector<PhasicPhase> phasic_workload_phases(const soc::BoardConfig& board,
+                                                const PhasicConfig& config) {
+  CIG_EXPECTS(config.phase_pairs >= 1);
+  CIG_EXPECTS(config.samples_per_phase >= 1);
+  CIG_EXPECTS(config.light_demand_factor > 0);
+  CIG_EXPECTS(config.heavy_demand_factor > config.light_demand_factor);
+
+  const BytesPerSecond zc_bw = zc_path_bandwidth(board);
+  // Light: small footprint (L1-band), demand deep inside zone 1 even under
+  // the ZC normalisation peak. Heavy: LLC-band footprint (exceeds L1, fits
+  // the GPU LLC so SC serves it from cache), demand past ZC saturation.
+  const Bytes light_span = std::max<Bytes>(KiB(4), 64);
+  const Bytes heavy_span =
+      std::max<Bytes>(board.gpu.l1.geometry.capacity * 2,
+                      board.gpu.llc.geometry.capacity / 2);
+
+  const auto light = phasic_phase_workload(
+      board, light_span, config.light_demand_factor * zc_bw,
+      /*cache_heavy=*/false, config.iterations_per_sample);
+  const auto heavy = phasic_phase_workload(
+      board, heavy_span, config.heavy_demand_factor * zc_bw,
+      /*cache_heavy=*/true, config.iterations_per_sample);
+
+  std::vector<PhasicPhase> phases;
+  phases.reserve(config.phase_pairs * 2);
+  for (std::uint32_t i = 0; i < config.phase_pairs; ++i) {
+    phases.push_back(
+        PhasicPhase{light, config.samples_per_phase, /*cache_heavy=*/false});
+    phases.push_back(
+        PhasicPhase{heavy, config.samples_per_phase, /*cache_heavy=*/true});
+  }
+  return phases;
+}
+
+std::vector<PhasicPhase> oscillation_workload_phases(
+    const soc::BoardConfig& board, const OscillationConfig& config) {
+  CIG_EXPECTS(config.flips >= 1);
+  CIG_EXPECTS(config.samples_per_phase >= 1);
+  CIG_EXPECTS(config.mid_factor > 0);
+  CIG_EXPECTS(config.epsilon > 0 && config.epsilon < 1);
+
+  const BytesPerSecond zc_bw = zc_path_bandwidth(board);
+  // LLC-band span (as in the heavy phasic phase) so the LL demand tracks the
+  // requested level instead of being filtered by the L1.
+  const Bytes span = std::max<Bytes>(board.gpu.l1.geometry.capacity * 2,
+                                     board.gpu.llc.geometry.capacity / 2);
+  const auto below = phasic_phase_workload(
+      board, span, config.mid_factor * (1.0 - config.epsilon) * zc_bw,
+      /*cache_heavy=*/false, config.iterations_per_sample);
+  const auto above = phasic_phase_workload(
+      board, span, config.mid_factor * (1.0 + config.epsilon) * zc_bw,
+      /*cache_heavy=*/true, config.iterations_per_sample);
+
+  std::vector<PhasicPhase> phases;
+  phases.reserve(config.flips + 1);
+  for (std::uint32_t i = 0; i <= config.flips; ++i) {
+    const bool high = (i % 2) != 0;
+    phases.push_back(PhasicPhase{high ? above : below,
+                                 config.samples_per_phase, high});
+  }
+  return phases;
+}
+
 }  // namespace cig::workload

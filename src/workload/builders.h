@@ -39,4 +39,66 @@ std::vector<double> mb2_cpu_fractions();
 Workload mb3_workload(const soc::BoardConfig& board,
                       std::uint32_t scale_down = 8);
 
+// --- phasic workload (for the adaptive runtime) -----------------------------
+// Alternating cache-light / cache-heavy phases of the MB2-style ld+fma+st
+// kernel, with real per-iteration copies so SC pays transfer costs. The
+// phase intensities scale with the board's ZC-path bandwidth (uncached pinned
+// path on SwFlush boards, I/O-coherent snoop port otherwise), so light
+// phases sit well inside zone 1 under every model while heavy phases are
+// cache-bound enough that ZC loses distinctly — the regime contrast the
+// online controller is meant to chase.
+
+struct PhasicConfig {
+  std::uint32_t phase_pairs = 2;        // light+heavy pairs in the trace
+  std::uint32_t samples_per_phase = 48; // control periods per phase
+  std::uint32_t iterations_per_sample = 1;
+  // Kernel LL demand as a multiple of the board's ZC-path bandwidth:
+  // light keeps ZC usage ~2% (deep zone 1), heavy drives the ZC path 4x
+  // past saturation (zone 3 under SC normalisation as well).
+  double light_demand_factor = 0.02;
+  double heavy_demand_factor = 4.0;
+};
+
+// One phase of a phasic run: `samples` control periods, each executing
+// `workload.iterations` producer/consumer iterations.
+struct PhasicPhase {
+  Workload workload;
+  std::uint32_t samples = 1;
+  bool cache_heavy = false;
+};
+
+// Effective bandwidth of the board's zero-copy shared path (what the MB1 ZC
+// normalisation peak tracks).
+BytesPerSecond zc_path_bandwidth(const soc::BoardConfig& board);
+
+// Single phase workload: MB2-style kernel over `span` bytes tuned so the
+// LL demand is `demand` bytes/s, plus h2d/d2h copies of the span.
+Workload phasic_phase_workload(const soc::BoardConfig& board, Bytes span,
+                               BytesPerSecond demand, bool cache_heavy,
+                               std::uint32_t iterations);
+
+// The alternating light/heavy trace (light first).
+std::vector<PhasicPhase> phasic_workload_phases(const soc::BoardConfig& board,
+                                                const PhasicConfig& config = {});
+
+// ±epsilon oscillation around the ZC-path saturation boundary: the kernel's
+// LL demand flips between mid*(1-eps) and mid*(1+eps) of the ZC-path
+// bandwidth every phase. With eps below the controller's hysteresis margin
+// the dead band must absorb every flip — the non-flap fixture for the
+// oscillation test and `cigtool runtime --trace oscillation`.
+struct OscillationConfig {
+  std::uint32_t flips = 24;              // boundary crossings in the trace
+  std::uint32_t samples_per_phase = 4;   // control periods between flips
+  std::uint32_t iterations_per_sample = 1;
+  // Demand mid-point as a fraction of the *configured* path bandwidth. The
+  // eqn-2 normaliser is the *measured* MB1 ZC peak — about half the
+  // configured figure on the Jetson presets — so 0.30 configured lands the
+  // measured usage at ~60%, the ZC saturation boundary.
+  double mid_factor = 0.30;
+  double epsilon = 0.10;  // relative amplitude (< hysteresis margin_frac)
+};
+
+std::vector<PhasicPhase> oscillation_workload_phases(
+    const soc::BoardConfig& board, const OscillationConfig& config = {});
+
 }  // namespace cig::workload

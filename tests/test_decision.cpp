@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/decision.h"
+#include "core/framework.h"
+#include "runtime/hysteresis.h"
+#include "soc/presets.h"
 
 namespace cig::core {
 namespace {
@@ -177,6 +180,78 @@ TEST_F(DecisionTest, NoZcSuggestionWhenDeviceBoundBelowOne) {
   EXPECT_FALSE(rec.switch_model);
   EXPECT_EQ(rec.suggested, CommModel::StandardCopy);
   EXPECT_NE(rec.rationale.find("MB3 bound"), std::string::npos);
+}
+
+// --- boundary behaviour ------------------------------------------------------
+// The zone classification must be exact at the measured boundaries:
+// usage == GPU_Cache_Threshold still counts as zone 1 (the paper defines
+// the threshold as the last comparable point), and usage == zone-2 end
+// still counts as zone 2.
+
+TEST_F(DecisionTest, ExactlyAtGpuThresholdIsComparable) {
+  EXPECT_EQ(engine_.classify_gpu(10.0), Zone::Comparable);
+  EXPECT_EQ(engine_.classify_gpu(10.0 + 1e-9), Zone::Grey);
+  EXPECT_EQ(engine_.classify_gpu(10.0 - 1e-9), Zone::Comparable);
+}
+
+TEST_F(DecisionTest, ExactlyAtZone2EndIsGrey) {
+  EXPECT_EQ(engine_.classify_gpu(50.0), Zone::Grey);
+  EXPECT_EQ(engine_.classify_gpu(50.0 + 1e-9), Zone::CacheBound);
+}
+
+TEST(DecisionBoundary, SwFlushCollapsesGreyExactlyAboveThreshold) {
+  auto device = fake_device();
+  device.capability = coherence::Capability::SwFlush;
+  const DecisionEngine engine(device);
+  EXPECT_EQ(engine.classify_gpu(10.0), Zone::Comparable);
+  // One epsilon above the threshold jumps straight to zone 3: zone 2 only
+  // exists on I/O-coherent devices.
+  EXPECT_EQ(engine.classify_gpu(10.0 + 1e-9), Zone::CacheBound);
+}
+
+TEST(DecisionBoundary, XavierZoneEdgesFromCharacterization) {
+  // The real Xavier characterization: the measured threshold and zone-2 end
+  // must themselves classify as zone 1 / zone 2 (closed boundaries), with
+  // the open side starting an epsilon above.
+  core::Framework framework(soc::jetson_agx_xavier());
+  const DecisionEngine engine(framework.device());
+  const double threshold = framework.device().gpu_threshold_pct();
+  const double zone2_end = framework.device().gpu_zone2_end_pct();
+  ASSERT_GT(threshold, 0.0);
+  ASSERT_GT(zone2_end, threshold);
+
+  EXPECT_EQ(engine.classify_gpu(threshold), Zone::Comparable);
+  EXPECT_EQ(engine.classify_gpu(threshold * (1 + 1e-9)), Zone::Grey);
+  EXPECT_EQ(engine.classify_gpu(zone2_end), Zone::Grey);
+  EXPECT_EQ(engine.classify_gpu(zone2_end * (1 + 1e-9)), Zone::CacheBound);
+}
+
+TEST(DecisionBoundary, HysteresisAbsorbsOscillationTheRawClassifierFlapsOn) {
+  // Property: for every amplitude inside the hysteresis margin, a metric
+  // oscillating ±eps around the threshold flips the *raw* classification
+  // every sample but never moves the debounced tracker.
+  const auto device = fake_device();
+  const DecisionEngine engine(device);
+  const double threshold = device.mb2.gpu.threshold_pct;
+  runtime::HysteresisConfig hysteresis;  // margin_frac = 0.25
+  for (const double eps_frac : {0.01, 0.05, 0.10, 0.20, 0.24}) {
+    runtime::HysteresisZoneTracker tracker(threshold,
+                                           device.mb2.gpu.zone2_end_pct,
+                                           /*grey_exists=*/true, hysteresis);
+    const Zone initial = tracker.zone();
+    int raw_flips = 0;
+    Zone raw_prev = engine.classify_gpu(threshold * (1 - eps_frac));
+    for (int i = 0; i < 100; ++i) {
+      const double usage =
+          threshold * (1 + ((i % 2) != 0 ? eps_frac : -eps_frac));
+      const Zone raw = engine.classify_gpu(usage);
+      raw_flips += raw != raw_prev ? 1 : 0;
+      raw_prev = raw;
+      EXPECT_EQ(tracker.update(usage), initial) << "eps=" << eps_frac;
+      EXPECT_FALSE(tracker.changed());
+    }
+    EXPECT_GE(raw_flips, 99) << "eps=" << eps_frac;  // flaps every sample
+  }
 }
 
 TEST(DecisionEngine, InputsFromMapsFields) {

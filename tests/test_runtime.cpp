@@ -1,0 +1,329 @@
+// Tests for the online adaptive runtime: streaming window, hysteresis
+// bands, the refined switch estimator, the controller's switching sequence
+// on the phasic trace, and the metrics/trace export surface.
+#include <gtest/gtest.h>
+
+#include "comm/executor.h"
+#include "core/framework.h"
+#include "runtime/replay.h"
+#include "sim/trace_export.h"
+#include "soc/presets.h"
+#include "workload/builders.h"
+
+namespace cig::runtime {
+namespace {
+
+using comm::CommModel;
+
+profile::ProfileReport sample_with(Seconds total, Seconds kernel,
+                                   Seconds cpu) {
+  profile::ProfileReport p;
+  p.model = CommModel::StandardCopy;
+  p.total_time = total;
+  p.kernel_time = kernel;
+  p.cpu_time = cpu;
+  p.copy_time = std::max(0.0, total - kernel - cpu);
+  p.iterations = 1;
+  p.gpu_transactions = 1000;
+  p.gpu_transaction_size = 4;
+  return p;
+}
+
+// --- streaming window --------------------------------------------------------
+
+TEST(StreamingProfile, WindowedIsArithmeticMean) {
+  StreamingProfile window({.capacity = 4, .ewma_alpha = 0.5});
+  window.add(sample_with(microsec(100), microsec(60), microsec(20)));
+  window.add(sample_with(microsec(300), microsec(180), microsec(40)));
+  const auto mean = window.windowed();
+  EXPECT_NEAR(to_us(mean.total_time), 200.0, 1e-9);
+  EXPECT_NEAR(to_us(mean.kernel_time), 120.0, 1e-9);
+  EXPECT_NEAR(to_us(mean.cpu_time), 30.0, 1e-9);
+}
+
+TEST(StreamingProfile, WindowSlides) {
+  StreamingProfile window({.capacity = 2, .ewma_alpha = 0.5});
+  for (const double us : {100.0, 200.0, 400.0}) {
+    window.add(sample_with(microsec(us), microsec(us / 2), 0));
+  }
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_NEAR(to_us(window.windowed().total_time), 300.0, 1e-9);
+  EXPECT_NEAR(to_us(window.latest().total_time), 400.0, 1e-9);
+}
+
+TEST(StreamingProfile, EwmaReactsWithinTwoSamples) {
+  // alpha = 0.6 recovers 1 - 0.4^2 = 84% of a step change after two
+  // samples — the reaction-lag budget the controller's phase detection
+  // assumes (asserted with fp headroom).
+  StreamingProfile window({.capacity = 8, .ewma_alpha = 0.6});
+  for (int i = 0; i < 8; ++i) {
+    window.add(sample_with(microsec(100), microsec(50), 0));
+  }
+  window.add(sample_with(microsec(1100), microsec(550), 0));
+  window.add(sample_with(microsec(1100), microsec(550), 0));
+  const double recovered =
+      (to_us(window.smoothed().total_time) - 100.0) / 1000.0;
+  EXPECT_GE(recovered, 0.83);
+}
+
+TEST(StreamingProfile, ClearRestartsStatistics) {
+  StreamingProfile window({.capacity = 4, .ewma_alpha = 0.5});
+  window.add(sample_with(microsec(100), microsec(50), 0));
+  window.clear();
+  EXPECT_TRUE(window.empty());
+  window.add(sample_with(microsec(900), microsec(450), 0));
+  EXPECT_NEAR(to_us(window.smoothed().total_time), 900.0, 1e-9);
+}
+
+// --- hysteresis --------------------------------------------------------------
+
+TEST(HysteresisBand, RequiresCrossingTheMargin) {
+  HysteresisBand band(10.0, {.margin_frac = 0.25, .confirm_samples = 1});
+  EXPECT_FALSE(band.update(10.0));          // at the boundary: hold
+  EXPECT_FALSE(band.update(12.4));          // inside the dead band
+  EXPECT_TRUE(band.update(12.6));           // > 12.5 crosses
+  EXPECT_TRUE(band.update(8.0));            // inside the band: hold over
+  EXPECT_FALSE(band.update(7.4));           // < 7.5 crosses back
+}
+
+TEST(HysteresisBand, ConfirmSamplesDebounceSpikes) {
+  HysteresisBand band(10.0, {.margin_frac = 0.25, .confirm_samples = 2});
+  EXPECT_FALSE(band.update(20.0));  // first out-of-band sample: not yet
+  EXPECT_FALSE(band.update(10.0));  // streak broken
+  EXPECT_FALSE(band.update(20.0));
+  EXPECT_TRUE(band.update(20.0));   // second consecutive: confirmed
+}
+
+TEST(HysteresisBand, RearmMovesBoundaryAndResets) {
+  HysteresisBand band(10.0, {.margin_frac = 0.25, .confirm_samples = 1});
+  EXPECT_TRUE(band.update(20.0));
+  band.rearm(60.0);
+  EXPECT_FALSE(band.over());
+  EXPECT_FALSE(band.update(70.0));  // inside the new band (45..75)
+  EXPECT_TRUE(band.update(80.0));
+}
+
+TEST(HysteresisZoneTracker, OscillationNeverChangesZone) {
+  // Property: any ±eps oscillation inside the margin leaves the zone
+  // untouched, at every boundary and from either side.
+  for (const double boundary : {1.84, 10.0, 60.0}) {
+    for (const double eps_frac : {0.02, 0.1, 0.24}) {
+      HysteresisZoneTracker tracker(boundary, boundary * 3,
+                                    /*grey_exists=*/true,
+                                    {.margin_frac = 0.25,
+                                     .confirm_samples = 1});
+      const auto initial = tracker.zone();
+      for (int i = 0; i < 200; ++i) {
+        const double usage =
+            boundary * (1 + ((i % 2) != 0 ? eps_frac : -eps_frac));
+        EXPECT_EQ(tracker.update(usage), initial);
+        EXPECT_FALSE(tracker.changed());
+      }
+    }
+  }
+}
+
+TEST(HysteresisZoneTracker, LargeSwingIsDetectedOnce) {
+  HysteresisZoneTracker tracker(10.0, 50.0, /*grey_exists=*/true,
+                                {.margin_frac = 0.25, .confirm_samples = 1});
+  EXPECT_EQ(tracker.update(5.0), core::Zone::Comparable);
+  EXPECT_EQ(tracker.update(70.0), core::Zone::CacheBound);
+  EXPECT_TRUE(tracker.changed());
+  EXPECT_EQ(tracker.update(70.0), core::Zone::CacheBound);
+  EXPECT_FALSE(tracker.changed());
+}
+
+// --- refined estimator -------------------------------------------------------
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  core::Framework framework_{soc::jetson_tx2()};
+  SwitchEstimator estimator_{framework_.device(), framework_.board()};
+};
+
+TEST_F(EstimatorTest, RefineToSameModelIsNeutral) {
+  auto report = sample_with(microsec(100), microsec(50), microsec(10));
+  const auto est =
+      estimator_.refine(report, CommModel::StandardCopy, KiB(4));
+  EXPECT_DOUBLE_EQ(est.speedup, 1.0);
+}
+
+TEST_F(EstimatorTest, CopyDominatedPhaseFavoursZeroCopy) {
+  // 90% of the iteration is copy/maintenance overhead and the kernel's
+  // demand is far below the ZC path peak: the refined estimate must beat
+  // the offline MB3 cap (< 1 on TX2) and predict a win.
+  auto report = sample_with(microsec(1000), microsec(90), microsec(10));
+  report.gpu_transactions = 100;  // 400 B per iteration: trivial demand
+  const auto est = estimator_.refine(report, CommModel::ZeroCopy, KiB(4));
+  EXPECT_GT(est.speedup, 1.0);
+  EXPECT_LT(framework_.device().sc_zc_max_speedup(), 1.0)
+      << "TX2 MB3 cap should be < 1 (otherwise this test is vacuous)";
+}
+
+TEST_F(EstimatorTest, PathSaturatedPhaseRejectsZeroCopy) {
+  // The kernel demands far more bandwidth than the ZC path delivers: the
+  // roofline must price the slowdown and reject the switch.
+  auto report = sample_with(microsec(100), microsec(90), microsec(5));
+  report.gpu_transactions = 25e6;  // 100 MB per iteration >> ZC path
+  const auto est = estimator_.refine(report, CommModel::ZeroCopy, KiB(4));
+  EXPECT_LT(est.speedup, 1.0);
+}
+
+TEST_F(EstimatorTest, LeavingZeroCopyIsCappedByDeviceBound) {
+  auto report = sample_with(millisec(10), millisec(9.9), microsec(10));
+  report.model = CommModel::ZeroCopy;
+  report.gpu_transactions = 2.5e6;  // 10 MB/iter through the slow path
+  const auto est =
+      estimator_.refine(report, CommModel::StandardCopy, KiB(64));
+  EXPECT_GT(est.speedup, 1.0);
+  EXPECT_LE(est.speedup, framework_.device().zc_sc_max_speedup());
+}
+
+// --- switch-cost model -------------------------------------------------------
+
+TEST(SwitchCost, EstimateIsPositiveAndMonotonicInBytes) {
+  soc::SoC soc(soc::jetson_tx2());
+  comm::Executor executor(soc);
+  const auto small = executor.estimate_switch_cost(
+      CommModel::StandardCopy, CommModel::ZeroCopy, KiB(64));
+  const auto large = executor.estimate_switch_cost(
+      CommModel::StandardCopy, CommModel::ZeroCopy, MiB(16));
+  EXPECT_GT(small.total(), 0.0);
+  EXPECT_GE(large.total(), small.total());
+  EXPECT_GE(large.bytes_moved, small.bytes_moved);
+}
+
+// --- controller on the phasic trace ------------------------------------------
+
+class PhasicReplayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    framework_ = new core::Framework(soc::jetson_tx2());
+    phases_ = new std::vector<workload::PhasicPhase>(
+        workload::phasic_workload_phases(framework_->board()));
+    result_ = new ReplayResult(replay_phasic(*framework_, *phases_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete phases_;
+    delete framework_;
+    result_ = nullptr;
+    phases_ = nullptr;
+    framework_ = nullptr;
+  }
+
+  static core::Framework* framework_;
+  static std::vector<workload::PhasicPhase>* phases_;
+  static ReplayResult* result_;
+};
+
+core::Framework* PhasicReplayTest::framework_ = nullptr;
+std::vector<workload::PhasicPhase>* PhasicReplayTest::phases_ = nullptr;
+ReplayResult* PhasicReplayTest::result_ = nullptr;
+
+TEST_F(PhasicReplayTest, ControllerChasesThePhases) {
+  // SC start -> ZC for the light phase, away from ZC (to a cached model)
+  // at each heavy onset, back to ZC at the next light onset.
+  EXPECT_GE(result_->metrics.switches, 3u);
+  EXPECT_GE(result_->switches_into(CommModel::ZeroCopy), 2u);
+  EXPECT_GE(result_->switches_into(CommModel::StandardCopy) +
+                result_->switches_into(CommModel::UnifiedMemory),
+            1u);
+  EXPECT_EQ(result_->metrics.mispredicted_switches, 0u);
+}
+
+TEST_F(PhasicReplayTest, FirstSwitchLeavesStandardCopyForZeroCopy) {
+  // The light opening phase: the offline flow alone could never suggest
+  // this on TX2 (MB3 cap < 1); the refined estimator must.
+  ASSERT_FALSE(result_->samples.empty());
+  for (const auto& s : result_->samples) {
+    if (!s.decision.switched) continue;
+    EXPECT_EQ(s.decision.model_before, CommModel::StandardCopy);
+    EXPECT_EQ(s.decision.model_after, CommModel::ZeroCopy);
+    EXPECT_GT(s.decision.predicted_speedup, 1.0);
+    EXPECT_LT(s.decision.offline_speedup, 1.0);
+    break;
+  }
+}
+
+TEST_F(PhasicReplayTest, AdaptiveBeatsWorstStaticAndTracksOracle) {
+  const auto ref = compare_static(*framework_, *phases_, {});
+  const Seconds worst = ref.static_time[core::model_index(ref.worst_static)];
+  EXPECT_LT(result_->adaptive_time, worst);
+  EXPECT_LE(result_->adaptive_time, ref.oracle_time * 1.10);
+  EXPECT_GE(result_->adaptive_time, ref.oracle_time * 0.999);
+}
+
+TEST_F(PhasicReplayTest, MetricsReachTheStatRegistry) {
+  for (const char* key :
+       {"runtime.samples", "runtime.switches", "runtime.phase_changes",
+        "runtime.switch_overhead_us", "runtime.time_in_ZC_us",
+        "runtime.predicted_speedup_product",
+        "runtime.realized_speedup_product", "runtime.vetoed_by_cost",
+        "runtime.vetoed_by_estimate"}) {
+    EXPECT_TRUE(result_->registry.contains(key)) << key;
+  }
+  EXPECT_EQ(result_->registry.get("runtime.switches"),
+            static_cast<double>(result_->metrics.switches));
+}
+
+TEST_F(PhasicReplayTest, ControllerLaneIsExportedToChromeTrace) {
+  const auto doc = sim::to_chrome_trace(result_->timeline, "test");
+  bool ctrl_thread = false;
+  bool switch_event = false;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() == "M" &&
+        event.at("args").at("name").as_string() == "CTRL") {
+      ctrl_thread = true;
+    }
+    if (event.at("ph").as_string() == "X" &&
+        event.at("name").as_string().find("switch") != std::string::npos) {
+      switch_event = true;
+    }
+  }
+  EXPECT_TRUE(ctrl_thread);
+  EXPECT_TRUE(switch_event);
+}
+
+TEST(OscillationReplay, HysteresisHoldsTheModel) {
+  // The acceptance property: a trace oscillating ±eps around the ZC
+  // saturation boundary must produce zero switches and zero detected
+  // phase changes.
+  core::Framework framework(soc::jetson_tx2());
+  workload::OscillationConfig config;
+  config.flips = 10;
+  config.samples_per_phase = 3;
+  const auto phases =
+      workload::oscillation_workload_phases(framework.board(), config);
+  ReplayOptions options;
+  options.controller.initial_model = CommModel::ZeroCopy;
+  const auto result = replay_phasic(framework, phases, options);
+  EXPECT_EQ(result.metrics.switches, 0u);
+  EXPECT_EQ(result.metrics.phase_changes, 0u);
+  EXPECT_EQ(result.metrics.samples,
+            static_cast<std::uint64_t>((config.flips + 1) *
+                                       config.samples_per_phase));
+}
+
+// --- metrics export ----------------------------------------------------------
+
+TEST(RuntimeMetrics, ExportWritesEveryCounter) {
+  RuntimeMetrics metrics;
+  metrics.samples = 7;
+  metrics.switches = 2;
+  metrics.vetoed_by_cost = 1;
+  metrics.switch_overhead = microsec(42);
+  metrics.time_in_model[core::model_index(CommModel::ZeroCopy)] =
+      millisec(3);
+  sim::StatRegistry registry;
+  metrics.export_to(registry);
+  EXPECT_EQ(registry.get("runtime.samples"), 7.0);
+  EXPECT_EQ(registry.get("runtime.switches"), 2.0);
+  EXPECT_EQ(registry.get("runtime.vetoed_by_cost"), 1.0);
+  EXPECT_NEAR(registry.get("runtime.switch_overhead_us"), 42.0, 1e-9);
+  EXPECT_NEAR(registry.get("runtime.time_in_ZC_us"), 3000.0, 1e-9);
+  EXPECT_FALSE(metrics.to_string().empty());
+}
+
+}  // namespace
+}  // namespace cig::runtime

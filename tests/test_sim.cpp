@@ -246,8 +246,8 @@ Timeline example_timeline() {
 TEST(TraceExport, DocumentHasEventsAndMetadata) {
   const auto doc = to_chrome_trace(example_timeline(), "unit-test");
   const auto& events = doc.at("traceEvents").as_array();
-  // 1 process-name + 3 thread-name metadata + 3 segments.
-  ASSERT_EQ(events.size(), 7u);
+  // 1 process-name + 4 thread-name metadata + 3 segments.
+  ASSERT_EQ(events.size(), 8u);
   EXPECT_EQ(events[0].at("ph").as_string(), "M");
   EXPECT_EQ(events[0].at("args").at("name").as_string(), "unit-test");
 }
@@ -280,7 +280,7 @@ TEST(TraceExport, WritesParsableFile) {
 
 TEST(TraceExport, EmptyTimelineStillValid) {
   const auto doc = to_chrome_trace(Timeline{});
-  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 4u);  // metadata only
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 5u);  // metadata only
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 //   cigtool tune <board> <app> [--model sc|um|zc] [--json]
 //                                          profile + recommend + verify
 //   cigtool sweep <board>                  MB2 sweep as CSV on stdout
+//   cigtool runtime --board <board> [--trace phasic|oscillation]
+//                   [--trace-out <file.json>] [--json]
+//                                          replay a phasic trace through the
+//                                          online adaptive controller
 //
 // <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
 // <app> is one of: shwfs, orbslam, mb1, mb3.
@@ -20,6 +24,8 @@
 #include "core/framework.h"
 #include "core/experiment.h"
 #include "core/pattern_sim.h"
+#include "runtime/replay.h"
+#include "sim/trace_export.h"
 #include "soc/board_io.h"
 #include "soc/presets.h"
 #include "support/table.h"
@@ -40,7 +46,9 @@ int usage() {
       " [--json]\n"
       "  cigtool sweep <board>\n"
       "  cigtool pattern <board> [--json]\n"
-      "  cigtool grid <boards,csv> <apps,csv> [--json|--csv]\n";
+      "  cigtool grid <boards,csv> <apps,csv> [--json|--csv]\n"
+      "  cigtool runtime --board <board> [--trace phasic|oscillation]"
+      " [--trace-out <file.json>] [--json]\n";
   return 2;
 }
 
@@ -270,6 +278,113 @@ int cmd_sweep(const std::string& board_name) {
   return 0;
 }
 
+int cmd_runtime(const std::string& board_name, const std::string& trace,
+                const std::string& trace_out, bool as_json) {
+  core::Framework framework(soc::resolve_board(board_name));
+  runtime::ReplayOptions options;
+  std::vector<workload::PhasicPhase> phases;
+  if (trace == "phasic") {
+    phases = workload::phasic_workload_phases(framework.board());
+  } else if (trace == "oscillation") {
+    // ±epsilon around the ZC saturation boundary, starting on ZC: every
+    // flip lands inside the hysteresis dead band, so the controller must
+    // hold the model (zero switches).
+    phases = workload::oscillation_workload_phases(framework.board());
+    options.controller.initial_model = comm::CommModel::ZeroCopy;
+  } else {
+    throw std::runtime_error("unknown trace '" + trace +
+                             "' (phasic or oscillation)");
+  }
+
+  const auto result = runtime::replay_phasic(framework, phases, options);
+  const auto ref = runtime::compare_static(framework, phases, options.exec);
+  const Seconds worst =
+      ref.static_time[core::model_index(ref.worst_static)];
+  const Seconds best = ref.static_time[core::model_index(ref.best_static)];
+
+  if (!trace_out.empty()) {
+    sim::write_chrome_trace(result.timeline, trace_out, "cigtool runtime");
+  }
+
+  if (as_json) {
+    Json j;
+    j["board"] = Json(framework.board().name);
+    j["trace"] = Json(trace);
+    j["phases"] = Json(static_cast<double>(phases.size()));
+    j["samples"] = Json(static_cast<double>(result.metrics.samples));
+    j["switches"] = Json(static_cast<double>(result.metrics.switches));
+    j["vetoed_by_cost"] =
+        Json(static_cast<double>(result.metrics.vetoed_by_cost));
+    j["vetoed_by_estimate"] =
+        Json(static_cast<double>(result.metrics.vetoed_by_estimate));
+    j["mispredicted_switches"] =
+        Json(static_cast<double>(result.metrics.mispredicted_switches));
+    j["phase_changes"] =
+        Json(static_cast<double>(result.metrics.phase_changes));
+    j["adaptive_us"] = Json(to_us(result.adaptive_time));
+    j["oracle_us"] = Json(to_us(ref.oracle_time));
+    j["adaptive_vs_oracle"] = Json(result.adaptive_time / ref.oracle_time);
+    j["adaptive_vs_worst_static"] = Json(result.adaptive_time / worst);
+    Json statics;
+    for (const auto model : core::kAllModels) {
+      statics[comm::model_name(model)] =
+          Json(to_us(ref.static_time[core::model_index(model)]));
+    }
+    j["static_us"] = std::move(statics);
+    j["best_static"] = Json(std::string(comm::model_name(ref.best_static)));
+    j["worst_static"] = Json(std::string(comm::model_name(ref.worst_static)));
+    Json registry;
+    for (const auto& [name, value] : result.registry.all()) {
+      registry[name] = Json(value);
+    }
+    j["registry"] = std::move(registry);
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+
+  Table table({"quantity", "value"});
+  table.add_row({"board", framework.board().name});
+  table.add_row({"trace", trace});
+  table.add_row({"phases", std::to_string(phases.size())});
+  table.add_row({"adaptive", format_time(result.adaptive_time)});
+  table.add_row({"oracle (per-phase best)", format_time(ref.oracle_time)});
+  for (const auto model : core::kAllModels) {
+    table.add_row(
+        {std::string("static ") + comm::model_name(model),
+         format_time(ref.static_time[core::model_index(model)])});
+  }
+  table.add_row({"best static",
+                 std::string(comm::model_name(ref.best_static)) + " (" +
+                     format_time(best) + ")"});
+  table.add_row(
+      {"adaptive / oracle",
+       Table::num(result.adaptive_time / ref.oracle_time, 3) + "x"});
+  table.add_row({"adaptive / worst static",
+                 Table::num(result.adaptive_time / worst, 3) + "x"});
+  print_table(std::cout, table);
+
+  std::cout << '\n' << result.metrics.to_string() << '\n';
+  for (const auto& s : result.samples) {
+    if (!s.decision.switched && !s.decision.vetoed_by_cost) continue;
+    std::cout << "  t=" << Table::num(to_us(s.time), 1) << " us  phase "
+              << s.phase << (s.cache_heavy ? " heavy " : " light ")
+              << (s.decision.switched ? "switch " : "veto   ")
+              << comm::model_name(s.decision.model_before) << " -> "
+              << comm::model_name(s.decision.switched
+                                      ? s.decision.model_after
+                                      : s.decision.model_before)
+              << "  pred " << Table::num(s.decision.predicted_speedup, 2)
+              << "x (offline " << Table::num(s.decision.offline_speedup, 2)
+              << "x)\n";
+  }
+  std::cout << "\nstat registry:\n" << result.registry.to_string();
+  if (!trace_out.empty()) {
+    std::cout << "\nwrote Chrome trace to " << trace_out
+              << " (load in chrome://tracing or Perfetto)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +392,9 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool as_csv = false;
   comm::CommModel model = comm::CommModel::StandardCopy;
+  std::string board_flag;
+  std::string trace = "phasic";
+  std::string trace_out;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -287,6 +405,15 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--model") {
         if (++i >= args.size()) return usage();
         model = parse_model(args[i]);
+      } else if (args[i] == "--board") {
+        if (++i >= args.size()) return usage();
+        board_flag = args[i];
+      } else if (args[i] == "--trace") {
+        if (++i >= args.size()) return usage();
+        trace = args[i];
+      } else if (args[i] == "--trace-out") {
+        if (++i >= args.size()) return usage();
+        trace_out = args[i];
       } else if (args[i] == "--help" || args[i] == "-h") {
         usage();
         return 0;
@@ -318,6 +445,15 @@ int main(int argc, char** argv) {
     }
     if (command == "grid" && positional.size() == 3) {
       return cmd_grid(positional[1], positional[2], as_json, as_csv);
+    }
+    if (command == "runtime") {
+      // Board via --board or as the lone positional argument.
+      const std::string board_name =
+          !board_flag.empty()
+              ? board_flag
+              : (positional.size() == 2 ? positional[1] : std::string());
+      if (board_name.empty()) return usage();
+      return cmd_runtime(board_name, trace, trace_out, as_json);
     }
     return usage();
   } catch (const std::exception& error) {
