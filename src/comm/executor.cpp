@@ -459,6 +459,27 @@ RunResult Executor::run_session(const workload::Workload& workload,
                 result.total
           : 0;
   CIG_ENSURES(result.timeline.lanes_consistent());
+
+  // Observability hook: bill the measured phase as a CTRL-lane span at the
+  // tracer's simulated clock and sample the delivered bandwidths as counter
+  // tracks at the span's end. The clock itself is advanced by whoever owns
+  // the tracer (the adaptive controller in the runtime path).
+  if (tracer_ != nullptr) {
+    const Seconds t0 = tracer_->now();
+    const Seconds t1 = t0 + result.total;
+    tracer_->segment(sim::Lane::Ctrl, t0, t1,
+                     "exec " + workload.name + " [" +
+                         std::string(model_name(model)) + "]");
+    tracer_->counter_at(t1, "exec.gpu_ll_throughput_gbps",
+                        to_GBps(result.gpu_ll_throughput));
+    tracer_->counter_at(t1, "exec.cpu_ll_throughput_gbps",
+                        to_GBps(result.cpu_ll_throughput));
+    tracer_->counter_at(t1, "exec.overlap_fraction", result.overlap_fraction);
+    // Advance the shared clock past this span so later events (and the next
+    // session's span) can never start inside it, whatever rounding the
+    // caller's own time accounting picks up.
+    tracer_->set_now(t1);
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "comm/model.h"
 #include "comm/runresult.h"
 #include "mem/stream.h"
+#include "obs/tracer.h"
 #include "soc/soc.h"
 #include "workload/task.h"
 
@@ -77,6 +78,14 @@ class Executor {
   const ExecOptions& options() const { return options_; }
   const soc::BoardConfig& board() const { return soc_.config(); }
 
+  // Optional observability hook (borrowed; may be null). When set, every
+  // run_session emits a phase span on the CTRL lane at the tracer's
+  // current simulated time plus delivered-bandwidth counter samples. The
+  // adaptive runtime points this at its controller's tracer so executed
+  // phases, decisions and counters land on one merged trace.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   // `emit` feeds an access stream (a PatternSpec walk or a recorded trace
   // replay) into the provided sink.
   using StreamEmitter = std::function<void(const mem::AccessSink&)>;
@@ -119,6 +128,7 @@ class Executor {
 
   soc::SoC& soc_;
   ExecOptions options_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cig::comm

@@ -15,6 +15,13 @@ std::string percent(double fraction) {
   return out.str();
 }
 
+std::string num(double value) {
+  std::ostringstream out;
+  out.precision(4);
+  out << value;
+  return out.str();
+}
+
 }  // namespace
 
 std::string Recommendation::to_string() const {
@@ -86,6 +93,34 @@ Recommendation DecisionEngine::recommend_for(
   rec.gpu_zone = gpu_zone;
   rec.cpu_over_threshold = cpu_over;
 
+  // Provenance: record the inputs and thresholds up front, the checks as
+  // the flow evaluates them, and the outcome on return.
+  Explanation& ex = rec.explanation;
+  ex.board = device_.board;
+  ex.capability = capability_name(device_.capability);
+  ex.gpu_usage_pct = usage.gpu_pct();
+  ex.cpu_usage_pct = usage.cpu_pct();
+  ex.gpu_threshold_pct = device_.gpu_threshold_pct();
+  ex.gpu_zone2_end_pct = device_.gpu_zone2_end_pct();
+  ex.cpu_threshold_pct = device_.cpu_threshold_pct();
+  ex.gpu_zone = gpu_zone;
+  ex.cpu_over_threshold = cpu_over;
+  ex.inputs = inputs;
+  ex.checks.push_back("gpu_cache_usage " + num(usage.gpu_pct()) +
+                      "% vs gpu_threshold " + num(ex.gpu_threshold_pct) +
+                      "% / zone2_end " + num(ex.gpu_zone2_end_pct) + "% -> " +
+                      zone_key(gpu_zone));
+  const auto finish = [&rec, &ex] {
+    ex.estimated_speedup = rec.estimated_speedup;
+    ex.max_speedup = rec.max_speedup;
+    ex.current = rec.current;
+    ex.suggested = rec.suggested;
+    ex.switch_model = rec.switch_model;
+    ex.use_overlap_pattern = rec.use_overlap_pattern;
+    ex.rationale = rec.rationale;
+    return rec;
+  };
+
   const bool on_zero_copy = current == comm::CommModel::ZeroCopy;
 
   switch (rec.gpu_zone) {
@@ -97,22 +132,29 @@ Recommendation DecisionEngine::recommend_for(
         rec.switch_model = true;
         rec.max_speedup = device_.zc_sc_max_speedup();
         rec.estimated_speedup = zc_to_sc_speedup(inputs, rec.max_speedup);
+        ex.equation = 4;
+        ex.checks.push_back("cache-bound on ZC -> eqn 4: speedup " +
+                            num(rec.estimated_speedup) + "x (cap " +
+                            num(rec.max_speedup) + "x) -> switch ZC->SC");
         rec.rationale =
             "GPU cache usage exceeds zone 2: the disabled GPU LLC throttles "
             "the kernel under ZC; switch to SC (or UM).";
       } else {
         rec.switch_model = false;
+        ex.checks.push_back(
+            "cache-bound but already on SC/UM -> keep current model");
         rec.rationale =
             "GPU cache usage exceeds zone 2 and the application already "
             "uses SC/UM: no change suggested (per the framework flow).";
       }
-      return rec;
+      return finish();
     }
     case Zone::Grey: {
       // ZC may still break even if the saved copies + overlap outweigh the
       // reduced GPU throughput (I/O-coherent devices).
       if (on_zero_copy) {
         rec.switch_model = false;
+        ex.checks.push_back("grey zone on ZC -> keep ZC + overlap pattern");
         rec.rationale =
             "GPU cache usage is in zone 2: ZC remains viable; keep it and "
             "retain the overlap pattern.";
@@ -120,28 +162,39 @@ Recommendation DecisionEngine::recommend_for(
       } else {
         rec.max_speedup = device_.sc_zc_max_speedup();
         rec.estimated_speedup = sc_to_zc_speedup(inputs, rec.max_speedup);
+        ex.equation = 3;
         if (rec.estimated_speedup >= 1.0) {
           rec.suggested = comm::CommModel::ZeroCopy;
           rec.switch_model = true;
           rec.use_overlap_pattern = true;
+          ex.checks.push_back("grey zone -> eqn 3: speedup " +
+                              num(rec.estimated_speedup) + "x (cap " +
+                              num(rec.max_speedup) +
+                              "x) >= 1 -> switch SC/UM->ZC");
           rec.rationale =
               "GPU cache usage is in zone 2: ZC can match or beat SC when "
               "the eliminated copies and CPU/GPU overlap offset the cache "
               "loss; evaluate ZC with the tiled pattern.";
         } else {
           rec.switch_model = false;
+          ex.checks.push_back("grey zone -> eqn 3: speedup " +
+                              num(rec.estimated_speedup) + "x (cap " +
+                              num(rec.max_speedup) + "x) < 1 -> keep SC/UM");
           rec.rationale =
               "GPU cache usage is in zone 2 but the device-level bound "
               "(MB3) already predicts a ZC slowdown here: keep SC/UM.";
         }
       }
-      return rec;
+      return finish();
     }
     case Zone::Comparable:
       break;  // fall through to the CPU-side check below
   }
 
   // GPU cache usage is low; the CPU side decides.
+  ex.checks.push_back("cpu_cache_usage " + num(usage.cpu_pct()) +
+                      "% vs cpu_threshold " + num(ex.cpu_threshold_pct) +
+                      "% -> " + (cpu_over ? "over" : "under"));
   if (rec.cpu_over_threshold) {
     // The CPU task depends on its caches, and this device sacrifices them
     // under ZC (a SwFlush board — on I/O-coherent boards the CPU threshold
@@ -151,16 +204,22 @@ Recommendation DecisionEngine::recommend_for(
       rec.switch_model = true;
       rec.max_speedup = device_.zc_sc_max_speedup();
       rec.estimated_speedup = zc_to_sc_speedup(inputs, rec.max_speedup);
+      ex.equation = 4;
+      ex.checks.push_back("cpu over threshold on ZC -> eqn 4: speedup " +
+                          num(rec.estimated_speedup) + "x (cap " +
+                          num(rec.max_speedup) + "x) -> switch ZC->SC");
       rec.rationale =
           "CPU cache usage exceeds the device threshold: pinned accesses "
           "bypass the CPU cache on this board; switch to SC (or UM).";
     } else {
       rec.switch_model = false;
+      ex.checks.push_back(
+          "cpu over threshold, already on SC/UM -> keep current model");
       rec.rationale =
           "CPU cache usage exceeds the device threshold: keep SC/UM — ZC "
           "would degrade the CPU task on this board.";
     }
-    return rec;
+    return finish();
   }
 
   // Neither cache matters: ZC gives at least equal performance and saves
@@ -168,16 +227,23 @@ Recommendation DecisionEngine::recommend_for(
   if (on_zero_copy) {
     rec.switch_model = false;
     rec.use_overlap_pattern = true;
+    ex.checks.push_back(
+        "both caches low, already on ZC -> keep ZC + overlap pattern");
     rec.rationale =
         "Cache usage is low on both sides: ZC is already the right model "
         "(lowest energy); use the tiled pattern for overlap.";
   } else {
     rec.max_speedup = device_.sc_zc_max_speedup();
     rec.estimated_speedup = sc_to_zc_speedup(inputs, rec.max_speedup);
+    ex.equation = 3;
     if (rec.estimated_speedup >= 1.0) {
       rec.suggested = comm::CommModel::ZeroCopy;
       rec.switch_model = true;
       rec.use_overlap_pattern = true;
+      ex.checks.push_back("both caches low -> eqn 3: speedup " +
+                          num(rec.estimated_speedup) + "x (cap " +
+                          num(rec.max_speedup) +
+                          "x) >= 1 -> switch SC/UM->ZC");
       rec.rationale =
           "Cache usage is low on both sides: ZC removes the copies, enables "
           "CPU/GPU overlap and lowers energy.";
@@ -186,13 +252,16 @@ Recommendation DecisionEngine::recommend_for(
       // the cache-independent micro-benchmark loses under ZC (MB3 bound
       // below 1): switching would trade copies for something worse.
       rec.switch_model = false;
+      ex.checks.push_back("both caches low -> eqn 3: speedup " +
+                          num(rec.estimated_speedup) + "x (cap " +
+                          num(rec.max_speedup) + "x) < 1 -> keep SC/UM");
       rec.rationale =
           "Cache usage is low, but this device's uncached pinned path makes "
           "even cache-independent ZC a net slowdown (MB3 bound < 1): keep "
           "SC/UM.";
     }
   }
-  return rec;
+  return finish();
 }
 
 }  // namespace cig::core

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "comm/model.h"
+#include "core/explain.h"
 #include "core/microbench.h"
 #include "core/perfmodel.h"
 #include "core/thresholds.h"
@@ -31,6 +32,10 @@ struct Recommendation {
   double max_speedup = 1.0;
 
   std::string rationale;
+
+  // Structured provenance: counters, thresholds, the equation and inputs
+  // behind estimated_speedup, and the ordered checks the flow evaluated.
+  Explanation explanation;
 
   std::string to_string() const;
 };

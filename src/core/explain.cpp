@@ -1,0 +1,113 @@
+#include "core/explain.h"
+
+#include <stdexcept>
+
+namespace cig::core {
+
+const char* zone_key(Zone zone) {
+  switch (zone) {
+    case Zone::Comparable: return "comparable";
+    case Zone::Grey: return "grey";
+    case Zone::CacheBound: return "cache-bound";
+  }
+  return "?";
+}
+
+Zone zone_from_key(const std::string& key) {
+  if (key == "comparable") return Zone::Comparable;
+  if (key == "grey") return Zone::Grey;
+  if (key == "cache-bound") return Zone::CacheBound;
+  throw std::runtime_error("unknown zone key '" + key + "'");
+}
+
+comm::CommModel model_from_name(const std::string& name) {
+  if (name == "SC") return comm::CommModel::StandardCopy;
+  if (name == "UM") return comm::CommModel::UnifiedMemory;
+  if (name == "ZC") return comm::CommModel::ZeroCopy;
+  throw std::runtime_error("unknown model name '" + name + "'");
+}
+
+Json Explanation::to_json() const {
+  Json j;
+  j["board"] = Json(board);
+  j["capability"] = Json(capability);
+
+  Json counters;
+  counters["gpu_cache_usage_pct"] = Json(gpu_usage_pct);
+  counters["cpu_cache_usage_pct"] = Json(cpu_usage_pct);
+  j["counters"] = std::move(counters);
+
+  Json thresholds;
+  thresholds["gpu_cache_threshold_pct"] = Json(gpu_threshold_pct);
+  thresholds["gpu_zone2_end_pct"] = Json(gpu_zone2_end_pct);
+  thresholds["cpu_cache_threshold_pct"] = Json(cpu_threshold_pct);
+  j["thresholds"] = std::move(thresholds);
+
+  j["gpu_zone"] = Json(std::string(zone_key(gpu_zone)));
+  j["cpu_over_threshold"] = Json(cpu_over_threshold);
+
+  Json estimate;
+  estimate["equation"] = Json(equation);
+  Json in;
+  in["runtime_us"] = Json(to_us(inputs.runtime));
+  in["copy_time_us"] = Json(to_us(inputs.copy_time));
+  in["cpu_time_us"] = Json(to_us(inputs.cpu_time));
+  in["gpu_time_us"] = Json(to_us(inputs.gpu_time));
+  estimate["inputs"] = std::move(in);
+  estimate["max_speedup"] = Json(max_speedup);
+  estimate["estimated_speedup"] = Json(estimated_speedup);
+  j["estimate"] = std::move(estimate);
+
+  j["current_model"] = Json(std::string(comm::model_name(current)));
+  j["suggested_model"] = Json(std::string(comm::model_name(suggested)));
+  j["switch"] = Json(switch_model);
+  j["use_overlap_pattern"] = Json(use_overlap_pattern);
+
+  Json check_list;
+  for (const auto& check : checks) check_list.push_back(Json(check));
+  if (checks.empty()) check_list = JsonArray{};
+  j["checks"] = std::move(check_list);
+  j["rationale"] = Json(rationale);
+  return j;
+}
+
+Explanation Explanation::from_json(const Json& json) {
+  Explanation out;
+  out.board = json.string_or("board", "");
+  out.capability = json.string_or("capability", "");
+
+  const Json& counters = json.at("counters");
+  out.gpu_usage_pct = counters.number_or("gpu_cache_usage_pct", 0);
+  out.cpu_usage_pct = counters.number_or("cpu_cache_usage_pct", 0);
+
+  const Json& thresholds = json.at("thresholds");
+  out.gpu_threshold_pct = thresholds.number_or("gpu_cache_threshold_pct", 0);
+  out.gpu_zone2_end_pct = thresholds.number_or("gpu_zone2_end_pct", 100);
+  out.cpu_threshold_pct = thresholds.number_or("cpu_cache_threshold_pct", 100);
+
+  out.gpu_zone = zone_from_key(json.at("gpu_zone").as_string());
+  out.cpu_over_threshold = json.bool_or("cpu_over_threshold", false);
+
+  const Json& estimate = json.at("estimate");
+  out.equation = static_cast<int>(estimate.number_or("equation", 0));
+  const Json& in = estimate.at("inputs");
+  out.inputs.runtime = microsec(in.number_or("runtime_us", 0));
+  out.inputs.copy_time = microsec(in.number_or("copy_time_us", 0));
+  out.inputs.cpu_time = microsec(in.number_or("cpu_time_us", 0));
+  out.inputs.gpu_time = microsec(in.number_or("gpu_time_us", 0));
+  out.max_speedup = estimate.number_or("max_speedup", 1.0);
+  out.estimated_speedup = estimate.number_or("estimated_speedup", 1.0);
+
+  out.current = model_from_name(json.at("current_model").as_string());
+  out.suggested = model_from_name(json.at("suggested_model").as_string());
+  out.switch_model = json.bool_or("switch", false);
+  out.use_overlap_pattern = json.bool_or("use_overlap_pattern", false);
+
+  for (const auto& check : json.at("checks").as_array()) {
+    out.checks.push_back(check.as_string());
+  }
+  out.rationale = json.string_or("rationale", "");
+  return out;
+}
+
+}  // namespace cig::core

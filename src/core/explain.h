@@ -1,0 +1,70 @@
+// Decision provenance: the structured record of *why* the framework (and
+// the online controller wrapping it) recommended a communication model.
+//
+// A Recommendation's one-line rationale is enough for a human skimming a
+// report; the Explanation carries everything needed to audit or replay the
+// decision — the input counters (eqn-1/2 cache usages), the device
+// thresholds and the zone they selected, which speedup equation ran with
+// which inputs and cap, and the ordered checks the Fig. 2 flow evaluated.
+// It serializes to JSON (and parses back) so `cigtool decide --explain`,
+// `cigtool explain` and `cigtool runtime --explain` can emit
+// machine-readable provenance next to the human rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/model.h"
+#include "core/perfmodel.h"
+#include "core/thresholds.h"
+#include "support/json.h"
+
+namespace cig::core {
+
+// Short, parseable zone keys ("comparable" / "grey" / "cache-bound"),
+// unlike zone_name()'s display strings.
+const char* zone_key(Zone zone);
+Zone zone_from_key(const std::string& key);
+
+comm::CommModel model_from_name(const std::string& name);  // "SC"/"UM"/"ZC"
+
+struct Explanation {
+  // Where the decision ran.
+  std::string board;
+  std::string capability;
+
+  // Decision inputs: the eqn-1/2 counters...
+  double gpu_usage_pct = 0;
+  double cpu_usage_pct = 0;
+  // ...the device thresholds they were compared against...
+  double gpu_threshold_pct = 0;
+  double gpu_zone2_end_pct = 100;
+  double cpu_threshold_pct = 100;
+  // ...and the classification that resulted.
+  Zone gpu_zone = Zone::Comparable;
+  bool cpu_over_threshold = false;
+
+  // Speedup estimate: which equation ran (3 = SC->ZC, 4 = ZC->SC,
+  // 0 = no estimate on this path), over which timing inputs, with which
+  // device cap.
+  int equation = 0;
+  SpeedupInputs inputs;
+  double max_speedup = 1.0;
+  double estimated_speedup = 1.0;
+
+  // Outcome.
+  comm::CommModel current = comm::CommModel::StandardCopy;
+  comm::CommModel suggested = comm::CommModel::StandardCopy;
+  bool switch_model = false;
+  bool use_overlap_pattern = false;
+
+  // The ordered checks the decision flow evaluated, in evaluation order —
+  // e.g. "gpu_cache_usage 12.3% <= gpu_threshold 57.1% -> zone 1".
+  std::vector<std::string> checks;
+  std::string rationale;
+
+  Json to_json() const;
+  static Explanation from_json(const Json& json);
+};
+
+}  // namespace cig::core

@@ -1,0 +1,120 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::obs {
+
+Histogram::Histogram(double floor, double ceiling, int buckets_per_decade)
+    : floor_(floor),
+      log_floor_(std::log10(floor)),
+      inv_log_step_(buckets_per_decade),
+      log_step_(1.0 / buckets_per_decade) {
+  CIG_EXPECTS(floor > 0);
+  CIG_EXPECTS(ceiling > floor);
+  CIG_EXPECTS(buckets_per_decade >= 1);
+  const double decades = std::log10(ceiling) - log_floor_;
+  buckets_.assign(
+      static_cast<std::size_t>(std::ceil(decades * buckets_per_decade)) + 1, 0);
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (!(value > floor_)) return 0;
+  const double idx = (std::log10(value) - log_floor_) * inv_log_step_;
+  const auto i = static_cast<std::size_t>(std::max(0.0, std::ceil(idx)));
+  return std::min(i, buckets_.size() - 1);
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  if (i == 0) return 0;
+  return std::pow(10.0, log_floor_ + static_cast<double>(i - 1) * log_step_);
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  return std::pow(10.0, log_floor_ + static_cast<double>(i) * log_step_);
+}
+
+void Histogram::add(double value) {
+  buckets_[bucket_index(value)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  CIG_EXPECTS(buckets_.size() == other.buckets_.size());
+  CIG_EXPECTS(floor_ == other.floor_);
+  CIG_EXPECTS(log_step_ == other.log_step_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target order statistic (nearest-rank with interpolation
+  // inside the bucket it lands in).
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Log-interpolate within the bucket by the fractional rank.
+      const double within =
+          (rank - before) / static_cast<double>(buckets_[i]);
+      const double lo = std::max(bucket_lower(i), min_);
+      const double hi = std::min(bucket_upper(i), max_);
+      if (!(lo > 0) || hi <= lo) return std::clamp(hi, min_, max_);
+      const double value =
+          std::pow(10.0, std::log10(lo) +
+                             within * (std::log10(hi) - std::log10(lo)));
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) out.push_back(Bucket{bucket_upper(i), buckets_[i]});
+  }
+  return out;
+}
+
+void Histogram::export_to(sim::StatRegistry& registry,
+                          const std::string& prefix) const {
+  registry.set(prefix + ".count", static_cast<double>(count_));
+  registry.set(prefix + ".mean", mean());
+  registry.set(prefix + ".min", min());
+  registry.set(prefix + ".max", max());
+  registry.set(prefix + ".p50", percentile(0.50));
+  registry.set(prefix + ".p95", percentile(0.95));
+  registry.set(prefix + ".p99", percentile(0.99));
+}
+
+}  // namespace cig::obs

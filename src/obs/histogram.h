@@ -1,0 +1,73 @@
+// Fixed log-bucket histogram for latency distributions.
+//
+// Buckets are geometrically spaced (a fixed number per decade) between a
+// configurable floor and ceiling, so a single geometry covers nanosecond
+// kernels and second-long phases with bounded relative error: a percentile
+// read from the buckets is within one bucket ratio (10^(1/buckets_per_decade),
+// ~10% at the default 24/decade) of the exact order statistic. Values are
+// clamped into the outermost buckets; exact min/max/sum are tracked on the
+// side so p0/p100 and the mean stay exact.
+//
+// The runtime records per-phase and per-kernel latencies here and exports
+// p50/p95/p99 into the stat registry, the JSON outputs, and the
+// Prometheus-style snapshot (obs/prometheus.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stat_registry.h"
+
+namespace cig::obs {
+
+class Histogram {
+ public:
+  // Bucket geometry: [floor, ceiling] split into buckets_per_decade
+  // log-spaced buckets per factor of 10. The defaults span 1 ns .. 1000 s
+  // in microsecond-centric units (the registry export records values as
+  // whatever unit the caller added; the framework uses microseconds).
+  explicit Histogram(double floor = 1e-3, double ceiling = 1e9,
+                     int buckets_per_decade = 24);
+
+  void add(double value);
+  void merge(const Histogram& other);  // geometries must match
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+
+  // Order statistic at quantile q in [0, 1], log-interpolated within the
+  // bucket and clamped to [min, max]. Returns 0 on an empty histogram.
+  double percentile(double q) const;
+
+  struct Bucket {
+    double upper_bound = 0;       // inclusive upper edge of the bucket
+    std::uint64_t count = 0;      // samples in this bucket (not cumulative)
+  };
+  // Non-empty buckets in increasing bound order.
+  std::vector<Bucket> nonzero_buckets() const;
+
+  // Registry export: <prefix>.count/.mean/.min/.max/.p50/.p95/.p99.
+  void export_to(sim::StatRegistry& registry, const std::string& prefix) const;
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_lower(std::size_t i) const;
+  double bucket_upper(std::size_t i) const;
+
+  double floor_;
+  double log_floor_;
+  double inv_log_step_;  // buckets per log10 unit
+  double log_step_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace cig::obs

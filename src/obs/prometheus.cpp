@@ -1,0 +1,76 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace cig::obs {
+
+namespace {
+
+// Quantile suffix handled as a summary label, or empty.
+std::string quantile_of(const std::string& name, std::string* base) {
+  for (const auto& [suffix, q] :
+       {std::pair<const char*, const char*>{".p50", "0.5"},
+        {".p95", "0.95"},
+        {".p99", "0.99"}}) {
+    const std::size_t len = std::string(suffix).size();
+    if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0) {
+      *base = name.substr(0, name.size() - len);
+      return q;
+    }
+  }
+  *base = name;
+  return {};
+}
+
+void format_value(std::ostringstream& out, double value) {
+  out.precision(12);
+  out << value;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& counter_name) {
+  std::string out = "cig_";
+  for (const char c : counter_name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      out += c;
+    } else if (c == '.' || c == '-' || c == ' ' || c == '/') {
+      out += '_';
+    } else if (c == '%') {
+      out += "pct";
+    }  // anything else is dropped
+  }
+  return out;
+}
+
+std::string to_prometheus(const sim::StatRegistry& registry) {
+  std::ostringstream out;
+  std::set<std::string> typed;  // metric names already given a # TYPE line
+  for (const auto& [name, value] : registry.all()) {
+    std::string base;
+    const std::string quantile = quantile_of(name, &base);
+    const std::string metric = prometheus_name(base);
+    if (typed.insert(metric).second) {
+      out << "# TYPE " << metric << (quantile.empty() ? " gauge" : " summary")
+          << '\n';
+    }
+    out << metric;
+    if (!quantile.empty()) out << "{quantile=\"" << quantile << "\"}";
+    out << ' ';
+    format_value(out, value);
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_prometheus(const sim::StatRegistry& registry,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << to_prometheus(registry);
+}
+
+}  // namespace cig::obs

@@ -1,0 +1,33 @@
+// Prometheus-style text snapshot of a stat registry.
+//
+// Renders every counter as a gauge in the Prometheus exposition format
+// (text/plain; version 0.0.4), so a run's final registry can be scraped or
+// diffed with standard tooling:
+//
+//   cig_runtime_switches 3
+//   cig_runtime_phase_latency_us{quantile="0.5"} 812.4
+//
+// Naming: counter names are sanitized ('.', '-', ' ' and '%' become '_';
+// anything outside [a-zA-Z0-9_:] is dropped) and prefixed with "cig_".
+// Percentile counters exported by obs::Histogram::export_to (suffixes
+// ".p50"/".p95"/".p99") are folded into one summary-style metric with
+// quantile labels. Counters are emitted in the registry's deterministic
+// (lexicographic) order.
+#pragma once
+
+#include <string>
+
+#include "sim/stat_registry.h"
+
+namespace cig::obs {
+
+// Sanitized metric name: "runtime.switch_overhead_us" -> "cig_runtime_switch_overhead_us".
+std::string prometheus_name(const std::string& counter_name);
+
+std::string to_prometheus(const sim::StatRegistry& registry);
+
+// Writes the snapshot to `path` (throws std::runtime_error on I/O error).
+void write_prometheus(const sim::StatRegistry& registry,
+                      const std::string& path);
+
+}  // namespace cig::obs

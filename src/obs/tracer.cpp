@@ -1,0 +1,56 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+namespace cig::obs {
+
+void Tracer::Span::close() {
+  if (tracer_ == nullptr) return;
+  close_at(tracer_->now());
+}
+
+void Tracer::Span::close_at(Seconds at) {
+  if (tracer_ == nullptr) return;
+  tracer_->segment(lane_, start_, std::max(at, start_), std::move(label_));
+  tracer_ = nullptr;
+}
+
+void Tracer::segment(sim::Lane lane, Seconds start, Seconds end,
+                     std::string label) {
+  timeline_.add(lane, start, end, std::move(label));
+}
+
+void Tracer::instant(sim::Lane lane, std::string label) {
+  timeline_.mark(lane, now_, std::move(label));
+}
+
+void Tracer::counter(std::string track, double value) {
+  counter_at(now_, std::move(track), value);
+}
+
+void Tracer::counter_at(Seconds ts, std::string track, double value) {
+  aux_.counters.push_back(sim::CounterSample{std::move(track), ts, value});
+}
+
+void Tracer::counters_from(const sim::StatRegistry& registry) {
+  for (const auto& [name, value] : registry.all()) counter(name, value);
+}
+
+std::uint64_t Tracer::flow_begin(sim::Lane lane, std::string name) {
+  const std::uint64_t id = next_flow_id_++;
+  aux_.flows.push_back(sim::FlowEvent{id, lane, now_, std::move(name), true});
+  return id;
+}
+
+void Tracer::flow_end(std::uint64_t id, sim::Lane lane, std::string name) {
+  aux_.flows.push_back(sim::FlowEvent{id, lane, now_, std::move(name), false});
+}
+
+void Tracer::clear() {
+  timeline_.clear();
+  aux_.clear();
+  now_ = 0;
+  next_flow_id_ = 1;
+}
+
+}  // namespace cig::obs

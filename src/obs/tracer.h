@@ -1,0 +1,107 @@
+// Span tracer: the write side of the observability layer. Components
+// record what they are doing — spans (RAII scopes on a lane), instant
+// events, counter samples and causal flow arrows — against a simulated
+// clock, and the tracer accumulates them into the sim::Timeline /
+// sim::TraceAux pair that trace_export renders for Perfetto.
+//
+//   obs::Tracer tracer;
+//   tracer.set_now(t);
+//   {
+//     CIG_TRACE_SPAN(tracer, sim::Lane::Ctrl, "executor.run");
+//     ... advance tracer.set_now(...) as simulated time passes ...
+//   }  // span closes at the tracer's current time
+//   tracer.counter("gpu_cache_usage_pct", usage.gpu_pct());
+//   auto id = tracer.flow_begin(sim::Lane::Ctrl, "switch SC->ZC");
+//   ... later ...
+//   tracer.flow_end(id, sim::Lane::Ctrl, "switch SC->ZC");
+//
+// The clock is the *simulated* time base (support/units.h Seconds), not
+// wall clock: the tracer observes the same timeline the executor bills.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stat_registry.h"
+#include "sim/timeline.h"
+#include "sim/trace_export.h"
+#include "support/units.h"
+
+namespace cig::obs {
+
+class Tracer {
+ public:
+  // RAII scope: captures the tracer clock at construction and adds a
+  // segment [start, now] on `lane` when destroyed (or close()d early).
+  class Span {
+   public:
+    Span(Tracer& tracer, sim::Lane lane, std::string label)
+        : tracer_(&tracer), lane_(lane), label_(std::move(label)),
+          start_(tracer.now()) {}
+    ~Span() { close(); }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    // Idempotent early close; `at` overrides the end time (defaults to the
+    // tracer clock, clamped so the span never ends before it started).
+    void close();
+    void close_at(Seconds at);
+
+   private:
+    Tracer* tracer_;
+    sim::Lane lane_;
+    std::string label_;
+    Seconds start_;
+  };
+
+  // --- clock ---------------------------------------------------------------
+  // The simulated-time cursor new events are stamped with. Instrumented
+  // components advance it as they bill simulated time.
+  void set_now(Seconds t) { now_ = t; }
+  Seconds now() const { return now_; }
+
+  // --- events --------------------------------------------------------------
+  Span span(sim::Lane lane, std::string label) {
+    return Span(*this, lane, std::move(label));
+  }
+  void segment(sim::Lane lane, Seconds start, Seconds end, std::string label);
+  void instant(sim::Lane lane, std::string label);
+
+  // Counter-track sample at the current clock (or an explicit time).
+  void counter(std::string track, double value);
+  void counter_at(Seconds ts, std::string track, double value);
+  // One sample per counter in `registry` (use StatRegistry::with_prefix to
+  // restrict which counters become tracks).
+  void counters_from(const sim::StatRegistry& registry);
+
+  // Causal arrows: flow_begin stamps the start endpoint and returns the
+  // flow id; flow_end stamps a terminating endpoint. Use the same `name`
+  // for both endpoints (viewers match flows by id + name).
+  std::uint64_t flow_begin(sim::Lane lane, std::string name);
+  void flow_end(std::uint64_t id, sim::Lane lane, std::string name);
+
+  // --- results -------------------------------------------------------------
+  sim::Timeline& timeline() { return timeline_; }
+  const sim::Timeline& timeline() const { return timeline_; }
+  const sim::TraceAux& aux() const { return aux_; }
+
+  void clear();
+
+ private:
+  sim::Timeline timeline_;
+  sim::TraceAux aux_;
+  Seconds now_ = 0;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace cig::obs
+
+// RAII span over the enclosing scope. The variable name folds in the line
+// number so multiple spans can coexist in one scope.
+#define CIG_TRACE_SPAN_CAT2(a, b) a##b
+#define CIG_TRACE_SPAN_CAT(a, b) CIG_TRACE_SPAN_CAT2(a, b)
+#define CIG_TRACE_SPAN(tracer, lane, label)                      \
+  ::cig::obs::Tracer::Span CIG_TRACE_SPAN_CAT(cig_trace_span_,   \
+                                              __LINE__)((tracer), (lane), \
+                                                        (label))

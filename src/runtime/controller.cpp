@@ -1,5 +1,6 @@
 #include "runtime/controller.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/assert.h"
@@ -18,6 +19,25 @@ std::string switch_label(comm::CommModel from, comm::CommModel to,
 }
 
 }  // namespace
+
+Json ControlDecision::to_json() const {
+  Json j;
+  j["model_before"] = comm::model_name(model_before);
+  j["model_after"] = comm::model_name(model_after);
+  j["evaluated"] = evaluated;
+  j["wanted_switch"] = wanted_switch;
+  j["switched"] = switched;
+  j["vetoed_by_cost"] = vetoed_by_cost;
+  j["zone"] = core::zone_key(zone);
+  j["predicted_speedup"] = predicted_speedup;
+  j["offline_speedup"] = offline_speedup;
+  j["switch_cost_us"] = to_us(switch_cost);
+  j["predicted_gain_us"] = to_us(predicted_gain);
+  j["rationale"] = rationale;
+  j["flow_id"] = flow_id;
+  if (evaluated) j["explanation"] = explanation.to_json();
+  return j;
+}
 
 AdaptiveController::AdaptiveController(const core::DecisionEngine& engine,
                                        comm::Executor& executor,
@@ -68,7 +88,23 @@ ControlDecision AdaptiveController::on_sample(
       sample.total_time * static_cast<double>(sample.iterations);
   metrics_.samples += 1;
   metrics_.time_in_model[core::model_index(model_)] += phase_time;
+  metrics_.phase_latency_us.add(to_us(phase_time));
+  metrics_.kernel_latency_us.add(to_us(sample.kernel_time));
   now_ += phase_time;
+  // When the executor shares our tracer it has already billed this phase's
+  // span on the clock; adopt its end if rounding put it ahead so CTRL-lane
+  // events stay strictly ordered.
+  now_ = std::max(now_, tracer_.now());
+
+  // Terminate the flow arrow from the previous committed switch inside this
+  // phase — the first one executed under the new model — so the exported
+  // trace draws switch -> affected phase.
+  if (pending_flow_id_ != 0) {
+    tracer_.set_now(now_ - phase_time / 2);
+    tracer_.flow_end(pending_flow_id_, sim::Lane::Ctrl, pending_flow_name_);
+    pending_flow_id_ = 0;
+  }
+  tracer_.set_now(now_);
 
   // Verify the previous switch against the first sample taken after it.
   if (verify_pending_) {
@@ -93,8 +129,8 @@ ControlDecision AdaptiveController::on_sample(
   const bool cpu_over = cpu_band_.update(usage.cpu_pct());
   if (zone_tracker_.changed()) {
     metrics_.phase_changes += 1;
-    timeline_.mark(sim::Lane::Ctrl, now_,
-                   std::string("zone -> ") + core::zone_name(zone));
+    tracer_.instant(sim::Lane::Ctrl,
+                    std::string("zone -> ") + core::zone_name(zone));
   }
 
   const auto rec = engine_.recommend_for(
@@ -103,7 +139,18 @@ ControlDecision AdaptiveController::on_sample(
   decision.zone = zone;
   decision.offline_speedup = rec.estimated_speedup;
   decision.rationale = rec.rationale;
+  decision.explanation = rec.explanation;
   metrics_.decisions += 1;
+
+  // Counter tracks: the eqn-1/2 operating point this decision saw plus a
+  // snapshot of the runtime.* registry, one sample per evaluation.
+  tracer_.counter("ctrl.gpu_cache_usage_pct", usage.gpu_pct());
+  tracer_.counter("ctrl.cpu_cache_usage_pct", usage.cpu_pct());
+  tracer_.counter("ctrl.gpu_ll_throughput_gbps",
+                  to_GBps(smoothed.gpu_ll_throughput));
+  sim::StatRegistry scratch;
+  metrics_.export_to(scratch);
+  tracer_.counters_from(scratch.with_prefix("runtime."));
 
   // Candidate targets. The offline flow's suggestion leads when it wants a
   // switch ("switch to SC (or UM)" expands to both cached models). When the
@@ -139,6 +186,7 @@ ControlDecision AdaptiveController::on_sample(
     }
   }
   decision.predicted_speedup = refined.speedup;
+  tracer_.counter("ctrl.predicted_speedup", refined.speedup);
   if (refined.speedup <= 1.0) {
     if (rec.switch_model) {
       // The offline flow wanted this switch; the online refinement says it
@@ -162,19 +210,27 @@ ControlDecision AdaptiveController::on_sample(
     decision.vetoed_by_cost = true;
     decision.switch_cost = estimate.total();
     metrics_.vetoed_by_cost += 1;
-    timeline_.mark(sim::Lane::Ctrl, now_,
-                   std::string("veto ") + comm::model_name(model_) + "->" +
-                       comm::model_name(candidate) + " (cost)");
+    tracer_.instant(sim::Lane::Ctrl,
+                    std::string("veto ") + comm::model_name(model_) + "->" +
+                        comm::model_name(candidate) + " (cost)");
     return decision;
   }
 
-  // Commit: perform the switch on the live SoC and bill its cost.
+  // Commit: perform the switch on the live SoC and bill its cost. A flow
+  // arrow starts inside the switch segment (so viewers bind it to that
+  // slice) and terminates in the next sampled phase.
   const auto realized =
       executor_.apply_model_switch(model_, candidate, shared_base,
                                    shared_bytes);
-  timeline_.add(sim::Lane::Ctrl, now_, now_ + realized.total(),
-                switch_label(model_, candidate, refined.speedup));
+  tracer_.segment(sim::Lane::Ctrl, now_, now_ + realized.total(),
+                  switch_label(model_, candidate, refined.speedup));
+  pending_flow_name_ = std::string("switch ") + comm::model_name(model_) +
+                       "->" + comm::model_name(candidate);
+  tracer_.set_now(now_ + realized.total() / 2);
+  decision.flow_id = tracer_.flow_begin(sim::Lane::Ctrl, pending_flow_name_);
+  pending_flow_id_ = decision.flow_id;
   now_ += realized.total();
+  tracer_.set_now(now_);
   metrics_.switches += 1;
   metrics_.switch_overhead += realized.total();
 
@@ -196,6 +252,13 @@ ControlDecision AdaptiveController::on_sample(
   window_.clear();
   arm_tracker();
   return decision;
+}
+
+void AdaptiveController::finish() {
+  if (pending_flow_id_ == 0) return;
+  tracer_.set_now(now_);
+  tracer_.flow_end(pending_flow_id_, sim::Lane::Ctrl, pending_flow_name_);
+  pending_flow_id_ = 0;
 }
 
 }  // namespace cig::runtime

@@ -19,11 +19,13 @@
 
 #include "comm/executor.h"
 #include "core/decision.h"
+#include "obs/tracer.h"
 #include "runtime/estimator.h"
 #include "runtime/hysteresis.h"
 #include "runtime/metrics.h"
 #include "runtime/window.h"
 #include "sim/timeline.h"
+#include "support/json.h"
 
 namespace cig::runtime {
 
@@ -59,6 +61,16 @@ struct ControlDecision {
   Seconds switch_cost = 0;      // realized when switched, estimate when vetoed
   Seconds predicted_gain = 0;   // over the amortization horizon
   std::string rationale;
+
+  // Decision provenance: the offline flow's structured explanation (inputs,
+  // thresholds, equations, checks). Populated when `evaluated` is true.
+  core::Explanation explanation;
+  // Trace flow-arrow id linking a committed switch to the first phase under
+  // the new model (0 when no switch was committed).
+  std::uint64_t flow_id = 0;
+
+  // Full provenance record: outcome flags + costs + explanation.
+  Json to_json() const;
 };
 
 class AdaptiveController {
@@ -85,7 +97,18 @@ class AdaptiveController {
 
   // Controller-lane annotations (switches as segments, vetoes and phase
   // changes as instant marks) for merging into an exported trace.
-  const sim::Timeline& timeline() const { return timeline_; }
+  const sim::Timeline& timeline() const { return tracer_.timeline(); }
+
+  // The controller's tracer: timeline plus counter tracks and decision->
+  // phase flow arrows. Drivers may share it with the executor
+  // (Executor::set_tracer) so executed phases land on the same clock.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  // Terminates any dangling decision->phase flow arrow at the current
+  // clock. Call once after the last sample so every flow start in the
+  // exported trace has a matching end.
+  void finish();
 
   const StreamingProfile& window() const { return window_; }
   const ControllerConfig& config() const { return config_; }
@@ -103,8 +126,12 @@ class AdaptiveController {
   HysteresisZoneTracker zone_tracker_;
   HysteresisBand cpu_band_;
   RuntimeMetrics metrics_;
-  sim::Timeline timeline_;
+  obs::Tracer tracer_;
   Seconds now_ = 0;
+
+  // Open decision->phase flow arrow from the last committed switch.
+  std::uint64_t pending_flow_id_ = 0;
+  std::string pending_flow_name_;
 
   // Pending prediction verification: per-iteration time before the last
   // switch, compared against the first sample taken after it.

@@ -24,6 +24,8 @@ void RuntimeMetrics::export_to(sim::StatRegistry& registry) const {
   }
   registry.set("runtime.predicted_speedup_product", predicted_speedup_product);
   registry.set("runtime.realized_speedup_product", realized_speedup_product);
+  phase_latency_us.export_to(registry, "runtime.phase_latency_us");
+  kernel_latency_us.export_to(registry, "runtime.kernel_latency_us");
 }
 
 std::string RuntimeMetrics::to_string() const {
@@ -41,6 +43,14 @@ std::string RuntimeMetrics::to_string() const {
   out << "; switch overhead " << format_time(switch_overhead) << "\n";
   out << "speedup products: predicted " << predicted_speedup_product
       << "x, realized " << realized_speedup_product << "x\n";
+  if (phase_latency_us.count() > 0) {
+    out << "phase latency us: p50 " << phase_latency_us.percentile(0.50)
+        << ", p95 " << phase_latency_us.percentile(0.95) << ", p99 "
+        << phase_latency_us.percentile(0.99) << "; kernel latency us: p50 "
+        << kernel_latency_us.percentile(0.50) << ", p95 "
+        << kernel_latency_us.percentile(0.95) << ", p99 "
+        << kernel_latency_us.percentile(0.99) << "\n";
+  }
   return out.str();
 }
 

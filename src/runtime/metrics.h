@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/microbench.h"
+#include "obs/histogram.h"
 #include "sim/stat_registry.h"
 #include "support/units.h"
 
@@ -35,6 +36,13 @@ struct RuntimeMetrics {
   // each other = the eqn-3/4 estimators track reality online.
   double predicted_speedup_product = 1.0;
   double realized_speedup_product = 1.0;
+
+  // Latency distributions (µs domain): one phase_latency sample per sampled
+  // phase (whole phase wall time), one kernel_latency sample per phase
+  // (per-iteration kernel time). export_to publishes count/mean/min/max and
+  // p50/p95/p99 under "runtime.phase_latency_us.*" / ".kernel_latency_us.*".
+  obs::Histogram phase_latency_us;
+  obs::Histogram kernel_latency_us;
 
   void export_to(sim::StatRegistry& registry) const;
   std::string to_string() const;

@@ -29,6 +29,10 @@ ReplayResult replay_phasic(core::Framework& framework,
   profile::Profiler profiler(framework.soc(), options.exec);
   AdaptiveController controller(engine, profiler.executor(),
                                 options.controller);
+  // Share the controller's tracer with the executor: executed phases land
+  // on the CTRL lane of the same clock the controller annotates, and the
+  // executor's bandwidth counters join the controller's counter tracks.
+  profiler.executor().set_tracer(&controller.tracer());
 
   ReplayResult result;
   for (std::uint32_t p = 0; p < phases.size(); ++p) {
@@ -52,7 +56,10 @@ ReplayResult replay_phasic(core::Framework& framework,
     }
   }
 
+  controller.finish();
+  profiler.executor().set_tracer(nullptr);
   result.timeline.append(controller.timeline(), 0.0);
+  result.aux = controller.tracer().aux();
   result.adaptive_time = controller.now();
   result.metrics = controller.metrics();
   result.metrics.export_to(result.registry);

@@ -13,6 +13,7 @@
 #include "core/framework.h"
 #include "runtime/controller.h"
 #include "sim/stat_registry.h"
+#include "sim/trace_export.h"
 #include "workload/builders.h"
 
 namespace cig::runtime {
@@ -35,6 +36,7 @@ struct ReplayResult {
   RuntimeMetrics metrics;
   sim::StatRegistry registry;  // "runtime.*" counters
   sim::Timeline timeline;      // merged lanes + controller annotations
+  sim::TraceAux aux;           // counter tracks + decision->phase flows
   std::vector<SampleRecord> samples;
 
   std::uint64_t switches_into(comm::CommModel model) const;

@@ -35,12 +35,31 @@ void StatRegistry::merge(const StatRegistry& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
 }
 
+StatRegistry StatRegistry::with_prefix(const std::string& prefix) const {
+  StatRegistry out;
+  // std::map is name-sorted, so the matching range is contiguous.
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.counters_.insert(*it);
+  }
+  return out;
+}
+
 std::string StatRegistry::to_string() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters_) {
     out << name << " = " << value << '\n';
   }
   return out.str();
+}
+
+Json StatRegistry::to_json() const {
+  // JsonObject is itself a sorted map, so insertion order is irrelevant —
+  // the serialized order is the counters' lexicographic name order.
+  Json out = JsonObject{};
+  for (const auto& [name, value] : counters_) out[name] = Json(value);
+  return out;
 }
 
 }  // namespace cig::sim

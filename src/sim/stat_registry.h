@@ -1,10 +1,18 @@
 // Named counters collected during a simulated run — the simulator-side
 // analogue of a hardware PMU. The profiler reads these to build its report.
+//
+// Ordering guarantee: counters are stored in a sorted map, so `all()`,
+// `to_string()` and `to_json()` enumerate counters in lexicographic name
+// order. Machine-readable exports (cigtool --json, the Prometheus snapshot)
+// rely on this — it is an explicit, documented contract, not an
+// implementation accident.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "support/json.h"
 
 namespace cig::sim {
 
@@ -25,13 +33,23 @@ class StatRegistry {
                const std::string& complement) const;
 
   const std::map<std::string, double>& all() const { return counters_; }
+  std::size_t size() const { return counters_.size(); }
   void clear();
 
   // Merges another registry into this one (counter-wise sum).
   void merge(const StatRegistry& other);
 
+  // Sub-registry view: every counter whose name starts with `prefix`,
+  // names preserved. Used to slice e.g. the "runtime." counters out of a
+  // merged registry for counter-track sampling or prefixed exports.
+  StatRegistry with_prefix(const std::string& prefix) const;
+
   // Renders "name = value" lines sorted by name (for debugging/reports).
   std::string to_string() const;
+
+  // JSON object {name: value} in deterministic (sorted-by-name) order —
+  // see the ordering guarantee in the header comment.
+  Json to_json() const;
 
  private:
   std::map<std::string, double> counters_;

@@ -1,6 +1,8 @@
 #include "sim/trace_export.h"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 
 namespace cig::sim {
 
@@ -30,7 +32,32 @@ Json metadata_event(const std::string& name, int tid, const std::string& label) 
 
 }  // namespace
 
+void TraceAux::clear() {
+  counters.clear();
+  flows.clear();
+}
+
+void TraceAux::append(const TraceAux& other, Seconds offset) {
+  for (const auto& c : other.counters) {
+    counters.push_back(CounterSample{c.track, c.ts + offset, c.value});
+  }
+  for (const auto& f : other.flows) {
+    flows.push_back(FlowEvent{f.id, f.lane, f.ts + offset, f.name, f.begin});
+  }
+}
+
+bool TraceAux::flows_balanced() const {
+  std::set<std::uint64_t> begins, ends;
+  for (const auto& f : flows) (f.begin ? begins : ends).insert(f.id);
+  return begins == ends;
+}
+
 Json to_chrome_trace(const Timeline& timeline,
+                     const std::string& process_name) {
+  return to_chrome_trace(timeline, TraceAux{}, process_name);
+}
+
+Json to_chrome_trace(const Timeline& timeline, const TraceAux& aux,
                      const std::string& process_name) {
   Json events;
   events.push_back(metadata_event("process_name", 0, process_name));
@@ -57,6 +84,43 @@ Json to_chrome_trace(const Timeline& timeline,
     events.push_back(std::move(event));
   }
 
+  // Counter tracks: one "C" event per sample, emitted in monotone `ts`
+  // order (stable, so same-timestamp samples keep their recording order).
+  std::vector<const CounterSample*> counters;
+  counters.reserve(aux.counters.size());
+  for (const auto& c : aux.counters) counters.push_back(&c);
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const CounterSample* a, const CounterSample* b) {
+                     return a->ts < b->ts;
+                   });
+  for (const CounterSample* c : counters) {
+    Json event;
+    event["ph"] = Json("C");
+    event["pid"] = Json(1);
+    event["tid"] = Json(0);
+    event["name"] = Json(c->track);
+    event["ts"] = Json(to_us(c->ts));
+    Json args;
+    args["value"] = Json(c->value);
+    event["args"] = std::move(args);
+    events.push_back(std::move(event));
+  }
+
+  // Flow arrows: "s" starts the flow at its begin endpoint, "f" (with
+  // bp="e" binding to the enclosing slice) terminates it.
+  for (const auto& f : aux.flows) {
+    Json event;
+    event["ph"] = Json(f.begin ? "s" : "f");
+    if (!f.begin) event["bp"] = Json("e");
+    event["id"] = Json(f.id);
+    event["pid"] = Json(1);
+    event["tid"] = Json(lane_tid(f.lane));
+    event["ts"] = Json(to_us(f.ts));
+    event["name"] = Json(f.name);
+    event["cat"] = Json("flow");
+    events.push_back(std::move(event));
+  }
+
   Json document;
   document["traceEvents"] = std::move(events);
   document["displayTimeUnit"] = Json("ns");
@@ -65,9 +129,15 @@ Json to_chrome_trace(const Timeline& timeline,
 
 void write_chrome_trace(const Timeline& timeline, const std::string& path,
                         const std::string& process_name) {
+  write_chrome_trace(timeline, TraceAux{}, path, process_name);
+}
+
+void write_chrome_trace(const Timeline& timeline, const TraceAux& aux,
+                        const std::string& path,
+                        const std::string& process_name) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << to_chrome_trace(timeline, process_name).dump(1) << '\n';
+  out << to_chrome_trace(timeline, aux, process_name).dump(1) << '\n';
 }
 
 }  // namespace cig::sim

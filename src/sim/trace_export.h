@@ -6,24 +6,77 @@
 //   sim::write_chrome_trace(run.timeline, "run.json");
 //   # open chrome://tracing -> Load -> run.json
 //
-// Each lane (CPU / GPU / copy engine) becomes a thread; each segment a
-// complete ("X") event with microsecond timestamps.
+// Each lane (CPU / GPU / copy engine / CTRL) becomes a thread; each segment
+// a complete ("X") event with microsecond timestamps. Beyond plain
+// segments, the exporter understands the auxiliary records the obs layer
+// produces (obs/tracer.h):
+//
+//  - counter tracks ("C" events): periodic samples of named values (cache
+//    usage %, bandwidth, runtime.* counters) rendered as stacked area
+//    charts above the lanes;
+//  - flow events ("s"/"f" pairs): causal arrows, e.g. from a controller
+//    decision on the CTRL lane to the execution phase it triggered.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/timeline.h"
 #include "support/json.h"
 
 namespace cig::sim {
 
+// One sample of a named counter track at simulated time `ts`.
+struct CounterSample {
+  std::string track;
+  Seconds ts = 0;
+  double value = 0;
+};
+
+// One endpoint of a causal arrow. A flow with id N is drawn from the
+// `begin == true` event to every `begin == false` event with the same id;
+// the viewer binds each endpoint to the slice enclosing (lane, ts).
+struct FlowEvent {
+  std::uint64_t id = 0;
+  Lane lane = Lane::Ctrl;
+  Seconds ts = 0;
+  std::string name;
+  bool begin = true;
+};
+
+// Auxiliary trace records accompanying a Timeline.
+struct TraceAux {
+  std::vector<CounterSample> counters;
+  std::vector<FlowEvent> flows;
+
+  bool empty() const { return counters.empty() && flows.empty(); }
+  void clear();
+
+  // Merges another aux record shifted by `offset` (mirrors
+  // Timeline::append).
+  void append(const TraceAux& other, Seconds offset);
+
+  // True if every flow id that begins also ends (and vice versa) — the
+  // invariant the exporter tests rely on ("every s has a matching f").
+  bool flows_balanced() const;
+};
+
 // Builds the trace-event JSON document for a timeline. `process_name`
 // labels the process row in the viewer.
 Json to_chrome_trace(const Timeline& timeline,
                      const std::string& process_name = "cigopt");
 
+// Same, with counter tracks and flow arrows. Counter events are emitted
+// sorted by timestamp (monotone `ts`), one "C" event per sample.
+Json to_chrome_trace(const Timeline& timeline, const TraceAux& aux,
+                     const std::string& process_name = "cigopt");
+
 // Writes the document to `path` (throws std::runtime_error on I/O error).
 void write_chrome_trace(const Timeline& timeline, const std::string& path,
+                        const std::string& process_name = "cigopt");
+void write_chrome_trace(const Timeline& timeline, const TraceAux& aux,
+                        const std::string& path,
                         const std::string& process_name = "cigopt");
 
 }  // namespace cig::sim

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 #include "support/assert.h"
 #include "support/units.h"
@@ -56,8 +58,51 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 
+namespace {
+
+// ISO-8601 UTC with millisecond precision, e.g. 2026-08-06T12:34:56.789Z.
+std::string timestamp_utc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+std::string format_log_line(LogLevel level, const char* component,
+                            const std::string& message) {
+  std::string line = timestamp_utc();
+  line += " [cig ";
+  line += level_name(level);
+  if (component != nullptr && component[0] != '\0') {
+    line += ' ';
+    line += component;
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  return line;
+}
+
+void emit_log(LogLevel level, const char* component,
+              const std::string& message) {
+  const std::string line = format_log_line(level, component, message);
+  // One write per line: concurrent loggers never interleave mid-line.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 void emit_log(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[cig %s] %s\n", level_name(level), message.c_str());
+  emit_log(level, nullptr, message);
 }
 
 }  // namespace detail

@@ -1,6 +1,13 @@
 // Leveled logging to stderr. Default level is Warn so library users see
 // problems but benches stay quiet; set CIG_LOG=debug|info|warn|error or call
 // set_log_level() to change it.
+//
+// Lines carry an ISO-8601 UTC timestamp and an optional component tag:
+//
+//   2026-08-06T12:34:56.789Z [cig WARN comm] switch cost exceeds gain
+//
+// Each line is assembled in full and written with a single stderr write so
+// concurrent loggers never interleave mid-line.
 #pragma once
 
 #include <sstream>
@@ -18,6 +25,13 @@ LogLevel parse_log_level(const std::string& name);
 
 namespace detail {
 void emit_log(LogLevel level, const std::string& message);
+void emit_log(LogLevel level, const char* component,
+              const std::string& message);
+
+// The "<timestamp> [cig <LEVEL> <component>] <message>\n" line emit_log
+// writes (exposed so tests can check the format without capturing stderr).
+std::string format_log_line(LogLevel level, const char* component,
+                            const std::string& message);
 }
 
 }  // namespace cig
@@ -29,6 +43,17 @@ void emit_log(LogLevel level, const std::string& message);
       std::ostringstream cig_log_ss;                              \
       cig_log_ss << expr;                                         \
       ::cig::detail::emit_log(level, cig_log_ss.str());           \
+    }                                                             \
+  } while (0)
+
+// Component-tagged variant: CIG_LOG_C(level, "comm", "msg " << x).
+#define CIG_LOG_C(level, component, expr)                         \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::cig::log_level())) {                   \
+      std::ostringstream cig_log_ss;                              \
+      cig_log_ss << expr;                                         \
+      ::cig::detail::emit_log(level, component, cig_log_ss.str());\
     }                                                             \
   } while (0)
 

@@ -1,0 +1,476 @@
+// Tests for the observability layer: the span tracer (RAII scopes,
+// counters, flow arrows), the log-bucket latency histogram, the Prometheus
+// snapshot, the extended Chrome-trace export (counter tracks + flows), the
+// decision-provenance Explanation round-trip, and the end-to-end replay
+// trace the adaptive runtime produces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/explain.h"
+#include "obs/histogram.h"
+#include "obs/prometheus.h"
+#include "obs/tracer.h"
+#include "runtime/replay.h"
+#include "sim/trace_export.h"
+#include "soc/presets.h"
+#include "support/units.h"
+#include "workload/builders.h"
+
+namespace cig {
+namespace {
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(Tracer, SpanCoversClockAdvance) {
+  obs::Tracer tracer;
+  tracer.set_now(microsec(10));
+  {
+    CIG_TRACE_SPAN(tracer, sim::Lane::Cpu, "work");
+    tracer.set_now(microsec(35));
+  }
+  const auto& segments = tracer.timeline().segments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].lane, sim::Lane::Cpu);
+  EXPECT_DOUBLE_EQ(to_us(segments[0].start), 10.0);
+  EXPECT_DOUBLE_EQ(to_us(segments[0].end), 35.0);
+  EXPECT_EQ(segments[0].label, "work");
+}
+
+TEST(Tracer, SpanCloseIsIdempotentAndClamped) {
+  obs::Tracer tracer;
+  tracer.set_now(microsec(20));
+  auto span = tracer.span(sim::Lane::Gpu, "kernel");
+  tracer.set_now(microsec(5));  // clock moved backwards (caller bug)
+  span.close();
+  span.close();  // second close is a no-op
+  const auto& segments = tracer.timeline().segments();
+  ASSERT_EQ(segments.size(), 1u);
+  // Clamped: a span never ends before it started.
+  EXPECT_DOUBLE_EQ(to_us(segments[0].start), 20.0);
+  EXPECT_DOUBLE_EQ(to_us(segments[0].end), 20.0);
+}
+
+TEST(Tracer, TwoSpansInOneScope) {
+  obs::Tracer tracer;
+  {
+    CIG_TRACE_SPAN(tracer, sim::Lane::Cpu, "outer");
+    CIG_TRACE_SPAN(tracer, sim::Lane::Gpu, "inner");
+    tracer.set_now(microsec(7));
+  }
+  ASSERT_EQ(tracer.timeline().segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(to_us(tracer.timeline().busy(sim::Lane::Cpu)), 7.0);
+  EXPECT_DOUBLE_EQ(to_us(tracer.timeline().busy(sim::Lane::Gpu)), 7.0);
+}
+
+TEST(Tracer, CountersStampedAtClock) {
+  obs::Tracer tracer;
+  tracer.set_now(microsec(3));
+  tracer.counter("cache_pct", 42.0);
+  tracer.counter_at(microsec(9), "cache_pct", 58.0);
+  const auto& counters = tracer.aux().counters;
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].track, "cache_pct");
+  EXPECT_DOUBLE_EQ(to_us(counters[0].ts), 3.0);
+  EXPECT_DOUBLE_EQ(counters[0].value, 42.0);
+  EXPECT_DOUBLE_EQ(to_us(counters[1].ts), 9.0);
+}
+
+TEST(Tracer, CountersFromRegistryPrefixView) {
+  sim::StatRegistry registry;
+  registry.set("runtime.switches", 3);
+  registry.set("runtime.samples", 12);
+  registry.set("cache.cpu_l1.hits", 99);
+  obs::Tracer tracer;
+  tracer.counters_from(registry.with_prefix("runtime."));
+  ASSERT_EQ(tracer.aux().counters.size(), 2u);
+  // Registry order is lexicographic, names preserved in full.
+  EXPECT_EQ(tracer.aux().counters[0].track, "runtime.samples");
+  EXPECT_EQ(tracer.aux().counters[1].track, "runtime.switches");
+}
+
+TEST(Tracer, FlowIdsAreUniqueAndBalanced) {
+  obs::Tracer tracer;
+  const auto a = tracer.flow_begin(sim::Lane::Ctrl, "switch SC->ZC");
+  tracer.set_now(microsec(50));
+  const auto b = tracer.flow_begin(sim::Lane::Ctrl, "switch ZC->UM");
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(tracer.aux().flows_balanced());
+  tracer.flow_end(a, sim::Lane::Ctrl, "switch SC->ZC");
+  tracer.flow_end(b, sim::Lane::Ctrl, "switch ZC->UM");
+  EXPECT_TRUE(tracer.aux().flows_balanced());
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  obs::Tracer tracer;
+  tracer.segment(sim::Lane::Cpu, 0, microsec(1), "x");
+  tracer.counter("c", 1);
+  tracer.flow_begin(sim::Lane::Ctrl, "f");
+  tracer.set_now(microsec(5));
+  tracer.clear();
+  EXPECT_TRUE(tracer.timeline().segments().empty());
+  EXPECT_TRUE(tracer.aux().empty());
+  EXPECT_DOUBLE_EQ(tracer.now(), 0.0);
+}
+
+// --- trace aux ---------------------------------------------------------------
+
+TEST(TraceAux, AppendShiftsTimestamps) {
+  sim::TraceAux base, other;
+  other.counters.push_back({"c", microsec(5), 1.0});
+  other.flows.push_back({1, sim::Lane::Ctrl, microsec(6), "f", true});
+  other.flows.push_back({1, sim::Lane::Ctrl, microsec(8), "f", false});
+  base.append(other, microsec(100));
+  ASSERT_EQ(base.counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(to_us(base.counters[0].ts), 105.0);
+  ASSERT_EQ(base.flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(to_us(base.flows[0].ts), 106.0);
+  EXPECT_TRUE(base.flows_balanced());
+}
+
+// --- chrome export with counters and flows -----------------------------------
+
+sim::Timeline ctrl_timeline() {
+  sim::Timeline t;
+  t.add(sim::Lane::Cpu, microsec(0), microsec(10), "produce");
+  t.add(sim::Lane::Ctrl, microsec(10), microsec(12), "switch SC->ZC");
+  return t;
+}
+
+sim::TraceAux ctrl_aux() {
+  sim::TraceAux aux;
+  // Deliberately unsorted: the exporter must emit monotone "C" events.
+  aux.counters.push_back({"usage_pct", microsec(8), 40.0});
+  aux.counters.push_back({"usage_pct", microsec(2), 10.0});
+  aux.flows.push_back({7, sim::Lane::Ctrl, microsec(11), "switch", true});
+  aux.flows.push_back({7, sim::Lane::Cpu, microsec(14), "switch", false});
+  return aux;
+}
+
+TEST(TraceExportAux, CounterEventsMonotoneInTs) {
+  const auto doc = sim::to_chrome_trace(ctrl_timeline(), ctrl_aux());
+  double last_ts = -1;
+  int counter_events = 0;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "C") continue;
+    ++counter_events;
+    EXPECT_EQ(event.at("name").as_string(), "usage_pct");
+    EXPECT_GE(event.at("ts").as_number(), last_ts);
+    last_ts = event.at("ts").as_number();
+    EXPECT_TRUE(event.at("args").at("value").is_number());
+  }
+  EXPECT_EQ(counter_events, 2);
+}
+
+TEST(TraceExportAux, FlowsPairedByIdAndName) {
+  const auto doc = sim::to_chrome_trace(ctrl_timeline(), ctrl_aux());
+  std::multiset<std::pair<double, std::string>> begins, ends;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    const auto& ph = event.at("ph").as_string();
+    if (ph == "s") {
+      begins.insert({event.at("id").as_number(),
+                     event.at("name").as_string()});
+    } else if (ph == "f") {
+      // Binding mode "e" attaches the arrow end to the enclosing slice.
+      EXPECT_EQ(event.at("bp").as_string(), "e");
+      ends.insert({event.at("id").as_number(),
+                   event.at("name").as_string()});
+    }
+  }
+  EXPECT_EQ(begins.size(), 1u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceExportAux, LanesStillPresentWithAux) {
+  const auto doc = sim::to_chrome_trace(ctrl_timeline(), ctrl_aux());
+  std::set<std::string> lane_names;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() == "M" &&
+        event.at("name").as_string() == "thread_name") {
+      lane_names.insert(event.at("args").at("name").as_string());
+    }
+  }
+  EXPECT_EQ(lane_names, (std::set<std::string>{"CPU", "GPU", "COPY", "CTRL"}));
+}
+
+TEST(TraceExportAux, EmptyAuxMatchesPlainExport) {
+  const auto plain = sim::to_chrome_trace(ctrl_timeline());
+  const auto with_aux = sim::to_chrome_trace(ctrl_timeline(), sim::TraceAux{});
+  EXPECT_EQ(plain.dump(), with_aux.dump());
+}
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(Histogram, EmptyIsZeros) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleValueIsEveryPercentile) {
+  obs::Histogram h;
+  h.add(123.0);
+  EXPECT_DOUBLE_EQ(h.min(), 123.0);
+  EXPECT_DOUBLE_EQ(h.max(), 123.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 123.0);
+  // Percentiles are clamped to [min, max], so a single sample is exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 123.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 123.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 123.0);
+}
+
+TEST(Histogram, PercentilesOfKnownUniformDistribution) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // One bucket ratio of relative error at 24 buckets/decade is ~10%.
+  EXPECT_NEAR(h.percentile(0.50), 500.0, 55.0);
+  EXPECT_NEAR(h.percentile(0.95), 950.0, 100.0);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+}
+
+TEST(Histogram, PercentilesOfLognormalAgainstExactOrderStatistic) {
+  std::mt19937 rng(42);
+  std::lognormal_distribution<double> dist(3.0, 1.0);
+  obs::Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(h.percentile(q), exact, exact * 0.11)
+        << "quantile " << q;
+  }
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  obs::Histogram h(/*floor=*/1.0, /*ceiling=*/100.0);
+  h.add(1e-6);
+  h.add(1e6);
+  EXPECT_EQ(h.count(), 2u);
+  // Exact extremes are tracked on the side.
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  // Percentiles stay within [min, max] even for clamped samples.
+  EXPECT_GE(h.percentile(0.5), h.min());
+  EXPECT_LE(h.percentile(0.5), h.max());
+}
+
+TEST(Histogram, MergeMatchesCombinedAdds) {
+  obs::Histogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.add(i);
+    combined.add(i);
+  }
+  for (int i = 500; i <= 600; ++i) {
+    b.add(i);
+    combined.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), combined.percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(Histogram, ExportToRegistry) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  sim::StatRegistry registry;
+  h.export_to(registry, "runtime.phase_latency_us");
+  EXPECT_DOUBLE_EQ(registry.get("runtime.phase_latency_us.count"), 100.0);
+  EXPECT_NEAR(registry.get("runtime.phase_latency_us.mean"), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(registry.get("runtime.phase_latency_us.min"), 1.0);
+  EXPECT_DOUBLE_EQ(registry.get("runtime.phase_latency_us.max"), 100.0);
+  EXPECT_TRUE(registry.contains("runtime.phase_latency_us.p50"));
+  EXPECT_TRUE(registry.contains("runtime.phase_latency_us.p95"));
+  EXPECT_TRUE(registry.contains("runtime.phase_latency_us.p99"));
+}
+
+// --- prometheus snapshot -----------------------------------------------------
+
+TEST(Prometheus, SanitizesNames) {
+  EXPECT_EQ(obs::prometheus_name("runtime.switch_overhead_us"),
+            "cig_runtime_switch_overhead_us");
+  EXPECT_EQ(obs::prometheus_name("cache usage %"), "cig_cache_usage_pct");
+  EXPECT_EQ(obs::prometheus_name("a-b/c"), "cig_a_b_c");
+}
+
+TEST(Prometheus, GaugesAndQuantileSummaries) {
+  sim::StatRegistry registry;
+  registry.set("runtime.switches", 3);
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  h.export_to(registry, "runtime.phase_latency_us");
+  const std::string text = obs::to_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE cig_runtime_switches gauge"), std::string::npos);
+  EXPECT_NE(text.find("cig_runtime_switches 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cig_runtime_phase_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("cig_runtime_phase_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cig_runtime_phase_latency_us{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cig_runtime_phase_latency_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  // The .p50/.p95/.p99 counters are folded into the summary, not repeated
+  // as separate gauges.
+  EXPECT_EQ(text.find("cig_runtime_phase_latency_us_p50"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// --- explanation round-trip --------------------------------------------------
+
+TEST(Explanation, ZoneKeysParseBack) {
+  for (const core::Zone zone : {core::Zone::Comparable, core::Zone::Grey,
+                                core::Zone::CacheBound}) {
+    EXPECT_EQ(core::zone_from_key(core::zone_key(zone)), zone);
+  }
+}
+
+TEST(Explanation, JsonRoundTrip) {
+  core::Explanation ex;
+  ex.board = "Jetson TX2";
+  ex.capability = "sw-flush";
+  ex.gpu_usage_pct = 12.5;
+  ex.cpu_usage_pct = 30.25;
+  ex.gpu_threshold_pct = 1.8;
+  ex.gpu_zone2_end_pct = 7.0;
+  ex.cpu_threshold_pct = 11.4;
+  ex.gpu_zone = core::Zone::CacheBound;
+  ex.cpu_over_threshold = true;
+  ex.equation = 4;
+  ex.inputs.runtime = microsec(300);
+  ex.inputs.copy_time = microsec(27);
+  ex.inputs.cpu_time = microsec(57);
+  ex.inputs.gpu_time = microsec(168);
+  ex.max_speedup = 1.31;
+  ex.estimated_speedup = 1.12;
+  ex.current = comm::CommModel::ZeroCopy;
+  ex.suggested = comm::CommModel::StandardCopy;
+  ex.switch_model = true;
+  ex.use_overlap_pattern = false;
+  ex.checks = {"check one", "check two"};
+  ex.rationale = "because";
+
+  // Serialise, re-parse the dumped text, and rebuild.
+  const auto parsed = Json::parse(ex.to_json().dump(2));
+  const auto back = core::Explanation::from_json(parsed);
+  EXPECT_EQ(back.board, ex.board);
+  EXPECT_EQ(back.capability, ex.capability);
+  EXPECT_DOUBLE_EQ(back.gpu_usage_pct, ex.gpu_usage_pct);
+  EXPECT_DOUBLE_EQ(back.cpu_usage_pct, ex.cpu_usage_pct);
+  EXPECT_DOUBLE_EQ(back.gpu_threshold_pct, ex.gpu_threshold_pct);
+  EXPECT_DOUBLE_EQ(back.gpu_zone2_end_pct, ex.gpu_zone2_end_pct);
+  EXPECT_DOUBLE_EQ(back.cpu_threshold_pct, ex.cpu_threshold_pct);
+  EXPECT_EQ(back.gpu_zone, ex.gpu_zone);
+  EXPECT_EQ(back.cpu_over_threshold, ex.cpu_over_threshold);
+  EXPECT_EQ(back.equation, ex.equation);
+  EXPECT_NEAR(to_us(back.inputs.runtime), to_us(ex.inputs.runtime), 1e-9);
+  EXPECT_NEAR(to_us(back.inputs.copy_time), to_us(ex.inputs.copy_time), 1e-9);
+  EXPECT_NEAR(to_us(back.inputs.cpu_time), to_us(ex.inputs.cpu_time), 1e-9);
+  EXPECT_NEAR(to_us(back.inputs.gpu_time), to_us(ex.inputs.gpu_time), 1e-9);
+  EXPECT_DOUBLE_EQ(back.max_speedup, ex.max_speedup);
+  EXPECT_DOUBLE_EQ(back.estimated_speedup, ex.estimated_speedup);
+  EXPECT_EQ(back.current, ex.current);
+  EXPECT_EQ(back.suggested, ex.suggested);
+  EXPECT_EQ(back.switch_model, ex.switch_model);
+  EXPECT_EQ(back.use_overlap_pattern, ex.use_overlap_pattern);
+  EXPECT_EQ(back.checks, ex.checks);
+  EXPECT_EQ(back.rationale, ex.rationale);
+}
+
+// --- end-to-end: replay produces a complete observable trace -----------------
+
+TEST(ReplayObservability, TraceHasLanesCountersAndBalancedFlows) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases = workload::phasic_workload_phases(framework.board());
+  const auto result = runtime::replay_phasic(framework, phases);
+
+  // The merged aux must be balanced (AdaptiveController::finish closes any
+  // dangling switch->phase arrow).
+  EXPECT_TRUE(result.aux.flows_balanced());
+  EXPECT_FALSE(result.aux.counters.empty());
+
+  const auto doc =
+      sim::to_chrome_trace(result.timeline, result.aux, "test replay");
+  std::set<std::string> lane_names, counter_tracks;
+  std::multiset<double> flow_begins, flow_ends;
+  double last_counter_ts = -1;
+  bool counters_monotone = true;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    const auto& ph = event.at("ph").as_string();
+    if (ph == "M" && event.at("name").as_string() == "thread_name") {
+      lane_names.insert(event.at("args").at("name").as_string());
+    } else if (ph == "C") {
+      counter_tracks.insert(event.at("name").as_string());
+      if (event.at("ts").as_number() < last_counter_ts) {
+        counters_monotone = false;
+      }
+      last_counter_ts = event.at("ts").as_number();
+    } else if (ph == "s") {
+      flow_begins.insert(event.at("id").as_number());
+    } else if (ph == "f") {
+      flow_ends.insert(event.at("id").as_number());
+    }
+  }
+  EXPECT_EQ(lane_names,
+            (std::set<std::string>{"CPU", "GPU", "COPY", "CTRL"}));
+  EXPECT_GE(counter_tracks.size(), 3u) << "at least three counter tracks";
+  EXPECT_TRUE(counter_tracks.count("ctrl.gpu_cache_usage_pct"));
+  EXPECT_TRUE(counter_tracks.count("runtime.switches"));
+  EXPECT_TRUE(counters_monotone);
+  EXPECT_FALSE(flow_begins.empty()) << "phasic trace must switch";
+  EXPECT_EQ(flow_begins, flow_ends);
+}
+
+TEST(ReplayObservability, RegistryCarriesLatencyPercentiles) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases = workload::phasic_workload_phases(framework.board());
+  const auto result = runtime::replay_phasic(framework, phases);
+  for (const char* key :
+       {"runtime.phase_latency_us.p50", "runtime.phase_latency_us.p95",
+        "runtime.phase_latency_us.p99", "runtime.kernel_latency_us.p50"}) {
+    EXPECT_TRUE(result.registry.contains(key)) << key;
+    EXPECT_GT(result.registry.get(key), 0.0) << key;
+  }
+  // p50 <= p95 <= p99 on a real distribution.
+  EXPECT_LE(result.registry.get("runtime.phase_latency_us.p50"),
+            result.registry.get("runtime.phase_latency_us.p95"));
+  EXPECT_LE(result.registry.get("runtime.phase_latency_us.p95"),
+            result.registry.get("runtime.phase_latency_us.p99"));
+}
+
+TEST(ReplayObservability, DecisionsCarryProvenance) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases = workload::phasic_workload_phases(framework.board());
+  const auto result = runtime::replay_phasic(framework, phases);
+  bool saw_switch = false;
+  for (const auto& record : result.samples) {
+    if (!record.decision.switched) continue;
+    saw_switch = true;
+    EXPECT_NE(record.decision.flow_id, 0u);
+    const auto j = record.decision.to_json();
+    EXPECT_TRUE(j.at("switched").as_bool());
+    EXPECT_FALSE(j.at("explanation").at("checks").as_array().empty());
+    // The provenance JSON survives a text round-trip.
+    const auto reparsed = Json::parse(j.dump(2));
+    EXPECT_EQ(reparsed.at("model_after").as_string(),
+              comm::model_name(record.decision.model_after));
+  }
+  EXPECT_TRUE(saw_switch);
+}
+
+}  // namespace
+}  // namespace cig

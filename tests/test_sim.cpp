@@ -139,6 +139,39 @@ TEST(StatRegistry, ToStringListsSorted) {
   EXPECT_LT(s.find("a = 1"), s.find("b = 2"));
 }
 
+TEST(StatRegistry, WithPrefixSelectsContiguousRange) {
+  StatRegistry r;
+  r.set("runtime.switches", 3);
+  r.set("runtime.samples", 10);
+  r.set("runtimes", 1);         // shares a prefix string but not the dot
+  r.set("cache.cpu.hits", 99);
+  r.set("zzz", 0);
+  const StatRegistry view = r.with_prefix("runtime.");
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_DOUBLE_EQ(view.get("runtime.switches"), 3.0);
+  EXPECT_DOUBLE_EQ(view.get("runtime.samples"), 10.0);
+  EXPECT_FALSE(view.contains("runtimes"));
+  EXPECT_FALSE(view.contains("cache.cpu.hits"));
+  // Empty prefix = full copy; unmatched prefix = empty view.
+  EXPECT_EQ(r.with_prefix("").size(), r.size());
+  EXPECT_EQ(r.with_prefix("nope.").size(), 0u);
+}
+
+TEST(StatRegistry, JsonExportIsDeterministicallySorted) {
+  StatRegistry r;
+  r.set("b.two", 2);
+  r.set("a.one", 1);
+  r.set("c.three", 3);
+  const std::string dumped = r.to_json().dump();
+  // Lexicographic name order in the serialized text — the documented
+  // ordering guarantee machine-readable exports rely on.
+  EXPECT_LT(dumped.find("a.one"), dumped.find("b.two"));
+  EXPECT_LT(dumped.find("b.two"), dumped.find("c.three"));
+  const auto parsed = Json::parse(dumped);
+  EXPECT_DOUBLE_EQ(parsed.at("a.one").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.at("c.three").as_number(), 3.0);
+}
+
 // --- timeline -------------------------------------------------------------------
 
 TEST(Timeline, BusySumsLaneDurations) {

@@ -2,6 +2,7 @@
 // logging.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -276,6 +277,46 @@ TEST(Log, SetAndGetLevel) {
   set_log_level(LogLevel::Error);
   EXPECT_EQ(log_level(), LogLevel::Error);
   set_log_level(before);
+}
+
+TEST(Log, LineCarriesIso8601UtcTimestamp) {
+  const std::string line =
+      detail::format_log_line(LogLevel::Warn, nullptr, "message");
+  // 2026-08-06T12:34:56.789Z [cig WARN] message\n
+  ASSERT_GE(line.size(), 25u);
+  const std::string stamp = line.substr(0, 24);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp[23], 'Z');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u,
+                              15u, 17u, 18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(stamp[i])))
+        << "position " << i << " in " << stamp;
+  }
+  EXPECT_NE(line.find(" [cig WARN] message\n"), std::string::npos);
+}
+
+TEST(Log, ComponentTagIsOptional) {
+  const std::string tagged =
+      detail::format_log_line(LogLevel::Info, "comm", "hello");
+  EXPECT_NE(tagged.find("[cig INFO comm] hello\n"), std::string::npos);
+  const std::string untagged =
+      detail::format_log_line(LogLevel::Info, "", "hello");
+  EXPECT_NE(untagged.find("[cig INFO] hello\n"), std::string::npos);
+}
+
+TEST(Log, LineIsSingleTerminatedWrite) {
+  const std::string line =
+      detail::format_log_line(LogLevel::Error, "sim", "one\ntwo");
+  // Exactly one trailing newline terminates the line (embedded newlines in
+  // the message are the caller's own business).
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find("[cig ERROR sim] one\ntwo\n"),
+            line.size() - std::string("[cig ERROR sim] one\ntwo\n").size());
 }
 
 }  // namespace

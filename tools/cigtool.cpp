@@ -6,11 +6,22 @@
 //   cigtool characterize <board> [--json]  run the micro-benchmark suite
 //   cigtool tune <board> <app> [--model sc|um|zc] [--json]
 //                                          profile + recommend + verify
+//   cigtool decide <board> <app> [--model sc|um|zc] [--json|--explain]
+//                                          profile + recommend; --explain
+//                                          emits the decision provenance
+//                                          (counters, thresholds, equations)
+//   cigtool explain <board> <app> [--model sc|um|zc]
+//                                          shorthand for decide --explain
 //   cigtool sweep <board>                  MB2 sweep as CSV on stdout
 //   cigtool runtime --board <board> [--trace phasic|oscillation]
-//                   [--trace-out <file.json>] [--json]
+//                   [--trace-out <file.json>] [--metrics-out <file.prom>]
+//                   [--json] [--explain]
 //                                          replay a phasic trace through the
-//                                          online adaptive controller
+//                                          online adaptive controller; the
+//                                          trace file carries counter tracks
+//                                          and decision->phase flow arrows,
+//                                          the metrics file is a
+//                                          Prometheus-style text snapshot
 //
 // <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
 // <app> is one of: shwfs, orbslam, mb1, mb3.
@@ -24,6 +35,7 @@
 #include "core/framework.h"
 #include "core/experiment.h"
 #include "core/pattern_sim.h"
+#include "obs/prometheus.h"
 #include "runtime/replay.h"
 #include "sim/trace_export.h"
 #include "soc/board_io.h"
@@ -44,11 +56,14 @@ int usage() {
       "  cigtool characterize <board> [--json]\n"
       "  cigtool tune <board> <shwfs|orbslam|mb1|mb3> [--model sc|um|zc]"
       " [--json]\n"
+      "  cigtool decide <board> <app> [--model sc|um|zc] [--json|--explain]\n"
+      "  cigtool explain <board> <app> [--model sc|um|zc]\n"
       "  cigtool sweep <board>\n"
       "  cigtool pattern <board> [--json]\n"
       "  cigtool grid <boards,csv> <apps,csv> [--json|--csv]\n"
       "  cigtool runtime --board <board> [--trace phasic|oscillation]"
-      " [--trace-out <file.json>] [--json]\n";
+      " [--trace-out <file.json>] [--metrics-out <file.prom>]"
+      " [--json] [--explain]\n";
   return 2;
 }
 
@@ -189,6 +204,41 @@ int cmd_tune(const std::string& board_name, const std::string& app_name,
   return 0;
 }
 
+int cmd_decide(const std::string& board_name, const std::string& app_name,
+               comm::CommModel model, bool as_json, bool explain) {
+  const auto board = soc::resolve_board(board_name);
+  core::Framework framework(board);
+  const auto workload = core::resolve_application(app_name, board);
+  const auto rec = framework.analyze(workload, model);
+
+  if (explain) {
+    // Provenance only: the structured Explanation (inputs, thresholds,
+    // equations, checks) the decision flow recorded while deciding.
+    std::cout << rec.explanation.to_json().dump(2) << '\n';
+    return 0;
+  }
+  if (as_json) {
+    Json j;
+    j["board"] = Json(board.name);
+    j["app"] = Json(workload.name);
+    j["current_model"] = Json(std::string(comm::model_name(rec.current)));
+    j["suggested_model"] = Json(std::string(comm::model_name(rec.suggested)));
+    j["switch"] = Json(rec.switch_model);
+    j["use_overlap_pattern"] = Json(rec.use_overlap_pattern);
+    j["estimated_speedup"] = Json(rec.estimated_speedup);
+    j["max_speedup"] = Json(rec.max_speedup);
+    j["explanation"] = rec.explanation.to_json();
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  std::cout << rec.to_string();
+  std::cout << "  checks:\n";
+  for (const auto& check : rec.explanation.checks) {
+    std::cout << "    - " << check << '\n';
+  }
+  return 0;
+}
+
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
   std::string current;
@@ -279,7 +329,8 @@ int cmd_sweep(const std::string& board_name) {
 }
 
 int cmd_runtime(const std::string& board_name, const std::string& trace,
-                const std::string& trace_out, bool as_json) {
+                const std::string& trace_out, const std::string& metrics_out,
+                bool as_json, bool explain) {
   core::Framework framework(soc::resolve_board(board_name));
   runtime::ReplayOptions options;
   std::vector<workload::PhasicPhase> phases;
@@ -303,7 +354,24 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
   const Seconds best = ref.static_time[core::model_index(ref.best_static)];
 
   if (!trace_out.empty()) {
-    sim::write_chrome_trace(result.timeline, trace_out, "cigtool runtime");
+    sim::write_chrome_trace(result.timeline, result.aux, trace_out,
+                            "cigtool runtime");
+  }
+  if (!metrics_out.empty()) {
+    obs::write_prometheus(result.registry, metrics_out);
+  }
+
+  // Decision provenance for every evaluation that wanted, vetoed or
+  // committed a switch.
+  Json decisions = JsonArray{};
+  for (const auto& s : result.samples) {
+    const auto& d = s.decision;
+    if (!d.wanted_switch && !d.switched && !d.vetoed_by_cost) continue;
+    Json entry;
+    entry["t_us"] = Json(to_us(s.time));
+    entry["phase"] = Json(static_cast<double>(s.phase));
+    entry["decision"] = d.to_json();
+    decisions.push_back(std::move(entry));
   }
 
   if (as_json) {
@@ -333,11 +401,8 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
     j["static_us"] = std::move(statics);
     j["best_static"] = Json(std::string(comm::model_name(ref.best_static)));
     j["worst_static"] = Json(std::string(comm::model_name(ref.worst_static)));
-    Json registry;
-    for (const auto& [name, value] : result.registry.all()) {
-      registry[name] = Json(value);
-    }
-    j["registry"] = std::move(registry);
+    j["registry"] = result.registry.to_json();
+    if (explain) j["decisions"] = std::move(decisions);
     std::cout << j.dump(2) << '\n';
     return 0;
   }
@@ -378,9 +443,15 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
               << "x)\n";
   }
   std::cout << "\nstat registry:\n" << result.registry.to_string();
+  if (explain) {
+    std::cout << "\ndecision provenance:\n" << decisions.dump(2) << '\n';
+  }
   if (!trace_out.empty()) {
     std::cout << "\nwrote Chrome trace to " << trace_out
               << " (load in chrome://tracing or Perfetto)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::cout << "wrote Prometheus metrics to " << metrics_out << '\n';
   }
   return 0;
 }
@@ -391,10 +462,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool as_json = false;
   bool as_csv = false;
+  bool explain = false;
   comm::CommModel model = comm::CommModel::StandardCopy;
   std::string board_flag;
   std::string trace = "phasic";
   std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -414,6 +487,11 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--trace-out") {
         if (++i >= args.size()) return usage();
         trace_out = args[i];
+      } else if (args[i] == "--metrics-out") {
+        if (++i >= args.size()) return usage();
+        metrics_out = args[i];
+      } else if (args[i] == "--explain") {
+        explain = true;
       } else if (args[i] == "--help" || args[i] == "-h") {
         usage();
         return 0;
@@ -437,6 +515,13 @@ int main(int argc, char** argv) {
     if (command == "tune" && positional.size() == 3) {
       return cmd_tune(positional[1], positional[2], model, as_json);
     }
+    if (command == "decide" && positional.size() == 3) {
+      return cmd_decide(positional[1], positional[2], model, as_json, explain);
+    }
+    if (command == "explain" && positional.size() == 3) {
+      return cmd_decide(positional[1], positional[2], model, as_json,
+                        /*explain=*/true);
+    }
     if (command == "sweep" && positional.size() == 2) {
       return cmd_sweep(positional[1]);
     }
@@ -453,7 +538,8 @@ int main(int argc, char** argv) {
               ? board_flag
               : (positional.size() == 2 ? positional[1] : std::string());
       if (board_name.empty()) return usage();
-      return cmd_runtime(board_name, trace, trace_out, as_json);
+      return cmd_runtime(board_name, trace, trace_out, metrics_out, as_json,
+                         explain);
     }
     return usage();
   } catch (const std::exception& error) {
