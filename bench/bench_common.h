@@ -3,11 +3,16 @@
 // paper-vs-measured delta is visible in the output (and in EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
+#include "support/parallel.h"
 #include "support/table.h"
 #include "support/units.h"
 #include "workload/builders.h"
@@ -44,6 +49,85 @@ inline std::string vs_paper(const std::string& simulated,
 
 inline void header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+// --- sweep-engine CLI shared by the MB2 figure drivers ----------------------
+// The drivers and src/core generate sweep points through the same
+// core::mb2_gpu_sweep engine (one fraction grid, one cache key format), so
+// a cache warmed by `cigtool characterize` also serves the benches.
+
+struct SweepCli {
+  int jobs = 0;           // 0 = CIG_JOBS env override, else hardware threads
+  std::string cache_dir;  // empty = no on-disk cache
+  std::string bench_out;  // empty = no machine-readable bench report
+};
+
+inline SweepCli parse_sweep_cli(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      cli.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cli.cache_dir = argv[++i];
+    } else if (arg == "--bench-out" && i + 1 < argc) {
+      cli.bench_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--jobs N] [--cache-dir DIR] [--bench-out FILE]\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+// One timed MB2 GPU sweep under the CLI's jobs/cache settings.
+struct TimedSweep {
+  std::vector<cig::core::SweepPoint> points;
+  double wall_seconds = 0;
+  int jobs = 1;
+  cig::core::ResultCache::Stats cache;  // zeroes when no cache dir given
+};
+
+inline TimedSweep timed_mb2_gpu_sweep(const cig::soc::BoardConfig& board,
+                                      const SweepCli& cli) {
+  cig::core::ResultCache cache(cli.cache_dir);
+  cig::core::SweepOptions options;
+  options.jobs = cli.jobs;
+  if (!cli.cache_dir.empty()) options.cache = &cache;
+
+  TimedSweep result;
+  result.jobs = cig::support::resolve_jobs(cli.jobs);
+  const auto start = std::chrono::steady_clock::now();
+  result.points = cig::core::mb2_gpu_sweep(board, {}, options);
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.cache = cache.stats();
+  return result;
+}
+
+// Machine-readable bench report (the CI sweep-bench trajectory artifact).
+inline void write_bench_report(const std::string& path,
+                               const std::string& bench_name,
+                               const std::string& board_name,
+                               const TimedSweep& sweep) {
+  Json j;
+  j["bench"] = Json(bench_name);
+  j["board"] = Json(board_name);
+  j["jobs"] = Json(static_cast<double>(sweep.jobs));
+  j["wall_seconds"] = Json(sweep.wall_seconds);
+  j["points"] = Json(static_cast<double>(sweep.points.size()));
+  j["cache_hits"] = Json(static_cast<double>(sweep.cache.hits));
+  j["cache_misses"] = Json(static_cast<double>(sweep.cache.misses));
+  const std::uint64_t lookups = sweep.cache.hits + sweep.cache.misses;
+  j["cache_hit_rate"] =
+      Json(lookups == 0 ? 0.0
+                        : static_cast<double>(sweep.cache.hits) /
+                              static_cast<double>(lookups));
+  std::ofstream out(path, std::ios::trunc);
+  out << j.dump(2) << '\n';
+  std::cout << "bench report written to " << path << '\n';
 }
 
 }  // namespace cig::bench

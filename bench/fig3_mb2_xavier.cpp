@@ -6,55 +6,55 @@
 // array (GPU cache threshold 16.2%); a grey zone up to 57.1% where the
 // ZC/SC runtime difference stays below 200%; beyond that ZC is severely
 // bottlenecked.
+//
+// Sweep points come from the shared core::mb2_gpu_sweep engine (same grid
+// and cache key as the micro-benchmark suite); see fig6_mb2_tx2.cpp for
+// the --jobs/--cache-dir/--bench-out flags.
 #include <iostream>
 
 #include "bench_common.h"
-#include "comm/executor.h"
 #include "core/thresholds.h"
 #include "soc/presets.h"
 #include "support/csv.h"
-#include "workload/builders.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cig;
-  using comm::CommModel;
 
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::header("Fig. 3: MB2 sweep on Jetson AGX Xavier (ZC vs SC)");
 
-  soc::SoC soc(soc::jetson_agx_xavier());
-  comm::Executor executor(soc);
+  const auto board = soc::jetson_agx_xavier();
+  const auto sweep = bench::timed_mb2_gpu_sweep(board, cli);
 
   Table table({"fraction", "SC time (us)", "ZC time (us)", "SC GB/s",
                "ZC GB/s", "ZC slowdown %"});
-  std::vector<core::SweepPoint> points;
   CsvWriter csv("fig3_mb2_xavier.csv",
                 {"fraction", "t_sc_us", "t_zc_us", "tput_sc_gbps",
                  "tput_zc_gbps"});
-  for (const double fraction : workload::mb2_fractions()) {
-    const auto workload = workload::mb2_workload(soc.config(), fraction);
-    const auto sc = executor.run(workload, CommModel::StandardCopy);
-    const auto zc = executor.run(workload, CommModel::ZeroCopy);
-    const core::SweepPoint p{fraction, sc.kernel_time_per_iter(),
-                             zc.kernel_time_per_iter(),
-                             sc.gpu_demand_throughput,
-                             zc.gpu_demand_throughput};
-    points.push_back(p);
+  for (const auto& p : sweep.points) {
     const double slowdown = (p.time_zc - p.time_sc) / p.time_sc * 100.0;
     char frac[32];
-    std::snprintf(frac, sizeof frac, "1/%.0f", 1.0 / fraction);
+    std::snprintf(frac, sizeof frac, "1/%.0f", 1.0 / p.fraction);
     table.add_row({frac, bench::us(p.time_sc), bench::us(p.time_zc),
                    bench::gbps(p.throughput_sc), bench::gbps(p.throughput_zc),
                    Table::num(slowdown, 1)});
-    csv.add_row({fraction, to_us(p.time_sc), to_us(p.time_zc),
+    csv.add_row({p.fraction, to_us(p.time_sc), to_us(p.time_zc),
                  to_GBps(p.throughput_sc), to_GBps(p.throughput_zc)});
   }
   print_table(std::cout, table);
 
-  const auto analysis = core::analyze_sweep(points);
+  const auto analysis = core::analyze_sweep(sweep.points);
   std::cout << "GPU cache threshold : " << Table::num(analysis.threshold_pct, 1)
             << " %  (paper: 16.2 %)\n"
             << "zone-2 end          : " << Table::num(analysis.zone2_end_pct, 1)
             << " %  (paper: 57.1 %)\n"
+            << "sweep wall time     : " << Table::num(sweep.wall_seconds * 1e3, 1)
+            << " ms  (" << sweep.jobs << " jobs, " << sweep.cache.hits
+            << " cache hits)\n"
             << "series written to fig3_mb2_xavier.csv\n";
+  if (!cli.bench_out.empty()) {
+    bench::write_bench_report(cli.bench_out, "fig3_mb2_xavier", board.name,
+                              sweep);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 // This quantifies the claim the paper only demonstrates on two apps: that
 // eqns 1-4 + the micro-benchmark thresholds are a reliable proxy for the
 // real model ranking.
+#include <array>
 #include <iostream>
 
 #include "bench_common.h"
@@ -15,10 +16,11 @@
 #include "soc/board_io.h"
 #include "workload/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cig;
   using comm::CommModel;
 
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::header("Decision-quality audit over the workload zoo");
 
   Table table({"board", "workload", "best (measured)", "suggested", "est.",
@@ -26,9 +28,25 @@ int main() {
   int agreements = 0;
   int cells = 0;
 
-  for (const std::string board_name : {"nano", "tx2", "xavier", "xavier-nx"}) {
+  // One pool task per board: each builds its own Framework (the expensive
+  // characterization), so the audit scales across cores while the table
+  // stays in deterministic board order.
+  struct BoardAudit {
+    std::vector<std::array<std::string, 6>> rows;
+    int agreements = 0;
+    int cells = 0;
+  };
+  const std::vector<std::string> board_names = {"nano", "tx2", "xavier",
+                                                "xavier-nx"};
+  const auto audits = support::parallel_map(
+      board_names, cli.jobs, [&cli](const std::string& board_name) {
+    BoardAudit audit;
     const auto board = soc::resolve_board(board_name);
-    core::Framework framework(board);
+    core::ResultCache cache(cli.cache_dir);
+    core::SweepOptions sweep;
+    sweep.jobs = 1;  // boards already run concurrently
+    if (!cli.cache_dir.empty()) sweep.cache = &cache;
+    core::Framework framework(board, {}, sweep);
     for (const auto& [name, workload] : workload::workload_zoo(board)) {
       const auto report = framework.tune(workload, CommModel::StandardCopy);
 
@@ -57,10 +75,10 @@ int main() {
                                   ? in_sc_um_class(best)
                                   : best == CommModel::ZeroCopy;
       const bool agrees = same_class || suggested_time <= best_time * 1.10;
-      agreements += agrees;
-      ++cells;
+      audit.agreements += agrees;
+      ++audit.cells;
 
-      table.add_row(
+      audit.rows.push_back(
           {board_name, name, comm::model_name(best),
            comm::model_name(report.recommendation.suggested),
            report.recommendation.switch_model
@@ -74,6 +92,14 @@ int main() {
                         Table::num((sc_time / best_time - 1) * 100, 0) +
                         "% left on table)"});
     }
+    return audit;
+  });
+  for (const auto& audit : audits) {
+    for (const auto& row : audit.rows) {
+      table.add_row({row[0], row[1], row[2], row[3], row[4], row[5]});
+    }
+    agreements += audit.agreements;
+    cells += audit.cells;
   }
   print_table(std::cout, table);
   std::cout << "agreement: " << agreements << "/" << cells << " cells ("

@@ -7,6 +7,7 @@
 #include "apps/shwfs/workload.h"
 #include "soc/board_io.h"
 #include "support/assert.h"
+#include "support/parallel.h"
 #include "workload/builders.h"
 
 namespace cig::core {
@@ -97,23 +98,36 @@ ExperimentGrid run_grid(const ExperimentSpec& spec) {
   CIG_EXPECTS(!spec.apps.empty());
   CIG_EXPECTS(!spec.models.empty());
 
-  std::vector<ExperimentCell> cells;
+  // Flatten the board x app x model product so the cells can be farmed out
+  // across the pool; each cell gets its own SoC, so results and ordering
+  // are identical to the serial nested loops for any job count.
+  struct CellSpec {
+    std::string board;
+    std::string app;
+    comm::CommModel model;
+  };
+  std::vector<CellSpec> pending;
   for (const auto& board_name : spec.boards) {
-    const auto board = soc::resolve_board(board_name);
     for (const auto& app : spec.apps) {
-      const auto workload = resolve_application(app, board);
       for (const auto model : spec.models) {
-        soc::SoC soc(board);
-        comm::Executor executor(soc);
-        ExperimentCell cell;
-        cell.board = board_name;
-        cell.app = app;
-        cell.model = model;
-        cell.run = executor.run(workload, model);
-        cells.push_back(std::move(cell));
+        pending.push_back(CellSpec{board_name, app, model});
       }
     }
   }
+
+  auto cells = support::parallel_map(
+      pending, spec.jobs, [](const CellSpec& item) {
+        const auto board = soc::resolve_board(item.board);
+        const auto workload = resolve_application(item.app, board);
+        soc::SoC soc(board);
+        comm::Executor executor(soc);
+        ExperimentCell cell;
+        cell.board = item.board;
+        cell.app = item.app;
+        cell.model = item.model;
+        cell.run = executor.run(workload, item.model);
+        return cell;
+      });
   return ExperimentGrid(std::move(cells));
 }
 

@@ -27,6 +27,10 @@ struct ExperimentSpec {
   std::vector<comm::CommModel> models = {comm::CommModel::StandardCopy,
                                          comm::CommModel::UnifiedMemory,
                                          comm::CommModel::ZeroCopy};
+  // Worker count for the cells (each runs on its own SoC, so the grid is
+  // embarrassingly parallel): 1 = serial, 0 = CIG_JOBS env / hardware.
+  // Cell order in the result is board x app x model regardless of jobs.
+  int jobs = 1;
 };
 
 // Resolves a named application workload for a board (shared with cigtool).

@@ -6,15 +6,17 @@
 
 namespace cig::core {
 
-Framework::Framework(soc::BoardConfig board, comm::ExecOptions options)
+Framework::Framework(soc::BoardConfig board, comm::ExecOptions options,
+                     SweepOptions sweep)
     : soc_(std::make_unique<soc::SoC>(std::move(board))),
       options_(options),
+      sweep_(sweep),
       profiler_(*soc_, options),
       executor_(*soc_, options) {}
 
 const DeviceCharacterization& Framework::device() {
   if (!device_) {
-    MicrobenchSuite suite(*soc_, options_);
+    MicrobenchSuite suite(*soc_, options_, sweep_);
     device_ = suite.characterize();
   }
   return *device_;

@@ -23,7 +23,10 @@ namespace cig::core {
 
 class Framework {
  public:
-  explicit Framework(soc::BoardConfig board, comm::ExecOptions options = {});
+  // `sweep` tunes the characterization path (core/sweep.h): worker count
+  // for the MB2 grids, the optional result cache, and stat/trace hooks.
+  explicit Framework(soc::BoardConfig board, comm::ExecOptions options = {},
+                     SweepOptions sweep = {});
 
   // Device characterization (micro-benchmarks); cached after the first call.
   const DeviceCharacterization& device();
@@ -57,6 +60,7 @@ class Framework {
  private:
   std::unique_ptr<soc::SoC> soc_;
   comm::ExecOptions options_;
+  SweepOptions sweep_;
   profile::Profiler profiler_;
   comm::Executor executor_;
   std::optional<DeviceCharacterization> device_;

@@ -1,10 +1,31 @@
 #include "core/microbench.h"
 
-#include "core/perfmodel.h"
+#include "soc/board_io.h"
 #include "support/assert.h"
 #include "workload/builders.h"
 
 namespace cig::core {
+
+namespace {
+
+// Bump when the characterization payload or the MB1/MB3 builders change.
+constexpr int kCharacterizationKeyVersion = 1;
+
+Json per_model_to_json(const PerModel<double>& values) {
+  Json array = JsonArray{};
+  for (const double v : values) array.push_back(Json(v));
+  return array;
+}
+
+PerModel<double> per_model_from_json(const Json& array) {
+  const auto& values = array.as_array();
+  CIG_EXPECTS(values.size() == 3);
+  PerModel<double> out{};
+  for (std::size_t i = 0; i < 3; ++i) out[i] = values[i].as_number();
+  return out;
+}
+
+}  // namespace
 
 double Mb1Result::zc_sc_max_speedup() const {
   const Seconds sc = gpu_time[model_index(comm::CommModel::StandardCopy)];
@@ -27,8 +48,83 @@ double Mb3Result::um_zc_max_speedup() const {
   return um / zc;
 }
 
-MicrobenchSuite::MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options)
-    : soc_(soc), executor_(soc, options) {}
+Json Mb1Result::to_json() const {
+  Json j;
+  j["gpu_ll_throughput"] = per_model_to_json(gpu_ll_throughput);
+  j["cpu_time"] = per_model_to_json(cpu_time);
+  j["gpu_time"] = per_model_to_json(gpu_time);
+  j["total_time"] = per_model_to_json(total_time);
+  return j;
+}
+
+Mb1Result Mb1Result::from_json(const Json& j) {
+  Mb1Result r;
+  r.gpu_ll_throughput = per_model_from_json(j.at("gpu_ll_throughput"));
+  r.cpu_time = per_model_from_json(j.at("cpu_time"));
+  r.gpu_time = per_model_from_json(j.at("gpu_time"));
+  r.total_time = per_model_from_json(j.at("total_time"));
+  return r;
+}
+
+Json Mb2Result::to_json() const {
+  Json j;
+  j["gpu"] = gpu.to_json();
+  j["cpu"] = cpu.to_json();
+  return j;
+}
+
+Mb2Result Mb2Result::from_json(const Json& j) {
+  Mb2Result r;
+  r.gpu = ThresholdAnalysis::from_json(j.at("gpu"));
+  r.cpu = ThresholdAnalysis::from_json(j.at("cpu"));
+  return r;
+}
+
+Json Mb3Result::to_json() const {
+  Json j;
+  j["total_time"] = per_model_to_json(total_time);
+  j["cpu_time"] = per_model_to_json(cpu_time);
+  j["gpu_time"] = per_model_to_json(gpu_time);
+  j["copy_time"] = per_model_to_json(copy_time);
+  j["overlap_fraction_zc"] = Json(overlap_fraction_zc);
+  return j;
+}
+
+Mb3Result Mb3Result::from_json(const Json& j) {
+  Mb3Result r;
+  r.total_time = per_model_from_json(j.at("total_time"));
+  r.cpu_time = per_model_from_json(j.at("cpu_time"));
+  r.gpu_time = per_model_from_json(j.at("gpu_time"));
+  r.copy_time = per_model_from_json(j.at("copy_time"));
+  r.overlap_fraction_zc = j.at("overlap_fraction_zc").as_number();
+  return r;
+}
+
+Json DeviceCharacterization::to_json() const {
+  Json j;
+  j["board"] = Json(board);
+  j["capability"] = Json(std::string(capability_name(capability)));
+  j["mb1"] = mb1.to_json();
+  j["mb2"] = mb2.to_json();
+  j["mb3"] = mb3.to_json();
+  return j;
+}
+
+DeviceCharacterization DeviceCharacterization::from_json(const Json& j) {
+  DeviceCharacterization device;
+  device.board = j.at("board").as_string();
+  device.capability = j.at("capability").as_string() == "hw-io-coherent"
+                          ? coherence::Capability::HwIoCoherent
+                          : coherence::Capability::SwFlush;
+  device.mb1 = Mb1Result::from_json(j.at("mb1"));
+  device.mb2 = Mb2Result::from_json(j.at("mb2"));
+  device.mb3 = Mb3Result::from_json(j.at("mb3"));
+  return device;
+}
+
+MicrobenchSuite::MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options,
+                                 SweepOptions sweep)
+    : soc_(soc), executor_(soc, options), sweep_(sweep) {}
 
 Mb1Result MicrobenchSuite::run_mb1() {
   const auto workload = workload::mb1_workload(soc_.config());
@@ -45,40 +141,17 @@ Mb1Result MicrobenchSuite::run_mb1() {
 }
 
 Mb2Result MicrobenchSuite::run_mb2() {
+  // The sweep engine runs each point on a fresh SoC; Executor::run resets
+  // state anyway, so this is bit-identical to the old shared-executor loop
+  // while letting points run in parallel and batches come from the cache.
   Mb2Result result;
-
-  std::vector<SweepPoint> gpu_points;
-  for (const double fraction : workload::mb2_fractions()) {
-    const auto workload = workload::mb2_workload(soc_.config(), fraction);
-    const auto sc = executor_.run(workload, comm::CommModel::StandardCopy);
-    const auto zc = executor_.run(workload, comm::CommModel::ZeroCopy);
-    gpu_points.push_back(SweepPoint{.fraction = fraction,
-                                    .time_sc = sc.kernel_time_per_iter(),
-                                    .time_zc = zc.kernel_time_per_iter(),
-                                    .throughput_sc = sc.gpu_demand_throughput,
-                                    .throughput_zc =
-                                        zc.gpu_demand_throughput});
-  }
-
-  std::vector<SweepPoint> cpu_points;
-  for (const double fraction : workload::mb2_cpu_fractions()) {
-    const auto workload = workload::mb2_cpu_workload(soc_.config(), fraction);
-    const auto sc = executor_.run(workload, comm::CommModel::StandardCopy);
-    const auto zc = executor_.run(workload, comm::CommModel::ZeroCopy);
-    SweepPoint p{.fraction = fraction,
-                 .time_sc = sc.cpu_time_per_iter(),
-                 .time_zc = zc.cpu_time_per_iter(),
-                 .throughput_sc = sc.cpu_demand_throughput,
-                 .throughput_zc = zc.cpu_demand_throughput};
-    // The CPU threshold is expressed directly in eqn-1 cache usage.
-    p.usage_pct =
-        cpu_cache_usage(sc.cpu_l1_miss_rate, sc.cpu_llc_miss_rate) * 100.0;
-    cpu_points.push_back(p);
-  }
-  result.gpu = analyze_sweep(std::move(gpu_points));
+  result.gpu =
+      analyze_sweep(mb2_gpu_sweep(soc_.config(), executor_.options(), sweep_));
   // The CPU side has no launch-overhead floor, so "comparable" is judged
   // more tightly than the GPU sweep.
-  result.cpu = analyze_sweep(std::move(cpu_points), /*tolerance=*/0.4);
+  result.cpu =
+      analyze_sweep(mb2_cpu_sweep(soc_.config(), executor_.options(), sweep_),
+                    /*tolerance=*/0.4);
   return result;
 }
 
@@ -101,12 +174,32 @@ Mb3Result MicrobenchSuite::run_mb3() {
 }
 
 DeviceCharacterization MicrobenchSuite::characterize() {
+  const std::string key_text =
+      std::string("characterization|v") +
+      std::to_string(kCharacterizationKeyVersion) + '|' +
+      exec_options_fingerprint(executor_.options()) + '|' +
+      soc::board_fingerprint(soc_.config());
+
+  if (sweep_.cache != nullptr) {
+    if (auto cached = sweep_.cache->lookup("characterization", key_text)) {
+      if (sweep_.stats != nullptr) {
+        sweep_.cache->export_stats(*sweep_.stats);
+        export_pool_stats(*sweep_.stats);
+      }
+      return DeviceCharacterization::from_json(*cached);
+    }
+  }
+
   DeviceCharacterization device;
   device.board = soc_.config().name;
   device.capability = soc_.config().capability;
   device.mb1 = run_mb1();
   device.mb2 = run_mb2();
   device.mb3 = run_mb3();
+  if (sweep_.cache != nullptr) {
+    sweep_.cache->store("characterization", key_text, device.to_json());
+    if (sweep_.stats != nullptr) sweep_.cache->export_stats(*sweep_.stats);
+  }
   return device;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "comm/executor.h"
+#include "core/sweep.h"
 #include "core/thresholds.h"
 #include "soc/soc.h"
 
@@ -38,11 +39,17 @@ struct Mb1Result {
 
   // ZC/SC_Max_speedup: how much faster the GPU kernel can get by leaving ZC.
   double zc_sc_max_speedup() const;
+
+  Json to_json() const;
+  static Mb1Result from_json(const Json& j);
 };
 
 struct Mb2Result {
   ThresholdAnalysis gpu;  // GPU_Cache_Threshold & zones
   ThresholdAnalysis cpu;  // CPU_Cache_Threshold
+
+  Json to_json() const;
+  static Mb2Result from_json(const Json& j);
 };
 
 struct Mb3Result {
@@ -54,6 +61,9 @@ struct Mb3Result {
 
   double sc_zc_max_speedup() const;  // total SC / total ZC
   double um_zc_max_speedup() const;
+
+  Json to_json() const;
+  static Mb3Result from_json(const Json& j);
 };
 
 // Everything the decision framework needs to know about a device.
@@ -72,22 +82,35 @@ struct DeviceCharacterization {
   double cpu_threshold_pct() const { return mb2.cpu.threshold_pct; }
   double sc_zc_max_speedup() const { return mb3.sc_zc_max_speedup(); }
   double zc_sc_max_speedup() const { return mb1.zc_sc_max_speedup(); }
+
+  // Full-fidelity round-trip: `from_json(to_json())` reproduces every
+  // double bit-for-bit (%.17g dump), so a cached characterization is
+  // indistinguishable from a fresh run. Payload of the result cache.
+  Json to_json() const;
+  static DeviceCharacterization from_json(const Json& j);
 };
 
 class MicrobenchSuite {
  public:
-  explicit MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options = {});
+  // `sweep` controls the MB2 grid execution: worker count, memoization and
+  // observability hooks (see core/sweep.h). The default (jobs = 1, no
+  // cache) is the serial reference path.
+  explicit MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options = {},
+                           SweepOptions sweep = {});
 
   Mb1Result run_mb1();
   Mb2Result run_mb2();
   Mb3Result run_mb3();
 
-  // Runs all three and assembles the characterization.
+  // Runs all three and assembles the characterization. With a cache in the
+  // sweep options, the whole object is memoized under the (board,
+  // ExecOptions) key — a warm run skips every simulation.
   DeviceCharacterization characterize();
 
  private:
   soc::SoC& soc_;
   comm::Executor executor_;
+  SweepOptions sweep_;
 };
 
 }  // namespace cig::core

@@ -1,0 +1,156 @@
+#include "core/result_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.h"
+
+namespace cig::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string memory_key(const std::string& kind, const std::string& key_text) {
+  return kind + '\0' + key_text;
+}
+
+// True if `name` looks like one of our entry files: <kind>-<16 hex>.json.
+bool is_entry_file(const std::string& name) {
+  if (name.size() < 22) return false;  // 1 + '-' + 16 + ".json"
+  if (name.substr(name.size() - 5) != ".json") return false;
+  const std::string stem = name.substr(0, name.size() - 5);
+  const std::size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || stem.size() - dash - 1 != 16) return false;
+  for (std::size_t i = dash + 1; i < stem.size(); ++i) {
+    const char c = stem[i];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::uint64_t ResultCache::key_of(const std::string& key_text) {
+  return support::fnv1a64(key_text);
+}
+
+std::string ResultCache::entry_path(const std::string& kind,
+                                    std::uint64_t key) const {
+  return (fs::path(dir_) / (kind + '-' + support::fnv1a64_hex(key) + ".json"))
+      .string();
+}
+
+std::optional<Json> ResultCache::lookup(const std::string& kind,
+                                        const std::string& key_text) {
+  const auto it = memory_.find(memory_key(kind, key_text));
+  if (it != memory_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+
+  if (!dir_.empty()) {
+    const std::string path = entry_path(kind, key_of(key_text));
+    std::error_code ec;
+    if (fs::exists(path, ec) && !ec) {
+      try {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        const Json entry = Json::parse(text.str());
+        if (entry.string_or("schema", "") == kSchemaTag &&
+            entry.string_or("kind", "") == kind &&
+            entry.string_or("key_text", "") == key_text &&
+            entry.contains("value")) {
+          Json value = entry.at("value");
+          memory_[memory_key(kind, key_text)] = value;
+          ++stats_.hits;
+          ++stats_.disk_hits;
+          return value;
+        }
+        // Parsable but stale (schema/key mismatch or hash collision):
+        // treat as a miss; the next store overwrites the file.
+        ++stats_.corrupt_dropped;
+      } catch (const std::exception&) {
+        ++stats_.corrupt_dropped;  // unreadable/corrupt: never fatal
+      }
+    }
+  }
+
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const std::string& kind, const std::string& key_text,
+                        const Json& value) {
+  memory_[memory_key(kind, key_text)] = value;
+  ++stats_.stores;
+
+  if (dir_.empty()) return;
+  try {
+    fs::create_directories(dir_);
+    Json entry;
+    entry["schema"] = Json(std::string(kSchemaTag));
+    entry["kind"] = Json(kind);
+    entry["key_text"] = Json(key_text);
+    entry["value"] = value;
+    // Write-then-rename so a crashed writer never leaves a torn entry a
+    // later run would have to drop as corrupt.
+    const std::string path = entry_path(kind, key_of(key_text));
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << entry.dump(2) << '\n';
+      if (!out) throw std::runtime_error("write failed");
+    }
+    fs::rename(tmp, path);
+  } catch (const std::exception&) {
+    // Disk persistence is best-effort; the in-memory entry still serves
+    // this process.
+  }
+}
+
+void ResultCache::export_stats(sim::StatRegistry& registry) const {
+  registry.set("cache.hit", static_cast<double>(stats_.hits));
+  registry.set("cache.miss", static_cast<double>(stats_.misses));
+  registry.set("cache.store", static_cast<double>(stats_.stores));
+  registry.set("cache.disk_hit", static_cast<double>(stats_.disk_hits));
+  registry.set("cache.corrupt_dropped",
+               static_cast<double>(stats_.corrupt_dropped));
+}
+
+ResultCache::DiskUsage ResultCache::disk_usage() const {
+  DiskUsage usage;
+  if (dir_.empty()) return usage;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (!is_entry_file(entry.path().filename().string())) continue;
+    ++usage.entries;
+    usage.bytes += static_cast<std::uint64_t>(entry.file_size(ec));
+  }
+  return usage;
+}
+
+std::uint64_t ResultCache::clear() {
+  memory_.clear();
+  std::uint64_t removed = 0;
+  if (dir_.empty()) return removed;
+  std::error_code ec;
+  std::vector<fs::path> victims;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (!is_entry_file(entry.path().filename().string())) continue;
+    victims.push_back(entry.path());
+  }
+  for (const auto& path : victims) {
+    if (fs::remove(path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace cig::core

@@ -1,0 +1,87 @@
+// Content-addressed memoization for device characterization.
+//
+// Sweep batches and whole DeviceCharacterization objects are pure functions
+// of (board config, workload builder, ExecOptions), so they are cached
+// under a stable FNV-1a key of those inputs. Entries live in memory and,
+// when a cache directory is configured, as one JSON file per entry:
+//
+//   <dir>/<kind>-<16-hex-key>.json
+//   { "schema": "cig-result-cache-v1", "kind": ..., "key_text": ..., "value": ... }
+//
+// `key_text` is the full (pre-hash) key string; a lookup only hits when it
+// matches exactly, so hash collisions and stale entries written by an older
+// builder version are treated as misses and rewritten. Corrupt files are
+// ignored the same way — the cache never fails a run, it only skips work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/stat_registry.h"
+#include "support/json.h"
+
+namespace cig::core {
+
+class ResultCache {
+ public:
+  // Bumped whenever serialized payloads or key construction change shape.
+  static constexpr const char* kSchemaTag = "cig-result-cache-v1";
+
+  // `dir` empty = in-memory only. The directory is created on first store.
+  explicit ResultCache(std::string dir = "");
+
+  // Builds the canonical key string for a (kind, inputs) pair. Callers
+  // append every input that affects the result; see sweep.cpp.
+  static std::uint64_t key_of(const std::string& key_text);
+
+  // Returns the cached value when `key_text` has an exact entry (memory
+  // first, then disk). Disk hits are promoted into memory.
+  std::optional<Json> lookup(const std::string& kind,
+                             const std::string& key_text);
+
+  // Stores/overwrites the entry (memory + disk when a directory is set).
+  // Disk I/O errors are swallowed: a read-only cache dir degrades to
+  // memory-only behaviour instead of failing the run.
+  void store(const std::string& kind, const std::string& key_text,
+             const Json& value);
+
+  struct Stats {
+    std::uint64_t hits = 0;            // memory + disk
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t disk_hits = 0;       // subset of hits served from disk
+    std::uint64_t corrupt_dropped = 0; // unreadable/stale files ignored
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Exposes the counters as `cache.*` stats (cache.hit, cache.miss, ...)
+  // for the Prometheus snapshot and Perfetto counter tracks.
+  void export_stats(sim::StatRegistry& registry) const;
+
+  // Number of entry files and their total size under the cache directory
+  // (0/0 for a memory-only cache) — `cigtool cache stats`.
+  struct DiskUsage {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  DiskUsage disk_usage() const;
+
+  // Drops every in-memory entry and deletes this cache's entry files
+  // (only files matching the <kind>-<hex>.json pattern are touched).
+  // Returns the number of disk entries removed.
+  std::uint64_t clear();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(const std::string& kind,
+                         std::uint64_t key) const;
+
+  std::string dir_;
+  std::map<std::string, Json> memory_;  // keyed by kind + '\0' + key_text
+  Stats stats_;
+};
+
+}  // namespace cig::core

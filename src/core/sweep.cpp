@@ -1,0 +1,181 @@
+#include "core/sweep.h"
+
+#include <cstdio>
+
+#include "core/perfmodel.h"
+#include "soc/board_io.h"
+#include "support/parallel.h"
+#include "workload/builders.h"
+
+namespace cig::core {
+
+namespace {
+
+// Bump when the MB2 builders or SweepPoint derivation change, so stale
+// disk entries from older builds stop matching.
+constexpr int kSweepKeyVersion = 1;
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string grid_fingerprint(const std::vector<double>& fractions) {
+  std::string out;
+  for (const double f : fractions) {
+    out += format_double(f);
+    out += ',';
+  }
+  return out;
+}
+
+std::string sweep_key_text(const char* kind, const soc::BoardConfig& board,
+                           const comm::ExecOptions& exec,
+                           const std::vector<double>& fractions) {
+  std::string key = std::string(kind) + "|v" +
+                    std::to_string(kSweepKeyVersion) + '|' +
+                    exec_options_fingerprint(exec) + '|' +
+                    grid_fingerprint(fractions) + '|' +
+                    soc::board_fingerprint(board);
+  return key;
+}
+
+Json points_to_json(const std::vector<SweepPoint>& points) {
+  Json array = JsonArray{};
+  for (const auto& p : points) array.push_back(p.to_json());
+  return array;
+}
+
+std::vector<SweepPoint> points_from_json(const Json& array) {
+  std::vector<SweepPoint> points;
+  for (const auto& p : array.as_array()) {
+    points.push_back(SweepPoint::from_json(p));
+  }
+  return points;
+}
+
+// Emits one CTRL-lane span per sweep point (stacked in simulated time: the
+// point's SC + ZC kernel time) plus a running points counter, so sweep
+// shards are visible in the Perfetto trace next to the executor lanes.
+void trace_sweep(obs::Tracer& tracer, const char* kind,
+                 const std::vector<SweepPoint>& points, bool from_cache) {
+  if (from_cache) {
+    tracer.instant(sim::Lane::Ctrl, std::string(kind) + ": cache hit");
+    return;
+  }
+  Seconds now = tracer.now();
+  std::size_t done = 0;
+  for (const auto& p : points) {
+    const Seconds end = now + p.time_sc + p.time_zc;
+    char label[64];
+    std::snprintf(label, sizeof label, "%s[1/%.6g]", kind, 1.0 / p.fraction);
+    tracer.segment(sim::Lane::Ctrl, now, end, label);
+    tracer.counter_at(end, std::string(kind) + ".points",
+                      static_cast<double>(++done));
+    now = end;
+  }
+  tracer.set_now(now);
+}
+
+using PointFn = SweepPoint (*)(const soc::BoardConfig&,
+                               const comm::ExecOptions&, double);
+
+std::vector<SweepPoint> run_sweep(const char* kind, PointFn point_fn,
+                                  const std::vector<double>& fractions,
+                                  const soc::BoardConfig& board,
+                                  const comm::ExecOptions& exec,
+                                  const SweepOptions& options) {
+  const std::string key_text = sweep_key_text(kind, board, exec, fractions);
+
+  std::vector<SweepPoint> points;
+  bool from_cache = false;
+  if (options.cache != nullptr) {
+    if (auto cached = options.cache->lookup(kind, key_text)) {
+      points = points_from_json(*cached);
+      from_cache = true;
+    }
+  }
+  if (!from_cache) {
+    points = support::parallel_map(fractions, options.jobs,
+                                   [&](double fraction) {
+                                     return point_fn(board, exec, fraction);
+                                   });
+    if (options.cache != nullptr) {
+      options.cache->store(kind, key_text, points_to_json(points));
+    }
+  }
+
+  if (options.stats != nullptr) {
+    if (options.cache != nullptr) options.cache->export_stats(*options.stats);
+    export_pool_stats(*options.stats);
+  }
+  if (options.tracer != nullptr) {
+    trace_sweep(*options.tracer, kind, points, from_cache);
+  }
+  return points;
+}
+
+}  // namespace
+
+std::string exec_options_fingerprint(const comm::ExecOptions& exec) {
+  return std::to_string(exec.warmup_iterations) + '|' +
+         (exec.overlap ? '1' : '0') + '|' +
+         format_double(exec.um_llc_bandwidth_factor);
+}
+
+void export_pool_stats(sim::StatRegistry& registry) {
+  const auto counters = support::pool_counters();
+  registry.set("pool.tasks", static_cast<double>(counters.tasks));
+  registry.set("pool.batches", static_cast<double>(counters.batches));
+  registry.set("pool.queue_depth",
+               static_cast<double>(counters.peak_queue_depth));
+}
+
+SweepPoint mb2_gpu_point(const soc::BoardConfig& board,
+                         const comm::ExecOptions& exec, double fraction) {
+  soc::SoC soc(board);
+  comm::Executor executor(soc, exec);
+  const auto workload = workload::mb2_workload(board, fraction);
+  const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
+  const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
+  return SweepPoint{.fraction = fraction,
+                    .time_sc = sc.kernel_time_per_iter(),
+                    .time_zc = zc.kernel_time_per_iter(),
+                    .throughput_sc = sc.gpu_demand_throughput,
+                    .throughput_zc = zc.gpu_demand_throughput};
+}
+
+SweepPoint mb2_cpu_point(const soc::BoardConfig& board,
+                         const comm::ExecOptions& exec, double fraction) {
+  soc::SoC soc(board);
+  comm::Executor executor(soc, exec);
+  const auto workload = workload::mb2_cpu_workload(board, fraction);
+  const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
+  const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
+  SweepPoint p{.fraction = fraction,
+               .time_sc = sc.cpu_time_per_iter(),
+               .time_zc = zc.cpu_time_per_iter(),
+               .throughput_sc = sc.cpu_demand_throughput,
+               .throughput_zc = zc.cpu_demand_throughput};
+  // The CPU threshold is expressed directly in eqn-1 cache usage.
+  p.usage_pct =
+      cpu_cache_usage(sc.cpu_l1_miss_rate, sc.cpu_llc_miss_rate) * 100.0;
+  return p;
+}
+
+std::vector<SweepPoint> mb2_gpu_sweep(const soc::BoardConfig& board,
+                                      const comm::ExecOptions& exec,
+                                      const SweepOptions& options) {
+  return run_sweep("mb2_gpu_sweep", &mb2_gpu_point,
+                   workload::mb2_fractions(), board, exec, options);
+}
+
+std::vector<SweepPoint> mb2_cpu_sweep(const soc::BoardConfig& board,
+                                      const comm::ExecOptions& exec,
+                                      const SweepOptions& options) {
+  return run_sweep("mb2_cpu_sweep", &mb2_cpu_point,
+                   workload::mb2_cpu_fractions(), board, exec, options);
+}
+
+}  // namespace cig::core

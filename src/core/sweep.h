@@ -1,0 +1,63 @@
+// The MB2 sweep engine: one place that turns a board config into the
+// paper's access-fraction sweeps (Figs 3/6), shared by the micro-benchmark
+// suite, the bench drivers and `cigtool sweep` so they all agree on the
+// exact fraction grid — and the cache key with it.
+//
+// Sweep points are pure functions of (board, ExecOptions, fraction):
+// Executor::run resets the SoC, so every point runs from pristine state and
+// can be computed on a fresh SoC instance per point. That makes the grid
+// embarrassingly parallel (support/parallel.h) and memoizable
+// (core/result_cache.h) without changing a single bit of the results.
+#pragma once
+
+#include <vector>
+
+#include "comm/executor.h"
+#include "core/result_cache.h"
+#include "core/thresholds.h"
+#include "obs/tracer.h"
+#include "sim/stat_registry.h"
+#include "soc/board.h"
+
+namespace cig::core {
+
+struct SweepOptions {
+  // Worker count: 1 = serial loop on the calling thread (the bit-for-bit
+  // reference path); 0 = CIG_JOBS env override, else hardware threads;
+  // N > 1 = that many pool workers. Results are index-ordered and
+  // identical for every setting.
+  int jobs = 1;
+  // Borrowed memoization store; null disables caching.
+  ResultCache* cache = nullptr;
+  // When set, receives cache.* and pool.* counters after each sweep.
+  sim::StatRegistry* stats = nullptr;
+  // When set, each sweep point becomes a CTRL-lane span (simulated time:
+  // the point's SC + ZC kernel time), with cache hits as instants.
+  obs::Tracer* tracer = nullptr;
+};
+
+// Single points (fresh SoC per call; deterministic).
+SweepPoint mb2_gpu_point(const soc::BoardConfig& board,
+                         const comm::ExecOptions& exec, double fraction);
+SweepPoint mb2_cpu_point(const soc::BoardConfig& board,
+                         const comm::ExecOptions& exec, double fraction);
+
+// Full grids over workload::mb2_fractions() / mb2_cpu_fractions(), in grid
+// order. With a cache, the whole batch is stored under one key of
+// (kind, builder version, board fingerprint, ExecOptions, grid).
+std::vector<SweepPoint> mb2_gpu_sweep(const soc::BoardConfig& board,
+                                      const comm::ExecOptions& exec,
+                                      const SweepOptions& options = {});
+std::vector<SweepPoint> mb2_cpu_sweep(const soc::BoardConfig& board,
+                                      const comm::ExecOptions& exec,
+                                      const SweepOptions& options = {});
+
+// Canonical fingerprint of the executor knobs that affect sweep results
+// (part of every sweep cache key).
+std::string exec_options_fingerprint(const comm::ExecOptions& exec);
+
+// Exports the process-global worker-pool counters into `registry` as
+// pool.tasks / pool.batches / pool.queue_depth (cumulative values).
+void export_pool_stats(sim::StatRegistry& registry);
+
+}  // namespace cig::core

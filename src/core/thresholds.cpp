@@ -92,4 +92,50 @@ ThresholdAnalysis analyze_sweep(std::vector<SweepPoint> points,
   return analysis;
 }
 
+Json SweepPoint::to_json() const {
+  Json j;
+  j["fraction"] = Json(fraction);
+  j["time_sc"] = Json(time_sc);
+  j["time_zc"] = Json(time_zc);
+  j["throughput_sc"] = Json(throughput_sc);
+  j["throughput_zc"] = Json(throughput_zc);
+  j["usage_pct"] = Json(usage_pct);
+  return j;
+}
+
+SweepPoint SweepPoint::from_json(const Json& j) {
+  SweepPoint p;
+  p.fraction = j.at("fraction").as_number();
+  p.time_sc = j.at("time_sc").as_number();
+  p.time_zc = j.at("time_zc").as_number();
+  p.throughput_sc = j.at("throughput_sc").as_number();
+  p.throughput_zc = j.at("throughput_zc").as_number();
+  p.usage_pct = j.at("usage_pct").as_number();
+  return p;
+}
+
+Json ThresholdAnalysis::to_json() const {
+  Json j;
+  j["threshold_pct"] = Json(threshold_pct);
+  j["zone2_end_pct"] = Json(zone2_end_pct);
+  j["peak_throughput"] = Json(peak_throughput);
+  j["comparable_tolerance"] = Json(comparable_tolerance);
+  Json point_array = JsonArray{};
+  for (const auto& p : points) point_array.push_back(p.to_json());
+  j["points"] = std::move(point_array);
+  return j;
+}
+
+ThresholdAnalysis ThresholdAnalysis::from_json(const Json& j) {
+  ThresholdAnalysis analysis;
+  analysis.threshold_pct = j.at("threshold_pct").as_number();
+  analysis.zone2_end_pct = j.at("zone2_end_pct").as_number();
+  analysis.peak_throughput = j.at("peak_throughput").as_number();
+  analysis.comparable_tolerance = j.at("comparable_tolerance").as_number();
+  for (const auto& p : j.at("points").as_array()) {
+    analysis.points.push_back(SweepPoint::from_json(p));
+  }
+  return analysis;
+}
+
 }  // namespace cig::core

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "support/json.h"
 #include "support/units.h"
 
 namespace cig::core {
@@ -28,6 +29,11 @@ struct SweepPoint {
   // Negative = not available; the analysis then falls back to
   // throughput_sc / peak (the paper's Fig. 3 construction).
   double usage_pct = -1.0;
+
+  // Exact round-trip (doubles survive dump/parse bit-for-bit) — used by
+  // the characterization result-cache.
+  Json to_json() const;
+  static SweepPoint from_json(const Json& j);
 };
 
 enum class Zone {
@@ -49,6 +55,10 @@ struct ThresholdAnalysis {
   Zone classify(double usage_pct) const;
 
   std::string to_string() const;
+
+  // Exact round-trip, including the sweep points (result-cache payload).
+  Json to_json() const;
+  static ThresholdAnalysis from_json(const Json& j);
 };
 
 // Analyses a sweep (points must be in increasing fraction order).

@@ -39,6 +39,7 @@ AccessOutcome SetAssocCache::access(std::uint64_t address, AccessKind kind) {
     if (valid_[idx] && tags_[idx] == tag) {
       touch(set, way);
       if (kind == AccessKind::Write) {
+        if (!dirty_[idx]) ++dirty_count_;
         dirty_[idx] = 1;
         ++stats_.write_hits;
       } else {
@@ -70,13 +71,17 @@ AccessOutcome SetAssocCache::access(std::uint64_t address, AccessKind kind) {
     if (dirty_[idx]) {
       victim_dirty = true;
       ++stats_.writebacks;
+      --dirty_count_;
     }
+  } else {
+    ++valid_count_;  // filling a previously invalid way
   }
 
   const std::uint64_t idx = base + way;
   tags_[idx] = tag;
   valid_[idx] = 1;
   dirty_[idx] = kind == AccessKind::Write ? 1 : 0;
+  if (dirty_[idx]) ++dirty_count_;
   meta_[idx] = tick_;  // both LRU stamp and FIFO insertion stamp
   touch(set, way);
   return AccessOutcome{.hit = false, .victim_dirty = victim_dirty};
@@ -95,6 +100,7 @@ bool SetAssocCache::probe(std::uint64_t address) const {
 
 std::uint64_t SetAssocCache::flush_dirty() {
   std::uint64_t flushed = 0;
+  if (dirty_count_ == 0) return 0;  // running counter short-circuits the scan
   for (std::uint64_t idx = 0; idx < dirty_.size(); ++idx) {
     if (valid_[idx] && dirty_[idx]) {
       dirty_[idx] = 0;
@@ -102,6 +108,8 @@ std::uint64_t SetAssocCache::flush_dirty() {
       ++stats_.writebacks;
     }
   }
+  CIG_AUDIT(flushed == dirty_count_);
+  dirty_count_ = 0;
   return flushed;
 }
 
@@ -115,6 +123,9 @@ std::uint64_t SetAssocCache::invalidate_all() {
     valid_[idx] = 0;
     dirty_[idx] = 0;
   }
+  CIG_AUDIT(flushed == dirty_count_);
+  valid_count_ = 0;
+  dirty_count_ = 0;
   return flushed;
 }
 
@@ -134,12 +145,17 @@ std::uint64_t SetAssocCache::invalidate_range(std::uint64_t base, Bytes bytes) {
         if (dirty_[idx]) {
           ++flushed;
           ++stats_.writebacks;
+          --dirty_count_;
         }
         valid_[idx] = 0;
         dirty_[idx] = 0;
+        --valid_count_;
+        break;  // a line is resident in at most one way of its set
       }
     }
   }
+  CIG_AUDIT(valid_count_ == recount_valid_lines());
+  CIG_AUDIT(dirty_count_ == recount_dirty_lines());
   return flushed;
 }
 
@@ -155,22 +171,28 @@ std::uint64_t SetAssocCache::clean_range(std::uint64_t base, Bytes bytes) {
     const std::uint64_t set_base = set * geometry_.ways;
     for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
       const std::uint64_t idx = set_base + way;
-      if (valid_[idx] && tags_[idx] == tag && dirty_[idx]) {
-        dirty_[idx] = 0;
-        ++flushed;
-        ++stats_.writebacks;
+      if (valid_[idx] && tags_[idx] == tag) {
+        if (dirty_[idx]) {
+          dirty_[idx] = 0;
+          ++flushed;
+          ++stats_.writebacks;
+          --dirty_count_;
+        }
+        break;  // a line is resident in at most one way of its set
       }
     }
   }
+  CIG_AUDIT(valid_count_ == recount_valid_lines());
+  CIG_AUDIT(dirty_count_ == recount_dirty_lines());
   return flushed;
 }
 
-std::uint64_t SetAssocCache::valid_lines() const {
+std::uint64_t SetAssocCache::recount_valid_lines() const {
   return static_cast<std::uint64_t>(
       std::count(valid_.begin(), valid_.end(), std::uint8_t{1}));
 }
 
-std::uint64_t SetAssocCache::dirty_lines() const {
+std::uint64_t SetAssocCache::recount_dirty_lines() const {
   std::uint64_t count = 0;
   for (std::uint64_t idx = 0; idx < dirty_.size(); ++idx) {
     if (valid_[idx] && dirty_[idx]) ++count;
@@ -183,6 +205,8 @@ void SetAssocCache::reset() {
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
   std::fill(meta_.begin(), meta_.end(), std::uint64_t{0});
   std::fill(plru_bits_.begin(), plru_bits_.end(), std::uint32_t{0});
+  valid_count_ = 0;
+  dirty_count_ = 0;
   tick_ = 0;
   stats_.reset();
 }

@@ -73,8 +73,15 @@ class SetAssocCache {
   // valid (a ranged "clean" maintenance op). Returns the dirty count.
   std::uint64_t clean_range(std::uint64_t base, Bytes bytes);
 
-  std::uint64_t valid_lines() const;
-  std::uint64_t dirty_lines() const;
+  // O(1): served from running counters maintained on allocate/evict/flush
+  // (stats reads are on hot profiling paths).
+  std::uint64_t valid_lines() const { return valid_count_; }
+  std::uint64_t dirty_lines() const { return dirty_count_; }
+
+  // O(lines) recount from the per-way state — audit hook for tests and
+  // the range-op micro-asserts; must always equal the running counters.
+  std::uint64_t recount_valid_lines() const;
+  std::uint64_t recount_dirty_lines() const;
 
   const CacheGeometry& geometry() const { return geometry_; }
   Replacement policy() const { return policy_; }
@@ -97,6 +104,8 @@ class SetAssocCache {
   std::vector<std::uint8_t> dirty_;
   std::vector<std::uint64_t> meta_;      // LRU stamp or FIFO insertion stamp
   std::vector<std::uint32_t> plru_bits_; // one bit-tree per set
+  std::uint64_t valid_count_ = 0;  // running #valid (== recount_valid_lines)
+  std::uint64_t dirty_count_ = 0;  // running #valid-and-dirty
   std::uint64_t tick_ = 0;
   Rng rng_;
   CacheStats stats_;

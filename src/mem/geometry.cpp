@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/assert.h"
+#include "support/hash.h"
 
 namespace cig::mem {
 
@@ -22,6 +23,12 @@ std::string CacheGeometry::to_string() const {
   out << format_bytes(capacity) << ", " << line << " B lines, " << ways
       << "-way (" << sets() << " sets)";
   return out.str();
+}
+
+std::uint64_t CacheGeometry::content_hash() const {
+  const std::string text = std::to_string(capacity) + '/' +
+                           std::to_string(line) + '/' + std::to_string(ways);
+  return support::fnv1a64(text);
 }
 
 CacheGeometry make_geometry(Bytes capacity, std::uint32_t line,

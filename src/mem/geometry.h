@@ -30,6 +30,10 @@ struct CacheGeometry {
   }
 
   std::string to_string() const;
+
+  // Stable FNV-1a content hash over (capacity, line, ways) — feeds the
+  // characterization result-cache key, so it must stay platform-independent.
+  std::uint64_t content_hash() const;
 };
 
 // Convenience factory with validation.

@@ -178,4 +178,28 @@ std::uint64_t line_accesses(const PatternSpec& spec) {
   return spec.rw == RwMix::ReadModifyWrite ? total * 2 : total;
 }
 
+std::string fingerprint(const PatternSpec& spec) {
+  std::string out;
+  out.reserve(128);
+  const auto field = [&out](std::uint64_t v) {
+    out += std::to_string(v);
+    out += '|';
+  };
+  field(static_cast<std::uint64_t>(spec.kind));
+  field(spec.base);
+  field(spec.extent);
+  field(spec.access_size);
+  field(static_cast<std::uint64_t>(spec.rw));
+  field(spec.passes);
+  field(spec.stride);
+  field(spec.count);
+  field(spec.seed);
+  field(spec.width);
+  field(spec.height);
+  field(spec.tile_width);
+  field(spec.tile_height);
+  field(spec.line_hint);
+  return out;
+}
+
 }  // namespace cig::mem

@@ -70,4 +70,9 @@ Bytes footprint(const PatternSpec& spec);
 // Number of sink invocations walk() will make (for cost estimation).
 std::uint64_t line_accesses(const PatternSpec& spec);
 
+// Canonical textual rendering of every field that affects walk(), for
+// content-addressed cache keys (core/result_cache.h). Two specs with the
+// same fingerprint produce the same access stream.
+std::string fingerprint(const PatternSpec& spec);
+
 }  // namespace cig::mem

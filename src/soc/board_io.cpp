@@ -106,6 +106,10 @@ Json board_to_json(const BoardConfig& board) {
   return j;
 }
 
+std::string board_fingerprint(const BoardConfig& board) {
+  return board_to_json(board).dump();
+}
+
 BoardConfig board_from_json(const Json& j) {
   BoardConfig board = generic_board();  // sparse files inherit the generic
   board.name = j.string_or("name", board.name);

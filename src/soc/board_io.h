@@ -18,6 +18,13 @@ namespace cig::soc {
 Json board_to_json(const BoardConfig& board);
 BoardConfig board_from_json(const Json& json);
 
+// Canonical fingerprint of a board configuration: the deterministic JSON
+// dump (sorted object keys, %.17g doubles). This is the SoC-side input to
+// the content-addressed characterization cache key (core/result_cache.h);
+// any config field that changes simulation results must round-trip through
+// board_to_json for the cache to invalidate correctly.
+std::string board_fingerprint(const BoardConfig& board);
+
 // File helpers (throw std::runtime_error on I/O or parse failure).
 void save_board(const BoardConfig& board, const std::string& path);
 BoardConfig load_board(const std::string& path);

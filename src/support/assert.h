@@ -30,3 +30,12 @@ namespace cig::detail {
   ((cond) ? static_cast<void>(0)                                           \
           : ::cig::detail::contract_failure("Assertion", #cond, __FILE__, \
                                             __LINE__))
+
+// Debug-only audit: for invariant checks too expensive for release builds
+// (e.g. recounting cache lines after a ranged maintenance op). Compiled
+// out under NDEBUG; the same invariants stay covered by tests.
+#ifdef NDEBUG
+#define CIG_AUDIT(cond) static_cast<void>(0)
+#else
+#define CIG_AUDIT(cond) CIG_ASSERT(cond)
+#endif

@@ -1,0 +1,38 @@
+// Stable, seed-free content hashing for cache keys and fingerprints.
+//
+// FNV-1a (64-bit) over bytes: the value is part of the on-disk result-cache
+// format, so it must never depend on platform, endianness of std::hash, or
+// library version. Do not swap in std::hash here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cig::support {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Fixed-width lowercase-hex rendering (16 digits) for file names and logs.
+inline std::string fnv1a64_hex(std::uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace cig::support

@@ -1,0 +1,116 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.h"
+
+namespace cig::support {
+
+namespace {
+
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_batches{0};
+std::atomic<std::uint64_t> g_peak_depth{0};
+
+void note_batch(std::size_t count) {
+  g_tasks.fetch_add(count, std::memory_order_relaxed);
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t depth = count;
+  std::uint64_t seen = g_peak_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !g_peak_depth.compare_exchange_weak(seen, depth,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int env_jobs() {
+  const char* raw = std::getenv("CIG_JOBS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed <= 0 || parsed > 4096) return 0;
+  return static_cast<int>(parsed);
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const int env = env_jobs();
+  if (env > 0) return env;
+  return hardware_jobs();
+}
+
+PoolCounters pool_counters() {
+  PoolCounters c;
+  c.tasks = g_tasks.load(std::memory_order_relaxed);
+  c.batches = g_batches.load(std::memory_order_relaxed);
+  c.peak_queue_depth = g_peak_depth.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_pool_counters() {
+  g_tasks.store(0, std::memory_order_relaxed);
+  g_batches.store(0, std::memory_order_relaxed);
+  g_peak_depth.store(0, std::memory_order_relaxed);
+}
+
+void parallel_for_index(std::size_t count, int jobs,
+                        const std::function<void(std::size_t)>& fn) {
+  CIG_EXPECTS(static_cast<bool>(fn));
+  if (count == 0) return;
+  note_batch(count);
+
+  jobs = resolve_jobs(jobs);
+  if (static_cast<std::size_t>(jobs) > count) {
+    jobs = static_cast<int>(count);
+  }
+  if (jobs <= 1) {
+    // Serial fallback: same call order, same thread, no pool involved.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  // Every index runs even after a failure (batches are small); the error
+  // with the lowest index wins, matching what the serial loop would have
+  // thrown first.
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) workers.emplace_back(worker);
+  for (auto& thread : workers) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cig::support

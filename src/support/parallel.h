@@ -1,0 +1,61 @@
+// Deterministic data parallelism for the characterization harness.
+//
+// Sweep points and experiment cells are pure functions of their index, so
+// they can be farmed out across a fixed-size worker pool without changing
+// results: `parallel_for_index` / `parallel_map` always deliver results in
+// index order regardless of completion order, propagate the exception of
+// the lowest failing index, and with jobs = 1 degrade to a plain serial
+// loop on the calling thread (bit-for-bit identical, no thread machinery).
+//
+// Job-count resolution (resolve_jobs): an explicit positive request wins;
+// otherwise the CIG_JOBS environment variable; otherwise the hardware
+// concurrency. The pool keeps process-global counters (tasks executed,
+// peak batch depth) that callers export as `pool.*` stats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cig::support {
+
+// Number of hardware threads (always >= 1).
+int hardware_jobs();
+
+// Parsed CIG_JOBS environment override, or 0 when unset/invalid.
+int env_jobs();
+
+// Effective job count: `requested` if > 0, else CIG_JOBS, else hardware.
+int resolve_jobs(int requested);
+
+// Process-global pool counters (monotonic; see pool.* stat export).
+struct PoolCounters {
+  std::uint64_t tasks = 0;             // indices executed by parallel batches
+  std::uint64_t batches = 0;           // parallel_for_index invocations
+  std::uint64_t peak_queue_depth = 0;  // largest batch submitted so far
+};
+
+PoolCounters pool_counters();
+void reset_pool_counters();  // tests only
+
+// Invokes `fn(i)` for every i in [0, count). With jobs <= 1 this is a
+// serial loop on the calling thread; otherwise `jobs` workers drain an
+// atomic index counter. If any invocation throws, the exception from the
+// lowest failing index is rethrown after all workers stop (remaining
+// indices may or may not have run; callers treat the batch as failed).
+void parallel_for_index(std::size_t count, int jobs,
+                        const std::function<void(std::size_t)>& fn);
+
+// Maps `fn` over `items`, returning results in item order. `R` must be
+// default-constructible (slots are pre-allocated so workers never contend).
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, int jobs, Fn&& fn)
+    -> std::vector<decltype(fn(items.front()))> {
+  using R = decltype(fn(items.front()));
+  std::vector<R> results(items.size());
+  parallel_for_index(items.size(), jobs,
+                     [&](std::size_t i) { results[i] = fn(items[i]); });
+  return results;
+}
+
+}  // namespace cig::support

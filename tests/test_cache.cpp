@@ -306,6 +306,54 @@ INSTANTIATE_TEST_SUITE_P(
                                          Replacement::TreePlru,
                                          Replacement::Random)));
 
+// Running valid/dirty counters must track the per-way state exactly through
+// every state transition: fills, evictions, flushes and the ranged
+// maintenance ops (which index directly into the line's set).
+TEST_P(CacheProperties, RunningCountersMatchRecount) {
+  const auto [capacity, ways, policy] = GetParam();
+  SetAssocCache c(make_geometry(capacity, 64, ways), policy, 7);
+  Rng rng(41);
+  const auto audit = [&c] {
+    EXPECT_EQ(c.valid_lines(), c.recount_valid_lines());
+    EXPECT_EQ(c.dirty_lines(), c.recount_dirty_lines());
+  };
+  for (int i = 0; i < 3000; ++i) {
+    c.access(rng.below(capacity * 4),
+             rng.below(3) == 0 ? AccessKind::Write : AccessKind::Read);
+    if (i % 251 == 0) {
+      // Interleave every maintenance op with the access stream.
+      const std::uint64_t base = rng.below(capacity * 4);
+      const Bytes bytes = 64 * (1 + rng.below(64));
+      switch (rng.below(4)) {
+        case 0: c.invalidate_range(base, bytes); break;
+        case 1: c.clean_range(base, bytes); break;
+        case 2: c.flush_dirty(); break;
+        default: c.invalidate_all(); break;
+      }
+      audit();
+    }
+  }
+  audit();
+  c.reset();
+  audit();
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+// Ranged ops on unaligned, partial-line windows account correctly too.
+TEST(Cache, RangeOpsPartialLineCountersConsistent) {
+  SetAssocCache c(make_geometry(KiB(4), 64, 2), Replacement::Lru);
+  c.access(0x000, AccessKind::Write);
+  c.access(0x040, AccessKind::Write);
+  c.access(0x080, AccessKind::Read);
+  // [0x20, 0x60) touches the 0x000 and 0x040 lines only.
+  EXPECT_EQ(c.clean_range(0x20, 0x40), 2u);
+  EXPECT_EQ(c.dirty_lines(), c.recount_dirty_lines());
+  EXPECT_EQ(c.invalidate_range(0x20, 0x40), 0u);  // both already clean
+  EXPECT_EQ(c.valid_lines(), c.recount_valid_lines());
+  EXPECT_EQ(c.valid_lines(), 1u);  // the 0x080 line survives
+  EXPECT_TRUE(c.probe(0x080));
+}
+
 // Larger caches never have more misses on the same trace (LRU inclusion).
 TEST(CacheProperty, MissRateMonotoneInCapacityForLru) {
   Rng rng(31);

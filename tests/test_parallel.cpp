@@ -1,0 +1,108 @@
+// Tests for the deterministic worker pool (support/parallel.h): results in
+// index order regardless of jobs, lowest-index exception propagation, the
+// serial jobs=1 path, CIG_JOBS resolution and the pool.* counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace cig::support {
+namespace {
+
+TEST(Parallel, MapPreservesItemOrderSerial) {
+  const std::vector<int> items = {5, 3, 9, 1, 7};
+  const auto doubled =
+      parallel_map(items, /*jobs=*/1, [](int x) { return x * 2; });
+  EXPECT_EQ(doubled, (std::vector<int>{10, 6, 18, 2, 14}));
+}
+
+TEST(Parallel, MapIdenticalAcrossJobCounts) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto fn = [](int x) { return x * x - 3 * x; };
+  const auto serial = parallel_map(items, 1, fn);
+  for (int jobs : {2, 4, 8}) {
+    EXPECT_EQ(parallel_map(items, jobs, fn), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Parallel, ForIndexCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> executed(kCount);
+  parallel_for_index(kCount, 8,
+                     [&](std::size_t i) { executed[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(executed[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, SerialPathRunsOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  parallel_for_index(4, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(Parallel, LowestFailingIndexWins) {
+  // Several indices throw; the rethrown exception must always come from the
+  // lowest one, independent of worker scheduling.
+  for (int jobs : {1, 2, 8}) {
+    try {
+      parallel_for_index(100, jobs, [](std::size_t i) {
+        if (i % 7 == 3) {  // first failing index is 3
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "index 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Parallel, EmptyBatchIsNoop) {
+  parallel_for_index(0, 8, [](std::size_t) { FAIL() << "must not run"; });
+  const auto empty =
+      parallel_map(std::vector<int>{}, 8, [](int x) { return x; });
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Parallel, ResolveJobsPrecedence) {
+  unsetenv("CIG_JOBS");
+  EXPECT_EQ(resolve_jobs(3), 3);        // explicit request wins
+  EXPECT_EQ(env_jobs(), 0);             // unset -> 0
+  EXPECT_EQ(resolve_jobs(0), hardware_jobs());
+
+  setenv("CIG_JOBS", "5", 1);
+  EXPECT_EQ(env_jobs(), 5);
+  EXPECT_EQ(resolve_jobs(0), 5);        // env fills in for "unspecified"
+  EXPECT_EQ(resolve_jobs(2), 2);        // but never overrides a request
+
+  setenv("CIG_JOBS", "not-a-number", 1);
+  EXPECT_EQ(env_jobs(), 0);
+  setenv("CIG_JOBS", "-4", 1);
+  EXPECT_EQ(env_jobs(), 0);
+  unsetenv("CIG_JOBS");
+}
+
+TEST(Parallel, HardwareJobsPositive) { EXPECT_GE(hardware_jobs(), 1); }
+
+TEST(Parallel, PoolCountersTrackBatches) {
+  reset_pool_counters();
+  parallel_for_index(10, 4, [](std::size_t) {});
+  parallel_for_index(25, 2, [](std::size_t) {});
+  const auto counters = pool_counters();
+  EXPECT_EQ(counters.tasks, 35u);
+  EXPECT_EQ(counters.batches, 2u);
+  EXPECT_EQ(counters.peak_queue_depth, 25u);
+}
+
+}  // namespace
+}  // namespace cig::support

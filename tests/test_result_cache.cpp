@@ -1,0 +1,235 @@
+// Tests for the content-addressed result cache (core/result_cache.h) and
+// the end-to-end determinism guarantees it depends on: characterization is
+// byte-identical across job counts, across cache hits vs fresh runs, and
+// corrupt or stale cache files degrade to misses instead of failures.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/framework.h"
+#include "core/result_cache.h"
+#include "core/sweep.h"
+#include "sim/stat_registry.h"
+#include "soc/presets.h"
+#include "support/hash.h"
+
+namespace cig::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test.
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cig-cache-test-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+Json payload(double x) {
+  Json j;
+  j["x"] = Json(x);
+  return j;
+}
+
+TEST_F(ResultCacheTest, MemoryHitAfterStore) {
+  ResultCache cache;  // memory-only
+  EXPECT_FALSE(cache.lookup("sweep", "k1").has_value());
+  cache.store("sweep", "k1", payload(1.5));
+  const auto hit = cache.lookup("sweep", "k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 1.5);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+}
+
+TEST_F(ResultCacheTest, KindsAreSeparateNamespaces) {
+  ResultCache cache;
+  cache.store("sweep", "k", payload(1));
+  EXPECT_FALSE(cache.lookup("characterization", "k").has_value());
+}
+
+TEST_F(ResultCacheTest, DiskRoundTripAcrossInstances) {
+  {
+    ResultCache writer(dir_);
+    writer.store("sweep", "key-text", payload(2.25));
+  }
+  ResultCache reader(dir_);
+  const auto hit = reader.lookup("sweep", "key-text");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 2.25);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+
+  // Promoted to memory: a second lookup must not be a disk hit again.
+  ASSERT_TRUE(reader.lookup("sweep", "key-text").has_value());
+  EXPECT_EQ(reader.stats().hits, 2u);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+}
+
+TEST_F(ResultCacheTest, CorruptFileIgnoredAndRewritten) {
+  ResultCache writer(dir_);
+  writer.store("sweep", "k", payload(3));
+
+  // Truncate the entry to garbage.
+  fs::path entry;
+  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
+  ASSERT_FALSE(entry.empty());
+  std::ofstream(entry, std::ios::trunc) << "{ not json";
+
+  ResultCache reader(dir_);
+  EXPECT_FALSE(reader.lookup("sweep", "k").has_value());
+  EXPECT_EQ(reader.stats().corrupt_dropped, 1u);
+
+  // The store path rewrites the entry and the cache recovers.
+  reader.store("sweep", "k", payload(4));
+  ResultCache reader2(dir_);
+  const auto hit = reader2.lookup("sweep", "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 4.0);
+}
+
+TEST_F(ResultCacheTest, StaleSchemaTagTreatedAsMiss) {
+  ResultCache writer(dir_);
+  writer.store("sweep", "k", payload(5));
+  fs::path entry;
+  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
+  Json stale;
+  stale["schema"] = Json(std::string("cig-result-cache-v0"));
+  stale["kind"] = Json(std::string("sweep"));
+  stale["key_text"] = Json(std::string("k"));
+  stale["value"] = payload(5);
+  std::ofstream(entry, std::ios::trunc) << stale.dump();
+
+  ResultCache reader(dir_);
+  EXPECT_FALSE(reader.lookup("sweep", "k").has_value());
+  EXPECT_EQ(reader.stats().corrupt_dropped, 1u);
+}
+
+TEST_F(ResultCacheTest, HashCollisionDetectedByKeyText) {
+  // Two different key texts whose entries land in the same file can only
+  // happen on a hash collision; simulate one by renaming the entry.
+  ResultCache writer(dir_);
+  writer.store("sweep", "original-key", payload(6));
+  fs::path entry;
+  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
+  const auto colliding =
+      entry.parent_path() /
+      ("sweep-" + support::fnv1a64_hex(ResultCache::key_of("other-key")) +
+       ".json");
+  fs::rename(entry, colliding);
+
+  ResultCache reader(dir_);
+  // The file exists under other-key's name but holds original-key's text:
+  // exact key_text comparison turns it into a miss, never a wrong value.
+  EXPECT_FALSE(reader.lookup("sweep", "other-key").has_value());
+}
+
+TEST_F(ResultCacheTest, DiskUsageAndClear) {
+  ResultCache cache(dir_);
+  cache.store("sweep", "a", payload(1));
+  cache.store("sweep", "b", payload(2));
+  cache.store("characterization", "c", payload(3));
+  const auto usage = cache.disk_usage();
+  EXPECT_EQ(usage.entries, 3u);
+  EXPECT_GT(usage.bytes, 0u);
+
+  // A foreign file in the directory is not ours to delete.
+  std::ofstream(fs::path(dir_) / "notes.txt") << "keep me\n";
+  EXPECT_EQ(cache.clear(), 3u);
+  EXPECT_EQ(cache.disk_usage().entries, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "notes.txt"));
+  EXPECT_FALSE(cache.lookup("sweep", "a").has_value());
+}
+
+TEST_F(ResultCacheTest, MemoryOnlyCacheHasNoDiskFootprint) {
+  ResultCache cache;
+  cache.store("sweep", "k", payload(1));
+  const auto usage = cache.disk_usage();
+  EXPECT_EQ(usage.entries, 0u);
+  EXPECT_EQ(usage.bytes, 0u);
+  EXPECT_EQ(cache.clear(), 0u);
+}
+
+// --- end-to-end determinism ----------------------------------------------------
+
+// The guarantee everything else rests on: fanning the MB2 sweeps out over a
+// worker pool changes nothing, for any board preset.
+TEST(SweepDeterminism, CharacterizationIdenticalAcrossJobCounts) {
+  for (const auto& board : {soc::jetson_nano(), soc::jetson_tx2(),
+                            soc::jetson_agx_xavier()}) {
+    SweepOptions serial;
+    serial.jobs = 1;
+    Framework reference(board, {}, serial);
+    const std::string expected = reference.device().to_json().dump();
+
+    SweepOptions pooled;
+    pooled.jobs = 8;
+    Framework parallel(board, {}, pooled);
+    EXPECT_EQ(parallel.device().to_json().dump(), expected)
+        << "board " << board.name;
+  }
+}
+
+TEST(SweepDeterminism, SweepPointsIdenticalAcrossJobCounts) {
+  const auto board = soc::jetson_tx2();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions pooled;
+  pooled.jobs = 8;
+  const auto a = mb2_gpu_sweep(board, {}, serial);
+  const auto b = mb2_gpu_sweep(board, {}, pooled);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_json().dump(), b[i].to_json().dump()) << "point " << i;
+  }
+}
+
+TEST(SweepDeterminism, CachedCharacterizationByteIdenticalToFresh) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cig-cache-test-warm")
+          .string();
+  std::filesystem::remove_all(dir);
+  const auto board = soc::jetson_tx2();
+
+  Framework fresh(board);
+  const std::string expected = fresh.device().to_json().dump();
+
+  ResultCache cache(dir);
+  sim::StatRegistry cold_stats;
+  SweepOptions cold;
+  cold.cache = &cache;
+  cold.stats = &cold_stats;
+  Framework first(board, {}, cold);
+  EXPECT_EQ(first.device().to_json().dump(), expected);
+  EXPECT_EQ(cold_stats.get("cache.hit"), 0.0);
+
+  // Second framework, same cache dir: everything must come from the cache
+  // (cache.hit > 0) and still be byte-identical.
+  ResultCache warm_cache(dir);
+  sim::StatRegistry warm_stats;
+  SweepOptions warm;
+  warm.cache = &warm_cache;
+  warm.stats = &warm_stats;
+  Framework second(board, {}, warm);
+  EXPECT_EQ(second.device().to_json().dump(), expected);
+  EXPECT_GT(warm_stats.get("cache.hit"), 0.0);
+  EXPECT_EQ(warm_stats.get("cache.miss"), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cig::core

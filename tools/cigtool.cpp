@@ -13,6 +13,9 @@
 //   cigtool explain <board> <app> [--model sc|um|zc]
 //                                          shorthand for decide --explain
 //   cigtool sweep <board>                  MB2 sweep as CSV on stdout
+//   cigtool cache <stats|clear> --cache-dir <dir>
+//                                          inspect or wipe the on-disk
+//                                          characterization cache
 //   cigtool runtime --board <board> [--trace phasic|oscillation]
 //                   [--trace-out <file.json>] [--metrics-out <file.prom>]
 //                   [--json] [--explain]
@@ -25,6 +28,11 @@
 //
 // <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
 // <app> is one of: shwfs, orbslam, mb1, mb3.
+//
+// Global flags: `--jobs N` sizes the sweep/grid worker pool (0 = CIG_JOBS
+// env or all cores); `--cache-dir DIR` memoizes characterizations across
+// invocations (a warm `characterize` re-run skips every sweep simulation —
+// check cache.hit in the --metrics-out snapshot).
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -35,6 +43,8 @@
 #include "core/framework.h"
 #include "core/experiment.h"
 #include "core/pattern_sim.h"
+#include "core/result_cache.h"
+#include "core/sweep.h"
 #include "obs/prometheus.h"
 #include "runtime/replay.h"
 #include "sim/trace_export.h"
@@ -53,7 +63,7 @@ int usage() {
       "  cigtool boards\n"
       "  cigtool show <board>\n"
       "  cigtool export <board> <file.json>\n"
-      "  cigtool characterize <board> [--json]\n"
+      "  cigtool characterize <board> [--json] [--metrics-out <file.prom>]\n"
       "  cigtool tune <board> <shwfs|orbslam|mb1|mb3> [--model sc|um|zc]"
       " [--json]\n"
       "  cigtool decide <board> <app> [--model sc|um|zc] [--json|--explain]\n"
@@ -61,9 +71,15 @@ int usage() {
       "  cigtool sweep <board>\n"
       "  cigtool pattern <board> [--json]\n"
       "  cigtool grid <boards,csv> <apps,csv> [--json|--csv]\n"
+      "  cigtool cache <stats|clear> --cache-dir <dir> [--json]\n"
       "  cigtool runtime --board <board> [--trace phasic|oscillation]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>]"
-      " [--json] [--explain]\n";
+      " [--json] [--explain]\n"
+      "\n"
+      "global flags:\n"
+      "  --jobs N        worker pool size for sweeps/grids (0 = CIG_JOBS env"
+      " or all cores; default 0)\n"
+      "  --cache-dir D   content-addressed characterization cache directory\n";
   return 2;
 }
 
@@ -132,9 +148,21 @@ int cmd_export(const std::string& board_name, const std::string& path) {
   return 0;
 }
 
-int cmd_characterize(const std::string& board_name, bool as_json) {
-  core::Framework framework(soc::resolve_board(board_name));
+int cmd_characterize(const std::string& board_name, bool as_json, int jobs,
+                     const std::string& cache_dir,
+                     const std::string& metrics_out) {
+  core::ResultCache cache(cache_dir);
+  sim::StatRegistry registry;
+  core::SweepOptions sweep;
+  sweep.jobs = jobs;
+  if (!cache_dir.empty()) sweep.cache = &cache;
+  sweep.stats = &registry;
+  core::Framework framework(soc::resolve_board(board_name), {}, sweep);
   const auto& device = framework.device();
+  if (!metrics_out.empty()) {
+    obs::write_prometheus(registry, metrics_out);
+    std::cerr << "wrote Prometheus metrics to " << metrics_out << '\n';
+  }
   if (as_json) {
     std::cout << characterization_to_json(device).dump(2) << '\n';
     return 0;
@@ -255,10 +283,11 @@ std::vector<std::string> split_csv(const std::string& text) {
 }
 
 int cmd_grid(const std::string& boards_csv, const std::string& apps_csv,
-             bool as_json, bool as_csv) {
+             bool as_json, bool as_csv, int jobs) {
   core::ExperimentSpec spec;
   spec.boards = split_csv(boards_csv);
   spec.apps = split_csv(apps_csv);
+  spec.jobs = jobs;
   const auto grid = core::run_grid(spec);
   if (as_json) {
     std::cout << grid.to_json().dump(2) << '\n';
@@ -311,21 +340,55 @@ int cmd_pattern(const std::string& board_name, bool as_json) {
   return 0;
 }
 
-int cmd_sweep(const std::string& board_name) {
+int cmd_sweep(const std::string& board_name, int jobs,
+              const std::string& cache_dir) {
   const auto board = soc::resolve_board(board_name);
-  soc::SoC soc(board);
-  comm::Executor executor(soc);
+  core::ResultCache cache(cache_dir);
+  core::SweepOptions sweep;
+  sweep.jobs = jobs;
+  if (!cache_dir.empty()) sweep.cache = &cache;
   std::cout << "fraction,t_sc_us,t_zc_us,tput_sc_gbps,tput_zc_gbps\n";
-  for (const double fraction : workload::mb2_fractions()) {
-    const auto workload = workload::mb2_workload(board, fraction);
-    const auto sc = executor.run(workload, comm::CommModel::StandardCopy);
-    const auto zc = executor.run(workload, comm::CommModel::ZeroCopy);
-    std::cout << fraction << ',' << to_us(sc.kernel_time_per_iter()) << ','
-              << to_us(zc.kernel_time_per_iter()) << ','
-              << to_GBps(sc.gpu_demand_throughput) << ','
-              << to_GBps(zc.gpu_demand_throughput) << '\n';
+  for (const auto& p : core::mb2_gpu_sweep(board, {}, sweep)) {
+    std::cout << p.fraction << ',' << to_us(p.time_sc) << ','
+              << to_us(p.time_zc) << ',' << to_GBps(p.throughput_sc) << ','
+              << to_GBps(p.throughput_zc) << '\n';
   }
   return 0;
+}
+
+int cmd_cache(const std::string& action, const std::string& cache_dir,
+              bool as_json) {
+  if (cache_dir.empty()) {
+    std::cerr << "cigtool: cache " << action << " requires --cache-dir\n";
+    return 2;
+  }
+  core::ResultCache cache(cache_dir);
+  if (action == "stats") {
+    const auto usage = cache.disk_usage();
+    if (as_json) {
+      Json j;
+      j["dir"] = Json(cache.dir());
+      j["entries"] = Json(static_cast<double>(usage.entries));
+      j["bytes"] = Json(static_cast<double>(usage.bytes));
+      std::cout << j.dump(2) << '\n';
+    } else {
+      Table table({"quantity", "value"});
+      table.add_row({"directory", cache.dir()});
+      table.add_row({"entries", std::to_string(usage.entries)});
+      table.add_row({"size", format_bytes(usage.bytes)});
+      print_table(std::cout, table);
+    }
+    return 0;
+  }
+  if (action == "clear") {
+    const auto removed = cache.clear();
+    std::cout << "removed " << removed << " cache entries from "
+              << cache.dir() << '\n';
+    return 0;
+  }
+  std::cerr << "cigtool: unknown cache action '" << action
+            << "' (stats or clear)\n";
+  return 2;
 }
 
 int cmd_runtime(const std::string& board_name, const std::string& trace,
@@ -468,6 +531,8 @@ int main(int argc, char** argv) {
   std::string trace = "phasic";
   std::string trace_out;
   std::string metrics_out;
+  int jobs = 0;
+  std::string cache_dir;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -490,6 +555,12 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--metrics-out") {
         if (++i >= args.size()) return usage();
         metrics_out = args[i];
+      } else if (args[i] == "--jobs") {
+        if (++i >= args.size()) return usage();
+        jobs = std::atoi(args[i].c_str());
+      } else if (args[i] == "--cache-dir") {
+        if (++i >= args.size()) return usage();
+        cache_dir = args[i];
       } else if (args[i] == "--explain") {
         explain = true;
       } else if (args[i] == "--help" || args[i] == "-h") {
@@ -510,7 +581,8 @@ int main(int argc, char** argv) {
       return cmd_export(positional[1], positional[2]);
     }
     if (command == "characterize" && positional.size() == 2) {
-      return cmd_characterize(positional[1], as_json);
+      return cmd_characterize(positional[1], as_json, jobs, cache_dir,
+                              metrics_out);
     }
     if (command == "tune" && positional.size() == 3) {
       return cmd_tune(positional[1], positional[2], model, as_json);
@@ -523,13 +595,16 @@ int main(int argc, char** argv) {
                         /*explain=*/true);
     }
     if (command == "sweep" && positional.size() == 2) {
-      return cmd_sweep(positional[1]);
+      return cmd_sweep(positional[1], jobs, cache_dir);
     }
     if (command == "pattern" && positional.size() == 2) {
       return cmd_pattern(positional[1], as_json);
     }
     if (command == "grid" && positional.size() == 3) {
-      return cmd_grid(positional[1], positional[2], as_json, as_csv);
+      return cmd_grid(positional[1], positional[2], as_json, as_csv, jobs);
+    }
+    if (command == "cache" && positional.size() == 2) {
+      return cmd_cache(positional[1], cache_dir, as_json);
     }
     if (command == "runtime") {
       // Board via --board or as the lone positional argument.
