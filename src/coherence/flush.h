@@ -48,6 +48,8 @@ class FlushEngine {
   Seconds cost_for(std::uint64_t dirty_lines, std::uint32_t line_bytes) const;
 
   const FlushCosts& costs() const { return costs_; }
+  // Replaces the cost model (DVFS / thermal derating); no cache state here.
+  void set_costs(const FlushCosts& costs) { costs_ = costs; }
 
  private:
   FlushCosts costs_;

@@ -39,6 +39,8 @@ class IoCoherencePort {
                      mem::AccessKind kind, mem::SetAssocCache* cpu_llc);
 
   const IoCoherenceConfig& config() const { return config_; }
+  // Replaces the port timing (DVFS / thermal derating); counters survive.
+  void set_config(const IoCoherenceConfig& config) { config_ = config; }
   const SnoopCounters& counters() const { return counters_; }
   void reset_counters() { counters_.reset(); }
 

@@ -49,6 +49,9 @@ class PageMigrationEngine {
   Owner owner_of(std::uint64_t address) const;
 
   const PageMigrationConfig& config() const { return config_; }
+  // Replaces the timing model (DVFS / thermal derating); the page table —
+  // which pages live where — is state, not configuration, and survives.
+  void set_config(const PageMigrationConfig& config) { config_ = config; }
 
  private:
   PageMigrationConfig config_;

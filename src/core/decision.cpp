@@ -70,6 +70,39 @@ Zone DecisionEngine::classify_gpu(double usage_pct) const {
   return zone;
 }
 
+Recommendation DecisionEngine::degraded_recommendation(
+    comm::CommModel current, const std::string& board,
+    coherence::Capability capability,
+    const std::vector<std::string>& problems) {
+  Recommendation rec;
+  rec.current = current;
+  rec.suggested = comm::CommModel::StandardCopy;
+  rec.switch_model = current != comm::CommModel::StandardCopy;
+  rec.estimated_speedup = 1.0;
+  rec.max_speedup = 1.0;
+
+  std::ostringstream why;
+  why << "degraded mode: " << problems.size()
+      << " characterization input(s) rejected; falling back to the "
+         "conservative SC recommendation (no speedup claimed)";
+  rec.rationale = why.str();
+
+  Explanation& ex = rec.explanation;
+  ex.board = board;
+  ex.capability = capability_name(capability);
+  ex.current = rec.current;
+  ex.suggested = rec.suggested;
+  ex.switch_model = rec.switch_model;
+  ex.estimated_speedup = 1.0;
+  ex.max_speedup = 1.0;
+  ex.rationale = rec.rationale;
+  for (const auto& problem : problems) {
+    ex.checks.push_back("degraded: " + problem);
+  }
+  ex.checks.push_back("degraded: suggesting SC without running eqn 1-4");
+  return rec;
+}
+
 Recommendation DecisionEngine::recommend(
     const profile::ProfileReport& profile) const {
   return recommend_for(usage_from(profile), profile.model,

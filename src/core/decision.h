@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "comm/model.h"
 #include "core/explain.h"
@@ -76,6 +77,16 @@ class DecisionEngine {
 
   // Helper: eqn-3/4 inputs from a profile report.
   static SpeedupInputs inputs_from(const profile::ProfileReport& profile);
+
+  // Conservative fallback when the characterization failed validation
+  // (DeviceCharacterization::problems() non-empty): recommend SC — every
+  // board supports it and it never catastrophically underperforms the way a
+  // wrong ZC pick can — with an Explanation whose checks name each
+  // rejected/missing input. No equation runs; the speedup claim stays 1.0.
+  static Recommendation degraded_recommendation(
+      comm::CommModel current, const std::string& board,
+      coherence::Capability capability,
+      const std::vector<std::string>& problems);
 
   // Helper: eqn-1/2 cache usage from a profile report, normalised by the
   // MB1 peak of the model the profile was taken under.

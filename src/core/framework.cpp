@@ -27,8 +27,27 @@ profile::ProfileReport Framework::profile(const workload::Workload& workload,
   return profiler_.profile(workload, current_model);
 }
 
+void Framework::set_device(DeviceCharacterization device) {
+  device_ = std::move(device);
+}
+
+bool Framework::degraded() { return !device_problems().empty(); }
+
+std::vector<std::string> Framework::device_problems() {
+  return device().problems();
+}
+
 Recommendation Framework::analyze(const workload::Workload& workload,
                                   comm::CommModel current_model) {
+  // A defective characterization (NaN thresholds, missing MB columns) must
+  // not reach eqn 1-4 — usage_from would divide by the broken peak and the
+  // zone classification would compare against NaN. Answer conservatively
+  // and say why instead.
+  const auto problems = device_problems();
+  if (!problems.empty()) {
+    return DecisionEngine::degraded_recommendation(
+        current_model, device().board, device().capability, problems);
+  }
   const DecisionEngine engine(device());
   return engine.recommend(profile(workload, current_model));
 }
@@ -65,8 +84,14 @@ Framework::TuningReport Framework::tune(const workload::Workload& workload,
                                         comm::CommModel current_model) {
   TuningReport report;
   report.profile = profile(workload, current_model);
-  const DecisionEngine engine(device());
-  report.recommendation = engine.recommend(report.profile);
+  const auto problems = device_problems();
+  if (!problems.empty()) {
+    report.recommendation = DecisionEngine::degraded_recommendation(
+        current_model, device().board, device().capability, problems);
+  } else {
+    const DecisionEngine engine(device());
+    report.recommendation = engine.recommend(report.profile);
+  }
   for (const auto model : kAllModels) {
     report.measured[model_index(model)] = executor_.run(workload, model);
   }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "comm/executor.h"
 #include "core/decision.h"
@@ -30,6 +31,18 @@ class Framework {
 
   // Device characterization (micro-benchmarks); cached after the first call.
   const DeviceCharacterization& device();
+
+  // Injects a characterization from outside (a cache, a file, a test)
+  // instead of running the micro-benchmarks. The input is validated lazily:
+  // a defective characterization routes analyze()/tune() into degraded mode
+  // rather than being rejected here.
+  void set_device(DeviceCharacterization device);
+
+  // True when the current characterization fails validation and
+  // analyze()/tune() answer with the conservative degraded-mode fallback.
+  bool degraded();
+  // The validation failures behind degraded() (empty when healthy).
+  std::vector<std::string> device_problems();
 
   // Profiles the application under its current communication model.
   profile::ProfileReport profile(const workload::Workload& workload,

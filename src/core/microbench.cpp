@@ -1,5 +1,7 @@
 #include "core/microbench.h"
 
+#include <cmath>
+
 #include "soc/board_io.h"
 #include "support/assert.h"
 #include "workload/builders.h"
@@ -120,6 +122,36 @@ DeviceCharacterization DeviceCharacterization::from_json(const Json& j) {
   device.mb2 = Mb2Result::from_json(j.at("mb2"));
   device.mb3 = Mb3Result::from_json(j.at("mb3"));
   return device;
+}
+
+std::vector<std::string> DeviceCharacterization::problems() const {
+  std::vector<std::string> out;
+  const auto positive_finite = [&out](double value, const std::string& what) {
+    if (!std::isfinite(value) || value <= 0) {
+      out.push_back(what + " is " +
+                    (std::isfinite(value) ? "non-positive" : "non-finite"));
+    }
+  };
+  for (const auto model : kAllModels) {
+    const std::string suffix =
+        std::string("[") + comm::model_name(model) + "]";
+    positive_finite(mb1.gpu_ll_throughput[model_index(model)],
+                    "mb1.gpu_ll_throughput" + suffix);
+    positive_finite(mb3.total_time[model_index(model)],
+                    "mb3.total_time" + suffix);
+  }
+  const auto threshold_in_range = [&out](double value,
+                                         const std::string& what) {
+    if (!(value > 0 && value <= 100.0)) {  // also catches NaN
+      out.push_back(what + " outside (0, 100]");
+    }
+  };
+  threshold_in_range(mb2.gpu.threshold_pct, "mb2.gpu.threshold_pct");
+  threshold_in_range(mb2.cpu.threshold_pct, "mb2.cpu.threshold_pct");
+  if (!(mb2.gpu.zone2_end_pct >= mb2.gpu.threshold_pct)) {  // NaN-safe
+    out.push_back("mb2.gpu.zone2_end_pct below mb2.gpu.threshold_pct");
+  }
+  return out;
 }
 
 MicrobenchSuite::MicrobenchSuite(soc::SoC& soc, comm::ExecOptions options,

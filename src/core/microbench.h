@@ -11,6 +11,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "comm/executor.h"
 #include "core/sweep.h"
@@ -88,6 +89,14 @@ struct DeviceCharacterization {
   // indistinguishable from a fresh run. Payload of the result cache.
   Json to_json() const;
   static DeviceCharacterization from_json(const Json& j);
+
+  // Sanity-checks the inputs the decision flow divides and pivots by:
+  // non-finite / non-positive MB1 throughputs, thresholds outside (0, 100],
+  // an inverted zone boundary, missing MB3 timings. Returns one message per
+  // defect naming the offending field (empty = usable). A non-empty result
+  // routes Framework::analyze into degraded mode instead of letting NaNs
+  // flow through eqn 1-4.
+  std::vector<std::string> problems() const;
 };
 
 class MicrobenchSuite {

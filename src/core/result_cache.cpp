@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/hash.h"
+#include "support/log.h"
 
 namespace cig::core {
 
@@ -45,6 +46,39 @@ std::string ResultCache::entry_path(const std::string& kind,
       .string();
 }
 
+void ResultCache::disable_disk(const std::string& why) {
+  disk_disabled_ = true;
+  stats_.disabled = 1;
+  CIG_LOG_C(::cig::LogLevel::Warn, "cache",
+            "cache dir '" << dir_ << "' unusable (" << why
+                          << "); disk tier disabled, continuing memory-only");
+}
+
+bool ResultCache::ensure_disk_usable() {
+  if (dir_.empty() || disk_disabled_) return false;
+  if (disk_probed_) return true;
+  disk_probed_ = true;
+  // One write-through probe decides for the cache's lifetime: an unusable
+  // directory must cost a single warning, not one failure per entry.
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    disable_disk("cannot create: " + ec.message());
+    return false;
+  }
+  const fs::path probe = fs::path(dir_) / ".cig-cache-probe";
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    out << "probe";
+    if (!out) {
+      disable_disk("not writable");
+      return false;
+    }
+  }
+  fs::remove(probe, ec);
+  return true;
+}
+
 std::optional<Json> ResultCache::lookup(const std::string& kind,
                                         const std::string& key_text) {
   const auto it = memory_.find(memory_key(kind, key_text));
@@ -53,7 +87,7 @@ std::optional<Json> ResultCache::lookup(const std::string& kind,
     return it->second;
   }
 
-  if (!dir_.empty()) {
+  if (ensure_disk_usable()) {
     const std::string path = entry_path(kind, key_of(key_text));
     std::error_code ec;
     if (fs::exists(path, ec) && !ec) {
@@ -90,9 +124,8 @@ void ResultCache::store(const std::string& kind, const std::string& key_text,
   memory_[memory_key(kind, key_text)] = value;
   ++stats_.stores;
 
-  if (dir_.empty()) return;
+  if (!ensure_disk_usable()) return;
   try {
-    fs::create_directories(dir_);
     Json entry;
     entry["schema"] = Json(std::string(kSchemaTag));
     entry["kind"] = Json(kind);
@@ -121,6 +154,7 @@ void ResultCache::export_stats(sim::StatRegistry& registry) const {
   registry.set("cache.disk_hit", static_cast<double>(stats_.disk_hits));
   registry.set("cache.corrupt_dropped",
                static_cast<double>(stats_.corrupt_dropped));
+  registry.set("cache.disabled", static_cast<double>(stats_.disabled));
 }
 
 ResultCache::DiskUsage ResultCache::disk_usage() const {

@@ -53,8 +53,15 @@ class ResultCache {
     std::uint64_t stores = 0;
     std::uint64_t disk_hits = 0;       // subset of hits served from disk
     std::uint64_t corrupt_dropped = 0; // unreadable/stale files ignored
+    std::uint64_t disabled = 0;        // 1 after the disk tier shut down
   };
   const Stats& stats() const { return stats_; }
+
+  // True while the disk tier is serving (a directory is configured and has
+  // not failed its probe). An unusable directory — unwritable, unreadable,
+  // or a path that cannot be created — logs one warning, flips this off for
+  // the cache's lifetime, and the cache carries on memory-only.
+  bool disk_enabled() const { return !dir_.empty() && !disk_disabled_; }
 
   // Exposes the counters as `cache.*` stats (cache.hit, cache.miss, ...)
   // for the Prometheus snapshot and Perfetto counter tracks.
@@ -79,7 +86,17 @@ class ResultCache {
   std::string entry_path(const std::string& kind,
                          std::uint64_t key) const;
 
+  // First-use probe of the cache directory (create + write + remove a probe
+  // file). On failure: one warning, disk tier off, stats_.disabled = 1.
+  // Returns disk_enabled().
+  bool ensure_disk_usable();
+
+  // Permanently turns the disk tier off with a single warning naming `why`.
+  void disable_disk(const std::string& why);
+
   std::string dir_;
+  bool disk_probed_ = false;
+  bool disk_disabled_ = false;
   std::map<std::string, Json> memory_;  // keyed by kind + '\0' + key_text
   Stats stats_;
 };

@@ -1,0 +1,136 @@
+#include "fault/chaos.h"
+
+#include <utility>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::fault {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t seed, const std::string& board,
+                        const std::string& scenario) {
+  std::uint64_t state = seed ^ fnv1a(board + "|" + scenario);
+  return splitmix64(state);
+}
+
+Json ChaosResult::to_json() const {
+  Json j;
+  j["board"] = Json(board);
+  j["scenario"] = Json(scenario);
+  j["seed"] = Json(static_cast<double>(seed));
+  j["final_model"] = Json(std::string(comm::model_name(final_model)));
+  j["adaptive_us"] = Json(to_us(adaptive_time));
+  Json statics;
+  for (const auto model : core::kAllModels) {
+    statics[comm::model_name(model)] =
+        Json(to_us(static_time[core::model_index(model)]));
+  }
+  j["static_us"] = std::move(statics);
+  j["best_static"] = Json(std::string(comm::model_name(best_static)));
+  j["worst_static"] = Json(std::string(comm::model_name(worst_static)));
+  j["oracle_us"] = Json(to_us(oracle_time));
+  j["regret"] = Json(regret);
+  j["regret_bound"] = Json(regret_bound);
+  j["degraded"] = Json(degraded);
+  if (degraded) {
+    j["degraded_suggested"] =
+        Json(std::string(comm::model_name(degraded_suggested)));
+    Json problems = JsonArray{};
+    for (const auto& p : degraded_problems) problems.push_back(Json(p));
+    j["degraded_problems"] = std::move(problems);
+  }
+  j["registry"] = registry.to_json();
+  return j;
+}
+
+ChaosResult run_chaos(const soc::BoardConfig& board,
+                      const FaultScenario& scenario,
+                      const ChaosOptions& options) {
+  ChaosResult result;
+  result.board = board.name;
+  result.scenario = scenario.name;
+  result.seed = options.seed;
+  result.regret_bound = scenario.regret_bound;
+
+  const std::uint64_t seed = cell_seed(options.seed, board.name,
+                                       scenario.name);
+  FaultInjector injector(scenario.specs, seed);
+
+  core::Framework framework(board, options.replay.exec, options.sweep);
+  const auto phases =
+      workload::phasic_workload_phases(framework.board(), options.trace);
+
+  // Degraded leg: poison a copy of the (clean) characterization exactly the
+  // way a stale or truncated cache entry would, feed it to a throwaway
+  // framework, and record the conservative answer. The replay leg below
+  // keeps the clean characterization — a corrupted one never reaches the
+  // online controller, precisely because the framework refuses to act on it.
+  if (injector.has(FaultKind::CorruptCharacterization)) {
+    core::DeviceCharacterization poisoned = framework.device();
+    injector.corrupt(poisoned);
+    core::Framework degraded_fw(board, options.replay.exec);
+    degraded_fw.set_device(std::move(poisoned));
+    result.degraded = degraded_fw.degraded();
+    result.degraded_problems = degraded_fw.device_problems();
+    const auto rec = degraded_fw.analyze(phases.front().workload,
+                                         comm::CommModel::ZeroCopy);
+    result.degraded_suggested = rec.suggested;
+    result.degraded_checks = rec.explanation.checks;
+  }
+
+  // Replay leg: the injector perturbs the SoC before each sample (thermal
+  // derating) and the profiler report after it (noise, dropout, spikes,
+  // stale batches); the hardened controller runs the trace end to end.
+  runtime::ReplayOptions replay = options.replay;
+  replay.before_sample = [&injector](soc::SoC& soc, obs::Tracer& tracer,
+                                     std::uint64_t index) {
+    injector.pre_sample(soc, &tracer, index);
+  };
+  replay.mutate_sample = [&injector](profile::ProfileReport& report,
+                                     obs::Tracer& tracer,
+                                     std::uint64_t index) {
+    injector.on_report(report, &tracer, index);
+  };
+  auto rep = runtime::replay_phasic(framework, phases, replay);
+
+  // Clean references: compare_static resets the SoC per model, which also
+  // clears any derate the replay leg left behind — the oracle runs at
+  // nominal speed, so regret prices in what the faults cost us.
+  const auto ref = runtime::compare_static(framework, phases,
+                                           options.replay.exec);
+
+  result.final_model = rep.samples.empty()
+                           ? options.replay.controller.initial_model
+                           : rep.samples.back().decision.model_after;
+  result.adaptive_time = rep.adaptive_time;
+  result.static_time = ref.static_time;
+  result.best_static = ref.best_static;
+  result.worst_static = ref.worst_static;
+  result.oracle_time = ref.oracle_time;
+  const Seconds best = ref.static_time[core::model_index(ref.best_static)];
+  CIG_ASSERT(best > 0);
+  result.regret = rep.adaptive_time / best;
+
+  result.metrics = rep.metrics;
+  result.fault_metrics = injector.metrics();
+  result.registry = std::move(rep.registry);
+  injector.export_stats(result.registry);
+  result.timeline = std::move(rep.timeline);
+  result.aux = std::move(rep.aux);
+  return result;
+}
+
+}  // namespace cig::fault

@@ -1,0 +1,89 @@
+// Chaos driver: runs one fault scenario end-to-end against one board.
+//
+// Two legs per cell:
+//   1. Degraded leg (only when the scenario corrupts the characterization):
+//      the injector poisons a copy of the device characterization, a
+//      framework is fed the poisoned copy, and its analyze() answer — the
+//      conservative SC fallback with the rejected inputs named in the
+//      Explanation — is recorded.
+//   2. Replay leg: the phasic trace runs through the adaptive controller
+//      with the injector wired into the replay seams (thermal derating
+//      before each sample, counter perturbation on each report). The clean
+//      static references from the same trace give the regret denominator.
+//
+// Everything a cell produces is deterministic for a fixed seed: the
+// injector draws from per-(spec, sample) streams and the result serializes
+// through the byte-stable Json dump, so two invocations — at any worker
+// count — emit identical bytes. tests/test_chaos_properties.cpp holds every
+// (scenario, board) cell to the invariants; `cigtool chaos` runs the same
+// cells from the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "fault/injector.h"
+#include "fault/scenario.h"
+#include "runtime/replay.h"
+#include "sim/stat_registry.h"
+#include "sim/trace_export.h"
+#include "support/json.h"
+#include "workload/builders.h"
+
+namespace cig::fault {
+
+struct ChaosOptions {
+  std::uint64_t seed = 42;
+  // Controller / executor configuration for the replay leg.
+  runtime::ReplayOptions replay;
+  // Characterization path knobs (worker count, result cache, stat hooks).
+  core::SweepOptions sweep;
+  // Trace shape; trimmed from the cigtool-runtime default so a full
+  // scenario x board grid stays test-suite fast.
+  workload::PhasicConfig trace{.phase_pairs = 2, .samples_per_phase = 16};
+};
+
+struct ChaosResult {
+  std::string board;
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  // Replay-leg outcome.
+  comm::CommModel final_model = comm::CommModel::StandardCopy;
+  Seconds adaptive_time = 0;
+  core::PerModel<Seconds> static_time{};  // clean references
+  comm::CommModel best_static = comm::CommModel::StandardCopy;
+  comm::CommModel worst_static = comm::CommModel::StandardCopy;
+  Seconds oracle_time = 0;
+  double regret = 1.0;        // adaptive / best static (clean)
+  double regret_bound = 0;    // the scenario's acceptance bound
+
+  // Degraded leg (corrupt-characterization scenarios only).
+  bool degraded = false;
+  comm::CommModel degraded_suggested = comm::CommModel::StandardCopy;
+  std::vector<std::string> degraded_problems;
+  std::vector<std::string> degraded_checks;  // explanation.checks
+
+  runtime::RuntimeMetrics metrics;
+  FaultMetrics fault_metrics;
+  sim::StatRegistry registry;  // runtime.* + runtime.guard.* + fault.*
+  sim::Timeline timeline;
+  sim::TraceAux aux;
+
+  // Byte-deterministic summary (fixed seed => identical dump()).
+  Json to_json() const;
+};
+
+// Deterministic per-cell injector seed: options.seed mixed with the cell's
+// (board, scenario) identity, so every grid cell draws from its own stream
+// no matter what order cells run in.
+std::uint64_t cell_seed(std::uint64_t seed, const std::string& board,
+                        const std::string& scenario);
+
+ChaosResult run_chaos(const soc::BoardConfig& board,
+                      const FaultScenario& scenario,
+                      const ChaosOptions& options = {});
+
+}  // namespace cig::fault

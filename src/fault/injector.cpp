@@ -1,0 +1,216 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::fault {
+
+namespace {
+
+// Applies `fn` to every counter field a ProfileReport carries (times and
+// rates alike); mirrors runtime/window.cpp's field list so faults reach
+// exactly what the decision flow consumes.
+template <typename Fn>
+void for_each_counter(profile::ProfileReport& report, Fn fn) {
+  fn(report.cpu_l1_miss_rate);
+  fn(report.cpu_llc_miss_rate);
+  fn(report.gpu_l1_hit_rate);
+  fn(report.gpu_llc_hit_rate);
+  fn(report.gpu_transactions);
+  fn(report.gpu_transaction_size);
+  fn(report.kernel_time);
+  fn(report.cpu_time);
+  fn(report.copy_time);
+  fn(report.total_time);
+  fn(report.gpu_ll_throughput);
+  fn(report.cpu_ll_throughput);
+  fn(report.energy);
+  fn(report.average_power);
+}
+
+void mark(obs::Tracer* tracer, FaultKind kind) {
+  if (tracer != nullptr) {
+    tracer->instant(sim::Lane::Ctrl,
+                    std::string("fault: ") + fault_kind_name(kind));
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::CounterNoise: return "counter_noise";
+    case FaultKind::CounterDropout: return "counter_dropout";
+    case FaultKind::CounterSaturation: return "counter_saturation";
+    case FaultKind::OutlierSpike: return "outlier_spike";
+    case FaultKind::StaleBatch: return "stale_batch";
+    case FaultKind::ThermalDerate: return "thermal_derate";
+    case FaultKind::CorruptCharacterization: return "corrupt_characterization";
+  }
+  return "unknown";
+}
+
+void FaultMetrics::count(FaultKind kind) {
+  by_kind[static_cast<std::size_t>(kind)] += 1;
+  total += 1;
+}
+
+void FaultMetrics::export_to(sim::StatRegistry& registry) const {
+  registry.set("fault.total", static_cast<double>(total));
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    registry.set(std::string("fault.") +
+                     fault_kind_name(static_cast<FaultKind>(k)),
+                 static_cast<double>(by_kind[k]));
+  }
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  for (const auto& spec : specs_) {
+    CIG_EXPECTS(spec.probability >= 0.0 && spec.probability <= 1.0);
+    CIG_EXPECTS(spec.magnitude >= 0.0);
+  }
+}
+
+bool FaultInjector::has(FaultKind kind) const {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [kind](const FaultSpec& s) { return s.kind == kind; });
+}
+
+std::uint64_t FaultInjector::stream_seed(std::size_t spec_index,
+                                         std::uint64_t sample_index) const {
+  // splitmix64 chain over (seed, spec, sample): every draw stream is a pure
+  // function of its coordinates, so reruns and reorderings cannot diverge.
+  std::uint64_t state = seed_;
+  (void)splitmix64(state);
+  state ^= 0x9E3779B97F4A7C15ull * (spec_index + 1);
+  (void)splitmix64(state);
+  state ^= sample_index;
+  return splitmix64(state);
+}
+
+bool FaultInjector::fires(const FaultSpec& spec, std::size_t spec_index,
+                          std::uint64_t sample_index) const {
+  if (sample_index < spec.first_sample || sample_index > spec.last_sample) {
+    return false;
+  }
+  if (spec.probability >= 1.0) return true;
+  Rng rng(stream_seed(spec_index, sample_index));
+  return rng.uniform() < spec.probability;
+}
+
+double FaultInjector::derate_factor(std::uint64_t index) const {
+  double factor = 1.0;
+  for (const auto& spec : specs_) {
+    if (spec.kind != FaultKind::ThermalDerate) continue;
+    if (index < spec.first_sample || index > spec.last_sample) continue;
+    factor *= std::max(0.05, 1.0 - spec.magnitude);
+  }
+  return factor;
+}
+
+void FaultInjector::pre_sample(soc::SoC& soc, obs::Tracer* tracer,
+                               std::uint64_t index) {
+  const double factor = derate_factor(index);
+  if (factor == applied_derate_) return;
+  applied_derate_ = factor;
+  soc.set_derate(factor);
+  metrics_.count(FaultKind::ThermalDerate);
+  if (tracer != nullptr) {
+    std::ostringstream label;
+    label.precision(3);
+    label << "fault: thermal_derate x" << factor;
+    tracer->instant(sim::Lane::Ctrl, label.str());
+  }
+}
+
+bool FaultInjector::on_report(profile::ProfileReport& report,
+                              obs::Tracer* tracer, std::uint64_t index) {
+  bool fired = false;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const FaultSpec& spec = specs_[s];
+    if (!fires(spec, s, index)) continue;
+    Rng rng(stream_seed(s, index) ^ 0xFA17ull);
+    switch (spec.kind) {
+      case FaultKind::CounterNoise: {
+        // Independent multiplicative noise per field, uniform in
+        // [1 - magnitude, 1 + magnitude].
+        for_each_counter(report, [&](double& field) {
+          field *= rng.uniform(1.0 - spec.magnitude, 1.0 + spec.magnitude);
+        });
+        break;
+      }
+      case FaultKind::CounterDropout: {
+        // A dropped PMU batch: rate/throughput registers read back zero
+        // while the timing side (measured on the host) survives.
+        report.cpu_l1_miss_rate = 0;
+        report.cpu_llc_miss_rate = 0;
+        report.gpu_l1_hit_rate = 0;
+        report.gpu_llc_hit_rate = 0;
+        report.gpu_transactions = 0;
+        report.gpu_transaction_size = 0;
+        report.gpu_ll_throughput = 0;
+        report.cpu_ll_throughput = 0;
+        break;
+      }
+      case FaultKind::CounterSaturation: {
+        // Counters pegged at their ceiling: rates report 100% and the
+        // throughput registers over-report by the magnitude.
+        report.cpu_l1_miss_rate = 1.0;
+        report.cpu_llc_miss_rate = 1.0;
+        report.gpu_l1_hit_rate = 1.0;
+        report.gpu_llc_hit_rate = 1.0;
+        report.gpu_ll_throughput *= 1.0 + spec.magnitude;
+        report.cpu_ll_throughput *= 1.0 + spec.magnitude;
+        break;
+      }
+      case FaultKind::OutlierSpike: {
+        const double factor = 1.0 + spec.magnitude;
+        report.kernel_time *= factor;
+        report.cpu_time *= factor;
+        report.copy_time *= factor;
+        report.total_time *= factor;
+        break;
+      }
+      case FaultKind::StaleBatch: {
+        if (last_report_) report = *last_report_;
+        break;
+      }
+      case FaultKind::ThermalDerate:
+      case FaultKind::CorruptCharacterization:
+        continue;  // handled in pre_sample() / corrupt()
+    }
+    fired = true;
+    metrics_.count(spec.kind);
+    mark(tracer, spec.kind);
+  }
+  last_report_ = report;
+  return fired;
+}
+
+void FaultInjector::corrupt(core::DeviceCharacterization& device) {
+  for (const auto& spec : specs_) {
+    if (spec.kind != FaultKind::CorruptCharacterization) continue;
+    // Severity tiers: a mild corruption drops one characterization column,
+    // a severe one poisons the thresholds the whole flow pivots on.
+    device.mb1.gpu_ll_throughput[core::model_index(
+        comm::CommModel::ZeroCopy)] = 0;
+    if (spec.magnitude >= 0.3) {
+      device.mb3.total_time[core::model_index(comm::CommModel::StandardCopy)] =
+          0;
+    }
+    if (spec.magnitude >= 0.6) {
+      device.mb2.gpu.threshold_pct =
+          std::numeric_limits<double>::quiet_NaN();
+      device.mb2.cpu.threshold_pct = -12.0;
+    }
+    metrics_.count(spec.kind);
+  }
+}
+
+}  // namespace cig::fault

@@ -1,0 +1,116 @@
+// Deterministic, seeded fault injection for the simulation pipeline.
+//
+// Real Jetson-class boards do not deliver the clean inputs the decision
+// framework assumes: PMU counters are noisy and drop samples, DVFS and
+// thermal throttling shift bandwidth mid-run, and cached characterizations
+// go stale or arrive corrupted. The injector reproduces those failure modes
+// at well-defined seams so the guardrails in src/runtime and the degraded
+// mode in core::Framework can be exercised deterministically:
+//
+//   - profiler counter noise / dropout / saturation  (profile::ProfileReport)
+//   - transient runtime-window outliers and stale sample batches
+//   - mid-run bandwidth/frequency derating            (soc::SoC::set_derate)
+//   - partial / corrupt DeviceCharacterization inputs (core::Framework)
+//
+// Every perturbation is a pure function of (seed, spec index, sample
+// index), so a fixed seed reproduces the exact same fault sequence
+// regardless of how calls interleave — the chaos property suite relies on
+// byte-identical reruns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/microbench.h"
+#include "obs/tracer.h"
+#include "profile/report.h"
+#include "sim/stat_registry.h"
+#include "soc/soc.h"
+
+namespace cig::fault {
+
+enum class FaultKind {
+  CounterNoise = 0,      // multiplicative noise on every counter field
+  CounterDropout,        // rates/throughputs read back as zero (lost sample)
+  CounterSaturation,     // rates pegged at 100%, throughput over-reported
+  OutlierSpike,          // one sample's times blow up (scheduler hiccup)
+  StaleBatch,            // the previous report is delivered again
+  ThermalDerate,         // bandwidth + clocks derated from a sample onward
+  CorruptCharacterization,  // DeviceCharacterization fields NaN/zero/missing
+};
+
+const char* fault_kind_name(FaultKind kind);
+constexpr std::size_t kFaultKindCount = 7;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::CounterNoise;
+  // Per-sample firing probability in [0, 1] (ThermalDerate and
+  // CorruptCharacterization ignore it: they are level-triggered).
+  double probability = 1.0;
+  // Kind-specific strength: noise amplitude (relative), spike factor - 1,
+  // derate fraction (0.4 = bandwidth and clocks fall to 60%), corruption
+  // severity in [0, 1].
+  double magnitude = 0.1;
+  // Active sample-index window, inclusive.
+  std::uint64_t first_sample = 0;
+  std::uint64_t last_sample = UINT64_MAX;
+};
+
+// What the injector did, per kind, plus the total. Exported as `fault.*`.
+struct FaultMetrics {
+  std::uint64_t by_kind[kFaultKindCount] = {};
+  std::uint64_t total = 0;
+
+  void count(FaultKind kind);
+  // fault.total + fault.<kind> counters (fault.counter_noise, ...).
+  void export_to(sim::StatRegistry& registry) const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed);
+
+  // True if any spec carries `kind` (regardless of its active window).
+  bool has(FaultKind kind) const;
+
+  // Applies the thermal-derate schedule for this sample to the SoC (no-op
+  // when the factor is unchanged). Emits a CTRL instant per change when a
+  // tracer is given.
+  void pre_sample(soc::SoC& soc, obs::Tracer* tracer, std::uint64_t index);
+
+  // Perturbs one profiler report in place (noise, dropout, saturation,
+  // spikes, stale replay). Returns true when at least one fault fired.
+  bool on_report(profile::ProfileReport& report, obs::Tracer* tracer,
+                 std::uint64_t index);
+
+  // Combined derate factor for `index` (1.0 = nominal) — exposed for tests.
+  double derate_factor(std::uint64_t index) const;
+
+  // Applies every CorruptCharacterization spec to `device`: drops the ZC
+  // throughput column, poisons thresholds (NaN / out of range) and zeroes
+  // MB3 times, scaled by the spec's magnitude. The result is exactly what
+  // DeviceCharacterization::problems() must catch.
+  void corrupt(core::DeviceCharacterization& device);
+
+  const FaultMetrics& metrics() const { return metrics_; }
+  void export_stats(sim::StatRegistry& registry) const {
+    metrics_.export_to(registry);
+  }
+
+ private:
+  // Per-(spec, sample) deterministic stream, independent of call order.
+  std::uint64_t stream_seed(std::size_t spec_index,
+                            std::uint64_t sample_index) const;
+  bool fires(const FaultSpec& spec, std::size_t spec_index,
+             std::uint64_t sample_index) const;
+
+  std::vector<FaultSpec> specs_;
+  std::uint64_t seed_;
+  FaultMetrics metrics_;
+  double applied_derate_ = 1.0;
+  std::optional<profile::ProfileReport> last_report_;
+};
+
+}  // namespace cig::fault

@@ -1,0 +1,104 @@
+#include "fault/scenario.h"
+
+#include <stdexcept>
+
+namespace cig::fault {
+
+namespace {
+
+std::vector<FaultScenario> build_catalogue() {
+  std::vector<FaultScenario> catalogue;
+
+  {
+    FaultScenario s;
+    s.name = "counter-noise";
+    s.summary = "±25% multiplicative noise on half of all PMU samples";
+    s.specs = {{FaultKind::CounterNoise, 0.5, 0.25}};
+    s.regret_bound = 3.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "counter-dropout";
+    s.summary = "20% of PMU batches lost (zeros), 5% saturated at ceiling";
+    s.specs = {{FaultKind::CounterDropout, 0.2, 1.0},
+               {FaultKind::CounterSaturation, 0.05, 0.5}};
+    s.regret_bound = 3.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "spike-outliers";
+    s.summary = "15% of samples report 10x times (scheduler hiccups)";
+    s.specs = {{FaultKind::OutlierSpike, 0.15, 9.0}};
+    s.regret_bound = 3.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "stale-window";
+    s.summary = "30% of samples re-deliver the previous batch";
+    s.specs = {{FaultKind::StaleBatch, 0.3, 1.0}};
+    s.regret_bound = 3.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "thermal-throttle";
+    s.summary = "bandwidth and clocks derated to 60% from sample 24 on";
+    FaultSpec derate{FaultKind::ThermalDerate, 1.0, 0.4};
+    derate.first_sample = 24;
+    s.specs = {derate};
+    // The faulted run executes on 0.6x hardware against a nominal-speed
+    // oracle: 1/0.6 of slack on top of the usual adaptive margin.
+    s.regret_bound = 6.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "corrupt-characterization";
+    s.summary =
+        "cached characterization corrupted (NaN thresholds, missing ZC "
+        "column) -> framework degraded mode";
+    s.specs = {{FaultKind::CorruptCharacterization, 1.0, 1.0},
+               {FaultKind::CounterNoise, 0.25, 0.1}};
+    s.regret_bound = 3.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "kitchen-sink";
+    s.summary = "every fault class at once (noise, loss, spikes, thermal)";
+    FaultSpec derate{FaultKind::ThermalDerate, 1.0, 0.3};
+    derate.first_sample = 32;
+    s.specs = {{FaultKind::CounterNoise, 0.4, 0.2},
+               {FaultKind::CounterDropout, 0.1, 1.0},
+               {FaultKind::OutlierSpike, 0.1, 9.0},
+               {FaultKind::StaleBatch, 0.15, 1.0},
+               derate};
+    s.regret_bound = 8.0;
+    catalogue.push_back(std::move(s));
+  }
+
+  return catalogue;
+}
+
+}  // namespace
+
+const std::vector<FaultScenario>& all_scenarios() {
+  static const std::vector<FaultScenario> catalogue = build_catalogue();
+  return catalogue;
+}
+
+const FaultScenario& scenario_by_name(const std::string& name) {
+  std::string known;
+  for (const auto& scenario : all_scenarios()) {
+    if (scenario.name == name) return scenario;
+    if (!known.empty()) known += ", ";
+    known += scenario.name;
+  }
+  throw std::runtime_error("unknown fault scenario '" + name + "' (known: " +
+                           known + ")");
+}
+
+}  // namespace cig::fault

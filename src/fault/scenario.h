@@ -1,0 +1,31 @@
+// Named fault scenarios: curated FaultSpec bundles modelling the failure
+// modes observed on real boards, each with the regret bound the chaos
+// property suite holds the adaptive controller to. A scenario is pure data;
+// `fault::run_chaos` (chaos.h) executes one against a board.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace cig::fault {
+
+struct FaultScenario {
+  std::string name;
+  std::string summary;
+  std::vector<FaultSpec> specs;
+  // The chaos suite asserts adaptive_time <= regret_bound * best_static
+  // (the clean static-best oracle over the same trace). Thermal scenarios
+  // get looser bounds because the faulted run executes on derated hardware
+  // while the oracle runs at nominal speed.
+  double regret_bound = 3.0;
+};
+
+// The built-in catalogue, in a stable order (CLI listings, test grids).
+const std::vector<FaultScenario>& all_scenarios();
+
+// Lookup by name; throws std::runtime_error listing the known names.
+const FaultScenario& scenario_by_name(const std::string& name);
+
+}  // namespace cig::fault

@@ -25,6 +25,9 @@ class MainMemory {
   explicit MainMemory(DramConfig config) : config_(config) {}
 
   const DramConfig& config() const { return config_; }
+  // Replaces the timing model (DVFS / thermal derating); traffic counters
+  // are accounting state and survive the swap.
+  void set_config(const DramConfig& config) { config_ = config; }
 
   BytesPerSecond cached_bandwidth() const { return config_.bandwidth; }
   BytesPerSecond uncached_bandwidth() const {

@@ -34,6 +34,10 @@ Json ControlDecision::to_json() const {
   j["switch_cost_us"] = to_us(switch_cost);
   j["predicted_gain_us"] = to_us(predicted_gain);
   j["rationale"] = rationale;
+  j["sample_rejected"] = sample_rejected;
+  j["rolled_back"] = rolled_back;
+  j["blocked_by_guard"] = blocked_by_guard;
+  if (!guard_event.empty()) j["guard_event"] = guard_event;
   j["flow_id"] = flow_id;
   if (evaluated) j["explanation"] = explanation.to_json();
   return j;
@@ -53,7 +57,9 @@ AdaptiveController::AdaptiveController(const core::DecisionEngine& engine,
                     engine.device().capability ==
                         coherence::Capability::HwIoCoherent,
                     config.hysteresis),
-      cpu_band_(engine.device().cpu_threshold_pct(), config.hysteresis) {
+      cpu_band_(engine.device().cpu_threshold_pct(), config.hysteresis),
+      sample_guard_(config.guard, metrics_.guard),
+      switch_guard_(config.guard, metrics_.guard) {
   CIG_EXPECTS(config_.amortization_horizon_iters > 0);
   CIG_EXPECTS(config_.min_samples >= 1);
   CIG_EXPECTS(config_.zc_saturation_pct > 0);
@@ -77,16 +83,32 @@ void AdaptiveController::arm_tracker() {
 }
 
 ControlDecision AdaptiveController::on_sample(
-    const profile::ProfileReport& sample, std::uint64_t shared_base,
+    const profile::ProfileReport& raw_sample, std::uint64_t shared_base,
     Bytes shared_bytes) {
   ControlDecision decision;
   decision.model_before = model_;
   decision.model_after = model_;
+  metrics_.samples += 1;
+
+  // Input hygiene first: clamp wrapped/saturated counters in a copy and
+  // drop samples whose timings are unusable or wild outliers. A rejected
+  // sample is not billed (its timing is the untrustworthy part); when the
+  // executor shares our tracer the clock still follows the real span.
+  profile::ProfileReport sample = raw_sample;
+  std::string reject_reason;
+  if (!sample_guard_.admit(sample, reject_reason)) {
+    decision.sample_rejected = true;
+    decision.guard_event = "sample rejected: " + reject_reason;
+    now_ = std::max(now_, tracer_.now());
+    tracer_.set_now(now_);
+    tracer_.instant(sim::Lane::Ctrl,
+                    std::string("guard: reject (") + reject_reason + ")");
+    return decision;
+  }
 
   // Advance observed time and the per-model ledger by the sampled phase.
   const Seconds phase_time =
       sample.total_time * static_cast<double>(sample.iterations);
-  metrics_.samples += 1;
   metrics_.time_in_model[core::model_index(model_)] += phase_time;
   metrics_.phase_latency_us.add(to_us(phase_time));
   metrics_.kernel_latency_us.add(to_us(sample.kernel_time));
@@ -114,6 +136,13 @@ ControlDecision AdaptiveController::on_sample(
       metrics_.realized_speedup_product *= realized;
       metrics_.predicted_speedup_product *= pending_predicted_;
       if (realized < 1.0) metrics_.mispredicted_switches += 1;
+      if (config_.guard.enabled &&
+          realized < config_.guard.rollback_threshold) {
+        // The switch made things materially worse: undo it, strike the
+        // model that failed us (repeat offenders get quarantined), and
+        // restart the statistics under the restored model.
+        return roll_back(decision, realized, shared_base, shared_bytes);
+      }
     }
   }
 
@@ -141,6 +170,7 @@ ControlDecision AdaptiveController::on_sample(
   decision.rationale = rec.rationale;
   decision.explanation = rec.explanation;
   metrics_.decisions += 1;
+  switch_guard_.on_decision();
 
   // Counter tracks: the eqn-1/2 operating point this decision saw plus a
   // snapshot of the runtime.* registry, one sample per evaluation.
@@ -151,6 +181,15 @@ ControlDecision AdaptiveController::on_sample(
   sim::StatRegistry scratch;
   metrics_.export_to(scratch);
   tracer_.counters_from(scratch.with_prefix("runtime."));
+
+  // Oscillation watchdog: while pinned, the model is held fixed no matter
+  // what the flow recommends; the pin reason travels with the decision.
+  if (switch_guard_.pinned()) {
+    decision.blocked_by_guard = true;
+    decision.guard_event = "pinned: " + switch_guard_.pin_reason();
+    metrics_.guard.pinned_decisions += 1;
+    return decision;
+  }
 
   // Candidate targets. The offline flow's suggestion leads when it wants a
   // switch ("switch to SC (or UM)" expands to both cached models). When the
@@ -175,6 +214,27 @@ ControlDecision AdaptiveController::on_sample(
             : comm::CommModel::StandardCopy;
   }
   if (num_candidates == 0) return decision;
+
+  // Drop candidates still in quarantine (repeated mispredicted switches
+  // into them). When every candidate is cooling down this evaluation ends
+  // here — deliberately conservative: stay on the current model.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < num_candidates; ++i) {
+    if (switch_guard_.allow(candidates[i])) {
+      candidates[kept++] = candidates[i];
+    } else {
+      metrics_.guard.quarantine_blocked += 1;
+      tracer_.instant(sim::Lane::Ctrl,
+                      std::string("guard: quarantine blocks ") +
+                          comm::model_name(candidates[i]));
+    }
+  }
+  if (kept == 0) {
+    decision.blocked_by_guard = true;
+    decision.guard_event = "all candidates quarantined";
+    return decision;
+  }
+  num_candidates = kept;
 
   RefinedEstimate refined;
   comm::CommModel candidate = model_;
@@ -244,12 +304,67 @@ ControlDecision AdaptiveController::on_sample(
   // the *new* phase.
   pre_switch_iter_time_ = window_.latest().total_time;
   pending_predicted_ = refined.speedup;
+  rollback_model_ = model_;
+
+  // Feed the oscillation watchdog. The committed switch stands — pinning
+  // holds the model the controller just landed on, stopping the next flip.
+  if (switch_guard_.on_switch()) {
+    decision.guard_event = "watchdog pin: " + switch_guard_.pin_reason();
+    tracer_.instant(sim::Lane::Ctrl,
+                    std::string("guard: watchdog pins ") +
+                        comm::model_name(candidate) + " (" +
+                        switch_guard_.pin_reason() + ")");
+  }
 
   model_ = candidate;
   // Samples taken under the old model are no longer comparable: the eqn-2
   // normalisation peak changes with the model, so restart the statistics
   // and re-target the zone boundaries for the new model.
   window_.clear();
+  sample_guard_.reset_history();
+  arm_tracker();
+  return decision;
+}
+
+ControlDecision AdaptiveController::roll_back(ControlDecision& decision,
+                                              double realized,
+                                              std::uint64_t shared_base,
+                                              Bytes shared_bytes) {
+  const comm::CommModel failed = model_;
+  const comm::CommModel restore = rollback_model_;
+  std::ostringstream reason;
+  reason.precision(3);
+  reason << "rollback " << comm::model_name(failed) << "->"
+         << comm::model_name(restore) << " (realized " << realized << "x < "
+         << config_.guard.rollback_threshold << "x)";
+  decision.rolled_back = true;
+  decision.guard_event = reason.str();
+  metrics_.guard.rollbacks += 1;
+
+  // Strike the model that failed; repeat offenders cool down.
+  if (switch_guard_.on_misprediction(failed)) {
+    tracer_.instant(sim::Lane::Ctrl, std::string("guard: quarantine ") +
+                                         comm::model_name(failed));
+  }
+
+  if (failed != restore) {
+    const auto realized_cost =
+        executor_.apply_model_switch(failed, restore, shared_base,
+                                     shared_bytes);
+    tracer_.segment(sim::Lane::Ctrl, now_, now_ + realized_cost.total(),
+                    reason.str());
+    now_ += realized_cost.total();
+    tracer_.set_now(now_);
+    metrics_.switch_overhead += realized_cost.total();
+    // A rollback is itself a switch; the watchdog sees it so that a
+    // switch/rollback ping-pong still trips the pin.
+    switch_guard_.on_switch();
+    model_ = restore;
+  }
+  decision.model_after = model_;
+
+  window_.clear();
+  sample_guard_.reset_history();
   arm_tracker();
   return decision;
 }

@@ -21,6 +21,7 @@
 #include "core/decision.h"
 #include "obs/tracer.h"
 #include "runtime/estimator.h"
+#include "runtime/guard.h"
 #include "runtime/hysteresis.h"
 #include "runtime/metrics.h"
 #include "runtime/window.h"
@@ -45,6 +46,9 @@ struct ControllerConfig {
   // whether the uncached/snoop path is saturated enough to throttle the
   // kernel).
   double zc_saturation_pct = 60.0;
+  // Guardrails: input hygiene, misprediction rollback, quarantine and the
+  // oscillation watchdog (see runtime/guard.h).
+  GuardConfig guard;
 };
 
 // What the controller decided after ingesting one sample.
@@ -61,6 +65,13 @@ struct ControlDecision {
   Seconds switch_cost = 0;      // realized when switched, estimate when vetoed
   Seconds predicted_gain = 0;   // over the amortization horizon
   std::string rationale;
+
+  // Guardrail outcomes for this sample.
+  bool sample_rejected = false;   // input guard dropped the sample
+  bool rolled_back = false;       // mispredicted switch undone this sample
+  bool blocked_by_guard = false;  // pin/quarantine held an otherwise-viable
+                                  // switch (or the whole evaluation)
+  std::string guard_event;        // human-readable reason when any fired
 
   // Decision provenance: the offline flow's structured explanation (inputs,
   // thresholds, equations, checks). Populated when `evaluated` is true.
@@ -117,6 +128,13 @@ class AdaptiveController {
   // Re-targets the zone tracker for the current model's boundary set.
   void arm_tracker();
 
+  // Undoes the last committed switch after its realized speedup came in
+  // below the rollback threshold: restores `rollback_model_`, quarantines
+  // the model that failed, restarts the statistics. Fills and returns
+  // `decision`.
+  ControlDecision roll_back(ControlDecision& decision, double realized,
+                            std::uint64_t shared_base, Bytes shared_bytes);
+
   const core::DecisionEngine& engine_;
   comm::Executor& executor_;
   SwitchEstimator estimator_;
@@ -126,6 +144,8 @@ class AdaptiveController {
   HysteresisZoneTracker zone_tracker_;
   HysteresisBand cpu_band_;
   RuntimeMetrics metrics_;
+  SampleGuard sample_guard_;
+  SwitchGuard switch_guard_;
   obs::Tracer tracer_;
   Seconds now_ = 0;
 
@@ -138,6 +158,9 @@ class AdaptiveController {
   bool verify_pending_ = false;
   Seconds pre_switch_iter_time_ = 0;
   double pending_predicted_ = 1.0;
+  // Model to restore when the pending switch turns out mispredicted badly
+  // enough to roll back (realized speedup < guard.rollback_threshold).
+  comm::CommModel rollback_model_ = comm::CommModel::StandardCopy;
 };
 
 }  // namespace cig::runtime

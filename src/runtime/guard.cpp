@@ -1,0 +1,180 @@
+#include "runtime/guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace cig::runtime {
+
+namespace {
+
+// Clamps `value` into [lo, hi]; returns true when it moved.
+bool clamp_field(double& value, double lo, double hi) {
+  const double clamped = std::clamp(value, lo, hi);
+  if (clamped == value) return false;
+  value = clamped;
+  return true;
+}
+
+}  // namespace
+
+void GuardMetrics::export_to(sim::StatRegistry& registry) const {
+  registry.set("runtime.guard.clamped_fields",
+               static_cast<double>(clamped_fields));
+  registry.set("runtime.guard.rejected_samples",
+               static_cast<double>(rejected_samples));
+  registry.set("runtime.guard.rollbacks", static_cast<double>(rollbacks));
+  registry.set("runtime.guard.quarantines", static_cast<double>(quarantines));
+  registry.set("runtime.guard.quarantine_blocked",
+               static_cast<double>(quarantine_blocked));
+  registry.set("runtime.guard.watchdog_pins",
+               static_cast<double>(watchdog_pins));
+  registry.set("runtime.guard.pinned_decisions",
+               static_cast<double>(pinned_decisions));
+}
+
+bool SampleGuard::admit(profile::ProfileReport& sample, std::string& why) {
+  if (!config_.enabled) return true;
+
+  // Non-finite or non-positive timing: nothing downstream can use this
+  // sample (phase billing would corrupt the clock), drop it whole.
+  const double timings[] = {sample.kernel_time, sample.cpu_time,
+                            sample.copy_time, sample.total_time};
+  for (double t : timings) {
+    if (!std::isfinite(t) || t < 0) {
+      metrics_->rejected_samples += 1;
+      why = "non-finite or negative timing";
+      return false;
+    }
+  }
+  if (sample.total_time <= 0) {
+    metrics_->rejected_samples += 1;
+    why = "non-positive total_time";
+    return false;
+  }
+
+  // Rates live in [0, 1]; counts, bandwidths and energies are non-negative.
+  // Saturated / wrapped counters are pulled back instead of dropped — the
+  // timing side of the sample is still informative.
+  std::uint64_t clamped = 0;
+  for (double* field :
+       {&sample.cpu_l1_miss_rate, &sample.cpu_llc_miss_rate,
+        &sample.gpu_l1_hit_rate, &sample.gpu_llc_hit_rate,
+        &sample.gpu_transactions, &sample.gpu_transaction_size,
+        &sample.gpu_ll_throughput, &sample.cpu_ll_throughput, &sample.energy,
+        &sample.average_power}) {
+    if (!std::isfinite(*field)) {
+      *field = 0;
+      clamped += 1;
+    }
+  }
+  clamped += clamp_field(sample.cpu_l1_miss_rate, 0.0, 1.0);
+  clamped += clamp_field(sample.cpu_llc_miss_rate, 0.0, 1.0);
+  clamped += clamp_field(sample.gpu_l1_hit_rate, 0.0, 1.0);
+  clamped += clamp_field(sample.gpu_llc_hit_rate, 0.0, 1.0);
+  const double kMax = std::numeric_limits<double>::max();
+  clamped += clamp_field(sample.gpu_transactions, 0.0, kMax);
+  clamped += clamp_field(sample.gpu_transaction_size, 0.0, kMax);
+  clamped += clamp_field(sample.gpu_ll_throughput, 0.0, kMax);
+  clamped += clamp_field(sample.cpu_ll_throughput, 0.0, kMax);
+  clamped += clamp_field(sample.energy, 0.0, kMax);
+  clamped += clamp_field(sample.average_power, 0.0, kMax);
+  metrics_->clamped_fields += clamped;
+
+  // Robust outlier rejection on the one field every decision input scales
+  // with: |total_time - median| > k * MAD of the accepted history. MAD is
+  // immune to the very outliers it filters, unlike a mean/stddev band.
+  if (accepted_total_time_.size() >= config_.mad_min_samples) {
+    const std::vector<double> history(accepted_total_time_.begin(),
+                                      accepted_total_time_.end());
+    const double center = median(history);
+    double spread = mad(history) * config_.mad_k;
+    // A flat history has MAD 0 (simulated samples repeat exactly); fall
+    // back to a relative band so moderate drift still passes.
+    if (spread <= 0) spread = center * 0.5;
+    if (std::abs(sample.total_time - center) > spread) {
+      consecutive_mad_rejects_ += 1;
+      // A persistent level shift is a regime change (real phase boundary),
+      // not a burst of outliers: admit it and restart the history here.
+      if (consecutive_mad_rejects_ >= config_.regime_change_after) {
+        consecutive_mad_rejects_ = 0;
+        accepted_total_time_.clear();
+      } else {
+        metrics_->rejected_samples += 1;
+        std::ostringstream out;
+        out.precision(3);
+        out << "total_time outlier (" << sample.total_time * 1e6
+            << "us vs median " << center * 1e6 << "us)";
+        why = out.str();
+        return false;
+      }
+    } else {
+      consecutive_mad_rejects_ = 0;
+    }
+  }
+
+  accepted_total_time_.push_back(sample.total_time);
+  while (accepted_total_time_.size() > config_.history) {
+    accepted_total_time_.pop_front();
+  }
+  return true;
+}
+
+void SampleGuard::reset_history() {
+  accepted_total_time_.clear();
+  consecutive_mad_rejects_ = 0;
+}
+
+void SwitchGuard::on_decision() {
+  decision_clock_ += 1;
+  while (!recent_switches_.empty() &&
+         recent_switches_.front() + config_.watchdog_window <
+             decision_clock_) {
+    recent_switches_.pop_front();
+  }
+}
+
+bool SwitchGuard::pinned() const {
+  return config_.enabled && decision_clock_ < pinned_until_;
+}
+
+bool SwitchGuard::allow(comm::CommModel target) const {
+  if (!config_.enabled) return true;
+  if (pinned()) return false;
+  return decision_clock_ >= quarantined_until_[core::model_index(target)];
+}
+
+bool SwitchGuard::on_switch() {
+  if (!config_.enabled) return false;
+  recent_switches_.push_back(decision_clock_);
+  if (recent_switches_.size() <= config_.max_switches_in_window) return false;
+  // Oscillation: too many switches inside the sliding window. Pin the model
+  // the controller just landed on; the pin outlasts the window so the
+  // workload has time to settle before switching re-arms.
+  pinned_until_ = decision_clock_ + config_.pin_decisions;
+  std::ostringstream out;
+  out << recent_switches_.size() << " switches in last "
+      << config_.watchdog_window << " decisions";
+  pin_reason_ = out.str();
+  recent_switches_.clear();
+  metrics_->watchdog_pins += 1;
+  return true;
+}
+
+bool SwitchGuard::on_misprediction(comm::CommModel target) {
+  if (!config_.enabled) return false;
+  auto& strikes = strikes_[core::model_index(target)];
+  strikes += 1;
+  if (strikes < config_.quarantine_after) return false;
+  strikes = 0;
+  quarantined_until_[core::model_index(target)] =
+      decision_clock_ + config_.cooldown_decisions;
+  metrics_->quarantines += 1;
+  return true;
+}
+
+}  // namespace cig::runtime

@@ -1,0 +1,137 @@
+// Controller guardrails: the defensive layer between raw profiler samples
+// and the adaptive decision flow.
+//
+// Real counters are noisy, drop batches, and spike under scheduler
+// interference; fed raw into the controller those artifacts cause spurious
+// switches and, in the worst case, sustained oscillation between models.
+// Two small state machines contain the damage:
+//
+//   SampleGuard  — per-sample input hygiene: clamps rates into [0, 1] and
+//                  negative counters to zero, rejects non-finite or
+//                  non-positive timings outright, and MAD-filters
+//                  total_time against the recent history so one 10x
+//                  scheduler spike cannot poison the smoothing window.
+//   SwitchGuard  — per-decision damage control: quarantines a target model
+//                  after repeated mispredicted switches into it (cooldown
+//                  measured in decisions), and an oscillation watchdog that
+//                  pins the current model when the switch rate in a sliding
+//                  window exceeds a budget, recording why.
+//
+// Every trip is counted in GuardMetrics (exported as `runtime.guard.*`) and
+// mirrored as a CTRL-lane trace instant by the controller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "comm/model.h"
+#include "core/microbench.h"
+#include "profile/report.h"
+#include "sim/stat_registry.h"
+
+namespace cig::runtime {
+
+struct GuardConfig {
+  bool enabled = true;
+
+  // --- SampleGuard ---------------------------------------------------------
+  // A sample is rejected when |total_time - median| > mad_k * MAD of the
+  // last `history` accepted samples (needs `mad_min_samples` of history
+  // first; a zero MAD falls back to a relative band around the median).
+  double mad_k = 6.0;
+  std::size_t mad_min_samples = 5;
+  std::size_t history = 16;
+  // After this many consecutive MAD rejections the filter concludes the
+  // workload changed regime (a real phase shift, not a burst of outliers),
+  // admits the sample and restarts the history from it. Two is the sweet
+  // spot: one isolated spike still filters, while a genuine phase boundary
+  // costs the controller only a single sample of reaction time.
+  std::size_t regime_change_after = 2;
+
+  // --- SwitchGuard ---------------------------------------------------------
+  // A switch whose realized speedup lands below this is a misprediction
+  // (mirrors the controller's realized < 1.0 bookkeeping, with margin).
+  double rollback_threshold = 0.9;
+  // Mispredicted switches into the same target before it is quarantined.
+  std::uint64_t quarantine_after = 2;
+  // Quarantine length, measured in decision evaluations.
+  std::uint64_t cooldown_decisions = 32;
+  // Oscillation watchdog: more than `max_switches_in_window` committed
+  // switches within the last `watchdog_window` decisions pins the model.
+  std::uint64_t watchdog_window = 16;
+  std::uint64_t max_switches_in_window = 4;
+  // Pin length, measured in decision evaluations.
+  std::uint64_t pin_decisions = 64;
+};
+
+// Counts every guardrail action; exported under `runtime.guard.*`.
+struct GuardMetrics {
+  std::uint64_t clamped_fields = 0;     // fields pulled back into range
+  std::uint64_t rejected_samples = 0;   // samples dropped (non-finite / MAD)
+  std::uint64_t rollbacks = 0;          // switches undone after misprediction
+  std::uint64_t quarantines = 0;        // models placed in cooldown
+  std::uint64_t quarantine_blocked = 0; // candidate switches blocked by it
+  std::uint64_t watchdog_pins = 0;      // oscillation watchdog activations
+  std::uint64_t pinned_decisions = 0;   // evaluations skipped while pinned
+
+  void export_to(sim::StatRegistry& registry) const;
+};
+
+class SampleGuard {
+ public:
+  SampleGuard(const GuardConfig& config, GuardMetrics& metrics)
+      : config_(config), metrics_(&metrics) {}
+
+  // Sanitizes `sample` in place (clamping counts toward metrics). Returns
+  // false when the sample must be dropped; `why` then names the reason.
+  bool admit(profile::ProfileReport& sample, std::string& why);
+
+  // The history is per-model: switching models changes the timing regime,
+  // so the old samples no longer bound the new ones.
+  void reset_history();
+
+ private:
+  GuardConfig config_;
+  GuardMetrics* metrics_;
+  std::deque<double> accepted_total_time_;
+  std::size_t consecutive_mad_rejects_ = 0;
+};
+
+class SwitchGuard {
+ public:
+  SwitchGuard(const GuardConfig& config, GuardMetrics& metrics)
+      : config_(config), metrics_(&metrics) {}
+
+  // Called once per decision evaluation; advances cooldown/pin clocks.
+  void on_decision();
+
+  // True while the oscillation watchdog holds the model fixed.
+  bool pinned() const;
+  // Why the model is pinned (empty when not pinned).
+  const std::string& pin_reason() const { return pin_reason_; }
+
+  // True when switching into `target` is currently allowed.
+  bool allow(comm::CommModel target) const;
+
+  // Records a committed switch; returns true when this switch tripped the
+  // oscillation watchdog (the model is now pinned — the switch itself
+  // stands, the *next* ones are held).
+  bool on_switch();
+
+  // Records a mispredicted switch into `target`; returns true when the
+  // target was quarantined by this strike.
+  bool on_misprediction(comm::CommModel target);
+
+ private:
+  GuardConfig config_;
+  GuardMetrics* metrics_;
+  std::uint64_t decision_clock_ = 0;
+  std::uint64_t pinned_until_ = 0;  // decision_clock_ exclusive bound
+  std::string pin_reason_;
+  std::deque<std::uint64_t> recent_switches_;  // decision_clock_ stamps
+  core::PerModel<std::uint64_t> strikes_{};
+  core::PerModel<std::uint64_t> quarantined_until_{};
+};
+
+}  // namespace cig::runtime

@@ -26,6 +26,7 @@ void RuntimeMetrics::export_to(sim::StatRegistry& registry) const {
   registry.set("runtime.realized_speedup_product", realized_speedup_product);
   phase_latency_us.export_to(registry, "runtime.phase_latency_us");
   kernel_latency_us.export_to(registry, "runtime.kernel_latency_us");
+  guard.export_to(registry);
 }
 
 std::string RuntimeMetrics::to_string() const {
@@ -43,6 +44,14 @@ std::string RuntimeMetrics::to_string() const {
   out << "; switch overhead " << format_time(switch_overhead) << "\n";
   out << "speedup products: predicted " << predicted_speedup_product
       << "x, realized " << realized_speedup_product << "x\n";
+  if (guard.clamped_fields + guard.rejected_samples + guard.rollbacks +
+          guard.quarantines + guard.watchdog_pins >
+      0) {
+    out << "guardrails: " << guard.clamped_fields << " fields clamped, "
+        << guard.rejected_samples << " samples rejected, " << guard.rollbacks
+        << " rollbacks, " << guard.quarantines << " quarantines, "
+        << guard.watchdog_pins << " watchdog pins\n";
+  }
   if (phase_latency_us.count() > 0) {
     out << "phase latency us: p50 " << phase_latency_us.percentile(0.50)
         << ", p95 " << phase_latency_us.percentile(0.95) << ", p99 "

@@ -10,6 +10,7 @@
 
 #include "core/microbench.h"
 #include "obs/histogram.h"
+#include "runtime/guard.h"
 #include "sim/stat_registry.h"
 #include "support/units.h"
 
@@ -43,6 +44,10 @@ struct RuntimeMetrics {
   // p50/p95/p99 under "runtime.phase_latency_us.*" / ".kernel_latency_us.*".
   obs::Histogram phase_latency_us;
   obs::Histogram kernel_latency_us;
+
+  // Guardrail trips (clamps, rejections, rollbacks, quarantines, watchdog
+  // pins); exported under "runtime.guard.*".
+  GuardMetrics guard;
 
   void export_to(sim::StatRegistry& registry) const;
   std::string to_string() const;

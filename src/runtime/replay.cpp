@@ -35,13 +35,21 @@ ReplayResult replay_phasic(core::Framework& framework,
   profiler.executor().set_tracer(&controller.tracer());
 
   ReplayResult result;
+  std::uint64_t sample_index = 0;
   for (std::uint32_t p = 0; p < phases.size(); ++p) {
     const auto& phase = phases[p];
-    for (std::uint32_t s = 0; s < phase.samples; ++s) {
+    for (std::uint32_t s = 0; s < phase.samples; ++s, ++sample_index) {
+      if (options.before_sample) {
+        options.before_sample(framework.soc(), controller.tracer(),
+                              sample_index);
+      }
       const Seconds t0 = controller.now();
       comm::RunResult raw;
-      const profile::ProfileReport report =
+      profile::ProfileReport report =
           profiler.sample(phase.workload, controller.model(), raw);
+      if (options.mutate_sample) {
+        options.mutate_sample(report, controller.tracer(), sample_index);
+      }
       result.timeline.append(raw.timeline, t0);
 
       SampleRecord record;

@@ -8,6 +8,8 @@
 // model chosen per phase with perfect knowledge).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/framework.h"
@@ -21,6 +23,15 @@ namespace cig::runtime {
 struct ReplayOptions {
   ControllerConfig controller;
   comm::ExecOptions exec;
+
+  // Perturbation seams (fault injection). `before_sample` runs before each
+  // sample executes — it may mutate the SoC (thermal derating); the running
+  // sample index is global across phases. `mutate_sample` runs on the
+  // profiler report before the controller ingests it (counter noise,
+  // dropout, stale batches). Both may be empty.
+  std::function<void(soc::SoC&, obs::Tracer&, std::uint64_t)> before_sample;
+  std::function<void(profile::ProfileReport&, obs::Tracer&, std::uint64_t)>
+      mutate_sample;
 };
 
 struct SampleRecord {

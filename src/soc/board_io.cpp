@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "soc/presets.h"
 #include "support/assert.h"
@@ -22,18 +24,72 @@ Json cache_level_to_json(const CacheLevelConfig& level) {
   return j;
 }
 
+// Malformed board files must fail with the offending key named — a board
+// that silently inherits a fallback where the author wrote garbage produces
+// characterizations that look plausible and are wrong everywhere.
+[[noreturn]] void bad_key(const std::string& key, const std::string& what) {
+  throw std::runtime_error("board config: " + key + ": " + what);
+}
+
+// Missing keys keep `fallback` (sparse files inherit the generic board);
+// present keys must be finite numbers or the error names them.
+double checked_number(const Json& j, const std::string& prefix,
+                      const std::string& key, double fallback) {
+  if (!j.contains(key)) return fallback;
+  const Json& value = j.at(key);
+  if (!value.is_number()) bad_key(prefix + key, "expected a number");
+  const double number = value.as_number();
+  if (!std::isfinite(number)) bad_key(prefix + key, "must be finite");
+  return number;
+}
+
+double positive_number(const Json& j, const std::string& prefix,
+                       const std::string& key, double fallback) {
+  const double number = checked_number(j, prefix, key, fallback);
+  if (!(number > 0)) bad_key(prefix + key, "must be > 0");
+  return number;
+}
+
+double number_at_least(const Json& j, const std::string& prefix,
+                       const std::string& key, double minimum,
+                       double fallback) {
+  const double number = checked_number(j, prefix, key, fallback);
+  if (!(number >= minimum)) {
+    std::ostringstream what;
+    what << "must be >= " << minimum;
+    bad_key(prefix + key, what.str());
+  }
+  return number;
+}
+
+// A present section must be an object; a missing one means "inherit".
+const Json* section(const Json& j, const std::string& key) {
+  if (!j.contains(key)) return nullptr;
+  const Json& value = j.at(key);
+  if (!value.is_object()) bad_key(key, "expected an object");
+  return &value;
+}
+
 CacheLevelConfig cache_level_from_json(const Json& j,
+                                       const std::string& prefix,
                                        const CacheLevelConfig& fallback) {
   CacheLevelConfig level = fallback;
-  level.geometry.capacity = static_cast<Bytes>(j.number_or(
-      "capacity_bytes", static_cast<double>(fallback.geometry.capacity)));
+  level.geometry.capacity = static_cast<Bytes>(positive_number(
+      j, prefix, "capacity_bytes",
+      static_cast<double>(fallback.geometry.capacity)));
   level.geometry.line = static_cast<std::uint32_t>(
-      j.number_or("line_bytes", fallback.geometry.line));
+      positive_number(j, prefix, "line_bytes", fallback.geometry.line));
   level.geometry.ways = static_cast<std::uint32_t>(
-      j.number_or("ways", fallback.geometry.ways));
-  level.bandwidth = GBps(j.number_or("bandwidth_gbps",
-                                     to_GBps(fallback.bandwidth)));
-  level.latency = nanosec(j.number_or("latency_ns", to_ns(fallback.latency)));
+      positive_number(j, prefix, "ways", fallback.geometry.ways));
+  level.bandwidth = GBps(
+      positive_number(j, prefix, "bandwidth_gbps", to_GBps(fallback.bandwidth)));
+  level.latency = nanosec(
+      number_at_least(j, prefix, "latency_ns", 0.0, to_ns(fallback.latency)));
+  if (!level.geometry.valid()) {
+    bad_key(prefix.substr(0, prefix.size() - 1),
+            "capacity_bytes/line_bytes/ways do not describe a realisable "
+            "cache (want powers of two with at least one set)");
+  }
   return level;
 }
 
@@ -111,120 +167,150 @@ std::string board_fingerprint(const BoardConfig& board) {
 }
 
 BoardConfig board_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("board config: top level must be an object");
+  }
   BoardConfig board = generic_board();  // sparse files inherit the generic
-  board.name = j.string_or("name", board.name);
-  const std::string capability = j.string_or("capability", "sw-flush");
-  board.capability = capability == "hw-io-coherent"
-                         ? coherence::Capability::HwIoCoherent
-                         : coherence::Capability::SwFlush;
-
-  if (j.contains("cpu")) {
-    const auto& cpu = j.at("cpu");
-    board.cpu.cores =
-        static_cast<std::uint32_t>(cpu.number_or("cores", board.cpu.cores));
-    board.cpu.frequency =
-        MHz(cpu.number_or("frequency_mhz", board.cpu.frequency / 1e6));
-    board.cpu.ipc = cpu.number_or("ipc", board.cpu.ipc);
-    if (cpu.contains("l1")) {
-      board.cpu.l1 = cache_level_from_json(cpu.at("l1"), board.cpu.l1);
+  if (j.contains("name")) {
+    if (!j.at("name").is_string()) bad_key("name", "expected a string");
+    board.name = j.at("name").as_string();
+    if (board.name.empty()) bad_key("name", "must not be empty");
+  }
+  if (j.contains("capability")) {
+    if (!j.at("capability").is_string()) {
+      bad_key("capability", "expected a string");
     }
-    if (cpu.contains("llc")) {
-      board.cpu.llc = cache_level_from_json(cpu.at("llc"), board.cpu.llc);
+    const std::string& capability = j.at("capability").as_string();
+    if (capability == "hw-io-coherent") {
+      board.capability = coherence::Capability::HwIoCoherent;
+    } else if (capability == "sw-flush") {
+      board.capability = coherence::Capability::SwFlush;
+    } else {
+      bad_key("capability", "unknown value '" + capability +
+                                "' (want sw-flush or hw-io-coherent)");
+    }
+  }
+
+  if (const Json* cpu = section(j, "cpu")) {
+    board.cpu.cores = static_cast<std::uint32_t>(
+        number_at_least(*cpu, "cpu.", "cores", 1.0, board.cpu.cores));
+    board.cpu.frequency = MHz(positive_number(*cpu, "cpu.", "frequency_mhz",
+                                              board.cpu.frequency / 1e6));
+    board.cpu.ipc = positive_number(*cpu, "cpu.", "ipc", board.cpu.ipc);
+    if (cpu->contains("l1")) {
+      board.cpu.l1 =
+          cache_level_from_json(*section(*cpu, "l1"), "cpu.l1.", board.cpu.l1);
+    }
+    if (cpu->contains("llc")) {
+      board.cpu.llc = cache_level_from_json(*section(*cpu, "llc"), "cpu.llc.",
+                                            board.cpu.llc);
     }
     board.cpu.uncached_bandwidth =
-        GBps(cpu.number_or("uncached_bandwidth_gbps",
-                           to_GBps(board.cpu.uncached_bandwidth)));
+        GBps(positive_number(*cpu, "cpu.", "uncached_bandwidth_gbps",
+                             to_GBps(board.cpu.uncached_bandwidth)));
+  }
+  if (board.cpu.l1.geometry.capacity >= board.cpu.llc.geometry.capacity) {
+    bad_key("cpu.l1.capacity_bytes",
+            "must be smaller than cpu.llc.capacity_bytes");
   }
 
-  if (j.contains("gpu")) {
-    const auto& gpu = j.at("gpu");
-    board.gpu.sms =
-        static_cast<std::uint32_t>(gpu.number_or("sms", board.gpu.sms));
-    board.gpu.lanes_per_sm = static_cast<std::uint32_t>(
-        gpu.number_or("lanes_per_sm", board.gpu.lanes_per_sm));
-    board.gpu.frequency =
-        MHz(gpu.number_or("frequency_mhz", board.gpu.frequency / 1e6));
-    board.gpu.issue_efficiency =
-        gpu.number_or("issue_efficiency", board.gpu.issue_efficiency);
-    if (gpu.contains("l1")) {
-      board.gpu.l1 = cache_level_from_json(gpu.at("l1"), board.gpu.l1);
+  if (const Json* gpu = section(j, "gpu")) {
+    board.gpu.sms = static_cast<std::uint32_t>(
+        number_at_least(*gpu, "gpu.", "sms", 1.0, board.gpu.sms));
+    board.gpu.lanes_per_sm = static_cast<std::uint32_t>(number_at_least(
+        *gpu, "gpu.", "lanes_per_sm", 1.0, board.gpu.lanes_per_sm));
+    board.gpu.frequency = MHz(positive_number(*gpu, "gpu.", "frequency_mhz",
+                                              board.gpu.frequency / 1e6));
+    board.gpu.issue_efficiency = positive_number(
+        *gpu, "gpu.", "issue_efficiency", board.gpu.issue_efficiency);
+    if (gpu->contains("l1")) {
+      board.gpu.l1 =
+          cache_level_from_json(*section(*gpu, "l1"), "gpu.l1.", board.gpu.l1);
     }
-    if (gpu.contains("llc")) {
-      board.gpu.llc = cache_level_from_json(gpu.at("llc"), board.gpu.llc);
+    if (gpu->contains("llc")) {
+      board.gpu.llc = cache_level_from_json(*section(*gpu, "llc"), "gpu.llc.",
+                                            board.gpu.llc);
     }
-    board.gpu.launch_overhead = microsec(
-        gpu.number_or("launch_overhead_us", to_us(board.gpu.launch_overhead)));
+    board.gpu.launch_overhead =
+        microsec(number_at_least(*gpu, "gpu.", "launch_overhead_us", 0.0,
+                                 to_us(board.gpu.launch_overhead)));
     board.gpu.uncached_bandwidth =
-        GBps(gpu.number_or("uncached_bandwidth_gbps",
-                           to_GBps(board.gpu.uncached_bandwidth)));
+        GBps(positive_number(*gpu, "gpu.", "uncached_bandwidth_gbps",
+                             to_GBps(board.gpu.uncached_bandwidth)));
   }
 
-  if (j.contains("dram")) {
-    const auto& dram = j.at("dram");
-    board.dram.bandwidth =
-        GBps(dram.number_or("bandwidth_gbps", to_GBps(board.dram.bandwidth)));
-    board.dram.latency =
-        nanosec(dram.number_or("latency_ns", to_ns(board.dram.latency)));
+  if (const Json* dram = section(j, "dram")) {
+    board.dram.bandwidth = GBps(positive_number(
+        *dram, "dram.", "bandwidth_gbps", to_GBps(board.dram.bandwidth)));
+    board.dram.latency = nanosec(number_at_least(
+        *dram, "dram.", "latency_ns", 0.0, to_ns(board.dram.latency)));
     board.dram.uncached_efficiency =
-        dram.number_or("uncached_efficiency", board.dram.uncached_efficiency);
+        positive_number(*dram, "dram.", "uncached_efficiency",
+                        board.dram.uncached_efficiency);
+    if (board.dram.uncached_efficiency > 1.0) {
+      bad_key("dram.uncached_efficiency", "must be <= 1");
+    }
     board.dram.energy_per_byte =
-        dram.number_or("energy_pj_per_byte",
-                       board.dram.energy_per_byte * 1e12) *
+        number_at_least(*dram, "dram.", "energy_pj_per_byte", 0.0,
+                        board.dram.energy_per_byte * 1e12) *
         1e-12;
   }
 
-  if (j.contains("flush")) {
-    const auto& flush = j.at("flush");
-    board.flush.op_overhead = microsec(
-        flush.number_or("op_overhead_us", to_us(board.flush.op_overhead)));
+  if (const Json* flush = section(j, "flush")) {
+    board.flush.op_overhead =
+        microsec(number_at_least(*flush, "flush.", "op_overhead_us", 0.0,
+                                 to_us(board.flush.op_overhead)));
     board.flush.writeback_bw =
-        GBps(flush.number_or("writeback_bandwidth_gbps",
+        GBps(positive_number(*flush, "flush.", "writeback_bandwidth_gbps",
                              to_GBps(board.flush.writeback_bw)));
-    board.flush.per_line =
-        nanosec(flush.number_or("per_line_ns", to_ns(board.flush.per_line)));
+    board.flush.per_line = nanosec(number_at_least(
+        *flush, "flush.", "per_line_ns", 0.0, to_ns(board.flush.per_line)));
   }
 
-  if (j.contains("io_coherence")) {
-    const auto& io = j.at("io_coherence");
-    board.io_coherence.snoop_bandwidth =
-        GBps(io.number_or("snoop_bandwidth_gbps",
-                          to_GBps(board.io_coherence.snoop_bandwidth)));
-    board.io_coherence.snoop_latency =
-        nanosec(io.number_or("snoop_latency_ns",
-                             to_ns(board.io_coherence.snoop_latency)));
+  if (const Json* io = section(j, "io_coherence")) {
+    board.io_coherence.snoop_bandwidth = GBps(
+        positive_number(*io, "io_coherence.", "snoop_bandwidth_gbps",
+                        to_GBps(board.io_coherence.snoop_bandwidth)));
+    board.io_coherence.snoop_latency = nanosec(
+        number_at_least(*io, "io_coherence.", "snoop_latency_ns", 0.0,
+                        to_ns(board.io_coherence.snoop_latency)));
   }
 
-  if (j.contains("um")) {
-    const auto& um = j.at("um");
+  if (const Json* um = section(j, "um")) {
     board.um.page_size = static_cast<Bytes>(
-        um.number_or("page_bytes", static_cast<double>(board.um.page_size)));
-    board.um.fault_latency = microsec(
-        um.number_or("fault_latency_us", to_us(board.um.fault_latency)));
-    board.um.migration_bw = GBps(um.number_or(
-        "migration_bandwidth_gbps", to_GBps(board.um.migration_bw)));
+        positive_number(*um, "um.", "page_bytes",
+                        static_cast<double>(board.um.page_size)));
+    board.um.fault_latency =
+        microsec(number_at_least(*um, "um.", "fault_latency_us", 0.0,
+                                 to_us(board.um.fault_latency)));
+    board.um.migration_bw =
+        GBps(positive_number(*um, "um.", "migration_bandwidth_gbps",
+                             to_GBps(board.um.migration_bw)));
     board.um.batch_pages = static_cast<std::uint32_t>(
-        um.number_or("batch_pages", board.um.batch_pages));
+        number_at_least(*um, "um.", "batch_pages", 1.0, board.um.batch_pages));
   }
 
-  if (j.contains("copy")) {
-    const auto& copy = j.at("copy");
-    board.copy.bandwidth =
-        GBps(copy.number_or("bandwidth_gbps", to_GBps(board.copy.bandwidth)));
-    board.copy.per_call_overhead = microsec(copy.number_or(
-        "per_call_overhead_us", to_us(board.copy.per_call_overhead)));
+  if (const Json* copy = section(j, "copy")) {
+    board.copy.bandwidth = GBps(positive_number(
+        *copy, "copy.", "bandwidth_gbps", to_GBps(board.copy.bandwidth)));
+    board.copy.per_call_overhead =
+        microsec(number_at_least(*copy, "copy.", "per_call_overhead_us", 0.0,
+                                 to_us(board.copy.per_call_overhead)));
   }
 
-  if (j.contains("power")) {
-    const auto& power = j.at("power");
-    board.power.cpu_active =
-        power.number_or("cpu_active_w", board.power.cpu_active);
-    board.power.gpu_active =
-        power.number_or("gpu_active_w", board.power.gpu_active);
-    board.power.copy_active =
-        power.number_or("copy_active_w", board.power.copy_active);
-    board.power.idle = power.number_or("idle_w", board.power.idle);
+  if (const Json* power = section(j, "power")) {
+    board.power.cpu_active = number_at_least(
+        *power, "power.", "cpu_active_w", 0.0, board.power.cpu_active);
+    board.power.gpu_active = number_at_least(
+        *power, "power.", "gpu_active_w", 0.0, board.power.gpu_active);
+    board.power.copy_active = number_at_least(
+        *power, "power.", "copy_active_w", 0.0, board.power.copy_active);
+    board.power.idle =
+        number_at_least(*power, "power.", "idle_w", 0.0, board.power.idle);
   }
 
+  // Every key-level constraint above is a superset of validate()'s aborting
+  // checks, so a file that reaches this line also satisfies the contract.
   board.validate();
   return board;
 }

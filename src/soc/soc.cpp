@@ -15,6 +15,7 @@ SoC::SoC(BoardConfig config)
       io_port_(config_.io_coherence),
       um_engine_(config_.um) {
   config_.validate();
+  baseline_ = config_;
 
   cpu_hierarchy_ = std::make_unique<mem::MemoryHierarchy>(
       std::vector<mem::HierarchyLevel>{
@@ -51,7 +52,43 @@ Seconds SoC::gpu_compute_time(double ops, double utilization) const {
   return ops / rate;
 }
 
+void SoC::set_derate(double factor) {
+  CIG_EXPECTS(factor > 0 && factor <= 1.0);
+  if (factor == derate_) return;
+  derate_ = factor;
+
+  // Every rate scales from the pristine baseline so repeated deratings
+  // never compound. Capacities, geometries and fixed latencies stay put:
+  // throttling slows the board, it does not shrink its caches.
+  config_.cpu.frequency = baseline_.cpu.frequency * factor;
+  config_.gpu.frequency = baseline_.gpu.frequency * factor;
+  config_.cpu.uncached_bandwidth = baseline_.cpu.uncached_bandwidth * factor;
+  config_.gpu.uncached_bandwidth = baseline_.gpu.uncached_bandwidth * factor;
+  config_.cpu.l1.bandwidth = baseline_.cpu.l1.bandwidth * factor;
+  config_.cpu.llc.bandwidth = baseline_.cpu.llc.bandwidth * factor;
+  config_.gpu.l1.bandwidth = baseline_.gpu.l1.bandwidth * factor;
+  config_.gpu.llc.bandwidth = baseline_.gpu.llc.bandwidth * factor;
+  config_.dram.bandwidth = baseline_.dram.bandwidth * factor;
+  config_.copy.bandwidth = baseline_.copy.bandwidth * factor;
+  config_.flush.writeback_bw = baseline_.flush.writeback_bw * factor;
+  config_.io_coherence.snoop_bandwidth =
+      baseline_.io_coherence.snoop_bandwidth * factor;
+  config_.um.migration_bw = baseline_.um.migration_bw * factor;
+
+  // The engines and hierarchy levels captured copies at construction; push
+  // the derated rates into each of them.
+  dram_.set_config(config_.dram);
+  flush_engine_.set_costs(config_.flush);
+  io_port_.set_config(config_.io_coherence);
+  um_engine_.set_config(config_.um);
+  cpu_hierarchy_->level(0).bandwidth = config_.cpu.l1.bandwidth;
+  cpu_hierarchy_->level(1).bandwidth = config_.cpu.llc.bandwidth;
+  gpu_hierarchy_->level(0).bandwidth = config_.gpu.l1.bandwidth;
+  gpu_hierarchy_->level(1).bandwidth = config_.gpu.llc.bandwidth;
+}
+
 void SoC::reset() {
+  set_derate(1.0);
   cpu_l1_.reset();
   cpu_llc_.reset();
   gpu_l1_.reset();

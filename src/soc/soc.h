@@ -49,11 +49,22 @@ class SoC {
   // (fraction of peak lanes actually issuing each cycle).
   Seconds gpu_compute_time(double ops, double utilization = 1.0) const;
 
-  // Restores pristine state: cold caches, zeroed counters, host-owned pages.
+  // Derates every rate the board sustains — DRAM and cache bandwidths, CPU
+  // and GPU clocks, copy/flush/snoop/migration throughput — to `factor`
+  // times the nominal configuration (thermal throttling / DVFS caps).
+  // Factor 1.0 restores nominal; state (cache contents, counters, page
+  // ownership) is untouched. Idempotent for a repeated factor.
+  void set_derate(double factor);
+  double derate() const { return derate_; }
+
+  // Restores pristine state: cold caches, zeroed counters, host-owned pages,
+  // nominal (underated) clocks and bandwidths.
   void reset();
 
  private:
   BoardConfig config_;
+  BoardConfig baseline_;  // pristine copy; set_derate() scales from here
+  double derate_ = 1.0;
   mem::MainMemory dram_;
   mem::SetAssocCache cpu_l1_;
   mem::SetAssocCache cpu_llc_;

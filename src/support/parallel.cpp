@@ -5,9 +5,11 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "support/assert.h"
+#include "support/log.h"
 
 namespace cig::support {
 
@@ -40,7 +42,37 @@ int env_jobs() {
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;
   const long parsed = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || parsed <= 0 || parsed > 4096) return 0;
+  if (end == raw || *end != '\0' || parsed <= 0 || parsed > 4096) {
+    // An environment override must never abort a run, but a silently
+    // discarded one sends users chasing phantom scheduling bugs — say it
+    // once and fall through to the defaults.
+    static std::once_flag warned;
+    std::call_once(warned, [raw] {
+      CIG_LOG_C(::cig::LogLevel::Warn, "support",
+                "ignoring invalid CIG_JOBS='"
+                    << raw << "' (want an integer in [1, 4096])");
+    });
+    return 0;
+  }
+  return static_cast<int>(parsed);
+}
+
+int parse_jobs(const std::string& text) {
+  const char* raw = text.c_str();
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (*raw == '\0' || end == raw || *end != '\0') {
+    throw std::invalid_argument("invalid jobs value '" + text +
+                                "': not an integer");
+  }
+  if (parsed <= 0) {
+    throw std::invalid_argument("invalid jobs value '" + text +
+                                "': must be >= 1");
+  }
+  if (parsed > 4096) {
+    throw std::invalid_argument("invalid jobs value '" + text +
+                                "': exceeds the 4096-worker ceiling");
+  }
   return static_cast<int>(parsed);
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace cig::support {
@@ -22,8 +23,16 @@ namespace cig::support {
 // Number of hardware threads (always >= 1).
 int hardware_jobs();
 
-// Parsed CIG_JOBS environment override, or 0 when unset/invalid.
+// Parsed CIG_JOBS environment override, or 0 when unset/invalid. An invalid
+// value (non-numeric, zero, negative, or absurdly large) logs one warning
+// per process and is then ignored — the environment must never abort a run.
 int env_jobs();
+
+// Strict parse of an explicit jobs request (--jobs flags): throws
+// std::invalid_argument with a one-line message naming the bad value for
+// anything but an integer in [1, 4096]. CLI inputs, unlike environment
+// variables, fail loudly.
+int parse_jobs(const std::string& text);
 
 // Effective job count: `requested` if > 0, else CIG_JOBS, else hardware.
 int resolve_jobs(int requested);

@@ -45,6 +45,14 @@ double median(std::vector<double> samples) {
   return percentile(std::move(samples), 0.5);
 }
 
+double mad(const std::vector<double>& samples) {
+  const double center = median(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (double s : samples) deviations.push_back(std::abs(s - center));
+  return median(std::move(deviations));
+}
+
 double geometric_mean(const std::vector<double>& samples) {
   CIG_EXPECTS(!samples.empty());
   double log_sum = 0.0;

@@ -33,8 +33,12 @@ class RunningStat {
 // Percentile with linear interpolation; `q` in [0,1]. Sorts a copy.
 double percentile(std::vector<double> samples, double q);
 
-// Median absolute deviation — robust spread estimate for noisy measurements.
+// Median of the samples. Sorts a copy.
 double median(std::vector<double> samples);
+
+// Median absolute deviation — robust spread estimate for noisy measurements
+// (unscaled: multiply by ~1.4826 to estimate sigma for normal data).
+double mad(const std::vector<double>& samples);
 
 // Geometric mean (all samples must be > 0).
 double geometric_mean(const std::vector<double>& samples);

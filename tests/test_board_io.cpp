@@ -1,7 +1,9 @@
 // Tests for board-config serialisation and resolution.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "soc/board_io.h"
 #include "soc/presets.h"
@@ -58,10 +60,85 @@ TEST(BoardIo, CapabilityStringsParse) {
   EXPECT_EQ(sw.capability, coherence::Capability::SwFlush);
 }
 
+// Every malformed-board diagnostic must name the offending key: a board
+// author edits one line, the error should point back at it.
+std::string load_error(const std::string& text) {
+  try {
+    board_from_json(Json::parse(text));
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected board_from_json to reject: " << text;
+  return "";
+}
+
 TEST(BoardIo, InvalidGeometryIsRejectedOnLoad) {
-  EXPECT_DEATH(board_from_json(Json::parse(
-                   R"({"cpu": {"l1": {"capacity_bytes": 1000}}})")),
-               "Precondition");  // 1000 is not a power of two
+  // 1000 is not a power of two.
+  const std::string what =
+      load_error(R"({"cpu": {"l1": {"capacity_bytes": 1000}}})");
+  EXPECT_NE(what.find("cpu.l1"), std::string::npos) << what;
+  EXPECT_NE(what.find("realisable"), std::string::npos) << what;
+}
+
+TEST(BoardIo, WrongTypeNamesTheKey) {
+  const std::string what =
+      load_error(R"({"cpu": {"frequency_mhz": "fast"}})");
+  EXPECT_NE(what.find("cpu.frequency_mhz"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected a number"), std::string::npos) << what;
+}
+
+TEST(BoardIo, WrongSectionTypeNamesTheSection) {
+  const std::string what = load_error(R"({"dram": 42})");
+  EXPECT_NE(what.find("dram"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected an object"), std::string::npos) << what;
+}
+
+TEST(BoardIo, OutOfRangeNamesTheKey) {
+  const std::string negative_bw =
+      load_error(R"({"dram": {"bandwidth_gbps": -3}})");
+  EXPECT_NE(negative_bw.find("dram.bandwidth_gbps"), std::string::npos)
+      << negative_bw;
+  EXPECT_NE(negative_bw.find("must be > 0"), std::string::npos) << negative_bw;
+
+  const std::string zero_cores = load_error(R"({"cpu": {"cores": 0}})");
+  EXPECT_NE(zero_cores.find("cpu.cores"), std::string::npos) << zero_cores;
+
+  const std::string efficiency =
+      load_error(R"({"dram": {"uncached_efficiency": 1.5}})");
+  EXPECT_NE(efficiency.find("dram.uncached_efficiency"), std::string::npos)
+      << efficiency;
+  EXPECT_NE(efficiency.find("must be <= 1"), std::string::npos) << efficiency;
+}
+
+TEST(BoardIo, L1MustBeSmallerThanLlc) {
+  const std::string what = load_error(
+      R"({"cpu": {"l1": {"capacity_bytes": 4194304},
+                  "llc": {"capacity_bytes": 32768}}})");
+  EXPECT_NE(what.find("cpu.l1.capacity_bytes"), std::string::npos) << what;
+  EXPECT_NE(what.find("smaller than cpu.llc.capacity_bytes"),
+            std::string::npos)
+      << what;
+}
+
+TEST(BoardIo, UnknownCapabilityNamesTheKey) {
+  const std::string what = load_error(R"({"capability": "telepathy"})");
+  EXPECT_NE(what.find("capability"), std::string::npos) << what;
+  EXPECT_NE(what.find("telepathy"), std::string::npos) << what;
+}
+
+TEST(BoardIo, NonFiniteNumberIsRejected) {
+  // The JSON grammar has no NaN literal, but a computed Json can hold one
+  // (e.g. a script that round-trips through board_to_json).
+  auto j = board_to_json(generic_board());
+  j["gpu"]["issue_efficiency"] = Json(std::nan(""));
+  try {
+    board_from_json(j);
+    ADD_FAILURE() << "expected NaN issue_efficiency to be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("gpu.issue_efficiency"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(BoardIo, FileRoundTrip) {

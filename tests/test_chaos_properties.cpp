@@ -1,0 +1,126 @@
+// Chaos property suite: every (scenario, board) cell must satisfy the
+// robustness invariants no matter which faults fire.
+//
+//   - the run completes and lands on a valid communication model
+//   - regret against the clean static-best stays under the scenario bound
+//   - corrupt characterizations route analyze() into the degraded SC
+//     fallback with the rejected inputs named in the Explanation
+//   - a fixed seed is byte-identical across reruns and worker counts
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/result_cache.h"
+#include "fault/chaos.h"
+#include "fault/scenario.h"
+#include "soc/board_io.h"
+
+namespace cig::fault {
+namespace {
+
+bool corrupts_characterization(const FaultScenario& scenario) {
+  return std::any_of(scenario.specs.begin(), scenario.specs.end(),
+                     [](const FaultSpec& spec) {
+                       return spec.kind == FaultKind::CorruptCharacterization;
+                     });
+}
+
+TEST(ChaosProperties, EveryCellHoldsTheInvariants) {
+  // One memory-only cache across the grid: each board characterizes once.
+  core::ResultCache cache;
+  ChaosOptions options;
+  options.sweep.cache = &cache;
+
+  for (const std::string board_name : {"tx2", "xavier"}) {
+    const auto board = soc::resolve_board(board_name);
+    for (const auto& scenario : all_scenarios()) {
+      SCOPED_TRACE(board.name + " / " + scenario.name);
+      const auto cell = run_chaos(board, scenario, options);
+
+      // Landed on a valid model with a plausible runtime.
+      EXPECT_LT(core::model_index(cell.final_model), 3u);
+      EXPECT_GT(cell.adaptive_time, 0.0);
+      for (const auto model : core::kAllModels) {
+        EXPECT_GT(cell.static_time[core::model_index(model)], 0.0);
+      }
+
+      // Every scenario actually injected something.
+      EXPECT_GT(cell.fault_metrics.total, 0u);
+      EXPECT_EQ(cell.registry.get("fault.total"),
+                static_cast<double>(cell.fault_metrics.total));
+
+      // Bounded regret against the clean static-best oracle.
+      EXPECT_GT(cell.regret, 0.0);
+      EXPECT_LE(cell.regret, scenario.regret_bound)
+          << "adaptive " << to_us(cell.adaptive_time) << " us vs best static "
+          << to_us(cell.static_time[core::model_index(cell.best_static)])
+          << " us";
+
+      // The guardrail counters are part of the cell's registry contract.
+      EXPECT_TRUE(cell.registry.contains("runtime.guard.rejected_samples"));
+
+      if (corrupts_characterization(scenario)) {
+        EXPECT_TRUE(cell.degraded);
+        EXPECT_EQ(cell.degraded_suggested, comm::CommModel::StandardCopy);
+        EXPECT_FALSE(cell.degraded_problems.empty());
+        bool explains_degradation = false;
+        for (const auto& check : cell.degraded_checks) {
+          if (check.find("degraded") != std::string::npos) {
+            explains_degradation = true;
+          }
+        }
+        EXPECT_TRUE(explains_degradation)
+            << "explanation has " << cell.degraded_checks.size() << " checks";
+      } else {
+        EXPECT_FALSE(cell.degraded);
+      }
+    }
+  }
+}
+
+TEST(ChaosProperties, SpikesAreCaughtByTheSampleGuard) {
+  const auto board = soc::resolve_board("tx2");
+  const auto cell =
+      run_chaos(board, scenario_by_name("spike-outliers"), {});
+  EXPECT_GT(cell.registry.get("runtime.guard.rejected_samples"), 0.0);
+}
+
+TEST(ChaosProperties, FixedSeedIsByteIdenticalAcrossReruns) {
+  const auto board = soc::resolve_board("tx2");
+  const auto& scenario = scenario_by_name("kitchen-sink");
+  ChaosOptions options;
+  options.seed = 42;
+  const std::string first = run_chaos(board, scenario, options)
+                                .to_json().dump();
+  const std::string second = run_chaos(board, scenario, options)
+                                 .to_json().dump();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChaosProperties, FixedSeedIsByteIdenticalAcrossWorkerCounts) {
+  const auto board = soc::resolve_board("xavier");
+  const auto& scenario = scenario_by_name("counter-noise");
+  ChaosOptions serial;
+  serial.seed = 42;
+  serial.sweep.jobs = 1;
+  ChaosOptions wide;
+  wide.seed = 42;
+  wide.sweep.jobs = 8;
+  EXPECT_EQ(run_chaos(board, scenario, serial).to_json().dump(),
+            run_chaos(board, scenario, wide).to_json().dump());
+}
+
+TEST(ChaosProperties, DifferentSeedsDrawDifferentFaultStreams) {
+  const auto board = soc::resolve_board("tx2");
+  const auto& scenario = scenario_by_name("counter-noise");
+  ChaosOptions a;
+  a.seed = 1;
+  ChaosOptions b;
+  b.seed = 2;
+  EXPECT_NE(run_chaos(board, scenario, a).to_json().dump(),
+            run_chaos(board, scenario, b).to_json().dump());
+}
+
+}  // namespace
+}  // namespace cig::fault

@@ -1,0 +1,259 @@
+// Tests for the seeded fault injector and the scenario catalogue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "fault/scenario.h"
+#include "sim/stat_registry.h"
+#include "soc/presets.h"
+#include "soc/soc.h"
+
+namespace cig::fault {
+namespace {
+
+profile::ProfileReport make_report() {
+  profile::ProfileReport report;
+  report.workload = "synthetic";
+  report.board = "test";
+  report.cpu_l1_miss_rate = 0.2;
+  report.cpu_llc_miss_rate = 0.1;
+  report.gpu_l1_hit_rate = 0.8;
+  report.gpu_llc_hit_rate = 0.9;
+  report.gpu_transactions = 1000;
+  report.gpu_transaction_size = 32;
+  report.kernel_time = 1e-3;
+  report.cpu_time = 5e-4;
+  report.copy_time = 2e-4;
+  report.total_time = 2e-3;
+  report.gpu_ll_throughput = 1e9;
+  report.cpu_ll_throughput = 2e9;
+  report.energy = 0.1;
+  report.average_power = 5;
+  return report;
+}
+
+TEST(FaultInjector, KindNamesAreStableSnakeCase) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::CounterNoise), "counter_noise");
+  EXPECT_STREQ(fault_kind_name(FaultKind::CounterDropout), "counter_dropout");
+  EXPECT_STREQ(fault_kind_name(FaultKind::CounterSaturation),
+               "counter_saturation");
+  EXPECT_STREQ(fault_kind_name(FaultKind::OutlierSpike), "outlier_spike");
+  EXPECT_STREQ(fault_kind_name(FaultKind::StaleBatch), "stale_batch");
+  EXPECT_STREQ(fault_kind_name(FaultKind::ThermalDerate), "thermal_derate");
+  EXPECT_STREQ(fault_kind_name(FaultKind::CorruptCharacterization),
+               "corrupt_characterization");
+}
+
+TEST(FaultInjector, SameSeedReproducesTheExactFaultSequence) {
+  const std::vector<FaultSpec> specs = {
+      {.kind = FaultKind::CounterNoise, .probability = 0.5, .magnitude = 0.3}};
+  FaultInjector a(specs, 1234);
+  FaultInjector b(specs, 1234);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    auto ra = make_report();
+    auto rb = make_report();
+    EXPECT_EQ(a.on_report(ra, nullptr, i), b.on_report(rb, nullptr, i));
+    EXPECT_EQ(ra.total_time, rb.total_time) << "sample " << i;
+    EXPECT_EQ(ra.gpu_llc_hit_rate, rb.gpu_llc_hit_rate) << "sample " << i;
+  }
+  EXPECT_EQ(a.metrics().total, b.metrics().total);
+}
+
+TEST(FaultInjector, DifferentSeedsDrawDifferentFaults) {
+  const std::vector<FaultSpec> specs = {
+      {.kind = FaultKind::CounterNoise, .probability = 0.5, .magnitude = 0.3}};
+  FaultInjector a(specs, 1);
+  FaultInjector b(specs, 2);
+  bool diverged = false;
+  for (std::uint64_t i = 0; i < 64 && !diverged; ++i) {
+    auto ra = make_report();
+    auto rb = make_report();
+    a.on_report(ra, nullptr, i);
+    b.on_report(rb, nullptr, i);
+    diverged = ra.total_time != rb.total_time;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, ActiveSampleWindowIsRespected) {
+  const std::vector<FaultSpec> specs = {{.kind = FaultKind::CounterNoise,
+                                         .probability = 1.0,
+                                         .magnitude = 0.3,
+                                         .first_sample = 8,
+                                         .last_sample = 15}};
+  FaultInjector injector(specs, 7);
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    auto report = make_report();
+    const bool fired = injector.on_report(report, nullptr, i);
+    EXPECT_EQ(fired, i >= 8 && i <= 15) << "sample " << i;
+  }
+  EXPECT_EQ(injector.metrics().by_kind[static_cast<std::size_t>(
+                FaultKind::CounterNoise)],
+            8u);
+}
+
+TEST(FaultInjector, DropoutZeroesRatesButKeepsTimes) {
+  FaultInjector injector(
+      {{.kind = FaultKind::CounterDropout, .probability = 1.0}}, 7);
+  auto report = make_report();
+  ASSERT_TRUE(injector.on_report(report, nullptr, 0));
+  EXPECT_EQ(report.gpu_llc_hit_rate, 0.0);
+  EXPECT_EQ(report.gpu_transactions, 0.0);
+  EXPECT_EQ(report.gpu_ll_throughput, 0.0);
+  EXPECT_EQ(report.total_time, make_report().total_time);
+}
+
+TEST(FaultInjector, SaturationPegsRatesAtOne) {
+  FaultInjector injector(
+      {{.kind = FaultKind::CounterSaturation, .probability = 1.0,
+        .magnitude = 0.5}},
+      7);
+  auto report = make_report();
+  ASSERT_TRUE(injector.on_report(report, nullptr, 0));
+  EXPECT_EQ(report.gpu_l1_hit_rate, 1.0);
+  EXPECT_EQ(report.gpu_llc_hit_rate, 1.0);
+  EXPECT_GT(report.gpu_ll_throughput, make_report().gpu_ll_throughput);
+}
+
+TEST(FaultInjector, SpikeInflatesEveryTiming) {
+  FaultInjector injector({{.kind = FaultKind::OutlierSpike,
+                           .probability = 1.0,
+                           .magnitude = 9.0}},
+                         7);
+  auto report = make_report();
+  const auto clean = make_report();
+  ASSERT_TRUE(injector.on_report(report, nullptr, 0));
+  EXPECT_NEAR(report.total_time, clean.total_time * 10.0, 1e-12);
+  EXPECT_NEAR(report.kernel_time, clean.kernel_time * 10.0, 1e-12);
+}
+
+TEST(FaultInjector, StaleBatchReplaysThePreviousReport) {
+  FaultInjector injector(
+      {{.kind = FaultKind::StaleBatch, .probability = 1.0, .first_sample = 1}},
+      7);
+  auto first = make_report();
+  first.total_time = 42e-3;
+  injector.on_report(first, nullptr, 0);  // window starts at sample 1
+  auto second = make_report();
+  ASSERT_TRUE(injector.on_report(second, nullptr, 1));
+  EXPECT_EQ(second.total_time, 42e-3);
+}
+
+TEST(FaultInjector, DerateScheduleStartsAtFirstSample) {
+  FaultInjector injector({{.kind = FaultKind::ThermalDerate,
+                           .magnitude = 0.4,
+                           .first_sample = 10}},
+                         7);
+  EXPECT_EQ(injector.derate_factor(9), 1.0);
+  EXPECT_NEAR(injector.derate_factor(10), 0.6, 1e-12);
+  // Extreme magnitudes are floored: the board slows down, it never stops.
+  FaultInjector extreme(
+      {{.kind = FaultKind::ThermalDerate, .magnitude = 0.99}}, 7);
+  EXPECT_NEAR(extreme.derate_factor(0), 0.05, 1e-12);
+}
+
+TEST(FaultInjector, PreSampleAppliesDerateOncePerChange) {
+  soc::SoC soc(soc::jetson_tx2());
+  FaultInjector injector({{.kind = FaultKind::ThermalDerate,
+                           .magnitude = 0.4,
+                           .first_sample = 4}},
+                         7);
+  injector.pre_sample(soc, nullptr, 0);
+  EXPECT_EQ(soc.derate(), 1.0);
+  injector.pre_sample(soc, nullptr, 4);
+  EXPECT_NEAR(soc.derate(), 0.6, 1e-12);
+  injector.pre_sample(soc, nullptr, 5);  // unchanged factor: no new event
+  const auto derate_kind =
+      static_cast<std::size_t>(FaultKind::ThermalDerate);
+  EXPECT_EQ(injector.metrics().by_kind[derate_kind], 1u);
+}
+
+core::DeviceCharacterization make_device() {
+  core::DeviceCharacterization device;
+  device.board = "test";
+  for (std::size_t m = 0; m < 3; ++m) {
+    device.mb1.gpu_ll_throughput[m] = 1e9;
+    device.mb1.cpu_time[m] = 1e-3;
+    device.mb1.gpu_time[m] = 1e-3;
+    device.mb1.total_time[m] = 2e-3;
+    device.mb3.total_time[m] = 3e-3;
+    device.mb3.cpu_time[m] = 1e-3;
+    device.mb3.gpu_time[m] = 1e-3;
+    device.mb3.copy_time[m] = 1e-3;
+  }
+  device.mb2.gpu.threshold_pct = 60;
+  device.mb2.gpu.zone2_end_pct = 90;
+  device.mb2.cpu.threshold_pct = 50;
+  device.mb2.cpu.zone2_end_pct = 80;
+  return device;
+}
+
+TEST(FaultInjector, CorruptionIsExactlyWhatProblemsCatches) {
+  auto device = make_device();
+  EXPECT_TRUE(device.problems().empty());
+
+  FaultInjector injector({{.kind = FaultKind::CorruptCharacterization,
+                           .probability = 1.0,
+                           .magnitude = 1.0}},
+                         7);
+  injector.corrupt(device);
+  const auto problems = device.problems();
+  ASSERT_FALSE(problems.empty());
+  bool names_a_field = false;
+  for (const auto& problem : problems) {
+    if (problem.find("mb1") != std::string::npos ||
+        problem.find("mb2") != std::string::npos ||
+        problem.find("mb3") != std::string::npos) {
+      names_a_field = true;
+    }
+  }
+  EXPECT_TRUE(names_a_field);
+  EXPECT_GT(injector.metrics().by_kind[static_cast<std::size_t>(
+                FaultKind::CorruptCharacterization)],
+            0u);
+}
+
+TEST(FaultInjector, MetricsExportUnderFaultPrefix) {
+  FaultInjector injector(
+      {{.kind = FaultKind::CounterNoise, .probability = 1.0}}, 7);
+  auto report = make_report();
+  injector.on_report(report, nullptr, 0);
+  sim::StatRegistry registry;
+  injector.export_stats(registry);
+  EXPECT_EQ(registry.get("fault.total"), 1.0);
+  EXPECT_EQ(registry.get("fault.counter_noise"), 1.0);
+  EXPECT_EQ(registry.get("fault.outlier_spike"), 0.0);
+}
+
+TEST(Scenarios, CatalogueHasUniqueNamesAndBounds) {
+  const auto& scenarios = all_scenarios();
+  ASSERT_GE(scenarios.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& scenario : scenarios) {
+    EXPECT_FALSE(scenario.name.empty());
+    EXPECT_FALSE(scenario.specs.empty()) << scenario.name;
+    EXPECT_GT(scenario.regret_bound, 1.0) << scenario.name;
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate scenario name " << scenario.name;
+  }
+}
+
+TEST(Scenarios, LookupByNameAndUnknownThrows) {
+  EXPECT_EQ(scenario_by_name("kitchen-sink").name, "kitchen-sink");
+  try {
+    scenario_by_name("does-not-exist");
+    FAIL() << "expected scenario_by_name to throw";
+  } catch (const std::runtime_error& error) {
+    // The error lists the catalogue so a typo is self-correcting.
+    EXPECT_NE(std::string(error.what()).find("kitchen-sink"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace cig::fault

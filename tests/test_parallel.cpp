@@ -94,6 +94,33 @@ TEST(Parallel, ResolveJobsPrecedence) {
 
 TEST(Parallel, HardwareJobsPositive) { EXPECT_GE(hardware_jobs(), 1); }
 
+// --jobs parsing is strict: CLI inputs fail loudly with the value named,
+// unlike the env override which only warns.
+TEST(Parallel, ParseJobsAcceptsTheValidRange) {
+  EXPECT_EQ(parse_jobs("1"), 1);
+  EXPECT_EQ(parse_jobs("8"), 8);
+  EXPECT_EQ(parse_jobs("4096"), 4096);
+}
+
+TEST(Parallel, ParseJobsRejectsGarbageWithTheValueNamed) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      parse_jobs(text);
+    } catch (const std::invalid_argument& error) {
+      return error.what();
+    }
+    ADD_FAILURE() << "expected parse_jobs to reject '" << text << "'";
+    return "";
+  };
+  EXPECT_NE(message_of("0").find("'0'"), std::string::npos);
+  EXPECT_NE(message_of("0").find("must be >= 1"), std::string::npos);
+  EXPECT_NE(message_of("-4").find("must be >= 1"), std::string::npos);
+  EXPECT_NE(message_of("banana").find("not an integer"), std::string::npos);
+  EXPECT_NE(message_of("3x").find("not an integer"), std::string::npos);
+  EXPECT_NE(message_of("").find("not an integer"), std::string::npos);
+  EXPECT_NE(message_of("5000").find("4096"), std::string::npos);
+}
+
 TEST(Parallel, PoolCountersTrackBatches) {
   reset_pool_counters();
   parallel_for_index(10, 4, [](std::size_t) {});

@@ -164,6 +164,42 @@ TEST_F(ResultCacheTest, MemoryOnlyCacheHasNoDiskFootprint) {
   EXPECT_EQ(cache.clear(), 0u);
 }
 
+// An unusable --cache-dir must cost one warning and the disk tier — never
+// the run. A path under a regular file cannot be created for any uid
+// (chmod-based probes are useless under root, which ignores mode bits).
+TEST_F(ResultCacheTest, UnusableDirDisablesDiskTierAndKeepsServing) {
+  fs::create_directories(dir_);
+  const std::string blocker = dir_ + "/blocker";
+  { std::ofstream out(blocker); out << "regular file\n"; }
+
+  ResultCache cache(blocker + "/sub");
+  EXPECT_TRUE(cache.disk_enabled());  // not probed yet
+
+  cache.store("sweep", "k1", payload(1.5));    // disk write fails silently
+  const auto hit = cache.lookup("sweep", "k1");  // memory still serves
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 1.5);
+
+  EXPECT_FALSE(cache.disk_enabled());
+  EXPECT_EQ(cache.stats().disabled, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  sim::StatRegistry registry;
+  cache.export_stats(registry);
+  EXPECT_EQ(registry.get("cache.disabled"), 1.0);
+}
+
+TEST_F(ResultCacheTest, UsableDirReportsDiskEnabled) {
+  ResultCache cache(dir_);
+  cache.store("sweep", "k1", payload(2.0));
+  EXPECT_TRUE(cache.disk_enabled());
+  EXPECT_EQ(cache.stats().disabled, 0u);
+  sim::StatRegistry registry;
+  cache.export_stats(registry);
+  EXPECT_EQ(registry.get("cache.disabled"), 0.0);
+}
+
 // --- end-to-end determinism ----------------------------------------------------
 
 // The guarantee everything else rests on: fanning the MB2 sweeps out over a

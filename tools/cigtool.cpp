@@ -25,6 +25,16 @@
 //                                          and decision->phase flow arrows,
 //                                          the metrics file is a
 //                                          Prometheus-style text snapshot
+//   cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]
+//                 [--trace-out <file.json>] [--metrics-out <file.prom>]
+//                 [--json]
+//                                          run named fault scenarios against
+//                                          each board (default tx2,xavier x
+//                                          all scenarios): faults are
+//                                          injected into the adaptive replay
+//                                          and every cell is checked against
+//                                          its regret bound; exits non-zero
+//                                          when a bound is exceeded
 //
 // <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
 // <app> is one of: shwfs, orbslam, mb1, mb3.
@@ -33,6 +43,8 @@
 // env or all cores); `--cache-dir DIR` memoizes characterizations across
 // invocations (a warm `characterize` re-run skips every sweep simulation —
 // check cache.hit in the --metrics-out snapshot).
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -45,11 +57,14 @@
 #include "core/pattern_sim.h"
 #include "core/result_cache.h"
 #include "core/sweep.h"
+#include "fault/chaos.h"
+#include "fault/scenario.h"
 #include "obs/prometheus.h"
 #include "runtime/replay.h"
 #include "sim/trace_export.h"
 #include "soc/board_io.h"
 #include "soc/presets.h"
+#include "support/parallel.h"
 #include "support/table.h"
 #include "workload/builders.h"
 
@@ -75,6 +90,8 @@ int usage() {
       "  cigtool runtime --board <board> [--trace phasic|oscillation]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>]"
       " [--json] [--explain]\n"
+      "  cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]"
+      " [--trace-out <file.json>] [--metrics-out <file.prom>] [--json]\n"
       "\n"
       "global flags:\n"
       "  --jobs N        worker pool size for sweeps/grids (0 = CIG_JOBS env"
@@ -519,6 +536,133 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
   return 0;
 }
 
+std::uint64_t parse_seed(const std::string& text) {
+  const char* raw = text.c_str();
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (*raw == '\0' || end == raw || *end != '\0' || text[0] == '-') {
+    throw std::runtime_error("invalid seed '" + text +
+                             "': want a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
+              std::uint64_t seed, int jobs, const std::string& cache_dir,
+              const std::string& trace_out, const std::string& metrics_out,
+              bool as_json) {
+  const auto board_names = split_csv(boards_csv);
+  if (board_names.empty()) {
+    throw std::runtime_error("chaos: --boards named no boards");
+  }
+  std::vector<fault::FaultScenario> scenarios;
+  if (scenarios_csv.empty()) {
+    scenarios = fault::all_scenarios();
+  } else {
+    for (const auto& name : split_csv(scenarios_csv)) {
+      scenarios.push_back(fault::scenario_by_name(name));
+    }
+  }
+  if (scenarios.empty()) {
+    throw std::runtime_error("chaos: --scenarios named no scenarios");
+  }
+
+  // One cache shared across the grid: every cell on the same board reuses
+  // the same clean characterization. Cells run serially (board-major, the
+  // catalogue order) so a fixed seed replays byte-identically at any
+  // --jobs value; --jobs only parallelizes inside a characterization,
+  // which is jobs-invariant by construction.
+  core::ResultCache cache(cache_dir);
+  fault::ChaosOptions options;
+  options.seed = seed;
+  options.sweep.jobs = jobs;
+  if (!cache_dir.empty()) options.sweep.cache = &cache;
+
+  std::vector<fault::ChaosResult> cells;
+  for (const auto& board_name : board_names) {
+    const auto board = soc::resolve_board(board_name);
+    for (const auto& scenario : scenarios) {
+      cells.push_back(fault::run_chaos(board, scenario, options));
+    }
+  }
+
+  // Aggregate fault.* across the grid plus the grid-level summary stats
+  // the chaos-smoke CI job asserts on.
+  sim::StatRegistry aggregate;
+  fault::FaultMetrics total;
+  double max_regret = 0;
+  std::size_t over_bound = 0;
+  for (const auto& cell : cells) {
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      total.by_kind[k] += cell.fault_metrics.by_kind[k];
+    }
+    total.total += cell.fault_metrics.total;
+    if (cell.regret > max_regret) max_regret = cell.regret;
+    if (cell.regret > cell.regret_bound) ++over_bound;
+  }
+  total.export_to(aggregate);
+  aggregate.set("chaos.cells", static_cast<double>(cells.size()));
+  aggregate.set("chaos.max_regret", max_regret);
+  aggregate.set("chaos.over_bound", static_cast<double>(over_bound));
+
+  if (!trace_out.empty() && !cells.empty()) {
+    // The last cell's trace: fault instants on the CTRL lane alongside the
+    // usual counter tracks and flow arrows.
+    sim::write_chrome_trace(cells.back().timeline, cells.back().aux,
+                            trace_out, "cigtool chaos");
+  }
+  if (!metrics_out.empty()) {
+    obs::write_prometheus(aggregate, metrics_out);
+  }
+
+  if (as_json) {
+    Json j;
+    j["seed"] = Json(static_cast<double>(seed));
+    Json cell_array = JsonArray{};
+    for (const auto& cell : cells) cell_array.push_back(cell.to_json());
+    j["cells"] = std::move(cell_array);
+    j["max_regret"] = Json(max_regret);
+    j["over_bound"] = Json(static_cast<double>(over_bound));
+    j["fault_total"] = Json(static_cast<double>(total.total));
+    std::cout << j.dump(2) << '\n';
+  } else {
+    Table table({"board", "scenario", "final", "adaptive", "best static",
+                 "regret", "bound", "faults", "degraded"});
+    for (const auto& cell : cells) {
+      table.add_row(
+          {cell.board, cell.scenario, comm::model_name(cell.final_model),
+           format_time(cell.adaptive_time),
+           std::string(comm::model_name(cell.best_static)) + " (" +
+               format_time(
+                   cell.static_time[core::model_index(cell.best_static)]) +
+               ")",
+           Table::num(cell.regret, 3) + "x",
+           Table::num(cell.regret_bound, 1) + "x",
+           std::to_string(cell.fault_metrics.total),
+           cell.degraded
+               ? std::string("SC fallback (") +
+                     std::to_string(cell.degraded_problems.size()) +
+                     " inputs rejected)"
+               : std::string("-")});
+    }
+    print_table(std::cout, table);
+    if (!trace_out.empty() && !cells.empty()) {
+      std::cout << "\nwrote Chrome trace to " << trace_out
+                << " (load in chrome://tracing or Perfetto)\n";
+    }
+    if (!metrics_out.empty()) {
+      std::cout << "wrote Prometheus metrics to " << metrics_out << '\n';
+    }
+  }
+
+  if (over_bound > 0) {
+    std::cerr << "cigtool: chaos: " << over_bound
+              << " cell(s) exceeded their regret bound\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -533,6 +677,9 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   int jobs = 0;
   std::string cache_dir;
+  std::string boards_csv = "tx2,xavier";
+  std::string scenarios_csv;
+  std::uint64_t seed = 42;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -557,7 +704,16 @@ int main(int argc, char** argv) {
         metrics_out = args[i];
       } else if (args[i] == "--jobs") {
         if (++i >= args.size()) return usage();
-        jobs = std::atoi(args[i].c_str());
+        jobs = support::parse_jobs(args[i]);
+      } else if (args[i] == "--boards") {
+        if (++i >= args.size()) return usage();
+        boards_csv = args[i];
+      } else if (args[i] == "--scenarios") {
+        if (++i >= args.size()) return usage();
+        scenarios_csv = args[i];
+      } else if (args[i] == "--seed") {
+        if (++i >= args.size()) return usage();
+        seed = parse_seed(args[i]);
       } else if (args[i] == "--cache-dir") {
         if (++i >= args.size()) return usage();
         cache_dir = args[i];
@@ -615,6 +771,10 @@ int main(int argc, char** argv) {
       if (board_name.empty()) return usage();
       return cmd_runtime(board_name, trace, trace_out, metrics_out, as_json,
                          explain);
+    }
+    if (command == "chaos" && positional.size() == 1) {
+      return cmd_chaos(boards_csv, scenarios_csv, seed, jobs, cache_dir,
+                       trace_out, metrics_out, as_json);
     }
     return usage();
   } catch (const std::exception& error) {
