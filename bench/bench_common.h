@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/sweep.h"
+#include "persist/atomic_io.h"
 #include "support/parallel.h"
 #include "support/table.h"
 #include "support/units.h"
@@ -125,8 +126,9 @@ inline void write_bench_report(const std::string& path,
       Json(lookups == 0 ? 0.0
                         : static_cast<double>(sweep.cache.hits) /
                               static_cast<double>(lookups));
-  std::ofstream out(path, std::ios::trunc);
-  out << j.dump(2) << '\n';
+  // Atomic replace so a crashed bench never leaves a truncated report the
+  // CI trajectory scripts would parse as valid-but-empty.
+  persist::atomic_write_file(path, j.dump(2) + '\n');
   std::cout << "bench report written to " << path << '\n';
 }
 

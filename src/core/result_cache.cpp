@@ -1,8 +1,7 @@
 #include "core/result_cache.h"
 
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <vector>
 
 #include "support/hash.h"
 #include "support/log.h"
@@ -17,8 +16,10 @@ std::string memory_key(const std::string& kind, const std::string& key_text) {
   return kind + '\0' + key_text;
 }
 
-// True if `name` looks like one of our entry files: <kind>-<16 hex>.json.
-bool is_entry_file(const std::string& name) {
+// True if `name` looks like a legacy per-entry file from the pre-journal
+// disk format: <kind>-<16 hex>.json. clear() still removes these so a cache
+// directory upgraded in place does not leak stale files forever.
+bool is_legacy_entry_file(const std::string& name) {
   if (name.size() < 22) return false;  // 1 + '-' + 16 + ".json"
   if (name.substr(name.size() - 5) != ".json") return false;
   const std::string stem = name.substr(0, name.size() - 5);
@@ -40,15 +41,14 @@ std::uint64_t ResultCache::key_of(const std::string& key_text) {
   return support::fnv1a64(key_text);
 }
 
-std::string ResultCache::entry_path(const std::string& kind,
-                                    std::uint64_t key) const {
-  return (fs::path(dir_) / (kind + '-' + support::fnv1a64_hex(key) + ".json"))
-      .string();
+std::string ResultCache::journal_path() const {
+  return (fs::path(dir_) / "cache.journal").string();
 }
 
 void ResultCache::disable_disk(const std::string& why) {
   disk_disabled_ = true;
   stats_.disabled = 1;
+  journal_.reset();
   CIG_LOG_C(::cig::LogLevel::Warn, "cache",
             "cache dir '" << dir_ << "' unusable (" << why
                           << "); disk tier disabled, continuing memory-only");
@@ -56,62 +56,78 @@ void ResultCache::disable_disk(const std::string& why) {
 
 bool ResultCache::ensure_disk_usable() {
   if (dir_.empty() || disk_disabled_) return false;
-  if (disk_probed_) return true;
+  if (disk_probed_ && journal_) return true;
   disk_probed_ = true;
-  // One write-through probe decides for the cache's lifetime: an unusable
-  // directory must cost a single warning, not one failure per entry.
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {
     disable_disk("cannot create: " + ec.message());
     return false;
   }
-  const fs::path probe = fs::path(dir_) / ".cig-cache-probe";
-  {
-    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
-    out << "probe";
-    if (!out) {
-      disable_disk("not writable");
-      return false;
-    }
+  // Opening the journal runs crash recovery: intact records load, a torn
+  // tail from a crashed writer is truncated in place.
+  try {
+    journal_ = std::make_unique<persist::Journal>(journal_path());
+  } catch (const std::exception& e) {
+    disable_disk(e.what());
+    return false;
   }
-  fs::remove(probe, ec);
+  const auto& recovery = journal_->recovery();
+  stats_.recovered += recovery.records;
+  if (recovery.torn) {
+    stats_.torn_discarded += 1;
+    CIG_LOG_C(::cig::LogLevel::Warn, "cache",
+              "cache journal had a torn tail (" << recovery.torn_bytes
+                                                << " bytes); truncated");
+  }
+  for (const std::string& payload : journal_->records()) {
+    Json entry;
+    try {
+      entry = Json::parse(payload);
+    } catch (const std::exception&) {
+      ++stats_.corrupt_dropped;  // checksum-valid but unparsable: never fatal
+      continue;
+    }
+    if (!entry.contains("schema")) {
+      // Parses, but was not written by any known cache version at all.
+      ++stats_.invalid;
+      if (!warned_invalid_) {
+        warned_invalid_ = true;
+        CIG_LOG_C(::cig::LogLevel::Warn, "cache",
+                  "cache journal contains record(s) without a schema field; "
+                  "ignoring them");
+      }
+      continue;
+    }
+    if (entry.string_or("schema", "") != kSchemaTag ||
+        !entry.contains("value")) {
+      ++stats_.corrupt_dropped;  // older/newer schema: stale, skip
+      continue;
+    }
+    // Later records override earlier ones: append-as-overwrite.
+    disk_index_[memory_key(entry.string_or("kind", ""),
+                           entry.string_or("key_text", ""))] =
+        entry.at("value");
+  }
   return true;
 }
 
 std::optional<Json> ResultCache::lookup(const std::string& kind,
                                         const std::string& key_text) {
-  const auto it = memory_.find(memory_key(kind, key_text));
+  const std::string key = memory_key(kind, key_text);
+  const auto it = memory_.find(key);
   if (it != memory_.end()) {
     ++stats_.hits;
     return it->second;
   }
 
   if (ensure_disk_usable()) {
-    const std::string path = entry_path(kind, key_of(key_text));
-    std::error_code ec;
-    if (fs::exists(path, ec) && !ec) {
-      try {
-        std::ifstream in(path, std::ios::binary);
-        std::ostringstream text;
-        text << in.rdbuf();
-        const Json entry = Json::parse(text.str());
-        if (entry.string_or("schema", "") == kSchemaTag &&
-            entry.string_or("kind", "") == kind &&
-            entry.string_or("key_text", "") == key_text &&
-            entry.contains("value")) {
-          Json value = entry.at("value");
-          memory_[memory_key(kind, key_text)] = value;
-          ++stats_.hits;
-          ++stats_.disk_hits;
-          return value;
-        }
-        // Parsable but stale (schema/key mismatch or hash collision):
-        // treat as a miss; the next store overwrites the file.
-        ++stats_.corrupt_dropped;
-      } catch (const std::exception&) {
-        ++stats_.corrupt_dropped;  // unreadable/corrupt: never fatal
-      }
+    const auto disk_it = disk_index_.find(key);
+    if (disk_it != disk_index_.end()) {
+      memory_[key] = disk_it->second;
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      return disk_it->second;
     }
   }
 
@@ -121,29 +137,25 @@ std::optional<Json> ResultCache::lookup(const std::string& kind,
 
 void ResultCache::store(const std::string& kind, const std::string& key_text,
                         const Json& value) {
-  memory_[memory_key(kind, key_text)] = value;
+  const std::string key = memory_key(kind, key_text);
+  memory_[key] = value;
   ++stats_.stores;
 
   if (!ensure_disk_usable()) return;
+  Json entry;
+  entry["schema"] = Json(std::string(kSchemaTag));
+  entry["kind"] = Json(kind);
+  entry["key_text"] = Json(key_text);
+  entry["value"] = value;
   try {
-    Json entry;
-    entry["schema"] = Json(std::string(kSchemaTag));
-    entry["kind"] = Json(kind);
-    entry["key_text"] = Json(key_text);
-    entry["value"] = value;
-    // Write-then-rename so a crashed writer never leaves a torn entry a
-    // later run would have to drop as corrupt.
-    const std::string path = entry_path(kind, key_of(key_text));
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      out << entry.dump(2) << '\n';
-      if (!out) throw std::runtime_error("write failed");
-    }
-    fs::rename(tmp, path);
-  } catch (const std::exception&) {
+    // Framed + checksummed + fsynced: a crash mid-append leaves a torn tail
+    // the next open truncates, never a half-entry served as valid.
+    journal_->append(entry.dump());
+    disk_index_[key] = value;
+  } catch (const std::exception& e) {
     // Disk persistence is best-effort; the in-memory entry still serves
     // this process.
+    disable_disk(e.what());
   }
 }
 
@@ -154,16 +166,24 @@ void ResultCache::export_stats(sim::StatRegistry& registry) const {
   registry.set("cache.disk_hit", static_cast<double>(stats_.disk_hits));
   registry.set("cache.corrupt_dropped",
                static_cast<double>(stats_.corrupt_dropped));
+  registry.set("cache.invalid", static_cast<double>(stats_.invalid));
   registry.set("cache.disabled", static_cast<double>(stats_.disabled));
+  registry.set("persist.recovered", static_cast<double>(stats_.recovered));
+  registry.set("persist.torn_discarded",
+               static_cast<double>(stats_.torn_discarded));
 }
 
-ResultCache::DiskUsage ResultCache::disk_usage() const {
+ResultCache::DiskUsage ResultCache::disk_usage() {
   DiskUsage usage;
   if (dir_.empty()) return usage;
+  if (ensure_disk_usable()) {
+    usage.entries = disk_index_.size();
+    usage.bytes = journal_->size_bytes();
+  }
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
-    if (!is_entry_file(entry.path().filename().string())) continue;
+    if (!is_legacy_entry_file(entry.path().filename().string())) continue;
     ++usage.entries;
     usage.bytes += static_cast<std::uint64_t>(entry.file_size(ec));
   }
@@ -174,11 +194,25 @@ std::uint64_t ResultCache::clear() {
   memory_.clear();
   std::uint64_t removed = 0;
   if (dir_.empty()) return removed;
+
+  // Count and drop the journal tier (open it first if this cache never
+  // touched disk, so the count reflects what was actually stored).
+  if (ensure_disk_usable()) {
+    removed += disk_index_.size();
+  }
+  disk_index_.clear();
+  journal_.reset();  // close before deleting the file
   std::error_code ec;
+  fs::remove(journal_path(), ec);
+  // Allow the disk tier to come back (recreating an empty journal) on the
+  // next store, unless it was disabled for cause.
+  disk_probed_ = false;
+
+  // Legacy per-entry files from the pre-journal format.
   std::vector<fs::path> victims;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
-    if (!is_entry_file(entry.path().filename().string())) continue;
+    if (!is_legacy_entry_file(entry.path().filename().string())) continue;
     victims.push_back(entry.path());
   }
   for (const auto& path : victims) {

@@ -2,23 +2,33 @@
 //
 // Sweep batches and whole DeviceCharacterization objects are pure functions
 // of (board config, workload builder, ExecOptions), so they are cached
-// under a stable FNV-1a key of those inputs. Entries live in memory and,
-// when a cache directory is configured, as one JSON file per entry:
+// under their full (pre-hash) key string. Entries live in memory and, when
+// a cache directory is configured, in a single crash-safe append-only
+// journal (persist/journal.h) of framed, checksummed records:
 //
-//   <dir>/<kind>-<16-hex-key>.json
-//   { "schema": "cig-result-cache-v1", "kind": ..., "key_text": ..., "value": ... }
+//   <dir>/cache.journal
+//   record = { "schema": "cig-result-cache-v1",
+//              "kind": ..., "key_text": ..., "value": ... }
 //
-// `key_text` is the full (pre-hash) key string; a lookup only hits when it
-// matches exactly, so hash collisions and stale entries written by an older
-// builder version are treated as misses and rewritten. Corrupt files are
-// ignored the same way — the cache never fails a run, it only skips work.
+// Opening the journal recovers it: intact records are indexed (later
+// records for the same key override earlier ones), a torn tail left by a
+// crashed writer is detected by its checksum and truncated
+// (persist.torn_discarded), and every intact record counts toward
+// persist.recovered. A record that parses but lacks the "schema" field is
+// ignored with one warning (cache.invalid); one carrying a different
+// schema tag or no value is dropped as stale (cache.corrupt_dropped). A
+// lookup only hits when `key_text` matches exactly, so stale entries are
+// misses, never wrong answers — the cache never fails a run, it only skips
+// work.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "persist/journal.h"
 #include "sim/stat_registry.h"
 #include "support/json.h"
 
@@ -52,8 +62,11 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t stores = 0;
     std::uint64_t disk_hits = 0;       // subset of hits served from disk
-    std::uint64_t corrupt_dropped = 0; // unreadable/stale files ignored
+    std::uint64_t corrupt_dropped = 0; // unreadable/stale records ignored
+    std::uint64_t invalid = 0;         // parsable records missing "schema"
     std::uint64_t disabled = 0;        // 1 after the disk tier shut down
+    std::uint64_t recovered = 0;       // intact journal records on open
+    std::uint64_t torn_discarded = 0;  // torn journal tails truncated
   };
   const Stats& stats() const { return stats_; }
 
@@ -67,28 +80,29 @@ class ResultCache {
   // for the Prometheus snapshot and Perfetto counter tracks.
   void export_stats(sim::StatRegistry& registry) const;
 
-  // Number of entry files and their total size under the cache directory
-  // (0/0 for a memory-only cache) — `cigtool cache stats`.
+  // Number of live disk entries (journal index plus any legacy per-entry
+  // files from the pre-journal format) and their total on-disk size (0/0
+  // for a memory-only cache) — `cigtool cache stats`. Non-const: the first
+  // call may open and recover the journal.
   struct DiskUsage {
     std::uint64_t entries = 0;
     std::uint64_t bytes = 0;
   };
-  DiskUsage disk_usage() const;
+  DiskUsage disk_usage();
 
-  // Drops every in-memory entry and deletes this cache's entry files
-  // (only files matching the <kind>-<hex>.json pattern are touched).
-  // Returns the number of disk entries removed.
+  // Drops every in-memory entry, deletes the journal, and removes legacy
+  // per-entry files matching the old <kind>-<hex>.json pattern. Returns
+  // the number of disk entries removed.
   std::uint64_t clear();
 
   const std::string& dir() const { return dir_; }
 
  private:
-  std::string entry_path(const std::string& kind,
-                         std::uint64_t key) const;
+  std::string journal_path() const;
 
-  // First-use probe of the cache directory (create + write + remove a probe
-  // file). On failure: one warning, disk tier off, stats_.disabled = 1.
-  // Returns disk_enabled().
+  // First-use open + recovery of the cache journal (creating the directory
+  // if needed). On failure: one warning, disk tier off, stats_.disabled =
+  // 1. Returns disk_enabled().
   bool ensure_disk_usable();
 
   // Permanently turns the disk tier off with a single warning naming `why`.
@@ -98,6 +112,10 @@ class ResultCache {
   bool disk_probed_ = false;
   bool disk_disabled_ = false;
   std::map<std::string, Json> memory_;  // keyed by kind + '\0' + key_text
+  // Values recovered from / appended to the journal, same key scheme.
+  std::map<std::string, Json> disk_index_;
+  std::unique_ptr<persist::Journal> journal_;
+  bool warned_invalid_ = false;
   Stats stats_;
 };
 

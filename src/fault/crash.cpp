@@ -1,0 +1,67 @@
+#include "fault/crash.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "persist/seam.h"
+#include "support/log.h"
+
+namespace cig::fault {
+
+CrashInjector& CrashInjector::instance() {
+  static CrashInjector injector;
+  return injector;
+}
+
+void CrashInjector::arm(const std::string& seam, std::uint64_t nth,
+                        CrashMode mode) {
+  armed_ = true;
+  seam_ = seam;
+  nth_ = nth == 0 ? 1 : nth;
+  hits_ = 0;
+  mode_ = mode;
+  persist::set_seam_hook(&CrashInjector::on_seam);
+}
+
+void CrashInjector::disarm() {
+  armed_ = false;
+  persist::set_seam_hook(nullptr);
+}
+
+void CrashInjector::on_seam(const char* seam) {
+  CrashInjector& self = instance();
+  if (!self.armed_ || self.seam_ != seam) return;
+  if (++self.hits_ < self.nth_) return;
+  if (self.mode_ == CrashMode::Throw) {
+    // Disarm first: the recovery path under test must run seam-free, and a
+    // crash inside recovery would otherwise recurse.
+    const std::string name = self.seam_;
+    self.disarm();
+    throw CrashInjected(name);
+  }
+  // No destructors, no atexit, no stream flushing: everything not already
+  // fsynced is lost, exactly like a power cut at this instruction.
+  std::_Exit(kCrashExitCode);
+}
+
+bool CrashInjector::arm_from_env() {
+  const char* spec = std::getenv("CIG_CRASH_AT");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::string seam(spec);
+  std::uint64_t nth = 1;
+  const std::size_t colon = seam.rfind(':');
+  if (colon != std::string::npos) {
+    try {
+      nth = std::stoull(seam.substr(colon + 1));
+      seam = seam.substr(0, colon);
+    } catch (const std::exception&) {
+      // Not "<seam>:<number>" — treat the whole string as the seam name.
+    }
+  }
+  arm(seam, nth, CrashMode::Exit);
+  CIG_LOG_C(::cig::LogLevel::Info, "fault",
+            "crash injection armed: seam " << seam << ", hit " << nth);
+  return true;
+}
+
+}  // namespace cig::fault

@@ -1,0 +1,80 @@
+// Crash-point injection: kill (or simulate killing) the process at a named
+// persistence seam (persist/seam.h).
+//
+// Two modes:
+//   CrashMode::Exit  — std::_Exit(kCrashExitCode) at the n-th hit of the
+//                      armed seam: no destructors, no atexit, no flushing —
+//                      the closest a test harness gets to `kill -9`. Used
+//                      by `cigtool crashtest`, which arms a child process
+//                      through the CIG_CRASH_AT environment variable.
+//   CrashMode::Throw — throws CrashInjected (after disarming) so unit tests
+//                      can exercise every seam in-process and then verify
+//                      recovery without forking.
+//
+// The injector is a process-wide singleton because the seam hook is a plain
+// function pointer; arming installs the hook, disarming removes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cig::fault {
+
+// Child exit status crashtest interprets as "the armed seam fired". Chosen
+// away from the codes cigtool uses for its own outcomes (0..3) and from the
+// shell's 126/127.
+inline constexpr int kCrashExitCode = 86;
+
+// Thrown by CrashMode::Throw at the armed seam. Deliberately NOT derived
+// from std::exception: the persistence layers degrade gracefully on
+// ordinary I/O errors (catch std::exception, disable, continue), and a
+// simulated crash must not be absorbed by that handling — it has to unwind
+// the whole run the way std::_Exit would end the process.
+class CrashInjected {
+ public:
+  explicit CrashInjected(std::string seam) : seam_(std::move(seam)) {}
+  const std::string& seam() const { return seam_; }
+
+ private:
+  std::string seam_;
+};
+
+enum class CrashMode {
+  Exit,   // std::_Exit(kCrashExitCode): simulated power-cut / kill -9
+  Throw,  // throw CrashInjected: in-process unit-test crash
+};
+
+class CrashInjector {
+ public:
+  static CrashInjector& instance();
+
+  // Arms the injector: the `nth` hit of `seam` crashes (1 = first hit).
+  // Installs the persist seam hook; re-arming replaces any previous arm.
+  void arm(const std::string& seam, std::uint64_t nth = 1,
+           CrashMode mode = CrashMode::Exit);
+
+  // Uninstalls the hook and resets counters (Throw mode disarms itself
+  // before throwing, so recovery code runs seam-free).
+  void disarm();
+
+  bool armed() const { return armed_; }
+  // Hits of the armed seam so far (counts stop advancing after disarm).
+  std::uint64_t hits() const { return hits_; }
+
+  // Reads CIG_CRASH_AT="<seam>[:<nth>]" and arms CrashMode::Exit when set.
+  // Returns true when armed. How `cigtool crashtest` reaches into its
+  // children without them needing any crash-specific flags.
+  bool arm_from_env();
+
+ private:
+  CrashInjector() = default;
+  static void on_seam(const char* seam);
+
+  bool armed_ = false;
+  std::string seam_;
+  std::uint64_t nth_ = 1;
+  std::uint64_t hits_ = 0;
+  CrashMode mode_ = CrashMode::Exit;
+};
+
+}  // namespace cig::fault

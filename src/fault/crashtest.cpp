@@ -1,0 +1,258 @@
+#include "fault/crashtest.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+#include "core/framework.h"
+#include "fault/crash.h"
+#include "persist/seam.h"
+#include "runtime/replay.h"
+#include "soc/board_io.h"
+#include "support/log.h"
+#include "support/units.h"
+#include "workload/builders.h"
+
+namespace cig::fault {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// POSIX single-quote wrapping (embedded ' becomes '\''). Every child
+// argument goes through here, so paths with spaces survive std::system.
+std::string shell_quote(const std::string& text) {
+  std::string out = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+std::string cell_dir_name(const std::string& seam, std::uint64_t nth) {
+  std::string name = seam;
+  for (char& c : name) {
+    if (c == '.') c = '-';
+  }
+  return name + "-" + std::to_string(nth);
+}
+
+// Runs `command` through the shell; returns the child's exit status, or -1
+// when it died on a signal / could not be spawned.
+int run_child(const std::string& command) {
+  const int raw = std::system(command.c_str());
+  if (raw == -1) return -1;
+#ifdef _WIN32
+  return raw;
+#else
+  if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+  return -1;
+#endif
+}
+
+Json parse_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+}  // namespace
+
+Json CrashTestCell::to_json() const {
+  Json j;
+  j["seam"] = Json(seam);
+  j["nth"] = Json(static_cast<double>(nth));
+  j["exercised"] = Json(exercised);
+  j["torn_recovered"] = Json(torn_recovered);
+  j["identical"] = Json(identical);
+  j["resumed"] = Json(resumed);
+  j["violation"] = Json(violation);
+  j["crash_exit"] = Json(static_cast<double>(crash_exit));
+  j["recover_exit"] = Json(static_cast<double>(recover_exit));
+  j["detail"] = Json(detail);
+  return j;
+}
+
+Json CrashTestReport::to_json() const {
+  Json j;
+  j["exercised"] = Json(static_cast<double>(exercised));
+  j["violations"] = Json(static_cast<double>(violations));
+  j["torn_recoveries"] = Json(static_cast<double>(torn_recoveries));
+  j["samples"] = Json(static_cast<double>(samples));
+  j["passed"] = Json(passed());
+  Json rows = JsonArray{};
+  for (const auto& cell : cells) rows.push_back(cell.to_json());
+  j["cells"] = std::move(rows);
+  return j;
+}
+
+CrashTestReport run_crashtest(const CrashTestOptions& options) {
+#ifdef _WIN32
+  throw std::runtime_error("crashtest needs a POSIX shell to kill children");
+#endif
+  if (options.cigtool.empty()) {
+    throw std::runtime_error("crashtest: no cigtool binary path");
+  }
+
+  // Golden run: same board, same trace, no checkpoint directory — no seams
+  // fire, so this is the uninterrupted baseline every recovery must match
+  // byte for byte.
+  core::Framework framework(soc::resolve_board(options.board));
+  const auto phases = workload::phasic_workload_phases(framework.board());
+  const runtime::ReplayOptions replay_options;
+  const auto golden = runtime::replay_phasic(framework, phases, replay_options);
+  std::vector<std::string> golden_dumps;
+  golden_dumps.reserve(golden.decision_log.size());
+  for (const auto& record : golden.decision_log) {
+    golden_dumps.push_back(record.dump());
+  }
+  const double golden_us = to_us(golden.adaptive_time);
+
+  const std::vector<std::string>& seams =
+      options.seams.empty() ? persist::crash_seams() : options.seams;
+  const std::uint64_t occurrences =
+      options.occurrences == 0 ? 1 : options.occurrences;
+
+  fs::create_directories(options.scratch_dir);
+
+  CrashTestReport report;
+  report.samples = golden_dumps.size();
+
+  for (const std::string& seam : seams) {
+    for (std::uint64_t nth = 1; nth <= occurrences; ++nth) {
+      CrashTestCell cell;
+      cell.seam = seam;
+      cell.nth = nth;
+
+      const fs::path dir =
+          fs::path(options.scratch_dir) / cell_dir_name(seam, nth);
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+      fs::create_directories(dir);
+
+      const std::string common_args =
+          " runtime --board " + shell_quote(options.board) +
+          " --checkpoint-dir " + shell_quote(dir.string()) +
+          " --checkpoint-every " +
+          std::to_string(options.snapshot_every) + " --no-static";
+
+      // Phase 1: run armed to die at the n-th hit of the seam.
+      const std::string crash_cmd =
+          "CIG_CRASH_AT=" + shell_quote(seam + ":" + std::to_string(nth)) +
+          " " + shell_quote(options.cigtool) + common_args + " > " +
+          shell_quote((dir / "crash.log").string()) + " 2>&1";
+      cell.crash_exit = run_child(crash_cmd);
+
+      if (cell.crash_exit == 0) {
+        // The run finished before the armed hit count was reached — this
+        // (seam, nth) pair is unreachable on this trace. Not a violation.
+        cell.detail = "seam never fired; run completed";
+      } else if (cell.crash_exit != kCrashExitCode) {
+        cell.violation = true;
+        cell.detail = "crash child failed unexpectedly (exit " +
+                      std::to_string(cell.crash_exit) + ")";
+      } else {
+        cell.exercised = true;
+
+        // Phase 2: restart over the same checkpoint directory, seam-free,
+        // and dump the full decision log for comparison.
+        const fs::path decisions_path = dir / "decisions.json";
+        const std::string recover_cmd =
+            shell_quote(options.cigtool) + common_args + " --decisions-out " +
+            shell_quote(decisions_path.string()) + " > " +
+            shell_quote((dir / "recover.log").string()) + " 2>&1";
+        cell.recover_exit = run_child(recover_cmd);
+
+        // Invariant 1: restart succeeds. Exit 3 is the documented "recovery
+        // discarded torn state" outcome; anything else non-zero is a broken
+        // restart (which includes loading checksum-invalid state, were that
+        // possible — persist/ rejects it and the run would cold-start).
+        if (cell.recover_exit != 0 && cell.recover_exit != 3) {
+          cell.violation = true;
+          cell.detail = "recovery failed (exit " +
+                        std::to_string(cell.recover_exit) + ")";
+        } else {
+          cell.torn_recovered = cell.recover_exit == 3;
+          try {
+            const Json doc = parse_file(decisions_path);
+            const auto& persist_stats = doc.at("persist");
+            const auto torn = static_cast<std::uint64_t>(
+                persist_stats.number_or("torn_discarded", 0));
+            cell.resumed = doc.bool_or("resumed", false);
+
+            // Exit 3 must mean exactly "torn state was discarded".
+            if ((torn > 0) != cell.torn_recovered) {
+              cell.violation = true;
+              cell.detail = "exit code " + std::to_string(cell.recover_exit) +
+                            " disagrees with persist.torn_discarded=" +
+                            std::to_string(torn);
+            } else {
+              // Invariant 3: decisions byte-identical to the golden run.
+              const auto& decisions = doc.at("decisions").as_array();
+              if (decisions.size() != golden_dumps.size()) {
+                cell.violation = true;
+                cell.detail = "decision count " +
+                              std::to_string(decisions.size()) + " != golden " +
+                              std::to_string(golden_dumps.size());
+              } else {
+                std::size_t diverged = decisions.size();
+                for (std::size_t i = 0; i < decisions.size(); ++i) {
+                  if (decisions[i].dump() != golden_dumps[i]) {
+                    diverged = i;
+                    break;
+                  }
+                }
+                const double recovered_us = doc.number_or("adaptive_us", -1.0);
+                if (diverged != decisions.size()) {
+                  cell.violation = true;
+                  cell.detail =
+                      "decision " + std::to_string(diverged) +
+                      " diverges from golden after restore";
+                } else if (recovered_us != golden_us) {
+                  cell.violation = true;
+                  cell.detail = "adaptive_us " + std::to_string(recovered_us) +
+                                " != golden " + std::to_string(golden_us);
+                } else {
+                  cell.identical = true;
+                  cell.detail =
+                      std::string(cell.resumed ? "resumed" : "cold start") +
+                      (cell.torn_recovered ? ", torn tail discarded" : "") +
+                      ", decisions identical";
+                }
+              }
+            }
+          } catch (const std::exception& e) {
+            cell.violation = true;
+            cell.detail = std::string("decisions file unreadable: ") + e.what();
+          }
+        }
+      }
+
+      if (cell.exercised) ++report.exercised;
+      if (cell.violation) ++report.violations;
+      if (cell.torn_recovered) ++report.torn_recoveries;
+      CIG_LOG_C(cell.violation ? ::cig::LogLevel::Warn : ::cig::LogLevel::Info,
+                "crashtest",
+                cell.seam << " hit " << cell.nth << ": " << cell.detail);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace cig::fault

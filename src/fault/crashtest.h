@@ -1,0 +1,66 @@
+// Crash-point recovery testing: for every persistence seam, run a
+// checkpointed replay in a child process armed to die at the n-th hit of
+// that seam (CIG_CRASH_AT -> fault::CrashInjector), restart it over the
+// same checkpoint directory, and verify the recovery invariants:
+//
+//   1. the restart succeeds (exit 0, or the documented exit 3 when a torn
+//      tail was discarded during recovery);
+//   2. no checksum-invalid state was loaded (enforced by construction in
+//      persist/; a recovery that crashes or errors is a violation here);
+//   3. the decisions after restore are byte-identical to an uninterrupted
+//      golden run, and the adaptive end-to-end time matches exactly.
+//
+// The golden run executes in-process (no checkpoint directory, so no seams
+// fire); children are spawned through std::system so CrashMode::Exit can
+// kill them like a power cut without taking the harness down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace cig::fault {
+
+struct CrashTestOptions {
+  std::string cigtool;              // path of the cigtool binary to spawn
+  std::string board = "tx2";        // preset name or board JSON file
+  std::string scratch_dir = "crashtest-scratch";  // per-cell dirs live here
+  std::vector<std::string> seams;   // empty = persist::crash_seams()
+  std::uint64_t occurrences = 2;    // test the 1st..n-th hit of each seam
+  std::uint64_t snapshot_every = 1; // controller-snapshot cadence (samples)
+};
+
+// One (seam, nth-hit) cell of the crash matrix.
+struct CrashTestCell {
+  std::string seam;
+  std::uint64_t nth = 1;
+  bool exercised = false;       // the armed seam actually fired
+  bool torn_recovered = false;  // recovery discarded torn state (exit 3)
+  bool identical = false;       // post-restore decisions byte-identical
+  bool resumed = false;         // recovery resumed mid-trace (vs cold start)
+  bool violation = false;       // any invariant broken
+  int crash_exit = -1;          // crash child's exit status
+  int recover_exit = -1;        // recovery child's exit status (-1 = not run)
+  std::string detail;           // human-readable outcome / first divergence
+
+  Json to_json() const;
+};
+
+struct CrashTestReport {
+  std::vector<CrashTestCell> cells;
+  std::uint64_t exercised = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t torn_recoveries = 0;
+  std::uint64_t samples = 0;  // golden trace length (decisions compared)
+
+  bool passed() const { return violations == 0 && exercised > 0; }
+  Json to_json() const;
+};
+
+// Runs the full matrix. Throws on setup errors (unknown board, unusable
+// scratch directory); per-cell failures are reported, never thrown.
+CrashTestReport run_crashtest(const CrashTestOptions& options);
+
+}  // namespace cig::fault

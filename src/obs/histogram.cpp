@@ -106,6 +106,55 @@ std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
   return out;
 }
 
+Json Histogram::to_json() const {
+  Json j;
+  // Raw derived geometry, not (floor, ceiling, buckets_per_decade): the
+  // constructor's log10/ceil arithmetic must not be re-run on restore or a
+  // merge() geometry check against a live histogram could fail on the
+  // last-ulp difference.
+  j["floor"] = Json(floor_);
+  j["log_floor"] = Json(log_floor_);
+  j["inv_log_step"] = Json(inv_log_step_);
+  j["log_step"] = Json(log_step_);
+  j["slots"] = Json(static_cast<double>(buckets_.size()));
+  Json nonzero{JsonArray{}};
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    Json pair{JsonArray{}};
+    pair.push_back(Json(static_cast<double>(i)));
+    pair.push_back(Json(static_cast<double>(buckets_[i])));
+    nonzero.push_back(std::move(pair));
+  }
+  j["buckets"] = std::move(nonzero);
+  j["count"] = Json(static_cast<double>(count_));
+  j["sum"] = Json(sum_);
+  j["min"] = Json(min_);
+  j["max"] = Json(max_);
+  return j;
+}
+
+Histogram Histogram::from_json(const Json& j) {
+  Histogram h;
+  h.floor_ = j.number_or("floor", h.floor_);
+  h.log_floor_ = j.number_or("log_floor", h.log_floor_);
+  h.inv_log_step_ = j.number_or("inv_log_step", h.inv_log_step_);
+  h.log_step_ = j.number_or("log_step", h.log_step_);
+  h.buckets_.assign(static_cast<std::size_t>(j.number_or("slots", 1)), 0);
+  for (const Json& pair : j.at("buckets").as_array()) {
+    const JsonArray& slot_count = pair.as_array();
+    const auto slot = static_cast<std::size_t>(slot_count.at(0).as_number());
+    if (slot < h.buckets_.size()) {
+      h.buckets_[slot] =
+          static_cast<std::uint64_t>(slot_count.at(1).as_number());
+    }
+  }
+  h.count_ = static_cast<std::uint64_t>(j.number_or("count", 0));
+  h.sum_ = j.number_or("sum", 0);
+  h.min_ = j.number_or("min", 0);
+  h.max_ = j.number_or("max", 0);
+  return h;
+}
+
 void Histogram::export_to(sim::StatRegistry& registry,
                           const std::string& prefix) const {
   registry.set(prefix + ".count", static_cast<double>(count_));

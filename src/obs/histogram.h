@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/stat_registry.h"
+#include "support/json.h"
 
 namespace cig::obs {
 
@@ -53,6 +54,12 @@ class Histogram {
 
   // Registry export: <prefix>.count/.mean/.min/.max/.p50/.p95/.p99.
   void export_to(sim::StatRegistry& registry, const std::string& prefix) const;
+
+  // Exact state round-trip for checkpoint/restore: geometry is serialized
+  // as the raw derived members (not re-derived from floor/ceiling), so a
+  // restored histogram is bit-identical to the one snapshotted.
+  Json to_json() const;
+  static Histogram from_json(const Json& j);
 
  private:
   std::size_t bucket_index(double value) const;

@@ -1,9 +1,10 @@
 #include "obs/prometheus.h"
 
 #include <cctype>
-#include <fstream>
 #include <set>
 #include <sstream>
+
+#include "persist/atomic_io.h"
 
 namespace cig::obs {
 
@@ -68,9 +69,9 @@ std::string to_prometheus(const sim::StatRegistry& registry) {
 
 void write_prometheus(const sim::StatRegistry& registry,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << to_prometheus(registry);
+  // Atomic replace: a crash (or an exception upstream) never leaves a
+  // truncated snapshot a scraper would ingest as valid-but-empty.
+  persist::atomic_write_file(path, to_prometheus(registry));
 }
 
 }  // namespace cig::obs

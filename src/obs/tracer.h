@@ -81,6 +81,12 @@ class Tracer {
   std::uint64_t flow_begin(sim::Lane lane, std::string name);
   void flow_end(std::uint64_t id, sim::Lane lane, std::string name);
 
+  // The id the next flow_begin will allocate. Checkpoint/restore carries
+  // this across process restarts so flow ids recorded in restored decision
+  // provenance match an uninterrupted run byte for byte.
+  std::uint64_t next_flow_id() const { return next_flow_id_; }
+  void set_next_flow_id(std::uint64_t id) { next_flow_id_ = id; }
+
   // --- results -------------------------------------------------------------
   sim::Timeline& timeline() { return timeline_; }
   const sim::Timeline& timeline() const { return timeline_; }

@@ -1,0 +1,115 @@
+#include "persist/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "persist/seam.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cig::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("atomic write " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+#ifndef _WIN32
+
+// RAII fd so every error path closes the descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int close() {
+    int rc = 0;
+    if (fd_ >= 0) {
+      rc = ::close(fd_);
+      fd_ = -1;
+    }
+    return rc;
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path, "write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  seam("atomic.open");
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (!fd.valid()) fail(tmp, "open");
+  // Two writes around the mid-write seam so a crash there leaves a
+  // genuinely torn temp file for recovery tests to trip over.
+  const std::size_t half = content.size() / 2;
+  write_all(fd.get(), content.data(), half, tmp);
+  seam("atomic.mid_write");
+  write_all(fd.get(), content.data() + half, content.size() - half, tmp);
+  seam("atomic.pre_sync");
+  if (::fsync(fd.get()) != 0) fail(tmp, "fsync");
+  if (fd.close() != 0) fail(tmp, "close");
+  seam("atomic.pre_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail(path, "rename");
+  seam("atomic.post_rename");
+  // Make the rename itself durable: sync the containing directory.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  Fd dfd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (dfd.valid()) {
+    if (::fsync(dfd.get()) != 0) fail(dir, "fsync dir");
+  }
+#else
+  // No fsync on this platform; keep the write-then-rename shape so readers
+  // still never observe a torn file.
+  seam("atomic.open");
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) fail(tmp, "open");
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), out);
+    const bool ok = written == content.size() && std::fclose(out) == 0;
+    if (!ok) fail(tmp, "write");
+  }
+  seam("atomic.pre_rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw std::runtime_error("atomic write " + path +
+                                   ": rename: " + ec.message());
+  seam("atomic.post_rename");
+#endif
+}
+
+}  // namespace cig::persist

@@ -1,0 +1,23 @@
+// Atomic file replacement: the write primitive every persistent output in
+// the tree goes through (snapshots, --metrics-out / --trace-out /
+// --bench-out files).
+//
+//   write <path>.tmp  ->  fsync(tmp)  ->  rename(tmp, path)  ->  fsync(dir)
+//
+// A crash at any instruction leaves either the previous complete file or
+// the new complete file — never a truncated mix a downstream parser would
+// read as valid-but-empty. Leftover .tmp files are inert: nothing ever
+// reads them, and the next write truncates them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cig::persist {
+
+// Atomically replaces `path` with `content`. The parent directory must
+// exist. Throws std::runtime_error (with errno text) on I/O failure; on
+// failure the previous file content, if any, is still intact.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace cig::persist

@@ -1,0 +1,74 @@
+#include "persist/codec.h"
+
+#include "support/hash.h"
+
+namespace cig::persist {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void append_record(std::string& out, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, support::fnv1a64(payload));
+  out.append(payload.data(), payload.size());
+}
+
+std::string encode_record(std::string_view payload) {
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  append_record(out, payload);
+  return out;
+}
+
+DecodedRecords decode_records(std::string_view data) {
+  DecodedRecords out;
+  std::size_t offset = 0;
+  while (data.size() - offset >= kRecordHeaderBytes) {
+    const std::uint32_t length = get_u32(data.data() + offset);
+    if (length > kMaxRecordBytes) break;
+    if (data.size() - offset - kRecordHeaderBytes < length) break;
+    const std::uint64_t checksum = get_u64(data.data() + offset + 4);
+    const std::string_view payload =
+        data.substr(offset + kRecordHeaderBytes, length);
+    if (support::fnv1a64(payload) != checksum) break;
+    out.payloads.emplace_back(payload);
+    offset += kRecordHeaderBytes + length;
+  }
+  out.valid_bytes = offset;
+  out.torn_bytes = data.size() - offset;
+  out.torn = out.torn_bytes > 0;
+  return out;
+}
+
+}  // namespace cig::persist

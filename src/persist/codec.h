@@ -1,0 +1,41 @@
+// Record framing shared by snapshot files and journals: length-prefixed,
+// per-record checksummed, so torn or bit-flipped state is detected and
+// rejected instead of parsed.
+//
+//   record := u32 payload_length (LE) | u64 fnv1a64(payload) (LE) | payload
+//
+// Decoding walks records from the front and stops at the first frame whose
+// header is truncated, whose length is implausible, or whose checksum does
+// not match its payload. Everything before that offset is intact state;
+// everything from it on is the "torn tail" a recovering reader truncates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cig::persist {
+
+// Upper bound on a single record; a length field above this is read as
+// corruption, not as a 4 GB allocation request.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+// Bytes of framing added in front of every payload (u32 length + u64 sum).
+constexpr std::size_t kRecordHeaderBytes = 12;
+
+// Frames one payload; appends to `out`.
+void append_record(std::string& out, std::string_view payload);
+std::string encode_record(std::string_view payload);
+
+struct DecodedRecords {
+  std::vector<std::string> payloads;  // intact records, in order
+  std::size_t valid_bytes = 0;        // prefix covered by intact records
+  bool torn = false;                  // bytes remained past valid_bytes
+  std::size_t torn_bytes = 0;         // how many
+};
+
+// Decodes as many intact records as the prefix of `data` holds.
+DecodedRecords decode_records(std::string_view data);
+
+}  // namespace cig::persist

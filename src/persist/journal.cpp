@@ -1,0 +1,143 @@
+#include "persist/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "persist/codec.h"
+#include "persist/seam.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cig::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("journal " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  if (fs::exists(path_, ec) && !ec) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw std::runtime_error("journal " + path_ + ": cannot read");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string blob = text.str();
+
+    DecodedRecords decoded = decode_records(blob);
+    records_ = std::move(decoded.payloads);
+    size_bytes_ = decoded.valid_bytes;
+    recovery_.records = records_.size();
+    recovery_.torn = decoded.torn;
+    recovery_.torn_bytes = decoded.torn_bytes;
+    std::uint64_t offset = 0;
+    for (const auto& record : records_) {
+      offset += kRecordHeaderBytes + record.size();
+      record_ends_.push_back(offset);
+    }
+    if (decoded.torn) {
+      // Truncate the torn tail in place so the next append continues from
+      // intact state instead of burying garbage mid-file.
+      fs::resize_file(path_, size_bytes_, ec);
+      if (ec) {
+        throw std::runtime_error("journal " + path_ +
+                                 ": cannot truncate torn tail: " +
+                                 ec.message());
+      }
+    }
+  }
+  open_for_append();
+}
+
+Journal::~Journal() {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void Journal::open_for_append() {
+#ifndef _WIN32
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) fail(path_, "open");
+#else
+  // Existence check only; appends reopen via stdio.
+  std::ofstream touch(path_, std::ios::binary | std::ios::app);
+  if (!touch) throw std::runtime_error("journal " + path_ + ": cannot open");
+#endif
+}
+
+void Journal::append(std::string_view payload) {
+  const std::string frame = encode_record(payload);
+  seam("journal.pre_append");
+#ifndef _WIN32
+  // Two writes around the mid-append seam: a crash there leaves a torn
+  // record for recovery to truncate.
+  const std::size_t half = frame.size() / 2;
+  const char* data = frame.data();
+  std::size_t remaining = half;
+  bool mid_fired = false;
+  while (true) {
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, data, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail(path_, "write");
+      }
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
+    if (mid_fired) break;
+    seam("journal.mid_append");
+    mid_fired = true;
+    remaining = frame.size() - half;
+  }
+  seam("journal.post_append");
+  if (::fsync(fd_) != 0) fail(path_, "fsync");
+#else
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  seam("journal.mid_append");
+  out.flush();
+  if (!out) throw std::runtime_error("journal " + path_ + ": write failed");
+  seam("journal.post_append");
+#endif
+  records_.emplace_back(payload);
+  size_bytes_ += frame.size();
+  record_ends_.push_back(size_bytes_);
+}
+
+void Journal::truncate_records(std::uint64_t count) {
+  if (count >= records_.size()) return;
+  const std::uint64_t keep_bytes = count == 0 ? 0 : record_ends_[count - 1];
+#ifndef _WIN32
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
+    fail(path_, "ftruncate");
+  }
+#else
+  std::error_code ec;
+  fs::resize_file(path_, keep_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("journal " + path_ +
+                             ": cannot truncate: " + ec.message());
+  }
+#endif
+  records_.resize(count);
+  record_ends_.resize(count);
+  size_bytes_ = keep_bytes;
+}
+
+}  // namespace cig::persist

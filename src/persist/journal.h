@@ -1,0 +1,57 @@
+// Append-only journal with crash recovery: framed, checksummed records
+// (persist/codec.h) appended with an fsync per record.
+//
+// Opening a journal runs recovery: the file is scanned front to back, every
+// intact record is loaded, and the torn tail a crashed writer may have left
+// — a partial frame, a checksum mismatch — is truncated in place so the
+// next append extends valid state. Records are opaque byte strings to this
+// layer; callers put JSON in them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cig::persist {
+
+class Journal {
+ public:
+  struct Recovery {
+    std::uint64_t records = 0;     // intact records found on open
+    bool torn = false;             // a torn tail was truncated
+    std::uint64_t torn_bytes = 0;  // bytes discarded by that truncation
+  };
+
+  // Opens (creating if absent) and recovers. Throws std::runtime_error when
+  // the file cannot be opened, read, or truncated.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const Recovery& recovery() const { return recovery_; }
+  const std::vector<std::string>& records() const { return records_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t size_bytes() const { return size_bytes_; }
+
+  // Appends one record and fsyncs. Throws on I/O failure; on failure the
+  // on-disk tail may be torn, which the next open's recovery truncates.
+  void append(std::string_view payload);
+
+  // Drops every record past the first `count` (in memory and on disk) —
+  // used when a snapshot proves the tail redundant. Throws on I/O failure.
+  void truncate_records(std::uint64_t count);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  int fd_ = -1;  // -1 on platforms without POSIX fds (stdio fallback)
+  std::vector<std::string> records_;
+  std::vector<std::uint64_t> record_ends_;  // byte offset after record i
+  std::uint64_t size_bytes_ = 0;            // valid bytes on disk
+  Recovery recovery_;
+};
+
+}  // namespace cig::persist

@@ -1,0 +1,31 @@
+#include "persist/seam.h"
+
+namespace cig::persist {
+
+namespace {
+SeamHook g_hook = nullptr;
+}  // namespace
+
+void set_seam_hook(SeamHook hook) { g_hook = hook; }
+
+SeamHook seam_hook() { return g_hook; }
+
+void seam(const char* name) {
+  if (g_hook != nullptr) g_hook(name);
+}
+
+const std::vector<std::string>& crash_seams() {
+  static const std::vector<std::string> kSeams = {
+      "atomic.open",        // temp file created, nothing written
+      "atomic.mid_write",   // half the content written (torn temp file)
+      "atomic.pre_sync",    // content complete, not yet fsync'd
+      "atomic.pre_rename",  // temp durable, target still the old version
+      "atomic.post_rename", // target replaced, directory not yet sync'd
+      "journal.pre_append", // record not yet started
+      "journal.mid_append", // record header + partial payload (torn tail)
+      "journal.post_append",// record complete, not yet fsync'd
+  };
+  return kSeams;
+}
+
+}  // namespace cig::persist

@@ -1,0 +1,39 @@
+// Crash seams: named instruction points inside the persistence primitives
+// where a crash test can kill (or simulate killing) the process.
+//
+// Every state-mutating step of atomic_write_file() and Journal::append()
+// calls seam("<name>") before/after the interesting instruction. In
+// production the hook is null and a seam is a single branch; under
+// `cigtool crashtest` (or a unit test) fault::CrashInjector installs a hook
+// that aborts the process — or throws, for in-process tests — at the n-th
+// hit of a chosen seam, so recovery can be verified at *every* point a real
+// `kill -9` could land.
+//
+// The hook lives here, not in src/fault, so the persistence layer stays at
+// the bottom of the dependency stack (persist -> support only); fault
+// depends on persist, never the reverse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cig::persist {
+
+// Invoked with the seam name at every registered persistence seam. May
+// throw (simulated in-process crash) or never return (process abort).
+using SeamHook = void (*)(const char* seam);
+
+// Installs/replaces the process-wide hook (nullptr uninstalls).
+void set_seam_hook(SeamHook hook);
+SeamHook seam_hook();
+
+// Fires the hook (no-op when none is installed).
+void seam(const char* name);
+
+// The canonical seam catalogue in execution order — what `cigtool
+// crashtest` iterates over. Every name here is reachable from a
+// checkpointed replay (snapshot writes hit the atomic.* seams, sample
+// journal appends hit the journal.* seams).
+const std::vector<std::string>& crash_seams();
+
+}  // namespace cig::persist

@@ -1,0 +1,88 @@
+#include "persist/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "persist/atomic_io.h"
+#include "persist/codec.h"
+
+namespace cig::persist {
+
+namespace {
+constexpr const char* kFormatTag = "cig-snapshot";
+}  // namespace
+
+void write_snapshot(const std::string& path, const SnapshotFile& snapshot) {
+  Json header;
+  header["format"] = Json(std::string(kFormatTag));
+  header["kind"] = Json(snapshot.kind);
+  header["version"] = Json(snapshot.version);
+
+  std::string blob;
+  append_record(blob, header.dump());
+  for (const auto& record : snapshot.records) {
+    append_record(blob, record.dump());
+  }
+  atomic_write_file(path, blob);
+}
+
+SnapshotLoad load_snapshot(const std::string& path, const std::string& kind,
+                           int expected_version) {
+  SnapshotLoad out;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return out;
+  out.present = true;
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string blob = text.str();
+
+  const DecodedRecords decoded = decode_records(blob);
+  // A snapshot is all-or-nothing: the file was written atomically, so a
+  // torn tail means external damage — reject everything rather than load a
+  // prefix of somebody's state.
+  if (decoded.torn) {
+    out.torn = true;
+    out.error = "torn/corrupt records after byte " +
+                std::to_string(decoded.valid_bytes);
+    return out;
+  }
+  if (decoded.payloads.empty()) {
+    out.torn = !blob.empty();
+    out.error = "no header record";
+    return out;
+  }
+
+  try {
+    const Json header = Json::parse(decoded.payloads.front());
+    if (header.string_or("format", "") != kFormatTag) {
+      out.error = "not a cig-snapshot file";
+      return out;
+    }
+    if (header.string_or("kind", "") != kind) {
+      out.error = "kind mismatch: got '" + header.string_or("kind", "") +
+                  "', want '" + kind + "'";
+      return out;
+    }
+    const int version = static_cast<int>(header.number_or("version", -1));
+    if (version != expected_version) {
+      out.error = "version mismatch: got " + std::to_string(version) +
+                  ", want " + std::to_string(expected_version);
+      return out;
+    }
+    out.snapshot.kind = kind;
+    out.snapshot.version = version;
+    for (std::size_t i = 1; i < decoded.payloads.size(); ++i) {
+      out.snapshot.records.push_back(Json::parse(decoded.payloads[i]));
+    }
+  } catch (const std::exception& error) {
+    out.error = std::string("unparsable record: ") + error.what();
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace cig::persist

@@ -1,0 +1,44 @@
+// Versioned snapshot files: a whole-state dump written atomically and
+// validated record-by-record on load.
+//
+// Layout: a sequence of framed records (persist/codec.h). Record 0 is the
+// header, a JSON document
+//
+//   { "format": "cig-snapshot", "kind": "<producer>", "version": N }
+//
+// and the remaining records are JSON documents supplied by the producer.
+// Because the file is written through atomic_write_file(), a reader either
+// sees a complete snapshot or the previous one; any checksum or framing
+// damage (external corruption, partial copy) rejects the whole snapshot —
+// checksum-invalid state is never loaded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace cig::persist {
+
+struct SnapshotFile {
+  std::string kind;
+  int version = 0;
+  std::vector<Json> records;  // payload records (header excluded)
+};
+
+// Serialises and atomically replaces `path`. Throws on I/O failure.
+void write_snapshot(const std::string& path, const SnapshotFile& snapshot);
+
+struct SnapshotLoad {
+  bool present = false;  // a file existed at `path`
+  bool valid = false;    // framing + checksums + kind/version all accepted
+  bool torn = false;     // framing/checksum damage was detected
+  std::string error;     // why `valid` is false (empty when valid)
+  SnapshotFile snapshot;
+};
+
+// Loads and validates; never throws on bad content (only `valid=false`).
+SnapshotLoad load_snapshot(const std::string& path, const std::string& kind,
+                           int expected_version);
+
+}  // namespace cig::persist

@@ -27,4 +27,55 @@ std::string ProfileReport::to_string() const {
   return out.str();
 }
 
+Json ProfileReport::to_json() const {
+  Json j;
+  j["workload"] = Json(workload);
+  j["board"] = Json(board);
+  j["model"] = Json(std::string(comm::model_name(model)));
+  j["iterations"] = Json(static_cast<double>(iterations));
+  j["cpu_l1_miss_rate"] = Json(cpu_l1_miss_rate);
+  j["cpu_llc_miss_rate"] = Json(cpu_llc_miss_rate);
+  j["gpu_l1_hit_rate"] = Json(gpu_l1_hit_rate);
+  j["gpu_llc_hit_rate"] = Json(gpu_llc_hit_rate);
+  j["gpu_transactions"] = Json(gpu_transactions);
+  j["gpu_transaction_size"] = Json(gpu_transaction_size);
+  j["kernel_time"] = Json(kernel_time);
+  j["cpu_time"] = Json(cpu_time);
+  j["copy_time"] = Json(copy_time);
+  j["total_time"] = Json(total_time);
+  j["gpu_ll_throughput"] = Json(gpu_ll_throughput);
+  j["cpu_ll_throughput"] = Json(cpu_ll_throughput);
+  j["energy"] = Json(energy);
+  j["average_power"] = Json(average_power);
+  return j;
+}
+
+ProfileReport ProfileReport::from_json(const Json& j) {
+  ProfileReport r;
+  r.workload = j.string_or("workload", "");
+  r.board = j.string_or("board", "");
+  const std::string model_name = j.string_or("model", "SC");
+  for (const comm::CommModel m :
+       {comm::CommModel::StandardCopy, comm::CommModel::UnifiedMemory,
+        comm::CommModel::ZeroCopy}) {
+    if (model_name == comm::model_name(m)) r.model = m;
+  }
+  r.iterations = static_cast<std::uint32_t>(j.number_or("iterations", 1));
+  r.cpu_l1_miss_rate = j.number_or("cpu_l1_miss_rate", 0);
+  r.cpu_llc_miss_rate = j.number_or("cpu_llc_miss_rate", 0);
+  r.gpu_l1_hit_rate = j.number_or("gpu_l1_hit_rate", 0);
+  r.gpu_llc_hit_rate = j.number_or("gpu_llc_hit_rate", 0);
+  r.gpu_transactions = j.number_or("gpu_transactions", 0);
+  r.gpu_transaction_size = j.number_or("gpu_transaction_size", 0);
+  r.kernel_time = j.number_or("kernel_time", 0);
+  r.cpu_time = j.number_or("cpu_time", 0);
+  r.copy_time = j.number_or("copy_time", 0);
+  r.total_time = j.number_or("total_time", 0);
+  r.gpu_ll_throughput = j.number_or("gpu_ll_throughput", 0);
+  r.cpu_ll_throughput = j.number_or("cpu_ll_throughput", 0);
+  r.energy = j.number_or("energy", 0);
+  r.average_power = j.number_or("average_power", 0);
+  return r;
+}
+
 }  // namespace cig::profile

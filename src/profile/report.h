@@ -7,6 +7,7 @@
 #include <string>
 
 #include "comm/model.h"
+#include "support/json.h"
 #include "support/units.h"
 
 namespace cig::profile {
@@ -42,6 +43,11 @@ struct ProfileReport {
   Watts average_power = 0;
 
   std::string to_string() const;
+
+  // Exact field-for-field round-trip (checkpoint/restore of the runtime
+  // controller serializes the EWMA/window state as ProfileReports).
+  Json to_json() const;
+  static ProfileReport from_json(const Json& j);
 };
 
 }  // namespace cig::profile

@@ -1,0 +1,209 @@
+#include "runtime/checkpoint.h"
+
+#include <filesystem>
+
+#include "persist/snapshot.h"
+#include "support/log.h"
+
+namespace cig::runtime {
+
+namespace fs = std::filesystem;
+
+void PersistStats::export_to(sim::StatRegistry& registry) const {
+  registry.set("persist.recovered", static_cast<double>(recovered));
+  registry.set("persist.torn_discarded", static_cast<double>(torn_discarded));
+  registry.set("persist.torn_bytes", static_cast<double>(torn_bytes));
+  registry.set("persist.tail_dropped", static_cast<double>(tail_dropped));
+  registry.set("persist.snapshot_rejected",
+               static_cast<double>(snapshot_rejected));
+  registry.set("persist.snapshot_writes",
+               static_cast<double>(snapshot_writes));
+  registry.set("persist.appends", static_cast<double>(appends));
+  registry.set("persist.resumed", static_cast<double>(resumed));
+  registry.set("persist.resume_sample", static_cast<double>(resume_sample));
+}
+
+Json PersistStats::to_json() const {
+  Json j;
+  j["recovered"] = Json(static_cast<double>(recovered));
+  j["torn_discarded"] = Json(static_cast<double>(torn_discarded));
+  j["torn_bytes"] = Json(static_cast<double>(torn_bytes));
+  j["tail_dropped"] = Json(static_cast<double>(tail_dropped));
+  j["snapshot_rejected"] = Json(static_cast<double>(snapshot_rejected));
+  j["snapshot_writes"] = Json(static_cast<double>(snapshot_writes));
+  j["appends"] = Json(static_cast<double>(appends));
+  j["resumed"] = Json(static_cast<double>(resumed));
+  j["resume_sample"] = Json(static_cast<double>(resume_sample));
+  return j;
+}
+
+ReplayCheckpoint::ReplayCheckpoint(const CheckpointConfig& config)
+    : config_(config) {
+  if (config_.snapshot_every == 0) config_.snapshot_every = 1;
+  if (config_.dir.empty()) return;
+
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) {
+    disable("cannot create '" + config_.dir + "': " + ec.message());
+    return;
+  }
+  snapshot_path_ = (fs::path(config_.dir) / "controller.snap").string();
+
+  try {
+    journal_ = std::make_unique<persist::Journal>(
+        (fs::path(config_.dir) / "samples.journal").string());
+  } catch (const std::exception& e) {
+    disable(e.what());
+    return;
+  }
+  enabled_ = true;
+
+  const auto& recovery = journal_->recovery();
+  stats_.recovered = recovery.records;
+  if (recovery.torn) {
+    stats_.torn_discarded += 1;
+    stats_.torn_bytes += recovery.torn_bytes;
+    CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+              "journal recovery truncated a torn tail ("
+                  << recovery.torn_bytes << " bytes after "
+                  << recovery.records << " intact records)");
+  }
+
+  // Reconcile the snapshot against the journal into one resume point.
+  const persist::SnapshotLoad snap =
+      persist::load_snapshot(snapshot_path_, kSnapshotKind, kSnapshotVersion);
+  std::uint64_t next_sample = 0;
+  bool snapshot_ok = false;
+  if (snap.present) {
+    if (!snap.valid) {
+      stats_.snapshot_rejected += 1;
+      if (snap.torn) stats_.torn_discarded += 1;
+      CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+                "controller snapshot rejected (" << snap.error
+                                                 << "); cold-starting");
+    } else if (snap.snapshot.records.size() != 2) {
+      stats_.snapshot_rejected += 1;
+      CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+                "controller snapshot malformed ("
+                    << snap.snapshot.records.size()
+                    << " records, expected 2); cold-starting");
+    } else {
+      next_sample = static_cast<std::uint64_t>(
+          snap.snapshot.records[0].number_or("next_sample", 0));
+      if (next_sample > journal_->records().size()) {
+        // The snapshot claims samples the journal never saw — the pair is
+        // inconsistent (external tampering or a lost journal); trust
+        // neither.
+        stats_.snapshot_rejected += 1;
+        CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+                  "controller snapshot covers "
+                      << next_sample << " samples but the journal holds "
+                      << journal_->records().size() << "; cold-starting");
+        next_sample = 0;
+      } else {
+        snapshot_ok = true;
+      }
+    }
+  }
+
+  try {
+    if (!snapshot_ok) {
+      // Cold start: without a restorable controller the journaled samples
+      // cannot be folded in, so the run restarts from sample 0.
+      stats_.tail_dropped += journal_->records().size();
+      journal_->truncate_records(0);
+      return;
+    }
+    // Journal records past the snapshot describe samples whose controller
+    // state was lost with the crash; the live loop re-runs them, so drop
+    // them to keep the journal == executed-prefix invariant.
+    if (journal_->records().size() > next_sample) {
+      stats_.tail_dropped += journal_->records().size() - next_sample;
+      journal_->truncate_records(next_sample);
+    }
+  } catch (const std::exception& e) {
+    disable(e.what());
+    return;
+  }
+
+  controller_state_ = snap.snapshot.records[1];
+  resume_sample_ = next_sample;
+  has_snapshot_ = true;
+  records_.reserve(journal_->records().size());
+  for (const std::string& payload : journal_->records()) {
+    try {
+      records_.push_back(Json::parse(payload));
+    } catch (const std::exception& e) {
+      // A checksummed record that fails to parse means the writer was
+      // broken, not the disk; safest is a cold start.
+      CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+                "journal record unparsable despite valid checksum ("
+                    << e.what() << "); cold-starting");
+      invalidate_snapshot("unparsable journal record");
+      return;
+    }
+  }
+  stats_.resumed = 1;
+  stats_.resume_sample = resume_sample_;
+}
+
+void ReplayCheckpoint::disable(const std::string& why) {
+  enabled_ = false;
+  has_snapshot_ = false;
+  journal_.reset();
+  CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+            "checkpointing disabled: " << why);
+}
+
+void ReplayCheckpoint::append_sample(const Json& record) {
+  if (!enabled_) return;
+  try {
+    journal_->append(record.dump());
+    stats_.appends += 1;
+  } catch (const std::exception& e) {
+    disable(e.what());
+  }
+}
+
+void ReplayCheckpoint::write_snapshot(std::uint64_t next_sample,
+                                      const Json& controller_state) {
+  if (!enabled_) return;
+  persist::SnapshotFile snapshot;
+  snapshot.kind = kSnapshotKind;
+  snapshot.version = kSnapshotVersion;
+  Json meta;
+  meta["next_sample"] = Json(static_cast<double>(next_sample));
+  snapshot.records.push_back(std::move(meta));
+  snapshot.records.push_back(controller_state);
+  try {
+    persist::write_snapshot(snapshot_path_, snapshot);
+    stats_.snapshot_writes += 1;
+  } catch (const std::exception& e) {
+    disable(e.what());
+  }
+}
+
+void ReplayCheckpoint::invalidate_snapshot(const std::string& why) {
+  stats_.snapshot_rejected += 1;
+  stats_.resumed = 0;
+  stats_.resume_sample = 0;
+  has_snapshot_ = false;
+  resume_sample_ = 0;
+  records_.clear();
+  controller_state_ = Json();
+  CIG_LOG_C(::cig::LogLevel::Warn, "persist",
+            "controller snapshot invalidated (" << why
+                                                << "); cold-starting");
+  std::error_code ec;
+  fs::remove(snapshot_path_, ec);
+  if (!enabled_) return;
+  try {
+    stats_.tail_dropped += journal_->records().size();
+    journal_->truncate_records(0);
+  } catch (const std::exception& e) {
+    disable(e.what());
+  }
+}
+
+}  // namespace cig::runtime

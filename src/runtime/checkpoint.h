@@ -1,0 +1,113 @@
+// Crash-safe checkpointing for the adaptive-controller replay.
+//
+// Two files under the checkpoint directory cooperate:
+//
+//   samples.journal   — one framed, checksummed record per completed sample
+//                       (persist/journal.h): the phase/model/decision tuple
+//                       replay needs to re-execute the sample against a
+//                       fresh SoC.
+//   controller.snap   — an atomically-replaced snapshot (persist/snapshot.h)
+//                       of the full AdaptiveController state, written every
+//                       `snapshot_every` samples and once at the end.
+//
+// Recovery contract: on open, the journal's torn tail (if a crash landed
+// mid-append) is truncated, the snapshot is validated whole-file (torn or
+// checksum-damaged snapshots are rejected outright — checksum-invalid state
+// is never loaded), and the journal is reconciled against the snapshot's
+// next_sample so the pair always describes one consistent resume point.
+// replay_phasic then re-executes the journaled prefix against a reset SoC
+// (deterministic, tracer detached), restores the controller, and continues
+// live — producing decisions byte-identical to an uninterrupted run.
+//
+// Every step is counted in PersistStats (exported as `persist.*`). All I/O
+// failures degrade to "checkpointing disabled" with one warning; a replay
+// never fails because its checkpoint directory does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/journal.h"
+#include "sim/stat_registry.h"
+#include "support/json.h"
+
+namespace cig::runtime {
+
+struct CheckpointConfig {
+  std::string dir;  // empty = checkpointing disabled
+  // Controller-snapshot cadence in samples (the journal gets every sample
+  // regardless). Larger values trade fewer atomic writes for a longer
+  // re-execution prefix after a crash.
+  std::uint64_t snapshot_every = 1;
+};
+
+// What persistence did during recovery and the run; exported as persist.*.
+struct PersistStats {
+  std::uint64_t recovered = 0;          // intact journal records recovered
+  std::uint64_t torn_discarded = 0;     // torn tails / torn snapshots dropped
+  std::uint64_t torn_bytes = 0;         // bytes discarded with them
+  std::uint64_t tail_dropped = 0;       // journal records past the snapshot
+  std::uint64_t snapshot_rejected = 0;  // snapshots refused (damage/mismatch)
+  std::uint64_t snapshot_writes = 0;    // snapshots written this run
+  std::uint64_t appends = 0;            // journal records appended this run
+  std::uint64_t resumed = 0;            // 1 when the run resumed mid-trace
+  std::uint64_t resume_sample = 0;      // first live sample index
+
+  void export_to(sim::StatRegistry& registry) const;
+  Json to_json() const;
+};
+
+class ReplayCheckpoint {
+ public:
+  static constexpr const char* kSnapshotKind = "cig-controller-checkpoint";
+  static constexpr int kSnapshotVersion = 1;
+
+  // Opens (creating the directory if needed) and recovers. Never throws:
+  // an unusable directory disables checkpointing with one warning.
+  explicit ReplayCheckpoint(const CheckpointConfig& config);
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t snapshot_every() const { return config_.snapshot_every; }
+
+  // True when recovery produced a consistent (snapshot, journal-prefix)
+  // pair to resume from.
+  bool has_snapshot() const { return has_snapshot_; }
+  // The controller state to restore (valid only when has_snapshot()).
+  const Json& controller_state() const { return controller_state_; }
+  // First sample index the live loop should execute. Equals the number of
+  // journaled records to re-execute for the SoC rebuild.
+  std::uint64_t resume_sample() const { return resume_sample_; }
+  // The journaled per-sample records covering [0, resume_sample()).
+  const std::vector<Json>& records() const { return records_; }
+
+  // Appends one completed sample record; fsynced before return. I/O errors
+  // disable checkpointing (the run continues).
+  void append_sample(const Json& record);
+
+  // Atomically replaces the controller snapshot: `next_sample` samples are
+  // folded into `controller_state`.
+  void write_snapshot(std::uint64_t next_sample, const Json& controller_state);
+
+  // Called when AdaptiveController::restore rejected controller_state()
+  // (config fingerprint changed): drop snapshot + journal and cold-start.
+  void invalidate_snapshot(const std::string& why);
+
+  const PersistStats& stats() const { return stats_; }
+
+ private:
+  void disable(const std::string& why);
+
+  CheckpointConfig config_;
+  bool enabled_ = false;
+  bool has_snapshot_ = false;
+  std::uint64_t resume_sample_ = 0;
+  std::vector<Json> records_;
+  Json controller_state_;
+  std::string snapshot_path_;
+  std::unique_ptr<persist::Journal> journal_;
+  PersistStats stats_;
+};
+
+}  // namespace cig::runtime

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
+#include "core/microbench.h"
 #include "support/assert.h"
+#include "support/hash.h"
 
 namespace cig::runtime {
 
@@ -16,6 +19,35 @@ std::string switch_label(comm::CommModel from, comm::CommModel to,
   out.precision(3);
   out << " (pred " << predicted << "x)";
   return out.str();
+}
+
+comm::CommModel parse_model(const std::string& name) {
+  for (const comm::CommModel m : core::kAllModels) {
+    if (name == comm::model_name(m)) return m;
+  }
+  throw std::runtime_error("controller snapshot: unknown model \"" + name +
+                           "\"");
+}
+
+// Fingerprint of everything the restored controller assumes matches the
+// snapshotting run: board identity plus the full ControllerConfig. A
+// snapshot taken under a different config would restore cleanly but then
+// diverge silently, so restore() refuses it instead.
+std::string config_fingerprint(const ControllerConfig& c,
+                               const soc::BoardConfig& board) {
+  std::ostringstream out;
+  out.precision(17);
+  out << board.name << '|' << c.window.capacity << '|' << c.window.ewma_alpha
+      << '|' << c.hysteresis.margin_frac << '|' << c.hysteresis.confirm_samples
+      << '|' << c.amortization_horizon_iters << '|' << c.min_samples << '|'
+      << comm::model_name(c.initial_model) << '|' << c.zc_saturation_pct << '|'
+      << c.guard.enabled << '|' << c.guard.mad_k << '|'
+      << c.guard.mad_min_samples << '|' << c.guard.history << '|'
+      << c.guard.regime_change_after << '|' << c.guard.rollback_threshold
+      << '|' << c.guard.quarantine_after << '|' << c.guard.cooldown_decisions
+      << '|' << c.guard.watchdog_window << '|'
+      << c.guard.max_switches_in_window << '|' << c.guard.pin_decisions;
+  return support::fnv1a64_hex(support::fnv1a64(out.str()));
 }
 
 }  // namespace
@@ -374,6 +406,57 @@ void AdaptiveController::finish() {
   tracer_.set_now(now_);
   tracer_.flow_end(pending_flow_id_, sim::Lane::Ctrl, pending_flow_name_);
   pending_flow_id_ = 0;
+}
+
+Json AdaptiveController::snapshot() const {
+  Json j;
+  j["fingerprint"] = Json(config_fingerprint(config_, executor_.board()));
+  j["model"] = Json(std::string(comm::model_name(model_)));
+  j["now"] = Json(now_);
+  j["window"] = window_.snapshot();
+  j["zone_tracker"] = zone_tracker_.snapshot();
+  j["cpu_band"] = cpu_band_.snapshot();
+  j["metrics"] = metrics_.to_json();
+  j["sample_guard"] = sample_guard_.snapshot();
+  j["switch_guard"] = switch_guard_.snapshot();
+  j["pending_flow_id"] = Json(pending_flow_id_);
+  j["pending_flow_name"] = Json(pending_flow_name_);
+  j["verify_pending"] = Json(verify_pending_);
+  j["pre_switch_iter_time"] = Json(pre_switch_iter_time_);
+  j["pending_predicted"] = Json(pending_predicted_);
+  j["rollback_model"] = Json(std::string(comm::model_name(rollback_model_)));
+  j["tracer_next_flow_id"] = Json(tracer_.next_flow_id());
+  return j;
+}
+
+void AdaptiveController::restore(const Json& snapshot) {
+  const std::string expected = config_fingerprint(config_, executor_.board());
+  const std::string found = snapshot.string_or("fingerprint", "");
+  if (found != expected) {
+    throw std::runtime_error(
+        "controller snapshot fingerprint mismatch (snapshot " + found +
+        ", this run " + expected + "): config or board changed");
+  }
+  model_ = parse_model(snapshot.at("model").as_string());
+  rollback_model_ = parse_model(snapshot.at("rollback_model").as_string());
+  window_.restore(snapshot.at("window"));
+  // Full band state (boundary + debounce) travels in the snapshot, so no
+  // arm_tracker() here — the restored boundaries already reflect model_.
+  zone_tracker_.restore(snapshot.at("zone_tracker"));
+  cpu_band_.restore(snapshot.at("cpu_band"));
+  metrics_ = RuntimeMetrics::from_json(snapshot.at("metrics"));
+  sample_guard_.restore(snapshot.at("sample_guard"));
+  switch_guard_.restore(snapshot.at("switch_guard"));
+  pending_flow_id_ =
+      static_cast<std::uint64_t>(snapshot.number_or("pending_flow_id", 0));
+  pending_flow_name_ = snapshot.string_or("pending_flow_name", "");
+  verify_pending_ = snapshot.bool_or("verify_pending", false);
+  pre_switch_iter_time_ = snapshot.number_or("pre_switch_iter_time", 0);
+  pending_predicted_ = snapshot.number_or("pending_predicted", 1.0);
+  now_ = snapshot.number_or("now", 0);
+  tracer_.set_now(now_);
+  tracer_.set_next_flow_id(static_cast<std::uint64_t>(
+      snapshot.number_or("tracer_next_flow_id", 1)));
 }
 
 }  // namespace cig::runtime

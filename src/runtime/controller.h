@@ -124,6 +124,19 @@ class AdaptiveController {
   const StreamingProfile& window() const { return window_; }
   const ControllerConfig& config() const { return config_; }
 
+  // --- checkpoint/restore ----------------------------------------------------
+  // Serializes the complete control-loop state — window/EWMA, hysteresis
+  // debounce, guard strikes/pins, metrics (histograms included), the
+  // pending switch-verification slot and the tracer clock/flow counter — so
+  // a controller restored into a rebuilt SoC continues the decision
+  // sequence byte-for-byte where the snapshot left off.
+  Json snapshot() const;
+  // Restores a snapshot() into a freshly constructed controller. The
+  // engine/executor/config must match the snapshotting run: the snapshot
+  // carries a fingerprint of the config and throws std::runtime_error on
+  // mismatch (callers treat that as "checkpoint invalid, cold-start").
+  void restore(const Json& snapshot);
+
  private:
   // Re-targets the zone tracker for the current model's boundary set.
   void arm_tracker();

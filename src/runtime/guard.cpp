@@ -37,6 +37,35 @@ void GuardMetrics::export_to(sim::StatRegistry& registry) const {
                static_cast<double>(pinned_decisions));
 }
 
+Json GuardMetrics::to_json() const {
+  Json j;
+  j["clamped_fields"] = Json(static_cast<double>(clamped_fields));
+  j["rejected_samples"] = Json(static_cast<double>(rejected_samples));
+  j["rollbacks"] = Json(static_cast<double>(rollbacks));
+  j["quarantines"] = Json(static_cast<double>(quarantines));
+  j["quarantine_blocked"] = Json(static_cast<double>(quarantine_blocked));
+  j["watchdog_pins"] = Json(static_cast<double>(watchdog_pins));
+  j["pinned_decisions"] = Json(static_cast<double>(pinned_decisions));
+  return j;
+}
+
+GuardMetrics GuardMetrics::from_json(const Json& j) {
+  GuardMetrics m;
+  m.clamped_fields =
+      static_cast<std::uint64_t>(j.number_or("clamped_fields", 0));
+  m.rejected_samples =
+      static_cast<std::uint64_t>(j.number_or("rejected_samples", 0));
+  m.rollbacks = static_cast<std::uint64_t>(j.number_or("rollbacks", 0));
+  m.quarantines = static_cast<std::uint64_t>(j.number_or("quarantines", 0));
+  m.quarantine_blocked =
+      static_cast<std::uint64_t>(j.number_or("quarantine_blocked", 0));
+  m.watchdog_pins =
+      static_cast<std::uint64_t>(j.number_or("watchdog_pins", 0));
+  m.pinned_decisions =
+      static_cast<std::uint64_t>(j.number_or("pinned_decisions", 0));
+  return m;
+}
+
 bool SampleGuard::admit(profile::ProfileReport& sample, std::string& why) {
   if (!config_.enabled) return true;
 
@@ -129,6 +158,25 @@ void SampleGuard::reset_history() {
   consecutive_mad_rejects_ = 0;
 }
 
+Json SampleGuard::snapshot() const {
+  Json j;
+  Json history{JsonArray{}};
+  for (const double t : accepted_total_time_) history.push_back(Json(t));
+  j["accepted_total_time"] = std::move(history);
+  j["consecutive_mad_rejects"] =
+      Json(static_cast<double>(consecutive_mad_rejects_));
+  return j;
+}
+
+void SampleGuard::restore(const Json& j) {
+  accepted_total_time_.clear();
+  for (const Json& t : j.at("accepted_total_time").as_array()) {
+    accepted_total_time_.push_back(t.as_number());
+  }
+  consecutive_mad_rejects_ =
+      static_cast<std::size_t>(j.number_or("consecutive_mad_rejects", 0));
+}
+
 void SwitchGuard::on_decision() {
   decision_clock_ += 1;
   while (!recent_switches_.empty() &&
@@ -175,6 +223,49 @@ bool SwitchGuard::on_misprediction(comm::CommModel target) {
       decision_clock_ + config_.cooldown_decisions;
   metrics_->quarantines += 1;
   return true;
+}
+
+Json SwitchGuard::snapshot() const {
+  Json j;
+  j["decision_clock"] = Json(static_cast<double>(decision_clock_));
+  j["pinned_until"] = Json(static_cast<double>(pinned_until_));
+  j["pin_reason"] = Json(pin_reason_);
+  Json switches{JsonArray{}};
+  for (const std::uint64_t stamp : recent_switches_) {
+    switches.push_back(Json(static_cast<double>(stamp)));
+  }
+  j["recent_switches"] = std::move(switches);
+  Json strikes{JsonArray{}};
+  Json quarantined{JsonArray{}};
+  for (std::size_t m = 0; m < strikes_.size(); ++m) {
+    strikes.push_back(Json(static_cast<double>(strikes_[m])));
+    quarantined.push_back(Json(static_cast<double>(quarantined_until_[m])));
+  }
+  j["strikes"] = std::move(strikes);
+  j["quarantined_until"] = std::move(quarantined);
+  return j;
+}
+
+void SwitchGuard::restore(const Json& j) {
+  decision_clock_ =
+      static_cast<std::uint64_t>(j.number_or("decision_clock", 0));
+  pinned_until_ = static_cast<std::uint64_t>(j.number_or("pinned_until", 0));
+  pin_reason_ = j.string_or("pin_reason", "");
+  recent_switches_.clear();
+  for (const Json& stamp : j.at("recent_switches").as_array()) {
+    recent_switches_.push_back(static_cast<std::uint64_t>(stamp.as_number()));
+  }
+  const JsonArray& strikes = j.at("strikes").as_array();
+  const JsonArray& quarantined = j.at("quarantined_until").as_array();
+  for (std::size_t m = 0; m < strikes_.size(); ++m) {
+    strikes_[m] = m < strikes.size()
+                      ? static_cast<std::uint64_t>(strikes[m].as_number())
+                      : 0;
+    quarantined_until_[m] =
+        m < quarantined.size()
+            ? static_cast<std::uint64_t>(quarantined[m].as_number())
+            : 0;
+  }
 }
 
 }  // namespace cig::runtime

@@ -29,6 +29,7 @@
 #include "core/microbench.h"
 #include "profile/report.h"
 #include "sim/stat_registry.h"
+#include "support/json.h"
 
 namespace cig::runtime {
 
@@ -76,6 +77,9 @@ struct GuardMetrics {
   std::uint64_t pinned_decisions = 0;   // evaluations skipped while pinned
 
   void export_to(sim::StatRegistry& registry) const;
+
+  Json to_json() const;
+  static GuardMetrics from_json(const Json& j);
 };
 
 class SampleGuard {
@@ -90,6 +94,11 @@ class SampleGuard {
   // The history is per-model: switching models changes the timing regime,
   // so the old samples no longer bound the new ones.
   void reset_history();
+
+  // Exact state round-trip (accepted history + reject streak) for
+  // controller checkpoint/restore; the config comes from construction.
+  Json snapshot() const;
+  void restore(const Json& j);
 
  private:
   GuardConfig config_;
@@ -122,6 +131,11 @@ class SwitchGuard {
   // Records a mispredicted switch into `target`; returns true when the
   // target was quarantined by this strike.
   bool on_misprediction(comm::CommModel target);
+
+  // Exact state round-trip (decision clock, pin, switch window, strikes,
+  // quarantines) for controller checkpoint/restore.
+  Json snapshot() const;
+  void restore(const Json& j);
 
  private:
   GuardConfig config_;

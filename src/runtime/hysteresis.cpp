@@ -37,6 +37,20 @@ void HysteresisBand::rearm(double boundary_pct) {
   reset();
 }
 
+Json HysteresisBand::snapshot() const {
+  Json j;
+  j["boundary_pct"] = Json(boundary_pct_);
+  j["over"] = Json(over_);
+  j["streak"] = Json(static_cast<double>(streak_));
+  return j;
+}
+
+void HysteresisBand::restore(const Json& j) {
+  boundary_pct_ = j.number_or("boundary_pct", boundary_pct_);
+  over_ = j.bool_or("over", false);
+  streak_ = static_cast<std::uint32_t>(j.number_or("streak", 0));
+}
+
 HysteresisZoneTracker::HysteresisZoneTracker(double threshold_pct,
                                              double zone2_end_pct,
                                              bool grey_exists,
@@ -74,6 +88,22 @@ void HysteresisZoneTracker::rearm(double threshold_pct, double zone2_end_pct,
   zone2_end_.rearm(zone2_end_pct);
   grey_exists_ = grey_exists;
   changed_ = false;
+}
+
+Json HysteresisZoneTracker::snapshot() const {
+  Json j;
+  j["threshold"] = threshold_.snapshot();
+  j["zone2_end"] = zone2_end_.snapshot();
+  j["grey_exists"] = Json(grey_exists_);
+  j["changed"] = Json(changed_);
+  return j;
+}
+
+void HysteresisZoneTracker::restore(const Json& j) {
+  threshold_.restore(j.at("threshold"));
+  zone2_end_.restore(j.at("zone2_end"));
+  grey_exists_ = j.bool_or("grey_exists", grey_exists_);
+  changed_ = j.bool_or("changed", false);
 }
 
 }  // namespace cig::runtime

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/thresholds.h"
+#include "support/json.h"
 
 namespace cig::runtime {
 
@@ -38,6 +39,11 @@ class HysteresisBand {
   // Moves the band to a new boundary and resets the debounced state — used
   // when a model switch changes the scale the metric is normalised by.
   void rearm(double boundary_pct);
+
+  // Exact state round-trip (boundary + debounce state; the config comes
+  // from construction) for controller checkpoint/restore.
+  Json snapshot() const;
+  void restore(const Json& j);
 
  private:
   double boundary_pct_;
@@ -72,6 +78,10 @@ class HysteresisZoneTracker {
   // under SC/UM (the MB2 threshold and zone-2 end) differ from the ones
   // that apply under ZC (saturation of the uncached/snoop path).
   void rearm(double threshold_pct, double zone2_end_pct, bool grey_exists);
+
+  // Exact state round-trip for controller checkpoint/restore.
+  Json snapshot() const;
+  void restore(const Json& j);
 
  private:
   HysteresisBand threshold_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "comm/model.h"
+#include "support/json.h"
 
 namespace cig::runtime {
 
@@ -27,6 +28,54 @@ void RuntimeMetrics::export_to(sim::StatRegistry& registry) const {
   phase_latency_us.export_to(registry, "runtime.phase_latency_us");
   kernel_latency_us.export_to(registry, "runtime.kernel_latency_us");
   guard.export_to(registry);
+}
+
+Json RuntimeMetrics::to_json() const {
+  Json j;
+  j["samples"] = Json(static_cast<double>(samples));
+  j["decisions"] = Json(static_cast<double>(decisions));
+  j["switches"] = Json(static_cast<double>(switches));
+  j["vetoed_by_cost"] = Json(static_cast<double>(vetoed_by_cost));
+  j["vetoed_by_estimate"] = Json(static_cast<double>(vetoed_by_estimate));
+  j["mispredicted_switches"] =
+      Json(static_cast<double>(mispredicted_switches));
+  j["phase_changes"] = Json(static_cast<double>(phase_changes));
+  Json in_model{JsonArray{}};
+  for (const Seconds t : time_in_model) in_model.push_back(Json(t));
+  j["time_in_model"] = std::move(in_model);
+  j["switch_overhead"] = Json(switch_overhead);
+  j["predicted_speedup_product"] = Json(predicted_speedup_product);
+  j["realized_speedup_product"] = Json(realized_speedup_product);
+  j["phase_latency_us"] = phase_latency_us.to_json();
+  j["kernel_latency_us"] = kernel_latency_us.to_json();
+  j["guard"] = guard.to_json();
+  return j;
+}
+
+RuntimeMetrics RuntimeMetrics::from_json(const Json& j) {
+  RuntimeMetrics m;
+  m.samples = static_cast<std::uint64_t>(j.number_or("samples", 0));
+  m.decisions = static_cast<std::uint64_t>(j.number_or("decisions", 0));
+  m.switches = static_cast<std::uint64_t>(j.number_or("switches", 0));
+  m.vetoed_by_cost =
+      static_cast<std::uint64_t>(j.number_or("vetoed_by_cost", 0));
+  m.vetoed_by_estimate =
+      static_cast<std::uint64_t>(j.number_or("vetoed_by_estimate", 0));
+  m.mispredicted_switches =
+      static_cast<std::uint64_t>(j.number_or("mispredicted_switches", 0));
+  m.phase_changes =
+      static_cast<std::uint64_t>(j.number_or("phase_changes", 0));
+  const JsonArray& in_model = j.at("time_in_model").as_array();
+  for (std::size_t i = 0; i < m.time_in_model.size(); ++i) {
+    m.time_in_model[i] = i < in_model.size() ? in_model[i].as_number() : 0;
+  }
+  m.switch_overhead = j.number_or("switch_overhead", 0);
+  m.predicted_speedup_product = j.number_or("predicted_speedup_product", 1.0);
+  m.realized_speedup_product = j.number_or("realized_speedup_product", 1.0);
+  m.phase_latency_us = obs::Histogram::from_json(j.at("phase_latency_us"));
+  m.kernel_latency_us = obs::Histogram::from_json(j.at("kernel_latency_us"));
+  m.guard = GuardMetrics::from_json(j.at("guard"));
+  return m;
 }
 
 std::string RuntimeMetrics::to_string() const {

@@ -51,6 +51,11 @@ struct RuntimeMetrics {
 
   void export_to(sim::StatRegistry& registry) const;
   std::string to_string() const;
+
+  // Exact state round-trip for controller checkpoint/restore (histograms
+  // included, so restored percentiles match the uninterrupted run).
+  Json to_json() const;
+  static RuntimeMetrics from_json(const Json& j);
 };
 
 }  // namespace cig::runtime

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 #include <utility>
 
+#include "core/microbench.h"
 #include "profile/profiler.h"
 #include "support/assert.h"
+#include "support/log.h"
 
 namespace cig::runtime {
+
+namespace {
+
+comm::CommModel model_from_record(const Json& record, const char* field) {
+  const std::string name = record.string_or(field, "SC");
+  for (const comm::CommModel m : core::kAllModels) {
+    if (name == comm::model_name(m)) return m;
+  }
+  throw std::runtime_error(std::string("journal record: unknown model \"") +
+                           name + "\"");
+}
+
+}  // namespace
 
 std::uint64_t ReplayResult::switches_into(comm::CommModel model) const {
   std::uint64_t count = 0;
@@ -23,45 +39,126 @@ ReplayResult replay_phasic(core::Framework& framework,
                            const std::vector<workload::PhasicPhase>& phases,
                            const ReplayOptions& options) {
   CIG_EXPECTS(!phases.empty());
+  // A checkpointed run must replay deterministically from its journal;
+  // mutate_sample perturbs reports in ways the journal does not record.
+  CIG_EXPECTS(options.checkpoint.dir.empty() || !options.mutate_sample);
   const core::DecisionEngine engine(framework.device());
 
   framework.soc().reset();
   profile::Profiler profiler(framework.soc(), options.exec);
   AdaptiveController controller(engine, profiler.executor(),
                                 options.controller);
+
+  // Flat sample schedule: phase index per global sample, so a resume point
+  // expressed as a sample index maps straight back into the trace.
+  std::vector<std::uint32_t> schedule;
+  for (std::uint32_t p = 0; p < phases.size(); ++p) {
+    for (std::uint32_t s = 0; s < phases[p].samples; ++s) schedule.push_back(p);
+  }
+
+  ReplayResult result;
+  ReplayCheckpoint checkpoint(options.checkpoint);
+  std::uint64_t start_index = 0;
+
+  if (checkpoint.has_snapshot()) {
+    try {
+      controller.restore(checkpoint.controller_state());
+      if (checkpoint.resume_sample() > schedule.size()) {
+        throw std::runtime_error("checkpoint covers more samples than trace");
+      }
+    } catch (const std::exception& e) {
+      checkpoint.invalidate_snapshot(e.what());
+    }
+  }
+  if (checkpoint.has_snapshot()) {
+    // Rebuild the SoC to the crash point by re-executing the journaled
+    // prefix with the tracer detached. The simulated SoC is deterministic,
+    // so running the same workloads under the journaled models recreates
+    // cache/page state exactly; the controller state itself comes from the
+    // snapshot, and the journaled decisions seed the decision log.
+    for (const Json& record : checkpoint.records()) {
+      const auto index =
+          static_cast<std::uint64_t>(record.number_or("index", 0));
+      const auto& phase = phases[schedule[index]];
+      if (options.before_sample) {
+        options.before_sample(framework.soc(), controller.tracer(), index);
+      }
+      const comm::CommModel model = model_from_record(record, "model");
+      const comm::CommModel after = model_from_record(record, "model_after");
+      comm::RunResult raw;
+      profiler.sample(phase.workload, model, raw);
+      if (after != model) {
+        profiler.executor().apply_model_switch(
+            model, after, phase.workload.gpu.pattern.base,
+            phase.workload.gpu.pattern.extent);
+      }
+      result.decision_log.push_back(record);
+    }
+    start_index = checkpoint.resume_sample();
+    result.resumed = true;
+    result.resume_sample = start_index;
+    controller.tracer().instant(
+        sim::Lane::Ctrl, "persist: resumed at sample " +
+                             std::to_string(start_index) + " of " +
+                             std::to_string(schedule.size()));
+  }
+
   // Share the controller's tracer with the executor: executed phases land
   // on the CTRL lane of the same clock the controller annotates, and the
   // executor's bandwidth counters join the controller's counter tracks.
+  // (Attached only now, so the rebuild prefix above leaves no trace.)
   profiler.executor().set_tracer(&controller.tracer());
 
-  ReplayResult result;
-  std::uint64_t sample_index = 0;
-  for (std::uint32_t p = 0; p < phases.size(); ++p) {
+  for (std::uint64_t i = start_index; i < schedule.size(); ++i) {
+    const std::uint32_t p = schedule[i];
     const auto& phase = phases[p];
-    for (std::uint32_t s = 0; s < phase.samples; ++s, ++sample_index) {
-      if (options.before_sample) {
-        options.before_sample(framework.soc(), controller.tracer(),
-                              sample_index);
-      }
-      const Seconds t0 = controller.now();
-      comm::RunResult raw;
-      profile::ProfileReport report =
-          profiler.sample(phase.workload, controller.model(), raw);
-      if (options.mutate_sample) {
-        options.mutate_sample(report, controller.tracer(), sample_index);
-      }
-      result.timeline.append(raw.timeline, t0);
-
-      SampleRecord record;
-      record.phase = p;
-      record.cache_heavy = phase.cache_heavy;
-      record.model = controller.model();
-      record.time = t0;
-      record.decision = controller.on_sample(
-          report, phase.workload.gpu.pattern.base,
-          phase.workload.gpu.pattern.extent);
-      result.samples.push_back(std::move(record));
+    if (options.before_sample) {
+      options.before_sample(framework.soc(), controller.tracer(), i);
     }
+    const Seconds t0 = controller.now();
+    const comm::CommModel model_before = controller.model();
+    comm::RunResult raw;
+    profile::ProfileReport report =
+        profiler.sample(phase.workload, controller.model(), raw);
+    if (options.mutate_sample) {
+      options.mutate_sample(report, controller.tracer(), i);
+    }
+    result.timeline.append(raw.timeline, t0);
+
+    SampleRecord record;
+    record.phase = p;
+    record.cache_heavy = phase.cache_heavy;
+    record.model = model_before;
+    record.time = t0;
+    record.decision = controller.on_sample(
+        report, phase.workload.gpu.pattern.base,
+        phase.workload.gpu.pattern.extent);
+
+    Json entry;
+    entry["index"] = Json(static_cast<double>(i));
+    entry["phase"] = Json(static_cast<double>(p));
+    entry["cache_heavy"] = Json(phase.cache_heavy);
+    entry["model"] = Json(std::string(comm::model_name(model_before)));
+    entry["model_after"] =
+        Json(std::string(comm::model_name(record.decision.model_after)));
+    entry["t_us"] = Json(to_us(t0));
+    entry["decision"] = record.decision.to_json();
+    checkpoint.append_sample(entry);
+    result.decision_log.push_back(std::move(entry));
+    result.samples.push_back(std::move(record));
+
+    if (checkpoint.enabled() && (i + 1) % checkpoint.snapshot_every() == 0) {
+      checkpoint.write_snapshot(i + 1, controller.snapshot());
+      controller.tracer().instant(
+          sim::Lane::Ctrl,
+          "persist: checkpoint @ sample " + std::to_string(i + 1));
+    }
+  }
+
+  // Final snapshot so a rerun over a finished directory resumes (and exits)
+  // immediately instead of re-executing the tail.
+  if (checkpoint.enabled() && schedule.size() % checkpoint.snapshot_every() != 0) {
+    checkpoint.write_snapshot(schedule.size(), controller.snapshot());
   }
 
   controller.finish();
@@ -70,7 +167,11 @@ ReplayResult replay_phasic(core::Framework& framework,
   result.aux = controller.tracer().aux();
   result.adaptive_time = controller.now();
   result.metrics = controller.metrics();
+  result.persist = checkpoint.stats();
   result.metrics.export_to(result.registry);
+  if (checkpoint.enabled() || !options.checkpoint.dir.empty()) {
+    result.persist.export_to(result.registry);
+  }
   return result;
 }
 

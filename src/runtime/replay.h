@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "runtime/checkpoint.h"
 #include "runtime/controller.h"
 #include "sim/stat_registry.h"
 #include "sim/trace_export.h"
@@ -23,6 +24,14 @@ namespace cig::runtime {
 struct ReplayOptions {
   ControllerConfig controller;
   comm::ExecOptions exec;
+
+  // Crash-safe checkpointing (runtime/checkpoint.h). When `checkpoint.dir`
+  // is set, every sample is journaled and the controller state snapshotted,
+  // and a restarted replay resumes mid-trace with byte-identical decisions.
+  // Checkpointed runs must be deterministic: combining a checkpoint dir
+  // with `mutate_sample` is unsupported (the mutation is not journaled, so
+  // a resumed run would diverge); replay_phasic refuses the combination.
+  CheckpointConfig checkpoint;
 
   // Perturbation seams (fault injection). `before_sample` runs before each
   // sample executes — it may mutate the SoC (thermal derating); the running
@@ -45,10 +54,19 @@ struct SampleRecord {
 struct ReplayResult {
   Seconds adaptive_time = 0;  // controller clock: samples + switch overhead
   RuntimeMetrics metrics;
-  sim::StatRegistry registry;  // "runtime.*" counters
+  sim::StatRegistry registry;  // "runtime.*" + "persist.*" counters
   sim::Timeline timeline;      // merged lanes + controller annotations
   sim::TraceAux aux;           // counter tracks + decision->phase flows
-  std::vector<SampleRecord> samples;
+  std::vector<SampleRecord> samples;  // live samples (post-resume on resume)
+
+  // One record per sample over the WHOLE trace — on a resumed run the
+  // journaled prefix plus the live tail — shaped exactly like the journal
+  // records, so crash-recovery tests can compare an interrupted run against
+  // an uninterrupted one byte for byte.
+  std::vector<Json> decision_log;
+  PersistStats persist;            // zeroes when checkpointing is off
+  bool resumed = false;            // this run continued a checkpoint
+  std::uint64_t resume_sample = 0; // first live sample index when resumed
 
   std::uint64_t switches_into(comm::CommModel model) const;
 };

@@ -89,4 +89,24 @@ void StreamingProfile::clear() {
   ewma_valid_ = false;
 }
 
+Json StreamingProfile::snapshot() const {
+  Json j;
+  Json samples{JsonArray{}};
+  for (const auto& sample : window_) samples.push_back(sample.to_json());
+  j["window"] = std::move(samples);
+  j["ewma_valid"] = Json(ewma_valid_);
+  if (ewma_valid_) j["ewma"] = ewma_.to_json();
+  return j;
+}
+
+void StreamingProfile::restore(const Json& j) {
+  window_.clear();
+  for (const Json& sample : j.at("window").as_array()) {
+    window_.push_back(profile::ProfileReport::from_json(sample));
+  }
+  ewma_valid_ = j.bool_or("ewma_valid", false);
+  ewma_ = ewma_valid_ ? profile::ProfileReport::from_json(j.at("ewma"))
+                      : profile::ProfileReport{};
+}
+
 }  // namespace cig::runtime

@@ -11,6 +11,7 @@
 #include <deque>
 
 #include "profile/report.h"
+#include "support/json.h"
 
 namespace cig::runtime {
 
@@ -48,6 +49,12 @@ class StreamingProfile {
   void clear();
 
   const WindowConfig& config() const { return config_; }
+
+  // Exact state round-trip for controller checkpoint/restore. The config is
+  // not serialized — restore() assumes the window was built with the same
+  // WindowConfig (the controller fingerprints its whole config instead).
+  Json snapshot() const;
+  void restore(const Json& j);
 
  private:
   WindowConfig config_;

@@ -1,8 +1,9 @@
 #include "sim/trace_export.h"
 
 #include <algorithm>
-#include <fstream>
 #include <set>
+
+#include "persist/atomic_io.h"
 
 namespace cig::sim {
 
@@ -135,9 +136,10 @@ void write_chrome_trace(const Timeline& timeline, const std::string& path,
 void write_chrome_trace(const Timeline& timeline, const TraceAux& aux,
                         const std::string& path,
                         const std::string& process_name) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << to_chrome_trace(timeline, aux, process_name).dump(1) << '\n';
+  // Atomic replace: an interrupted export never leaves a truncated JSON
+  // document for a trace viewer to choke on.
+  persist::atomic_write_file(
+      path, to_chrome_trace(timeline, aux, process_name).dump(1) + '\n');
 }
 
 }  // namespace cig::sim

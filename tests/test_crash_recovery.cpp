@@ -1,0 +1,272 @@
+// Crash-point recovery tests for the checkpointed adaptive replay
+// (runtime/checkpoint.h + replay.cpp): an in-process simulated crash
+// (fault::CrashInjector, Throw mode) at a persistence seam, followed by a
+// restart over the same checkpoint directory, must produce decisions
+// byte-identical to an uninterrupted golden run — and guard state
+// (quarantine strikes, watchdog pins) must survive the snapshot round-trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "fault/crash.h"
+#include "profile/profiler.h"
+#include "runtime/controller.h"
+#include "runtime/guard.h"
+#include "runtime/replay.h"
+#include "soc/presets.h"
+#include "workload/builders.h"
+
+namespace cig::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+// 2 light/heavy pairs x 8 samples = 32 samples: fast, but long enough for
+// the controller to switch models a few times.
+workload::PhasicConfig short_trace() {
+  workload::PhasicConfig config;
+  config.phase_pairs = 2;
+  config.samples_per_phase = 8;
+  return config;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cig-crash-recovery-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    fault::CrashInjector::instance().disarm();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+void expect_identical_decisions(const ReplayResult& recovered,
+                                const ReplayResult& golden) {
+  ASSERT_EQ(recovered.decision_log.size(), golden.decision_log.size());
+  for (std::size_t i = 0; i < golden.decision_log.size(); ++i) {
+    EXPECT_EQ(recovered.decision_log[i].dump(), golden.decision_log[i].dump())
+        << "decision " << i << " diverged";
+  }
+  // Byte-identical decisions imply the same trajectory; the end-to-end
+  // adaptive time must then match to the last bit as well.
+  EXPECT_EQ(recovered.adaptive_time, golden.adaptive_time);
+  EXPECT_EQ(recovered.metrics.switches, golden.metrics.switches);
+}
+
+TEST_F(CrashRecoveryTest, ResumeAfterJournalCrashIsByteIdentical) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases =
+      workload::phasic_workload_phases(framework.board(), short_trace());
+  const auto golden = replay_phasic(framework, phases, {});
+
+  ReplayOptions checkpointed;
+  checkpointed.checkpoint.dir = dir_;
+
+  // Crash mid-append of the 20th sample record: the journal is left with a
+  // torn tail, the snapshot points at sample 19.
+  fault::CrashInjector::instance().arm("journal.mid_append", 20,
+                                       fault::CrashMode::Throw);
+  bool crashed = false;
+  try {
+    replay_phasic(framework, phases, checkpointed);
+  } catch (const fault::CrashInjected& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.seam(), "journal.mid_append");
+  }
+  ASSERT_TRUE(crashed);
+
+  const auto recovered = replay_phasic(framework, phases, checkpointed);
+  EXPECT_TRUE(recovered.resumed);
+  EXPECT_EQ(recovered.resume_sample, 19u);
+  EXPECT_EQ(recovered.persist.recovered, 19u);
+  EXPECT_EQ(recovered.persist.torn_discarded, 1u);
+  EXPECT_GT(recovered.persist.torn_bytes, 0u);
+  expect_identical_decisions(recovered, golden);
+}
+
+TEST_F(CrashRecoveryTest, ResumeAfterSnapshotCrashWithCoarseCadence) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases =
+      workload::phasic_workload_phases(framework.board(), short_trace());
+  const auto golden = replay_phasic(framework, phases, {});
+
+  ReplayOptions checkpointed;
+  checkpointed.checkpoint.dir = dir_;
+  checkpointed.checkpoint.snapshot_every = 8;
+
+  // Crash while writing the third snapshot (after sample 24): the journal
+  // holds 24 records but the last durable snapshot covers 16, so recovery
+  // must drop the 8-record journal tail and resume at 16.
+  fault::CrashInjector::instance().arm("atomic.pre_rename", 3,
+                                       fault::CrashMode::Throw);
+  bool crashed = false;
+  try {
+    replay_phasic(framework, phases, checkpointed);
+  } catch (const fault::CrashInjected&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  const auto recovered = replay_phasic(framework, phases, checkpointed);
+  EXPECT_TRUE(recovered.resumed);
+  EXPECT_EQ(recovered.resume_sample, 16u);
+  EXPECT_EQ(recovered.persist.tail_dropped, 8u);
+  EXPECT_EQ(recovered.persist.torn_discarded, 0u);
+  expect_identical_decisions(recovered, golden);
+}
+
+TEST_F(CrashRecoveryTest, FinishedCheckpointResumesAtEndOfTrace) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases =
+      workload::phasic_workload_phases(framework.board(), short_trace());
+
+  ReplayOptions checkpointed;
+  checkpointed.checkpoint.dir = dir_;
+  const auto first = replay_phasic(framework, phases, checkpointed);
+  EXPECT_FALSE(first.resumed);
+
+  const auto rerun = replay_phasic(framework, phases, checkpointed);
+  EXPECT_TRUE(rerun.resumed);
+  EXPECT_EQ(rerun.resume_sample, first.decision_log.size());
+  EXPECT_TRUE(rerun.samples.empty());  // no live samples were executed
+  expect_identical_decisions(rerun, first);
+}
+
+TEST_F(CrashRecoveryTest, CheckpointForLongerTraceIsInvalidatedNotResumed) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto long_phases =
+      workload::phasic_workload_phases(framework.board(), short_trace());
+  workload::PhasicConfig tiny = short_trace();
+  tiny.samples_per_phase = 4;
+  const auto short_phases =
+      workload::phasic_workload_phases(framework.board(), tiny);
+
+  ReplayOptions checkpointed;
+  checkpointed.checkpoint.dir = dir_;
+  replay_phasic(framework, long_phases, checkpointed);
+
+  // The stored checkpoint covers 32 samples; replaying a 16-sample trace
+  // over it cannot resume (the resume point is outside the trace) and must
+  // cold-start rather than load inapplicable state.
+  const auto result = replay_phasic(framework, short_phases, checkpointed);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_GE(result.persist.snapshot_rejected, 1u);
+  EXPECT_EQ(result.decision_log.size(), 16u);
+}
+
+TEST_F(CrashRecoveryTest, ControllerSnapshotRoundTripIsByteIdentical) {
+  core::Framework framework(soc::jetson_tx2());
+  const core::DecisionEngine engine(framework.device());
+  const auto phases =
+      workload::phasic_workload_phases(framework.board(), short_trace());
+
+  framework.soc().reset();
+  profile::Profiler profiler(framework.soc(), {});
+  AdaptiveController live(engine, profiler.executor(), {});
+  // Drive it across a phase boundary so window, hysteresis, guards and
+  // metrics all hold non-trivial state.
+  std::size_t fed = 0;
+  for (const auto& phase : phases) {
+    for (std::uint32_t s = 0; s < phase.samples && fed < 20; ++s, ++fed) {
+      comm::RunResult raw;
+      const auto report =
+          profiler.sample(phase.workload, live.model(), raw);
+      live.on_sample(report, phase.workload.gpu.pattern.base,
+                     phase.workload.gpu.pattern.extent);
+    }
+  }
+  const Json snapshot = live.snapshot();
+
+  AdaptiveController restored(engine, profiler.executor(), {});
+  restored.restore(snapshot);
+  EXPECT_EQ(restored.snapshot().dump(), snapshot.dump());
+  EXPECT_EQ(restored.model(), live.model());
+  EXPECT_EQ(restored.now(), live.now());
+}
+
+TEST_F(CrashRecoveryTest, RestoreRejectsSnapshotFromDifferentConfig) {
+  core::Framework framework(soc::jetson_tx2());
+  const core::DecisionEngine engine(framework.device());
+  framework.soc().reset();
+  profile::Profiler profiler(framework.soc(), {});
+
+  AdaptiveController source(engine, profiler.executor(), {});
+  const Json snapshot = source.snapshot();
+
+  ControllerConfig other;
+  other.amortization_horizon_iters = 48;  // fingerprint-relevant change
+  AdaptiveController target(engine, profiler.executor(), other);
+  EXPECT_THROW(target.restore(snapshot), std::runtime_error);
+}
+
+// --- guard-state edge cases across snapshot/restore -----------------------
+
+TEST_F(CrashRecoveryTest, QuarantineStrikesAndExpirySurviveRestore) {
+  GuardConfig config;  // quarantine_after = 2
+  GuardMetrics before_metrics;
+  SwitchGuard before(config, before_metrics);
+  before.on_decision();
+  // First strike against ZC: not yet quarantined.
+  EXPECT_FALSE(before.on_misprediction(comm::CommModel::ZeroCopy));
+  EXPECT_TRUE(before.allow(comm::CommModel::ZeroCopy));
+
+  GuardMetrics after_metrics;
+  SwitchGuard after(config, after_metrics);
+  after.restore(before.snapshot());
+
+  // The strike survived the round-trip: one more misprediction quarantines.
+  EXPECT_TRUE(after.on_misprediction(comm::CommModel::ZeroCopy));
+  EXPECT_FALSE(after.allow(comm::CommModel::ZeroCopy));
+
+  // And the quarantine expires on schedule across another round-trip.
+  GuardMetrics final_metrics;
+  SwitchGuard resumed(config, final_metrics);
+  resumed.restore(after.snapshot());
+  EXPECT_FALSE(resumed.allow(comm::CommModel::ZeroCopy));
+  for (std::uint64_t i = 0; i <= config.cooldown_decisions; ++i) {
+    resumed.on_decision();
+  }
+  EXPECT_TRUE(resumed.allow(comm::CommModel::ZeroCopy));
+}
+
+TEST_F(CrashRecoveryTest, WatchdogPinAndReasonSurviveRestore) {
+  GuardConfig config;  // watchdog: >4 switches in 16 decisions pins
+  GuardMetrics before_metrics;
+  SwitchGuard before(config, before_metrics);
+  bool tripped = false;
+  for (int i = 0; i < 8 && !tripped; ++i) {
+    before.on_decision();
+    tripped = before.on_switch();
+  }
+  ASSERT_TRUE(tripped);
+  EXPECT_TRUE(before.pinned());
+  ASSERT_FALSE(before.pin_reason().empty());
+
+  GuardMetrics after_metrics;
+  SwitchGuard after(config, after_metrics);
+  after.restore(before.snapshot());
+  EXPECT_TRUE(after.pinned());
+  EXPECT_EQ(after.pin_reason(), before.pin_reason());
+
+  // The pin expires on the restored clock, not a fresh one.
+  for (std::uint64_t i = 0; i <= config.pin_decisions; ++i) {
+    after.on_decision();
+  }
+  EXPECT_FALSE(after.pinned());
+}
+
+}  // namespace
+}  // namespace cig::runtime

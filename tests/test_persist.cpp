@@ -1,0 +1,343 @@
+// Tests for the persistence primitives (src/persist): record framing,
+// atomic file replacement, the append-only journal with torn-tail recovery,
+// versioned snapshots — and, via fault::CrashInjector in Throw mode, the
+// recovery outcome after an in-process simulated crash at every seam.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/crash.h"
+#include "persist/atomic_io.h"
+#include "persist/codec.h"
+#include "persist/journal.h"
+#include "persist/seam.h"
+#include "persist/snapshot.h"
+#include "support/json.h"
+
+namespace cig::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cig-persist-test-" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::CrashInjector::instance().disarm();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+// --- codec ----------------------------------------------------------------
+
+TEST_F(PersistTest, CodecRoundTrip) {
+  std::string blob;
+  append_record(blob, "first");
+  append_record(blob, "");
+  append_record(blob, std::string(1000, 'x'));
+
+  const auto decoded = decode_records(blob);
+  ASSERT_EQ(decoded.payloads.size(), 3u);
+  EXPECT_EQ(decoded.payloads[0], "first");
+  EXPECT_EQ(decoded.payloads[1], "");
+  EXPECT_EQ(decoded.payloads[2], std::string(1000, 'x'));
+  EXPECT_EQ(decoded.valid_bytes, blob.size());
+  EXPECT_FALSE(decoded.torn);
+}
+
+TEST_F(PersistTest, CodecTruncatedTailIsTorn) {
+  std::string blob;
+  append_record(blob, "keep me");
+  const std::size_t intact = blob.size();
+  append_record(blob, "lost in the crash");
+  // Chop the second record mid-payload: a torn write.
+  blob.resize(intact + kRecordHeaderBytes + 4);
+
+  const auto decoded = decode_records(blob);
+  ASSERT_EQ(decoded.payloads.size(), 1u);
+  EXPECT_EQ(decoded.payloads[0], "keep me");
+  EXPECT_EQ(decoded.valid_bytes, intact);
+  EXPECT_TRUE(decoded.torn);
+  EXPECT_EQ(decoded.torn_bytes, blob.size() - intact);
+}
+
+TEST_F(PersistTest, CodecChecksumFlipRejectsRecordAndTail) {
+  std::string blob;
+  append_record(blob, "record one");
+  const std::size_t intact = blob.size();
+  append_record(blob, "record two");
+  append_record(blob, "record three");
+  // Flip one payload byte of record two: its checksum no longer matches,
+  // so it and everything after it is torn (a scan cannot trust any frame
+  // boundary past a damaged record).
+  blob[intact + kRecordHeaderBytes] ^= 0x01;
+
+  const auto decoded = decode_records(blob);
+  ASSERT_EQ(decoded.payloads.size(), 1u);
+  EXPECT_EQ(decoded.payloads[0], "record one");
+  EXPECT_TRUE(decoded.torn);
+}
+
+TEST_F(PersistTest, CodecImplausibleLengthIsTorn) {
+  std::string blob(kRecordHeaderBytes + 64, '\0');
+  blob[0] = '\xff';  // length field way past kMaxRecordBytes
+  blob[1] = '\xff';
+  blob[2] = '\xff';
+  blob[3] = '\xff';
+  const auto decoded = decode_records(blob);
+  EXPECT_TRUE(decoded.payloads.empty());
+  EXPECT_TRUE(decoded.torn);
+}
+
+// --- atomic_write_file ----------------------------------------------------
+
+TEST_F(PersistTest, AtomicWriteCreatesAndReplaces) {
+  const auto path = dir_ / "out.txt";
+  atomic_write_file(path.string(), "version 1");
+  EXPECT_EQ(slurp(path), "version 1");
+  atomic_write_file(path.string(), "version 2 is longer");
+  EXPECT_EQ(slurp(path), "version 2 is longer");
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+}
+
+// A crash at any atomic.* seam must leave either the complete old file or
+// the complete new file — never a mix, never a truncated file.
+TEST_F(PersistTest, AtomicWriteCrashLeavesOldOrNewWholeFile) {
+  const auto path = dir_ / "state.json";
+  for (const std::string& seam : crash_seams()) {
+    if (seam.rfind("atomic.", 0) != 0) continue;
+    atomic_write_file(path.string(), "OLD");
+    fault::CrashInjector::instance().arm(seam, 1, fault::CrashMode::Throw);
+    bool crashed = false;
+    try {
+      atomic_write_file(path.string(), "NEWCONTENT");
+    } catch (const fault::CrashInjected& crash) {
+      crashed = true;
+      EXPECT_EQ(crash.seam(), seam);
+    }
+    EXPECT_TRUE(crashed) << seam;
+    const std::string after = slurp(path);
+    EXPECT_TRUE(after == "OLD" || after == "NEWCONTENT")
+        << seam << " left '" << after << "'";
+    if (seam == "atomic.post_rename") {
+      EXPECT_EQ(after, "NEWCONTENT") << "crash after rename keeps the new file";
+    } else {
+      EXPECT_EQ(after, "OLD") << "crash before rename keeps the old file";
+    }
+  }
+}
+
+// --- journal --------------------------------------------------------------
+
+TEST_F(PersistTest, JournalAppendAndRecover) {
+  const auto path = (dir_ / "j.journal").string();
+  {
+    Journal journal(path);
+    EXPECT_EQ(journal.recovery().records, 0u);
+    journal.append("alpha");
+    journal.append("beta");
+  }
+  Journal reopened(path);
+  EXPECT_EQ(reopened.recovery().records, 2u);
+  EXPECT_FALSE(reopened.recovery().torn);
+  ASSERT_EQ(reopened.records().size(), 2u);
+  EXPECT_EQ(reopened.records()[0], "alpha");
+  EXPECT_EQ(reopened.records()[1], "beta");
+}
+
+TEST_F(PersistTest, JournalTruncatesTornTailOnOpen) {
+  const auto path = (dir_ / "j.journal").string();
+  {
+    Journal journal(path);
+    journal.append("intact");
+  }
+  const auto intact_size = fs::file_size(path);
+  std::ofstream(path, std::ios::app | std::ios::binary)
+      .write("\x09\x00\x00\x00garbage", 11);
+  {
+    Journal reopened(path);
+    EXPECT_EQ(reopened.recovery().records, 1u);
+    EXPECT_TRUE(reopened.recovery().torn);
+    EXPECT_EQ(reopened.recovery().torn_bytes, 11u);
+    // The file itself was repaired, and appending extends valid state.
+    EXPECT_EQ(fs::file_size(path), intact_size);
+    reopened.append("after recovery");
+  }
+  Journal third(path);
+  EXPECT_EQ(third.recovery().records, 2u);
+  EXPECT_FALSE(third.recovery().torn);
+}
+
+TEST_F(PersistTest, JournalTruncateRecordsDropsTail) {
+  const auto path = (dir_ / "j.journal").string();
+  Journal journal(path);
+  journal.append("one");
+  journal.append("two");
+  journal.append("three");
+  journal.truncate_records(1);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0], "one");
+
+  Journal reopened(path);
+  ASSERT_EQ(reopened.records().size(), 1u);
+  EXPECT_EQ(reopened.records()[0], "one");
+}
+
+// A crash at any journal.* seam loses at most the record being appended;
+// every previously fsynced record survives recovery.
+TEST_F(PersistTest, JournalCrashLosesAtMostLastAppend) {
+  for (const std::string& seam : crash_seams()) {
+    if (seam.rfind("journal.", 0) != 0) continue;
+    const auto path = (dir_ / ("crash-" + seam)).string();
+    bool crashed = false;
+    try {
+      Journal journal(path);
+      journal.append("committed");
+      fault::CrashInjector::instance().arm(seam, 1, fault::CrashMode::Throw);
+      journal.append("in flight");
+    } catch (const fault::CrashInjected&) {
+      crashed = true;
+    }
+    EXPECT_TRUE(crashed) << seam;
+    Journal recovered(path);
+    ASSERT_GE(recovered.records().size(), 1u) << seam;
+    EXPECT_EQ(recovered.records()[0], "committed");
+    if (seam == "journal.mid_append") {
+      EXPECT_TRUE(recovered.recovery().torn) << seam;
+      EXPECT_EQ(recovered.records().size(), 1u);
+    }
+    if (seam == "journal.post_append") {
+      // Crash after the full frame hit the file: the record survives.
+      ASSERT_EQ(recovered.records().size(), 2u);
+      EXPECT_EQ(recovered.records()[1], "in flight");
+    }
+  }
+}
+
+// --- snapshot -------------------------------------------------------------
+
+Json doc(double x) {
+  Json j;
+  j["x"] = Json(x);
+  return j;
+}
+
+TEST_F(PersistTest, SnapshotRoundTrip) {
+  const auto path = (dir_ / "s.snap").string();
+  SnapshotFile snapshot;
+  snapshot.kind = "unit-test";
+  snapshot.version = 3;
+  snapshot.records.push_back(doc(1.5));
+  snapshot.records.push_back(doc(-2.25));
+  write_snapshot(path, snapshot);
+
+  const auto load = load_snapshot(path, "unit-test", 3);
+  EXPECT_TRUE(load.present);
+  ASSERT_TRUE(load.valid) << load.error;
+  ASSERT_EQ(load.snapshot.records.size(), 2u);
+  EXPECT_EQ(load.snapshot.records[0].dump(), doc(1.5).dump());
+  EXPECT_EQ(load.snapshot.records[1].dump(), doc(-2.25).dump());
+}
+
+TEST_F(PersistTest, SnapshotMissingFileIsAbsentNotError) {
+  const auto load = load_snapshot((dir_ / "nope.snap").string(), "k", 1);
+  EXPECT_FALSE(load.present);
+  EXPECT_FALSE(load.valid);
+  EXPECT_FALSE(load.torn);
+}
+
+TEST_F(PersistTest, SnapshotKindAndVersionMismatchRejected) {
+  const auto path = (dir_ / "s.snap").string();
+  SnapshotFile snapshot;
+  snapshot.kind = "unit-test";
+  snapshot.version = 3;
+  write_snapshot(path, snapshot);
+
+  EXPECT_FALSE(load_snapshot(path, "other-kind", 3).valid);
+  EXPECT_FALSE(load_snapshot(path, "unit-test", 4).valid);
+  EXPECT_TRUE(load_snapshot(path, "unit-test", 3).valid);
+}
+
+TEST_F(PersistTest, DamagedSnapshotRejectedWhole) {
+  const auto path = (dir_ / "s.snap").string();
+  SnapshotFile snapshot;
+  snapshot.kind = "unit-test";
+  snapshot.version = 1;
+  snapshot.records.push_back(doc(7));
+  write_snapshot(path, snapshot);
+
+  // Flip one byte in the middle: checksum-invalid state is never loaded,
+  // even though the header record may still decode.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::trunc | std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  const auto load = load_snapshot(path, "unit-test", 1);
+  EXPECT_TRUE(load.present);
+  EXPECT_FALSE(load.valid);
+}
+
+// --- crash injector plumbing ----------------------------------------------
+
+TEST_F(PersistTest, SeamCatalogueCoversAtomicAndJournal) {
+  const auto& seams = crash_seams();
+  EXPECT_GE(seams.size(), 8u);
+  bool has_atomic = false;
+  bool has_journal = false;
+  for (const auto& seam : seams) {
+    if (seam.rfind("atomic.", 0) == 0) has_atomic = true;
+    if (seam.rfind("journal.", 0) == 0) has_journal = true;
+  }
+  EXPECT_TRUE(has_atomic);
+  EXPECT_TRUE(has_journal);
+}
+
+TEST_F(PersistTest, InjectorFiresOnNthHitOnly) {
+  auto& injector = fault::CrashInjector::instance();
+  injector.arm("journal.pre_append", 3, fault::CrashMode::Throw);
+  const auto path = (dir_ / "nth.journal").string();
+  Journal journal(path);
+  journal.append("one");
+  journal.append("two");
+  EXPECT_EQ(injector.hits(), 2u);
+  EXPECT_THROW(journal.append("three"), fault::CrashInjected);
+  // Throw mode disarms itself so recovery runs seam-free.
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST_F(PersistTest, ArmFromEnvParsesSeamAndHit) {
+#ifndef _WIN32
+  auto& injector = fault::CrashInjector::instance();
+  ::setenv("CIG_CRASH_AT", "journal.pre_append:5", 1);
+  EXPECT_TRUE(injector.arm_from_env());
+  EXPECT_TRUE(injector.armed());
+  injector.disarm();
+  ::unsetenv("CIG_CRASH_AT");
+  EXPECT_FALSE(injector.arm_from_env());
+#endif
+}
+
+}  // namespace
+}  // namespace cig::persist

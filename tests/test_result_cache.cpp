@@ -1,7 +1,8 @@
 // Tests for the content-addressed result cache (core/result_cache.h) and
 // the end-to-end determinism guarantees it depends on: characterization is
 // byte-identical across job counts, across cache hits vs fresh runs, and
-// corrupt or stale cache files degrade to misses instead of failures.
+// corrupt, stale or torn journal records degrade to misses instead of
+// failures.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "core/framework.h"
 #include "core/result_cache.h"
 #include "core/sweep.h"
+#include "persist/journal.h"
 #include "sim/stat_registry.h"
 #include "soc/presets.h"
 #include "support/hash.h"
@@ -80,21 +82,45 @@ TEST_F(ResultCacheTest, DiskRoundTripAcrossInstances) {
   EXPECT_EQ(reader.stats().disk_hits, 1u);
 }
 
-TEST_F(ResultCacheTest, CorruptFileIgnoredAndRewritten) {
-  ResultCache writer(dir_);
-  writer.store("sweep", "k", payload(3));
+TEST_F(ResultCacheTest, TornJournalTailTruncatedOnRecovery) {
+  {
+    ResultCache writer(dir_);
+    writer.store("sweep", "a", payload(3));
+    writer.store("sweep", "b", payload(4));
+  }
+  // A crash mid-append leaves a partial frame at the tail; recovery must
+  // keep every intact record and truncate the rest.
+  std::ofstream(fs::path(dir_) / "cache.journal",
+                std::ios::app | std::ios::binary)
+      .write("\x40\x00\x00\x00\x1f\x2e", 6);
 
-  // Truncate the entry to garbage.
-  fs::path entry;
-  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
-  ASSERT_FALSE(entry.empty());
-  std::ofstream(entry, std::ios::trunc) << "{ not json";
+  ResultCache reader(dir_);
+  const auto hit = reader.lookup("sweep", "a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 3.0);
+  EXPECT_TRUE(reader.lookup("sweep", "b").has_value());
+  EXPECT_EQ(reader.stats().recovered, 2u);
+  EXPECT_EQ(reader.stats().torn_discarded, 1u);
 
+  sim::StatRegistry registry;
+  reader.export_stats(registry);
+  EXPECT_EQ(registry.get("persist.recovered"), 2.0);
+  EXPECT_EQ(registry.get("persist.torn_discarded"), 1.0);
+}
+
+TEST_F(ResultCacheTest, UnparsableRecordDroppedAndOverwritable) {
+  fs::create_directories(dir_);
+  {
+    // Checksum-valid frame around garbage: framing cannot catch it, the
+    // JSON parse must — and it must stay a dropped record, never an error.
+    persist::Journal journal((fs::path(dir_) / "cache.journal").string());
+    journal.append("{ not json");
+  }
   ResultCache reader(dir_);
   EXPECT_FALSE(reader.lookup("sweep", "k").has_value());
   EXPECT_EQ(reader.stats().corrupt_dropped, 1u);
 
-  // The store path rewrites the entry and the cache recovers.
+  // The store path appends a fresh record and the cache recovers.
   reader.store("sweep", "k", payload(4));
   ResultCache reader2(dir_);
   const auto hit = reader2.lookup("sweep", "k");
@@ -102,40 +128,67 @@ TEST_F(ResultCacheTest, CorruptFileIgnoredAndRewritten) {
   EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 4.0);
 }
 
-TEST_F(ResultCacheTest, StaleSchemaTagTreatedAsMiss) {
-  ResultCache writer(dir_);
-  writer.store("sweep", "k", payload(5));
-  fs::path entry;
-  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
-  Json stale;
-  stale["schema"] = Json(std::string("cig-result-cache-v0"));
-  stale["kind"] = Json(std::string("sweep"));
-  stale["key_text"] = Json(std::string("k"));
-  stale["value"] = payload(5);
-  std::ofstream(entry, std::ios::trunc) << stale.dump();
+TEST_F(ResultCacheTest, MissingSchemaFieldIgnoredNotFatal) {
+  fs::create_directories(dir_);
+  {
+    persist::Journal journal((fs::path(dir_) / "cache.journal").string());
+    Json record;  // parses fine, but carries no "schema" field at all
+    record["kind"] = Json(std::string("sweep"));
+    record["key_text"] = Json(std::string("k"));
+    record["value"] = payload(7);
+    journal.append(record.dump());
+  }
+  ResultCache reader(dir_);
+  EXPECT_FALSE(reader.lookup("sweep", "k").has_value());
+  EXPECT_EQ(reader.stats().invalid, 1u);
+  EXPECT_EQ(reader.stats().corrupt_dropped, 0u);
 
+  sim::StatRegistry registry;
+  reader.export_stats(registry);
+  EXPECT_EQ(registry.get("cache.invalid"), 1.0);
+}
+
+TEST_F(ResultCacheTest, StaleSchemaTagTreatedAsMiss) {
+  fs::create_directories(dir_);
+  {
+    persist::Journal journal((fs::path(dir_) / "cache.journal").string());
+    Json stale;
+    stale["schema"] = Json(std::string("cig-result-cache-v0"));
+    stale["kind"] = Json(std::string("sweep"));
+    stale["key_text"] = Json(std::string("k"));
+    stale["value"] = payload(5);
+    journal.append(stale.dump());
+  }
   ResultCache reader(dir_);
   EXPECT_FALSE(reader.lookup("sweep", "k").has_value());
   EXPECT_EQ(reader.stats().corrupt_dropped, 1u);
 }
 
-TEST_F(ResultCacheTest, HashCollisionDetectedByKeyText) {
-  // Two different key texts whose entries land in the same file can only
-  // happen on a hash collision; simulate one by renaming the entry.
-  ResultCache writer(dir_);
-  writer.store("sweep", "original-key", payload(6));
-  fs::path entry;
-  for (const auto& file : fs::directory_iterator(dir_)) entry = file.path();
-  const auto colliding =
-      entry.parent_path() /
-      ("sweep-" + support::fnv1a64_hex(ResultCache::key_of("other-key")) +
-       ".json");
-  fs::rename(entry, colliding);
-
+TEST_F(ResultCacheTest, LaterRecordOverridesEarlier) {
+  {
+    ResultCache writer(dir_);
+    writer.store("sweep", "k", payload(1));
+    writer.store("sweep", "k", payload(2));
+  }
   ResultCache reader(dir_);
-  // The file exists under other-key's name but holds original-key's text:
-  // exact key_text comparison turns it into a miss, never a wrong value.
-  EXPECT_FALSE(reader.lookup("sweep", "other-key").has_value());
+  const auto hit = reader.lookup("sweep", "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->at("x").as_number(), 2.0);
+  // Two journal records, one live entry.
+  EXPECT_EQ(reader.disk_usage().entries, 1u);
+}
+
+TEST_F(ResultCacheTest, LegacyEntryFilesCountedAndCleared) {
+  ResultCache cache(dir_);
+  cache.store("sweep", "a", payload(1));
+  // A per-entry file from the pre-journal disk format.
+  std::ofstream(fs::path(dir_) /
+                ("sweep-" + support::fnv1a64_hex(ResultCache::key_of("old")) +
+                 ".json"))
+      << "{}";
+  EXPECT_EQ(cache.disk_usage().entries, 2u);
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_EQ(cache.disk_usage().entries, 0u);
 }
 
 TEST_F(ResultCacheTest, DiskUsageAndClear) {

@@ -18,13 +18,36 @@
 //                                          characterization cache
 //   cigtool runtime --board <board> [--trace phasic|oscillation]
 //                   [--trace-out <file.json>] [--metrics-out <file.prom>]
+//                   [--checkpoint-dir <dir>] [--checkpoint-every N]
+//                   [--decisions-out <file.json>] [--no-static]
 //                   [--json] [--explain]
 //                                          replay a phasic trace through the
 //                                          online adaptive controller; the
 //                                          trace file carries counter tracks
 //                                          and decision->phase flow arrows,
 //                                          the metrics file is a
-//                                          Prometheus-style text snapshot
+//                                          Prometheus-style text snapshot.
+//                                          --checkpoint-dir makes the run
+//                                          crash-safe: every sample is
+//                                          journaled and the controller
+//                                          state snapshotted, so a rerun
+//                                          over the same directory resumes
+//                                          mid-trace with byte-identical
+//                                          decisions. Exit code 3 means
+//                                          recovery discarded torn state
+//                                          (a crash landed mid-append).
+//   cigtool crashtest [--board b] [--seams a,b] [--occurrences N]
+//                     [--scratch <dir>] [--checkpoint-every N]
+//                     [--metrics-out <file.prom>] [--json]
+//                                          crash-recovery matrix: for every
+//                                          persistence seam, kill a
+//                                          checkpointed child run at that
+//                                          seam, restart it, and verify
+//                                          restart succeeds, no
+//                                          checksum-invalid state loads, and
+//                                          post-restore decisions are
+//                                          byte-identical to an
+//                                          uninterrupted run
 //   cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]
 //                 [--trace-out <file.json>] [--metrics-out <file.prom>]
 //                 [--json]
@@ -58,8 +81,11 @@
 #include "core/result_cache.h"
 #include "core/sweep.h"
 #include "fault/chaos.h"
+#include "fault/crash.h"
+#include "fault/crashtest.h"
 #include "fault/scenario.h"
 #include "obs/prometheus.h"
+#include "persist/atomic_io.h"
 #include "runtime/replay.h"
 #include "sim/trace_export.h"
 #include "soc/board_io.h"
@@ -89,14 +115,21 @@ int usage() {
       "  cigtool cache <stats|clear> --cache-dir <dir> [--json]\n"
       "  cigtool runtime --board <board> [--trace phasic|oscillation]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>]"
-      " [--json] [--explain]\n"
+      " [--checkpoint-dir <dir>] [--checkpoint-every N]"
+      " [--decisions-out <file.json>] [--no-static] [--json] [--explain]\n"
+      "  cigtool crashtest [--board b] [--seams a,b] [--occurrences N]"
+      " [--scratch <dir>] [--checkpoint-every N] [--metrics-out <file.prom>]"
+      " [--json]\n"
       "  cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>] [--json]\n"
       "\n"
       "global flags:\n"
       "  --jobs N        worker pool size for sweeps/grids (0 = CIG_JOBS env"
       " or all cores; default 0)\n"
-      "  --cache-dir D   content-addressed characterization cache directory\n";
+      "  --cache-dir D   content-addressed characterization cache directory\n"
+      "\n"
+      "exit codes: 0 ok, 1 error/check failure, 2 usage, 3 recovery"
+      " discarded torn state (checkpointed runtime only)\n";
   return 2;
 }
 
@@ -410,9 +443,15 @@ int cmd_cache(const std::string& action, const std::string& cache_dir,
 
 int cmd_runtime(const std::string& board_name, const std::string& trace,
                 const std::string& trace_out, const std::string& metrics_out,
+                const std::string& checkpoint_dir,
+                std::uint64_t checkpoint_every,
+                const std::string& decisions_out, bool no_static,
                 bool as_json, bool explain) {
   core::Framework framework(soc::resolve_board(board_name));
   runtime::ReplayOptions options;
+  options.checkpoint.dir = checkpoint_dir;
+  options.checkpoint.snapshot_every =
+      checkpoint_every == 0 ? 1 : checkpoint_every;
   std::vector<workload::PhasicPhase> phases;
   if (trace == "phasic") {
     phases = workload::phasic_workload_phases(framework.board());
@@ -428,10 +467,37 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
   }
 
   const auto result = runtime::replay_phasic(framework, phases, options);
-  const auto ref = runtime::compare_static(framework, phases, options.exec);
-  const Seconds worst =
-      ref.static_time[core::model_index(ref.worst_static)];
-  const Seconds best = ref.static_time[core::model_index(ref.best_static)];
+  // Exit 3 is the documented "recovery discarded torn state" signal: the
+  // run itself still succeeded (outputs below are all written).
+  const int exit_code =
+      !checkpoint_dir.empty() && result.persist.torn_discarded > 0 ? 3 : 0;
+
+  // --no-static skips the three static reference replays (crashtest spawns
+  // dozens of children; only the adaptive run matters to them).
+  runtime::StaticComparison ref;
+  Seconds worst = 0;
+  Seconds best = 0;
+  if (!no_static) {
+    ref = runtime::compare_static(framework, phases, options.exec);
+    worst = ref.static_time[core::model_index(ref.worst_static)];
+    best = ref.static_time[core::model_index(ref.best_static)];
+  }
+
+  if (!decisions_out.empty()) {
+    // The full decision log (journaled prefix + live tail) in one atomic
+    // file — what `cigtool crashtest` diffs against its golden run.
+    Json doc;
+    doc["board"] = Json(framework.board().name);
+    doc["trace"] = Json(trace);
+    doc["adaptive_us"] = Json(to_us(result.adaptive_time));
+    doc["resumed"] = Json(result.resumed);
+    doc["resume_sample"] = Json(static_cast<double>(result.resume_sample));
+    doc["persist"] = result.persist.to_json();
+    Json log = JsonArray{};
+    for (const auto& record : result.decision_log) log.push_back(record);
+    doc["decisions"] = std::move(log);
+    persist::atomic_write_file(decisions_out, doc.dump(2) + "\n");
+  }
 
   if (!trace_out.empty()) {
     sim::write_chrome_trace(result.timeline, result.aux, trace_out,
@@ -470,21 +536,29 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
     j["phase_changes"] =
         Json(static_cast<double>(result.metrics.phase_changes));
     j["adaptive_us"] = Json(to_us(result.adaptive_time));
-    j["oracle_us"] = Json(to_us(ref.oracle_time));
-    j["adaptive_vs_oracle"] = Json(result.adaptive_time / ref.oracle_time);
-    j["adaptive_vs_worst_static"] = Json(result.adaptive_time / worst);
-    Json statics;
-    for (const auto model : core::kAllModels) {
-      statics[comm::model_name(model)] =
-          Json(to_us(ref.static_time[core::model_index(model)]));
+    if (!no_static) {
+      j["oracle_us"] = Json(to_us(ref.oracle_time));
+      j["adaptive_vs_oracle"] = Json(result.adaptive_time / ref.oracle_time);
+      j["adaptive_vs_worst_static"] = Json(result.adaptive_time / worst);
+      Json statics;
+      for (const auto model : core::kAllModels) {
+        statics[comm::model_name(model)] =
+            Json(to_us(ref.static_time[core::model_index(model)]));
+      }
+      j["static_us"] = std::move(statics);
+      j["best_static"] = Json(std::string(comm::model_name(ref.best_static)));
+      j["worst_static"] =
+          Json(std::string(comm::model_name(ref.worst_static)));
     }
-    j["static_us"] = std::move(statics);
-    j["best_static"] = Json(std::string(comm::model_name(ref.best_static)));
-    j["worst_static"] = Json(std::string(comm::model_name(ref.worst_static)));
+    if (!checkpoint_dir.empty()) {
+      j["resumed"] = Json(result.resumed);
+      j["resume_sample"] = Json(static_cast<double>(result.resume_sample));
+      j["persist"] = result.persist.to_json();
+    }
     j["registry"] = result.registry.to_json();
     if (explain) j["decisions"] = std::move(decisions);
     std::cout << j.dump(2) << '\n';
-    return 0;
+    return exit_code;
   }
 
   Table table({"quantity", "value"});
@@ -492,20 +566,29 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
   table.add_row({"trace", trace});
   table.add_row({"phases", std::to_string(phases.size())});
   table.add_row({"adaptive", format_time(result.adaptive_time)});
-  table.add_row({"oracle (per-phase best)", format_time(ref.oracle_time)});
-  for (const auto model : core::kAllModels) {
+  if (!no_static) {
+    table.add_row({"oracle (per-phase best)", format_time(ref.oracle_time)});
+    for (const auto model : core::kAllModels) {
+      table.add_row(
+          {std::string("static ") + comm::model_name(model),
+           format_time(ref.static_time[core::model_index(model)])});
+    }
+    table.add_row({"best static",
+                   std::string(comm::model_name(ref.best_static)) + " (" +
+                       format_time(best) + ")"});
     table.add_row(
-        {std::string("static ") + comm::model_name(model),
-         format_time(ref.static_time[core::model_index(model)])});
+        {"adaptive / oracle",
+         Table::num(result.adaptive_time / ref.oracle_time, 3) + "x"});
+    table.add_row({"adaptive / worst static",
+                   Table::num(result.adaptive_time / worst, 3) + "x"});
   }
-  table.add_row({"best static",
-                 std::string(comm::model_name(ref.best_static)) + " (" +
-                     format_time(best) + ")"});
-  table.add_row(
-      {"adaptive / oracle",
-       Table::num(result.adaptive_time / ref.oracle_time, 3) + "x"});
-  table.add_row({"adaptive / worst static",
-                 Table::num(result.adaptive_time / worst, 3) + "x"});
+  if (!checkpoint_dir.empty()) {
+    table.add_row({"checkpoint",
+                   result.resumed
+                       ? "resumed at sample " +
+                             std::to_string(result.resume_sample)
+                       : std::string("cold start")});
+  }
   print_table(std::cout, table);
 
   std::cout << '\n' << result.metrics.to_string() << '\n';
@@ -533,7 +616,7 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
   if (!metrics_out.empty()) {
     std::cout << "wrote Prometheus metrics to " << metrics_out << '\n';
   }
-  return 0;
+  return exit_code;
 }
 
 std::uint64_t parse_seed(const std::string& text) {
@@ -545,6 +628,70 @@ std::uint64_t parse_seed(const std::string& text) {
                              "': want a non-negative integer");
   }
   return static_cast<std::uint64_t>(parsed);
+}
+
+int cmd_crashtest(const std::string& cigtool_path,
+                  const std::string& board_name,
+                  const std::string& seams_csv, std::uint64_t occurrences,
+                  const std::string& scratch, std::uint64_t checkpoint_every,
+                  const std::string& metrics_out, bool as_json) {
+  fault::CrashTestOptions options;
+  options.cigtool = cigtool_path;
+  options.board = board_name;
+  if (!seams_csv.empty()) options.seams = split_csv(seams_csv);
+  options.occurrences = occurrences == 0 ? 1 : occurrences;
+  if (!scratch.empty()) options.scratch_dir = scratch;
+  options.snapshot_every = checkpoint_every == 0 ? 1 : checkpoint_every;
+
+  const auto report = fault::run_crashtest(options);
+
+  if (!metrics_out.empty()) {
+    sim::StatRegistry registry;
+    registry.set("crashtest.cells", static_cast<double>(report.cells.size()));
+    registry.set("crashtest.exercised",
+                 static_cast<double>(report.exercised));
+    registry.set("crashtest.violations",
+                 static_cast<double>(report.violations));
+    registry.set("crashtest.torn_recoveries",
+                 static_cast<double>(report.torn_recoveries));
+    registry.set("crashtest.samples", static_cast<double>(report.samples));
+    obs::write_prometheus(registry, metrics_out);
+  }
+
+  if (as_json) {
+    std::cout << report.to_json().dump(2) << '\n';
+  } else {
+    Table table({"seam", "hit", "crash", "recover", "outcome"});
+    for (const auto& cell : report.cells) {
+      table.add_row({cell.seam, std::to_string(cell.nth),
+                     std::to_string(cell.crash_exit),
+                     cell.recover_exit < 0 ? std::string("-")
+                                           : std::to_string(cell.recover_exit),
+                     (cell.violation ? std::string("VIOLATION: ")
+                                     : std::string()) +
+                         cell.detail});
+    }
+    print_table(std::cout, table);
+    std::cout << '\n'
+              << report.exercised << " seam hits exercised, "
+              << report.torn_recoveries << " torn-state recoveries, "
+              << report.violations << " violation(s); golden trace "
+              << report.samples << " samples\n";
+    if (!metrics_out.empty()) {
+      std::cout << "wrote Prometheus metrics to " << metrics_out << '\n';
+    }
+  }
+
+  if (!report.passed()) {
+    std::cerr << "cigtool: crashtest: "
+              << (report.exercised == 0
+                      ? "no seam was exercised"
+                      : std::to_string(report.violations) +
+                            " recovery invariant violation(s)")
+              << '\n';
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
@@ -666,6 +813,10 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `cigtool crashtest` children are armed through CIG_CRASH_AT: the armed
+  // process dies at the chosen persistence seam, no flags needed.
+  fault::CrashInjector::instance().arm_from_env();
+
   std::vector<std::string> args(argv + 1, argv + argc);
   bool as_json = false;
   bool as_csv = false;
@@ -680,6 +831,13 @@ int main(int argc, char** argv) {
   std::string boards_csv = "tx2,xavier";
   std::string scenarios_csv;
   std::uint64_t seed = 42;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 1;
+  std::string decisions_out;
+  bool no_static = false;
+  std::string seams_csv;
+  std::uint64_t occurrences = 2;
+  std::string scratch;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -717,6 +875,26 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--cache-dir") {
         if (++i >= args.size()) return usage();
         cache_dir = args[i];
+      } else if (args[i] == "--checkpoint-dir") {
+        if (++i >= args.size()) return usage();
+        checkpoint_dir = args[i];
+      } else if (args[i] == "--checkpoint-every") {
+        if (++i >= args.size()) return usage();
+        checkpoint_every = parse_seed(args[i]);
+      } else if (args[i] == "--decisions-out") {
+        if (++i >= args.size()) return usage();
+        decisions_out = args[i];
+      } else if (args[i] == "--no-static") {
+        no_static = true;
+      } else if (args[i] == "--seams") {
+        if (++i >= args.size()) return usage();
+        seams_csv = args[i];
+      } else if (args[i] == "--occurrences") {
+        if (++i >= args.size()) return usage();
+        occurrences = parse_seed(args[i]);
+      } else if (args[i] == "--scratch") {
+        if (++i >= args.size()) return usage();
+        scratch = args[i];
       } else if (args[i] == "--explain") {
         explain = true;
       } else if (args[i] == "--help" || args[i] == "-h") {
@@ -769,8 +947,15 @@ int main(int argc, char** argv) {
               ? board_flag
               : (positional.size() == 2 ? positional[1] : std::string());
       if (board_name.empty()) return usage();
-      return cmd_runtime(board_name, trace, trace_out, metrics_out, as_json,
-                         explain);
+      return cmd_runtime(board_name, trace, trace_out, metrics_out,
+                         checkpoint_dir, checkpoint_every, decisions_out,
+                         no_static, as_json, explain);
+    }
+    if (command == "crashtest" && positional.size() == 1) {
+      const std::string board_name =
+          board_flag.empty() ? std::string("tx2") : board_flag;
+      return cmd_crashtest(argv[0], board_name, seams_csv, occurrences,
+                           scratch, checkpoint_every, metrics_out, as_json);
     }
     if (command == "chaos" && positional.size() == 1) {
       return cmd_chaos(boards_csv, scenarios_csv, seed, jobs, cache_dir,
