@@ -1,0 +1,199 @@
+// Serve-daemon throughput: drives an in-process serve::Server with a
+// scripted multi-tenant session (N tenants x M samples each, plus a
+// decide/stats query stream) and reports aggregate request throughput and
+// the per-sample decision-latency percentiles (simulated microseconds,
+// from the daemon's serve.decide_us histogram).
+//
+// Board characterization and tenant registration are warmed up outside the
+// timed window — the bench measures the steady-state serving loop, not the
+// one-time micro-benchmark suite. Wall-clock timing only; every other
+// number in the report is deterministic.
+//
+//   serve_throughput [--tenants N] [--samples M] [--queries Q] [--jobs J]
+//                    [--budget B] [--bench-out BENCH_serve.json]
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "obs/histogram.h"
+#include "serve/server.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace cig;
+
+struct Cli {
+  int tenants = 200;
+  int samples = 5;    // samples per tenant (simulated control periods)
+  int queries = 45;   // decide/stats queries per tenant
+  int jobs = 0;       // 0 = CIG_JOBS env override, else hardware threads
+  std::uint64_t budget = 0;  // 0 = everything resident (no evictions)
+  std::string bench_out;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tenants" && i + 1 < argc) {
+      cli.tenants = std::atoi(argv[++i]);
+    } else if (arg == "--samples" && i + 1 < argc) {
+      cli.samples = std::atoi(argv[++i]);
+    } else if (arg == "--queries" && i + 1 < argc) {
+      cli.queries = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      cli.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      cli.budget = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--bench-out" && i + 1 < argc) {
+      cli.bench_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--tenants N] [--samples M] [--queries Q] [--jobs J]"
+                   " [--budget B] [--bench-out FILE]\n";
+      std::exit(1);
+    }
+  }
+  return cli;
+}
+
+std::string tenant_name(int index) {
+  std::ostringstream out;
+  out << "t" << std::setw(4) << std::setfill('0') << index;
+  return out.str();
+}
+
+// Runs one scripted stream through the server; returns wall seconds.
+double run_stream(serve::Server& server, const std::string& script,
+                  std::uint64_t* replies_out = nullptr) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  const auto start = std::chrono::steady_clock::now();
+  server.run(in, out);
+  const auto end = std::chrono::steady_clock::now();
+  if (replies_out != nullptr) {
+    std::uint64_t replies = 0;
+    for (const char c : out.str()) {
+      if (c == '\n') ++replies;
+    }
+    *replies_out = replies;
+  }
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+
+  serve::ServeOptions options;
+  options.jobs = cli.jobs == 0 ? support::resolve_jobs(0) : cli.jobs;
+  options.batch_max = 256;
+  if (cli.budget > 0) options.resident_budget = cli.budget;
+  else options.resident_budget = static_cast<std::uint64_t>(cli.tenants);
+  serve::Server server(options);
+
+  bench::header("serve daemon throughput (" + std::to_string(cli.tenants) +
+                " tenants, jobs " + std::to_string(options.jobs) + ")");
+
+  // Warmup (untimed): board characterization + tenant registration.
+  {
+    std::ostringstream script;
+    for (int t = 0; t < cli.tenants; ++t) {
+      script << "{\"op\":\"hello\",\"tenant\":\"" << tenant_name(t)
+             << "\",\"board\":\"tx2\"}\n";
+    }
+    run_stream(server, script.str());
+  }
+
+  // Timed: the sample ingest stream (round-robin across tenants, two
+  // light / two heavy phases, minimum span so the simulated kernel is the
+  // control-period unit, not a long-running phase).
+  std::uint64_t sample_requests = 0;
+  std::ostringstream samples;
+  for (int s = 0; s < cli.samples; ++s) {
+    const bool heavy = (s % 4) >= 2;
+    for (int t = 0; t < cli.tenants; ++t) {
+      // Spans spread over 64..4096 bytes so the decision-latency histogram
+      // reflects a mix of kernel sizes, not one degenerate point.
+      const int span = 64 << (2 * (t % 4));
+      samples << "{\"op\":\"sample\",\"tenant\":\"" << tenant_name(t)
+              << "\",\"span\":" << span
+              << ",\"heavy\":" << (heavy ? "true" : "false") << "}\n";
+      ++sample_requests;
+    }
+  }
+  const double sample_seconds = run_stream(server, samples.str());
+
+  // Timed: the query stream (one-shot decisions + tenant stats), the
+  // cheap read-mostly traffic a decision service sees between samples.
+  std::uint64_t query_requests = 0;
+  std::ostringstream queries;
+  for (int q = 0; q < cli.queries; ++q) {
+    for (int t = 0; t < cli.tenants; ++t) {
+      queries << "{\"op\":\"" << (q % 3 == 2 ? "stats" : "decide")
+              << "\",\"tenant\":\"" << tenant_name(t) << "\"}\n";
+      ++query_requests;
+    }
+  }
+  const double query_seconds = run_stream(server, queries.str());
+
+  const std::uint64_t requests = sample_requests + query_requests;
+  const double wall = sample_seconds + query_seconds;
+  const double req_per_sec = wall > 0 ? requests / wall : 0;
+  const double samples_per_sec =
+      sample_seconds > 0 ? sample_requests / sample_seconds : 0;
+  const double queries_per_sec =
+      query_seconds > 0 ? query_requests / query_seconds : 0;
+
+  const obs::Histogram& decide = server.metrics().decide_us;
+  const auto& m = server.metrics();
+
+  Table table({"quantity", "value"});
+  table.add_row({"tenants", std::to_string(cli.tenants)});
+  table.add_row({"jobs", std::to_string(options.jobs)});
+  table.add_row({"requests (timed)", std::to_string(requests)});
+  table.add_row({"wall seconds", Table::num(wall, 3)});
+  table.add_row({"requests/sec", Table::num(req_per_sec, 0)});
+  table.add_row({"samples/sec", Table::num(samples_per_sec, 0)});
+  table.add_row({"queries/sec", Table::num(queries_per_sec, 0)});
+  table.add_row({"decide p50 (sim us)", Table::num(decide.percentile(50), 1)});
+  table.add_row({"decide p95 (sim us)", Table::num(decide.percentile(95), 1)});
+  table.add_row({"decide p99 (sim us)", Table::num(decide.percentile(99), 1)});
+  table.add_row({"evictions", std::to_string(m.evictions)});
+  table.add_row({"restores", std::to_string(m.restores)});
+  print_table(std::cout, table);
+
+  if (!cli.bench_out.empty()) {
+    Json j;
+    j["bench"] = Json(std::string("serve_throughput"));
+    j["board"] = Json(std::string("tx2"));
+    j["tenants"] = Json(static_cast<double>(cli.tenants));
+    j["samples_per_tenant"] = Json(static_cast<double>(cli.samples));
+    j["queries_per_tenant"] = Json(static_cast<double>(cli.queries));
+    j["jobs"] = Json(static_cast<double>(options.jobs));
+    j["requests"] = Json(static_cast<double>(requests));
+    j["wall_seconds"] = Json(wall);
+    j["req_per_sec"] = Json(req_per_sec);
+    j["samples_per_sec"] = Json(samples_per_sec);
+    j["queries_per_sec"] = Json(queries_per_sec);
+    Json latency;
+    latency["count"] = Json(static_cast<double>(decide.count()));
+    latency["mean"] = Json(decide.mean());
+    latency["p50"] = Json(decide.percentile(50));
+    latency["p95"] = Json(decide.percentile(95));
+    latency["p99"] = Json(decide.percentile(99));
+    j["decide_latency_us"] = std::move(latency);
+    j["evictions"] = Json(static_cast<double>(m.evictions));
+    j["restores"] = Json(static_cast<double>(m.restores));
+    persist::atomic_write_file(cli.bench_out, j.dump(2) + "\n");
+    std::cout << "\nwrote bench report to " << cli.bench_out << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,267 @@
+#include "serve/crashtest.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/crash.h"
+#include "persist/atomic_io.h"
+#include "serve/server.h"
+#include "support/log.h"
+
+namespace cig::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Same conservative single-quote wrapping fault/crashtest.cpp uses: every
+// interpolated argument goes through here, so paths with spaces survive
+// std::system.
+std::string shell_quote(const std::string& text) {
+  std::string quoted = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+int run_child(const std::string& command) {
+  const int raw = std::system(command.c_str());
+#ifdef _WIN32
+  return raw;
+#else
+  if (raw == -1) return -1;
+  if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+  if (WIFSIGNALED(raw)) return 128 + WTERMSIG(raw);
+  return raw;
+#endif
+}
+
+std::string tenant_name(int index) {
+  std::ostringstream out;
+  out << "t" << std::setw(3) << std::setfill('0') << index;
+  return out.str();
+}
+
+std::string cell_dir_name(const std::string& seam, std::uint64_t nth) {
+  std::string name = seam;
+  std::replace(name.begin(), name.end(), '.', '_');
+  return name + "_hit" + std::to_string(nth);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool comparable_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext != ".tmp" && ext != ".log";
+}
+
+std::vector<std::string> state_files(const fs::path& root) {
+  std::vector<std::string> files;
+  if (!fs::exists(root)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    if (!comparable_file(entry.path())) continue;
+    files.push_back(fs::relative(entry.path(), root).generic_string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Empty string = the two state directories hold byte-identical files;
+// otherwise a description of the first divergence.
+std::string compare_state_dirs(const fs::path& golden, const fs::path& got) {
+  const auto golden_files = state_files(golden);
+  const auto got_files = state_files(got);
+  if (golden_files != got_files) {
+    for (const auto& f : golden_files) {
+      if (std::find(got_files.begin(), got_files.end(), f) ==
+          got_files.end()) {
+        return "missing file " + f;
+      }
+    }
+    for (const auto& f : got_files) {
+      if (std::find(golden_files.begin(), golden_files.end(), f) ==
+          golden_files.end()) {
+        return "unexpected file " + f;
+      }
+    }
+    return "file sets differ";
+  }
+  for (const auto& f : golden_files) {
+    if (read_file(golden / f) != read_file(got / f)) {
+      return "file " + f + " differs from golden";
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string scripted_session(const ScriptOptions& options) {
+  std::ostringstream out;
+  for (int t = 0; t < options.tenants; ++t) {
+    out << "{\"op\":\"hello\",\"tenant\":\"" << tenant_name(t)
+        << "\",\"board\":\"" << options.board << "\"}\n";
+  }
+  for (int s = 0; s < options.samples_per_tenant; ++s) {
+    const bool heavy = (s % 4) >= 2;  // two light, two heavy per cycle
+    for (int t = 0; t < options.tenants; ++t) {
+      out << "{\"op\":\"sample\",\"tenant\":\"" << tenant_name(t)
+          << "\",\"heavy\":" << (heavy ? "true" : "false") << "}\n";
+    }
+  }
+  if (options.decide) {
+    for (int t = 0; t < options.tenants; ++t) {
+      out << "{\"op\":\"decide\",\"tenant\":\"" << tenant_name(t) << "\"}\n";
+    }
+  }
+  if (options.checkpoint) out << "{\"op\":\"checkpoint\"}\n";
+  if (options.shutdown) out << "{\"op\":\"shutdown\"}\n";
+  return out.str();
+}
+
+fault::CrashTestReport run_serve_crashtest(
+    const ServeCrashTestOptions& options) {
+#ifdef _WIN32
+  throw std::runtime_error("crashtest needs a POSIX shell to kill children");
+#endif
+  if (options.cigtool.empty()) {
+    throw std::runtime_error("serve crashtest: no cigtool binary path");
+  }
+
+  fs::create_directories(options.scratch_dir);
+  const fs::path scratch(options.scratch_dir);
+
+  ScriptOptions script_options;
+  script_options.tenants = options.tenants;
+  script_options.samples_per_tenant = options.samples_per_tenant;
+  script_options.board = options.board;
+  const std::string script = scripted_session(script_options);
+  const fs::path script_path = scratch / "script.jsonl";
+  persist::atomic_write_file(script_path.string(), script);
+
+  const std::string cache_dir = options.cache_dir.empty()
+                                    ? (scratch / "cache").string()
+                                    : options.cache_dir;
+  const auto serve_cmd = [&](const fs::path& state_dir, int jobs) {
+    return shell_quote(options.cigtool) + " serve --state-dir " +
+           shell_quote(state_dir.string()) + " --resident-budget " +
+           std::to_string(options.resident_budget) + " --batch-max " +
+           std::to_string(options.batch_max) + " --jobs " +
+           std::to_string(jobs) + " --cache-dir " + shell_quote(cache_dir) +
+           " < " + shell_quote(script_path.string());
+  };
+
+  // Golden run: uninterrupted, serial reference path. Every recovered
+  // state directory must match these bytes exactly.
+  const fs::path golden_state = scratch / "golden" / "state";
+  std::error_code ec;
+  fs::remove_all(scratch / "golden", ec);
+  fs::create_directories(golden_state);
+  const int golden_exit =
+      run_child(serve_cmd(golden_state, 1) + " > " +
+                shell_quote((scratch / "golden" / "serve.log").string()) +
+                " 2>&1");
+  if (golden_exit != 0) {
+    throw std::runtime_error("serve crashtest: golden run failed (exit " +
+                             std::to_string(golden_exit) + ")");
+  }
+
+  const std::vector<std::string>& seams =
+      options.seams.empty() ? serve_crash_seams() : options.seams;
+  const std::uint64_t occurrences =
+      options.occurrences == 0 ? 1 : options.occurrences;
+
+  fault::CrashTestReport report;
+  report.samples = static_cast<std::uint64_t>(options.tenants) *
+                   static_cast<std::uint64_t>(options.samples_per_tenant);
+
+  for (const std::string& seam : seams) {
+    for (std::uint64_t nth = 1; nth <= occurrences; ++nth) {
+      fault::CrashTestCell cell;
+      cell.seam = seam;
+      cell.nth = nth;
+
+      const fs::path dir = scratch / cell_dir_name(seam, nth);
+      fs::remove_all(dir, ec);
+      const fs::path state = dir / "state";
+      fs::create_directories(state);
+
+      // Phase 1: armed child dies like a power cut at the n-th seam hit.
+      const std::string crash_cmd =
+          "CIG_CRASH_AT=" + shell_quote(seam + ":" + std::to_string(nth)) +
+          " " + serve_cmd(state, 2) + " > " +
+          shell_quote((dir / "crash.log").string()) + " 2>&1";
+      cell.crash_exit = run_child(crash_cmd);
+
+      if (cell.crash_exit == 0) {
+        cell.detail = "seam never fired; run completed";
+      } else if (cell.crash_exit != fault::kCrashExitCode) {
+        cell.violation = true;
+        cell.detail = "crash child failed unexpectedly (exit " +
+                      std::to_string(cell.crash_exit) + ")";
+      } else {
+        cell.exercised = true;
+
+        // Phase 2: a fresh daemon recovers the manifest and the client
+        // re-feeds the whole script (at-least-once delivery); replayed
+        // samples are deduplicated server-side.
+        const fs::path recover_log = dir / "recover.log";
+        cell.recover_exit =
+            run_child(serve_cmd(state, 2) + " > " +
+                      shell_quote(recover_log.string()) + " 2>&1");
+
+        if (cell.recover_exit != 0 && cell.recover_exit != 3) {
+          cell.violation = true;
+          cell.detail = "recovery failed (exit " +
+                        std::to_string(cell.recover_exit) + ")";
+        } else {
+          cell.torn_recovered = cell.recover_exit == 3;
+          cell.resumed = read_file(recover_log).find("\"replayed\":true") !=
+                         std::string::npos;
+          const std::string diff = compare_state_dirs(golden_state, state);
+          if (!diff.empty()) {
+            cell.violation = true;
+            cell.detail = "recovered state diverges: " + diff;
+          } else {
+            cell.identical = true;
+            cell.detail =
+                std::string(cell.resumed ? "resumed from checkpoints"
+                                         : "cold start") +
+                (cell.torn_recovered ? ", torn state discarded" : "") +
+                ", state byte-identical";
+          }
+        }
+      }
+
+      if (cell.exercised) ++report.exercised;
+      if (cell.violation) ++report.violations;
+      if (cell.torn_recovered) ++report.torn_recoveries;
+      CIG_LOG_C(cell.violation ? ::cig::LogLevel::Warn : ::cig::LogLevel::Info,
+                "crashtest",
+                "serve " << cell.seam << " hit " << cell.nth << ": "
+                         << cell.detail);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace cig::serve

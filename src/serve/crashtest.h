@@ -1,0 +1,60 @@
+// Crash-point recovery testing for the serve daemon, mirroring
+// fault::run_crashtest for the `cigtool runtime` path: for every serve
+// seam (and the n-th hit of each), a child `cigtool serve` process runs a
+// deterministic scripted session armed to die at that seam, a second child
+// re-feeds the same script over the surviving state directory, and the
+// final state directory must be byte-identical to an uninterrupted golden
+// run — every checkpointed tenant recovered exactly.
+//
+// The golden child runs with --jobs 1 and the crash/recovery children with
+// --jobs 2, so each cell doubly checks the daemon's determinism contract:
+// the recovered bytes must match across both a crash boundary and a
+// different worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/crashtest.h"
+
+namespace cig::serve {
+
+// Deterministic scripted session used by the crash matrix (and reusable by
+// tests and the CI smoke job): hello for every tenant, round-robin phasic
+// samples (two light then two heavy per cycle), one decide per tenant, a
+// checkpoint barrier and a shutdown.
+struct ScriptOptions {
+  int tenants = 4;
+  int samples_per_tenant = 4;
+  std::string board = "tx2";
+  bool decide = true;
+  bool checkpoint = true;
+  bool shutdown = true;
+};
+std::string scripted_session(const ScriptOptions& options);
+
+struct ServeCrashTestOptions {
+  std::string cigtool;      // path of the cigtool binary to spawn
+  std::string board = "tx2";
+  std::string scratch_dir = "serve-crashtest-scratch";
+  std::vector<std::string> seams;  // empty = serve_crash_seams()
+  std::uint64_t occurrences = 2;   // test the 1st..n-th hit of each seam
+  int tenants = 4;
+  int samples_per_tenant = 4;
+  // Budget below the tenant count so evictions (and their seams) fire
+  // mid-session, not only at the shutdown checkpoint.
+  std::uint64_t resident_budget = 2;
+  std::size_t batch_max = 8;
+  // Characterization cache shared by every child (empty = a cache under
+  // the scratch dir): children re-characterize the board otherwise, which
+  // multiplies the matrix wall time by the characterization cost.
+  std::string cache_dir;
+};
+
+// Runs the full matrix; reuses the fault-layer report shape. Throws on
+// setup errors (golden run failed, unusable scratch dir); per-cell
+// failures are reported, never thrown.
+fault::CrashTestReport run_serve_crashtest(const ServeCrashTestOptions& options);
+
+}  // namespace cig::serve

@@ -1,0 +1,35 @@
+#include "serve/metrics.h"
+
+namespace cig::serve {
+
+void ServeMetrics::export_to(sim::StatRegistry& registry,
+                             std::uint64_t resident,
+                             std::uint64_t known) const {
+  const auto set = [&registry](const char* name, std::uint64_t value) {
+    registry.set(name, static_cast<double>(value));
+  };
+  set("serve.requests", requests);
+  set("serve.replies", replies);
+  set("serve.errors", errors);
+  set("serve.errors.parse", parse_errors);
+  set("serve.batches", batches);
+  set("serve.batch.peak", peak_batch);
+  set("serve.samples", samples);
+  set("serve.samples.replayed", replayed_samples);
+  set("serve.decides", decides);
+  set("serve.tenants.created", tenants_created);
+  set("serve.tenants.recovered", tenants_recovered);
+  set("serve.tenants.resident", resident);
+  set("serve.tenants.known", known);
+  set("serve.tenants.resident_peak", resident_peak);
+  set("serve.evictions", evictions);
+  set("serve.restores", restores);
+  set("serve.checkpoints.dropped", dropped_checkpoints);
+  set("serve.torn_discarded", torn_discarded);
+  set("serve.checkpoints.written", checkpoints_written);
+  set("serve.manifest.publishes", manifest_publishes);
+  set("serve.metrics.exports", metrics_exports);
+  decide_us.export_to(registry, "serve.decide_us");
+}
+
+}  // namespace cig::serve

@@ -1,0 +1,49 @@
+// Daemon-wide serving counters, exported under the "serve." prefix next to
+// the existing runtime./persist./cache. families: request and batch
+// volumes, tenant lifecycle (created / evicted / restored / recovered),
+// checkpoint activity, error counts by category, and the aggregate
+// decision-latency histogram (per-tenant histograms live on the tenants and
+// surface through the `stats` request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+#include "sim/stat_registry.h"
+
+namespace cig::serve {
+
+struct ServeMetrics {
+  std::uint64_t requests = 0;          // lines ingested (errors included)
+  std::uint64_t replies = 0;           // reply lines emitted
+  std::uint64_t errors = 0;            // error replies
+  std::uint64_t parse_errors = 0;      // malformed JSON / oversized lines
+  std::uint64_t batches = 0;           // parallel batch flushes
+  std::uint64_t peak_batch = 0;        // largest batch flushed
+  std::uint64_t samples = 0;           // sample requests executed
+  std::uint64_t replayed_samples = 0;  // sample requests skipped as replays
+  std::uint64_t decides = 0;           // decide/explain evaluations
+
+  std::uint64_t tenants_created = 0;
+  std::uint64_t tenants_recovered = 0;  // discovered in the startup manifest
+  std::uint64_t evictions = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t dropped_checkpoints = 0;  // invalid tenant checkpoints dropped
+  std::uint64_t torn_discarded = 0;       // torn manifests/journals discarded
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t manifest_publishes = 0;
+  std::uint64_t resident_peak = 0;
+  std::uint64_t metrics_exports = 0;
+
+  // Aggregate per-sample decision latency (simulated µs) across all
+  // tenants; exported as serve.decide_us.count/mean/min/max/p50/p95/p99.
+  obs::Histogram decide_us;
+
+  // Publishes every counter into `registry` under "serve.*", plus the
+  // current gauges passed by the server (resident/known tenants).
+  void export_to(sim::StatRegistry& registry, std::uint64_t resident,
+                 std::uint64_t known) const;
+};
+
+}  // namespace cig::serve

@@ -1,0 +1,196 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+namespace cig::serve {
+
+namespace {
+
+bool lookup_op(const std::string& name, Op& op) {
+  if (name == "hello") op = Op::Hello;
+  else if (name == "sample") op = Op::Sample;
+  else if (name == "decide") op = Op::Decide;
+  else if (name == "explain") op = Op::Explain;
+  else if (name == "stats") op = Op::Stats;
+  else if (name == "metrics") op = Op::Metrics;
+  else if (name == "checkpoint") op = Op::Checkpoint;
+  else if (name == "shutdown") op = Op::Shutdown;
+  else return false;
+  return true;
+}
+
+// Tenant ids become file-name stems and reply fields: printable ASCII,
+// bounded length, no quotes or backslashes that would complicate shells.
+bool valid_tenant_id(const std::string& id) {
+  if (id.empty() || id.size() > kMaxTenantIdBytes) return false;
+  for (const char c : id) {
+    if (c < 0x21 || c > 0x7e || c == '"' || c == '\\') return false;
+  }
+  return true;
+}
+
+ParsedLine reject(const std::string& code, const std::string& detail,
+                  std::uint64_t lineno) {
+  ParsedLine out;
+  out.ok = false;
+  out.error = error_reply(code, detail, lineno);
+  return out;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Hello: return "hello";
+    case Op::Sample: return "sample";
+    case Op::Decide: return "decide";
+    case Op::Explain: return "explain";
+    case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
+    case Op::Checkpoint: return "checkpoint";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool is_tenant_op(Op op) {
+  switch (op) {
+    case Op::Hello:
+    case Op::Sample:
+    case Op::Decide:
+    case Op::Explain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Json error_reply(const std::string& code, const std::string& detail,
+                 std::uint64_t line) {
+  Json j;
+  j["ok"] = Json(false);
+  j["error"] = Json(code);
+  j["detail"] = Json(detail);
+  j["line"] = Json(static_cast<double>(line));
+  return j;
+}
+
+ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
+  if (line.size() > kMaxLineBytes) {
+    return reject("oversized-line",
+                  "request line of " + std::to_string(line.size()) +
+                      " bytes exceeds the " +
+                      std::to_string(kMaxLineBytes) + "-byte limit",
+                  lineno);
+  }
+
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const std::exception& e) {
+    return reject("parse", e.what(), lineno);
+  }
+  if (!doc.is_object()) {
+    return reject("parse", "request must be a JSON object", lineno);
+  }
+  if (!doc.contains("op") || !doc.at("op").is_string()) {
+    return reject("bad-request", "missing string field \"op\"", lineno);
+  }
+
+  ParsedLine out;
+  const std::string op_text = doc.at("op").as_string();
+  if (!lookup_op(op_text, out.request.op)) {
+    return reject("unknown-op", "unknown op \"" + op_text + "\"", lineno);
+  }
+  Request& req = out.request;
+
+  if (doc.contains("tenant")) {
+    if (!doc.at("tenant").is_string()) {
+      return reject("bad-request", "\"tenant\" must be a string", lineno);
+    }
+    req.tenant = doc.at("tenant").as_string();
+    if (!valid_tenant_id(req.tenant)) {
+      return reject("bad-request",
+                    "invalid tenant id (1.." +
+                        std::to_string(kMaxTenantIdBytes) +
+                        " printable ASCII characters, no quotes)",
+                    lineno);
+    }
+  }
+  if (is_tenant_op(req.op) && req.tenant.empty()) {
+    return reject("bad-request",
+                  std::string("op \"") + op_name(req.op) +
+                      "\" requires a \"tenant\" id",
+                  lineno);
+  }
+
+  if (req.op == Op::Hello) {
+    if (doc.contains("board")) {
+      if (!doc.at("board").is_string() || doc.at("board").as_string().empty()) {
+        return reject("bad-request", "\"board\" must be a non-empty string",
+                      lineno);
+      }
+      req.board = doc.at("board").as_string();
+    }
+  }
+
+  if (req.op == Op::Sample) {
+    if (doc.contains("heavy")) {
+      if (!doc.at("heavy").is_bool()) {
+        return reject("bad-request", "\"heavy\" must be a boolean", lineno);
+      }
+      req.heavy = doc.at("heavy").as_bool();
+    }
+    // Demand defaults mirror workload::PhasicConfig: deep zone-1 light
+    // phases, 4x past ZC saturation when heavy.
+    req.demand = req.heavy ? 4.0 : 0.02;
+    if (doc.contains("demand")) {
+      if (!doc.at("demand").is_number()) {
+        return reject("bad-request", "\"demand\" must be a number", lineno);
+      }
+      req.demand = doc.at("demand").as_number();
+      if (!std::isfinite(req.demand) || req.demand <= 0 ||
+          req.demand > kMaxDemandFactor) {
+        return reject("bad-request",
+                      "\"demand\" must be in (0, " +
+                          std::to_string(kMaxDemandFactor) + "]",
+                      lineno);
+      }
+    }
+    if (doc.contains("span")) {
+      if (!doc.at("span").is_number()) {
+        return reject("bad-request", "\"span\" must be a number", lineno);
+      }
+      const double span = doc.at("span").as_number();
+      if (!std::isfinite(span) || span != std::floor(span) ||
+          span < static_cast<double>(kMinSpanBytes) ||
+          span > static_cast<double>(kMaxSpanBytes)) {
+        return reject("bad-request",
+                      "\"span\" must be an integer in [" +
+                          std::to_string(kMinSpanBytes) + ", " +
+                          std::to_string(kMaxSpanBytes) + "] bytes",
+                      lineno);
+      }
+      req.span = static_cast<Bytes>(span);
+    }
+    if (doc.contains("iterations")) {
+      if (!doc.at("iterations").is_number()) {
+        return reject("bad-request", "\"iterations\" must be a number", lineno);
+      }
+      const double iters = doc.at("iterations").as_number();
+      if (!std::isfinite(iters) || iters != std::floor(iters) || iters < 1 ||
+          iters > static_cast<double>(kMaxIterations)) {
+        return reject("bad-request",
+                      "\"iterations\" must be an integer in [1, " +
+                          std::to_string(kMaxIterations) + "]",
+                      lineno);
+      }
+      req.iterations = static_cast<std::uint32_t>(iters);
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace cig::serve

@@ -1,0 +1,101 @@
+// Wire protocol of `cigtool serve`: line-delimited JSON requests in, one
+// JSON reply line per request out, in request order.
+//
+// Request ops:
+//
+//   {"op":"hello","tenant":"t1","board":"tx2"}
+//       register a tenant bound to a board preset (or board JSON file);
+//       idempotent — a hello for a known tenant acknowledges it unchanged.
+//   {"op":"sample","tenant":"t1","heavy":true,"demand":4.0,
+//    "span":4096,"iterations":1}
+//       execute one control period of the tenant's synthetic phase workload
+//       on its private simulated SoC and feed the profiled counters into
+//       its adaptive controller. `demand` is the kernel's last-level
+//       bandwidth demand as a multiple of the board's ZC-path bandwidth
+//       (defaults: 0.02 light, 4.0 when "heavy" is set); `span` is the
+//       shared-buffer footprint in bytes.
+//   {"op":"decide","tenant":"t1"}   one-shot recommendation from the
+//       tenant's current windowed profile (no execution, no commitment).
+//   {"op":"explain","tenant":"t1"}  same, but the reply carries the full
+//       decision provenance (inputs, thresholds, equations, checks).
+//   {"op":"stats","tenant":"t1"}    per-tenant statistics, including the
+//       tenant's decision-latency percentiles.
+//   {"op":"stats"}                  daemon-wide statistics.
+//   {"op":"metrics"}                Prometheus text snapshot as a JSON
+//                                   string field.
+//   {"op":"checkpoint"}             checkpoint every dirty resident tenant
+//                                   and publish the manifest.
+//   {"op":"shutdown"}               final checkpoint + metrics export, then
+//                                   the daemon exits its loop.
+//
+// Error replies are structured, never fatal:
+//
+//   {"ok":false,"error":"parse","detail":"...","line":7}
+//
+// with error one of: parse, oversized-line, unknown-op, bad-request,
+// unknown-tenant, no-samples, internal. A malformed line never aborts the
+// daemon and never desynchronizes the reply stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.h"
+#include "support/units.h"
+
+namespace cig::serve {
+
+enum class Op {
+  Hello,
+  Sample,
+  Decide,
+  Explain,
+  Stats,
+  Metrics,
+  Checkpoint,
+  Shutdown,
+};
+
+const char* op_name(Op op);
+
+// True for ops addressed to one tenant (processed in per-tenant FIFO order
+// inside a batch). Stats is tenant-scoped only when a tenant id is present.
+bool is_tenant_op(Op op);
+
+struct Request {
+  Op op = Op::Stats;
+  std::string tenant;  // empty for daemon-wide ops
+  // hello
+  std::string board = "tx2";
+  // sample
+  bool heavy = false;
+  double demand = 0;  // 0 = default for the heavy/light flag
+  Bytes span = 4096;
+  std::uint32_t iterations = 1;
+};
+
+// Validation limits. Lines longer than kMaxLineBytes are rejected before
+// parsing; the other bounds keep a hostile request from asking the
+// simulator for an absurd workload.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+inline constexpr std::size_t kMaxTenantIdBytes = 128;
+inline constexpr Bytes kMinSpanBytes = 64;
+inline constexpr Bytes kMaxSpanBytes = 64ull * 1024 * 1024;
+inline constexpr double kMaxDemandFactor = 64.0;
+inline constexpr std::uint32_t kMaxIterations = 1024;
+
+struct ParsedLine {
+  bool ok = false;
+  Request request;
+  Json error;  // the ready-to-emit error reply when !ok
+};
+
+// Builds the structured error reply every rejection path emits.
+Json error_reply(const std::string& code, const std::string& detail,
+                 std::uint64_t line);
+
+// Parses and validates one request line. Never throws: every defect maps
+// to an error reply naming the offending field.
+ParsedLine parse_request(const std::string& line, std::uint64_t lineno);
+
+}  // namespace cig::serve

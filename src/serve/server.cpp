@@ -1,0 +1,662 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/framework.h"
+#include "obs/prometheus.h"
+#include "persist/atomic_io.h"
+#include "persist/seam.h"
+#include "persist/snapshot.h"
+#include "soc/board_io.h"
+#include "support/log.h"
+#include "support/parallel.h"
+
+namespace cig::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string model_text(comm::CommModel model) {
+  return std::string(comm::model_name(model));
+}
+
+}  // namespace
+
+const std::vector<std::string>& serve_crash_seams() {
+  static const std::vector<std::string> seams = {
+      "serve.tenant_checkpointed",  // tenant snapshot durable, manifest stale
+      "serve.mid_eviction",         // checkpointed but still resident
+      "serve.pre_manifest",         // tenants durable, manifest not yet
+      "serve.post_manifest",        // manifest just replaced
+  };
+  return seams;
+}
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    cache_ = std::make_unique<core::ResultCache>(options_.cache_dir);
+  }
+  if (!options_.state_dir.empty()) {
+    fs::create_directories(tenant_dir());
+    recover_from_manifest();
+  }
+}
+
+Server::~Server() = default;
+
+std::string Server::manifest_path() const {
+  return options_.state_dir + "/manifest.snap";
+}
+
+std::string Server::tenant_dir() const {
+  return options_.state_dir + "/tenants";
+}
+
+std::uint64_t Server::resident_tenants() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, slot] : tenants_) {
+    if (slot.resident) ++n;
+  }
+  return n;
+}
+
+sim::StatRegistry Server::registry() const {
+  sim::StatRegistry reg;
+  metrics_.export_to(reg, resident_tenants(), known_tenants());
+  return reg;
+}
+
+void Server::recover_from_manifest() {
+  const persist::SnapshotLoad load =
+      persist::load_snapshot(manifest_path(), kManifestKind, kManifestVersion);
+  if (!load.present) return;
+  if (!load.valid) {
+    // Checksum-invalid state is never loaded: discard and start fresh. The
+    // orphaned tenant files are inert (nothing references them until a new
+    // manifest does) and the exit code reports the discard.
+    CIG_LOG_C(LogLevel::Warn, "serve",
+              "discarding torn manifest: " << load.error);
+    ++metrics_.torn_discarded;
+    torn_seen_ = true;
+    return;
+  }
+  if (load.snapshot.records.empty()) return;
+  const Json& doc = load.snapshot.records.front();
+  if (!doc.contains("tenants") || !doc.at("tenants").is_array()) return;
+  for (const Json& entry : doc.at("tenants").as_array()) {
+    const std::string id = entry.string_or("id", "");
+    const std::string file = entry.string_or("file", "");
+    if (id.empty() || file.empty()) continue;
+    TenantSlot slot;
+    slot.board = entry.string_or("board", "tx2");
+    slot.checkpoint_file = tenant_dir() + "/" + file;
+    slot.has_checkpoint = true;
+    slot.checkpointed_samples =
+        static_cast<std::uint64_t>(entry.number_or("samples", 0));
+    slot.replay_armed = true;
+    slot.lru_tick = ++lru_clock_;
+    tenants_.emplace(id, std::move(slot));
+    ++metrics_.tenants_recovered;
+  }
+}
+
+std::shared_ptr<const BoardEntry> Server::ensure_board(
+    const std::string& spec) {
+  auto it = boards_.find(spec);
+  if (it != boards_.end()) return it->second;
+  soc::BoardConfig config = soc::resolve_board(spec);
+  core::SweepOptions sweep;
+  sweep.jobs = options_.jobs;
+  sweep.cache = cache_.get();
+  core::Framework framework(config, {}, sweep);
+  auto entry =
+      std::make_shared<const BoardEntry>(std::move(config), framework.device());
+  boards_.emplace(spec, entry);
+  return entry;
+}
+
+int Server::run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_ && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    handle_line(line, out);
+  }
+  flush(out);
+  finalize(out);
+  return torn_seen_ ? 3 : 0;
+}
+
+void Server::handle_line(const std::string& line, std::ostream& out) {
+  ++lineno_;
+  ++metrics_.requests;
+
+  ParsedLine parsed = parse_request(line, lineno_);
+  if (!parsed.ok) {
+    ++metrics_.parse_errors;
+    Pending pending;
+    pending.lineno = lineno_;
+    pending.reply = std::move(parsed.error);
+    pending.done = true;
+    batch_.push_back(std::move(pending));
+    if (batch_.size() >= options_.batch_max) flush(out);
+    maybe_export_metrics(false);
+    return;
+  }
+
+  const Request& req = parsed.request;
+  const bool batchable =
+      is_tenant_op(req.op) || (req.op == Op::Stats && !req.tenant.empty());
+  if (batchable) {
+    Pending pending;
+    pending.lineno = lineno_;
+    pending.req = req;
+    batch_.push_back(std::move(pending));
+    if (batch_.size() >= options_.batch_max) flush(out);
+    maybe_export_metrics(false);
+    return;
+  }
+
+  // Global requests are barriers: the pending batch flushes first so every
+  // reply still leaves in request order and the answer reflects all prior
+  // requests.
+  flush(out);
+  handle_global(req, out);
+  maybe_export_metrics(false);
+}
+
+void Server::handle_global(const Request& req, std::ostream& out) {
+  Json reply;
+  reply["ok"] = Json(true);
+  reply["op"] = Json(std::string(op_name(req.op)));
+  switch (req.op) {
+    case Op::Stats: {
+      Json tenants;
+      tenants["known"] = Json(static_cast<double>(known_tenants()));
+      tenants["resident"] = Json(static_cast<double>(resident_tenants()));
+      reply["tenants"] = std::move(tenants);
+      reply["counters"] = registry().to_json();
+      break;
+    }
+    case Op::Metrics: {
+      reply["content_type"] = Json(std::string("text/plain; version=0.0.4"));
+      reply["text"] = Json(obs::to_prometheus(registry()));
+      break;
+    }
+    case Op::Checkpoint: {
+      const std::uint64_t written = checkpoint_all();
+      reply["written"] = Json(static_cast<double>(written));
+      reply["durable"] = Json(!options_.state_dir.empty());
+      break;
+    }
+    case Op::Shutdown: {
+      shutdown_ = true;
+      reply["tenants"] = Json(static_cast<double>(known_tenants()));
+      break;
+    }
+    default:
+      reply = error_reply("internal", "request is not a global op", lineno_);
+      break;
+  }
+  emit(out, reply);
+}
+
+void Server::handle_hello(Pending& pending) {
+  const Request& req = pending.req;
+  std::shared_ptr<const BoardEntry> board;
+  try {
+    board = ensure_board(req.board);
+  } catch (const std::exception& e) {
+    pending.reply = error_reply(
+        "bad-request", "board \"" + req.board + "\": " + e.what(),
+        pending.lineno);
+    pending.done = true;
+    return;
+  }
+
+  Json reply;
+  auto it = tenants_.find(req.tenant);
+  if (it != tenants_.end()) {
+    TenantSlot& slot = it->second;
+    slot.lru_tick = ++lru_clock_;
+    if (slot.board != req.board && board->board.name != slot.board) {
+      pending.reply = error_reply(
+          "bad-request",
+          "tenant \"" + req.tenant + "\" is registered on board \"" +
+              slot.board + "\", not \"" + req.board + "\"",
+          pending.lineno);
+      pending.done = true;
+      return;
+    }
+    reply["ok"] = Json(true);
+    reply["op"] = Json(std::string("hello"));
+    reply["tenant"] = Json(req.tenant);
+    reply["board"] = Json(board->board.name);
+    reply["existing"] = Json(true);
+    reply["samples"] = Json(static_cast<double>(
+        slot.resident ? slot.resident->samples() : slot.checkpointed_samples));
+  } else {
+    TenantSlot slot;
+    slot.board = req.board;
+    slot.resident = std::make_unique<Tenant>(req.tenant, board);
+    slot.lru_tick = ++lru_clock_;
+    tenants_.emplace(req.tenant, std::move(slot));
+    ++metrics_.tenants_created;
+    reply["ok"] = Json(true);
+    reply["op"] = Json(std::string("hello"));
+    reply["tenant"] = Json(req.tenant);
+    reply["board"] = Json(board->board.name);
+    reply["existing"] = Json(false);
+    reply["samples"] = Json(0.0);
+  }
+  pending.reply = std::move(reply);
+  pending.done = true;
+}
+
+void Server::flush(std::ostream& out) {
+  if (batch_.empty()) return;
+  ++metrics_.batches;
+  metrics_.peak_batch = std::max<std::uint64_t>(metrics_.peak_batch,
+                                                batch_.size());
+
+  // Serial pre-pass in arrival order: create tenants (hello), reject
+  // unknown ones, stamp the LRU clock, and collect the evicted tenants this
+  // batch touches (first-appearance order).
+  std::vector<std::string> need_restore;
+  for (Pending& pending : batch_) {
+    if (pending.done) continue;
+    if (pending.req.op == Op::Hello) {
+      handle_hello(pending);
+      continue;
+    }
+    auto it = tenants_.find(pending.req.tenant);
+    if (it == tenants_.end()) {
+      pending.reply = error_reply(
+          "unknown-tenant",
+          "tenant \"" + pending.req.tenant + "\" has not sent a hello",
+          pending.lineno);
+      pending.done = true;
+      continue;
+    }
+    TenantSlot& slot = it->second;
+    slot.lru_tick = ++lru_clock_;
+    if (!slot.resident &&
+        std::find(need_restore.begin(), need_restore.end(),
+                  pending.req.tenant) == need_restore.end()) {
+      need_restore.push_back(pending.req.tenant);
+    }
+  }
+
+  restore_batch(need_restore);
+  metrics_.resident_peak =
+      std::max(metrics_.resident_peak, resident_tenants());
+
+  // Group the remaining requests by tenant, first-appearance order. Each
+  // group is one worker task; requests inside a group run in arrival order
+  // (per-tenant FIFO).
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    Pending& pending = batch_[i];
+    if (pending.done) continue;
+    auto it = tenants_.find(pending.req.tenant);
+    if (it == tenants_.end() || !it->second.resident) {
+      // The restore failed and dropped the slot; a fresh hello recreates it.
+      pending.reply = error_reply(
+          "checkpoint-lost",
+          "tenant \"" + pending.req.tenant +
+              "\" lost its checkpoint; re-register with hello",
+          pending.lineno);
+      pending.done = true;
+      continue;
+    }
+    auto found = group_of.find(pending.req.tenant);
+    if (found == group_of.end()) {
+      found = group_of.emplace(pending.req.tenant, groups.size()).first;
+      groups.push_back(Group{});
+      groups.back().slot = &it->second;
+    }
+    groups[found->second].idx.push_back(i);
+  }
+
+  // Parallel stage: tenants are disjoint (private SoC/controller each; the
+  // shared BoardEntry is read-only), so groups evaluate concurrently.
+  support::parallel_for_index(
+      groups.size(), options_.jobs,
+      [&](std::size_t g) { process_group(groups[g]); });
+
+  // Serial merge in group order keeps counters and the latency histogram
+  // byte-identical for every jobs setting.
+  for (const Group& group : groups) {
+    metrics_.samples += group.samples;
+    metrics_.replayed_samples += group.replayed;
+    metrics_.decides += group.decides;
+    for (const double v : group.latencies_us) metrics_.decide_us.add(v);
+  }
+
+  for (const Pending& pending : batch_) emit(out, pending.reply);
+  out.flush();
+  batch_.clear();
+
+  evict_over_budget();
+}
+
+namespace {
+
+struct RestoreResult {
+  std::unique_ptr<Tenant> tenant;
+  bool torn = false;
+  std::string error;
+};
+
+}  // namespace
+
+void Server::restore_batch(const std::vector<std::string>& ids) {
+  if (ids.empty()) return;
+
+  // Board registries mutate serially before the parallel stage.
+  struct Work {
+    std::string id;
+    TenantSlot* slot = nullptr;
+    std::shared_ptr<const BoardEntry> board;
+  };
+  std::vector<Work> work;
+  work.reserve(ids.size());
+  for (const std::string& id : ids) {
+    auto it = tenants_.find(id);
+    if (it == tenants_.end() || it->second.resident) continue;
+    Work w;
+    w.id = id;
+    w.slot = &it->second;
+    try {
+      w.board = ensure_board(it->second.board);
+    } catch (const std::exception& e) {
+      CIG_LOG_C(LogLevel::Warn, "serve",
+                "dropping tenant \"" << id << "\": board \""
+                                     << it->second.board
+                                     << "\" unresolvable: " << e.what());
+      ++metrics_.dropped_checkpoints;
+      tenants_.erase(it);
+      continue;
+    }
+    work.push_back(std::move(w));
+  }
+  if (work.empty()) return;
+
+  const bool durable = !options_.state_dir.empty();
+  std::vector<RestoreResult> results = support::parallel_map(
+      work, options_.jobs, [durable](const Work& w) -> RestoreResult {
+        RestoreResult r;
+        try {
+          Json doc;
+          if (durable) {
+            const persist::SnapshotLoad load = persist::load_snapshot(
+                w.slot->checkpoint_file, Tenant::kSnapshotKind,
+                Tenant::kSnapshotVersion);
+            if (!load.present) {
+              r.error = "checkpoint file missing";
+              return r;
+            }
+            if (!load.valid) {
+              r.torn = load.torn;
+              r.error = load.error.empty() ? "invalid checkpoint" : load.error;
+              return r;
+            }
+            if (load.snapshot.records.empty()) {
+              r.error = "checkpoint has no records";
+              return r;
+            }
+            doc = load.snapshot.records.front();
+          } else {
+            doc = Json::parse(w.slot->blob);
+          }
+          r.tenant = Tenant::restore(doc, w.board);
+        } catch (const std::exception& e) {
+          r.error = e.what();
+        }
+        return r;
+      });
+
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    TenantSlot& slot = *work[i].slot;
+    RestoreResult& r = results[i];
+    if (r.tenant) {
+      slot.resident = std::move(r.tenant);
+      if (slot.replay_armed) {
+        // The first restore after recovery pins the dedup horizon to what
+        // the checkpoint actually contains (it may trail the manifest).
+        slot.replay_until = slot.resident->samples();
+        slot.replay_armed = false;
+      }
+      slot.checkpointed_samples = slot.resident->samples();
+      ++metrics_.restores;
+    } else {
+      CIG_LOG_C(LogLevel::Warn, "serve",
+                "dropping tenant \"" << work[i].id
+                                     << "\": " << r.error);
+      ++metrics_.dropped_checkpoints;
+      if (r.torn) {
+        ++metrics_.torn_discarded;
+        torn_seen_ = true;
+      }
+      tenants_.erase(work[i].id);
+    }
+  }
+}
+
+void Server::process_group(Group& group) {
+  for (const std::size_t i : group.idx) {
+    process_request(*group.slot, group, batch_[i]);
+  }
+}
+
+void Server::process_request(TenantSlot& slot, Group& group,
+                             Pending& pending) {
+  Tenant& tenant = *slot.resident;
+  const Request& req = pending.req;
+  Json reply;
+  try {
+    switch (req.op) {
+      case Op::Sample: {
+        ++slot.arrived;
+        reply["ok"] = Json(true);
+        reply["op"] = Json(std::string("sample"));
+        reply["tenant"] = Json(req.tenant);
+        if (slot.arrived <= slot.replay_until) {
+          // At-least-once re-delivery after a crash: this sample is already
+          // folded into the restored checkpoint. Acknowledge it without
+          // re-execution so the rebuilt state stays exact.
+          ++group.replayed;
+          reply["n"] = Json(static_cast<double>(slot.arrived));
+          reply["replayed"] = Json(true);
+          reply["model"] = Json(model_text(tenant.model()));
+        } else {
+          const SampleOutcome out = tenant.ingest_sample(req);
+          ++group.samples;
+          group.latencies_us.push_back(out.latency_us);
+          reply["n"] = Json(static_cast<double>(out.n));
+          reply["model"] = Json(model_text(out.decision.model_after));
+          reply["switched"] = Json(out.decision.switched);
+          reply["latency_us"] = Json(out.latency_us);
+        }
+        break;
+      }
+      case Op::Decide:
+      case Op::Explain: {
+        core::Recommendation rec;
+        try {
+          rec = tenant.recommend();
+        } catch (const std::exception& e) {
+          reply = error_reply("no-samples", e.what(), pending.lineno);
+          break;
+        }
+        ++group.decides;
+        reply["ok"] = Json(true);
+        reply["op"] = Json(std::string(op_name(req.op)));
+        reply["tenant"] = Json(req.tenant);
+        reply["current"] = Json(model_text(rec.current));
+        reply["suggested"] = Json(model_text(rec.suggested));
+        reply["switch"] = Json(rec.switch_model);
+        reply["overlap"] = Json(rec.use_overlap_pattern);
+        reply["estimated_speedup"] = Json(rec.estimated_speedup);
+        reply["max_speedup"] = Json(rec.max_speedup);
+        if (req.op == Op::Explain) {
+          reply["rationale"] = Json(rec.rationale);
+          reply["explanation"] = rec.explanation.to_json();
+        }
+        break;
+      }
+      case Op::Stats: {
+        const runtime::RuntimeMetrics& rm = tenant.runtime_metrics();
+        const obs::Histogram& h = tenant.decide_latency_us();
+        reply["ok"] = Json(true);
+        reply["op"] = Json(std::string("stats"));
+        reply["tenant"] = Json(req.tenant);
+        reply["board"] = Json(tenant.board_name());
+        reply["samples"] = Json(static_cast<double>(tenant.samples()));
+        reply["model"] = Json(model_text(tenant.model()));
+        reply["switches"] = Json(static_cast<double>(rm.switches));
+        reply["decisions"] = Json(static_cast<double>(rm.decisions));
+        reply["vetoed_by_cost"] = Json(static_cast<double>(rm.vetoed_by_cost));
+        Json latency;
+        latency["count"] = Json(static_cast<double>(h.count()));
+        latency["mean"] = Json(h.mean());
+        latency["p50"] = Json(h.percentile(50));
+        latency["p95"] = Json(h.percentile(95));
+        latency["p99"] = Json(h.percentile(99));
+        reply["latency_us"] = std::move(latency);
+        if (!tenant.last_decision().is_null()) {
+          reply["last_decision"] = tenant.last_decision();
+        }
+        break;
+      }
+      default:
+        reply = error_reply("internal", "request is not a tenant op",
+                            pending.lineno);
+        break;
+    }
+  } catch (const std::exception& e) {
+    // A tenant-level failure must never take the daemon down; fault
+    // injections (CrashInjected is not a std::exception) still propagate.
+    reply = error_reply("internal", e.what(), pending.lineno);
+  }
+  pending.reply = std::move(reply);
+  pending.done = true;
+}
+
+void Server::emit(std::ostream& out, const Json& reply) {
+  ++metrics_.replies;
+  if (!reply.bool_or("ok", false)) ++metrics_.errors;
+  out << reply.dump() << '\n';
+}
+
+bool Server::checkpoint_tenant(const std::string& id, TenantSlot& slot) {
+  if (!slot.resident) return false;
+  const std::uint64_t samples = slot.resident->samples();
+  if (slot.has_checkpoint && slot.checkpointed_samples == samples) {
+    // Tenant state is a pure function of its sample history, so an equal
+    // sample count means the existing checkpoint is already exact.
+    return false;
+  }
+  const Json doc = slot.resident->checkpoint_doc();
+  if (!options_.state_dir.empty()) {
+    const std::string file = tenant_file_stem(id) + ".snap";
+    persist::SnapshotFile snapshot;
+    snapshot.kind = Tenant::kSnapshotKind;
+    snapshot.version = Tenant::kSnapshotVersion;
+    snapshot.records.push_back(doc);
+    persist::write_snapshot(tenant_dir() + "/" + file, snapshot);
+    slot.checkpoint_file = tenant_dir() + "/" + file;
+    manifest_dirty_ = true;
+  } else {
+    slot.blob = doc.dump();
+  }
+  slot.has_checkpoint = true;
+  slot.checkpointed_samples = samples;
+  ++metrics_.checkpoints_written;
+  persist::seam("serve.tenant_checkpointed");
+  return true;
+}
+
+std::uint64_t Server::checkpoint_all() {
+  std::uint64_t written = 0;
+  for (auto& [id, slot] : tenants_) {
+    if (checkpoint_tenant(id, slot)) ++written;
+  }
+  if (manifest_dirty_) publish_manifest();
+  return written;
+}
+
+void Server::publish_manifest() {
+  if (options_.state_dir.empty()) return;
+  Json doc;
+  Json list = JsonArray{};
+  for (const auto& [id, slot] : tenants_) {
+    if (!slot.has_checkpoint || slot.checkpoint_file.empty()) continue;
+    Json entry;
+    entry["id"] = Json(id);
+    entry["board"] = Json(slot.board);
+    // File names only — the manifest must not embed the state-dir path so
+    // two state dirs with the same history compare byte-identical.
+    entry["file"] = Json(tenant_file_stem(id) + ".snap");
+    entry["samples"] = Json(static_cast<double>(slot.checkpointed_samples));
+    list.push_back(std::move(entry));
+  }
+  doc["tenants"] = std::move(list);
+
+  persist::seam("serve.pre_manifest");
+  persist::SnapshotFile snapshot;
+  snapshot.kind = kManifestKind;
+  snapshot.version = kManifestVersion;
+  snapshot.records.push_back(std::move(doc));
+  persist::write_snapshot(manifest_path(), snapshot);
+  persist::seam("serve.post_manifest");
+  manifest_dirty_ = false;
+  ++metrics_.manifest_publishes;
+}
+
+void Server::evict_over_budget() {
+  while (resident_tenants() > options_.resident_budget) {
+    // Victim: the least-recently-used resident tenant. LRU ticks come from
+    // the serial request clock, so the victim sequence is deterministic.
+    std::map<std::string, TenantSlot>::iterator victim = tenants_.end();
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+      if (!it->second.resident) continue;
+      if (victim == tenants_.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == tenants_.end()) return;
+    checkpoint_tenant(victim->first, victim->second);
+    persist::seam("serve.mid_eviction");
+    victim->second.resident.reset();
+    ++metrics_.evictions;
+  }
+  if (manifest_dirty_) publish_manifest();
+}
+
+void Server::maybe_export_metrics(bool force) {
+  if (options_.metrics_out.empty()) return;
+  if (!force) {
+    if (options_.metrics_every == 0) return;
+    if (metrics_.requests - last_export_ < options_.metrics_every) return;
+  }
+  persist::atomic_write_file(options_.metrics_out,
+                             obs::to_prometheus(registry()));
+  last_export_ = metrics_.requests;
+  ++metrics_.metrics_exports;
+}
+
+void Server::finalize(std::ostream& out) {
+  checkpoint_all();
+  maybe_export_metrics(true);
+  out.flush();
+}
+
+}  // namespace cig::serve

@@ -1,0 +1,188 @@
+// The multi-tenant decision service behind `cigtool serve`.
+//
+// A Server owns a tenant index (every tenant ever registered this process,
+// resident or evicted), a board registry (one characterization + decision
+// engine per distinct board spec, shared by all its tenants), and the
+// daemon-wide serve.* metrics. run() drives one session: it reads
+// line-delimited JSON requests from an std::istream, batches consecutive
+// tenant-scoped requests, evaluates each batch across the deterministic
+// worker pool (src/support/parallel) with per-tenant FIFO ordering, and
+// writes one JSON reply line per request in request order.
+//
+// Determinism contract: for a fixed request stream and fixed ServeOptions,
+// the reply stream, the final checkpoint files and the serve.* counters are
+// byte-identical for every jobs setting. Everything order-sensitive —
+// batching, board characterization, tenant creation, LRU ticks, metric
+// merges, eviction — happens serially in input order; only the per-tenant
+// work (sampling, replay, decisions), which touches disjoint state, runs on
+// the pool.
+//
+// Persistence: with a --state-dir the server checkpoints tenants through
+// persist::write_snapshot (atomic replace) and publishes a manifest listing
+// every durable tenant. Cold tenants are evicted to their checkpoint when
+// the resident count exceeds the budget and transparently restored — by
+// deterministic sample-log replay, see serve/tenant.h — on their next
+// request. After a crash, a restarted server recovers the manifest and the
+// client re-feeds its stream; sample requests a recovered checkpoint
+// already contains are acknowledged as {"replayed":true} without
+// re-execution, so at-least-once re-delivery converges on the exact
+// pre-crash state (verified seam-by-seam by `cigtool crashtest --mode
+// serve`). Without a state dir, checkpoints live in an in-memory blob
+// store: eviction/restore still works (and is still exercised by tests),
+// only crash durability is lost.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result_cache.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/tenant.h"
+#include "sim/stat_registry.h"
+
+namespace cig::serve {
+
+struct ServeOptions {
+  // Checkpoint root (manifest + tenants/ subdirectory). Empty = in-memory
+  // checkpoint blobs only: eviction still works, durability is lost.
+  std::string state_dir;
+  // Max tenants kept resident after a batch; the least-recently-used
+  // tenants beyond it are checkpointed and evicted.
+  std::uint64_t resident_budget = 256;
+  // Tenant-scoped requests buffered before a parallel flush. Batch
+  // boundaries depend only on the input stream, never on timing.
+  std::size_t batch_max = 64;
+  // Worker count for batch evaluation and restores (support::resolve_jobs
+  // semantics: 0 = CIG_JOBS env / hardware, 1 = serial reference path).
+  int jobs = 1;
+  // When non-empty, the serve.* registry is exported to this path in
+  // Prometheus text format through an atomic replace.
+  std::string metrics_out;
+  // Export cadence in requests (0 = only at shutdown/EOF).
+  std::uint64_t metrics_every = 0;
+  // Content-addressed characterization cache (core::ResultCache) shared
+  // with the rest of the toolchain. Empty = characterize from scratch.
+  // Cached loads are byte-identical to fresh runs, so this never affects
+  // the determinism contract — only daemon cold-start time.
+  std::string cache_dir;
+};
+
+class Server {
+ public:
+  static constexpr const char* kManifestKind = "cig-serve-manifest";
+  static constexpr int kManifestVersion = 1;
+
+  // Creates the state directory layout (if configured) and recovers the
+  // tenant index from the manifest. A torn manifest is discarded (counted
+  // in serve.torn_discarded) and makes run() return 3.
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Serves one session: reads requests from `in` until EOF or a shutdown
+  // request, writing reply lines to `out`. On exit every tenant is
+  // checkpointed, the manifest is published and the metrics file (if
+  // configured) is exported. Returns 0, or 3 when torn state was discarded
+  // during this server's recovery. May be called again after EOF (socket
+  // mode serves sequential connections); tenant state carries over.
+  int run(std::istream& in, std::ostream& out);
+
+  bool shutdown_requested() const { return shutdown_; }
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  std::uint64_t resident_tenants() const;
+  std::uint64_t known_tenants() const { return tenants_.size(); }
+
+  // Fresh snapshot of the serve.* counters.
+  sim::StatRegistry registry() const;
+
+ private:
+  struct TenantSlot {
+    std::unique_ptr<Tenant> resident;  // null when evicted
+    std::string board;                 // board spec given at hello/recovery
+    std::string checkpoint_file;       // durable checkpoint (state-dir mode)
+    std::string blob;                  // in-memory checkpoint (no state dir)
+    bool has_checkpoint = false;
+    std::uint64_t checkpointed_samples = 0;
+    std::uint64_t lru_tick = 0;   // global request clock at last touch
+    // Replay dedup for at-least-once re-delivery after a crash: the first
+    // `replay_until` sample requests for a manifest-recovered tenant are
+    // acknowledged without re-execution (the restored checkpoint already
+    // contains them). Armed at recovery, fixed at the first restore.
+    bool replay_armed = false;
+    std::uint64_t replay_until = 0;
+    std::uint64_t arrived = 0;  // sample requests seen this process
+  };
+
+  struct Pending {
+    std::uint64_t lineno = 0;
+    Request req;
+    Json reply;
+    bool done = false;  // reply already decided (errors, hello)
+  };
+
+  // One batch group = every pending request of one tenant, evaluated as a
+  // unit on one worker (per-tenant FIFO). Metric deltas are accumulated
+  // locally and merged serially after the parallel stage.
+  struct Group {
+    TenantSlot* slot = nullptr;
+    std::vector<std::size_t> idx;  // indices into batch_, arrival order
+    std::uint64_t samples = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t decides = 0;
+    std::vector<double> latencies_us;
+  };
+
+  std::string manifest_path() const;
+  std::string tenant_dir() const;
+
+  std::shared_ptr<const BoardEntry> ensure_board(const std::string& spec);
+  void recover_from_manifest();
+
+  void handle_line(const std::string& line, std::ostream& out);
+  void handle_global(const Request& req, std::ostream& out);
+  void handle_hello(Pending& pending);
+
+  void flush(std::ostream& out);
+  void restore_batch(const std::vector<std::string>& ids);
+  void process_group(Group& group);
+  void process_request(TenantSlot& slot, Group& group, Pending& pending);
+  void emit(std::ostream& out, const Json& reply);
+
+  // Writes the tenant's checkpoint if it has samples the last checkpoint
+  // lacks. Returns true when a durable (state-dir) file was written.
+  bool checkpoint_tenant(const std::string& id, TenantSlot& slot);
+  std::uint64_t checkpoint_all();
+  void publish_manifest();
+  void evict_over_budget();
+  void maybe_export_metrics(bool force);
+  void finalize(std::ostream& out);
+
+  ServeOptions options_;
+  ServeMetrics metrics_;
+  std::unique_ptr<core::ResultCache> cache_;  // null when cache_dir empty
+  std::map<std::string, TenantSlot> tenants_;  // id -> slot, sorted
+  std::map<std::string, std::shared_ptr<const BoardEntry>> boards_;
+  std::vector<Pending> batch_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t lineno_ = 0;
+  std::uint64_t last_export_ = 0;
+  bool manifest_dirty_ = false;  // durable checkpoints newer than manifest
+  bool torn_seen_ = false;
+  bool shutdown_ = false;
+};
+
+// The serve-layer crash seams fired by Server (between a tenant checkpoint
+// and the manifest publish, mid-eviction, and around the manifest itself).
+// They complement persist::crash_seams(), which covers the primitives
+// underneath.
+const std::vector<std::string>& serve_crash_seams();
+
+}  // namespace cig::serve

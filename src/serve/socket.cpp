@@ -1,0 +1,212 @@
+#include "serve/socket.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+
+#include "serve/server.h"
+#include "support/log.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace cig::serve {
+
+ListenSpec parse_listen_spec(const std::string& spec) {
+  ListenSpec out;
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = ListenSpec::Kind::Unix;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      throw std::invalid_argument("listen spec \"" + spec +
+                                  "\": empty socket path");
+    }
+#ifndef _WIN32
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("listen spec \"" + spec +
+                                  "\": socket path too long");
+    }
+#endif
+    return out;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    out.kind = ListenSpec::Kind::Tcp;
+    const std::string text = spec.substr(4);
+    char* end = nullptr;
+    const long port = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || end == text.c_str() || *end != '\0' || port < 1 ||
+        port > 65535) {
+      throw std::invalid_argument("listen spec \"" + spec +
+                                  "\": port must be in [1, 65535]");
+    }
+    out.port = static_cast<unsigned short>(port);
+    return out;
+  }
+  throw std::invalid_argument("listen spec \"" + spec +
+                              "\": want unix:PATH or tcp:PORT");
+}
+
+#ifndef _WIN32
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// Minimal buffered std::streambuf over a connected socket fd; enough for
+// getline() on the way in and batched reply writes on the way out.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_, sizeof(in_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n;
+      do {
+        n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[8192];
+  char out_[8192];
+};
+
+class ScopedFd {
+ public:
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+int open_listener(const ListenSpec& spec) {
+  if (spec.kind == ListenSpec::Kind::Unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(spec.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(fd);
+      fail("bind(" + spec.path + ")");
+    }
+    if (::listen(fd, 8) != 0) {
+      ::close(fd);
+      fail("listen(" + spec.path + ")");
+    }
+    return fd;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(spec.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public interface
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    fail("bind(127.0.0.1:" + std::to_string(spec.port) + ")");
+  }
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    fail("listen(tcp:" + std::to_string(spec.port) + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+int serve_listen(Server& server, const ListenSpec& spec) {
+  ScopedFd listener(open_listener(spec));
+  CIG_LOG_C(LogLevel::Info, "serve",
+            "listening on "
+                << (spec.kind == ListenSpec::Kind::Unix
+                        ? "unix:" + spec.path
+                        : "tcp:127.0.0.1:" + std::to_string(spec.port)));
+
+  int worst = 0;
+  while (!server.shutdown_requested()) {
+    int conn;
+    do {
+      conn = ::accept(listener.get(), nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
+    if (conn < 0) fail("accept");
+    ScopedFd guard(conn);
+    FdStreambuf buf(conn);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const int code = server.run(in, out);
+    worst = std::max(worst, code);
+    out.flush();
+  }
+  if (spec.kind == ListenSpec::Kind::Unix) ::unlink(spec.path.c_str());
+  return worst;
+}
+
+#else  // _WIN32
+
+int serve_listen(Server&, const ListenSpec&) {
+  throw std::runtime_error("socket listeners are POSIX-only; use stdin mode");
+}
+
+#endif
+
+}  // namespace cig::serve

@@ -1,0 +1,36 @@
+// Socket front-end for the serve daemon: accepts line-delimited JSON
+// sessions on a Unix-domain or loopback TCP socket and drives the same
+// Server::run() loop stdin mode uses. Connections are served sequentially
+// (one session at a time — the daemon's determinism contract is a total
+// order over requests); each connection is a full session, and a client
+// sending {"op":"shutdown"} stops the listener after its session ends.
+//
+// Listen specs: "unix:/path/to.sock" or "tcp:PORT" (loopback only — the
+// daemon speaks an unauthenticated control protocol and must not be
+// exposed beyond the host).
+//
+// POSIX-only; on other platforms listening reports an error.
+#pragma once
+
+#include <string>
+
+namespace cig::serve {
+
+class Server;
+
+struct ListenSpec {
+  enum class Kind { Unix, Tcp } kind = Kind::Unix;
+  std::string path;     // Unix socket path
+  unsigned short port = 0;  // TCP port (bound to 127.0.0.1)
+};
+
+// Parses "unix:PATH" / "tcp:PORT"; throws std::invalid_argument on a
+// malformed spec.
+ListenSpec parse_listen_spec(const std::string& spec);
+
+// Binds, listens and serves sessions until a client requests shutdown.
+// Returns the worst session exit code (0, or 3 when torn state was
+// discarded); throws std::runtime_error on socket errors.
+int serve_listen(Server& server, const ListenSpec& spec);
+
+}  // namespace cig::serve

@@ -1,0 +1,176 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "support/hash.h"
+#include "workload/builders.h"
+
+namespace cig::serve {
+
+namespace {
+
+comm::CommModel model_from_name(const std::string& name) {
+  for (const comm::CommModel m : core::kAllModels) {
+    if (name == comm::model_name(m)) return m;
+  }
+  throw std::runtime_error("tenant checkpoint: unknown model \"" + name +
+                           "\"");
+}
+
+}  // namespace
+
+Tenant::Tenant(std::string id, std::shared_ptr<const BoardEntry> board)
+    : id_(std::move(id)), board_(std::move(board)) {
+  soc_ = std::make_unique<soc::SoC>(board_->board);
+  profiler_ = std::make_unique<profile::Profiler>(*soc_);
+  controller_ = std::make_unique<runtime::AdaptiveController>(
+      board_->engine, profiler_->executor());
+}
+
+workload::Workload Tenant::sample_workload(bool heavy, double demand,
+                                           Bytes span,
+                                           std::uint32_t iterations) const {
+  const BytesPerSecond zc_bw = workload::zc_path_bandwidth(board_->board);
+  // The phase builder requires the kernel's arithmetic to dominate its
+  // element count (ops >= elements); clamp the demand so a hostile request
+  // can never trip that contract on a low-peak board. The clamp is a pure
+  // function of the board, so it is deterministic.
+  const double ceiling =
+      1.9 * board_->board.gpu_peak_ops_per_second() / zc_bw;
+  const double effective = std::min(demand, ceiling);
+  return workload::phasic_phase_workload(board_->board, span,
+                                         effective * zc_bw, heavy,
+                                         iterations);
+}
+
+SampleOutcome Tenant::ingest_sample(const Request& req) {
+  const auto workload =
+      sample_workload(req.heavy, req.demand, req.span, req.iterations);
+  const comm::CommModel model_before = controller_->model();
+
+  comm::RunResult raw;
+  const profile::ProfileReport report =
+      profiler_->sample(workload, model_before, raw);
+  last_report_ = report;
+
+  SampleOutcome out;
+  out.decision = controller_->on_sample(report, workload.gpu.pattern.base,
+                                        workload.gpu.pattern.extent);
+  out.latency_us = to_us(raw.total);
+  out.n = ++samples_;
+  decide_latency_us_.add(out.latency_us);
+  last_decision_ = out.decision.to_json();
+
+  Json entry;
+  entry["heavy"] = Json(req.heavy);
+  entry["demand"] = Json(req.demand);
+  entry["span"] = Json(static_cast<double>(req.span));
+  entry["iterations"] = Json(static_cast<double>(req.iterations));
+  entry["model"] = Json(std::string(comm::model_name(model_before)));
+  entry["model_after"] =
+      Json(std::string(comm::model_name(out.decision.model_after)));
+  sample_log_.push_back(std::move(entry));
+  return out;
+}
+
+core::Recommendation Tenant::recommend() const {
+  if (samples_ == 0) {
+    throw std::runtime_error("tenant \"" + id_ +
+                             "\" has no samples yet");
+  }
+  // The controller clears its window when it commits a switch; fall back to
+  // the most recent report so a decide right after a switch still answers.
+  if (controller_->window().empty()) {
+    return board_->engine.recommend(last_report_);
+  }
+  return board_->engine.recommend(controller_->window().smoothed());
+}
+
+void Tenant::replay_log_entry(const Json& entry) {
+  const bool heavy = entry.bool_or("heavy", false);
+  const double demand = entry.number_or("demand", 0.02);
+  const auto span = static_cast<Bytes>(entry.number_or("span", 4096));
+  const auto iterations =
+      static_cast<std::uint32_t>(entry.number_or("iterations", 1));
+  const comm::CommModel model =
+      model_from_name(entry.string_or("model", "SC"));
+  const comm::CommModel after =
+      model_from_name(entry.string_or("model_after", "SC"));
+
+  const auto workload = sample_workload(heavy, demand, span, iterations);
+  comm::RunResult raw;
+  last_report_ = profiler_->sample(workload, model, raw);
+  if (after != model) {
+    profiler_->executor().apply_model_switch(model, after,
+                                             workload.gpu.pattern.base,
+                                             workload.gpu.pattern.extent);
+  }
+}
+
+Json Tenant::checkpoint_doc() const {
+  Json doc;
+  doc["id"] = Json(id_);
+  doc["board"] = Json(board_->board.name);
+  doc["samples"] = Json(static_cast<double>(samples_));
+  doc["controller"] = controller_->snapshot();
+  doc["decide_latency_us"] = decide_latency_us_.to_json();
+  doc["last_decision"] = last_decision_;
+  Json log = JsonArray{};
+  for (const auto& entry : sample_log_) log.push_back(entry);
+  doc["log"] = std::move(log);
+  return doc;
+}
+
+std::unique_ptr<Tenant> Tenant::restore(
+    const Json& doc, std::shared_ptr<const BoardEntry> board) {
+  if (!doc.is_object() || !doc.contains("id") || !doc.contains("controller") ||
+      !doc.contains("log")) {
+    throw std::runtime_error("tenant checkpoint: malformed document");
+  }
+  auto tenant =
+      std::make_unique<Tenant>(doc.at("id").as_string(), std::move(board));
+
+  // Restore the controller first (it fingerprints its config and throws on
+  // mismatch) so an incompatible checkpoint fails before the SoC rebuild.
+  tenant->controller_->restore(doc.at("controller"));
+
+  // Deterministic SoC rebuild: re-execute every logged sample under the
+  // model it originally ran under, applying the logged switches. The
+  // simulated SoC is a pure function of this sequence, so cache and
+  // page-ownership state come back exactly.
+  for (const Json& entry : doc.at("log").as_array()) {
+    tenant->replay_log_entry(entry);
+    tenant->sample_log_.push_back(entry);
+  }
+  tenant->samples_ = tenant->sample_log_.size();
+  const auto declared =
+      static_cast<std::uint64_t>(doc.number_or("samples", 0));
+  if (declared != tenant->samples_) {
+    throw std::runtime_error("tenant checkpoint: sample count " +
+                             std::to_string(declared) +
+                             " disagrees with log length " +
+                             std::to_string(tenant->samples_));
+  }
+  tenant->decide_latency_us_ =
+      obs::Histogram::from_json(doc.at("decide_latency_us"));
+  if (doc.contains("last_decision")) {
+    tenant->last_decision_ = doc.at("last_decision");
+  }
+  return tenant;
+}
+
+std::string tenant_file_stem(const std::string& id) {
+  std::string stem;
+  stem.reserve(id.size() + 17);
+  for (const char c : id) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    stem += keep ? c : '_';
+  }
+  return stem + "-" + support::fnv1a64_hex(support::fnv1a64(id));
+}
+
+}  // namespace cig::serve

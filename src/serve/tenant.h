@@ -1,0 +1,117 @@
+// Per-tenant serving state: each registered tenant owns a private simulated
+// SoC, a profiler/executor pair and a runtime::AdaptiveController, all bound
+// to a board characterization shared across every tenant on that board.
+//
+// A tenant is fully serializable: checkpoint_doc() captures the controller
+// snapshot, the serve-side statistics and the complete sample log (the
+// workload parameters and models of every ingested sample). restore()
+// rebuilds the SoC by re-executing that log against a fresh simulator —
+// the same deterministic-rebuild contract runtime::ReplayCheckpoint uses —
+// then restores the controller snapshot, so an evicted-and-restored tenant
+// continues its decision sequence byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decision.h"
+#include "core/microbench.h"
+#include "obs/histogram.h"
+#include "profile/profiler.h"
+#include "runtime/controller.h"
+#include "serve/protocol.h"
+#include "soc/soc.h"
+
+namespace cig::serve {
+
+// Board-level state shared by every tenant registered on the same board:
+// the config, its (expensive, deterministic) characterization, and the
+// decision engine built from it. Held by shared_ptr so tenants can never
+// outlive their engine.
+struct BoardEntry {
+  soc::BoardConfig board;
+  core::DecisionEngine engine;
+
+  BoardEntry(soc::BoardConfig config, core::DeviceCharacterization device)
+      : board(std::move(config)), engine(std::move(device)) {}
+};
+
+// Outcome of ingesting one sample request.
+struct SampleOutcome {
+  std::uint64_t n = 0;              // samples ingested so far (this one included)
+  double latency_us = 0;            // simulated decision latency of this sample
+  runtime::ControlDecision decision;
+};
+
+class Tenant {
+ public:
+  static constexpr const char* kSnapshotKind = "cig-serve-tenant";
+  static constexpr int kSnapshotVersion = 1;
+
+  // Fresh tenant with a cold controller.
+  Tenant(std::string id, std::shared_ptr<const BoardEntry> board);
+
+  // Rebuilds a tenant from a checkpoint_doc(). Throws std::runtime_error on
+  // a malformed document or a controller-snapshot mismatch.
+  static std::unique_ptr<Tenant> restore(
+      const Json& doc, std::shared_ptr<const BoardEntry> board);
+
+  const std::string& id() const { return id_; }
+  const std::string& board_name() const { return board_->board.name; }
+  const BoardEntry& board() const { return *board_; }
+
+  std::uint64_t samples() const { return samples_; }
+  comm::CommModel model() const { return controller_->model(); }
+  const runtime::RuntimeMetrics& runtime_metrics() const {
+    return controller_->metrics();
+  }
+  const obs::Histogram& decide_latency_us() const { return decide_latency_us_; }
+  // Provenance of the most recent control decision (null before the first
+  // sample). Kept as opaque JSON so it survives checkpoint round-trips.
+  const Json& last_decision() const { return last_decision_; }
+
+  // Executes one control period of the synthetic phase workload described
+  // by `req` (op == Sample) and feeds the profiled counters into the
+  // adaptive controller.
+  SampleOutcome ingest_sample(const Request& req);
+
+  // One-shot recommendation from the windowed profile; throws
+  // std::runtime_error when no samples have been ingested yet.
+  core::Recommendation recommend() const;
+
+  // Complete serializable state. Deterministic: the same sample history
+  // always produces byte-identical documents.
+  Json checkpoint_doc() const;
+
+ private:
+  Tenant() = default;
+
+  workload::Workload sample_workload(bool heavy, double demand, Bytes span,
+                                     std::uint32_t iterations) const;
+  void replay_log_entry(const Json& entry);
+
+  std::string id_;
+  std::shared_ptr<const BoardEntry> board_;
+  std::unique_ptr<soc::SoC> soc_;
+  std::unique_ptr<profile::Profiler> profiler_;
+  std::unique_ptr<runtime::AdaptiveController> controller_;
+
+  // One entry per ingested sample: {heavy, demand, span, iterations, model,
+  // model_after} — everything replay_log_entry needs to rebuild the SoC.
+  std::vector<Json> sample_log_;
+  // Most recent profiled report: recommend() falls back to it when the
+  // controller window was cleared by a committed switch. Not serialized —
+  // restore() rebuilds it exactly by replaying the sample log.
+  profile::ProfileReport last_report_;
+  std::uint64_t samples_ = 0;
+  obs::Histogram decide_latency_us_;
+  Json last_decision_;
+};
+
+// File-name stem for a tenant checkpoint: the sanitized id plus an FNV-1a
+// hash suffix so distinct ids can never collide on disk.
+std::string tenant_file_stem(const std::string& id);
+
+}  // namespace cig::serve

@@ -4,9 +4,17 @@
 // restart over the same checkpoint directory, must produce decisions
 // byte-identical to an uninterrupted golden run — and guard state
 // (quarantine strikes, watchdog pins) must survive the snapshot round-trip.
+//
+// The serve-mode section at the bottom applies the same discipline to the
+// multi-tenant daemon: a crash at every serve.* seam, then a restart over
+// the same state directory plus an at-least-once re-feed of the stream,
+// must leave checkpoints byte-identical to an uninterrupted golden run.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +25,8 @@
 #include "runtime/controller.h"
 #include "runtime/guard.h"
 #include "runtime/replay.h"
+#include "serve/crashtest.h"
+#include "serve/server.h"
 #include "soc/presets.h"
 #include "workload/builders.h"
 
@@ -240,6 +250,113 @@ TEST_F(CrashRecoveryTest, QuarantineStrikesAndExpirySurviveRestore) {
     resumed.on_decision();
   }
   EXPECT_TRUE(resumed.allow(comm::CommModel::ZeroCopy));
+}
+
+// --- serve-mode seam recovery -------------------------------------------
+//
+// Same contract as `cigtool crashtest --mode serve`, exercised in-process:
+// arm a Throw-mode crash at each serve.* seam, let it tear the daemon out
+// of its session, restart over the same state directory and re-feed the
+// whole stream. The recovered state directory must match an uninterrupted
+// golden run byte for byte, and the re-fed samples must be acknowledged as
+// replayed rather than re-executed.
+
+std::map<std::string, std::string> state_dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    files[fs::relative(entry.path(), dir).string()] = bytes.str();
+  }
+  return files;
+}
+
+serve::ServeOptions serve_options(const std::string& state_dir) {
+  serve::ServeOptions options;
+  options.state_dir = state_dir;
+  options.resident_budget = 2;  // below the tenant count: evictions fire
+  options.batch_max = 8;
+  options.cache_dir =
+      (fs::temp_directory_path() / "cig-serve-test-cache").string();
+  return options;
+}
+
+TEST_F(CrashRecoveryTest, ServeSeamCrashesRecoverByteIdentical) {
+  serve::ScriptOptions script_options;  // 4 tenants x 4 samples + decides
+  const std::string script = serve::scripted_session(script_options);
+
+  const std::string golden_dir = dir_ + "/golden";
+  {
+    serve::Server golden(serve_options(golden_dir));
+    std::istringstream in(script);
+    std::ostringstream out;
+    ASSERT_EQ(golden.run(in, out), 0);
+  }
+  const auto golden_bytes = state_dir_bytes(golden_dir);
+  ASSERT_FALSE(golden_bytes.empty());
+
+  for (const std::string& seam : serve::serve_crash_seams()) {
+    SCOPED_TRACE(seam);
+    const std::string state = dir_ + "/" + seam;
+
+    // Crash: the injected fault must escape the request loop (it is not a
+    // std::exception, so the daemon's error shielding cannot swallow it).
+    fault::CrashInjector::instance().arm(seam, 1, fault::CrashMode::Throw);
+    bool crashed = false;
+    {
+      serve::Server crashing(serve_options(state));
+      std::istringstream in(script);
+      std::ostringstream out;
+      try {
+        crashing.run(in, out);
+      } catch (const fault::CrashInjected& crash) {
+        crashed = true;
+        EXPECT_EQ(crash.seam(), seam);
+      }
+    }
+    fault::CrashInjector::instance().disarm();
+    ASSERT_TRUE(crashed);
+
+    // Recover: restart over the torn-off state dir, re-feed everything.
+    serve::Server recovered(serve_options(state));
+    std::istringstream in(script);
+    std::ostringstream out;
+    EXPECT_EQ(recovered.run(in, out), 0);
+    EXPECT_EQ(state_dir_bytes(state), golden_bytes);
+  }
+}
+
+TEST_F(CrashRecoveryTest, ServeRecoveryDedupsRefedSamples) {
+  serve::ScriptOptions script_options;
+  const std::string script = serve::scripted_session(script_options);
+  const std::string state = dir_ + "/state";
+
+  // Crash right after the first manifest publish: recovery sees durable
+  // tenants mid-history, so the re-fed prefix must dedup, not re-execute.
+  fault::CrashInjector::instance().arm("serve.post_manifest", 1,
+                                       fault::CrashMode::Throw);
+  {
+    serve::Server crashing(serve_options(state));
+    std::istringstream in(script);
+    std::ostringstream out;
+    try {
+      crashing.run(in, out);
+      FAIL() << "seam never fired";
+    } catch (const fault::CrashInjected&) {
+    }
+  }
+  fault::CrashInjector::instance().disarm();
+
+  serve::Server recovered(serve_options(state));
+  std::istringstream in(script);
+  std::ostringstream out;
+  EXPECT_EQ(recovered.run(in, out), 0);
+  // At least one re-fed sample was already in a recovered checkpoint and
+  // must be acknowledged without re-execution; none may error.
+  EXPECT_GT(recovered.metrics().replayed_samples, 0u);
+  EXPECT_EQ(recovered.metrics().errors, 0u);
 }
 
 TEST_F(CrashRecoveryTest, WatchdogPinAndReasonSurviveRestore) {

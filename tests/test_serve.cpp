@@ -1,0 +1,371 @@
+// End-to-end tests for the multi-tenant decision service (serve::Server):
+// the request/reply lifecycle, LRU eviction + transparent restore, the
+// jobs-invariance contract (byte-identical reply streams and checkpoint
+// directories for every worker count), checkpoint/recovery with replay
+// dedup, and the serve.* metrics surface.
+//
+// Board characterization is the only expensive step; every test shares one
+// content-addressed ResultCache directory so only the first run per machine
+// pays it (cached loads are byte-identical to fresh ones).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/crashtest.h"
+#include "serve/server.h"
+#include "serve/tenant.h"
+#include "support/json.h"
+
+namespace cig::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string shared_cache_dir() {
+  return (fs::temp_directory_path() / "cig-serve-test-cache").string();
+}
+
+struct SessionResult {
+  int exit = 0;
+  std::string out;
+  std::vector<Json> replies;
+};
+
+SessionResult run_session(Server& server, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  SessionResult result;
+  result.exit = server.run(in, out);
+  result.out = out.str();
+  std::istringstream lines(result.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) result.replies.push_back(Json::parse(line));
+  }
+  return result;
+}
+
+SessionResult run_session(const ServeOptions& options,
+                          const std::string& script) {
+  Server server(options);
+  return run_session(server, script);
+}
+
+// Byte map of every regular file under `dir`, keyed by relative path.
+std::map<std::string, std::string> dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    files[fs::relative(entry.path(), dir).string()] = bytes.str();
+  }
+  return files;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cig-serve-" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServeOptions options(const std::string& state_subdir = "") {
+    ServeOptions o;
+    o.cache_dir = shared_cache_dir();
+    if (!state_subdir.empty()) o.state_dir = dir_ + "/" + state_subdir;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServeTest, LifecycleRoundTrip) {
+  const std::string script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"heavy\":true,\"span\":256}\n"
+      "{\"op\":\"decide\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"explain\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"stats\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"metrics\"}\n"
+      "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(options(), script);
+  EXPECT_EQ(r.exit, 0);
+  ASSERT_EQ(r.replies.size(), 9u);
+
+  const Json& hello = r.replies[0];
+  EXPECT_TRUE(hello.bool_or("ok", false));
+  EXPECT_EQ(hello.string_or("tenant", ""), "a");
+  EXPECT_FALSE(hello.bool_or("existing", true));
+
+  const Json& sample1 = r.replies[1];
+  EXPECT_TRUE(sample1.bool_or("ok", false));
+  EXPECT_EQ(sample1.number_or("n", 0), 1);
+  EXPECT_FALSE(sample1.string_or("model", "").empty());
+  EXPECT_GT(sample1.number_or("latency_us", 0), 0);
+
+  EXPECT_EQ(r.replies[2].number_or("n", 0), 2);
+
+  const Json& decide = r.replies[3];
+  EXPECT_TRUE(decide.bool_or("ok", false));
+  EXPECT_TRUE(decide.contains("suggested"));
+  EXPECT_GE(decide.number_or("estimated_speedup", 0), 0);
+
+  const Json& explain = r.replies[4];
+  EXPECT_TRUE(explain.bool_or("ok", false));
+  EXPECT_TRUE(explain.contains("rationale"));
+  EXPECT_TRUE(explain.contains("explanation"));
+
+  const Json& tstats = r.replies[5];
+  EXPECT_EQ(tstats.number_or("samples", 0), 2);
+  EXPECT_EQ(tstats.string_or("board", ""), "Jetson TX2");
+  EXPECT_EQ(tstats.at("latency_us").number_or("count", 0), 2);
+
+  const Json& gstats = r.replies[6];
+  EXPECT_EQ(gstats.at("tenants").number_or("known", 0), 1);
+  EXPECT_EQ(gstats.at("counters").number_or("serve.samples", 0), 2);
+
+  const Json& metrics = r.replies[7];
+  EXPECT_NE(metrics.string_or("text", "").find("cig_serve_requests"),
+            std::string::npos);
+
+  EXPECT_TRUE(r.replies[8].bool_or("ok", false));
+}
+
+TEST_F(ServeTest, TenantErrorsAreStructured) {
+  const std::string script =
+      "{\"op\":\"sample\",\"tenant\":\"ghost\"}\n"
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"decide\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"xavier\"}\n"
+      "{\"op\":\"hello\",\"tenant\":\"b\",\"board\":\"no-such-board\"}\n"
+      "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(options(), script);
+  EXPECT_EQ(r.exit, 0);
+  ASSERT_EQ(r.replies.size(), 6u);
+  EXPECT_EQ(r.replies[0].string_or("error", ""), "unknown-tenant");
+  EXPECT_TRUE(r.replies[1].bool_or("ok", false));
+  EXPECT_EQ(r.replies[2].string_or("error", ""), "no-samples");
+  EXPECT_EQ(r.replies[3].string_or("error", ""), "bad-request");
+  EXPECT_EQ(r.replies[4].string_or("error", ""), "bad-request");
+}
+
+TEST_F(ServeTest, RepliesAndStateIdenticalAcrossJobs) {
+  ScriptOptions script_options;
+  script_options.tenants = 6;
+  script_options.samples_per_tenant = 4;
+  const std::string script = scripted_session(script_options);
+
+  ServeOptions serial = options("state-serial");
+  serial.jobs = 1;
+  serial.resident_budget = 3;  // evictions + restores on both paths
+  serial.batch_max = 8;
+  const SessionResult a = run_session(serial, script);
+
+  ServeOptions parallel = options("state-parallel");
+  parallel.jobs = 8;
+  parallel.resident_budget = 3;
+  parallel.batch_max = 8;
+  const SessionResult b = run_session(parallel, script);
+
+  EXPECT_EQ(a.exit, 0);
+  EXPECT_EQ(b.exit, 0);
+  EXPECT_EQ(a.out, b.out);  // byte-identical reply streams
+  EXPECT_EQ(dir_bytes(serial.state_dir), dir_bytes(parallel.state_dir));
+}
+
+TEST_F(ServeTest, EvictionRestoreMatchesAllResident) {
+  ScriptOptions script_options;
+  script_options.tenants = 5;
+  script_options.samples_per_tenant = 4;
+  // No explicit checkpoint op: its "written" count legitimately differs
+  // between budgets (eviction already checkpointed the tight run's
+  // tenants), and this test compares reply streams byte for byte.
+  script_options.checkpoint = false;
+  const std::string script = scripted_session(script_options);
+
+  ServeOptions tight = options("state-tight");
+  tight.resident_budget = 1;
+  tight.batch_max = 4;
+  Server tight_server(tight);
+  const SessionResult a = run_session(tight_server, script);
+  EXPECT_EQ(a.exit, 0);
+  EXPECT_GT(tight_server.metrics().evictions, 0u);
+  EXPECT_GT(tight_server.metrics().restores, 0u);
+
+  ServeOptions roomy = options("state-roomy");
+  roomy.resident_budget = 64;
+  roomy.batch_max = 4;
+  Server roomy_server(roomy);
+  const SessionResult b = run_session(roomy_server, script);
+  EXPECT_EQ(b.exit, 0);
+  EXPECT_EQ(roomy_server.metrics().evictions, 0u);
+
+  // Eviction/restore is transparent: identical replies, identical durable
+  // state, on both sides of the budget.
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(dir_bytes(tight.state_dir), dir_bytes(roomy.state_dir));
+}
+
+TEST_F(ServeTest, InMemoryEvictionWithoutStateDir) {
+  ScriptOptions script_options;
+  script_options.tenants = 4;
+  script_options.samples_per_tenant = 3;
+  script_options.checkpoint = false;
+  const std::string script = scripted_session(script_options);
+
+  ServeOptions blob = options();  // no state dir: in-memory checkpoints
+  blob.resident_budget = 1;
+  blob.batch_max = 4;
+  Server blob_server(blob);
+  const SessionResult a = run_session(blob_server, script);
+  EXPECT_EQ(a.exit, 0);
+  EXPECT_GT(blob_server.metrics().evictions, 0u);
+  EXPECT_GT(blob_server.metrics().restores, 0u);
+
+  ServeOptions durable = options("state");
+  durable.resident_budget = 1;
+  durable.batch_max = 4;
+  const SessionResult b = run_session(durable, script);
+
+  // The reply stream must not depend on where checkpoints live.
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST_F(ServeTest, RecoveryReplaysWithoutReexecution) {
+  ScriptOptions script_options;
+  script_options.tenants = 3;
+  script_options.samples_per_tenant = 3;
+  const std::string script = scripted_session(script_options);
+
+  ServeOptions o = options("state");
+  const SessionResult first = run_session(o, script);
+  EXPECT_EQ(first.exit, 0);
+  const auto golden = dir_bytes(o.state_dir);
+  ASSERT_FALSE(golden.empty());
+
+  // Restart over the same state dir and re-feed the whole stream (the
+  // at-least-once client contract). Every sample is already in the
+  // recovered checkpoints, so all of them are acknowledged as replayed and
+  // the durable state stays byte-identical.
+  Server recovered(o);
+  EXPECT_GT(recovered.metrics().tenants_recovered, 0u);
+  const SessionResult second = run_session(recovered, script);
+  EXPECT_EQ(second.exit, 0);
+  EXPECT_EQ(recovered.metrics().samples, 0u);
+  EXPECT_GT(recovered.metrics().replayed_samples, 0u);
+  bool saw_replayed = false;
+  for (const Json& reply : second.replies) {
+    if (reply.bool_or("replayed", false)) saw_replayed = true;
+    EXPECT_TRUE(reply.bool_or("ok", false)) << reply.dump();
+  }
+  EXPECT_TRUE(saw_replayed);
+  EXPECT_EQ(dir_bytes(o.state_dir), golden);
+}
+
+TEST_F(ServeTest, RecoveredSessionContinuesPastReplay) {
+  const std::string first_script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256,\"heavy\":true}\n"
+      "{\"op\":\"shutdown\"}\n";
+  ServeOptions o = options("state");
+  EXPECT_EQ(run_session(o, first_script).exit, 0);
+
+  // Re-feed the old stream plus one genuinely new sample: the old samples
+  // replay, the new one executes and advances the tenant.
+  const std::string second_script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256,\"heavy\":true}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":512}\n"
+      "{\"op\":\"stats\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"shutdown\"}\n";
+  Server recovered(o);
+  const SessionResult r = run_session(recovered, second_script);
+  EXPECT_EQ(r.exit, 0);
+  ASSERT_EQ(r.replies.size(), 6u);
+  EXPECT_TRUE(r.replies[0].bool_or("existing", false));
+  EXPECT_TRUE(r.replies[1].bool_or("replayed", false));
+  EXPECT_TRUE(r.replies[2].bool_or("replayed", false));
+  EXPECT_FALSE(r.replies[3].bool_or("replayed", false));
+  EXPECT_EQ(r.replies[3].number_or("n", 0), 3);
+  EXPECT_EQ(r.replies[4].number_or("samples", 0), 3);
+}
+
+TEST_F(ServeTest, TenantCheckpointDocRoundTrips) {
+  ServeOptions o = options();
+  o.resident_budget = 1;
+  Server server(o);
+  const std::string script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256,\"heavy\":true}\n"
+      "{\"op\":\"hello\",\"tenant\":\"b\",\"board\":\"tx2\"}\n"  // evicts a
+      "{\"op\":\"stats\",\"tenant\":\"a\"}\n"  // restores a
+      "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(server, script);
+  EXPECT_EQ(r.exit, 0);
+  // The restored tenant reports the full pre-eviction history.
+  EXPECT_EQ(r.replies[4].number_or("samples", 0), 2);
+  EXPECT_EQ(r.replies[4].at("latency_us").number_or("count", 0), 2);
+}
+
+TEST_F(ServeTest, MetricsFileExportedAtomically) {
+  ServeOptions o = options("state");
+  o.metrics_out = dir_ + "/serve.prom";
+  o.metrics_every = 2;
+  const std::string script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(o, script);
+  EXPECT_EQ(r.exit, 0);
+  ASSERT_TRUE(fs::exists(o.metrics_out));
+  std::ifstream in(o.metrics_out);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("cig_serve_requests 4"), std::string::npos);
+  EXPECT_NE(text.str().find("cig_serve_samples 2"), std::string::npos);
+  EXPECT_FALSE(fs::exists(o.metrics_out + ".tmp"));
+}
+
+TEST_F(ServeTest, CountersCoverEvictionLifecycle) {
+  ScriptOptions script_options;
+  script_options.tenants = 4;
+  script_options.samples_per_tenant = 2;
+  ServeOptions o = options("state");
+  o.resident_budget = 2;
+  o.batch_max = 4;
+  Server server(o);
+  const SessionResult r = run_session(server, scripted_session(script_options));
+  EXPECT_EQ(r.exit, 0);
+
+  const sim::StatRegistry reg = server.registry();
+  EXPECT_EQ(reg.get("serve.tenants.known"), 4);
+  EXPECT_GT(reg.get("serve.evictions"), 0);
+  EXPECT_GT(reg.get("serve.checkpoints.written"), 0);
+  EXPECT_GT(reg.get("serve.manifest.publishes"), 0);
+  EXPECT_EQ(reg.get("serve.samples"), 8);
+  EXPECT_EQ(reg.get("serve.errors"), 0);
+  EXPECT_LE(reg.get("serve.tenants.resident"), 2);
+}
+
+}  // namespace
+}  // namespace cig::serve

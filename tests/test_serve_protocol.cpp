@@ -1,0 +1,198 @@
+// Protocol fuzz/property tests for the serve wire format (serve/protocol.h)
+// and the daemon's request loop: malformed JSON, unknown ops, out-of-range
+// fields, oversized lines and out-of-order tenant traffic must all produce
+// structured error replies — one reply per input line, never an abort — and
+// the reply stream for a fixed input must be byte-identical at every jobs
+// setting.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "support/json.h"
+
+namespace cig::serve {
+namespace {
+
+ParsedLine parse(const std::string& line) { return parse_request(line, 1); }
+
+std::string error_of(const std::string& line) {
+  const ParsedLine parsed = parse(line);
+  if (parsed.ok) return "";
+  return parsed.error.string_or("error", "");
+}
+
+TEST(ServeProtocol, ValidRequestDefaults) {
+  const ParsedLine parsed =
+      parse("{\"op\":\"sample\",\"tenant\":\"a\"}");
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.request.op, Op::Sample);
+  EXPECT_EQ(parsed.request.tenant, "a");
+  EXPECT_EQ(parsed.request.board, "tx2");
+  EXPECT_EQ(parsed.request.span, 4096u);
+  EXPECT_EQ(parsed.request.iterations, 1u);
+  EXPECT_FALSE(parsed.request.heavy);
+
+  const ParsedLine heavy =
+      parse("{\"op\":\"sample\",\"tenant\":\"a\",\"heavy\":true}");
+  ASSERT_TRUE(heavy.ok);
+  EXPECT_GT(heavy.request.demand, parsed.request.demand);
+}
+
+TEST(ServeProtocol, StructuredErrorsForBadInput) {
+  EXPECT_EQ(error_of("this is not json"), "parse");
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":"), "parse");
+  EXPECT_EQ(error_of("[1,2,3]"), "parse");  // not an object
+  EXPECT_EQ(error_of("{}"), "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"frobnicate\"}"), "unknown-op");
+  EXPECT_EQ(error_of("{\"op\":\"sample\"}"), "bad-request");  // no tenant
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"\"}"), "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"" +
+                     std::string(kMaxTenantIdBytes + 1, 'x') + "\"}"),
+            "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"span\":1}"),
+      "bad-request");  // below kMinSpanBytes
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"span\":" +
+                     std::to_string(kMaxSpanBytes * 2) + "}"),
+            "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"demand\":-1}"),
+      "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"demand\":1e9}"),
+      "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"iterations\":0}"),
+      "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"iterations\":" +
+                     std::to_string(kMaxIterations + 1) + "}"),
+            "bad-request");
+}
+
+TEST(ServeProtocol, OversizedLineRejectedBeforeParsing) {
+  std::string line = "{\"op\":\"sample\",\"tenant\":\"a\",\"pad\":\"";
+  line += std::string(kMaxLineBytes, 'x');
+  line += "\"}";
+  EXPECT_EQ(error_of(line), "oversized-line");
+}
+
+TEST(ServeProtocol, ErrorRepliesCarryTheLineNumber) {
+  const ParsedLine parsed = parse_request("garbage", 42);
+  ASSERT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error.number_or("line", 0), 42);
+  EXPECT_FALSE(parsed.error.bool_or("ok", true));
+  EXPECT_FALSE(parsed.error.string_or("detail", "").empty());
+}
+
+// Deterministic corpus of hostile lines: truncations and byte mutations of
+// a valid request, random garbage, wrong-typed fields. Seeded, so every run
+// and every jobs setting sees the same bytes.
+std::vector<std::string> fuzz_corpus(std::size_t count) {
+  const std::string seed_line =
+      "{\"op\":\"sample\",\"tenant\":\"fuzz\",\"span\":4096,"
+      "\"demand\":0.5,\"iterations\":2,\"heavy\":false}";
+  std::mt19937 rng(0xC19u);
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string line = seed_line;
+    switch (i % 4) {
+      case 0:  // truncate
+        line = line.substr(0, 1 + rng() % (line.size() - 1));
+        break;
+      case 1: {  // mutate one byte
+        line[rng() % line.size()] =
+            static_cast<char>(32 + rng() % 95);
+        break;
+      }
+      case 2: {  // random printable garbage
+        const std::size_t n = 1 + rng() % 64;
+        line.clear();
+        for (std::size_t k = 0; k < n; ++k) {
+          line += static_cast<char>(32 + rng() % 95);
+        }
+        break;
+      }
+      case 3:  // structurally valid JSON, hostile values
+        line = "{\"op\":\"sample\",\"tenant\":\"fuzz\",\"span\":" +
+               std::to_string(static_cast<long long>(rng()) - (1LL << 31)) +
+               ",\"iterations\":" + std::to_string(rng()) + "}";
+        break;
+    }
+    corpus.push_back(std::move(line));
+  }
+  return corpus;
+}
+
+TEST(ServeProtocol, FuzzedLinesNeverThrow) {
+  for (const std::string& line : fuzz_corpus(2000)) {
+    const ParsedLine parsed = parse(line);  // must not throw or abort
+    if (!parsed.ok) {
+      EXPECT_FALSE(parsed.error.string_or("error", "").empty()) << line;
+    }
+  }
+}
+
+// The daemon-level property: a stream interleaving garbage with valid
+// traffic gets exactly one reply per line, keeps serving afterwards, and is
+// byte-identical across jobs settings. No state dir and no samples for
+// unregistered tenants, so no board characterization is needed — the test
+// exercises the request loop, not the simulator.
+TEST(ServeProtocol, ServerSurvivesFuzzedStream) {
+  std::ostringstream script;
+  std::size_t lines = 0;
+  const std::vector<std::string> corpus = fuzz_corpus(300);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    script << corpus[i] << '\n';
+    ++lines;
+    if (i % 10 == 0) {
+      // Out-of-order tenant traffic: samples and decides for tenants that
+      // never sent a hello must answer unknown-tenant, not abort.
+      script << "{\"op\":\"sample\",\"tenant\":\"never-hello-"
+             << i << "\"}\n";
+      script << "{\"op\":\"decide\",\"tenant\":\"also-never\"}\n";
+      lines += 2;
+    }
+  }
+  script << "{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+  lines += 2;
+
+  auto run = [&](int jobs) {
+    ServeOptions options;
+    options.jobs = jobs;
+    options.batch_max = 16;
+    Server server(options);
+    std::istringstream in(script.str());
+    std::ostringstream out;
+    const int exit = server.run(in, out);
+    EXPECT_EQ(exit, 0);
+    EXPECT_GT(server.metrics().parse_errors, 0u);
+    return out.str();
+  };
+
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_EQ(serial, parallel);
+
+  std::size_t replies = 0;
+  std::istringstream out(serial);
+  std::string line;
+  bool shutdown_ok = false;
+  while (std::getline(out, line)) {
+    ++replies;
+    const Json reply = Json::parse(line);  // every reply is valid JSON
+    if (reply.string_or("op", "") == "shutdown") {
+      shutdown_ok = reply.bool_or("ok", false);
+    }
+  }
+  EXPECT_EQ(replies, lines);
+  EXPECT_TRUE(shutdown_ok);
+}
+
+}  // namespace
+}  // namespace cig::serve

@@ -36,8 +36,24 @@
 //                                          decisions. Exit code 3 means
 //                                          recovery discarded torn state
 //                                          (a crash landed mid-append).
-//   cigtool crashtest [--board b] [--seams a,b] [--occurrences N]
-//                     [--scratch <dir>] [--checkpoint-every N]
+//   cigtool serve [--state-dir <dir>] [--resident-budget N] [--batch-max N]
+//                 [--jobs N] [--metrics-out <file.prom>] [--metrics-every N]
+//                 [--listen unix:PATH|tcp:PORT] [--script <file.jsonl>]
+//                                          multi-tenant decision service:
+//                                          line-delimited JSON requests on
+//                                          stdin (or a socket / script
+//                                          file), one JSON reply per line.
+//                                          Each tenant owns a private
+//                                          adaptive controller; cold
+//                                          tenants beyond the resident
+//                                          budget are checkpointed to the
+//                                          state dir and restored on their
+//                                          next request. See docs/serving.md
+//                                          for the wire protocol.
+//   cigtool crashtest [--mode runtime|serve] [--board b] [--seams a,b]
+//                     [--occurrences N] [--scratch <dir>]
+//                     [--checkpoint-every N] [--tenants N] [--samples N]
+//                     [--resident-budget N]
 //                     [--metrics-out <file.prom>] [--json]
 //                                          crash-recovery matrix: for every
 //                                          persistence seam, kill a
@@ -47,7 +63,14 @@
 //                                          checksum-invalid state loads, and
 //                                          post-restore decisions are
 //                                          byte-identical to an
-//                                          uninterrupted run
+//                                          uninterrupted run. --mode serve
+//                                          runs the matrix over the serve
+//                                          daemon's seams instead: a
+//                                          scripted multi-tenant session is
+//                                          killed mid-checkpoint/-eviction
+//                                          and the recovered state dir must
+//                                          match the golden run byte for
+//                                          byte
 //   cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]
 //                 [--trace-out <file.json>] [--metrics-out <file.prom>]
 //                 [--json]
@@ -69,6 +92,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -87,6 +111,9 @@
 #include "obs/prometheus.h"
 #include "persist/atomic_io.h"
 #include "runtime/replay.h"
+#include "serve/crashtest.h"
+#include "serve/server.h"
+#include "serve/socket.h"
 #include "sim/trace_export.h"
 #include "soc/board_io.h"
 #include "soc/presets.h"
@@ -98,8 +125,8 @@ namespace {
 
 using namespace cig;
 
-int usage() {
-  std::cerr <<
+void print_usage(std::ostream& out) {
+  out <<
       "usage:\n"
       "  cigtool boards\n"
       "  cigtool show <board>\n"
@@ -117,9 +144,14 @@ int usage() {
       " [--trace-out <file.json>] [--metrics-out <file.prom>]"
       " [--checkpoint-dir <dir>] [--checkpoint-every N]"
       " [--decisions-out <file.json>] [--no-static] [--json] [--explain]\n"
-      "  cigtool crashtest [--board b] [--seams a,b] [--occurrences N]"
-      " [--scratch <dir>] [--checkpoint-every N] [--metrics-out <file.prom>]"
-      " [--json]\n"
+      "  cigtool serve [--state-dir <dir>] [--resident-budget N]"
+      " [--batch-max N] [--jobs N] [--metrics-out <file.prom>]"
+      " [--metrics-every N] [--listen unix:PATH|tcp:PORT]"
+      " [--script <file.jsonl>]\n"
+      "  cigtool crashtest [--mode runtime|serve] [--board b] [--seams a,b]"
+      " [--occurrences N] [--scratch <dir>] [--checkpoint-every N]"
+      " [--tenants N] [--samples N] [--resident-budget N]"
+      " [--metrics-out <file.prom>] [--json]\n"
       "  cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>] [--json]\n"
       "\n"
@@ -128,16 +160,27 @@ int usage() {
       " or all cores; default 0)\n"
       "  --cache-dir D   content-addressed characterization cache directory\n"
       "\n"
-      "exit codes: 0 ok, 1 error/check failure, 2 usage, 3 recovery"
-      " discarded torn state (checkpointed runtime only)\n";
-  return 2;
+      "exit codes: 0 ok, 1 usage error, 2 operational failure (runtime"
+      " error or check violation), 3 recovery discarded torn state"
+      " (checkpointed runtime / serve only)\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
+  return 1;
+}
+
+// --help prints the same text to stdout and exits 0.
+int help() {
+  print_usage(std::cout);
+  return 0;
 }
 
 comm::CommModel parse_model(const std::string& name) {
   if (name == "sc") return comm::CommModel::StandardCopy;
   if (name == "um") return comm::CommModel::UnifiedMemory;
   if (name == "zc") return comm::CommModel::ZeroCopy;
-  throw std::runtime_error("unknown model '" + name + "' (sc, um or zc)");
+  throw std::invalid_argument("unknown model '" + name + "' (sc, um or zc)");
 }
 
 Json characterization_to_json(const core::DeviceCharacterization& device) {
@@ -410,7 +453,7 @@ int cmd_cache(const std::string& action, const std::string& cache_dir,
               bool as_json) {
   if (cache_dir.empty()) {
     std::cerr << "cigtool: cache " << action << " requires --cache-dir\n";
-    return 2;
+    return 1;
   }
   core::ResultCache cache(cache_dir);
   if (action == "stats") {
@@ -438,7 +481,7 @@ int cmd_cache(const std::string& action, const std::string& cache_dir,
   }
   std::cerr << "cigtool: unknown cache action '" << action
             << "' (stats or clear)\n";
-  return 2;
+  return 1;
 }
 
 int cmd_runtime(const std::string& board_name, const std::string& trace,
@@ -624,26 +667,45 @@ std::uint64_t parse_seed(const std::string& text) {
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(raw, &end, 10);
   if (*raw == '\0' || end == raw || *end != '\0' || text[0] == '-') {
-    throw std::runtime_error("invalid seed '" + text +
-                             "': want a non-negative integer");
+    throw std::invalid_argument("invalid seed '" + text +
+                                "': want a non-negative integer");
   }
   return static_cast<std::uint64_t>(parsed);
 }
 
-int cmd_crashtest(const std::string& cigtool_path,
+int cmd_crashtest(const std::string& mode, const std::string& cigtool_path,
                   const std::string& board_name,
                   const std::string& seams_csv, std::uint64_t occurrences,
                   const std::string& scratch, std::uint64_t checkpoint_every,
+                  std::uint64_t tenants, std::uint64_t samples,
+                  std::uint64_t resident_budget, const std::string& cache_dir,
                   const std::string& metrics_out, bool as_json) {
-  fault::CrashTestOptions options;
-  options.cigtool = cigtool_path;
-  options.board = board_name;
-  if (!seams_csv.empty()) options.seams = split_csv(seams_csv);
-  options.occurrences = occurrences == 0 ? 1 : occurrences;
-  if (!scratch.empty()) options.scratch_dir = scratch;
-  options.snapshot_every = checkpoint_every == 0 ? 1 : checkpoint_every;
-
-  const auto report = fault::run_crashtest(options);
+  fault::CrashTestReport report;
+  if (mode == "serve") {
+    serve::ServeCrashTestOptions options;
+    options.cigtool = cigtool_path;
+    options.board = board_name;
+    if (!seams_csv.empty()) options.seams = split_csv(seams_csv);
+    options.occurrences = occurrences == 0 ? 1 : occurrences;
+    if (!scratch.empty()) options.scratch_dir = scratch;
+    if (tenants > 0) options.tenants = static_cast<int>(tenants);
+    if (samples > 0) options.samples_per_tenant = static_cast<int>(samples);
+    if (resident_budget > 0) options.resident_budget = resident_budget;
+    options.cache_dir = cache_dir;
+    report = serve::run_serve_crashtest(options);
+  } else if (mode == "runtime") {
+    fault::CrashTestOptions options;
+    options.cigtool = cigtool_path;
+    options.board = board_name;
+    if (!seams_csv.empty()) options.seams = split_csv(seams_csv);
+    options.occurrences = occurrences == 0 ? 1 : occurrences;
+    if (!scratch.empty()) options.scratch_dir = scratch;
+    options.snapshot_every = checkpoint_every == 0 ? 1 : checkpoint_every;
+    report = fault::run_crashtest(options);
+  } else {
+    throw std::invalid_argument("crashtest: unknown --mode '" + mode +
+                                "' (runtime or serve)");
+  }
 
   if (!metrics_out.empty()) {
     sim::StatRegistry registry;
@@ -689,9 +751,25 @@ int cmd_crashtest(const std::string& cigtool_path,
                       : std::to_string(report.violations) +
                             " recovery invariant violation(s)")
               << '\n';
-    return 1;
+    return 2;
   }
   return 0;
+}
+
+int cmd_serve(const serve::ServeOptions& options, const std::string& listen,
+              const std::string& script) {
+  serve::Server server(options);
+  if (!listen.empty()) {
+    return serve::serve_listen(server, serve::parse_listen_spec(listen));
+  }
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in) {
+      throw std::runtime_error("serve: cannot open script '" + script + "'");
+    }
+    return server.run(in, std::cout);
+  }
+  return server.run(std::cin, std::cout);
 }
 
 int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
@@ -700,7 +778,7 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
               bool as_json) {
   const auto board_names = split_csv(boards_csv);
   if (board_names.empty()) {
-    throw std::runtime_error("chaos: --boards named no boards");
+    throw std::invalid_argument("chaos: --boards named no boards");
   }
   std::vector<fault::FaultScenario> scenarios;
   if (scenarios_csv.empty()) {
@@ -711,7 +789,7 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
     }
   }
   if (scenarios.empty()) {
-    throw std::runtime_error("chaos: --scenarios named no scenarios");
+    throw std::invalid_argument("chaos: --scenarios named no scenarios");
   }
 
   // One cache shared across the grid: every cell on the same board reuses
@@ -805,7 +883,7 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
   if (over_bound > 0) {
     std::cerr << "cigtool: chaos: " << over_bound
               << " cell(s) exceeded their regret bound\n";
-    return 1;
+    return 2;
   }
   return 0;
 }
@@ -838,6 +916,15 @@ int main(int argc, char** argv) {
   std::string seams_csv;
   std::uint64_t occurrences = 2;
   std::string scratch;
+  std::string mode = "runtime";
+  std::string state_dir;
+  std::uint64_t resident_budget = 0;
+  std::uint64_t batch_max = 0;
+  std::uint64_t metrics_every = 0;
+  std::uint64_t tenants = 0;
+  std::uint64_t samples = 0;
+  std::string listen;
+  std::string script;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -895,11 +982,37 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--scratch") {
         if (++i >= args.size()) return usage();
         scratch = args[i];
+      } else if (args[i] == "--mode") {
+        if (++i >= args.size()) return usage();
+        mode = args[i];
+      } else if (args[i] == "--state-dir") {
+        if (++i >= args.size()) return usage();
+        state_dir = args[i];
+      } else if (args[i] == "--resident-budget") {
+        if (++i >= args.size()) return usage();
+        resident_budget = parse_seed(args[i]);
+      } else if (args[i] == "--batch-max") {
+        if (++i >= args.size()) return usage();
+        batch_max = parse_seed(args[i]);
+      } else if (args[i] == "--metrics-every") {
+        if (++i >= args.size()) return usage();
+        metrics_every = parse_seed(args[i]);
+      } else if (args[i] == "--tenants") {
+        if (++i >= args.size()) return usage();
+        tenants = parse_seed(args[i]);
+      } else if (args[i] == "--samples") {
+        if (++i >= args.size()) return usage();
+        samples = parse_seed(args[i]);
+      } else if (args[i] == "--listen") {
+        if (++i >= args.size()) return usage();
+        listen = args[i];
+      } else if (args[i] == "--script") {
+        if (++i >= args.size()) return usage();
+        script = args[i];
       } else if (args[i] == "--explain") {
         explain = true;
       } else if (args[i] == "--help" || args[i] == "-h") {
-        usage();
-        return 0;
+        return help();
       } else {
         positional.push_back(args[i]);
       }
@@ -951,19 +1064,36 @@ int main(int argc, char** argv) {
                          checkpoint_dir, checkpoint_every, decisions_out,
                          no_static, as_json, explain);
     }
+    if (command == "serve" && positional.size() == 1) {
+      serve::ServeOptions options;
+      options.state_dir = state_dir;
+      if (resident_budget > 0) options.resident_budget = resident_budget;
+      if (batch_max > 0) options.batch_max = batch_max;
+      options.jobs = jobs == 0 ? 1 : jobs;  // serial reference path default
+      options.metrics_out = metrics_out;
+      options.metrics_every = metrics_every;
+      options.cache_dir = cache_dir;
+      return cmd_serve(options, listen, script);
+    }
     if (command == "crashtest" && positional.size() == 1) {
       const std::string board_name =
           board_flag.empty() ? std::string("tx2") : board_flag;
-      return cmd_crashtest(argv[0], board_name, seams_csv, occurrences,
-                           scratch, checkpoint_every, metrics_out, as_json);
+      return cmd_crashtest(mode, argv[0], board_name, seams_csv, occurrences,
+                           scratch, checkpoint_every, tenants, samples,
+                           resident_budget, cache_dir, metrics_out, as_json);
     }
     if (command == "chaos" && positional.size() == 1) {
       return cmd_chaos(boards_csv, scenarios_csv, seed, jobs, cache_dir,
                        trace_out, metrics_out, as_json);
     }
     return usage();
-  } catch (const std::exception& error) {
+  } catch (const std::invalid_argument& error) {
+    // Malformed flags and arguments are usage errors (exit 1)...
     std::cerr << "cigtool: " << error.what() << '\n';
     return 1;
+  } catch (const std::exception& error) {
+    // ...anything else that throws is an operational failure (exit 2).
+    std::cerr << "cigtool: " << error.what() << '\n';
+    return 2;
   }
 }
