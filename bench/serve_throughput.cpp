@@ -7,16 +7,20 @@
 // Board characterization and tenant registration are warmed up outside the
 // timed window — the bench measures the steady-state serving loop, not the
 // one-time micro-benchmark suite. Wall-clock timing only; every other
-// number in the report is deterministic.
+// number in the report is deterministic. A final leg repeats the sample
+// storm with a concurrent metrics/statusz scraper thread to price the
+// observability plane's lock against the serving loop.
 //
 //   serve_throughput [--tenants N] [--samples M] [--queries Q] [--jobs J]
 //                    [--budget B] [--bench-out BENCH_serve.json]
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench_common.h"
 #include "obs/histogram.h"
@@ -144,6 +148,35 @@ int main(int argc, char** argv) {
   }
   const double query_seconds = run_stream(server, queries.str());
 
+  // Timed: the same sample storm again, this time with a concurrent
+  // scraper hammering the observability snapshots (/metrics text +
+  // /statusz JSON) from another thread. The delta against the unscraped
+  // leg is the cost a Prometheus poller imposes on the serving loop.
+  std::uint64_t scrape_polls = 0;
+  double scraped_seconds = 0;
+  {
+    std::atomic<bool> stop{false};
+    std::uint64_t polls = 0;
+    std::thread scraper([&server, &stop, &polls] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string text = server.metrics_text();
+        const Json status = server.statusz_json();
+        if (text.empty() || !status.contains("requests")) break;
+        ++polls;
+      }
+    });
+    scraped_seconds = run_stream(server, samples.str());
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    scrape_polls = polls;
+  }
+  const double scraped_per_sec =
+      scraped_seconds > 0 ? sample_requests / scraped_seconds : 0;
+  const double scrape_overhead_pct =
+      sample_seconds > 0
+          ? (scraped_seconds - sample_seconds) / sample_seconds * 100
+          : 0;
+
   const std::uint64_t requests = sample_requests + query_requests;
   const double wall = sample_seconds + query_seconds;
   const double req_per_sec = wall > 0 ? requests / wall : 0;
@@ -163,9 +196,15 @@ int main(int argc, char** argv) {
   table.add_row({"requests/sec", Table::num(req_per_sec, 0)});
   table.add_row({"samples/sec", Table::num(samples_per_sec, 0)});
   table.add_row({"queries/sec", Table::num(queries_per_sec, 0)});
-  table.add_row({"decide p50 (sim us)", Table::num(decide.percentile(50), 1)});
-  table.add_row({"decide p95 (sim us)", Table::num(decide.percentile(95), 1)});
-  table.add_row({"decide p99 (sim us)", Table::num(decide.percentile(99), 1)});
+  table.add_row(
+      {"decide p50 (sim us)", Table::num(decide.percentile(0.50), 1)});
+  table.add_row(
+      {"decide p95 (sim us)", Table::num(decide.percentile(0.95), 1)});
+  table.add_row(
+      {"decide p99 (sim us)", Table::num(decide.percentile(0.99), 1)});
+  table.add_row({"scraped samples/sec", Table::num(scraped_per_sec, 0)});
+  table.add_row({"scrape overhead", Table::num(scrape_overhead_pct, 1) + " %"});
+  table.add_row({"scrape polls", std::to_string(scrape_polls)});
   table.add_row({"evictions", std::to_string(m.evictions)});
   table.add_row({"restores", std::to_string(m.restores)});
   print_table(std::cout, table);
@@ -186,10 +225,16 @@ int main(int argc, char** argv) {
     Json latency;
     latency["count"] = Json(static_cast<double>(decide.count()));
     latency["mean"] = Json(decide.mean());
-    latency["p50"] = Json(decide.percentile(50));
-    latency["p95"] = Json(decide.percentile(95));
-    latency["p99"] = Json(decide.percentile(99));
+    latency["p50"] = Json(decide.percentile(0.50));
+    latency["p95"] = Json(decide.percentile(0.95));
+    latency["p99"] = Json(decide.percentile(0.99));
     j["decide_latency_us"] = std::move(latency);
+    Json scrape;
+    scrape["req_per_sec"] = Json(scraped_per_sec);
+    scrape["baseline_req_per_sec"] = Json(samples_per_sec);
+    scrape["overhead_pct"] = Json(scrape_overhead_pct);
+    scrape["polls"] = Json(static_cast<double>(scrape_polls));
+    j["scrape"] = std::move(scrape);
     j["evictions"] = Json(static_cast<double>(m.evictions));
     j["restores"] = Json(static_cast<double>(m.restores));
     persist::atomic_write_file(cli.bench_out, j.dump(2) + "\n");

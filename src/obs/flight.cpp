@@ -1,0 +1,89 @@
+#include "obs/flight.h"
+
+#include <utility>
+
+#include "persist/atomic_io.h"
+#include "support/assert.h"
+
+namespace cig::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  CIG_EXPECTS(capacity >= 1);
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  CIG_EXPECTS(capacity >= 1);
+  capacity_ = capacity;
+  clear();
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void FlightRecorder::push(FlightEvent ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void FlightRecorder::span(sim::Lane lane, Seconds start, Seconds end,
+                          std::string label) {
+  CIG_EXPECTS(end >= start);
+  push(FlightEvent{FlightEvent::Kind::Span, lane, start, end, std::move(label),
+                   0});
+}
+
+void FlightRecorder::instant(sim::Lane lane, Seconds at, std::string label) {
+  push(FlightEvent{FlightEvent::Kind::Instant, lane, at, at, std::move(label),
+                   0});
+}
+
+void FlightRecorder::counter(Seconds at, std::string track, double value) {
+  push(FlightEvent{FlightEvent::Kind::Counter, sim::Lane::Ctrl, at, at,
+                   std::move(track), value});
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, head_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Json FlightRecorder::to_chrome_trace(const std::string& process_name) const {
+  sim::Timeline timeline;
+  sim::TraceAux aux;
+  for (const FlightEvent& ev : events()) {
+    switch (ev.kind) {
+      case FlightEvent::Kind::Span:
+        timeline.add(ev.lane, ev.start, ev.end, ev.label);
+        break;
+      case FlightEvent::Kind::Instant:
+        timeline.mark(ev.lane, ev.start, ev.label);
+        break;
+      case FlightEvent::Kind::Counter:
+        aux.counters.push_back(sim::CounterSample{ev.label, ev.start, ev.value});
+        break;
+    }
+  }
+  return sim::to_chrome_trace(timeline, aux, process_name);
+}
+
+void FlightRecorder::dump(const std::string& path,
+                          const std::string& process_name) const {
+  persist::atomic_write_file(path, to_chrome_trace(process_name).dump() + "\n");
+}
+
+}  // namespace cig::obs

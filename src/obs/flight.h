@@ -1,0 +1,82 @@
+// Always-on flight recorder: a bounded ring of recent trace events.
+//
+// The serve daemon (and anything else long-lived) cannot afford an
+// unbounded obs::Tracer, but when something goes wrong the last few
+// thousand events are exactly what an operator needs. The recorder keeps a
+// fixed-capacity ring of spans / instants / counter samples mirroring the
+// tracer's event vocabulary; recording overwrites the oldest events and
+// never allocates beyond the ring.
+//
+// Timestamps are *logical* (the caller supplies them — the serve daemon
+// stamps events with its serial request counter, in simulated
+// microseconds), so for a fixed input stream the ring contents — and the
+// Chrome/Perfetto dump rendered from them — are byte-identical regardless
+// of wall clock or worker count. Dumps go through sim::to_chrome_trace, so
+// a flight dump opens in the same viewers as the simulator's traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/timeline.h"
+#include "sim/trace_export.h"
+#include "support/json.h"
+
+namespace cig::obs {
+
+struct FlightEvent {
+  enum class Kind { Span, Instant, Counter };
+  Kind kind = Kind::Instant;
+  sim::Lane lane = sim::Lane::Ctrl;
+  Seconds start = 0;
+  Seconds end = 0;          // == start for instants; unused for counters
+  std::string label;        // span/instant label, or counter track name
+  double value = 0;         // counter value
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  // Drops all recorded events and resizes the ring.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  // Events overwritten by ring wrap (recorded - retained).
+  std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(ring_.size());
+  }
+
+  void span(sim::Lane lane, Seconds start, Seconds end, std::string label);
+  void instant(sim::Lane lane, Seconds at, std::string label);
+  void counter(Seconds at, std::string track, double value);
+  void clear();
+
+  // Retained events, oldest first.
+  std::vector<FlightEvent> events() const;
+
+  // Chrome trace-event document of the retained events (spans/instants on
+  // their lanes, counters as counter tracks). Deterministic for a fixed
+  // ring state.
+  Json to_chrome_trace(const std::string& process_name = "cig-flight") const;
+
+  // Atomically writes to_chrome_trace() to `path` (persist::atomic_write_file;
+  // throws std::runtime_error on I/O error).
+  void dump(const std::string& path,
+            const std::string& process_name = "cig-flight") const;
+
+ private:
+  void push(FlightEvent ev);
+
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::vector<FlightEvent> ring_;
+};
+
+}  // namespace cig::obs

@@ -74,6 +74,11 @@ void Histogram::clear() {
 double Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly on the side; answering them from the
+  // buckets would be off by up to one bucket ratio (and arbitrarily wrong
+  // for p100 when samples were clamped into the overflow bucket).
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
   // Rank of the target order statistic (nearest-rank with interpolation
   // inside the bucket it lands in).
   const double rank = q * static_cast<double>(count_ - 1) + 1.0;
@@ -83,11 +88,16 @@ double Histogram::percentile(double q) const {
     const double before = static_cast<double>(cumulative);
     cumulative += buckets_[i];
     if (static_cast<double>(cumulative) >= rank) {
-      // Log-interpolate within the bucket by the fractional rank.
+      // Log-interpolate within the bucket by the fractional rank. The top
+      // slot is also the overflow bucket: values above the ceiling were
+      // clamped into it, so its effective upper edge is the exact max, not
+      // the geometric bound.
       const double within =
           (rank - before) / static_cast<double>(buckets_[i]);
       const double lo = std::max(bucket_lower(i), min_);
-      const double hi = std::min(bucket_upper(i), max_);
+      const double hi = (i + 1 == buckets_.size())
+                            ? max_
+                            : std::min(bucket_upper(i), max_);
       if (!(lo > 0) || hi <= lo) return std::clamp(hi, min_, max_);
       const double value =
           std::pow(10.0, std::log10(lo) +
@@ -102,6 +112,16 @@ std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
   std::vector<Bucket> out;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] > 0) out.push_back(Bucket{bucket_upper(i), buckets_[i]});
+  }
+  return out;
+}
+
+std::vector<Histogram::Bucket> Histogram::cumulative_buckets() const {
+  std::vector<Bucket> out = nonzero_buckets();
+  std::uint64_t running = 0;
+  for (Bucket& b : out) {
+    running += b.count;
+    b.count = running;
   }
   return out;
 }

@@ -42,7 +42,10 @@ class Histogram {
   double max() const { return count_ ? max_ : 0; }
 
   // Order statistic at quantile q in [0, 1], log-interpolated within the
-  // bucket and clamped to [min, max]. Returns 0 on an empty histogram.
+  // bucket and clamped to [min, max]. q = 0 and q = 1 return the exact
+  // tracked min/max (including samples clamped into the overflow bucket).
+  // Returns 0 on an empty histogram. q is a fraction: percentile(0.99),
+  // never percentile(99) (which would clamp to q = 1, i.e. the max).
   double percentile(double q) const;
 
   struct Bucket {
@@ -51,6 +54,11 @@ class Histogram {
   };
   // Non-empty buckets in increasing bound order.
   std::vector<Bucket> nonzero_buckets() const;
+  // Cumulative counts at each non-empty bucket bound, increasing; the last
+  // entry's count equals count(). Samples above the ceiling were clamped
+  // into the top bucket, so its bound may understate max() by one bucket —
+  // Prometheus exposition closes the gap with the "+Inf" series.
+  std::vector<Bucket> cumulative_buckets() const;
 
   // Registry export: <prefix>.count/.mean/.min/.max/.p50/.p95/.p99.
   void export_to(sim::StatRegistry& registry, const std::string& prefix) const;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "persist/atomic_io.h"
+#include "support/assert.h"
 
 namespace cig::obs {
 
@@ -29,6 +30,12 @@ std::string quantile_of(const std::string& name, std::string* base) {
 void format_value(std::ostringstream& out, double value) {
   out.precision(12);
   out << value;
+}
+
+std::string value_text(double value) {
+  std::ostringstream out;
+  format_value(out, value);
+  return out.str();
 }
 
 }  // namespace
@@ -72,6 +79,138 @@ void write_prometheus(const sim::StatRegistry& registry,
   // Atomic replace: a crash (or an exception upstream) never leaves a
   // truncated snapshot a scraper would ingest as valid-but-empty.
   persist::atomic_write_file(path, to_prometheus(registry));
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_label_set(const LabelSet& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += escape_label_value(l.value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Exposition::Exposition(std::size_t series_cap) : series_cap_(series_cap) {}
+
+bool Exposition::admit(const std::string& family, const std::string& type,
+                       const LabelSet& labels, Family** out) {
+  Family& f = families_[family];
+  if (f.type.empty()) f.type = type;
+  CIG_EXPECTS(f.type == type);
+  if (!labels.empty()) {
+    if (series_cap_ > 0 && f.labeled >= series_cap_) {
+      ++dropped_;
+      return false;
+    }
+    ++f.labeled;
+  }
+  *out = &f;
+  return true;
+}
+
+void Exposition::add_gauge(const std::string& name, const LabelSet& labels,
+                           double value) {
+  Family* fam = nullptr;
+  const std::string metric = prometheus_name(name);
+  if (!admit(metric, "gauge", labels, &fam)) return;
+  Series s;
+  s.labels_text = render_label_set(labels);
+  s.lines.push_back(metric + s.labels_text + ' ' + value_text(value));
+  fam->series.push_back(std::move(s));
+}
+
+void Exposition::add_histogram(const std::string& name, const LabelSet& labels,
+                               const Histogram& hist) {
+  Family* fam = nullptr;
+  const std::string metric = prometheus_name(name);
+  if (!admit(metric, "histogram", labels, &fam)) return;
+  Series s;
+  s.labels_text = render_label_set(labels);
+  const std::string count_text =
+      value_text(static_cast<double>(hist.count()));
+  auto bucket_line = [&](const std::string& le, const std::string& cum) {
+    LabelSet with_le = labels;
+    with_le.push_back(Label{"le", le});
+    return metric + "_bucket" + render_label_set(with_le) + ' ' + cum;
+  };
+  for (const Histogram::Bucket& b : hist.cumulative_buckets()) {
+    s.lines.push_back(bucket_line(value_text(b.upper_bound),
+                                  value_text(static_cast<double>(b.count))));
+  }
+  s.lines.push_back(bucket_line("+Inf", count_text));
+  s.lines.push_back(metric + "_sum" + s.labels_text + ' ' +
+                    value_text(hist.sum()));
+  s.lines.push_back(metric + "_count" + s.labels_text + ' ' + count_text);
+  fam->series.push_back(std::move(s));
+}
+
+void Exposition::add_registry(const sim::StatRegistry& registry) {
+  for (const auto& [name, value] : registry.all()) {
+    std::string base;
+    const std::string quantile = quantile_of(name, &base);
+    const std::string family = prometheus_name(base);
+    if (!quantile.empty()) {
+      // Quantile shadows of a family exported as a conformant histogram are
+      // redundant (and the summary family name would collide with it).
+      const auto it = families_.find(family);
+      if (it != families_.end() && it->second.type == "histogram") continue;
+      Family* fam = nullptr;
+      if (!admit(family, "summary", {}, &fam)) continue;
+      Series s;
+      s.labels_text = "{quantile=\"" + quantile + "\"}";
+      s.lines.push_back(family + s.labels_text + ' ' + value_text(value));
+      fam->series.push_back(std::move(s));
+      continue;
+    }
+    // A gauge named <fam>_count would collide with a histogram family's
+    // reserved _count series; the histogram already carries that value.
+    const std::string suffix = "_count";
+    if (family.size() > suffix.size() &&
+        family.compare(family.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      const std::string stem = family.substr(0, family.size() - suffix.size());
+      const auto it = families_.find(stem);
+      if (it != families_.end() && it->second.type == "histogram") continue;
+    }
+    add_gauge(name, {}, value);
+  }
+}
+
+std::string Exposition::render() const {
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    out << "# TYPE " << name << ' ' << family.type << '\n';
+    for (const Series& s : family.series) {
+      for (const std::string& line : s.lines) out << line << '\n';
+    }
+  }
+  out << "# TYPE cig_obs_labels_dropped gauge\n";
+  out << "cig_obs_labels_dropped " << dropped_ << '\n';
+  return out.str();
 }
 
 }  // namespace cig::obs

@@ -13,10 +13,20 @@
 // ".p50"/".p95"/".p99") are folded into one summary-style metric with
 // quantile labels. Counters are emitted in the registry's deterministic
 // (lexicographic) order.
+//
+// Exposition extends the flat rendering with label sets and conformant
+// histogram series (_bucket/_sum/_count) for live scrape endpoints
+// (src/serve/http.*). Label values are escaped per the exposition format
+// and the number of labeled series per family is bounded by a cardinality
+// cap; drops are counted and rendered as cig_obs_labels_dropped.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "obs/histogram.h"
 #include "sim/stat_registry.h"
 
 namespace cig::obs {
@@ -29,5 +39,63 @@ std::string to_prometheus(const sim::StatRegistry& registry);
 // Writes the snapshot to `path` (throws std::runtime_error on I/O error).
 void write_prometheus(const sim::StatRegistry& registry,
                       const std::string& path);
+
+// One label: key must already be a valid label name; the value is escaped
+// at render time (backslash, double quote, newline).
+struct Label {
+  std::string key;
+  std::string value;
+};
+using LabelSet = std::vector<Label>;
+
+// Exposition-format escaping for a label value: \ -> \\, " -> \", LF -> \n.
+std::string escape_label_value(const std::string& value);
+
+// Renders {k1="v1",k2="v2"} (values escaped), or "" for an empty set.
+std::string render_label_set(const LabelSet& labels);
+
+// Deterministic builder for a labeled exposition document.
+//
+// Families render sorted by metric name; series within a family render in
+// insertion order (callers iterate sorted containers, so the document is a
+// pure function of the inputs). `series_cap` bounds the number of *labeled*
+// series per family: once a family holds that many labeled series, further
+// labeled adds are dropped and counted (unlabeled series never drop).
+// render() always appends the drop counter as cig_obs_labels_dropped.
+class Exposition {
+ public:
+  explicit Exposition(std::size_t series_cap = 0);  // 0 = unlimited
+
+  void add_gauge(const std::string& name, const LabelSet& labels, double value);
+  // Conformant histogram series: cumulative _bucket{le="..."} lines over the
+  // non-empty buckets, a closing _bucket{le="+Inf"}, then _sum and _count.
+  void add_histogram(const std::string& name, const LabelSet& labels,
+                     const Histogram& hist);
+  // Folds a registry the way to_prometheus() does (gauges + quantile
+  // summaries), skipping any series whose family was already claimed by
+  // add_histogram (their .count/.p50/.p95/.p99 shadows would collide with
+  // the histogram's reserved _count and bucket series).
+  void add_registry(const sim::StatRegistry& registry);
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string labels_text;  // pre-rendered label block ("" if unlabeled)
+    std::vector<std::string> lines;  // fully rendered sample lines
+  };
+  struct Family {
+    std::string type;  // "gauge" | "summary" | "histogram"
+    std::size_t labeled = 0;
+    std::vector<Series> series;
+  };
+  bool admit(const std::string& family, const std::string& type,
+             const LabelSet& labels, Family** out);
+
+  std::size_t series_cap_;
+  std::uint64_t dropped_ = 0;
+  std::map<std::string, Family> families_;  // keyed by prometheus_name
+};
 
 }  // namespace cig::obs

@@ -12,6 +12,7 @@
 #include "fault/crash.h"
 #include "persist/atomic_io.h"
 #include "serve/server.h"
+#include "support/json.h"
 #include "support/log.h"
 
 namespace cig::serve {
@@ -67,9 +68,38 @@ std::string read_file(const fs::path& path) {
   return buffer.str();
 }
 
+bool is_flight_dump(const fs::path& path) {
+  const std::string name = path.filename().string();
+  const std::string suffix = ".trace.json";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 bool comparable_file(const fs::path& path) {
+  // Flight-recorder dumps are forensics, not durable state: the recovered
+  // run writes one and the uninterrupted golden run does not.
+  if (is_flight_dump(path)) return false;
   const std::string ext = path.extension().string();
   return ext != ".tmp" && ext != ".log";
+}
+
+// Empty string = the recovery flight dump exists and parses as a Chrome
+// trace; otherwise what is wrong with it.
+std::string check_recovery_dump(const fs::path& state) {
+  const fs::path dump = state / "flight-recovery.trace.json";
+  if (!fs::exists(dump)) {
+    return "missing recovery flight dump " + dump.filename().string();
+  }
+  try {
+    const Json doc = Json::parse(read_file(dump));
+    if (!doc.contains("traceEvents") || !doc.at("traceEvents").is_array() ||
+        doc.at("traceEvents").as_array().empty()) {
+      return "recovery flight dump has no traceEvents";
+    }
+  } catch (const std::exception& e) {
+    return std::string("recovery flight dump unparsable: ") + e.what();
+  }
+  return std::string();
 }
 
 std::vector<std::string> state_files(const fs::path& root) {
@@ -237,9 +267,17 @@ fault::CrashTestReport run_serve_crashtest(
           cell.resumed = read_file(recover_log).find("\"replayed\":true") !=
                          std::string::npos;
           const std::string diff = compare_state_dirs(golden_state, state);
+          // A recovery that actually resumed (or discarded torn state) must
+          // also have left its flight-recorder dump behind.
+          const std::string dump_problem =
+              (cell.resumed || cell.torn_recovered) ? check_recovery_dump(state)
+                                                    : std::string();
           if (!diff.empty()) {
             cell.violation = true;
             cell.detail = "recovered state diverges: " + diff;
+          } else if (!dump_problem.empty()) {
+            cell.violation = true;
+            cell.detail = dump_problem;
           } else {
             cell.identical = true;
             cell.detail =

@@ -1,0 +1,160 @@
+#include "serve/http.h"
+
+#include <istream>
+#include <ostream>
+
+#include "serve/server.h"
+#include "support/json.h"
+
+namespace cig::serve {
+
+namespace {
+
+HttpResponse error_response(int status, const std::string& detail) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  Json j;
+  j["ok"] = Json(false);
+  j["status"] = Json(static_cast<double>(status));
+  j["error"] = Json(std::string(http_status_reason(status)));
+  j["detail"] = Json(detail);
+  r.body = j.dump() + "\n";
+  return r;
+}
+
+enum class LineRead { Ok, Eof, Oversized };
+
+// Reads one CRLF- (or LF-) terminated line, charging each byte against the
+// shared request budget. Eof = the stream ended before the terminator (a
+// truncated request); Oversized = the budget ran out first.
+LineRead read_line(std::istream& in, std::string* line, std::size_t* budget) {
+  line->clear();
+  char c = 0;
+  while (in.get(c)) {
+    if (*budget == 0) return LineRead::Oversized;
+    --*budget;
+    if (c == '\n') {
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return LineRead::Ok;
+    }
+    line->push_back(c);
+  }
+  return LineRead::Eof;
+}
+
+void write_response(std::ostream& out, const HttpResponse& r,
+                    bool include_body) {
+  out << "HTTP/1.1 " << r.status << ' ' << http_status_reason(r.status)
+      << "\r\n";
+  out << "Content-Type: " << r.content_type << "\r\n";
+  out << "Content-Length: " << r.body.size() << "\r\n";
+  if (r.status == 405) out << "Allow: GET, HEAD\r\n";
+  // Keep-alive is deliberately off: one request per connection means a
+  // stalled scraper can never wedge the sequential accept loop.
+  out << "Connection: close\r\n\r\n";
+  if (include_body) out << r.body;
+  out.flush();
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse http_respond(Server& server, const std::string& method,
+                          const std::string& target) {
+  server.count_scrape();
+  if (method != "GET" && method != "HEAD") {
+    return error_response(405, "method \"" + method +
+                                   "\" not supported (GET, HEAD only)");
+  }
+  const std::string path = target.substr(0, target.find('?'));
+  HttpResponse r;
+  if (path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = server.metrics_text();
+  } else if (path == "/healthz") {
+    r.content_type = "application/json";
+    r.body = server.healthz_json().dump() + "\n";
+  } else if (path == "/statusz") {
+    r.content_type = "application/json";
+    r.body = server.statusz_json().dump() + "\n";
+  } else {
+    return error_response(
+        404, "unknown path \"" + path +
+                 "\" (endpoints: /metrics, /healthz, /statusz)");
+  }
+  return r;
+}
+
+int handle_http_session(Server& server, std::istream& in, std::ostream& out) {
+  std::size_t budget = kMaxHttpRequestBytes;
+  std::string request_line;
+  switch (read_line(in, &request_line, &budget)) {
+    case LineRead::Ok:
+      break;
+    case LineRead::Eof:
+      if (request_line.empty()) return 0;  // connection with no request
+      write_response(out, error_response(400, "truncated request line"), true);
+      return 400;
+    case LineRead::Oversized: {
+      const HttpResponse r = error_response(431, "request line too long");
+      write_response(out, r, true);
+      return r.status;
+    }
+  }
+
+  // METHOD SP TARGET SP HTTP/x.y — anything else is malformed.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 ||
+      request_line.find(' ', sp2 + 1) != std::string::npos ||
+      request_line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    write_response(
+        out, error_response(400, "malformed request line"), true);
+    return 400;
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  // Headers: consumed and bounded, otherwise ignored (no bodies accepted).
+  std::string header;
+  while (true) {
+    switch (read_line(in, &header, &budget)) {
+      case LineRead::Ok:
+        break;
+      case LineRead::Eof:
+        write_response(out, error_response(400, "truncated headers"), true);
+        return 400;
+      case LineRead::Oversized: {
+        const HttpResponse r = error_response(431, "headers too large");
+        write_response(out, r, true);
+        return r.status;
+      }
+    }
+    if (header.empty()) break;  // blank line ends the header block
+    if (header.find(':') == std::string::npos) {
+      write_response(
+          out, error_response(400, "malformed header line"), true);
+      return 400;
+    }
+  }
+
+  const HttpResponse r = http_respond(server, method, target);
+  write_response(out, r, method != "HEAD");
+  return r.status;
+}
+
+}  // namespace cig::serve

@@ -1,0 +1,55 @@
+// Minimal HTTP/1.1 responder for the serve daemon's observability plane.
+//
+// `cigtool serve --listen ...` speaks two protocols on one listener: the
+// line-delimited JSON control protocol, and read-only HTTP GET for
+// scrapers (the socket layer sniffs the first bytes of each connection).
+// This file is the pure request/response core — it reads from an
+// std::istream and writes to an std::ostream, so tests drive it without
+// sockets.
+//
+// Endpoints:
+//
+//   GET /metrics   Prometheus exposition (text/plain; version=0.0.4):
+//                  serve.* registry + conformant histogram series,
+//                  including per-tenant labeled decide-latency histograms.
+//   GET /healthz   liveness JSON: {"ok":true,"torn":...,"shutdown":...}.
+//   GET /statusz   deterministic status JSON: counters, decide
+//                  percentiles, per-tenant detail, flight-recorder state.
+//
+// Deliberately small: GET/HEAD only (405 otherwise), no request bodies,
+// one request per connection (every response carries "Connection: close" —
+// keep-alive is off so a slow scraper can never wedge the accept loop),
+// bounded request size (431 beyond kMaxHttpRequestBytes), 400 on malformed
+// or truncated requests, 404 on unknown paths.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace cig::serve {
+
+class Server;
+
+// Upper bound on the request line + headers a client may send.
+inline constexpr std::size_t kMaxHttpRequestBytes = 16 * 1024;
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* http_status_reason(int status);
+
+// Dispatches one parsed request against the server's observability
+// surfaces. `target`'s query string (if any) is ignored.
+HttpResponse http_respond(Server& server, const std::string& method,
+                          const std::string& target);
+
+// Reads one HTTP request (request line + headers, no body) from `in`,
+// dispatches it, and writes a complete response — with Content-Length and
+// "Connection: close" — to `out`. HEAD responses omit the body. Returns
+// the HTTP status served, or 0 when the stream held no request at all.
+int handle_http_session(Server& server, std::istream& in, std::ostream& out);
+
+}  // namespace cig::serve

@@ -29,6 +29,9 @@ void ServeMetrics::export_to(sim::StatRegistry& registry,
   set("serve.checkpoints.written", checkpoints_written);
   set("serve.manifest.publishes", manifest_publishes);
   set("serve.metrics.exports", metrics_exports);
+  set("serve.slow_requests", slow_requests);
+  set("serve.scrapes", scrapes);
+  set("serve.flight.dumps", flight_dumps);
   decide_us.export_to(registry, "serve.decide_us");
 }
 

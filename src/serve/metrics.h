@@ -35,6 +35,9 @@ struct ServeMetrics {
   std::uint64_t manifest_publishes = 0;
   std::uint64_t resident_peak = 0;
   std::uint64_t metrics_exports = 0;
+  std::uint64_t slow_requests = 0;   // samples above the slow threshold
+  std::uint64_t scrapes = 0;         // HTTP observability requests served
+  std::uint64_t flight_dumps = 0;    // flight-recorder dumps written
 
   // Aggregate per-sample decision latency (simulated µs) across all
   // tenants; exported as serve.decide_us.count/mean/min/max/p50/p95/p99.

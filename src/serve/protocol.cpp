@@ -14,6 +14,7 @@ bool lookup_op(const std::string& name, Op& op) {
   else if (name == "stats") op = Op::Stats;
   else if (name == "metrics") op = Op::Metrics;
   else if (name == "checkpoint") op = Op::Checkpoint;
+  else if (name == "dump_trace") op = Op::DumpTrace;
   else if (name == "shutdown") op = Op::Shutdown;
   else return false;
   return true;
@@ -21,12 +22,22 @@ bool lookup_op(const std::string& name, Op& op) {
 
 // Tenant ids become file-name stems and reply fields: printable ASCII,
 // bounded length, no quotes or backslashes that would complicate shells.
-bool valid_tenant_id(const std::string& id) {
-  if (id.empty() || id.size() > kMaxTenantIdBytes) return false;
+bool printable_token(const std::string& id, std::size_t max_bytes) {
+  if (id.empty() || id.size() > max_bytes) return false;
   for (const char c : id) {
     if (c < 0x21 || c > 0x7e || c == '"' || c == '\\') return false;
   }
   return true;
+}
+
+bool valid_tenant_id(const std::string& id) {
+  return printable_token(id, kMaxTenantIdBytes);
+}
+
+// Trace ids land in replies, log lines and trace-event labels: same
+// alphabet as tenant ids, shorter bound.
+bool valid_trace_id(const std::string& id) {
+  return printable_token(id, kMaxTraceIdBytes);
 }
 
 ParsedLine reject(const std::string& code, const std::string& detail,
@@ -48,6 +59,7 @@ const char* op_name(Op op) {
     case Op::Stats: return "stats";
     case Op::Metrics: return "metrics";
     case Op::Checkpoint: return "checkpoint";
+    case Op::DumpTrace: return "dump_trace";
     case Op::Shutdown: return "shutdown";
   }
   return "?";
@@ -122,6 +134,36 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
                   std::string("op \"") + op_name(req.op) +
                       "\" requires a \"tenant\" id",
                   lineno);
+  }
+
+  if (doc.contains("trace_id")) {
+    if (!doc.at("trace_id").is_string()) {
+      return reject("bad-request", "\"trace_id\" must be a string", lineno);
+    }
+    req.trace_id = doc.at("trace_id").as_string();
+    if (!valid_trace_id(req.trace_id)) {
+      return reject("bad-request",
+                    "invalid trace_id (1.." +
+                        std::to_string(kMaxTraceIdBytes) +
+                        " printable ASCII characters, no quotes)",
+                    lineno);
+    }
+    req.trace_id_given = true;
+  } else {
+    // Deterministic fallback: a pure function of the request's position in
+    // the stream, so flight-recorder contents stay jobs-invariant.
+    req.trace_id = "r" + std::to_string(lineno);
+  }
+
+  if (req.op == Op::DumpTrace && doc.contains("path")) {
+    if (!doc.at("path").is_string() || doc.at("path").as_string().empty() ||
+        doc.at("path").as_string().size() > kMaxDumpPathBytes) {
+      return reject("bad-request",
+                    "\"path\" must be a non-empty string of at most " +
+                        std::to_string(kMaxDumpPathBytes) + " bytes",
+                    lineno);
+    }
+    req.path = doc.at("path").as_string();
   }
 
   if (req.op == Op::Hello) {

@@ -25,8 +25,18 @@
 //                                   string field.
 //   {"op":"checkpoint"}             checkpoint every dirty resident tenant
 //                                   and publish the manifest.
+//   {"op":"dump_trace","path":"f.trace.json"}
+//       write the flight-recorder ring as a Chrome/Perfetto trace to
+//       `path` (atomic replace); without "path" the trace document is
+//       returned inline in the "trace" reply field.
 //   {"op":"shutdown"}               final checkpoint + metrics export, then
 //                                   the daemon exits its loop.
+//
+// Any request may carry a "trace_id" (1..64 chars, same alphabet as tenant
+// ids): the id is echoed in the reply and threaded through the flight
+// recorder and the slow-request log. When absent, the daemon generates a
+// deterministic id from the request line number ("r<lineno>"), which is
+// used internally but not echoed.
 //
 // Error replies are structured, never fatal:
 //
@@ -53,6 +63,7 @@ enum class Op {
   Stats,
   Metrics,
   Checkpoint,
+  DumpTrace,
   Shutdown,
 };
 
@@ -72,6 +83,11 @@ struct Request {
   double demand = 0;  // 0 = default for the heavy/light flag
   Bytes span = 4096;
   std::uint32_t iterations = 1;
+  // dump_trace
+  std::string path;  // empty = return the trace inline
+  // any op: client-supplied or generated request correlation id
+  std::string trace_id;
+  bool trace_id_given = false;  // echoed in the reply only when supplied
 };
 
 // Validation limits. Lines longer than kMaxLineBytes are rejected before
@@ -79,6 +95,8 @@ struct Request {
 // simulator for an absurd workload.
 inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
 inline constexpr std::size_t kMaxTenantIdBytes = 128;
+inline constexpr std::size_t kMaxTraceIdBytes = 64;
+inline constexpr std::size_t kMaxDumpPathBytes = 4096;
 inline constexpr Bytes kMinSpanBytes = 64;
 inline constexpr Bytes kMaxSpanBytes = 64ull * 1024 * 1024;
 inline constexpr double kMaxDemandFactor = 64.0;

@@ -37,13 +37,27 @@ const std::vector<std::string>& serve_crash_seams() {
   return seams;
 }
 
-Server::Server(ServeOptions options) : options_(std::move(options)) {
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      flight_(options_.flight_capacity ? options_.flight_capacity
+                                       : obs::FlightRecorder::kDefaultCapacity) {
   if (!options_.cache_dir.empty()) {
     cache_ = std::make_unique<core::ResultCache>(options_.cache_dir);
   }
   if (!options_.state_dir.empty()) {
     fs::create_directories(tenant_dir());
     recover_from_manifest();
+    if (metrics_.tenants_recovered > 0 || torn_seen_) {
+      // Crash forensics: the recovery events just recorded (who was
+      // recovered, what was discarded) are dumped where the crashtest — and
+      // an operator inspecting the aftermath — can find them.
+      try {
+        dump_flight(options_.state_dir + "/flight-recovery.trace.json");
+      } catch (const std::exception& e) {
+        CIG_LOG_C(LogLevel::Warn, "serve",
+                  "recovery flight dump failed: " << e.what());
+      }
+    }
   }
 }
 
@@ -81,6 +95,7 @@ void Server::recover_from_manifest() {
     // manifest does) and the exit code reports the discard.
     CIG_LOG_C(LogLevel::Warn, "serve",
               "discarding torn manifest: " << load.error);
+    flight_.instant(sim::Lane::Ctrl, flight_now(), "torn manifest discarded");
     ++metrics_.torn_discarded;
     torn_seen_ = true;
     return;
@@ -100,6 +115,9 @@ void Server::recover_from_manifest() {
         static_cast<std::uint64_t>(entry.number_or("samples", 0));
     slot.replay_armed = true;
     slot.lru_tick = ++lru_clock_;
+    flight_.instant(sim::Lane::Ctrl, flight_now(),
+                    "recover " + id + " samples=" +
+                        std::to_string(slot.checkpointed_samples));
     tenants_.emplace(id, std::move(slot));
     ++metrics_.tenants_recovered;
   }
@@ -127,12 +145,16 @@ int Server::run(std::istream& in, std::ostream& out) {
     if (line.empty()) continue;
     handle_line(line, out);
   }
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  poll_dump_signal();
   flush(out);
   finalize(out);
   return torn_seen_ ? 3 : 0;
 }
 
 void Server::handle_line(const std::string& line, std::ostream& out) {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  poll_dump_signal();
   ++lineno_;
   ++metrics_.requests;
 
@@ -185,13 +207,33 @@ void Server::handle_global(const Request& req, std::ostream& out) {
     }
     case Op::Metrics: {
       reply["content_type"] = Json(std::string("text/plain; version=0.0.4"));
-      reply["text"] = Json(obs::to_prometheus(registry()));
+      reply["text"] = Json(metrics_text_unlocked());
       break;
     }
     case Op::Checkpoint: {
       const std::uint64_t written = checkpoint_all();
       reply["written"] = Json(static_cast<double>(written));
       reply["durable"] = Json(!options_.state_dir.empty());
+      break;
+    }
+    case Op::DumpTrace: {
+      // Snapshot before recording this request's own instant, so the dump
+      // reflects the stream *up to* the dump request.
+      const Json trace = flight_.to_chrome_trace("cigtool serve");
+      reply["events"] = Json(static_cast<double>(flight_.size()));
+      reply["recorded"] = Json(static_cast<double>(flight_.recorded()));
+      reply["dropped"] = Json(static_cast<double>(flight_.dropped()));
+      if (!req.path.empty()) {
+        try {
+          persist::atomic_write_file(req.path, trace.dump() + "\n");
+          ++metrics_.flight_dumps;
+          reply["path"] = Json(req.path);
+        } catch (const std::exception& e) {
+          reply = error_reply("internal", e.what(), lineno_);
+        }
+      } else {
+        reply["trace"] = Json(trace.dump());
+      }
       break;
     }
     case Op::Shutdown: {
@@ -203,6 +245,9 @@ void Server::handle_global(const Request& req, std::ostream& out) {
       reply = error_reply("internal", "request is not a global op", lineno_);
       break;
   }
+  flight_.instant(sim::Lane::Ctrl, flight_now(),
+                  std::string(op_name(req.op)) + " [" + req.trace_id + "]");
+  if (req.trace_id_given) reply["trace_id"] = Json(req.trace_id);
   emit(out, reply);
 }
 
@@ -263,6 +308,10 @@ void Server::flush(std::ostream& out) {
   ++metrics_.batches;
   metrics_.peak_batch = std::max<std::uint64_t>(metrics_.peak_batch,
                                                 batch_.size());
+  flight_.span(sim::Lane::Ctrl,
+               microsec(static_cast<double>(batch_.front().lineno - 1)),
+               microsec(static_cast<double>(batch_.back().lineno)),
+               "batch n=" + std::to_string(batch_.size()));
 
   // Serial pre-pass in arrival order: create tenants (hello), reject
   // unknown ones, stamp the LRU clock, and collect the evicted tenants this
@@ -339,11 +388,19 @@ void Server::flush(std::ostream& out) {
     for (const double v : group.latencies_us) metrics_.decide_us.add(v);
   }
 
-  for (const Pending& pending : batch_) emit(out, pending.reply);
+  for (Pending& pending : batch_) {
+    if (pending.req.trace_id_given) {
+      pending.reply["trace_id"] = Json(pending.req.trace_id);
+    }
+    record_request_flight(pending);
+    emit(out, pending.reply);
+  }
   out.flush();
   batch_.clear();
 
   evict_over_budget();
+  flight_.counter(flight_now(), "serve.tenants.resident",
+                  static_cast<double>(resident_tenants()));
 }
 
 namespace {
@@ -435,6 +492,7 @@ void Server::restore_batch(const std::vector<std::string>& ids) {
       }
       slot.checkpointed_samples = slot.resident->samples();
       ++metrics_.restores;
+      flight_.instant(sim::Lane::Ctrl, flight_now(), "restore " + work[i].id);
     } else {
       CIG_LOG_C(LogLevel::Warn, "serve",
                 "dropping tenant \"" << work[i].id
@@ -526,9 +584,9 @@ void Server::process_request(TenantSlot& slot, Group& group,
         Json latency;
         latency["count"] = Json(static_cast<double>(h.count()));
         latency["mean"] = Json(h.mean());
-        latency["p50"] = Json(h.percentile(50));
-        latency["p95"] = Json(h.percentile(95));
-        latency["p99"] = Json(h.percentile(99));
+        latency["p50"] = Json(h.percentile(0.50));
+        latency["p95"] = Json(h.percentile(0.95));
+        latency["p99"] = Json(h.percentile(0.99));
         reply["latency_us"] = std::move(latency);
         if (!tenant.last_decision().is_null()) {
           reply["last_decision"] = tenant.last_decision();
@@ -618,6 +676,7 @@ void Server::publish_manifest() {
   persist::seam("serve.post_manifest");
   manifest_dirty_ = false;
   ++metrics_.manifest_publishes;
+  flight_.instant(sim::Lane::Ctrl, flight_now(), "manifest publish");
 }
 
 void Server::evict_over_budget() {
@@ -637,6 +696,7 @@ void Server::evict_over_budget() {
     persist::seam("serve.mid_eviction");
     victim->second.resident.reset();
     ++metrics_.evictions;
+    flight_.instant(sim::Lane::Ctrl, flight_now(), "evict " + victim->first);
   }
   if (manifest_dirty_) publish_manifest();
 }
@@ -647,8 +707,7 @@ void Server::maybe_export_metrics(bool force) {
     if (options_.metrics_every == 0) return;
     if (metrics_.requests - last_export_ < options_.metrics_every) return;
   }
-  persist::atomic_write_file(options_.metrics_out,
-                             obs::to_prometheus(registry()));
+  persist::atomic_write_file(options_.metrics_out, metrics_text_unlocked());
   last_export_ = metrics_.requests;
   ++metrics_.metrics_exports;
 }
@@ -657,6 +716,194 @@ void Server::finalize(std::ostream& out) {
   checkpoint_all();
   maybe_export_metrics(true);
   out.flush();
+}
+
+Seconds Server::flight_now() const {
+  return microsec(static_cast<double>(lineno_));
+}
+
+std::string Server::flight_out_path() const {
+  if (!options_.flight_out.empty()) return options_.flight_out;
+  if (!options_.state_dir.empty()) {
+    return options_.state_dir + "/flight.trace.json";
+  }
+  return "flight.trace.json";
+}
+
+void Server::dump_flight(const std::string& path) {
+  flight_.dump(path, "cigtool serve");
+  ++metrics_.flight_dumps;
+  CIG_LOG_C(LogLevel::Info, "serve",
+            "flight recorder dumped to " << path << " ("
+                                         << flight_.size() << " events)");
+}
+
+void Server::poll_dump_signal() {
+  if (options_.dump_signal == nullptr || *options_.dump_signal == 0) return;
+  *options_.dump_signal = 0;
+  try {
+    dump_flight(flight_out_path());
+  } catch (const std::exception& e) {
+    CIG_LOG_C(LogLevel::Warn, "serve",
+              "signal-triggered flight dump failed: " << e.what());
+  }
+}
+
+void Server::record_request_flight(const Pending& p) {
+  const Seconds t0 = microsec(static_cast<double>(p.lineno - 1));
+  const Seconds t1 = microsec(static_cast<double>(p.lineno));
+  const std::string tag =
+      " [" + (p.req.trace_id.empty() ? std::string("-") : p.req.trace_id) + "]";
+  if (!p.reply.bool_or("ok", false)) {
+    flight_.instant(sim::Lane::Ctrl, t1,
+                    "error " + p.reply.string_or("error", "?") + tag);
+    return;
+  }
+  // Samples execute on the tenant's simulated SoC (GPU-side work); pure
+  // control decisions stay on the CPU lane.
+  const sim::Lane lane =
+      p.req.op == Op::Sample ? sim::Lane::Gpu : sim::Lane::Cpu;
+  flight_.span(lane, t0, t1,
+               std::string(op_name(p.req.op)) + " " + p.req.tenant + tag);
+  if (p.req.op == Op::Sample) {
+    const double latency_us = p.reply.number_or("latency_us", 0);
+    flight_.counter(t1, "serve.sample_latency_us", latency_us);
+    if (options_.slow_request_us > 0 && latency_us > options_.slow_request_us) {
+      ++metrics_.slow_requests;
+      CIG_LOG_C(LogLevel::Warn, "serve",
+                "slow request: sample tenant \""
+                    << p.req.tenant << "\" trace_id " << p.req.trace_id
+                    << " latency " << latency_us << " us > "
+                    << options_.slow_request_us << " us threshold (line "
+                    << p.lineno << ")");
+      flight_.instant(sim::Lane::Ctrl, t1, "slow " + p.req.tenant + tag);
+    }
+  }
+}
+
+std::string Server::metrics_text_unlocked() const {
+  obs::Exposition exposition(options_.label_cap);
+  // Per-tenant labeled series come from the resident set (sorted id order;
+  // residency is deterministic, so so is the document). Evicted tenants'
+  // histograms live in their checkpoints, not in memory.
+  for (const auto& [id, slot] : tenants_) {
+    if (!slot.resident) continue;
+    const obs::LabelSet labels{obs::Label{"tenant", id}};
+    exposition.add_histogram("serve.tenant.decide_us", labels,
+                             slot.resident->decide_latency_us());
+    exposition.add_gauge("serve.tenant.samples", labels,
+                         static_cast<double>(slot.resident->samples()));
+  }
+  // The aggregate histogram must register before the registry fold so its
+  // quantile/count shadows are suppressed in favor of the bucket series.
+  exposition.add_histogram("serve.decide_us", {}, metrics_.decide_us);
+  sim::StatRegistry reg = registry();
+  reg.set("serve.flight.recorded", static_cast<double>(flight_.recorded()));
+  reg.set("serve.flight.dropped", static_cast<double>(flight_.dropped()));
+  exposition.add_registry(reg);
+  return exposition.render();
+}
+
+Json Server::statusz_unlocked() const {
+  Json doc;
+  doc["requests"] = Json(static_cast<double>(metrics_.requests));
+  doc["replies"] = Json(static_cast<double>(metrics_.replies));
+  doc["errors"] = Json(static_cast<double>(metrics_.errors));
+  doc["slow_requests"] = Json(static_cast<double>(metrics_.slow_requests));
+  doc["scrapes"] = Json(static_cast<double>(metrics_.scrapes));
+  doc["batch_pending"] = Json(static_cast<double>(batch_.size()));
+  doc["batch_peak"] = Json(static_cast<double>(metrics_.peak_batch));
+  doc["torn"] = Json(torn_seen_);
+  doc["shutdown"] = Json(shutdown_);
+
+  Json tenants;
+  tenants["known"] = Json(static_cast<double>(known_tenants()));
+  tenants["resident"] = Json(static_cast<double>(resident_tenants()));
+  tenants["created"] = Json(static_cast<double>(metrics_.tenants_created));
+  tenants["recovered"] = Json(static_cast<double>(metrics_.tenants_recovered));
+  tenants["evictions"] = Json(static_cast<double>(metrics_.evictions));
+  tenants["restores"] = Json(static_cast<double>(metrics_.restores));
+  doc["tenants"] = std::move(tenants);
+
+  const obs::Histogram& h = metrics_.decide_us;
+  Json decide;
+  decide["count"] = Json(static_cast<double>(h.count()));
+  decide["mean"] = Json(h.mean());
+  decide["p50"] = Json(h.percentile(0.50));
+  decide["p95"] = Json(h.percentile(0.95));
+  decide["p99"] = Json(h.percentile(0.99));
+  doc["decide_us"] = std::move(decide);
+
+  Json flight;
+  flight["capacity"] = Json(static_cast<double>(flight_.capacity()));
+  flight["recorded"] = Json(static_cast<double>(flight_.recorded()));
+  flight["dropped"] = Json(static_cast<double>(flight_.dropped()));
+  doc["flight"] = std::move(flight);
+
+  Json detail = JsonArray{};
+  std::uint64_t omitted = 0;
+  for (const auto& [id, slot] : tenants_) {
+    if (options_.label_cap > 0 &&
+        detail.as_array().size() >= options_.label_cap) {
+      ++omitted;
+      continue;
+    }
+    Json entry;
+    entry["id"] = Json(id);
+    entry["board"] = Json(slot.board);
+    entry["resident"] = Json(slot.resident != nullptr);
+    if (slot.resident) {
+      const Tenant& tenant = *slot.resident;
+      entry["samples"] = Json(static_cast<double>(tenant.samples()));
+      entry["model"] = Json(model_text(tenant.model()));
+      const obs::Histogram& th = tenant.decide_latency_us();
+      entry["p50"] = Json(th.percentile(0.50));
+      entry["p95"] = Json(th.percentile(0.95));
+      entry["p99"] = Json(th.percentile(0.99));
+    } else {
+      entry["samples"] =
+          Json(static_cast<double>(slot.checkpointed_samples));
+    }
+    detail.push_back(std::move(entry));
+  }
+  doc["tenants_detail"] = std::move(detail);
+  doc["tenants_omitted"] = Json(static_cast<double>(omitted));
+  return doc;
+}
+
+Json Server::healthz_unlocked() const {
+  Json doc;
+  doc["ok"] = Json(true);
+  doc["torn"] = Json(torn_seen_);
+  doc["shutdown"] = Json(shutdown_);
+  doc["tenants"] = Json(static_cast<double>(known_tenants()));
+  doc["resident"] = Json(static_cast<double>(resident_tenants()));
+  return doc;
+}
+
+std::string Server::metrics_text() const {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return metrics_text_unlocked();
+}
+
+Json Server::statusz_json() const {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return statusz_unlocked();
+}
+
+Json Server::healthz_json() const {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return healthz_unlocked();
+}
+
+Json Server::flight_trace() const {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return flight_.to_chrome_trace("cigtool serve");
+}
+
+void Server::count_scrape() {
+  const std::lock_guard<std::mutex> lock(scrape_mutex_);
+  ++metrics_.scrapes;
 }
 
 }  // namespace cig::serve

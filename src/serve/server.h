@@ -32,14 +32,17 @@
 // only crash durability is lost.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/result_cache.h"
+#include "obs/flight.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/tenant.h"
@@ -70,6 +73,23 @@ struct ServeOptions {
   // Cached loads are byte-identical to fresh runs, so this never affects
   // the determinism contract — only daemon cold-start time.
   std::string cache_dir;
+
+  // --- observability plane ---------------------------------------------
+  // Executed samples whose simulated latency exceeds this threshold (µs)
+  // are logged, counted (serve.slow_requests) and marked in the flight
+  // recorder. 0 disables the slow-request log.
+  double slow_request_us = 0;
+  // Flight-recorder ring capacity (events retained).
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  // Dump path for signal-triggered flight dumps. Empty = state-dir default
+  // (<state-dir>/flight.trace.json) or ./flight.trace.json without one.
+  std::string flight_out;
+  // Max labeled series per metric family in the exposition (per-tenant
+  // histograms/gauges); drops are counted as obs.labels.dropped. 0 = no cap.
+  std::size_t label_cap = 64;
+  // When set, the serial request loop polls this flag (a SIGUSR2 handler
+  // sets it) and dumps the flight recorder to flight_out, clearing it.
+  volatile std::sig_atomic_t* dump_signal = nullptr;
 };
 
 class Server {
@@ -102,6 +122,28 @@ class Server {
 
   // Fresh snapshot of the serve.* counters.
   sim::StatRegistry registry() const;
+
+  // --- observability surface (thread-safe) ------------------------------
+  // Snapshots for scrapers: the HTTP responder, the bench's background
+  // poller and `cigtool top`. Each takes the scrape mutex the serial
+  // request path holds while mutating, so they may be called from another
+  // thread mid-session. All three are deterministic for a fixed stream.
+  //
+  // Prometheus exposition: the serve.* registry plus conformant
+  // _bucket/_sum/_count histogram series for the aggregate and per-tenant
+  // (resident, labeled, cardinality-capped) decide-latency histograms.
+  std::string metrics_text() const;
+  // Deterministic JSON status document (counters, decide percentiles,
+  // per-tenant detail, flight-recorder occupancy).
+  Json statusz_json() const;
+  // Liveness + torn-state flag.
+  Json healthz_json() const;
+  // Chrome-trace document of the flight-recorder ring.
+  Json flight_trace() const;
+  // Counts one observability scrape (serve.scrapes).
+  void count_scrape();
+
+  const obs::FlightRecorder& flight() const { return flight_; }
 
  private:
   struct TenantSlot {
@@ -165,8 +207,23 @@ class Server {
   void maybe_export_metrics(bool force);
   void finalize(std::ostream& out);
 
+  // Logical flight-recorder clock: the serial request counter in simulated
+  // microseconds, so ring contents (and dumps) are jobs-invariant.
+  Seconds flight_now() const;
+  std::string flight_out_path() const;
+  void dump_flight(const std::string& path);
+  void poll_dump_signal();
+  void record_request_flight(const Pending& pending);
+  std::string metrics_text_unlocked() const;
+  Json statusz_unlocked() const;
+  Json healthz_unlocked() const;
+
   ServeOptions options_;
   ServeMetrics metrics_;
+  obs::FlightRecorder flight_;
+  // Serializes the request loop against concurrent observability snapshots
+  // (never contended in single-threaded stdin/socket mode).
+  mutable std::mutex scrape_mutex_;
   std::unique_ptr<core::ResultCache> cache_;  // null when cache_dir empty
   std::map<std::string, TenantSlot> tenants_;  // id -> slot, sorted
   std::map<std::string, std::shared_ptr<const BoardEntry>> boards_;

@@ -4,12 +4,14 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <streambuf>
 #include <string>
 
+#include "serve/http.h"
 #include "serve/server.h"
 #include "support/log.h"
 
@@ -131,6 +133,30 @@ class ScopedFd {
   int fd_;
 };
 
+// True when the connection's first bytes look like an HTTP GET/HEAD.
+// MSG_PEEK leaves the bytes in the kernel buffer for the real reader. A
+// client that dribbles fewer than 4 bytes and stalls is eventually routed
+// to the JSON session (whose parser rejects it cleanly).
+bool sniff_http(int fd) {
+  char head[4];
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    ssize_t n;
+    do {
+      n = ::recv(fd, head, sizeof(head), MSG_PEEK);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;  // EOF / error: let the JSON path see it
+    if (static_cast<std::size_t>(n) >= sizeof(head)) {
+      return std::memcmp(head, "GET ", 4) == 0 ||
+             std::memcmp(head, "HEAD", 4) == 0;
+    }
+    // Partial first segment: JSON requests are whole lines and curl sends
+    // its request line in one segment, so a short peek is transient.
+    struct timespec nap = {0, 2 * 1000 * 1000};  // 2 ms
+    ::nanosleep(&nap, nullptr);
+  }
+  return false;
+}
+
 int open_listener(const ListenSpec& spec) {
   if (spec.kind == ListenSpec::Kind::Unix) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -193,6 +219,12 @@ int serve_listen(Server& server, const ListenSpec& spec) {
     FdStreambuf buf(conn);
     std::istream in(&buf);
     std::ostream out(&buf);
+    if (sniff_http(conn)) {
+      // Read-only observability scrape; never a session (no checkpoint,
+      // no finalize), and the connection closes after one response.
+      handle_http_session(server, in, out);
+      continue;
+    }
     const int code = server.run(in, out);
     worst = std::max(worst, code);
     out.flush();

@@ -5,6 +5,13 @@
 // order over requests); each connection is a full session, and a client
 // sending {"op":"shutdown"} stops the listener after its session ends.
 //
+// The listener speaks two protocols on one port: the first bytes of each
+// connection are sniffed (MSG_PEEK, so nothing is consumed) and a "GET "
+// or "HEAD" prefix routes the connection to the read-only HTTP
+// observability responder (serve/http.h — /metrics, /healthz, /statusz)
+// instead of a JSON session. HTTP connections are one-request,
+// Connection: close, and never mutate tenant state.
+//
 // Listen specs: "unix:/path/to.sock" or "tcp:PORT" (loopback only — the
 // daemon speaks an unauthenticated control protocol and must not be
 // exposed beyond the host).

@@ -265,6 +265,15 @@ std::map<std::string, std::string> state_dir_bytes(const std::string& dir) {
   std::map<std::string, std::string> files;
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
+    // Flight-recorder dumps are recovery forensics, not durable state:
+    // only the recovered run writes one.
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".trace.json";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      continue;
+    }
     std::ifstream in(entry.path(), std::ios::binary);
     std::ostringstream bytes;
     bytes << in.rdbuf();

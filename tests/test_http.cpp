@@ -1,0 +1,336 @@
+// Tests for the serve observability plane: the minimal HTTP responder
+// (src/serve/http), the Prometheus exposition it serves, the /statusz and
+// /healthz JSON snapshots, the dump_trace protocol op, slow-request
+// accounting, trace_id echoing and the jobs-invariance of every scrape
+// surface (byte-identical for jobs 1 vs 8).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/http.h"
+#include "serve/server.h"
+#include "support/json.h"
+
+namespace cig::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string shared_cache_dir() {
+  return (fs::temp_directory_path() / "cig-serve-test-cache").string();
+}
+
+ServeOptions base_options() {
+  ServeOptions o;
+  o.cache_dir = shared_cache_dir();
+  return o;
+}
+
+// Feeds a scripted JSON session through the server (building tenant state
+// the scrape endpoints can report on).
+void run_script(Server& server, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  server.run(in, out);
+}
+
+std::string demo_script() {
+  return
+      "{\"op\":\"hello\",\"tenant\":\"alpha\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"hello\",\"tenant\":\"beta\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"alpha\",\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"alpha\",\"heavy\":true,\"span\":256}\n"
+      "{\"op\":\"sample\",\"tenant\":\"beta\",\"span\":1024}\n"
+      "{\"op\":\"decide\",\"tenant\":\"alpha\"}\n";
+}
+
+struct HttpResult {
+  int returned = 0;             // handle_http_session return value
+  std::string status_line;
+  std::vector<std::string> headers;
+  std::string body;
+};
+
+// Runs one raw HTTP request text through handle_http_session and splits
+// the response into status line / headers / body.
+HttpResult http(Server& server, const std::string& raw_request) {
+  std::istringstream in(raw_request);
+  std::ostringstream out;
+  HttpResult r;
+  r.returned = handle_http_session(server, in, out);
+  const std::string text = out.str();
+  const std::size_t header_end = text.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    r.body = text;
+    return r;
+  }
+  std::istringstream head(text.substr(0, header_end));
+  std::getline(head, r.status_line);
+  if (!r.status_line.empty() && r.status_line.back() == '\r') {
+    r.status_line.pop_back();
+  }
+  std::string line;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    r.headers.push_back(line);
+  }
+  r.body = text.substr(header_end + 4);
+  return r;
+}
+
+bool has_header(const HttpResult& r, const std::string& needle) {
+  for (const auto& h : r.headers) {
+    if (h.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ServeHttp, MetricsEndpointServesLabeledExposition) {
+  Server server(base_options());
+  run_script(server, demo_script());
+
+  const HttpResult r = http(server, "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.returned, 200);
+  EXPECT_EQ(r.status_line, "HTTP/1.1 200 OK");
+  EXPECT_TRUE(has_header(r, "Content-Type: text/plain; version=0.0.4"));
+  EXPECT_TRUE(has_header(r, "Connection: close"));
+  EXPECT_TRUE(has_header(r,
+                         "Content-Length: " + std::to_string(r.body.size())));
+
+  // Plain counters, the aggregate histogram and per-tenant labeled series.
+  EXPECT_NE(r.body.find("cig_serve_requests"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE cig_serve_decide_us histogram"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("cig_serve_decide_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find(
+                "cig_serve_tenant_decide_us_bucket{tenant=\"alpha\",le="),
+            std::string::npos);
+  EXPECT_NE(r.body.find("cig_serve_tenant_samples{tenant=\"beta\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("cig_obs_labels_dropped 0"), std::string::npos);
+}
+
+TEST(ServeHttp, HealthzAndStatuszServeJson) {
+  Server server(base_options());
+  run_script(server, demo_script());
+
+  const HttpResult health = http(server, "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(health.returned, 200);
+  EXPECT_TRUE(has_header(health, "Content-Type: application/json"));
+  const Json h = Json::parse(health.body);
+  EXPECT_TRUE(h.bool_or("ok", false));
+  EXPECT_FALSE(h.bool_or("torn", true));
+  EXPECT_EQ(h.number_or("tenants", 0), 2);
+
+  const HttpResult status = http(server, "GET /statusz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(status.returned, 200);
+  const Json s = Json::parse(status.body);
+  EXPECT_EQ(s.number_or("requests", 0), 6);
+  EXPECT_EQ(s.at("tenants").number_or("known", 0), 2);
+  ASSERT_TRUE(s.contains("tenants_detail"));
+  EXPECT_EQ(s.at("tenants_detail").as_array().size(), 2u);
+  EXPECT_GT(s.at("decide_us").number_or("count", 0), 0);
+  EXPECT_GT(s.at("flight").number_or("recorded", 0), 0);
+}
+
+TEST(ServeHttp, QueryStringIsStrippedAndHeadOmitsBody) {
+  Server server(base_options());
+
+  const HttpResult with_query =
+      http(server, "GET /healthz?probe=1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(with_query.returned, 200);
+
+  const HttpResult head = http(server, "HEAD /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(head.returned, 200);
+  EXPECT_TRUE(head.body.empty());
+  // Content-Length still advertises the GET body size.
+  EXPECT_FALSE(has_header(head, "Content-Length: 0"));
+}
+
+TEST(ServeHttp, UnknownPathIs404) {
+  Server server(base_options());
+  const HttpResult r = http(server, "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.returned, 404);
+  EXPECT_EQ(r.status_line, "HTTP/1.1 404 Not Found");
+  const Json j = Json::parse(r.body);
+  EXPECT_FALSE(j.bool_or("ok", true));
+  EXPECT_EQ(j.number_or("status", 0), 404);
+}
+
+TEST(ServeHttp, NonGetMethodIs405WithAllow) {
+  Server server(base_options());
+  const HttpResult r =
+      http(server, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(r.returned, 405);
+  EXPECT_TRUE(has_header(r, "Allow: GET, HEAD"));
+}
+
+TEST(ServeHttp, MalformedRequestLinesAre400) {
+  Server server(base_options());
+  // No target / extra tokens / missing HTTP version marker.
+  EXPECT_EQ(http(server, "GET\r\n\r\n").returned, 400);
+  EXPECT_EQ(http(server, "GET /metrics HTTP/1.1 extra\r\n\r\n").returned, 400);
+  EXPECT_EQ(http(server, "GET /metrics FTP/1.0\r\n\r\n").returned, 400);
+  EXPECT_EQ(http(server, "GET  HTTP/1.1\r\n\r\n").returned, 400);
+}
+
+TEST(ServeHttp, PartialReadsAreTruncatedRequests) {
+  Server server(base_options());
+  // Stream ends mid-request-line (no terminator at all).
+  EXPECT_EQ(http(server, "GET /metr").returned, 400);
+  // Request line complete, headers never terminated by a blank line.
+  EXPECT_EQ(http(server, "GET /metrics HTTP/1.1\r\nHost: x\r\n").returned,
+            400);
+  // Empty connection (scanner poked the port): no response at all.
+  EXPECT_EQ(http(server, "").returned, 0);
+}
+
+TEST(ServeHttp, MalformedHeaderLineIs400) {
+  Server server(base_options());
+  const HttpResult r =
+      http(server, "GET /metrics HTTP/1.1\r\nnot a header\r\n\r\n");
+  EXPECT_EQ(r.returned, 400);
+}
+
+TEST(ServeHttp, OversizedRequestIs431) {
+  Server server(base_options());
+  std::string raw = "GET /metrics HTTP/1.1\r\n";
+  raw += "X-Padding: " + std::string(kMaxHttpRequestBytes, 'x') + "\r\n\r\n";
+  const HttpResult r = http(server, raw);
+  EXPECT_EQ(r.returned, 431);
+}
+
+TEST(ServeHttp, ScrapeSurfacesAreJobsInvariant) {
+  ServeOptions serial = base_options();
+  serial.jobs = 1;
+  ServeOptions parallel = base_options();
+  parallel.jobs = 8;
+  Server a(serial);
+  Server b(parallel);
+  run_script(a, demo_script());
+  run_script(b, demo_script());
+
+  const std::string metrics_a = http(a, "GET /metrics HTTP/1.1\r\n\r\n").body;
+  const std::string metrics_b = http(b, "GET /metrics HTTP/1.1\r\n\r\n").body;
+  EXPECT_EQ(metrics_a, metrics_b);
+
+  const std::string status_a = http(a, "GET /statusz HTTP/1.1\r\n\r\n").body;
+  const std::string status_b = http(b, "GET /statusz HTTP/1.1\r\n\r\n").body;
+  EXPECT_EQ(status_a, status_b);
+
+  // The flight ring (sim-clock stamped, recorded on serial paths only)
+  // must dump byte-identically too.
+  EXPECT_EQ(a.flight_trace().dump(), b.flight_trace().dump());
+}
+
+TEST(ServeHttp, DumpTraceOpWritesChromeTrace) {
+  const fs::path dir =
+      fs::temp_directory_path() / "cig-serve-http-dumptrace";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string dump_path = (dir / "flight.trace.json").string();
+
+  Server server(base_options());
+  std::istringstream in(demo_script() + "{\"op\":\"dump_trace\",\"path\":\"" +
+                        dump_path + "\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+
+  ASSERT_TRUE(fs::exists(dump_path));
+  std::ifstream dump_in(dump_path);
+  std::ostringstream bytes;
+  bytes << dump_in.rdbuf();
+  const Json doc = Json::parse(bytes.str());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+  EXPECT_EQ(server.metrics().flight_dumps, 1u);
+
+  // The reply stream acknowledged the dump.
+  EXPECT_NE(out.str().find("\"op\":\"dump_trace\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"ok\":true"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(ServeHttp, InlineDumpTraceReturnsTraceWithoutPath) {
+  Server server(base_options());
+  std::istringstream in(demo_script() + "{\"op\":\"dump_trace\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+  // Last reply line carries the serialized trace inline.
+  const std::string text = out.str();
+  const std::size_t last = text.rfind("{\"");
+  ASSERT_NE(last, std::string::npos);
+  const Json reply = Json::parse(text.substr(last));
+  ASSERT_TRUE(reply.contains("trace"));
+  const Json trace = Json::parse(reply.string_or("trace", "{}"));
+  EXPECT_TRUE(trace.contains("traceEvents"));
+}
+
+TEST(ServeHttp, SlowRequestsAreCountedAboveThreshold) {
+  ServeOptions o = base_options();
+  o.slow_request_us = 0.001;  // everything is slow
+  Server server(o);
+  run_script(server, demo_script());
+  EXPECT_GT(server.metrics().slow_requests, 0u);
+  EXPECT_EQ(server.metrics().slow_requests,
+            server.statusz_json().number_or("slow_requests", 0));
+
+  ServeOptions quiet = base_options();
+  quiet.slow_request_us = 1e12;  // nothing is slow
+  Server fast(quiet);
+  run_script(fast, demo_script());
+  EXPECT_EQ(fast.metrics().slow_requests, 0u);
+}
+
+TEST(ServeHttp, TraceIdIsEchoedOnlyWhenGiven) {
+  Server server(base_options());
+  std::istringstream in(
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256,"
+      "\"trace_id\":\"req-42\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"span\":256}\n"
+      "{\"op\":\"stats\",\"trace_id\":\"global-1\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<Json> replies;
+  while (std::getline(lines, line)) replies.push_back(Json::parse(line));
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[1].string_or("trace_id", ""), "req-42");
+  EXPECT_FALSE(replies[2].contains("trace_id"));
+  EXPECT_EQ(replies[3].string_or("trace_id", ""), "global-1");
+}
+
+TEST(ServeHttp, LabelCapBoundsTenantCardinality) {
+  ServeOptions o = base_options();
+  o.label_cap = 2;
+  Server server(o);
+  std::ostringstream script;
+  for (int t = 0; t < 5; ++t) {
+    script << "{\"op\":\"hello\",\"tenant\":\"t" << t
+           << "\",\"board\":\"tx2\"}\n"
+           << "{\"op\":\"sample\",\"tenant\":\"t" << t << "\",\"span\":256}\n";
+  }
+  run_script(server, script.str());
+
+  const std::string text = server.metrics_text();
+  // Two tenants admitted per labeled family, the rest counted as dropped.
+  EXPECT_NE(text.find("tenant=\"t0\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"t1\""), std::string::npos);
+  EXPECT_EQ(text.find("tenant=\"t4\""), std::string::npos);
+  EXPECT_EQ(text.find("cig_obs_labels_dropped 0"), std::string::npos);
+
+  const Json status = server.statusz_json();
+  EXPECT_EQ(status.at("tenants_detail").as_array().size(), 2u);
+  EXPECT_EQ(status.number_or("tenants_omitted", 0), 3);
+}
+
+}  // namespace
+}  // namespace cig::serve

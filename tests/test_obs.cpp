@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <random>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/explain.h"
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/prometheus.h"
 #include "obs/tracer.h"
@@ -328,6 +332,177 @@ TEST(Prometheus, GaugesAndQuantileSummaries) {
   // as separate gauges.
   EXPECT_EQ(text.find("cig_runtime_phase_latency_us_p50"), std::string::npos);
   EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Histogram, OverflowBucketPercentilesReachTheTrackedMax) {
+  obs::Histogram h;  // default ceiling 1e9
+  h.add(5.0);
+  h.add(5e12);  // lands in the overflow bucket, max tracked exactly
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5e12);
+  // A quantile inside the overflow bucket interpolates toward the exact
+  // max instead of stopping at the bucket edge.
+  EXPECT_GT(h.percentile(0.99), 1e9);
+  EXPECT_LE(h.percentile(0.99), 5e12);
+}
+
+TEST(Histogram, ExactExtremeQuantiles) {
+  obs::Histogram h;
+  for (int i = 1; i <= 37; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 37.0);
+  // Quantiles are monotone in q.
+  double prev = h.percentile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.percentile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, CumulativeBucketsEndAtCount) {
+  obs::Histogram h;
+  for (int i = 1; i <= 250; ++i) h.add(static_cast<double>(i % 50 + 1));
+  const auto buckets = h.cumulative_buckets();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t prev = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GE(b.count, prev);  // cumulative counts are monotone
+    prev = b.count;
+  }
+  EXPECT_EQ(buckets.back().count, h.count());
+}
+
+// --- labeled exposition ------------------------------------------------------
+
+TEST(Exposition, HistogramFamilyIsConformant) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  obs::Exposition exposition;
+  exposition.add_histogram("serve.decide_us", {}, h);
+  const std::string text = exposition.render();
+
+  EXPECT_NE(text.find("# TYPE cig_serve_decide_us histogram"),
+            std::string::npos);
+  // Bucket counts are cumulative and +Inf equals _count.
+  std::uint64_t prev = 0;
+  bool saw_bucket = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("cig_serve_decide_us_bucket{", 0) != 0) continue;
+    saw_bucket = true;
+    const std::uint64_t count =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(count, prev) << line;
+    prev = count;
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_NE(text.find("cig_serve_decide_us_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("cig_serve_decide_us_sum 5050"), std::string::npos);
+  EXPECT_NE(text.find("cig_serve_decide_us_count 100"), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesAreEscaped) {
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("a\nb"), "a\\nb");
+
+  obs::Exposition exposition;
+  exposition.add_gauge("serve.tenant.samples", {{"tenant", "we\"ird\\t"}}, 7);
+  const std::string text = exposition.render();
+  EXPECT_NE(text.find("tenant=\"we\\\"ird\\\\t\""), std::string::npos);
+}
+
+TEST(Exposition, SeriesCapDropsExcessLabeledSeries) {
+  obs::Exposition exposition(/*series_cap=*/2);
+  for (int t = 0; t < 5; ++t) {
+    exposition.add_gauge("serve.tenant.samples",
+                         {{"tenant", "t" + std::to_string(t)}},
+                         static_cast<double>(t));
+  }
+  // Unlabeled families are never capped.
+  exposition.add_gauge("serve.requests", {}, 42);
+  EXPECT_EQ(exposition.dropped(), 3u);
+
+  const std::string text = exposition.render();
+  EXPECT_NE(text.find("tenant=\"t0\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"t1\""), std::string::npos);
+  EXPECT_EQ(text.find("tenant=\"t2\""), std::string::npos);
+  EXPECT_NE(text.find("cig_serve_requests 42"), std::string::npos);
+  EXPECT_NE(text.find("cig_obs_labels_dropped 3"), std::string::npos);
+}
+
+TEST(Exposition, RegistryHistogramsKeepBucketSeriesOnly) {
+  sim::StatRegistry registry;
+  registry.set("serve.requests", 9);
+  obs::Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(static_cast<double>(i));
+  h.export_to(registry, "serve.decide_us");
+
+  obs::Exposition exposition;
+  exposition.add_histogram("serve.decide_us", {}, h);
+  exposition.add_registry(registry);
+  const std::string text = exposition.render();
+
+  // The registry's quantile/count shadows of the histogram family are
+  // suppressed in favor of the conformant bucket series...
+  EXPECT_EQ(text.find("quantile="), std::string::npos);
+  EXPECT_NE(text.find("cig_serve_decide_us_bucket{"), std::string::npos);
+  // ...while unrelated gauges pass through.
+  EXPECT_NE(text.find("cig_serve_requests 9"), std::string::npos);
+  // Exactly one TYPE line per family.
+  std::size_t type_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE cig_serve_decide_us ", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapKeepsNewestOldestFirst) {
+  obs::FlightRecorder flight(4);
+  for (int i = 0; i < 10; ++i) {
+    flight.instant(sim::Lane::Ctrl, microsec(i), "ev" + std::to_string(i));
+  }
+  EXPECT_EQ(flight.capacity(), 4u);
+  EXPECT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.recorded(), 10u);
+  EXPECT_EQ(flight.dropped(), 6u);
+  const auto events = flight.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].label, "ev6");
+  EXPECT_EQ(events[3].label, "ev9");
+}
+
+TEST(FlightRecorder, ChromeTraceIsDeterministic) {
+  obs::FlightRecorder flight(16);
+  flight.span(sim::Lane::Cpu, microsec(1), microsec(3), "work");
+  flight.instant(sim::Lane::Ctrl, microsec(4), "marker");
+  flight.counter(microsec(5), "queue", 2);
+  const Json a = flight.to_chrome_trace();
+  const Json b = flight.to_chrome_trace();
+  EXPECT_EQ(a.dump(), b.dump());
+  ASSERT_TRUE(a.contains("traceEvents"));
+  EXPECT_GE(a.at("traceEvents").as_array().size(), 3u);
+}
+
+TEST(FlightRecorder, SetCapacityClearsRing) {
+  obs::FlightRecorder flight(8);
+  flight.instant(sim::Lane::Ctrl, microsec(1), "x");
+  flight.set_capacity(2);
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_EQ(flight.recorded(), 0u);
+  flight.instant(sim::Lane::Ctrl, microsec(2), "a");
+  flight.instant(sim::Lane::Ctrl, microsec(3), "b");
+  flight.instant(sim::Lane::Ctrl, microsec(4), "c");
+  EXPECT_EQ(flight.size(), 2u);
+  EXPECT_EQ(flight.events()[0].label, "b");
 }
 
 // --- explanation round-trip --------------------------------------------------

@@ -56,12 +56,24 @@ SessionResult run_session(const ServeOptions& options,
   return run_session(server, script);
 }
 
+// True for flight-recorder dumps (forensics a recovering daemon drops into
+// the state dir); they are not part of the durable-state contract.
+bool is_flight_dump(const fs::path& path) {
+  const std::string name = path.filename().string();
+  const std::string suffix = ".trace.json";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 // Byte map of every regular file under `dir`, keyed by relative path.
+// Flight dumps are excluded so recovered state can still compare
+// byte-identical to golden.
 std::map<std::string, std::string> dir_bytes(const std::string& dir) {
   std::map<std::string, std::string> files;
   if (!fs::exists(dir)) return files;
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
+    if (is_flight_dump(entry.path())) continue;
     std::ifstream in(entry.path(), std::ios::binary);
     std::ostringstream bytes;
     bytes << in.rdbuf();
@@ -276,6 +288,17 @@ TEST_F(ServeTest, RecoveryReplaysWithoutReexecution) {
   }
   EXPECT_TRUE(saw_replayed);
   EXPECT_EQ(dir_bytes(o.state_dir), golden);
+
+  // The recovering daemon leaves a flight-recorder dump behind for
+  // post-mortem use, and it must parse as a Chrome trace.
+  const fs::path dump = fs::path(o.state_dir) / "flight-recovery.trace.json";
+  ASSERT_TRUE(fs::exists(dump));
+  std::ifstream dump_in(dump);
+  std::ostringstream dump_bytes;
+  dump_bytes << dump_in.rdbuf();
+  const Json doc = Json::parse(dump_bytes.str());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
 }
 
 TEST_F(ServeTest, RecoveredSessionContinuesPastReplay) {

@@ -74,6 +74,53 @@ TEST(ServeProtocol, StructuredErrorsForBadInput) {
             "bad-request");
 }
 
+TEST(ServeProtocol, TraceIdsAcceptedGeneratedAndValidated) {
+  // Given ids are kept and flagged as caller-supplied.
+  const ParsedLine given = parse(
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":\"req-42.b\"}");
+  ASSERT_TRUE(given.ok);
+  EXPECT_TRUE(given.request.trace_id_given);
+  EXPECT_EQ(given.request.trace_id, "req-42.b");
+
+  // Absent ids get a deterministic per-line fallback, not an error.
+  const ParsedLine absent = parse_request(
+      "{\"op\":\"sample\",\"tenant\":\"a\"}", 17);
+  ASSERT_TRUE(absent.ok);
+  EXPECT_FALSE(absent.request.trace_id_given);
+  EXPECT_EQ(absent.request.trace_id, "r17");
+
+  // Oversized, non-string or non-printable ids are bad requests.
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":\"" +
+                     std::string(kMaxTraceIdBytes + 1, 't') + "\"}"),
+            "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":7}"),
+            "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":\"\"}"),
+      "bad-request");
+  EXPECT_EQ(error_of(
+                "{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":\"a b\"}"),
+            "bad-request");
+}
+
+TEST(ServeProtocol, DumpTraceParsesOptionalPath) {
+  const ParsedLine bare = parse("{\"op\":\"dump_trace\"}");
+  ASSERT_TRUE(bare.ok);
+  EXPECT_EQ(bare.request.op, Op::DumpTrace);
+  EXPECT_TRUE(bare.request.path.empty());
+
+  const ParsedLine with_path =
+      parse("{\"op\":\"dump_trace\",\"path\":\"/tmp/f.trace.json\"}");
+  ASSERT_TRUE(with_path.ok);
+  EXPECT_EQ(with_path.request.path, "/tmp/f.trace.json");
+
+  EXPECT_EQ(error_of("{\"op\":\"dump_trace\",\"path\":\"\"}"), "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"dump_trace\",\"path\":123}"), "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"dump_trace\",\"path\":\"" +
+                     std::string(kMaxDumpPathBytes + 1, 'p') + "\"}"),
+            "bad-request");
+}
+
 TEST(ServeProtocol, OversizedLineRejectedBeforeParsing) {
   std::string line = "{\"op\":\"sample\",\"tenant\":\"a\",\"pad\":\"";
   line += std::string(kMaxLineBytes, 'x');

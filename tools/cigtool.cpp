@@ -39,6 +39,8 @@
 //   cigtool serve [--state-dir <dir>] [--resident-budget N] [--batch-max N]
 //                 [--jobs N] [--metrics-out <file.prom>] [--metrics-every N]
 //                 [--listen unix:PATH|tcp:PORT] [--script <file.jsonl>]
+//                 [--slow-request-us X] [--flight-capacity N]
+//                 [--flight-out <file.trace.json>] [--label-cap N]
 //                                          multi-tenant decision service:
 //                                          line-delimited JSON requests on
 //                                          stdin (or a socket / script
@@ -48,8 +50,22 @@
 //                                          tenants beyond the resident
 //                                          budget are checkpointed to the
 //                                          state dir and restored on their
-//                                          next request. See docs/serving.md
-//                                          for the wire protocol.
+//                                          next request. A --listen socket
+//                                          also answers HTTP GET /metrics,
+//                                          /healthz and /statusz; SIGUSR2
+//                                          dumps the flight-recorder ring
+//                                          to --flight-out. See
+//                                          docs/serving.md for the wire
+//                                          protocol.
+//   cigtool top --connect unix:PATH|tcp:PORT [--interval-ms N] [--count N]
+//               [--json]
+//                                          live dashboard over a serving
+//                                          daemon's /statusz endpoint:
+//                                          request rate, tenant table,
+//                                          decide percentiles, flight-ring
+//                                          stats. --count 0 polls forever;
+//                                          --json streams the raw
+//                                          documents.
 //   cigtool crashtest [--mode runtime|serve] [--board b] [--seams a,b]
 //                     [--occurrences N] [--scratch <dir>]
 //                     [--checkpoint-every N] [--tenants N] [--samples N]
@@ -114,6 +130,16 @@
 #include "serve/crashtest.h"
 #include "serve/server.h"
 #include "serve/socket.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <csignal>
+#include <ctime>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 #include "sim/trace_export.h"
 #include "soc/board_io.h"
 #include "soc/presets.h"
@@ -147,7 +173,11 @@ void print_usage(std::ostream& out) {
       "  cigtool serve [--state-dir <dir>] [--resident-budget N]"
       " [--batch-max N] [--jobs N] [--metrics-out <file.prom>]"
       " [--metrics-every N] [--listen unix:PATH|tcp:PORT]"
-      " [--script <file.jsonl>]\n"
+      " [--script <file.jsonl>] [--slow-request-us X]"
+      " [--flight-capacity N] [--flight-out <file.trace.json>]"
+      " [--label-cap N]\n"
+      "  cigtool top --connect unix:PATH|tcp:PORT [--interval-ms N]"
+      " [--count N] [--json]\n"
       "  cigtool crashtest [--mode runtime|serve] [--board b] [--seams a,b]"
       " [--occurrences N] [--scratch <dir>] [--checkpoint-every N]"
       " [--tenants N] [--samples N] [--resident-budget N]"
@@ -673,6 +703,17 @@ std::uint64_t parse_seed(const std::string& text) {
   return static_cast<std::uint64_t>(parsed);
 }
 
+double parse_nonneg_double(const std::string& text, const char* flag) {
+  const char* raw = text.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (*raw == '\0' || end == raw || *end != '\0' || !(parsed >= 0)) {
+    throw std::invalid_argument(std::string("invalid ") + flag + " '" + text +
+                                "': want a non-negative number");
+  }
+  return parsed;
+}
+
 int cmd_crashtest(const std::string& mode, const std::string& cigtool_path,
                   const std::string& board_name,
                   const std::string& seams_csv, std::uint64_t occurrences,
@@ -756,8 +797,19 @@ int cmd_crashtest(const std::string& mode, const std::string& cigtool_path,
   return 0;
 }
 
-int cmd_serve(const serve::ServeOptions& options, const std::string& listen,
+#ifndef _WIN32
+// SIGUSR2 flight-dump flag: the handler only sets the flag; the server's
+// serial request loop polls it and performs the actual dump.
+volatile std::sig_atomic_t g_dump_flight = 0;
+void on_sigusr2(int) { g_dump_flight = 1; }
+#endif
+
+int cmd_serve(serve::ServeOptions options, const std::string& listen,
               const std::string& script) {
+#ifndef _WIN32
+  options.dump_signal = &g_dump_flight;
+  std::signal(SIGUSR2, on_sigusr2);
+#endif
   serve::Server server(options);
   if (!listen.empty()) {
     return serve::serve_listen(server, serve::parse_listen_spec(listen));
@@ -771,6 +823,153 @@ int cmd_serve(const serve::ServeOptions& options, const std::string& listen,
   }
   return server.run(std::cin, std::cout);
 }
+
+#ifndef _WIN32
+
+// Tiny blocking HTTP/1.1 GET client for the daemon's observability
+// endpoints (loopback TCP or Unix socket). Returns the response body;
+// throws on connect errors or non-200 statuses.
+std::string observability_get(const serve::ListenSpec& spec,
+                              const std::string& path) {
+  int fd = -1;
+  if (spec.kind == serve::ListenSpec::Kind::Unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("top: socket: failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("top: cannot connect to unix:" + spec.path);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("top: socket: failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(spec.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("top: cannot connect to tcp:127.0.0.1:" +
+                               std::to_string(spec.port));
+    }
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  const char* p = request.data();
+  std::size_t left = request.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("top: request write failed");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("top: malformed HTTP response");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    throw std::runtime_error("top: " + path + " answered \"" + status_line +
+                             "\"");
+  }
+  return response.substr(header_end + 4);
+}
+
+int cmd_top(const std::string& connect, std::uint64_t interval_ms,
+            std::uint64_t count, bool as_json) {
+  if (connect.empty()) {
+    throw std::invalid_argument("top: --connect unix:PATH|tcp:PORT required");
+  }
+  const serve::ListenSpec spec = serve::parse_listen_spec(connect);
+  double prev_requests = -1;
+  for (std::uint64_t poll = 0; count == 0 || poll < count; ++poll) {
+    if (poll > 0) {
+      struct timespec nap = {
+          static_cast<time_t>(interval_ms / 1000),
+          static_cast<long>((interval_ms % 1000) * 1000000)};
+      ::nanosleep(&nap, nullptr);
+    }
+    const std::string body = observability_get(spec, "/statusz");
+    if (as_json) {
+      std::cout << body;
+      std::cout.flush();
+      continue;
+    }
+    const Json doc = Json::parse(body);
+    const double requests = doc.number_or("requests", 0);
+    const double interval_s = static_cast<double>(interval_ms) / 1000.0;
+    const double rate = (prev_requests >= 0 && interval_s > 0)
+                            ? (requests - prev_requests) / interval_s
+                            : 0;
+    prev_requests = requests;
+
+    const Json& tenants = doc.at("tenants");
+    const Json& decide = doc.at("decide_us");
+    const Json& flight = doc.at("flight");
+    std::cout << "cigtool top — " << connect << "\n"
+              << "requests " << requests << " (" << Table::num(rate, 1)
+              << " req/s)  errors " << doc.number_or("errors", 0) << "  slow "
+              << doc.number_or("slow_requests", 0) << "  scrapes "
+              << doc.number_or("scrapes", 0) << "\n"
+              << "tenants: known " << tenants.number_or("known", 0)
+              << "  resident " << tenants.number_or("resident", 0)
+              << "  evictions " << tenants.number_or("evictions", 0)
+              << "  restores " << tenants.number_or("restores", 0) << "\n"
+              << "decide_us: p50 " << Table::num(decide.number_or("p50", 0), 1)
+              << "  p95 " << Table::num(decide.number_or("p95", 0), 1)
+              << "  p99 " << Table::num(decide.number_or("p99", 0), 1)
+              << "  (count " << decide.number_or("count", 0) << ")\n"
+              << "flight: " << flight.number_or("recorded", 0)
+              << " events recorded, " << flight.number_or("dropped", 0)
+              << " overwritten (capacity " << flight.number_or("capacity", 0)
+              << ")\n";
+
+    Table table({"tenant", "board", "state", "samples", "p50us", "p95us",
+                 "p99us"});
+    for (const Json& entry : doc.at("tenants_detail").as_array()) {
+      const bool resident = entry.bool_or("resident", false);
+      table.add_row(
+          {entry.string_or("id", "?"), entry.string_or("board", "?"),
+           resident ? entry.string_or("model", "?") : std::string("evicted"),
+           Table::num(entry.number_or("samples", 0), 0),
+           resident ? Table::num(entry.number_or("p50", 0), 1) : "-",
+           resident ? Table::num(entry.number_or("p95", 0), 1) : "-",
+           resident ? Table::num(entry.number_or("p99", 0), 1) : "-"});
+    }
+    print_table(std::cout, table);
+    const double omitted = doc.number_or("tenants_omitted", 0);
+    if (omitted > 0) {
+      std::cout << "(" << omitted << " more tenants omitted)\n";
+    }
+    std::cout.flush();
+  }
+  return 0;
+}
+
+#else  // _WIN32
+
+int cmd_top(const std::string&, std::uint64_t, std::uint64_t, bool) {
+  throw std::runtime_error("top is POSIX-only (needs sockets)");
+}
+
+#endif
 
 int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
               std::uint64_t seed, int jobs, const std::string& cache_dir,
@@ -925,6 +1124,13 @@ int main(int argc, char** argv) {
   std::uint64_t samples = 0;
   std::string listen;
   std::string script;
+  double slow_request_us = 0;
+  std::uint64_t flight_capacity = 0;
+  std::string flight_out;
+  std::uint64_t label_cap = 64;
+  std::string connect_spec;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t top_count = 0;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -1009,6 +1215,27 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--script") {
         if (++i >= args.size()) return usage();
         script = args[i];
+      } else if (args[i] == "--slow-request-us") {
+        if (++i >= args.size()) return usage();
+        slow_request_us = parse_nonneg_double(args[i], "--slow-request-us");
+      } else if (args[i] == "--flight-capacity") {
+        if (++i >= args.size()) return usage();
+        flight_capacity = parse_seed(args[i]);
+      } else if (args[i] == "--flight-out") {
+        if (++i >= args.size()) return usage();
+        flight_out = args[i];
+      } else if (args[i] == "--label-cap") {
+        if (++i >= args.size()) return usage();
+        label_cap = parse_seed(args[i]);
+      } else if (args[i] == "--connect") {
+        if (++i >= args.size()) return usage();
+        connect_spec = args[i];
+      } else if (args[i] == "--interval-ms") {
+        if (++i >= args.size()) return usage();
+        interval_ms = parse_seed(args[i]);
+      } else if (args[i] == "--count") {
+        if (++i >= args.size()) return usage();
+        top_count = parse_seed(args[i]);
       } else if (args[i] == "--explain") {
         explain = true;
       } else if (args[i] == "--help" || args[i] == "-h") {
@@ -1073,7 +1300,17 @@ int main(int argc, char** argv) {
       options.metrics_out = metrics_out;
       options.metrics_every = metrics_every;
       options.cache_dir = cache_dir;
+      options.slow_request_us = slow_request_us;
+      if (flight_capacity > 0) {
+        options.flight_capacity = static_cast<std::size_t>(flight_capacity);
+      }
+      options.flight_out = flight_out;
+      options.label_cap = static_cast<std::size_t>(label_cap);
       return cmd_serve(options, listen, script);
+    }
+    if (command == "top" && positional.size() == 1) {
+      return cmd_top(connect_spec, interval_ms == 0 ? 1 : interval_ms,
+                     top_count, as_json);
     }
     if (command == "crashtest" && positional.size() == 1) {
       const std::string board_name =
