@@ -4,6 +4,10 @@
 // MB2 sweeps walk tens of millions of accesses).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "comm/executor.h"
 #include "mem/bandwidth.h"
 #include "mem/cache.h"
@@ -77,6 +81,100 @@ void BM_StreamGenerationOnly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200000);
 }
 BENCHMARK(BM_StreamGenerationOnly);
+
+// --- block hot path ----------------------------------------------------------
+// access() vs access_block() on an identical pre-generated random stream,
+// per replacement policy. The pair quantifies what the SoA block walk buys
+// (hoisted set/tag decomposition, batched stats write-back, no per-access
+// dispatch); tools/perf_gate.py distills their items_per_second into
+// BENCH_hotpath.json, which the perf-gate CI job diffs against the
+// committed baseline.
+
+constexpr mem::Replacement kHotpathPolicies[] = {
+    mem::Replacement::Lru, mem::Replacement::Fifo, mem::Replacement::TreePlru,
+    mem::Replacement::Random};
+constexpr std::size_t kHotpathStream = 1 << 16;
+
+struct HotpathStream {
+  std::vector<std::uint64_t> addresses;
+  std::vector<mem::AccessKind> kinds;
+};
+
+const HotpathStream& hotpath_stream() {
+  static const HotpathStream stream = [] {
+    HotpathStream s;
+    s.addresses.reserve(kHotpathStream);
+    s.kinds.reserve(kHotpathStream);
+    Rng rng(42);
+    for (std::size_t i = 0; i < kHotpathStream; ++i) {
+      s.addresses.push_back(rng.below(MiB(8)));
+      s.kinds.push_back(i % 3 == 0 ? mem::AccessKind::Write
+                                   : mem::AccessKind::Read);
+    }
+    return s;
+  }();
+  return stream;
+}
+
+void BM_CacheStreamPerAccess(benchmark::State& state) {
+  const auto policy = kHotpathPolicies[state.range(0)];
+  mem::SetAssocCache cache(mem::make_geometry(KiB(512), 64, 8), policy);
+  const auto& stream = hotpath_stream();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kHotpathStream; ++i) {
+      benchmark::DoNotOptimize(cache.access(stream.addresses[i],
+                                            stream.kinds[i]));
+    }
+  }
+  state.SetLabel(mem::replacement_name(policy));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHotpathStream));
+}
+BENCHMARK(BM_CacheStreamPerAccess)->DenseRange(0, 3);
+
+void BM_CacheStreamBlock(benchmark::State& state) {
+  const auto policy = kHotpathPolicies[state.range(0)];
+  mem::SetAssocCache cache(mem::make_geometry(KiB(512), 64, 8), policy);
+  const auto& stream = hotpath_stream();
+  std::array<std::uint8_t, mem::AccessBlock::kCapacity> hits{};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kHotpathStream;
+         i += mem::AccessBlock::kCapacity) {
+      const std::size_t n =
+          std::min(mem::AccessBlock::kCapacity, kHotpathStream - i);
+      benchmark::DoNotOptimize(cache.access_block(
+          stream.addresses.data() + i, stream.kinds.data() + i, n,
+          hits.data()));
+    }
+  }
+  state.SetLabel(mem::replacement_name(policy));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHotpathStream));
+}
+BENCHMARK(BM_CacheStreamBlock)->DenseRange(0, 3);
+
+// Whole-hierarchy version of the same pair: BM_HierarchyWalkLinear above
+// walks per-access; this one feeds AccessBlocks through walk_block. The
+// ratio of the two items_per_second is the end-to-end block-path speedup.
+void BM_HierarchyWalkLinearBlock(benchmark::State& state) {
+  soc::SoC soc(soc::jetson_tx2());
+  auto& hierarchy = soc.gpu_hierarchy();
+  const mem::PatternSpec pattern{.kind = mem::PatternKind::Linear,
+                                 .base = 0,
+                                 .extent = MiB(1),
+                                 .access_size = 4,
+                                 .rw = mem::RwMix::ReadOnly,
+                                 .passes = 1,
+                                 .line_hint = 64};
+  for (auto _ : state) {
+    mem::walk_block(pattern, [&](const mem::AccessBlock& block) {
+      hierarchy.access_block(block);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mem::line_accesses(pattern)));
+}
+BENCHMARK(BM_HierarchyWalkLinearBlock);
 
 void BM_BandwidthArbiter(benchmark::State& state) {
   std::vector<mem::BandwidthDemand> demands;

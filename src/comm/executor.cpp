@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 
 #include "mem/bandwidth.h"
 #include "mem/stream.h"
 #include "support/assert.h"
+#include "support/log.h"
 
 namespace cig::comm {
 
@@ -33,14 +36,20 @@ mem::CacheStats delta(const mem::CacheStats& after,
   return d;
 }
 
-// Emitter for a symbolic pattern or, when present, a recorded trace.
+// Emitter for a symbolic pattern or, when present, a recorded trace. Both
+// produce AccessBlocks: pattern generation inlines into walk_block's fill
+// loop, trace replay batches the recorded vector.
 Executor::StreamEmitter make_emitter(
     const mem::PatternSpec& pattern,
     const std::shared_ptr<const workload::TraceRecorder>& trace) {
   if (trace) {
-    return [trace](const mem::AccessSink& sink) { trace->replay(sink); };
+    return [trace](const Executor::BlockSink& sink) {
+      trace->replay_blocks(sink);
+    };
   }
-  return [&pattern](const mem::AccessSink& sink) { mem::walk(pattern, sink); };
+  return [&pattern](const Executor::BlockSink& sink) {
+    mem::walk_block(pattern, sink);
+  };
 }
 
 Bytes shared_requested_bytes(
@@ -67,6 +76,16 @@ Executor::BilledWalk Executor::walk_and_bill(
   hierarchy.set_enabled(1, llc_enabled);
   hierarchy.reset_counters();
 
+  // Runtime audit (CIG_AUDIT=1): clone the hierarchy once per walk and
+  // re-run the stream through the per-access oracle; any counter or state
+  // divergence from the block path aborts. Audit forces full detail — a
+  // fast-forwarded walk is approximate by design and would trivially
+  // diverge.
+  const bool audit = mem::runtime_audit_enabled();
+  hierarchy.set_fastforward(audit ? 1 : mem::resolve_fastfwd(options_.fastfwd));
+  std::optional<mem::HierarchyClone> oracle;
+  if (audit) oracle.emplace(hierarchy);
+
   const bool bypassed = !l1_enabled && !llc_enabled;
   coherence::IoCoherencePort* port = nullptr;
   mem::SetAssocCache* snoop_target = nullptr;
@@ -79,13 +98,34 @@ Executor::BilledWalk Executor::walk_and_bill(
     snoop_target = &soc_.cpu_llc();
   }
 
-  emit([&](const mem::MemoryAccess& access) {
-    hierarchy.access(access);
+  emit([&](const mem::AccessBlock& block) {
+    hierarchy.access_block(block);
+    if (audit) {
+      // The oracle replays the hierarchy walk only — not the port calls,
+      // which live outside the hierarchy and would double-mutate the CPU
+      // LLC if re-run.
+      auto& shadow = oracle->hierarchy();
+      for (std::size_t i = 0; i < block.count; ++i) {
+        shadow.access(block.access(i));
+      }
+    }
     if (port != nullptr) {
-      port->device_access(access.address, access.size, access.kind,
-                          snoop_target);
+      for (std::size_t i = 0; i < block.count; ++i) {
+        port->device_access(block.address[i], block.size[i], block.kind[i],
+                            snoop_target);
+      }
     }
   });
+
+  if (audit) {
+    std::string diff;
+    if (!mem::hierarchies_equivalent(hierarchy, oracle->hierarchy(), &diff)) {
+      CIG_LOG_C(::cig::LogLevel::Error, "comm",
+                "CIG_AUDIT: block path diverged from per-access oracle: "
+                    << diff);
+      std::abort();
+    }
+  }
 
   const mem::WalkCounters& c = hierarchy.counters();
 

@@ -35,6 +35,10 @@ struct ExecOptions {
   // cudaMalloc on these boards; the paper measures UM LL throughput ~7%
   // above SC (Table I: 104.15 vs 97.34 GB/s).
   double um_llc_bandwidth_factor = 1.07;
+  // Interval fast-forward for the hierarchy walks (mem/hierarchy.h): 0
+  // resolves CIG_FASTFWD (default 1 = full detail). Approximate — the
+  // resolved value joins the sweep cache key, and CIG_AUDIT forces 1.
+  std::uint32_t fastfwd = 0;
 };
 
 class Executor {
@@ -87,8 +91,12 @@ class Executor {
   obs::Tracer* tracer() const { return tracer_; }
 
   // `emit` feeds an access stream (a PatternSpec walk or a recorded trace
-  // replay) into the provided sink.
-  using StreamEmitter = std::function<void(const mem::AccessSink&)>;
+  // replay) into the provided sink, one AccessBlock at a time. The sink
+  // fires once per kCapacity accesses, so the std::function dispatch cost
+  // is amortized ~256x; pattern generation itself inlines into the emitter
+  // (mem::walk_block).
+  using BlockSink = std::function<void(const mem::AccessBlock&)>;
+  using StreamEmitter = std::function<void(const BlockSink&)>;
 
  private:
   struct TaskRun {

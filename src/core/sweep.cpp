@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/perfmodel.h"
+#include "mem/hierarchy.h"
 #include "soc/board_io.h"
 #include "support/parallel.h"
 #include "workload/builders.h"
@@ -119,9 +120,14 @@ std::vector<SweepPoint> run_sweep(const char* kind, PointFn point_fn,
 }  // namespace
 
 std::string exec_options_fingerprint(const comm::ExecOptions& exec) {
+  // The *resolved* fast-forward interval joins the key: a fastfwd'd sweep
+  // produces (deliberately) approximate counters, and a cached full-detail
+  // result must never be conflated with it — whether the interval came from
+  // the option or from CIG_FASTFWD.
   return std::to_string(exec.warmup_iterations) + '|' +
          (exec.overlap ? '1' : '0') + '|' +
-         format_double(exec.um_llc_bandwidth_factor);
+         format_double(exec.um_llc_bandwidth_factor) + '|' +
+         std::to_string(mem::resolve_fastfwd(exec.fastfwd));
 }
 
 void export_pool_stats(sim::StatRegistry& registry) {

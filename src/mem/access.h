@@ -2,6 +2,7 @@
 // stream generators and the execution engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "support/units.h"
@@ -34,6 +35,36 @@ struct MemoryAccess {
   std::uint64_t address = 0;  // byte address
   std::uint32_t size = 4;     // bytes touched by this access
   AccessKind kind = AccessKind::Read;
+};
+
+// Fixed-capacity structure-of-arrays batch of accesses: the unit of work of
+// the block hot path (walk_block -> MemoryHierarchy::access_block). One
+// block amortizes dispatch, counter write-back and set/tag decomposition
+// over kCapacity accesses; the SoA layout keeps the address stream dense
+// for the cache walk. A block is also the fast-forward window granule
+// (mem/hierarchy.h).
+struct AccessBlock {
+  static constexpr std::size_t kCapacity = 256;
+
+  std::array<std::uint64_t, kCapacity> address;
+  std::array<std::uint32_t, kCapacity> size;
+  std::array<AccessKind, kCapacity> kind;
+  std::size_t count = 0;
+
+  bool empty() const { return count == 0; }
+  bool full() const { return count == kCapacity; }
+  void clear() { count = 0; }
+
+  void push(std::uint64_t a, std::uint32_t s, AccessKind k) {
+    address[count] = a;
+    size[count] = s;
+    kind[count] = k;
+    ++count;
+  }
+
+  MemoryAccess access(std::size_t i) const {
+    return MemoryAccess{address[i], size[i], kind[i]};
+  }
 };
 
 }  // namespace cig::mem

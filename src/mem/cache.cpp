@@ -1,6 +1,7 @@
 #include "mem/cache.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/assert.h"
 
@@ -85,6 +86,118 @@ AccessOutcome SetAssocCache::access(std::uint64_t address, AccessKind kind) {
   meta_[idx] = tick_;  // both LRU stamp and FIFO insertion stamp
   touch(set, way);
   return AccessOutcome{.hit = false, .victim_dirty = victim_dirty};
+}
+
+std::uint64_t SetAssocCache::access_block(const std::uint64_t* addresses,
+                                          const AccessKind* kinds,
+                                          std::size_t count,
+                                          std::uint8_t* hits_out) {
+  // Hoisted decomposition: geometry_.valid() guarantees line, sets and ways
+  // are powers of two, so set_of/tag_of reduce to shifts and masks instead
+  // of the div/mod chain the per-access path pays on every call.
+  const std::uint32_t line_shift =
+      static_cast<std::uint32_t>(std::countr_zero(
+          static_cast<std::uint64_t>(geometry_.line)));
+  const std::uint32_t set_shift =
+      static_cast<std::uint32_t>(std::countr_zero(geometry_.sets()));
+  const std::uint64_t set_mask = geometry_.sets() - 1;
+  const std::uint32_t ways = geometry_.ways;
+  std::uint64_t* const tags = tags_.data();
+  std::uint8_t* const valid = valid_.data();
+  std::uint8_t* const dirty = dirty_.data();
+  std::uint64_t* const meta = meta_.data();
+
+  // Stats accumulate in registers; one write-back for the whole block.
+  // tick_ stays a member increment: touch()/pick_victim() read it.
+  std::uint64_t read_hits = 0, read_misses = 0;
+  std::uint64_t write_hits = 0, write_misses = 0;
+  std::uint64_t evictions = 0, dirty_victims = 0;
+  std::uint64_t valid_count = valid_count_;
+  std::uint64_t dirty_count = dirty_count_;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t line = addresses[i] >> line_shift;
+    const std::uint64_t set = line & set_mask;
+    const std::uint64_t tag = line >> set_shift;
+    const std::uint64_t base = set * ways;
+    const bool is_write = kinds[i] == AccessKind::Write;
+    ++tick_;
+
+    std::uint32_t way = ways;  // hit way, or `ways` when none matched
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const std::uint64_t idx = base + w;
+      if (valid[idx] && tags[idx] == tag) {
+        way = w;
+        break;
+      }
+    }
+    if (way != ways) {
+      const std::uint64_t idx = base + way;
+      touch(set, way);
+      if (is_write) {
+        dirty_count += dirty[idx] ? 0 : 1;
+        dirty[idx] = 1;
+        ++write_hits;
+      } else {
+        ++read_hits;
+      }
+      hits_out[i] = 1;
+      continue;
+    }
+
+    // Miss: allocate (write-allocate for both reads and writes).
+    hits_out[i] = 0;
+    if (is_write) {
+      ++write_misses;
+    } else {
+      ++read_misses;
+    }
+    way = ways;  // first invalid way if any
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      if (!valid[base + w]) {
+        way = w;
+        break;
+      }
+    }
+    if (way == ways) {
+      way = pick_victim(set);
+      const std::uint64_t idx = base + way;
+      ++evictions;
+      if (dirty[idx]) {
+        ++dirty_victims;
+        --dirty_count;
+      }
+    } else {
+      ++valid_count;  // filling a previously invalid way
+    }
+
+    const std::uint64_t idx = base + way;
+    tags[idx] = tag;
+    valid[idx] = 1;
+    dirty[idx] = is_write ? 1 : 0;
+    if (is_write) ++dirty_count;
+    meta[idx] = tick_;  // both LRU stamp and FIFO insertion stamp
+    touch(set, way);
+  }
+
+  valid_count_ = valid_count;
+  dirty_count_ = dirty_count;
+  stats_.read_hits += read_hits;
+  stats_.read_misses += read_misses;
+  stats_.write_hits += write_hits;
+  stats_.write_misses += write_misses;
+  stats_.evictions += evictions;
+  stats_.writebacks += dirty_victims;
+  return dirty_victims;
+}
+
+void SetAssocCache::add_synthetic_stats(const CacheStats& delta) {
+  stats_.read_hits += delta.read_hits;
+  stats_.read_misses += delta.read_misses;
+  stats_.write_hits += delta.write_hits;
+  stats_.write_misses += delta.write_misses;
+  stats_.evictions += delta.evictions;
+  stats_.writebacks += delta.writebacks;
 }
 
 bool SetAssocCache::probe(std::uint64_t address) const {

@@ -39,6 +39,8 @@ struct CacheStats {
   double hit_rate() const { return accesses() == 0 ? 0.0 : 1.0 - miss_rate(); }
 
   void reset() { *this = CacheStats{}; }
+
+  bool operator==(const CacheStats&) const = default;
 };
 
 struct AccessOutcome {
@@ -53,6 +55,23 @@ class SetAssocCache {
 
   // Accesses the line containing `address`. Allocates on miss.
   AccessOutcome access(std::uint64_t address, AccessKind kind);
+
+  // Block hot path: resolves `count` accesses in order against the flat
+  // tag/valid/dirty arrays with the set/tag decomposition hoisted to shifts
+  // and masks (the geometry is power-of-two by construction) and a single
+  // stats write-back for the whole block. State and stats afterwards are
+  // byte-identical to calling access() once per element. `hits_out[i]` is
+  // set to 1 on hit, 0 on miss (the hierarchy compacts misses for the next
+  // level from it). Returns the number of dirty victims evicted — per-victim
+  // identity is not needed downstream, only the writeback byte count.
+  std::uint64_t access_block(const std::uint64_t* addresses,
+                             const AccessKind* kinds, std::size_t count,
+                             std::uint8_t* hits_out);
+
+  // Fast-forward support (mem/hierarchy.h): folds an interpolated stats
+  // delta for a skipped window into the running stats without touching any
+  // line state.
+  void add_synthetic_stats(const CacheStats& delta);
 
   // True if the line containing `address` is present (no state change).
   bool probe(std::uint64_t address) const;

@@ -1,6 +1,12 @@
 #include "mem/hierarchy.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
 #include "support/assert.h"
+#include "support/log.h"
 
 namespace cig::mem {
 
@@ -14,6 +20,35 @@ void WalkCounters::reset() {
   uncached_bytes = 0;
   total_accesses = 0;
   requested_bytes = 0;
+}
+
+bool runtime_audit_enabled() {
+  // Read per call, not cached: tests toggle CIG_AUDIT with setenv and the
+  // cost is trivial next to the oracle re-run the flag triggers.
+  const char* raw = std::getenv("CIG_AUDIT");
+  return raw != nullptr && *raw != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
+std::uint32_t resolve_fastfwd(std::uint32_t requested) {
+  if (requested > 0) return requested;
+  const char* raw = std::getenv("CIG_FASTFWD");
+  if (raw == nullptr || *raw == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed <= 0 || parsed > 1000000) {
+    // Same contract as CIG_JOBS: an environment override must never abort a
+    // run, but a silently discarded one sends users chasing phantom
+    // accuracy bugs — say it once and fall through to full detail.
+    static std::once_flag warned;
+    std::call_once(warned, [raw] {
+      CIG_LOG_C(::cig::LogLevel::Warn, "mem",
+                "ignoring invalid CIG_FASTFWD='"
+                    << raw << "' (want an integer in [1, 1000000])");
+    });
+    return 1;
+  }
+  return static_cast<std::uint32_t>(parsed);
 }
 
 MemoryHierarchy::MemoryHierarchy(std::vector<HierarchyLevel> levels,
@@ -39,11 +74,11 @@ std::size_t MemoryHierarchy::access(const MemoryAccess& request) {
 
   // Walk enabled levels top-down until a hit.
   std::size_t serving = kDram;
-  std::vector<std::size_t> missed;  // enabled levels that missed (to fill)
   for (std::size_t i = 0; i < levels_.size(); ++i) {
     auto& lvl = levels_[i];
     if (!lvl.enabled) continue;
-    const AccessOutcome outcome = lvl.cache->access(request.address, request.kind);
+    const AccessOutcome outcome =
+        lvl.cache->access(request.address, request.kind);
     if (outcome.victim_dirty) {
       // Dirty victim written back one level down (or DRAM from the LLC).
       const Bytes line = lvl.cache->geometry().line;
@@ -64,7 +99,6 @@ std::size_t MemoryHierarchy::access(const MemoryAccess& request) {
       serving = i;
       break;
     }
-    missed.push_back(i);
   }
 
   if (serving != kDram) {
@@ -95,16 +129,225 @@ std::size_t MemoryHierarchy::access(const MemoryAccess& request) {
   }
   // Note: the miss path already allocated the line into each enabled level
   // (SetAssocCache::access is allocate-on-miss), so inclusive fill needs no
-  // extra work here; `missed` documents which levels allocated.
-  (void)missed;
+  // extra work here.
   return serving;
+}
+
+void MemoryHierarchy::access_block_detailed(const AccessBlock& block) {
+  const std::size_t n = block.count;
+  if (n == 0) return;
+
+  Bytes requested = 0;
+  for (std::size_t i = 0; i < n; ++i) requested += block.size[i];
+  counters_.total_accesses += n;
+  counters_.requested_bytes += requested;
+
+  if (!any_level_enabled()) {
+    std::uint64_t reads = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      reads += block.kind[i] == AccessKind::Read ? 1 : 0;
+    }
+    counters_.uncached_served += n;
+    counters_.uncached_read_served += reads;
+    counters_.uncached_bytes += requested;
+    dram_->add_uncached_traffic(requested);
+    return;
+  }
+
+  // Resolve the block level by level: the full block against the first
+  // enabled cache, then only its misses (compacted, order preserved)
+  // against the next, and so on. Each cache sees exactly the subsequence
+  // of accesses that would have reached it under per-access walking, so
+  // state and stats match the oracle byte for byte; writeback bytes are
+  // pure counter updates, so accounting them per block (not interleaved
+  // per access) changes nothing observable.
+  const AccessBlock* cur = &block;
+  AccessBlock* out = &miss_a_;
+  std::size_t m = n;
+  bool first_enabled = true;
+
+  for (std::size_t i = 0; i < levels_.size() && m > 0; ++i) {
+    auto& lvl = levels_[i];
+    if (!lvl.enabled) continue;
+    const Bytes line = lvl.cache->geometry().line;
+
+    const std::uint64_t dirty_victims = lvl.cache->access_block(
+        cur->address.data(), cur->kind.data(), m, hits_.data());
+    if (dirty_victims > 0) {
+      const Bytes wb = dirty_victims * line;
+      bool lower_found = false;
+      for (std::size_t j = i + 1; j < levels_.size(); ++j) {
+        if (levels_[j].enabled) {
+          counters_.level[j].bytes += wb;
+          lower_found = true;
+          break;
+        }
+      }
+      if (!lower_found) {
+        counters_.dram_bytes += wb;
+        dram_->add_cached_traffic(wb);
+      }
+    }
+
+    std::uint64_t served = 0;
+    std::uint64_t read_served = 0;
+    Bytes hit_bytes = 0;
+    out->clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (hits_[j]) {
+        ++served;
+        read_served += cur->kind[j] == AccessKind::Read ? 1 : 0;
+        if (first_enabled) hit_bytes += cur->size[j];
+      } else {
+        out->push(cur->address[j], cur->size[j], cur->kind[j]);
+      }
+    }
+    counters_.level[i].served += served;
+    counters_.level[i].read_served += read_served;
+    counters_.level[i].bytes += first_enabled ? hit_bytes : line * served;
+
+    m = out->count;
+    cur = out;
+    out = (out == &miss_a_) ? &miss_b_ : &miss_a_;
+    first_enabled = false;
+  }
+
+  if (m > 0) {
+    // Fell through every enabled cache: DRAM supplies one LLC line each.
+    const std::size_t llc = last_enabled();
+    CIG_ASSERT(llc != kDram);
+    const Bytes line = levels_[llc].cache->geometry().line;
+    std::uint64_t reads = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      reads += cur->kind[j] == AccessKind::Read ? 1 : 0;
+    }
+    counters_.dram_served += m;
+    counters_.dram_read_served += reads;
+    counters_.dram_bytes += static_cast<Bytes>(m) * line;
+    dram_->add_cached_traffic(static_cast<Bytes>(m) * line);
+  }
+}
+
+namespace {
+
+LevelCounters counters_delta(const LevelCounters& after,
+                             const LevelCounters& before) {
+  return LevelCounters{after.served - before.served,
+                       after.read_served - before.read_served,
+                       after.bytes - before.bytes};
+}
+
+CacheStats stats_delta(const CacheStats& after, const CacheStats& before) {
+  CacheStats d;
+  d.read_hits = after.read_hits - before.read_hits;
+  d.read_misses = after.read_misses - before.read_misses;
+  d.write_hits = after.write_hits - before.write_hits;
+  d.write_misses = after.write_misses - before.write_misses;
+  d.evictions = after.evictions - before.evictions;
+  d.writebacks = after.writebacks - before.writebacks;
+  return d;
+}
+
+}  // namespace
+
+void MemoryHierarchy::access_block(const AccessBlock& block) {
+  if (block.count == 0) return;
+  if (ff_interval_ <= 1) {
+    access_block_detailed(block);
+    return;
+  }
+
+  const bool detailed = (ff_window_ % ff_interval_) == 0;
+  ++ff_window_;
+
+  if (detailed || !ff_record_.valid) {
+    const WalkCounters before = counters_;
+    std::vector<CacheStats> stats_before(levels_.size());
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      stats_before[i] = levels_[i].cache->stats();
+    }
+    const Bytes dram_cached_before = dram_->cached_bytes();
+    const Bytes dram_uncached_before = dram_->uncached_bytes();
+
+    access_block_detailed(block);
+
+    ff_record_.valid = true;
+    ff_record_.accesses = block.count;
+    ff_record_.delta.level.resize(levels_.size());
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      ff_record_.delta.level[i] =
+          counters_delta(counters_.level[i], before.level[i]);
+    }
+    ff_record_.delta.dram_served = counters_.dram_served - before.dram_served;
+    ff_record_.delta.dram_read_served =
+        counters_.dram_read_served - before.dram_read_served;
+    ff_record_.delta.dram_bytes = counters_.dram_bytes - before.dram_bytes;
+    ff_record_.delta.uncached_served =
+        counters_.uncached_served - before.uncached_served;
+    ff_record_.delta.uncached_read_served =
+        counters_.uncached_read_served - before.uncached_read_served;
+    ff_record_.delta.uncached_bytes =
+        counters_.uncached_bytes - before.uncached_bytes;
+    ff_record_.cache_delta.resize(levels_.size());
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      ff_record_.cache_delta[i] =
+          stats_delta(levels_[i].cache->stats(), stats_before[i]);
+    }
+    ff_record_.dram_cached_delta = dram_->cached_bytes() - dram_cached_before;
+    ff_record_.dram_uncached_delta =
+        dram_->uncached_bytes() - dram_uncached_before;
+    return;
+  }
+
+  // Skipped window: replay the last detailed window's rates, scaled to this
+  // block's access count (integer math: value * count / recorded). The
+  // demand-side counters stay exact; everything derived from cache
+  // behaviour is interpolated and the cache state itself stays frozen.
+  const std::uint64_t k = block.count;
+  const std::uint64_t d = ff_record_.accesses;
+  CIG_ASSERT(d > 0);
+  const auto scaled = [k, d](std::uint64_t v) { return v * k / d; };
+
+  counters_.total_accesses += k;
+  Bytes requested = 0;
+  for (std::size_t i = 0; i < block.count; ++i) requested += block.size[i];
+  counters_.requested_bytes += requested;
+
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    counters_.level[i].served += scaled(ff_record_.delta.level[i].served);
+    counters_.level[i].read_served +=
+        scaled(ff_record_.delta.level[i].read_served);
+    counters_.level[i].bytes += scaled(ff_record_.delta.level[i].bytes);
+  }
+  counters_.dram_served += scaled(ff_record_.delta.dram_served);
+  counters_.dram_read_served += scaled(ff_record_.delta.dram_read_served);
+  counters_.dram_bytes += scaled(ff_record_.delta.dram_bytes);
+  counters_.uncached_served += scaled(ff_record_.delta.uncached_served);
+  counters_.uncached_read_served +=
+      scaled(ff_record_.delta.uncached_read_served);
+  counters_.uncached_bytes += scaled(ff_record_.delta.uncached_bytes);
+
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const CacheStats& cd = ff_record_.cache_delta[i];
+    CacheStats s;
+    s.read_hits = scaled(cd.read_hits);
+    s.read_misses = scaled(cd.read_misses);
+    s.write_hits = scaled(cd.write_hits);
+    s.write_misses = scaled(cd.write_misses);
+    s.evictions = scaled(cd.evictions);
+    s.writebacks = scaled(cd.writebacks);
+    levels_[i].cache->add_synthetic_stats(s);
+  }
+  dram_->add_cached_traffic(scaled(ff_record_.dram_cached_delta));
+  dram_->add_uncached_traffic(scaled(ff_record_.dram_uncached_delta));
 }
 
 void MemoryHierarchy::access_linear(std::uint64_t base, Bytes bytes,
                                     AccessKind kind) {
   if (bytes == 0) return;
   // Use the smallest enabled line size for iteration granularity; if all
-  // caches are disabled, model 16-byte uncoalesced device bursts.
+  // caches are disabled, model 16-byte uncoalesced device bursts. Hoisted
+  // out of the loop: the enable set cannot change mid-span.
   std::uint32_t step = 16;
   for (const auto& lvl : levels_) {
     if (lvl.enabled) {
@@ -112,12 +355,24 @@ void MemoryHierarchy::access_linear(std::uint64_t base, Bytes bytes,
       break;
     }
   }
+  AccessBlock block;
   const std::uint64_t end = base + bytes;
   for (std::uint64_t addr = base; addr < end; addr += step) {
     const std::uint32_t size =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(step, end - addr));
-    access(MemoryAccess{addr, size, kind});
+    block.push(addr, size, kind);
+    if (block.full()) {
+      access_block(block);
+      block.clear();
+    }
   }
+  if (!block.empty()) access_block(block);
+}
+
+void MemoryHierarchy::set_fastforward(std::uint32_t interval) {
+  ff_interval_ = std::max<std::uint32_t>(interval, 1);
+  ff_window_ = 0;
+  ff_record_ = FastForwardRecord{};
 }
 
 void MemoryHierarchy::set_enabled(std::size_t i, bool enabled) {
@@ -131,13 +386,125 @@ bool MemoryHierarchy::any_level_enabled() const {
   return false;
 }
 
-void MemoryHierarchy::reset_counters() { counters_.reset(); }
+void MemoryHierarchy::reset_counters() {
+  counters_.reset();
+  // A counter reset starts a new measurement: restart the fast-forward
+  // window sequence so the next walk leads with a detailed window.
+  ff_window_ = 0;
+  ff_record_ = FastForwardRecord{};
+}
 
 std::size_t MemoryHierarchy::last_enabled() const {
   for (std::size_t i = levels_.size(); i > 0; --i) {
     if (levels_[i - 1].enabled) return i - 1;
   }
   return kDram;
+}
+
+HierarchyClone::HierarchyClone(const MemoryHierarchy& source)
+    : caches_([&] {
+        std::vector<SetAssocCache> caches;
+        caches.reserve(source.level_count());
+        for (std::size_t i = 0; i < source.level_count(); ++i) {
+          caches.push_back(*source.level(i).cache);
+        }
+        return caches;
+      }()),
+      dram_(source.dram()),
+      hierarchy_([&] {
+        std::vector<HierarchyLevel> levels;
+        levels.reserve(source.level_count());
+        for (std::size_t i = 0; i < source.level_count(); ++i) {
+          HierarchyLevel level = source.level(i);
+          level.cache = &caches_[i];
+          levels.push_back(std::move(level));
+        }
+        return MemoryHierarchy(std::move(levels), &dram_);
+      }()) {
+  // The clone's walk counters start zeroed (a fresh MemoryHierarchy);
+  // clone right after reset_counters() so oracle and subject agree on the
+  // starting point. Cache contents, stats, enables and DRAM traffic carry
+  // over via the copies above.
+}
+
+bool hierarchies_equivalent(const MemoryHierarchy& a, const MemoryHierarchy& b,
+                            std::string* diff) {
+  const auto fail = [diff](const std::string& what) {
+    if (diff != nullptr) *diff = what;
+    return false;
+  };
+  if (a.level_count() != b.level_count()) {
+    return fail("level_count mismatch");
+  }
+  if (!(a.counters() == b.counters())) {
+    const WalkCounters& ca = a.counters();
+    const WalkCounters& cb = b.counters();
+    std::ostringstream os;
+    os << "walk counters diverge:";
+    for (std::size_t i = 0; i < ca.level.size(); ++i) {
+      if (!(ca.level[i] == cb.level[i])) {
+        os << " level[" << i << "] served " << ca.level[i].served << "/"
+           << cb.level[i].served << " read_served " << ca.level[i].read_served
+           << "/" << cb.level[i].read_served << " bytes " << ca.level[i].bytes
+           << "/" << cb.level[i].bytes;
+      }
+    }
+    if (ca.dram_served != cb.dram_served ||
+        ca.dram_read_served != cb.dram_read_served ||
+        ca.dram_bytes != cb.dram_bytes) {
+      os << " dram " << ca.dram_served << "/" << cb.dram_served << " reads "
+         << ca.dram_read_served << "/" << cb.dram_read_served << " bytes "
+         << ca.dram_bytes << "/" << cb.dram_bytes;
+    }
+    if (ca.uncached_served != cb.uncached_served ||
+        ca.uncached_read_served != cb.uncached_read_served ||
+        ca.uncached_bytes != cb.uncached_bytes) {
+      os << " uncached " << ca.uncached_served << "/" << cb.uncached_served
+         << " bytes " << ca.uncached_bytes << "/" << cb.uncached_bytes;
+    }
+    if (ca.total_accesses != cb.total_accesses ||
+        ca.requested_bytes != cb.requested_bytes) {
+      os << " total " << ca.total_accesses << "/" << cb.total_accesses
+         << " requested " << ca.requested_bytes << "/" << cb.requested_bytes;
+    }
+    return fail(os.str());
+  }
+  for (std::size_t i = 0; i < a.level_count(); ++i) {
+    const SetAssocCache& cache_a = *a.level(i).cache;
+    const SetAssocCache& cache_b = *b.level(i).cache;
+    if (a.level(i).enabled != b.level(i).enabled) {
+      return fail("level " + std::to_string(i) + " enable mismatch");
+    }
+    if (!(cache_a.stats() == cache_b.stats())) {
+      const CacheStats& sa = cache_a.stats();
+      const CacheStats& sb = cache_b.stats();
+      std::ostringstream os;
+      os << "level " << i << " cache stats diverge: rh " << sa.read_hits << "/"
+         << sb.read_hits << " rm " << sa.read_misses << "/" << sb.read_misses
+         << " wh " << sa.write_hits << "/" << sb.write_hits << " wm "
+         << sa.write_misses << "/" << sb.write_misses << " ev "
+         << sa.evictions << "/" << sb.evictions << " wb " << sa.writebacks
+         << "/" << sb.writebacks;
+      return fail(os.str());
+    }
+    if (cache_a.valid_lines() != cache_b.valid_lines() ||
+        cache_a.dirty_lines() != cache_b.dirty_lines()) {
+      std::ostringstream os;
+      os << "level " << i << " line state diverges: valid "
+         << cache_a.valid_lines() << "/" << cache_b.valid_lines() << " dirty "
+         << cache_a.dirty_lines() << "/" << cache_b.dirty_lines();
+      return fail(os.str());
+    }
+  }
+  if (a.dram().cached_bytes() != b.dram().cached_bytes() ||
+      a.dram().uncached_bytes() != b.dram().uncached_bytes()) {
+    std::ostringstream os;
+    os << "dram traffic diverges: cached " << a.dram().cached_bytes() << "/"
+       << b.dram().cached_bytes() << " uncached " << a.dram().uncached_bytes()
+       << "/" << b.dram().uncached_bytes();
+    return fail(os.str());
+  }
+  return true;
 }
 
 }  // namespace cig::mem

@@ -10,6 +10,23 @@
 //
 // Disabling every level models the zero-copy uncacheable regime: accesses
 // then hit DRAM at their natural (non-coalesced) granularity.
+//
+// Two walk paths exist:
+//  - access() takes one MemoryAccess at a time. It is the audit oracle:
+//    simple, obviously correct, slow.
+//  - access_block() resolves a whole AccessBlock level by level against the
+//    flat cache arrays (misses compacted between levels, one counter
+//    write-back per block). Counters and cache state after a block are
+//    byte-identical to per-access walking of the same stream; the runtime
+//    audit mode (CIG_AUDIT=1, see runtime_audit_enabled) re-runs block
+//    walks through the oracle and verifies exactly that.
+//
+// The block path additionally supports interval fast-forward for long
+// phasic traces (CIG_FASTFWD=N, see set_fastforward): one block-window in
+// every N is simulated in detail and its per-access counter rates are
+// replayed for the N-1 skipped windows. Approximate by design — the
+// runtime controller only consumes windowed EWMAs — and disabled under
+// audit; docs/performance.md documents the accuracy envelope.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +52,8 @@ struct LevelCounters {
   std::uint64_t served = 0;       // accesses satisfied at this level
   std::uint64_t read_served = 0;  // of which reads (writes post, reads stall)
   Bytes bytes = 0;                // line-granular bytes this level delivered
+
+  bool operator==(const LevelCounters&) const = default;
 };
 
 struct WalkCounters {
@@ -49,7 +68,23 @@ struct WalkCounters {
   Bytes requested_bytes = 0;         // sum of access sizes (the demand)
 
   void reset();
+
+  bool operator==(const WalkCounters&) const = default;
 };
+
+// Runtime audit mode: true when the CIG_AUDIT environment variable is set
+// to a non-empty value other than "0". Block-path users (comm::Executor)
+// then re-run every walk through the per-access oracle on a cloned
+// hierarchy and abort on any counter divergence; fast-forward is disabled.
+// Distinct from the compile-time CIG_AUDIT() macro (support/assert.h),
+// which guards debug-build invariant recounts.
+bool runtime_audit_enabled();
+
+// Effective fast-forward interval: `requested` if > 0, else the
+// CIG_FASTFWD environment variable (positive integer), else 1 (full
+// detail). Mirrors support::resolve_jobs; an unparsable value warns once
+// and counts as unset.
+std::uint32_t resolve_fastfwd(std::uint32_t requested);
 
 class MemoryHierarchy {
  public:
@@ -59,11 +94,33 @@ class MemoryHierarchy {
   static constexpr std::size_t kDram = static_cast<std::size_t>(-1);
 
   // Walks one access through the hierarchy; returns the serving level index
-  // (kDram when it fell through all enabled caches).
+  // (kDram when it fell through all enabled caches). The per-access oracle
+  // path — audit-grade, not speed-grade.
   std::size_t access(const MemoryAccess& request);
 
-  // Convenience: walk a whole span as sequential line-granular reads/writes.
+  // Walks a whole block level by level: the block is resolved against the
+  // first enabled level, its misses are compacted and resolved against the
+  // next, and so on to DRAM, with one counter accumulation per block and
+  // the effective-LLC lookup hoisted out of the access loop. Byte-identical
+  // counters and cache state to per-access walking. Subject to
+  // fast-forward when an interval is set.
+  void access_block(const AccessBlock& block);
+
+  // Convenience: walk a whole span as sequential line-granular reads/writes
+  // (one AccessBlock per chunk internally).
   void access_linear(std::uint64_t base, Bytes bytes, AccessKind kind);
+
+  // --- interval fast-forward ------------------------------------------------
+  // interval <= 1: every block simulated in detail (the default). N > 1:
+  // block-window w is simulated when w % N == 0; for the other windows the
+  // last detailed window's counter deltas (walk counters, per-level cache
+  // stats, DRAM traffic) are replayed, scaled to the skipped block's access
+  // count. total_accesses / requested_bytes stay exact; served/byte/stat
+  // counters are interpolated and cache state does not evolve over skipped
+  // windows. Setting any interval (re)starts the window sequence, as does
+  // reset_counters(), so every walk leads with a detailed window.
+  void set_fastforward(std::uint32_t interval);
+  std::uint32_t fastforward() const { return ff_interval_; }
 
   std::size_t level_count() const { return levels_.size(); }
   const HierarchyLevel& level(std::size_t i) const { return levels_[i]; }
@@ -83,9 +140,54 @@ class MemoryHierarchy {
   const MainMemory& dram() const { return *dram_; }
 
  private:
+  void access_block_detailed(const AccessBlock& block);
+
   std::vector<HierarchyLevel> levels_;
   MainMemory* dram_;  // non-owning; never null
   WalkCounters counters_;
+
+  // Miss-compaction scratch for the level-by-level block walk (member so a
+  // walk never allocates).
+  AccessBlock miss_a_;
+  AccessBlock miss_b_;
+  std::array<std::uint8_t, AccessBlock::kCapacity> hits_{};
+
+  // Fast-forward state: window index plus the last detailed window's
+  // deltas, replayed (scaled) for skipped windows.
+  struct FastForwardRecord {
+    bool valid = false;
+    std::uint64_t accesses = 0;         // detailed window's access count
+    WalkCounters delta;                 // walk-counter delta
+    std::vector<CacheStats> cache_delta;  // per level, enabled levels only
+    Bytes dram_cached_delta = 0;
+    Bytes dram_uncached_delta = 0;
+  };
+  std::uint32_t ff_interval_ = 1;
+  std::uint64_t ff_window_ = 0;
+  FastForwardRecord ff_record_;
 };
+
+// Deep copy of a hierarchy for the audit oracle: owns clones of the caches
+// and the DRAM model so the per-access re-run cannot disturb the real SoC.
+// Level enables, bandwidths and counters are carried over.
+class HierarchyClone {
+ public:
+  explicit HierarchyClone(const MemoryHierarchy& source);
+
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  std::vector<SetAssocCache> caches_;
+  MainMemory dram_;
+  MemoryHierarchy hierarchy_;
+};
+
+// True when `a` and `b` agree byte-for-byte on walk counters, per-level
+// cache stats, valid/dirty line counts and DRAM traffic. On divergence,
+// appends a human-readable description of the first difference to `diff`
+// (when non-null). The CIG_AUDIT=1 comparison.
+bool hierarchies_equivalent(const MemoryHierarchy& a, const MemoryHierarchy& b,
+                            std::string* diff = nullptr);
 
 }  // namespace cig::mem

@@ -9,22 +9,6 @@ namespace cig::mem {
 
 namespace {
 
-void emit(const AccessSink& sink, std::uint64_t address, std::uint32_t size,
-          RwMix rw) {
-  switch (rw) {
-    case RwMix::ReadOnly:
-      sink(MemoryAccess{address, size, AccessKind::Read});
-      break;
-    case RwMix::WriteOnly:
-      sink(MemoryAccess{address, size, AccessKind::Write});
-      break;
-    case RwMix::ReadModifyWrite:
-      sink(MemoryAccess{address, size, AccessKind::Read});
-      sink(MemoryAccess{address, size, AccessKind::Write});
-      break;
-  }
-}
-
 std::uint64_t sweep_points(const PatternSpec& spec) {
   // Distinct line-granular touch points in one pass.
   switch (spec.kind) {
@@ -52,80 +36,10 @@ std::uint64_t sweep_points(const PatternSpec& spec) {
 }  // namespace
 
 void walk(const PatternSpec& spec, const AccessSink& sink) {
-  CIG_EXPECTS(spec.line_hint > 0);
-  CIG_EXPECTS(spec.access_size > 0);
-  switch (spec.kind) {
-    case PatternKind::Linear: {
-      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
-        const std::uint64_t end = spec.base + spec.extent;
-        for (std::uint64_t addr = spec.base; addr < end;
-             addr += spec.line_hint) {
-          const auto size = static_cast<std::uint32_t>(
-              std::min<std::uint64_t>(spec.line_hint, end - addr));
-          emit(sink, addr, size, spec.rw);
-        }
-      }
-      break;
-    }
-    case PatternKind::Strided: {
-      CIG_EXPECTS(spec.stride > 0);
-      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
-        const std::uint64_t end = spec.base + spec.extent;
-        for (std::uint64_t addr = spec.base; addr < end; addr += spec.stride) {
-          emit(sink, addr, spec.access_size, spec.rw);
-        }
-      }
-      break;
-    }
-    case PatternKind::Random: {
-      Rng rng(spec.seed);
-      const std::uint64_t lines =
-          std::max<std::uint64_t>(spec.extent / spec.line_hint, 1);
-      for (std::uint64_t i = 0; i < spec.count; ++i) {
-        const std::uint64_t line = rng.below(lines);
-        emit(sink, spec.base + line * spec.line_hint, spec.access_size,
-             spec.rw);
-      }
-      break;
-    }
-    case PatternKind::SingleLocation: {
-      for (std::uint64_t i = 0; i < spec.count; ++i) {
-        emit(sink, spec.base, spec.access_size, spec.rw);
-      }
-      break;
-    }
-    case PatternKind::Tiled2D: {
-      CIG_EXPECTS(spec.width > 0 && spec.height > 0);
-      CIG_EXPECTS(spec.tile_width > 0 && spec.tile_height > 0);
-      const std::uint64_t row_bytes =
-          static_cast<std::uint64_t>(spec.width) * spec.access_size;
-      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
-        for (std::uint32_t ty = 0; ty < spec.height; ty += spec.tile_height) {
-          for (std::uint32_t tx = 0; tx < spec.width; tx += spec.tile_width) {
-            const std::uint32_t tile_h =
-                std::min(spec.tile_height, spec.height - ty);
-            const std::uint32_t tile_w =
-                std::min(spec.tile_width, spec.width - tx);
-            for (std::uint32_t y = 0; y < tile_h; ++y) {
-              const std::uint64_t row_base =
-                  spec.base + (ty + y) * row_bytes +
-                  static_cast<std::uint64_t>(tx) * spec.access_size;
-              const std::uint64_t tile_row_bytes =
-                  static_cast<std::uint64_t>(tile_w) * spec.access_size;
-              for (std::uint64_t off = 0; off < tile_row_bytes;
-                   off += spec.line_hint) {
-                const auto size = static_cast<std::uint32_t>(
-                    std::min<std::uint64_t>(spec.line_hint,
-                                            tile_row_bytes - off));
-                emit(sink, row_base + off, size, spec.rw);
-              }
-            }
-          }
-        }
-      }
-      break;
-    }
-  }
+  detail::walk_with(spec, [&](std::uint64_t address, std::uint32_t size,
+                              AccessKind kind) {
+    sink(MemoryAccess{address, size, kind});
+  });
 }
 
 std::uint64_t element_accesses(const PatternSpec& spec) {

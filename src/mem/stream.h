@@ -2,14 +2,26 @@
 //
 // A PatternSpec describes a memory access pattern symbolically (the way the
 // paper's micro-benchmarks describe their ld.global/st.global behaviour);
-// walk() replays it against a sink — normally MemoryHierarchy::access. The
-// generators are deterministic (seeded) so runs are reproducible.
+// walk_block() replays it as AccessBlock batches against a block sink —
+// normally MemoryHierarchy::access_block. The generators are deterministic
+// (seeded) so runs are reproducible.
+//
+// The block path is the hot path: pattern generation inlines into the
+// caller (templated sink, no per-access std::function dispatch) and the
+// simulator resolves a whole block per call against flat SoA state. The
+// per-access walk() survives as a compatibility shim and as the audit
+// oracle the block path is checked against (CIG_AUDIT=1).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "mem/access.h"
+#include "support/assert.h"
+#include "support/rng.h"
 #include "support/units.h"
 
 namespace cig::mem {
@@ -51,10 +63,138 @@ struct PatternSpec {
   std::uint32_t line_hint = 64;
 };
 
+namespace detail {
+
+// Per-access emission for one pattern position, honouring the read/write
+// mix. `fn(address, size, kind)` must be an inlineable callable — this is
+// the innermost loop of every sweep.
+template <typename Fn>
+inline void emit_rw(Fn& fn, std::uint64_t address, std::uint32_t size,
+                    RwMix rw) {
+  switch (rw) {
+    case RwMix::ReadOnly:
+      fn(address, size, AccessKind::Read);
+      break;
+    case RwMix::WriteOnly:
+      fn(address, size, AccessKind::Write);
+      break;
+    case RwMix::ReadModifyWrite:
+      fn(address, size, AccessKind::Read);
+      fn(address, size, AccessKind::Write);
+      break;
+  }
+}
+
+// Replays the pattern at line granularity into `fn(address, size, kind)`.
+// Single source of truth for the access order: walk() and walk_block() both
+// instantiate this, so the two paths see identical streams by construction.
+template <typename Fn>
+void walk_with(const PatternSpec& spec, Fn&& fn) {
+  CIG_EXPECTS(spec.line_hint > 0);
+  CIG_EXPECTS(spec.access_size > 0);
+  switch (spec.kind) {
+    case PatternKind::Linear: {
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        const std::uint64_t end = spec.base + spec.extent;
+        for (std::uint64_t addr = spec.base; addr < end;
+             addr += spec.line_hint) {
+          const auto size = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(spec.line_hint, end - addr));
+          emit_rw(fn, addr, size, spec.rw);
+        }
+      }
+      break;
+    }
+    case PatternKind::Strided: {
+      CIG_EXPECTS(spec.stride > 0);
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        const std::uint64_t end = spec.base + spec.extent;
+        for (std::uint64_t addr = spec.base; addr < end; addr += spec.stride) {
+          emit_rw(fn, addr, spec.access_size, spec.rw);
+        }
+      }
+      break;
+    }
+    case PatternKind::Random: {
+      Rng rng(spec.seed);
+      const std::uint64_t lines =
+          std::max<std::uint64_t>(spec.extent / spec.line_hint, 1);
+      for (std::uint64_t i = 0; i < spec.count; ++i) {
+        const std::uint64_t line = rng.below(lines);
+        emit_rw(fn, spec.base + line * spec.line_hint, spec.access_size,
+                spec.rw);
+      }
+      break;
+    }
+    case PatternKind::SingleLocation: {
+      for (std::uint64_t i = 0; i < spec.count; ++i) {
+        emit_rw(fn, spec.base, spec.access_size, spec.rw);
+      }
+      break;
+    }
+    case PatternKind::Tiled2D: {
+      CIG_EXPECTS(spec.width > 0 && spec.height > 0);
+      CIG_EXPECTS(spec.tile_width > 0 && spec.tile_height > 0);
+      const std::uint64_t row_bytes =
+          static_cast<std::uint64_t>(spec.width) * spec.access_size;
+      for (std::uint32_t pass = 0; pass < spec.passes; ++pass) {
+        for (std::uint32_t ty = 0; ty < spec.height; ty += spec.tile_height) {
+          for (std::uint32_t tx = 0; tx < spec.width; tx += spec.tile_width) {
+            const std::uint32_t tile_h =
+                std::min(spec.tile_height, spec.height - ty);
+            const std::uint32_t tile_w =
+                std::min(spec.tile_width, spec.width - tx);
+            for (std::uint32_t y = 0; y < tile_h; ++y) {
+              const std::uint64_t row_base =
+                  spec.base + (ty + y) * row_bytes +
+                  static_cast<std::uint64_t>(tx) * spec.access_size;
+              const std::uint64_t tile_row_bytes =
+                  static_cast<std::uint64_t>(tile_w) * spec.access_size;
+              for (std::uint64_t off = 0; off < tile_row_bytes;
+                   off += spec.line_hint) {
+                const auto size = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(spec.line_hint,
+                                            tile_row_bytes - off));
+                emit_rw(fn, row_base + off, size, spec.rw);
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Replays the pattern as a sequence of full (plus one trailing partial)
+// AccessBlocks into `sink(const AccessBlock&)`. Pattern generation inlines
+// into the fill loop — zero per-access dispatch; the sink fires once per
+// kCapacity accesses. Access order is identical to walk().
+template <typename BlockSink>
+void walk_block(const PatternSpec& spec, BlockSink&& sink) {
+  AccessBlock block;
+  auto fill = [&](std::uint64_t address, std::uint32_t size, AccessKind kind) {
+    block.push(address, size, kind);
+    if (block.full()) {
+      sink(block);
+      block.clear();
+    }
+  };
+  detail::walk_with(spec, fill);
+  if (!block.empty()) sink(block);
+}
+
+// DEPRECATED compatibility shim: per-access std::function sink. One virtual
+// dispatch per access makes this ~an order of magnitude slower than the
+// block path — keep it for tests, traces and the CIG_AUDIT oracle; new code
+// should consume AccessBlocks via walk_block().
 using AccessSink = std::function<void(const MemoryAccess&)>;
 
 // Replays the pattern at line granularity into `sink` (one MemoryAccess per
 // distinct line touch, ReadModifyWrite issuing a read then a write).
+// Same stream as walk_block(), one access at a time.
 void walk(const PatternSpec& spec, const AccessSink& sink);
 
 // Number of *element-granular* accesses the pattern represents (what a
@@ -67,7 +207,8 @@ Bytes requested_bytes(const PatternSpec& spec);
 // Distinct bytes touched (the working set actually covered).
 Bytes footprint(const PatternSpec& spec);
 
-// Number of sink invocations walk() will make (for cost estimation).
+// Number of line-granular accesses walk()/walk_block() will emit (for cost
+// estimation).
 std::uint64_t line_accesses(const PatternSpec& spec);
 
 // Canonical textual rendering of every field that affects walk(), for

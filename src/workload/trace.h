@@ -37,6 +37,24 @@ class TraceRecorder {
   // Replays every access into the sink, in recorded order.
   void replay(const mem::AccessSink& sink) const;
 
+  // Replays the trace as full (plus one trailing partial) AccessBlocks —
+  // same order as replay(), batched for the block hot path
+  // (MemoryHierarchy::access_block). Templated so the batching loop inlines
+  // into callers that pass a lambda directly; std::function sinks pay one
+  // dispatch per block, not per access.
+  template <typename BlockSink>
+  void replay_blocks(BlockSink&& sink) const {
+    mem::AccessBlock block;
+    for (const auto& a : trace_) {
+      block.push(a.address, a.size, a.kind);
+      if (block.full()) {
+        sink(block);
+        block.clear();
+      }
+    }
+    if (!block.empty()) sink(block);
+  }
+
   // Returns a new recorder whose trace merges consecutive accesses that
   // fall in the same `line_bytes`-sized block (what a warp coalescer or a
   // CPU line fill does). Reads and writes never merge with each other.

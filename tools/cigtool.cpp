@@ -102,9 +102,11 @@
 // <app> is one of: shwfs, orbslam, mb1, mb3.
 //
 // Global flags: `--jobs N` sizes the sweep/grid worker pool (0 = CIG_JOBS
-// env or all cores); `--cache-dir DIR` memoizes characterizations across
-// invocations (a warm `characterize` re-run skips every sweep simulation —
-// check cache.hit in the --metrics-out snapshot).
+// env or all cores); `--fastfwd N` trades simulation detail for speed by
+// simulating 1-in-N access windows (exported as CIG_FASTFWD so it reaches
+// every executor; see docs/performance.md); `--cache-dir DIR` memoizes
+// characterizations across invocations (a warm `characterize` re-run skips
+// every sweep simulation — check cache.hit in the --metrics-out snapshot).
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -188,6 +190,8 @@ void print_usage(std::ostream& out) {
       "global flags:\n"
       "  --jobs N        worker pool size for sweeps/grids (0 = CIG_JOBS env"
       " or all cores; default 0)\n"
+      "  --fastfwd N     simulate 1-in-N access windows and interpolate the"
+      " rest (approximate; default CIG_FASTFWD env or 1 = full detail)\n"
       "  --cache-dir D   content-addressed characterization cache directory\n"
       "\n"
       "exit codes: 0 ok, 1 usage error, 2 operational failure (runtime"
@@ -703,6 +707,18 @@ std::uint64_t parse_seed(const std::string& text) {
   return static_cast<std::uint64_t>(parsed);
 }
 
+std::uint32_t parse_fastfwd(const std::string& text) {
+  const char* raw = text.c_str();
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (*raw == '\0' || end == raw || *end != '\0' || parsed <= 0 ||
+      parsed > 1000000) {
+    throw std::invalid_argument("invalid fastfwd '" + text +
+                                "': want an integer in [1, 1000000]");
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
 double parse_nonneg_double(const std::string& text, const char* flag) {
   const char* raw = text.c_str();
   char* end = nullptr;
@@ -1104,6 +1120,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   int jobs = 0;
+  std::uint32_t fastfwd = 0;  // 0 = CIG_FASTFWD env or full detail
   std::string cache_dir;
   std::string boards_csv = "tx2,xavier";
   std::string scenarios_csv;
@@ -1156,6 +1173,9 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--jobs") {
         if (++i >= args.size()) return usage();
         jobs = support::parse_jobs(args[i]);
+      } else if (args[i] == "--fastfwd") {
+        if (++i >= args.size()) return usage();
+        fastfwd = parse_fastfwd(args[i]);
       } else if (args[i] == "--boards") {
         if (++i >= args.size()) return usage();
         boards_csv = args[i];
@@ -1243,6 +1263,15 @@ int main(int argc, char** argv) {
       } else {
         positional.push_back(args[i]);
       }
+    }
+    if (fastfwd > 0) {
+#ifndef _WIN32
+      // Uniform wiring across every subcommand: executors resolve the
+      // interval from CIG_FASTFWD whenever ExecOptions::fastfwd is 0, so
+      // exporting the flag covers sweeps, grids, runtime and serve alike
+      // (and joins the characterization cache key via the resolved value).
+      ::setenv("CIG_FASTFWD", std::to_string(fastfwd).c_str(), 1);
+#endif
     }
     if (positional.empty()) return usage();
     const std::string& command = positional[0];

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Perf-gate tooling: distill benchmark output into BENCH_*.json snapshots
+and compare a fresh snapshot against the committed baseline.
+
+The repo commits two baselines (the start of the BENCH_* perf trajectory):
+
+  BENCH_hotpath.json  -- simulator hot-path microbenchmarks (accesses/s from
+                         bench/components_gbench, per replacement policy,
+                         per-access vs block path)
+  BENCH_sweep.json    -- end-to-end wall-clock: fig6 sweep seconds,
+                         runtime_adaptive seconds, serve req/s
+
+CI re-runs the benches and fails on >25% regression in either direction
+that matters (throughput metrics must not drop, wall-clock metrics must not
+grow). Improvements never fail the gate; refresh the baselines in the same
+PR as an intentional perf change.
+
+Subcommands:
+  distill  <gbench.json> -o OUT [--prefix P]
+      Extract items_per_second from google-benchmark --benchmark_out JSON.
+  snapshot -o OUT  name=file.json:field ...  name=@literal ...
+      Assemble a snapshot from bench-report JSON files and/or literals.
+      Repeating a name keeps the best observation (min for wall-clock
+      metrics, max for throughput) — run a noisy bench N times and pass
+      all N readings to de-flake short-running legs.
+  compare  <baseline.json> <current.json> [--tolerance 0.25]
+      Exit 1 if any shared metric regressed past tolerance.
+
+Metric direction is inferred from the name: anything containing "seconds",
+"latency" or "wall" is lower-is-better; everything else (per_second,
+req_per_sec, items, speedup) is higher-is-better.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def dump(path, metrics):
+    snapshot = {"metrics": {k: metrics[k] for k in sorted(metrics)}}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(metrics)} metric(s) to {path}")
+
+
+def lower_is_better(name):
+    return any(tok in name for tok in ("seconds", "latency", "wall"))
+
+
+def cmd_distill(args):
+    report = load(args.gbench_json)
+    raw = {}
+    for bench in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) so reruns with
+        # --benchmark_repetitions still produce the same metric names.
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is None:
+            continue
+        raw[bench["name"]] = ips
+    if not raw:
+        sys.exit(f"error: no items_per_second entries in {args.gbench_json}")
+    metrics = {}
+    for spec in args.ratio:
+        # ':' separates the two benchmark names because gbench names
+        # themselves contain '/' (DenseRange args, e.g. BM_Foo/0).
+        name, _, expr = spec.partition("=")
+        num, _, den = expr.partition(":")
+        if not name or num not in raw or den not in raw:
+            sys.exit(f"error: bad --ratio '{spec}' (benchmarks present:"
+                     f" {', '.join(sorted(raw))})")
+        metrics[name] = raw[num] / raw[den]
+    if not args.ratios_only:
+        for name, ips in raw.items():
+            metrics[args.prefix + name] = ips
+    dump(args.out, metrics)
+
+
+def cmd_snapshot(args):
+    metrics = {}
+    for entry in args.entries:
+        name, _, source = entry.partition("=")
+        if not name or not source:
+            sys.exit(f"error: bad entry '{entry}' (want name=file:field"
+                     " or name=@literal)")
+        if source.startswith("@"):
+            value = float(source[1:])
+        else:
+            path, _, field = source.partition(":")
+            if not field:
+                sys.exit(f"error: bad entry '{entry}': missing :field")
+            report = load(path)
+            if field not in report:
+                sys.exit(f"error: {path} has no field '{field}'")
+            value = float(report[field])
+        if name in metrics:
+            best = min if lower_is_better(name) else max
+            value = best(metrics[name], value)
+        metrics[name] = value
+    dump(args.out, metrics)
+
+
+def cmd_compare(args):
+    base = load(args.baseline).get("metrics", {})
+    cur = load(args.current).get("metrics", {})
+    if not base:
+        sys.exit(f"error: no metrics in baseline {args.baseline}")
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("error: baseline and current share no metrics")
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"warning: {len(missing)} baseline metric(s) missing from"
+              f" current snapshot: {', '.join(missing)}")
+
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}"
+          f"  {'change':>8}  verdict")
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b == 0:
+            change = 0.0
+        else:
+            change = (c - b) / abs(b)
+        bad = -change if lower_is_better(name) else change
+        # `bad` > 0 means the metric moved in the good direction.
+        regressed = bad < -args.tolerance
+        verdict = "FAIL" if regressed else "ok"
+        if regressed:
+            failures.append(name)
+        print(f"{name:<{width}}  {b:>12.4g}  {c:>12.4g}"
+              f"  {change:>+7.1%}  {verdict}")
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} metric(s) regressed"
+              f" past {args.tolerance:.0%}: {', '.join(failures)}")
+        sys.exit(1)
+    print(f"\nperf gate passed ({len(shared)} metric(s),"
+          f" tolerance {args.tolerance:.0%})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("distill", help="gbench JSON -> snapshot")
+    p.add_argument("gbench_json")
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("--prefix", default="")
+    p.add_argument("--ratio", action="append", default=[],
+                   metavar="name=num_bench:den_bench",
+                   help="emit a derived speedup metric (dimensionless, so it"
+                        " transfers across machines unlike raw items/s)")
+    p.add_argument("--ratios-only", action="store_true",
+                   help="omit raw items_per_second metrics from the snapshot")
+    p.set_defaults(fn=cmd_distill)
+
+    p = sub.add_parser("snapshot", help="bench reports -> snapshot")
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("entries", nargs="+",
+                   metavar="name=file.json:field|name=@literal")
+    p.set_defaults(fn=cmd_snapshot)
+
+    p = sub.add_parser("compare", help="baseline vs current")
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--tolerance", type=float, default=0.25)
+    p.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
