@@ -7,12 +7,16 @@
 // Board characterization and tenant registration are warmed up outside the
 // timed window — the bench measures the steady-state serving loop, not the
 // one-time micro-benchmark suite. Wall-clock timing only; every other
-// number in the report is deterministic. A final leg repeats the sample
+// number in the report is deterministic. One leg repeats the sample
 // storm with a concurrent metrics/statusz scraper thread to price the
-// observability plane's lock against the serving loop.
+// observability plane's lock against the serving loop; a final saturation
+// leg floods a fresh admission-controlled server with low-priority heavy
+// samples past its watermarks and reports the shed/reject rates and the
+// decision-latency percentiles the surviving traffic sees under overload.
 //
 //   serve_throughput [--tenants N] [--samples M] [--queries Q] [--jobs J]
 //                    [--budget B] [--bench-out BENCH_serve.json]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -177,6 +181,67 @@ int main(int argc, char** argv) {
           ? (scraped_seconds - sample_seconds) / sample_seconds * 100
           : 0;
 
+  // Timed: the saturation leg. A fresh server armed with admission
+  // watermarks takes a flood of low-priority heavy samples (cost 4 each)
+  // with one priority-3 decide per round riding along; the flood arrives
+  // faster than the queue drains, so the daemon must shed. Reported:
+  // overload throughput, reject/shed rates, and the latency percentiles
+  // of the traffic that survives.
+  std::uint64_t saturation_requests = 0;
+  std::uint64_t saturation_replies = 0;
+  double saturation_seconds = 0;
+  std::uint64_t saturation_shed = 0;
+  std::uint64_t saturation_rejected = 0;
+  std::uint64_t saturation_deadline_expired = 0;
+  double saturation_reject_rate = 0;
+  double saturation_p50 = 0, saturation_p95 = 0, saturation_p99 = 0;
+  {
+    const int flood_tenants = std::min(cli.tenants, 8);
+    const int flood_rounds = 40;
+    serve::ServeOptions sat_options;
+    sat_options.jobs = options.jobs;
+    sat_options.batch_max = 256;
+    sat_options.resident_budget = static_cast<std::uint64_t>(flood_tenants);
+    sat_options.overload.queue_high = 24;
+    serve::Server sat_server(sat_options);
+
+    std::ostringstream warm;
+    for (int t = 0; t < flood_tenants; ++t) {
+      warm << "{\"op\":\"hello\",\"tenant\":\"" << tenant_name(t)
+           << "\",\"board\":\"tx2\"}\n";
+    }
+    run_stream(sat_server, warm.str());
+
+    std::ostringstream flood;
+    for (int r = 0; r < flood_rounds; ++r) {
+      for (int t = 0; t < flood_tenants; ++t) {
+        flood << "{\"op\":\"sample\",\"tenant\":\"" << tenant_name(t)
+              << "\",\"heavy\":true,\"iterations\":4,\"priority\":0}\n";
+        ++saturation_requests;
+      }
+      flood << "{\"op\":\"decide\",\"tenant\":\""
+            << tenant_name(r % flood_tenants) << "\",\"priority\":3}\n";
+      ++saturation_requests;
+    }
+    saturation_seconds =
+        run_stream(sat_server, flood.str(), &saturation_replies);
+
+    const auto& sm = sat_server.metrics();
+    saturation_shed = sm.shed;
+    saturation_rejected = sm.rejected;
+    saturation_deadline_expired = sm.deadline_expired;
+    saturation_reject_rate =
+        saturation_requests > 0
+            ? static_cast<double>(saturation_rejected) /
+                  static_cast<double>(saturation_requests)
+            : 0;
+    saturation_p50 = sm.decide_us.percentile(0.50);
+    saturation_p95 = sm.decide_us.percentile(0.95);
+    saturation_p99 = sm.decide_us.percentile(0.99);
+  }
+  const double saturation_per_sec =
+      saturation_seconds > 0 ? saturation_requests / saturation_seconds : 0;
+
   const std::uint64_t requests = sample_requests + query_requests;
   const double wall = sample_seconds + query_seconds;
   const double req_per_sec = wall > 0 ? requests / wall : 0;
@@ -205,6 +270,12 @@ int main(int argc, char** argv) {
   table.add_row({"scraped samples/sec", Table::num(scraped_per_sec, 0)});
   table.add_row({"scrape overhead", Table::num(scrape_overhead_pct, 1) + " %"});
   table.add_row({"scrape polls", std::to_string(scrape_polls)});
+  table.add_row({"saturation req/sec", Table::num(saturation_per_sec, 0)});
+  table.add_row(
+      {"saturation reject rate", Table::num(saturation_reject_rate, 3)});
+  table.add_row({"saturation shed", std::to_string(saturation_shed)});
+  table.add_row(
+      {"saturation p99 (sim us)", Table::num(saturation_p99, 1)});
   table.add_row({"evictions", std::to_string(m.evictions)});
   table.add_row({"restores", std::to_string(m.restores)});
   print_table(std::cout, table);
@@ -235,6 +306,19 @@ int main(int argc, char** argv) {
     scrape["overhead_pct"] = Json(scrape_overhead_pct);
     scrape["polls"] = Json(static_cast<double>(scrape_polls));
     j["scrape"] = std::move(scrape);
+    Json saturation;
+    saturation["requests"] = Json(static_cast<double>(saturation_requests));
+    saturation["replies"] = Json(static_cast<double>(saturation_replies));
+    saturation["req_per_sec"] = Json(saturation_per_sec);
+    saturation["reject_rate"] = Json(saturation_reject_rate);
+    saturation["shed"] = Json(static_cast<double>(saturation_shed));
+    saturation["rejected"] = Json(static_cast<double>(saturation_rejected));
+    saturation["deadline_expired"] =
+        Json(static_cast<double>(saturation_deadline_expired));
+    saturation["p50_us"] = Json(saturation_p50);
+    saturation["p95_us"] = Json(saturation_p95);
+    saturation["p99_us"] = Json(saturation_p99);
+    j["saturation"] = std::move(saturation);
     j["evictions"] = Json(static_cast<double>(m.evictions));
     j["restores"] = Json(static_cast<double>(m.restores));
     persist::atomic_write_file(cli.bench_out, j.dump(2) + "\n");

@@ -1,0 +1,296 @@
+#include "fault/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace cig::fault {
+
+namespace {
+
+// Deterministic non-protocol bytes: printable junk of a seeded length. No
+// newline (the transport frames lines), no quotes that could accidentally
+// complete a JSON string.
+std::string garbage_line(Rng& rng) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789{}[]:,<>#$%&*+-=/";
+  const std::size_t len = 8 + static_cast<std::size_t>(rng.below(33));
+  std::string line;
+  line.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    line.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+  }
+  return line;
+}
+
+}  // namespace
+
+const char* session_fault_kind_name(SessionFaultKind kind) {
+  switch (kind) {
+    case SessionFaultKind::TruncatedLine: return "truncated_line";
+    case SessionFaultKind::GarbageLine: return "garbage_line";
+    case SessionFaultKind::FloodBurst: return "flood_burst";
+    case SessionFaultKind::StalledSession: return "stalled_session";
+    case SessionFaultKind::MidBatchDisconnect: return "mid_batch_disconnect";
+  }
+  return "?";
+}
+
+void SessionFaultMetrics::count(SessionFaultKind kind) {
+  ++by_kind[static_cast<std::size_t>(kind)];
+  ++total;
+}
+
+void SessionFaultMetrics::export_to(sim::StatRegistry& registry) const {
+  registry.set("fault.session.total", static_cast<double>(total));
+  for (std::size_t k = 0; k < kSessionFaultKindCount; ++k) {
+    registry.set(std::string("fault.session.") +
+                     session_fault_kind_name(
+                         static_cast<SessionFaultKind>(k)),
+                 static_cast<double>(by_kind[k]));
+  }
+  registry.set("fault.session.mutated_lines",
+               static_cast<double>(mutated_lines));
+  registry.set("fault.session.injected_lines",
+               static_cast<double>(injected_lines));
+  registry.set("fault.session.dropped_lines",
+               static_cast<double>(dropped_lines));
+  registry.set("fault.session.disconnects",
+               static_cast<double>(disconnects));
+}
+
+SessionFaultInjector::SessionFaultInjector(
+    std::vector<SessionFaultSpec> specs, std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  for (const SessionFaultSpec& spec : specs_) {
+    CIG_EXPECTS(spec.probability >= 0.0 && spec.probability <= 1.0);
+    CIG_EXPECTS(spec.magnitude >= 0.0);
+  }
+}
+
+void SessionFaultInjector::set_flood_target(std::string tenant,
+                                            std::string board) {
+  flood_tenant_ = std::move(tenant);
+  flood_board_ = std::move(board);
+}
+
+std::uint64_t SessionFaultInjector::stream_seed(
+    std::size_t spec_index, std::uint64_t line_index) const {
+  // Same splitmix64 chain as FaultInjector::stream_seed: every draw stream
+  // is a pure function of its coordinates.
+  std::uint64_t state = seed_;
+  (void)splitmix64(state);
+  state ^= 0x9E3779B97F4A7C15ull * (spec_index + 1);
+  (void)splitmix64(state);
+  state ^= line_index;
+  return splitmix64(state);
+}
+
+bool SessionFaultInjector::fires(const SessionFaultSpec& spec,
+                                 std::size_t spec_index,
+                                 std::uint64_t line_index) const {
+  if (line_index < spec.first_line || line_index > spec.last_line) {
+    return false;
+  }
+  if (spec.probability >= 1.0) return true;
+  Rng rng(stream_seed(spec_index, line_index));
+  return rng.uniform() < spec.probability;
+}
+
+MutatedStream SessionFaultInjector::mutate(
+    const std::vector<std::string>& lines) {
+  MutatedStream out;
+  out.sessions.emplace_back();
+  std::uint64_t drop_until = 0;  // base-line index the current stall ends at
+
+  for (std::uint64_t i = 0; i < lines.size(); ++i) {
+    if (i < drop_until) {
+      // Lost to an active stall: the line never reaches the daemon.
+      ++metrics_.dropped_lines;
+      continue;
+    }
+    std::string line = lines[i];
+    bool drop_this = false;
+
+    for (std::size_t s = 0; s < specs_.size(); ++s) {
+      const SessionFaultSpec& spec = specs_[s];
+      if (!fires(spec, s, i)) continue;
+      Rng rng(stream_seed(s, i) ^ 0x5E55ull);
+      switch (spec.kind) {
+        case SessionFaultKind::TruncatedLine: {
+          const double keep_frac =
+              std::clamp(spec.magnitude, 0.0, 1.0);
+          const std::size_t keep = std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     std::floor(static_cast<double>(line.size()) *
+                                keep_frac)));
+          if (keep < line.size()) {
+            line.resize(keep);
+            ++metrics_.mutated_lines;
+            metrics_.count(spec.kind);
+          }
+          break;
+        }
+        case SessionFaultKind::GarbageLine: {
+          out.sessions.back().push_back(garbage_line(rng));
+          ++metrics_.injected_lines;
+          metrics_.count(spec.kind);
+          break;
+        }
+        case SessionFaultKind::FloodBurst: {
+          const std::uint64_t burst = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(spec.magnitude));
+          // The flood registers itself at the never-shed priority so the
+          // burst exercises admission control instead of dying as
+          // unknown-tenant rejects, then hammers heavy low-class samples.
+          out.sessions.back().push_back(
+              "{\"op\":\"hello\",\"tenant\":\"" + flood_tenant_ +
+              "\",\"board\":\"" + flood_board_ + "\",\"priority\":3}");
+          for (std::uint64_t b = 0; b < burst; ++b) {
+            out.sessions.back().push_back(
+                "{\"op\":\"sample\",\"tenant\":\"" + flood_tenant_ +
+                "\",\"heavy\":true,\"iterations\":4,\"priority\":0}");
+          }
+          metrics_.injected_lines += burst + 1;
+          metrics_.count(spec.kind);
+          break;
+        }
+        case SessionFaultKind::StalledSession: {
+          // The client hangs: this line and the next magnitude-1 lines are
+          // lost, and the connection is torn down.
+          const std::uint64_t lost = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(spec.magnitude));
+          drop_until = i + lost;
+          drop_this = true;
+          ++metrics_.disconnects;
+          metrics_.count(spec.kind);
+          if (!out.sessions.back().empty()) out.sessions.emplace_back();
+          break;
+        }
+        case SessionFaultKind::MidBatchDisconnect: {
+          // Clean teardown before this line; the client reconnects and
+          // resumes (the daemon keeps tenant state across sessions).
+          ++metrics_.disconnects;
+          metrics_.count(spec.kind);
+          if (!out.sessions.back().empty()) out.sessions.emplace_back();
+          break;
+        }
+      }
+      if (drop_this) break;
+    }
+
+    if (drop_this) {
+      ++metrics_.dropped_lines;
+      continue;
+    }
+    out.sessions.back().push_back(std::move(line));
+  }
+
+  if (out.sessions.back().empty()) out.sessions.pop_back();
+  out.metrics = metrics_;
+  return out;
+}
+
+const std::vector<ServeScenario>& serve_scenarios() {
+  static const std::vector<ServeScenario> catalogue = [] {
+    std::vector<ServeScenario> list;
+
+    {
+      ServeScenario s;
+      s.name = "serve-garbage";
+      s.summary =
+          "protocol confusion: garbage and truncated lines mixed into an "
+          "otherwise healthy stream";
+      s.specs = {
+          {SessionFaultKind::GarbageLine, 0.20, 0, 0, UINT64_MAX},
+          {SessionFaultKind::TruncatedLine, 0.15, 0.3, 0, UINT64_MAX},
+      };
+      s.max_reject_rate = 0.45;
+      list.push_back(std::move(s));
+    }
+    {
+      ServeScenario s;
+      s.name = "serve-flood";
+      s.summary =
+          "runaway client: bursts of low-priority heavy samples that must "
+          "be shed without hurting the well-behaved tenants";
+      s.specs = {
+          {SessionFaultKind::FloodBurst, 0.10, 8, 0, UINT64_MAX},
+      };
+      s.max_reject_rate = 0.60;
+      s.expect_shed = true;
+      list.push_back(std::move(s));
+    }
+    {
+      ServeScenario s;
+      s.name = "serve-disconnect";
+      s.summary =
+          "flaky transport: sessions torn down mid-batch, clients "
+          "reconnect and resume";
+      s.specs = {
+          {SessionFaultKind::MidBatchDisconnect, 0.08, 0, 0, UINT64_MAX},
+      };
+      s.max_reject_rate = 0.10;
+      list.push_back(std::move(s));
+    }
+    {
+      ServeScenario s;
+      s.name = "serve-stall";
+      s.summary =
+          "hung clients: sessions stall and drop request runs on the "
+          "floor before reconnecting";
+      s.specs = {
+          {SessionFaultKind::StalledSession, 0.05, 6, 0, UINT64_MAX},
+      };
+      s.max_reject_rate = 0.30;
+      list.push_back(std::move(s));
+    }
+    {
+      ServeScenario s;
+      s.name = "serve-storm";
+      s.summary =
+          "everything at once: garbage, truncation, floods, stalls and "
+          "disconnects against one daemon";
+      s.specs = {
+          {SessionFaultKind::GarbageLine, 0.10, 0, 0, UINT64_MAX},
+          {SessionFaultKind::TruncatedLine, 0.08, 0.3, 0, UINT64_MAX},
+          {SessionFaultKind::FloodBurst, 0.06, 8, 0, UINT64_MAX},
+          {SessionFaultKind::StalledSession, 0.03, 4, 0, UINT64_MAX},
+          {SessionFaultKind::MidBatchDisconnect, 0.05, 0, 0, UINT64_MAX},
+      };
+      s.max_reject_rate = 0.70;
+      s.expect_shed = true;
+      list.push_back(std::move(s));
+    }
+
+    return list;
+  }();
+  return catalogue;
+}
+
+const ServeScenario& serve_scenario_by_name(const std::string& name) {
+  for (const ServeScenario& scenario : serve_scenarios()) {
+    if (scenario.name == name) return scenario;
+  }
+  std::string known;
+  for (const ServeScenario& scenario : serve_scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += scenario.name;
+  }
+  throw std::runtime_error("unknown serve scenario \"" + name +
+                           "\" (known: " + known + ")");
+}
+
+bool is_serve_scenario(const std::string& name) {
+  for (const ServeScenario& scenario : serve_scenarios()) {
+    if (scenario.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace cig::fault

@@ -1,0 +1,136 @@
+// Deterministic session-level fault injection for the serve daemon.
+//
+// Where fault::FaultInjector perturbs the simulation pipeline *inside* a
+// request, the session injector perturbs the request stream itself — the
+// hostile-client failure modes a long-running daemon actually meets:
+//
+//   - truncated request lines (client died mid-write)
+//   - garbage lines (protocol confusion, port scanners)
+//   - flood bursts (a runaway client hammering low-value requests)
+//   - stalled sessions (client hangs, lines lost, then reconnects)
+//   - mid-batch disconnects (connection torn down with work in flight)
+//
+// The injector rewrites a well-formed request script into a sequence of
+// client sessions with faults applied. Every mutation is a pure function
+// of (seed, spec index, line index) — the same splitmix64 stream idiom as
+// FaultInjector — so a fixed seed reproduces the exact same hostile
+// stream regardless of jobs or call order.
+//
+// A ServeScenario bundles session fault specs with the SLO the overload
+// plane must hold under them (max reject rate, bounded decide p99, no
+// torn state). `serve::run_serve_chaos` (serve/chaos.h) executes one; the
+// catalogue lives here so `cigtool chaos` can enumerate serve rows next
+// to the controller rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stat_registry.h"
+
+namespace cig::fault {
+
+enum class SessionFaultKind {
+  TruncatedLine = 0,  // line cut mid-byte: malformed JSON reaches the parser
+  GarbageLine,        // non-protocol bytes injected before a line
+  FloodBurst,         // burst of low-priority heavy requests from one tenant
+  StalledSession,     // session breaks, the next lines are lost on the floor
+  MidBatchDisconnect,  // session breaks cleanly; the client reconnects
+};
+
+const char* session_fault_kind_name(SessionFaultKind kind);
+constexpr std::size_t kSessionFaultKindCount = 5;
+
+struct SessionFaultSpec {
+  SessionFaultKind kind = SessionFaultKind::GarbageLine;
+  // Per-line firing probability in [0, 1].
+  double probability = 1.0;
+  // Kind-specific strength: fraction of the line retained (TruncatedLine),
+  // burst length (FloodBurst), lines lost (StalledSession); unused
+  // otherwise.
+  double magnitude = 0.1;
+  // Active line-index window over the base script, inclusive.
+  std::uint64_t first_line = 0;
+  std::uint64_t last_line = UINT64_MAX;
+};
+
+// What the injector did, per kind, plus totals. Exported as
+// `fault.session.*`.
+struct SessionFaultMetrics {
+  std::uint64_t by_kind[kSessionFaultKindCount] = {};
+  std::uint64_t total = 0;
+  std::uint64_t mutated_lines = 0;   // truncated in place
+  std::uint64_t injected_lines = 0;  // garbage + flood lines added
+  std::uint64_t dropped_lines = 0;   // lost to stalls
+  std::uint64_t disconnects = 0;     // session splits (stall + disconnect)
+
+  void count(SessionFaultKind kind);
+  void export_to(sim::StatRegistry& registry) const;
+};
+
+// The mutated request stream: an ordered list of client sessions, each a
+// list of request lines. The serve chaos driver feeds the sessions to one
+// Server in order (a disconnect ends one session; the next session models
+// the reconnect).
+struct MutatedStream {
+  std::vector<std::vector<std::string>> sessions;
+  SessionFaultMetrics metrics;
+};
+
+class SessionFaultInjector {
+ public:
+  SessionFaultInjector(std::vector<SessionFaultSpec> specs,
+                       std::uint64_t seed);
+
+  // Tenant/board the flood bursts impersonate. The flood opens with a
+  // hello so the burst exercises admission control rather than dying as
+  // unknown-tenant rejects.
+  void set_flood_target(std::string tenant, std::string board);
+
+  // Rewrites the base script (one request line per element) into faulted
+  // client sessions. Pure function of (specs, seed, lines).
+  MutatedStream mutate(const std::vector<std::string>& lines);
+
+  const SessionFaultMetrics& metrics() const { return metrics_; }
+
+ private:
+  std::uint64_t stream_seed(std::size_t spec_index,
+                            std::uint64_t line_index) const;
+  bool fires(const SessionFaultSpec& spec, std::size_t spec_index,
+             std::uint64_t line_index) const;
+
+  std::vector<SessionFaultSpec> specs_;
+  std::uint64_t seed_;
+  std::string flood_tenant_ = "flood";
+  std::string flood_board_ = "tx2";
+  SessionFaultMetrics metrics_;
+};
+
+// A serve-layer chaos scenario: session faults plus the SLO bounds the
+// overload plane must hold under them. Pure data; executed by
+// serve::run_serve_chaos.
+struct ServeScenario {
+  std::string name;
+  std::string summary;
+  std::vector<SessionFaultSpec> specs;
+  // SLO: at most this fraction of requests may be answered with an error
+  // (admission rejects, parse errors and protocol errors all count).
+  double max_reject_rate = 0.9;
+  // SLO: the aggregate decide-latency p99 (simulated µs) of the work that
+  // WAS admitted stays under this bound — shedding must protect the
+  // admitted requests' latency, not just the daemon's life.
+  double p99_bound_us = 1.0e6;
+  // When true the scenario is expected to push the daemon into shedding
+  // (serve.shed > 0); the cell fails if the overload never materialized.
+  bool expect_shed = false;
+};
+
+// Serve scenario catalogue, stable order. Names are disjoint from
+// all_scenarios() (controller rows); `is_serve_scenario` routes a mixed
+// --scenarios list.
+const std::vector<ServeScenario>& serve_scenarios();
+const ServeScenario& serve_scenario_by_name(const std::string& name);
+bool is_serve_scenario(const std::string& name);
+
+}  // namespace cig::fault

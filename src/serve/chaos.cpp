@@ -1,0 +1,206 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "fault/chaos.h"
+#include "serve/crashtest.h"
+#include "serve/server.h"
+#include "support/log.h"
+
+namespace cig::serve {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+OverloadConfig chaos_overload_config() {
+  OverloadConfig config;
+  // Watermarks tight enough that an 8-deep burst of iterations=4 samples
+  // (cost 32) genuinely overloads the queue, loose enough that the
+  // well-behaved base load (cost ~1/line against drain 1/line) never
+  // sheds.
+  config.queue_high = 12;
+  config.queue_low = 4;
+  config.quarantine_after = 3;
+  config.quarantine_cooldown = 32;
+  return config;
+}
+
+ServeChaosResult run_serve_chaos(const fault::ServeScenario& scenario,
+                                 const ServeChaosOptions& options) {
+  ServeChaosResult result;
+  result.board = options.board;
+  result.scenario = scenario.name;
+  result.seed = options.seed;
+  result.max_reject_rate = scenario.max_reject_rate;
+  result.p99_bound_us = scenario.p99_bound_us;
+  result.expect_shed = scenario.expect_shed;
+
+  // Base script: the crashtest's deterministic multi-tenant session, sans
+  // shutdown — the chaos stream ends by running out, not by client fiat.
+  ScriptOptions script;
+  script.tenants = options.tenants;
+  script.samples_per_tenant = options.samples_per_tenant;
+  script.board = options.board;
+  script.shutdown = false;
+  const std::vector<std::string> base = split_lines(scripted_session(script));
+
+  fault::SessionFaultInjector injector(
+      scenario.specs,
+      fault::cell_seed(options.seed, options.board, scenario.name));
+  injector.set_flood_target("flood", options.board);
+  fault::MutatedStream stream = injector.mutate(base);
+  result.session_metrics = stream.metrics;
+  result.sessions = stream.sessions.size();
+  for (const auto& session : stream.sessions) {
+    result.lines_fed += session.size();
+  }
+
+  ServeOptions serve_options;
+  serve_options.resident_budget = options.resident_budget;
+  serve_options.batch_max = options.batch_max;
+  serve_options.jobs = options.jobs;
+  serve_options.cache_dir = options.cache_dir;
+  serve_options.overload = options.overload;
+  Server server(std::move(serve_options));
+
+  for (const auto& session : stream.sessions) {
+    std::ostringstream joined;
+    for (const std::string& line : session) joined << line << '\n';
+    std::istringstream in(joined.str());
+    std::ostringstream out;
+    const int code = server.run(in, out);
+    result.exit_worst = std::max(result.exit_worst, code);
+  }
+
+  const ServeMetrics& metrics = server.metrics();
+  result.requests = metrics.requests;
+  result.replies = metrics.replies;
+  result.errors = metrics.errors;
+  result.parse_errors = metrics.parse_errors;
+  result.samples = metrics.samples;
+  result.decides = metrics.decides;
+  result.rejected = metrics.rejected;
+  result.shed = metrics.shed;
+  result.rate_limited = metrics.rate_limited;
+  result.deadline_expired = metrics.deadline_expired;
+  result.quarantine_rejected = metrics.quarantine_rejected;
+  result.quarantine_trips = metrics.quarantine_trips;
+  result.torn = result.exit_worst == 3;
+
+  result.reject_rate =
+      result.requests == 0
+          ? 0.0
+          : static_cast<double>(result.errors) /
+                static_cast<double>(result.requests);
+  result.p50_us = metrics.decide_us.percentile(0.50);
+  result.p95_us = metrics.decide_us.percentile(0.95);
+  result.p99_us = metrics.decide_us.percentile(0.99);
+
+  // --- SLO verdict -------------------------------------------------------
+  if (result.replies != result.requests) {
+    result.violations.push_back(
+        "reply stream desynchronized: " + std::to_string(result.replies) +
+        " replies for " + std::to_string(result.requests) + " requests");
+  }
+  if (result.torn) {
+    result.violations.push_back("torn state: a session exited 3");
+  } else if (result.exit_worst != 0) {
+    result.violations.push_back("session exit code " +
+                                std::to_string(result.exit_worst));
+  }
+  if (result.reject_rate > scenario.max_reject_rate) {
+    result.violations.push_back(
+        "reject rate " + std::to_string(result.reject_rate) +
+        " above SLO bound " + std::to_string(scenario.max_reject_rate));
+  }
+  if (result.samples > 0 && result.p99_us > scenario.p99_bound_us) {
+    result.violations.push_back(
+        "decide p99 " + std::to_string(result.p99_us) +
+        "us above SLO bound " + std::to_string(scenario.p99_bound_us) +
+        "us");
+  }
+  if (scenario.expect_shed && result.shed == 0) {
+    result.violations.push_back(
+        "expected overload never materialized (serve.shed == 0)");
+  }
+  result.passed = result.violations.empty();
+
+  CIG_LOG_C(result.passed ? LogLevel::Info : LogLevel::Warn, "chaos",
+            "serve cell " << scenario.name << " @ " << options.board << ": "
+                          << (result.passed ? "pass" : "FAIL") << " reject="
+                          << result.reject_rate << " shed=" << result.shed
+                          << " p99=" << result.p99_us << "us");
+  return result;
+}
+
+Json ServeChaosResult::to_json() const {
+  Json doc;
+  doc["board"] = Json(board);
+  doc["scenario"] = Json(scenario);
+  doc["seed"] = Json(static_cast<double>(seed));
+  doc["sessions"] = Json(static_cast<double>(sessions));
+  doc["lines_fed"] = Json(static_cast<double>(lines_fed));
+
+  Json counters;
+  counters["requests"] = Json(static_cast<double>(requests));
+  counters["replies"] = Json(static_cast<double>(replies));
+  counters["errors"] = Json(static_cast<double>(errors));
+  counters["parse_errors"] = Json(static_cast<double>(parse_errors));
+  counters["samples"] = Json(static_cast<double>(samples));
+  counters["decides"] = Json(static_cast<double>(decides));
+  counters["rejected"] = Json(static_cast<double>(rejected));
+  counters["shed"] = Json(static_cast<double>(shed));
+  counters["rate_limited"] = Json(static_cast<double>(rate_limited));
+  counters["deadline_expired"] = Json(static_cast<double>(deadline_expired));
+  counters["quarantine_rejected"] =
+      Json(static_cast<double>(quarantine_rejected));
+  counters["quarantine_trips"] = Json(static_cast<double>(quarantine_trips));
+  doc["counters"] = std::move(counters);
+
+  Json session_faults;
+  session_faults["total"] =
+      Json(static_cast<double>(session_metrics.total));
+  session_faults["mutated_lines"] =
+      Json(static_cast<double>(session_metrics.mutated_lines));
+  session_faults["injected_lines"] =
+      Json(static_cast<double>(session_metrics.injected_lines));
+  session_faults["dropped_lines"] =
+      Json(static_cast<double>(session_metrics.dropped_lines));
+  session_faults["disconnects"] =
+      Json(static_cast<double>(session_metrics.disconnects));
+  doc["session_faults"] = std::move(session_faults);
+
+  doc["reject_rate"] = Json(reject_rate);
+  doc["p50_us"] = Json(p50_us);
+  doc["p95_us"] = Json(p95_us);
+  doc["p99_us"] = Json(p99_us);
+  doc["exit_worst"] = Json(static_cast<double>(exit_worst));
+  doc["torn"] = Json(torn);
+
+  Json slo;
+  slo["max_reject_rate"] = Json(max_reject_rate);
+  slo["p99_bound_us"] = Json(p99_bound_us);
+  slo["expect_shed"] = Json(expect_shed);
+  doc["slo"] = std::move(slo);
+
+  Json list = JsonArray{};
+  for (const std::string& v : violations) list.push_back(Json(v));
+  doc["violations"] = std::move(list);
+  doc["passed"] = Json(passed);
+  return doc;
+}
+
+}  // namespace cig::serve

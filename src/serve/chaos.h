@@ -1,0 +1,102 @@
+// Serve-layer chaos driver: runs one fault::ServeScenario against one
+// in-process Server with the overload plane enabled, and holds the result
+// to the scenario's SLO bounds.
+//
+// The driver builds a well-formed multi-tenant request script (the same
+// shape as the crashtest's scripted_session), mutates it through
+// fault::SessionFaultInjector into hostile client sessions, and feeds the
+// sessions to a single Server in order — a disconnect ends one run() call,
+// the next session models the reconnect against the same daemon state.
+//
+// SLO checks per cell:
+//   - reply stream stays synchronized (one reply per request line)
+//   - error rate (admission rejects + protocol + eval errors) stays under
+//     the scenario's max_reject_rate
+//   - the decide-latency p99 of admitted work stays under p99_bound_us
+//   - no torn state (run() never returns 3)
+//   - scenarios marked expect_shed actually pushed the daemon into
+//     shedding (the overload must materialize, or the cell is vacuous)
+//
+// Every cell is deterministic for a fixed seed: the session mutations are
+// per-(spec, line) streams, the daemon's admission decisions are pure
+// functions of the serial line counter, and the result serializes through
+// the byte-stable Json dump — so reruns and different --jobs settings emit
+// identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/session.h"
+#include "serve/overload.h"
+#include "support/json.h"
+
+namespace cig::serve {
+
+// The admission configuration every serve chaos cell runs under: tight
+// watermarks so floods genuinely overload the daemon, quarantine armed.
+OverloadConfig chaos_overload_config();
+
+struct ServeChaosOptions {
+  std::uint64_t seed = 42;
+  std::string board = "tx2";
+  int tenants = 6;
+  int samples_per_tenant = 12;
+  int jobs = 1;
+  std::size_t batch_max = 16;
+  std::uint64_t resident_budget = 4;
+  // Characterization cache shared across cells (test fixtures pass one);
+  // empty = characterize from scratch.
+  std::string cache_dir;
+  OverloadConfig overload = chaos_overload_config();
+};
+
+struct ServeChaosResult {
+  std::string board;
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  // Stream shape after mutation.
+  std::uint64_t sessions = 0;
+  std::uint64_t lines_fed = 0;
+
+  // Daemon counters after the last session.
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t decides = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t quarantine_rejected = 0;
+  std::uint64_t quarantine_trips = 0;
+
+  double reject_rate = 0;  // errors / requests
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+
+  int exit_worst = 0;
+  bool torn = false;
+
+  fault::SessionFaultMetrics session_metrics;
+
+  // Echo of the scenario's SLO plus the verdict.
+  double max_reject_rate = 0;
+  double p99_bound_us = 0;
+  bool expect_shed = false;
+  std::vector<std::string> violations;
+  bool passed = false;
+
+  // Byte-deterministic summary (fixed seed => identical dump()).
+  Json to_json() const;
+};
+
+ServeChaosResult run_serve_chaos(const fault::ServeScenario& scenario,
+                                 const ServeChaosOptions& options = {});
+
+}  // namespace cig::serve

@@ -146,9 +146,24 @@ std::string compare_state_dirs(const fs::path& golden, const fs::path& got) {
 
 std::string scripted_session(const ScriptOptions& options) {
   std::ostringstream out;
+  const auto ghosts = [&] {
+    // Requests for a tenant that never sent a hello: deterministic
+    // unknown-tenant errors that accumulate quarantine strikes.
+    for (int g = 0; g < options.ghost_requests; ++g) {
+      out << "{\"op\":\"decide\",\"tenant\":\"ghost\"}\n";
+    }
+  };
   for (int t = 0; t < options.tenants; ++t) {
     out << "{\"op\":\"hello\",\"tenant\":\"" << tenant_name(t)
         << "\",\"board\":\"" << options.board << "\"}\n";
+  }
+  ghosts();
+  // Flood burst: heavy low-priority samples from the first tenant. Each
+  // costs 4 admission units against a drain of 1/line, so an armed
+  // watermark trips into shedding partway through the burst.
+  for (int f = 0; f < options.flood_burst; ++f) {
+    out << "{\"op\":\"sample\",\"tenant\":\"" << tenant_name(0)
+        << "\",\"heavy\":true,\"iterations\":4,\"priority\":0}\n";
   }
   for (int s = 0; s < options.samples_per_tenant; ++s) {
     const bool heavy = (s % 4) >= 2;  // two light, two heavy per cycle
@@ -157,6 +172,9 @@ std::string scripted_session(const ScriptOptions& options) {
           << "\",\"heavy\":" << (heavy ? "true" : "false") << "}\n";
     }
   }
+  // Second ghost cluster, far enough past the first that a tripped
+  // quarantine has cooled down: strikes accumulate to a second trip.
+  ghosts();
   if (options.decide) {
     for (int t = 0; t < options.tenants; ++t) {
       out << "{\"op\":\"decide\",\"tenant\":\"" << tenant_name(t) << "\"}\n";
@@ -179,125 +197,164 @@ fault::CrashTestReport run_serve_crashtest(
   fs::create_directories(options.scratch_dir);
   const fs::path scratch(options.scratch_dir);
 
-  ScriptOptions script_options;
-  script_options.tenants = options.tenants;
-  script_options.samples_per_tenant = options.samples_per_tenant;
-  script_options.board = options.board;
-  const std::string script = scripted_session(script_options);
-  const fs::path script_path = scratch / "script.jsonl";
-  persist::atomic_write_file(script_path.string(), script);
-
   const std::string cache_dir = options.cache_dir.empty()
                                     ? (scratch / "cache").string()
                                     : options.cache_dir;
-  const auto serve_cmd = [&](const fs::path& state_dir, int jobs) {
-    return shell_quote(options.cigtool) + " serve --state-dir " +
-           shell_quote(state_dir.string()) + " --resident-budget " +
-           std::to_string(options.resident_budget) + " --batch-max " +
-           std::to_string(options.batch_max) + " --jobs " +
-           std::to_string(jobs) + " --cache-dir " + shell_quote(cache_dir) +
-           " < " + shell_quote(script_path.string());
-  };
-
-  // Golden run: uninterrupted, serial reference path. Every recovered
-  // state directory must match these bytes exactly.
-  const fs::path golden_state = scratch / "golden" / "state";
-  std::error_code ec;
-  fs::remove_all(scratch / "golden", ec);
-  fs::create_directories(golden_state);
-  const int golden_exit =
-      run_child(serve_cmd(golden_state, 1) + " > " +
-                shell_quote((scratch / "golden" / "serve.log").string()) +
-                " 2>&1");
-  if (golden_exit != 0) {
-    throw std::runtime_error("serve crashtest: golden run failed (exit " +
-                             std::to_string(golden_exit) + ")");
-  }
-
-  const std::vector<std::string>& seams =
-      options.seams.empty() ? serve_crash_seams() : options.seams;
   const std::uint64_t occurrences =
       options.occurrences == 0 ? 1 : options.occurrences;
+  std::error_code ec;
 
   fault::CrashTestReport report;
   report.samples = static_cast<std::uint64_t>(options.tenants) *
                    static_cast<std::uint64_t>(options.samples_per_tenant);
 
-  for (const std::string& seam : seams) {
-    for (std::uint64_t nth = 1; nth <= occurrences; ++nth) {
-      fault::CrashTestCell cell;
-      cell.seam = seam;
-      cell.nth = nth;
+  // One block = one script + one flag set + one golden run + a grid of
+  // crash/recover cells over a seam list. The base matrix and the
+  // overload-plane matrix are two blocks over the same machinery.
+  const auto run_block = [&](const std::string& label,
+                             const fs::path& script_path,
+                             const std::string& extra_flags,
+                             const std::vector<std::string>& seams) {
+    const auto serve_cmd = [&](const fs::path& state_dir, int jobs) {
+      return shell_quote(options.cigtool) + " serve --state-dir " +
+             shell_quote(state_dir.string()) + " --resident-budget " +
+             std::to_string(options.resident_budget) + " --batch-max " +
+             std::to_string(options.batch_max) + " --jobs " +
+             std::to_string(jobs) + " --cache-dir " + shell_quote(cache_dir) +
+             extra_flags + " < " + shell_quote(script_path.string());
+    };
 
-      const fs::path dir = scratch / cell_dir_name(seam, nth);
-      fs::remove_all(dir, ec);
-      const fs::path state = dir / "state";
-      fs::create_directories(state);
+    // Golden run: uninterrupted, serial reference path. Every recovered
+    // state directory must match these bytes exactly.
+    const fs::path golden_root =
+        scratch / (label.empty() ? "golden" : "golden-" + label);
+    const fs::path golden_state = golden_root / "state";
+    fs::remove_all(golden_root, ec);
+    fs::create_directories(golden_state);
+    const int golden_exit =
+        run_child(serve_cmd(golden_state, 1) + " > " +
+                  shell_quote((golden_root / "serve.log").string()) +
+                  " 2>&1");
+    if (golden_exit != 0) {
+      throw std::runtime_error("serve crashtest: golden run" +
+                               (label.empty() ? std::string()
+                                              : " (" + label + ")") +
+                               " failed (exit " +
+                               std::to_string(golden_exit) + ")");
+    }
 
-      // Phase 1: armed child dies like a power cut at the n-th seam hit.
-      const std::string crash_cmd =
-          "CIG_CRASH_AT=" + shell_quote(seam + ":" + std::to_string(nth)) +
-          " " + serve_cmd(state, 2) + " > " +
-          shell_quote((dir / "crash.log").string()) + " 2>&1";
-      cell.crash_exit = run_child(crash_cmd);
+    for (const std::string& seam : seams) {
+      for (std::uint64_t nth = 1; nth <= occurrences; ++nth) {
+        fault::CrashTestCell cell;
+        cell.seam = seam;
+        cell.nth = nth;
 
-      if (cell.crash_exit == 0) {
-        cell.detail = "seam never fired; run completed";
-      } else if (cell.crash_exit != fault::kCrashExitCode) {
-        cell.violation = true;
-        cell.detail = "crash child failed unexpectedly (exit " +
-                      std::to_string(cell.crash_exit) + ")";
-      } else {
-        cell.exercised = true;
+        const fs::path dir =
+            scratch / (label.empty() ? cell_dir_name(seam, nth)
+                                     : label + "_" + cell_dir_name(seam, nth));
+        fs::remove_all(dir, ec);
+        const fs::path state = dir / "state";
+        fs::create_directories(state);
 
-        // Phase 2: a fresh daemon recovers the manifest and the client
-        // re-feeds the whole script (at-least-once delivery); replayed
-        // samples are deduplicated server-side.
-        const fs::path recover_log = dir / "recover.log";
-        cell.recover_exit =
-            run_child(serve_cmd(state, 2) + " > " +
-                      shell_quote(recover_log.string()) + " 2>&1");
+        // Phase 1: armed child dies like a power cut at the n-th seam hit.
+        const std::string crash_cmd =
+            "CIG_CRASH_AT=" + shell_quote(seam + ":" + std::to_string(nth)) +
+            " " + serve_cmd(state, 2) + " > " +
+            shell_quote((dir / "crash.log").string()) + " 2>&1";
+        cell.crash_exit = run_child(crash_cmd);
 
-        if (cell.recover_exit != 0 && cell.recover_exit != 3) {
+        if (cell.crash_exit == 0) {
+          cell.detail = "seam never fired; run completed";
+        } else if (cell.crash_exit != fault::kCrashExitCode) {
           cell.violation = true;
-          cell.detail = "recovery failed (exit " +
-                        std::to_string(cell.recover_exit) + ")";
+          cell.detail = "crash child failed unexpectedly (exit " +
+                        std::to_string(cell.crash_exit) + ")";
         } else {
-          cell.torn_recovered = cell.recover_exit == 3;
-          cell.resumed = read_file(recover_log).find("\"replayed\":true") !=
-                         std::string::npos;
-          const std::string diff = compare_state_dirs(golden_state, state);
-          // A recovery that actually resumed (or discarded torn state) must
-          // also have left its flight-recorder dump behind.
-          const std::string dump_problem =
-              (cell.resumed || cell.torn_recovered) ? check_recovery_dump(state)
-                                                    : std::string();
-          if (!diff.empty()) {
+          cell.exercised = true;
+
+          // Phase 2: a fresh daemon recovers the manifest and the client
+          // re-feeds the whole script (at-least-once delivery); replayed
+          // samples are deduplicated server-side.
+          const fs::path recover_log = dir / "recover.log";
+          cell.recover_exit =
+              run_child(serve_cmd(state, 2) + " > " +
+                        shell_quote(recover_log.string()) + " 2>&1");
+
+          if (cell.recover_exit != 0 && cell.recover_exit != 3) {
             cell.violation = true;
-            cell.detail = "recovered state diverges: " + diff;
-          } else if (!dump_problem.empty()) {
-            cell.violation = true;
-            cell.detail = dump_problem;
+            cell.detail = "recovery failed (exit " +
+                          std::to_string(cell.recover_exit) + ")";
           } else {
-            cell.identical = true;
-            cell.detail =
-                std::string(cell.resumed ? "resumed from checkpoints"
-                                         : "cold start") +
-                (cell.torn_recovered ? ", torn state discarded" : "") +
-                ", state byte-identical";
+            cell.torn_recovered = cell.recover_exit == 3;
+            cell.resumed = read_file(recover_log).find("\"replayed\":true") !=
+                           std::string::npos;
+            const std::string diff = compare_state_dirs(golden_state, state);
+            // A recovery that actually resumed (or discarded torn state)
+            // must also have left its flight-recorder dump behind.
+            const std::string dump_problem =
+                (cell.resumed || cell.torn_recovered)
+                    ? check_recovery_dump(state)
+                    : std::string();
+            if (!diff.empty()) {
+              cell.violation = true;
+              cell.detail = "recovered state diverges: " + diff;
+            } else if (!dump_problem.empty()) {
+              cell.violation = true;
+              cell.detail = dump_problem;
+            } else {
+              cell.identical = true;
+              cell.detail =
+                  std::string(cell.resumed ? "resumed from checkpoints"
+                                           : "cold start") +
+                  (cell.torn_recovered ? ", torn state discarded" : "") +
+                  ", state byte-identical";
+            }
           }
         }
-      }
 
-      if (cell.exercised) ++report.exercised;
-      if (cell.violation) ++report.violations;
-      if (cell.torn_recovered) ++report.torn_recoveries;
-      CIG_LOG_C(cell.violation ? ::cig::LogLevel::Warn : ::cig::LogLevel::Info,
-                "crashtest",
-                "serve " << cell.seam << " hit " << cell.nth << ": "
-                         << cell.detail);
-      report.cells.push_back(std::move(cell));
+        if (cell.exercised) ++report.exercised;
+        if (cell.violation) ++report.violations;
+        if (cell.torn_recovered) ++report.torn_recoveries;
+        CIG_LOG_C(
+            cell.violation ? ::cig::LogLevel::Warn : ::cig::LogLevel::Info,
+            "crashtest",
+            "serve " << (label.empty() ? "" : label + " ") << cell.seam
+                     << " hit " << cell.nth << ": " << cell.detail);
+        report.cells.push_back(std::move(cell));
+      }
     }
+  };
+
+  // --- Base block: well-behaved script, overload plane off ---------------
+  ScriptOptions script_options;
+  script_options.tenants = options.tenants;
+  script_options.samples_per_tenant = options.samples_per_tenant;
+  script_options.board = options.board;
+  const fs::path script_path = scratch / "script.jsonl";
+  persist::atomic_write_file(script_path.string(),
+                             scripted_session(script_options));
+
+  const std::vector<std::string>& base_seams =
+      options.seams.empty() ? serve_crash_seams() : options.seams;
+  run_block("", script_path, "", base_seams);
+
+  // --- Overload block: hostile script, admission + quarantine armed ------
+  // A flood burst and a ghost tenant drive the daemon through its shed and
+  // quarantine-trip seams; killing at those seams checks the overload plane
+  // crashes just as recoverably as the happy path. Watermarks are tight
+  // (high 6 against cost-4 flood lines) and quarantine trips on the second
+  // strike, so both seams fire at least twice within the script.
+  if (options.overload_cells && options.seams.empty()) {
+    ScriptOptions hostile = script_options;
+    hostile.flood_burst = 6;
+    hostile.ghost_requests = 3;
+    const fs::path hostile_path = scratch / "script-overload.jsonl";
+    persist::atomic_write_file(hostile_path.string(),
+                               scripted_session(hostile));
+    run_block("overload", hostile_path,
+              " --queue-high 6 --queue-low 2 --quarantine-after 2"
+              " --quarantine-cooldown 16",
+              serve_overload_crash_seams());
   }
   return report;
 }

@@ -31,6 +31,13 @@ struct ScriptOptions {
   bool decide = true;
   bool checkpoint = true;
   bool shutdown = true;
+  // Hostile-traffic knobs for the overload crash cells (0 disables each):
+  // a burst of low-priority heavy samples from the first tenant — shed
+  // rejects once admission control is armed — and repeated requests for an
+  // unregistered "ghost" tenant, whose unknown-tenant errors accumulate
+  // quarantine strikes.
+  int flood_burst = 0;
+  int ghost_requests = 0;
 };
 std::string scripted_session(const ScriptOptions& options);
 
@@ -50,6 +57,11 @@ struct ServeCrashTestOptions {
   // the scratch dir): children re-characterize the board otherwise, which
   // multiplies the matrix wall time by the characterization cost.
   std::string cache_dir;
+  // Run the overload-plane cell block too: a second golden run over a
+  // hostile script (flood burst + ghost tenant) with admission control and
+  // quarantine armed, killed at each serve_overload_crash_seams() seam.
+  // Ignored when `seams` is non-empty (explicit seams run the base block).
+  bool overload_cells = true;
 };
 
 // Runs the full matrix; reuses the fault-layer report shape. Throws on

@@ -32,6 +32,13 @@ void ServeMetrics::export_to(sim::StatRegistry& registry,
   set("serve.slow_requests", slow_requests);
   set("serve.scrapes", scrapes);
   set("serve.flight.dumps", flight_dumps);
+  set("serve.rejected", rejected);
+  set("serve.shed", shed);
+  set("serve.rate_limited", rate_limited);
+  set("serve.deadline_expired", deadline_expired);
+  set("serve.quarantined", quarantine_trips);
+  set("serve.quarantine.rejected", quarantine_rejected);
+  set("serve.drains", drains);
   decide_us.export_to(registry, "serve.decide_us");
 }
 

@@ -39,6 +39,15 @@ struct ServeMetrics {
   std::uint64_t scrapes = 0;         // HTTP observability requests served
   std::uint64_t flight_dumps = 0;    // flight-recorder dumps written
 
+  // Overload-control counters (PRs 9+): admission rejects by verdict.
+  std::uint64_t rejected = 0;            // all admission rejects
+  std::uint64_t shed = 0;                // watermark load shedding
+  std::uint64_t rate_limited = 0;        // tenant token bucket empty
+  std::uint64_t deadline_expired = 0;    // rejected before evaluation
+  std::uint64_t quarantine_rejected = 0; // rejected while quarantined
+  std::uint64_t quarantine_trips = 0;    // tenants tripped into quarantine
+  std::uint64_t drains = 0;              // graceful drains begun (0 or 1)
+
   // Aggregate per-sample decision latency (simulated µs) across all
   // tenants; exported as serve.decide_us.count/mean/min/max/p50/p95/p99.
   obs::Histogram decide_us;

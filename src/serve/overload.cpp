@@ -1,0 +1,208 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace cig::serve {
+
+namespace {
+
+// ceil() on a non-negative double into a backoff hint of at least 1ms, so
+// a client that honors retry_after_ms never busy-loops.
+std::uint64_t ceil_ms(double value) {
+  if (!(value > 0)) return 1;
+  return static_cast<std::uint64_t>(std::ceil(value));
+}
+
+}  // namespace
+
+const char* admission_verdict_name(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::Admit: return "admit";
+    case AdmissionVerdict::Shed: return "overloaded";
+    case AdmissionVerdict::RateLimited: return "rate-limited";
+    case AdmissionVerdict::DeadlineExpired: return "deadline-expired";
+    case AdmissionVerdict::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const OverloadConfig& config)
+    : config_(config) {
+  CIG_EXPECTS(config_.queue_high >= 0);
+  CIG_EXPECTS(config_.drain_per_line > 0);
+  CIG_EXPECTS(config_.cost_sample > 0);
+  CIG_EXPECTS(config_.cost_light > 0);
+  CIG_EXPECTS(config_.service_us_per_unit > 0);
+  CIG_EXPECTS(config_.tenant_rate >= 0);
+  CIG_EXPECTS(config_.quarantine_cooldown > 0);
+  enabled_ = config_.queue_high > 0 || config_.tenant_rate > 0 ||
+             config_.default_deadline_us > 0 || config_.quarantine_after > 0;
+}
+
+double AdmissionController::effective_low() const {
+  if (config_.queue_low >= 0) {
+    return std::min(config_.queue_low, config_.queue_high);
+  }
+  return config_.queue_high / 2;
+}
+
+double AdmissionController::effective_burst() const {
+  if (config_.tenant_burst >= 0) return config_.tenant_burst;
+  return std::max(1.0, 16.0 * config_.tenant_rate);
+}
+
+void AdmissionController::on_line(std::uint64_t lineno) {
+  if (!enabled_) return;
+  const std::uint64_t elapsed = lineno > last_line_ ? lineno - last_line_ : 0;
+  last_line_ = lineno;
+  if (elapsed == 0) return;
+  queue_ = std::max(
+      0.0, queue_ - config_.drain_per_line * static_cast<double>(elapsed));
+  if (shedding_ && queue_ <= effective_low()) shedding_ = false;
+}
+
+double AdmissionController::request_cost(const Request& request) const {
+  if (request.op == Op::Sample) {
+    return config_.cost_sample * static_cast<double>(request.iterations);
+  }
+  return config_.cost_light;
+}
+
+std::uint32_t AdmissionController::shed_floor() const {
+  if (!shedding_ || config_.queue_high <= 0) return 0;
+  // The floor escalates with queue depth: light overload sheds only class
+  // 0, sustained overload classes <= 1, severe overload classes <= 2.
+  // Class kMaxPriority is never shed.
+  if (queue_ >= 2.0 * config_.queue_high) return 3;
+  if (queue_ >= 1.5 * config_.queue_high) return 2;
+  return 1;
+}
+
+AdmissionController::TenantBudget& AdmissionController::budget(
+    const std::string& tenant, std::uint64_t lineno) {
+  TenantBudget& b = budgets_[tenant];
+  if (!b.initialized) {
+    b.tokens = effective_burst();
+    b.last_refill = lineno;
+    b.initialized = true;
+    return b;
+  }
+  if (lineno > b.last_refill) {
+    const double refill =
+        config_.tenant_rate * static_cast<double>(lineno - b.last_refill);
+    b.tokens = std::min(effective_burst(), b.tokens + refill);
+    b.last_refill = lineno;
+  }
+  return b;
+}
+
+AdmissionDecision AdmissionController::admit(const Request& request,
+                                             std::uint64_t lineno) {
+  AdmissionDecision decision;
+  if (!enabled_) return decision;
+
+  // 1. Quarantine: a tripped tenant is rejected outright until cooldown.
+  if (config_.quarantine_after > 0 && !request.tenant.empty()) {
+    const auto it = health_.find(request.tenant);
+    if (it != health_.end() && it->second.quarantined_until > lineno) {
+      decision.verdict = AdmissionVerdict::Quarantined;
+      decision.retry_after_ms =
+          ceil_ms(static_cast<double>(it->second.quarantined_until - lineno));
+      decision.detail = "tenant quarantined after " +
+                        std::to_string(config_.quarantine_after) +
+                        " consecutive failures";
+      return decision;
+    }
+  }
+
+  const double cost = request_cost(request);
+
+  // 2. Watermark shedding with hysteresis and a priority floor.
+  if (config_.queue_high > 0) {
+    if (!shedding_ && queue_ + cost >= config_.queue_high) shedding_ = true;
+    const std::uint32_t floor = shed_floor();
+    if (shedding_ && request.priority < floor) {
+      decision.verdict = AdmissionVerdict::Shed;
+      decision.retry_after_ms =
+          ceil_ms((queue_ - effective_low()) / config_.drain_per_line);
+      decision.detail = "queue depth " + std::to_string(queue_) +
+                        " above high watermark; shedding priority < " +
+                        std::to_string(floor);
+      return decision;
+    }
+  }
+
+  // 3. Per-tenant token bucket.
+  if (config_.tenant_rate > 0 && !request.tenant.empty()) {
+    TenantBudget& b = budget(request.tenant, lineno);
+    if (b.tokens < cost) {
+      decision.verdict = AdmissionVerdict::RateLimited;
+      decision.retry_after_ms =
+          ceil_ms((cost - b.tokens) / config_.tenant_rate);
+      decision.detail = "tenant token bucket empty (rate " +
+                        std::to_string(config_.tenant_rate) + "/line)";
+      return decision;
+    }
+  }
+
+  // 4. Deadline screen: compare the deterministic queue-wait estimate to
+  // the request's (or the daemon's default) deadline before evaluation.
+  const std::uint64_t deadline_us =
+      request.deadline_us > 0 ? request.deadline_us
+                              : config_.default_deadline_us;
+  if (deadline_us > 0) {
+    const double wait_us = queue_ * config_.service_us_per_unit;
+    if (wait_us > static_cast<double>(deadline_us)) {
+      decision.verdict = AdmissionVerdict::DeadlineExpired;
+      decision.retry_after_ms = ceil_ms(
+          (wait_us - static_cast<double>(deadline_us)) / 1000.0);
+      decision.detail =
+          "estimated queue wait " +
+          std::to_string(static_cast<std::uint64_t>(wait_us)) +
+          "us exceeds deadline " + std::to_string(deadline_us) + "us";
+      return decision;
+    }
+  }
+
+  // Admit: charge the queue and the tenant bucket.
+  if (config_.queue_high > 0) queue_ += cost;
+  if (config_.tenant_rate > 0 && !request.tenant.empty()) {
+    budget(request.tenant, lineno).tokens -= cost;
+  }
+  return decision;
+}
+
+void AdmissionController::on_success(const std::string& tenant) {
+  if (config_.quarantine_after == 0 || tenant.empty()) return;
+  const auto it = health_.find(tenant);
+  if (it != health_.end()) it->second.strikes = 0;
+}
+
+bool AdmissionController::on_failure(const std::string& tenant,
+                                     std::uint64_t lineno) {
+  if (config_.quarantine_after == 0 || tenant.empty()) return false;
+  TenantHealth& health = health_[tenant];
+  if (health.quarantined_until > lineno) return false;  // already serving one
+  if (++health.strikes >= config_.quarantine_after) {
+    health.strikes = 0;
+    health.quarantined_until = lineno + config_.quarantine_cooldown;
+    ++health.trips;
+    return true;
+  }
+  return false;
+}
+
+std::size_t AdmissionController::quarantined_tenants(
+    std::uint64_t lineno) const {
+  std::size_t count = 0;
+  for (const auto& [tenant, health] : health_) {
+    (void)tenant;
+    if (health.quarantined_until > lineno) ++count;
+  }
+  return count;
+}
+
+}  // namespace cig::serve

@@ -1,0 +1,135 @@
+// Deterministic overload control for the serve daemon: admission
+// watermarks with hysteresis, priority-class load shedding, per-tenant
+// token-bucket rate limits, deadline screening and poison-tenant
+// quarantine.
+//
+// Everything here is a pure function of the serial request-line counter
+// and the request stream itself — no wall clock, no thread identity — so
+// `--jobs 1` and `--jobs 8` make byte-identical admission decisions. Time
+// is modeled the way the rest of the daemon models it: one input line is
+// one nominal millisecond of arrival time (the flight recorder's
+// `microsec(lineno)` clock), and queued work drains at a fixed rate per
+// line.
+//
+// The shape mirrors MemGuard-style per-client budgets one layer up: each
+// tenant gets a replenishing token budget, the pool gets a bounded virtual
+// work queue, and a misbehaving stream is quarantined instead of being
+// allowed to starve its neighbors (the same trip/cooldown idiom as
+// runtime::SwitchGuard).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace cig::serve {
+
+struct OverloadConfig {
+  // Virtual work-queue watermarks, in units of request cost. 0 disables
+  // admission control entirely. Shedding starts when the queue reaches
+  // `queue_high` and stops once it has drained to `queue_low` (< 0 means
+  // half of high) — classic hysteresis so the daemon does not flap.
+  double queue_high = 0;
+  double queue_low = -1;
+  // Work drained from the virtual queue per arriving input line, and the
+  // cost charged per admitted request. A sample costs `cost_sample` per
+  // iteration; every other op costs `cost_light`.
+  double drain_per_line = 1.0;
+  double cost_sample = 1.0;
+  double cost_light = 0.25;
+  // Deterministic service-time model used for deadline screening: the
+  // estimated wait is queue depth x this many microseconds per cost unit.
+  double service_us_per_unit = 50.0;
+  // Per-tenant token bucket: `tenant_rate` tokens replenished per input
+  // line, burst capacity `tenant_burst` (< 0 means max(1, 16 x rate)).
+  // 0 disables rate limiting.
+  double tenant_rate = 0;
+  double tenant_burst = -1;
+  // Applied to requests that carry no "deadline_us". 0 = no default.
+  std::uint64_t default_deadline_us = 0;
+  // Quarantine: trip a tenant after this many consecutive failures
+  // (0 disables), release it `quarantine_cooldown` lines later.
+  std::uint32_t quarantine_after = 0;
+  std::uint64_t quarantine_cooldown = 256;
+};
+
+enum class AdmissionVerdict {
+  Admit,
+  Shed,             // queue above the high watermark, class below the floor
+  RateLimited,      // tenant token bucket empty
+  DeadlineExpired,  // queue-wait estimate already past the deadline
+  Quarantined,      // tenant is serving a quarantine cooldown
+};
+
+const char* admission_verdict_name(AdmissionVerdict verdict);
+
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::Admit;
+  // Deterministic client backoff hint for rejects (1 line ~= 1ms).
+  std::uint64_t retry_after_ms = 0;
+  std::string detail;  // human-readable reason for the error reply
+};
+
+// Serial-path admission state machine. The server calls `on_line` once per
+// input line (draining the queue), `admit` for each batchable request, and
+// `on_success`/`on_failure` per emitted tenant reply to drive quarantine
+// strikes. All calls happen on the serial intake/emit path.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const OverloadConfig& config);
+
+  // True when any admission feature is switched on.
+  bool enabled() const { return enabled_; }
+
+  // Advance the line clock: drain the virtual queue and refill nothing
+  // eagerly (token buckets refill lazily on access).
+  void on_line(std::uint64_t lineno);
+
+  // Decide one request. Admit charges the request's cost to the queue and
+  // its tenant bucket; every reject leaves state untouched except the
+  // shed-floor bookkeeping that is a pure function of queue depth.
+  AdmissionDecision admit(const Request& request, std::uint64_t lineno);
+
+  // Quarantine strike accounting, driven from the serial emit loop.
+  // Admission rejects themselves never count either way. on_failure
+  // returns true when this strike tripped the tenant into quarantine.
+  void on_success(const std::string& tenant);
+  bool on_failure(const std::string& tenant, std::uint64_t lineno);
+
+  // Cost model, exposed for the deadline estimate and tests.
+  double request_cost(const Request& request) const;
+
+  // Introspection for /statusz and metrics.
+  double queue_depth() const { return queue_; }
+  bool shedding() const { return shedding_; }
+  std::uint32_t shed_floor() const;
+  std::size_t quarantined_tenants(std::uint64_t lineno) const;
+
+ private:
+  struct TenantBudget {
+    double tokens = 0;
+    std::uint64_t last_refill = 0;
+    bool initialized = false;
+  };
+  struct TenantHealth {
+    std::uint32_t strikes = 0;
+    std::uint64_t quarantined_until = 0;  // line number, 0 = not tripped
+    std::uint64_t trips = 0;
+  };
+
+  double effective_low() const;
+  double effective_burst() const;
+  TenantBudget& budget(const std::string& tenant, std::uint64_t lineno);
+
+  OverloadConfig config_;
+  bool enabled_ = false;
+  double queue_ = 0;
+  bool shedding_ = false;
+  std::uint64_t last_line_ = 0;
+  std::map<std::string, TenantBudget> budgets_;
+  std::map<std::string, TenantHealth> health_;
+};
+
+}  // namespace cig::serve

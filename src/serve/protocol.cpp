@@ -40,14 +40,6 @@ bool valid_trace_id(const std::string& id) {
   return printable_token(id, kMaxTraceIdBytes);
 }
 
-ParsedLine reject(const std::string& code, const std::string& detail,
-                  std::uint64_t lineno) {
-  ParsedLine out;
-  out.ok = false;
-  out.error = error_reply(code, detail, lineno);
-  return out;
-}
-
 }  // namespace
 
 const char* op_name(Op op) {
@@ -79,80 +71,139 @@ bool is_tenant_op(Op op) {
 
 Json error_reply(const std::string& code, const std::string& detail,
                  std::uint64_t line) {
+  return error_reply(code, detail, line, ErrorContext{});
+}
+
+Json error_reply(const std::string& code, const std::string& detail,
+                 std::uint64_t line, const ErrorContext& context) {
   Json j;
   j["ok"] = Json(false);
   j["error"] = Json(code);
   j["detail"] = Json(detail);
   j["line"] = Json(static_cast<double>(line));
+  if (!context.op.empty()) j["op"] = Json(context.op);
+  if (!context.tenant.empty()) j["tenant"] = Json(context.tenant);
+  if (!context.trace_id.empty()) j["trace_id"] = Json(context.trace_id);
   return j;
 }
 
+ErrorContext error_context(const Request& request) {
+  ErrorContext context;
+  context.op = op_name(request.op);
+  context.tenant = request.tenant;
+  if (request.trace_id_given) context.trace_id = request.trace_id;
+  return context;
+}
+
 ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
+  ParsedLine out;
+  Request& req = out.request;
+  // The echo context grows as fields validate: a rejection at any point
+  // carries whatever op/tenant/trace_id were already understood.
+  std::string op_text;
+  const auto reject = [&](const std::string& code, const std::string& detail) {
+    ErrorContext context;
+    context.op = op_text;
+    context.tenant = req.tenant;
+    if (req.trace_id_given) context.trace_id = req.trace_id;
+    out.ok = false;
+    out.error = error_reply(code, detail, lineno, context);
+    return out;
+  };
+
   if (line.size() > kMaxLineBytes) {
     return reject("oversized-line",
                   "request line of " + std::to_string(line.size()) +
                       " bytes exceeds the " +
-                      std::to_string(kMaxLineBytes) + "-byte limit",
-                  lineno);
+                      std::to_string(kMaxLineBytes) + "-byte limit");
   }
 
   Json doc;
   try {
     doc = Json::parse(line);
   } catch (const std::exception& e) {
-    return reject("parse", e.what(), lineno);
+    return reject("parse", e.what());
   }
   if (!doc.is_object()) {
-    return reject("parse", "request must be a JSON object", lineno);
-  }
-  if (!doc.contains("op") || !doc.at("op").is_string()) {
-    return reject("bad-request", "missing string field \"op\"", lineno);
+    return reject("parse", "request must be a JSON object");
   }
 
-  ParsedLine out;
-  const std::string op_text = doc.at("op").as_string();
-  if (!lookup_op(op_text, out.request.op)) {
-    return reject("unknown-op", "unknown op \"" + op_text + "\"", lineno);
+  // Pick up the echo fields before structural validation so even a reply
+  // for a malformed request names its stream.
+  if (doc.contains("tenant") && doc.at("tenant").is_string() &&
+      valid_tenant_id(doc.at("tenant").as_string())) {
+    req.tenant = doc.at("tenant").as_string();
   }
-  Request& req = out.request;
+  if (doc.contains("trace_id") && doc.at("trace_id").is_string() &&
+      valid_trace_id(doc.at("trace_id").as_string())) {
+    req.trace_id = doc.at("trace_id").as_string();
+    req.trace_id_given = true;
+  }
+  if (doc.contains("op") && doc.at("op").is_string()) {
+    op_text = doc.at("op").as_string();
+  }
+
+  if (!doc.contains("op") || !doc.at("op").is_string()) {
+    return reject("bad-request", "missing string field \"op\"");
+  }
+  if (!lookup_op(op_text, req.op)) {
+    return reject("unknown-op", "unknown op \"" + op_text + "\"");
+  }
 
   if (doc.contains("tenant")) {
-    if (!doc.at("tenant").is_string()) {
-      return reject("bad-request", "\"tenant\" must be a string", lineno);
-    }
-    req.tenant = doc.at("tenant").as_string();
-    if (!valid_tenant_id(req.tenant)) {
+    if (!doc.at("tenant").is_string() ||
+        !valid_tenant_id(doc.at("tenant").as_string())) {
       return reject("bad-request",
-                    "invalid tenant id (1.." +
+                    "\"tenant\" must be a valid tenant id (1.." +
                         std::to_string(kMaxTenantIdBytes) +
-                        " printable ASCII characters, no quotes)",
-                    lineno);
+                        " printable ASCII characters, no quotes)");
     }
   }
   if (is_tenant_op(req.op) && req.tenant.empty()) {
-    return reject("bad-request",
-                  std::string("op \"") + op_name(req.op) +
-                      "\" requires a \"tenant\" id",
-                  lineno);
+    return reject("bad-request", std::string("op \"") + op_name(req.op) +
+                                     "\" requires a \"tenant\" id");
   }
 
   if (doc.contains("trace_id")) {
-    if (!doc.at("trace_id").is_string()) {
-      return reject("bad-request", "\"trace_id\" must be a string", lineno);
-    }
-    req.trace_id = doc.at("trace_id").as_string();
-    if (!valid_trace_id(req.trace_id)) {
+    if (!doc.at("trace_id").is_string() ||
+        !valid_trace_id(doc.at("trace_id").as_string())) {
       return reject("bad-request",
-                    "invalid trace_id (1.." +
+                    "\"trace_id\" must be a valid trace id (1.." +
                         std::to_string(kMaxTraceIdBytes) +
-                        " printable ASCII characters, no quotes)",
-                    lineno);
+                        " printable ASCII characters, no quotes)");
     }
-    req.trace_id_given = true;
   } else {
     // Deterministic fallback: a pure function of the request's position in
     // the stream, so flight-recorder contents stay jobs-invariant.
     req.trace_id = "r" + std::to_string(lineno);
+  }
+
+  if (doc.contains("priority")) {
+    if (!doc.at("priority").is_number()) {
+      return reject("bad-request", "\"priority\" must be a number");
+    }
+    const double priority = doc.at("priority").as_number();
+    if (!std::isfinite(priority) || priority != std::floor(priority) ||
+        priority < 0 || priority > static_cast<double>(kMaxPriority)) {
+      return reject("bad-request",
+                    "\"priority\" must be an integer in [0, " +
+                        std::to_string(kMaxPriority) + "]");
+    }
+    req.priority = static_cast<std::uint32_t>(priority);
+  }
+
+  if (doc.contains("deadline_us")) {
+    if (!doc.at("deadline_us").is_number()) {
+      return reject("bad-request", "\"deadline_us\" must be a number");
+    }
+    const double deadline = doc.at("deadline_us").as_number();
+    if (!std::isfinite(deadline) || deadline != std::floor(deadline) ||
+        deadline < 1 || deadline > static_cast<double>(kMaxDeadlineUs)) {
+      return reject("bad-request",
+                    "\"deadline_us\" must be an integer in [1, " +
+                        std::to_string(kMaxDeadlineUs) + "]");
+    }
+    req.deadline_us = static_cast<std::uint64_t>(deadline);
   }
 
   if (req.op == Op::DumpTrace && doc.contains("path")) {
@@ -160,8 +211,7 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
         doc.at("path").as_string().size() > kMaxDumpPathBytes) {
       return reject("bad-request",
                     "\"path\" must be a non-empty string of at most " +
-                        std::to_string(kMaxDumpPathBytes) + " bytes",
-                    lineno);
+                        std::to_string(kMaxDumpPathBytes) + " bytes");
     }
     req.path = doc.at("path").as_string();
   }
@@ -169,8 +219,7 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
   if (req.op == Op::Hello) {
     if (doc.contains("board")) {
       if (!doc.at("board").is_string() || doc.at("board").as_string().empty()) {
-        return reject("bad-request", "\"board\" must be a non-empty string",
-                      lineno);
+        return reject("bad-request", "\"board\" must be a non-empty string");
       }
       req.board = doc.at("board").as_string();
     }
@@ -179,7 +228,7 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
   if (req.op == Op::Sample) {
     if (doc.contains("heavy")) {
       if (!doc.at("heavy").is_bool()) {
-        return reject("bad-request", "\"heavy\" must be a boolean", lineno);
+        return reject("bad-request", "\"heavy\" must be a boolean");
       }
       req.heavy = doc.at("heavy").as_bool();
     }
@@ -188,20 +237,19 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
     req.demand = req.heavy ? 4.0 : 0.02;
     if (doc.contains("demand")) {
       if (!doc.at("demand").is_number()) {
-        return reject("bad-request", "\"demand\" must be a number", lineno);
+        return reject("bad-request", "\"demand\" must be a number");
       }
       req.demand = doc.at("demand").as_number();
       if (!std::isfinite(req.demand) || req.demand <= 0 ||
           req.demand > kMaxDemandFactor) {
         return reject("bad-request",
                       "\"demand\" must be in (0, " +
-                          std::to_string(kMaxDemandFactor) + "]",
-                      lineno);
+                          std::to_string(kMaxDemandFactor) + "]");
       }
     }
     if (doc.contains("span")) {
       if (!doc.at("span").is_number()) {
-        return reject("bad-request", "\"span\" must be a number", lineno);
+        return reject("bad-request", "\"span\" must be a number");
       }
       const double span = doc.at("span").as_number();
       if (!std::isfinite(span) || span != std::floor(span) ||
@@ -210,22 +258,20 @@ ParsedLine parse_request(const std::string& line, std::uint64_t lineno) {
         return reject("bad-request",
                       "\"span\" must be an integer in [" +
                           std::to_string(kMinSpanBytes) + ", " +
-                          std::to_string(kMaxSpanBytes) + "] bytes",
-                      lineno);
+                          std::to_string(kMaxSpanBytes) + "] bytes");
       }
       req.span = static_cast<Bytes>(span);
     }
     if (doc.contains("iterations")) {
       if (!doc.at("iterations").is_number()) {
-        return reject("bad-request", "\"iterations\" must be a number", lineno);
+        return reject("bad-request", "\"iterations\" must be a number");
       }
       const double iters = doc.at("iterations").as_number();
       if (!std::isfinite(iters) || iters != std::floor(iters) || iters < 1 ||
           iters > static_cast<double>(kMaxIterations)) {
         return reject("bad-request",
                       "\"iterations\" must be an integer in [1, " +
-                          std::to_string(kMaxIterations) + "]",
-                      lineno);
+                          std::to_string(kMaxIterations) + "]");
       }
       req.iterations = static_cast<std::uint32_t>(iters);
     }

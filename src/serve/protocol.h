@@ -38,13 +38,25 @@
 // deterministic id from the request line number ("r<lineno>"), which is
 // used internally but not echoed.
 //
+// Quality-of-service fields (any op):
+//
+//   "priority": 0..3 — the request's shed class (default 1). Under
+//       overload the daemon sheds the lowest classes first; priority 3 is
+//       never shed.
+//   "deadline_us": positive integer — reject the request up front when the
+//       daemon's deterministic queue-wait estimate already exceeds it.
+//
 // Error replies are structured, never fatal:
 //
-//   {"ok":false,"error":"parse","detail":"...","line":7}
+//   {"ok":false,"error":"parse","detail":"...","line":7,
+//    "op":"sample","tenant":"t1"}
 //
 // with error one of: parse, oversized-line, unknown-op, bad-request,
-// unknown-tenant, no-samples, internal. A malformed line never aborts the
-// daemon and never desynchronizes the reply stream.
+// unknown-tenant, no-samples, overloaded, rate-limited, deadline-expired,
+// quarantined, internal. Every error reply echoes whichever of "op",
+// "tenant" and "trace_id" were understood before the line was rejected
+// (overload rejects additionally carry "retry_after_ms"). A malformed line
+// never aborts the daemon and never desynchronizes the reply stream.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +85,11 @@ const char* op_name(Op op);
 // inside a batch). Stats is tenant-scoped only when a tenant id is present.
 bool is_tenant_op(Op op);
 
+// Quality-of-service bounds, needed by Request's defaults below.
+inline constexpr std::uint32_t kMaxPriority = 3;
+inline constexpr std::uint32_t kDefaultPriority = 1;
+inline constexpr std::uint64_t kMaxDeadlineUs = 1ull << 40;  // ~12.7 days
+
 struct Request {
   Op op = Op::Stats;
   std::string tenant;  // empty for daemon-wide ops
@@ -88,6 +105,9 @@ struct Request {
   // any op: client-supplied or generated request correlation id
   std::string trace_id;
   bool trace_id_given = false;  // echoed in the reply only when supplied
+  // any op: quality-of-service fields
+  std::uint32_t priority = kDefaultPriority;  // shed class, 0..kMaxPriority
+  std::uint64_t deadline_us = 0;              // 0 = no per-request deadline
 };
 
 // Validation limits. Lines longer than kMaxLineBytes are rejected before
@@ -101,16 +121,29 @@ inline constexpr Bytes kMinSpanBytes = 64;
 inline constexpr Bytes kMaxSpanBytes = 64ull * 1024 * 1024;
 inline constexpr double kMaxDemandFactor = 64.0;
 inline constexpr std::uint32_t kMaxIterations = 1024;
-
 struct ParsedLine {
   bool ok = false;
-  Request request;
-  Json error;  // the ready-to-emit error reply when !ok
+  Request request;  // partially filled on rejection: fields parsed so far
+  Json error;       // the ready-to-emit error reply when !ok
+};
+
+// Request fields echoed into error replies so a client multiplexing many
+// streams can attribute a rejection without counting lines. Empty fields
+// are omitted from the reply.
+struct ErrorContext {
+  std::string op;
+  std::string tenant;
+  std::string trace_id;  // only when client-supplied
 };
 
 // Builds the structured error reply every rejection path emits.
 Json error_reply(const std::string& code, const std::string& detail,
                  std::uint64_t line);
+Json error_reply(const std::string& code, const std::string& detail,
+                 std::uint64_t line, const ErrorContext& context);
+
+// The echo context for a parsed (or partially parsed) request.
+ErrorContext error_context(const Request& request);
 
 // Parses and validates one request line. Never throws: every defect maps
 // to an error reply naming the offending field.

@@ -37,8 +37,17 @@ const std::vector<std::string>& serve_crash_seams() {
   return seams;
 }
 
+const std::vector<std::string>& serve_overload_crash_seams() {
+  static const std::vector<std::string> seams = {
+      "serve.shed_reject",      // admission reject enqueued, not yet flushed
+      "serve.quarantine_trip",  // tenant just tripped into quarantine
+  };
+  return seams;
+}
+
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
+      admission_(options_.overload),
       flight_(options_.flight_capacity ? options_.flight_capacity
                                        : obs::FlightRecorder::kDefaultCapacity) {
   if (!options_.cache_dir.empty()) {
@@ -140,14 +149,24 @@ std::shared_ptr<const BoardEntry> Server::ensure_board(
 
 int Server::run(std::istream& in, std::ostream& out) {
   std::string line;
-  while (!shutdown_ && std::getline(in, line)) {
+  while (!shutdown_ && !draining_ && std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     handle_line(line, out);
   }
   const std::lock_guard<std::mutex> lock(scrape_mutex_);
   poll_dump_signal();
+  poll_drain_signal();
   flush(out);
+  if (draining_ && !drain_dumped_) {
+    drain_dumped_ = true;
+    try {
+      dump_flight(flight_out_path());
+    } catch (const std::exception& e) {
+      CIG_LOG_C(LogLevel::Warn, "serve",
+                "drain flight dump failed: " << e.what());
+    }
+  }
   finalize(out);
   return torn_seen_ ? 3 : 0;
 }
@@ -155,14 +174,20 @@ int Server::run(std::istream& in, std::ostream& out) {
 void Server::handle_line(const std::string& line, std::ostream& out) {
   const std::lock_guard<std::mutex> lock(scrape_mutex_);
   poll_dump_signal();
+  poll_drain_signal();
   ++lineno_;
   ++metrics_.requests;
+  admission_.on_line(lineno_);
 
   ParsedLine parsed = parse_request(line, lineno_);
   if (!parsed.ok) {
     ++metrics_.parse_errors;
     Pending pending;
     pending.lineno = lineno_;
+    // Keep whatever op/tenant/trace_id parsed before the rejection: the
+    // emit loop attributes the protocol failure to its tenant (quarantine
+    // strikes) and the flight recorder to its trace id.
+    pending.req = parsed.request;
     pending.reply = std::move(parsed.error);
     pending.done = true;
     batch_.push_back(std::move(pending));
@@ -175,10 +200,12 @@ void Server::handle_line(const std::string& line, std::ostream& out) {
   const bool batchable =
       is_tenant_op(req.op) || (req.op == Op::Stats && !req.tenant.empty());
   if (batchable) {
-    Pending pending;
-    pending.lineno = lineno_;
-    pending.req = req;
-    batch_.push_back(std::move(pending));
+    if (admit_request(req)) {
+      Pending pending;
+      pending.lineno = lineno_;
+      pending.req = req;
+      batch_.push_back(std::move(pending));
+    }
     if (batch_.size() >= options_.batch_max) flush(out);
     maybe_export_metrics(false);
     return;
@@ -190,6 +217,34 @@ void Server::handle_line(const std::string& line, std::ostream& out) {
   flush(out);
   handle_global(req, out);
   maybe_export_metrics(false);
+}
+
+bool Server::admit_request(const Request& req) {
+  if (!admission_.enabled()) return true;
+  const AdmissionDecision decision = admission_.admit(req, lineno_);
+  if (decision.verdict == AdmissionVerdict::Admit) return true;
+
+  ++metrics_.rejected;
+  switch (decision.verdict) {
+    case AdmissionVerdict::Shed: ++metrics_.shed; break;
+    case AdmissionVerdict::RateLimited: ++metrics_.rate_limited; break;
+    case AdmissionVerdict::DeadlineExpired: ++metrics_.deadline_expired; break;
+    case AdmissionVerdict::Quarantined: ++metrics_.quarantine_rejected; break;
+    case AdmissionVerdict::Admit: break;
+  }
+
+  Pending pending;
+  pending.lineno = lineno_;
+  pending.req = req;
+  pending.admission_reject = true;
+  pending.reply = error_reply(admission_verdict_name(decision.verdict),
+                              decision.detail, lineno_, error_context(req));
+  pending.reply["retry_after_ms"] =
+      Json(static_cast<double>(decision.retry_after_ms));
+  pending.done = true;
+  batch_.push_back(std::move(pending));
+  persist::seam("serve.shed_reject");
+  return false;
 }
 
 void Server::handle_global(const Request& req, std::ostream& out) {
@@ -229,7 +284,8 @@ void Server::handle_global(const Request& req, std::ostream& out) {
           ++metrics_.flight_dumps;
           reply["path"] = Json(req.path);
         } catch (const std::exception& e) {
-          reply = error_reply("internal", e.what(), lineno_);
+          reply = error_reply("internal", e.what(), lineno_,
+                              error_context(req));
         }
       } else {
         reply["trace"] = Json(trace.dump());
@@ -242,7 +298,8 @@ void Server::handle_global(const Request& req, std::ostream& out) {
       break;
     }
     default:
-      reply = error_reply("internal", "request is not a global op", lineno_);
+      reply = error_reply("internal", "request is not a global op", lineno_,
+                          error_context(req));
       break;
   }
   flight_.instant(sim::Lane::Ctrl, flight_now(),
@@ -259,7 +316,7 @@ void Server::handle_hello(Pending& pending) {
   } catch (const std::exception& e) {
     pending.reply = error_reply(
         "bad-request", "board \"" + req.board + "\": " + e.what(),
-        pending.lineno);
+        pending.lineno, error_context(req));
     pending.done = true;
     return;
   }
@@ -274,7 +331,7 @@ void Server::handle_hello(Pending& pending) {
           "bad-request",
           "tenant \"" + req.tenant + "\" is registered on board \"" +
               slot.board + "\", not \"" + req.board + "\"",
-          pending.lineno);
+          pending.lineno, error_context(req));
       pending.done = true;
       return;
     }
@@ -328,7 +385,7 @@ void Server::flush(std::ostream& out) {
       pending.reply = error_reply(
           "unknown-tenant",
           "tenant \"" + pending.req.tenant + "\" has not sent a hello",
-          pending.lineno);
+          pending.lineno, error_context(pending.req));
       pending.done = true;
       continue;
     }
@@ -360,7 +417,7 @@ void Server::flush(std::ostream& out) {
           "checkpoint-lost",
           "tenant \"" + pending.req.tenant +
               "\" lost its checkpoint; re-register with hello",
-          pending.lineno);
+          pending.lineno, error_context(pending.req));
       pending.done = true;
       continue;
     }
@@ -392,6 +449,7 @@ void Server::flush(std::ostream& out) {
     if (pending.req.trace_id_given) {
       pending.reply["trace_id"] = Json(pending.req.trace_id);
     }
+    record_strike(pending);
     record_request_flight(pending);
     emit(out, pending.reply);
   }
@@ -550,7 +608,8 @@ void Server::process_request(TenantSlot& slot, Group& group,
         try {
           rec = tenant.recommend();
         } catch (const std::exception& e) {
-          reply = error_reply("no-samples", e.what(), pending.lineno);
+          reply = error_reply("no-samples", e.what(), pending.lineno,
+                              error_context(req));
           break;
         }
         ++group.decides;
@@ -595,16 +654,40 @@ void Server::process_request(TenantSlot& slot, Group& group,
       }
       default:
         reply = error_reply("internal", "request is not a tenant op",
-                            pending.lineno);
+                            pending.lineno, error_context(req));
         break;
     }
   } catch (const std::exception& e) {
     // A tenant-level failure must never take the daemon down; fault
     // injections (CrashInjected is not a std::exception) still propagate.
-    reply = error_reply("internal", e.what(), pending.lineno);
+    reply = error_reply("internal", e.what(), pending.lineno,
+                        error_context(req));
   }
   pending.reply = std::move(reply);
   pending.done = true;
+}
+
+void Server::record_strike(const Pending& pending) {
+  // Quarantine strikes come from the tenant's own behavior — protocol
+  // defects and evaluation failures — never from the daemon's admission
+  // rejects. Recorded serially in emit order, so trips are jobs-invariant.
+  if (options_.overload.quarantine_after == 0) return;
+  if (pending.admission_reject || pending.req.tenant.empty()) return;
+  if (pending.reply.bool_or("ok", false)) {
+    admission_.on_success(pending.req.tenant);
+    return;
+  }
+  if (admission_.on_failure(pending.req.tenant, pending.lineno)) {
+    ++metrics_.quarantine_trips;
+    flight_.instant(sim::Lane::Ctrl, flight_now(),
+                    "quarantine " + pending.req.tenant);
+    CIG_LOG_C(LogLevel::Warn, "serve",
+              "tenant \"" << pending.req.tenant << "\" quarantined after "
+                          << options_.overload.quarantine_after
+                          << " consecutive failures (line " << pending.lineno
+                          << ")");
+    persist::seam("serve.quarantine_trip");
+  }
 }
 
 void Server::emit(std::ostream& out, const Json& reply) {
@@ -749,6 +832,19 @@ void Server::poll_dump_signal() {
   }
 }
 
+void Server::poll_drain_signal() {
+  if (draining_) return;
+  if (options_.drain_signal == nullptr || *options_.drain_signal == 0) return;
+  // Deliberately not cleared: the socket accept loop and the hard-kill
+  // watchdog in cigtool read the same flag.
+  draining_ = true;
+  ++metrics_.drains;
+  flight_.instant(sim::Lane::Ctrl, flight_now(), "drain requested");
+  CIG_LOG_C(LogLevel::Info, "serve",
+            "drain requested: flushing in-flight work, checkpointing "
+                << known_tenants() << " tenants");
+}
+
 void Server::record_request_flight(const Pending& p) {
   const Seconds t0 = microsec(static_cast<double>(p.lineno - 1));
   const Seconds t1 = microsec(static_cast<double>(p.lineno));
@@ -815,6 +911,25 @@ Json Server::statusz_unlocked() const {
   doc["batch_peak"] = Json(static_cast<double>(metrics_.peak_batch));
   doc["torn"] = Json(torn_seen_);
   doc["shutdown"] = Json(shutdown_);
+  doc["draining"] = Json(draining_);
+
+  Json overload;
+  overload["enabled"] = Json(admission_.enabled());
+  overload["queue_depth"] = Json(admission_.queue_depth());
+  overload["shedding"] = Json(admission_.shedding());
+  overload["shed_floor"] = Json(static_cast<double>(admission_.shed_floor()));
+  overload["rejected"] = Json(static_cast<double>(metrics_.rejected));
+  overload["shed"] = Json(static_cast<double>(metrics_.shed));
+  overload["rate_limited"] = Json(static_cast<double>(metrics_.rate_limited));
+  overload["deadline_expired"] =
+      Json(static_cast<double>(metrics_.deadline_expired));
+  overload["quarantine_trips"] =
+      Json(static_cast<double>(metrics_.quarantine_trips));
+  overload["quarantine_rejected"] =
+      Json(static_cast<double>(metrics_.quarantine_rejected));
+  overload["quarantined_tenants"] =
+      Json(static_cast<double>(admission_.quarantined_tenants(lineno_)));
+  doc["overload"] = std::move(overload);
 
   Json tenants;
   tenants["known"] = Json(static_cast<double>(known_tenants()));
@@ -876,6 +991,7 @@ Json Server::healthz_unlocked() const {
   doc["ok"] = Json(true);
   doc["torn"] = Json(torn_seen_);
   doc["shutdown"] = Json(shutdown_);
+  doc["draining"] = Json(draining_);
   doc["tenants"] = Json(static_cast<double>(known_tenants()));
   doc["resident"] = Json(static_cast<double>(resident_tenants()));
   return doc;

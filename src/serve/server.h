@@ -44,6 +44,7 @@
 #include "core/result_cache.h"
 #include "obs/flight.h"
 #include "serve/metrics.h"
+#include "serve/overload.h"
 #include "serve/protocol.h"
 #include "serve/tenant.h"
 #include "sim/stat_registry.h"
@@ -90,6 +91,17 @@ struct ServeOptions {
   // When set, the serial request loop polls this flag (a SIGUSR2 handler
   // sets it) and dumps the flight recorder to flight_out, clearing it.
   volatile std::sig_atomic_t* dump_signal = nullptr;
+
+  // --- overload control --------------------------------------------------
+  // Admission watermarks, per-tenant quotas, deadlines and quarantine. All
+  // features default off; see serve/overload.h.
+  OverloadConfig overload;
+  // When set, the serial request loop polls this flag (a SIGTERM/SIGINT
+  // handler sets it) and begins a graceful drain: stop reading new
+  // requests, flush the in-flight batch, checkpoint every tenant, export
+  // metrics, dump the flight recorder, and return from run(). The flag is
+  // never cleared — the socket accept loop reads it too.
+  volatile std::sig_atomic_t* drain_signal = nullptr;
 };
 
 class Server {
@@ -115,6 +127,10 @@ class Server {
   int run(std::istream& in, std::ostream& out);
 
   bool shutdown_requested() const { return shutdown_; }
+  // True once a graceful drain has begun (drain_signal observed). The
+  // socket listener stops accepting connections when set.
+  bool drain_requested() const { return draining_; }
+  const ServeOptions& options() const { return options_; }
 
   const ServeMetrics& metrics() const { return metrics_; }
   std::uint64_t resident_tenants() const;
@@ -168,6 +184,10 @@ class Server {
     Request req;
     Json reply;
     bool done = false;  // reply already decided (errors, hello)
+    // Rejected by admission control: excluded from quarantine strike
+    // accounting (an admission reject is the daemon's fault, not the
+    // tenant's).
+    bool admission_reject = false;
   };
 
   // One batch group = every pending request of one tenant, evaluated as a
@@ -191,6 +211,13 @@ class Server {
   void handle_line(const std::string& line, std::ostream& out);
   void handle_global(const Request& req, std::ostream& out);
   void handle_hello(Pending& pending);
+  // Admission decision for one batchable request on the serial intake
+  // path. Returns false when the request was rejected (a done reject
+  // Pending carrying the structured error was enqueued).
+  bool admit_request(const Request& req);
+  // Quarantine strike accounting for one emitted reply (serial emit loop).
+  void record_strike(const Pending& pending);
+  void poll_drain_signal();
 
   void flush(std::ostream& out);
   void restore_batch(const std::vector<std::string>& ids);
@@ -220,6 +247,7 @@ class Server {
 
   ServeOptions options_;
   ServeMetrics metrics_;
+  AdmissionController admission_;
   obs::FlightRecorder flight_;
   // Serializes the request loop against concurrent observability snapshots
   // (never contended in single-threaded stdin/socket mode).
@@ -234,6 +262,8 @@ class Server {
   bool manifest_dirty_ = false;  // durable checkpoints newer than manifest
   bool torn_seen_ = false;
   bool shutdown_ = false;
+  bool draining_ = false;
+  bool drain_dumped_ = false;  // final drain flight dump already written
 };
 
 // The serve-layer crash seams fired by Server (between a tenant checkpoint
@@ -241,5 +271,11 @@ class Server {
 // They complement persist::crash_seams(), which covers the primitives
 // underneath.
 const std::vector<std::string>& serve_crash_seams();
+
+// Overload-plane crash seams (after an admission reject was emitted, on a
+// quarantine trip). Split out because they only fire under a hostile
+// script with admission control enabled; `crashtest --mode serve` runs
+// them as a separate cell block.
+const std::vector<std::string>& serve_overload_crash_seams();
 
 }  // namespace cig::serve

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <sstream>
 #include <streambuf>
 #include <string>
 
@@ -71,7 +73,12 @@ namespace {
 // getline() on the way in and batched reply writes on the way out.
 class FdStreambuf : public std::streambuf {
  public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
+  // `stop` (optional) is the drain flag: a signal handler sets it and the
+  // blocking read returns EINTR (SA_RESTART is off for SIGTERM/SIGINT), so
+  // the retry loop checks the flag and reports EOF instead of blocking on
+  // a quiet client forever.
+  explicit FdStreambuf(int fd, const volatile std::sig_atomic_t* stop)
+      : fd_(fd), stop_(stop) {
     setg(in_, in_, in_);
     setp(out_, out_ + sizeof(out_));
   }
@@ -81,6 +88,7 @@ class FdStreambuf : public std::streambuf {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
     ssize_t n;
     do {
+      if (stop_ != nullptr && *stop_ != 0) return traits_type::eof();
       n = ::read(fd_, in_, sizeof(in_));
     } while (n < 0 && errno == EINTR);
     if (n <= 0) return traits_type::eof();
@@ -115,6 +123,7 @@ class FdStreambuf : public std::streambuf {
   }
 
   int fd_;
+  const volatile std::sig_atomic_t* stop_;
   char in_[8192];
   char out_[8192];
 };
@@ -208,15 +217,21 @@ int serve_listen(Server& server, const ListenSpec& spec) {
                         ? "unix:" + spec.path
                         : "tcp:127.0.0.1:" + std::to_string(spec.port)));
 
+  const volatile std::sig_atomic_t* drain = server.options().drain_signal;
+  const auto draining = [&] {
+    return server.drain_requested() || (drain != nullptr && *drain != 0);
+  };
   int worst = 0;
-  while (!server.shutdown_requested()) {
-    int conn;
+  while (!server.shutdown_requested() && !draining()) {
+    int conn = -1;
     do {
+      if (draining()) break;
       conn = ::accept(listener.get(), nullptr, nullptr);
     } while (conn < 0 && errno == EINTR);
+    if (draining()) break;
     if (conn < 0) fail("accept");
     ScopedFd guard(conn);
-    FdStreambuf buf(conn);
+    FdStreambuf buf(conn, drain);
     std::istream in(&buf);
     std::ostream out(&buf);
     if (sniff_http(conn)) {
@@ -228,6 +243,14 @@ int serve_listen(Server& server, const ListenSpec& spec) {
     const int code = server.run(in, out);
     worst = std::max(worst, code);
     out.flush();
+  }
+  if (draining()) {
+    // A drain can land while the listener is idle in accept(): run one
+    // empty session so the drain path still checkpoints every tenant,
+    // exports metrics and writes the final flight dump.
+    std::istringstream drain_in;
+    std::ostringstream drain_out;
+    worst = std::max(worst, server.run(drain_in, drain_out));
   }
   if (spec.kind == ListenSpec::Kind::Unix) ::unlink(spec.path.c_str());
   return worst;

@@ -1,0 +1,580 @@
+// Overload-plane tests for the serve daemon: the AdmissionController state
+// machine (watermark hysteresis, priority shedding, token buckets,
+// deadline screening, quarantine), the end-to-end reject surface
+// (structured error replies with retry_after_ms), the jobs-invariance
+// contract under overload, graceful drain, and the serve-layer chaos
+// scenarios with their SLO verdicts.
+//
+// Board characterization shares the same content-addressed cache directory
+// as test_serve.cpp, so only the first suite run per machine pays it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/session.h"
+#include "serve/chaos.h"
+#include "serve/overload.h"
+#include "serve/server.h"
+#include "support/json.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace cig::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string shared_cache_dir() {
+  return (fs::temp_directory_path() / "cig-serve-test-cache").string();
+}
+
+Request make_request(Op op, const std::string& tenant,
+                     std::uint32_t priority = kDefaultPriority) {
+  Request req;
+  req.op = op;
+  req.tenant = tenant;
+  req.priority = priority;
+  return req;
+}
+
+Request heavy_sample(const std::string& tenant,
+                     std::uint32_t priority = kDefaultPriority,
+                     std::uint32_t iterations = 4) {
+  Request req = make_request(Op::Sample, tenant, priority);
+  req.heavy = true;
+  req.iterations = iterations;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit tests (no daemon, no characterization).
+
+TEST(AdmissionControllerTest, DisabledByDefaultAdmitsEverything) {
+  AdmissionController admission{OverloadConfig{}};
+  EXPECT_FALSE(admission.enabled());
+  for (std::uint64_t line = 1; line <= 64; ++line) {
+    admission.on_line(line);
+    const auto decision = admission.admit(heavy_sample("t"), line);
+    EXPECT_EQ(decision.verdict, AdmissionVerdict::Admit);
+  }
+  EXPECT_EQ(admission.queue_depth(), 0.0);
+}
+
+TEST(AdmissionControllerTest, ShedsAtHighWatermarkAndRecoversAtLow) {
+  OverloadConfig config;
+  config.queue_high = 8;
+  config.queue_low = 2;
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.enabled());
+
+  // Pack the queue on one line with class-0 traffic: cost-4 samples,
+  // drain only happens on line advance. At light overload the shed floor
+  // is 1, so only class 0 is shed.
+  admission.on_line(1);
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto decision = admission.admit(heavy_sample("t", /*priority=*/0), 1);
+    if (decision.verdict == AdmissionVerdict::Admit) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(decision.verdict, AdmissionVerdict::Shed);
+      EXPECT_GT(decision.retry_after_ms, 0u);
+      ++shed;
+    }
+  }
+  // First admit takes the queue to 4; every later request would cross the
+  // high watermark (4 + 4 >= 8) and is shed, leaving the queue at 4.
+  EXPECT_EQ(admitted, 1u);
+  EXPECT_EQ(shed, 5u);
+  EXPECT_TRUE(admission.shedding());
+
+  // Hysteresis: shedding stays on while the queue drains toward low...
+  admission.on_line(2);  // one line of drain: queue 4 -> 3 > low
+  EXPECT_TRUE(admission.shedding());
+  EXPECT_EQ(admission.admit(make_request(Op::Decide, "t", 0), 2).verdict,
+            AdmissionVerdict::Shed);
+  // ...and clears only at (or below) the low watermark.
+  admission.on_line(5);  // queue 3 -> 0 <= low
+  EXPECT_FALSE(admission.shedding());
+  EXPECT_EQ(admission.admit(make_request(Op::Decide, "t", 0), 5).verdict,
+            AdmissionVerdict::Admit);
+}
+
+TEST(AdmissionControllerTest, ShedFloorEscalatesAndPriority3Survives) {
+  OverloadConfig config;
+  config.queue_high = 4;
+  config.queue_low = 1;
+  AdmissionController admission(config);
+
+  admission.on_line(1);
+  // Drive the queue past 2x high: floor escalates to 3.
+  while (admission.queue_depth() < 2 * config.queue_high) {
+    admission.admit(heavy_sample("t", /*priority=*/3), 1);
+  }
+  EXPECT_EQ(admission.shed_floor(), 3u);
+  EXPECT_EQ(admission.admit(heavy_sample("t", 2), 1).verdict,
+            AdmissionVerdict::Shed);
+  // Priority 3 is never shed, no matter how deep the queue is.
+  EXPECT_EQ(admission.admit(make_request(Op::Decide, "t", 3), 1).verdict,
+            AdmissionVerdict::Admit);
+}
+
+TEST(AdmissionControllerTest, TokenBucketLimitsPerTenantAndRefills) {
+  OverloadConfig config;
+  config.tenant_rate = 0.5;   // half a token per line
+  config.tenant_burst = 1.0;  // one cost-1 request of headroom
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.enabled());
+
+  Request sample = make_request(Op::Sample, "a");  // cost 1 (one iteration)
+  admission.on_line(1);
+  EXPECT_EQ(admission.admit(sample, 1).verdict, AdmissionVerdict::Admit);
+  const auto limited = admission.admit(sample, 1);
+  EXPECT_EQ(limited.verdict, AdmissionVerdict::RateLimited);
+  EXPECT_GT(limited.retry_after_ms, 0u);
+
+  // Buckets are per tenant: a sibling still has its full burst.
+  EXPECT_EQ(admission.admit(make_request(Op::Sample, "b"), 1).verdict,
+            AdmissionVerdict::Admit);
+
+  // Two lines later the 0.5/line refill covers another cost-1 request.
+  admission.on_line(3);
+  EXPECT_EQ(admission.admit(sample, 3).verdict, AdmissionVerdict::Admit);
+}
+
+TEST(AdmissionControllerTest, DeadlineScreensOnQueueWaitEstimate) {
+  OverloadConfig config;
+  config.queue_high = 1000;  // watermark far away: only deadlines matter
+  config.service_us_per_unit = 100.0;
+  AdmissionController admission(config);
+
+  admission.on_line(1);
+  // Fill the queue to 8 cost units => estimated wait 800us.
+  for (int i = 0; i < 2; ++i) admission.admit(heavy_sample("t"), 1);
+  ASSERT_EQ(admission.queue_depth(), 8.0);
+
+  Request relaxed = make_request(Op::Decide, "t");
+  relaxed.deadline_us = 10000;
+  EXPECT_EQ(admission.admit(relaxed, 1).verdict, AdmissionVerdict::Admit);
+
+  Request tight = make_request(Op::Decide, "t");
+  tight.deadline_us = 100;
+  const auto expired = admission.admit(tight, 1);
+  EXPECT_EQ(expired.verdict, AdmissionVerdict::DeadlineExpired);
+  EXPECT_GT(expired.retry_after_ms, 0u);
+
+  // The config-wide default applies to requests without a deadline.
+  OverloadConfig with_default = config;
+  with_default.default_deadline_us = 100;
+  AdmissionController defaulted(with_default);
+  defaulted.on_line(1);
+  for (int i = 0; i < 2; ++i) defaulted.admit(heavy_sample("t"), 1);
+  EXPECT_EQ(defaulted.admit(make_request(Op::Decide, "t"), 1).verdict,
+            AdmissionVerdict::DeadlineExpired);
+}
+
+TEST(AdmissionControllerTest, QuarantineTripsAndCoolsDown) {
+  OverloadConfig config;
+  config.quarantine_after = 3;
+  config.quarantine_cooldown = 10;
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.enabled());
+
+  admission.on_line(5);
+  EXPECT_FALSE(admission.on_failure("p", 5));
+  EXPECT_FALSE(admission.on_failure("p", 5));
+  // A success in between resets the consecutive-strike count.
+  admission.on_success("p");
+  EXPECT_FALSE(admission.on_failure("p", 5));
+  EXPECT_FALSE(admission.on_failure("p", 5));
+  EXPECT_TRUE(admission.on_failure("p", 5));  // third consecutive: trip
+  EXPECT_EQ(admission.quarantined_tenants(5), 1u);
+
+  const auto rejected = admission.admit(make_request(Op::Decide, "p"), 6);
+  EXPECT_EQ(rejected.verdict, AdmissionVerdict::Quarantined);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+  // Healthy neighbors are unaffected.
+  EXPECT_EQ(admission.admit(make_request(Op::Decide, "q"), 6).verdict,
+            AdmissionVerdict::Admit);
+
+  // Past the cooldown the tenant is admitted again.
+  admission.on_line(16);
+  EXPECT_EQ(admission.admit(make_request(Op::Decide, "p"), 16).verdict,
+            AdmissionVerdict::Admit);
+  EXPECT_EQ(admission.quarantined_tenants(16), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end daemon tests.
+
+struct SessionResult {
+  int exit = 0;
+  std::string out;
+  std::vector<Json> replies;
+};
+
+SessionResult run_session(Server& server, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  SessionResult result;
+  result.exit = server.run(in, out);
+  result.out = out.str();
+  std::istringstream lines(result.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) result.replies.push_back(Json::parse(line));
+  }
+  return result;
+}
+
+class ServeOverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cig-serve-overload-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServeOptions options() {
+    ServeOptions o;
+    o.cache_dir = shared_cache_dir();
+    return o;
+  }
+
+  std::string dir_;
+};
+
+std::string flood_script(int burst) {
+  std::ostringstream script;
+  script << "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n";
+  for (int i = 0; i < burst; ++i) {
+    script << "{\"op\":\"sample\",\"tenant\":\"a\",\"heavy\":true,"
+              "\"iterations\":4,\"priority\":0}\n";
+  }
+  script << "{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":3}\n"
+         << "{\"op\":\"shutdown\"}\n";
+  return script.str();
+}
+
+TEST_F(ServeOverloadTest, FloodShedsWithStructuredRejects) {
+  ServeOptions o = options();
+  o.overload.queue_high = 6;
+  o.overload.queue_low = 2;
+  Server server(o);
+  const SessionResult r = run_session(server, flood_script(8));
+  EXPECT_EQ(r.exit, 0);
+
+  std::size_t shed_replies = 0;
+  for (const Json& reply : r.replies) {
+    if (reply.bool_or("ok", true)) continue;
+    ASSERT_EQ(reply.string_or("error", ""), "overloaded");
+    EXPECT_GT(reply.number_or("retry_after_ms", 0), 0);
+    EXPECT_EQ(reply.string_or("op", ""), "sample");
+    EXPECT_EQ(reply.string_or("tenant", ""), "a");
+    ++shed_replies;
+  }
+  EXPECT_GT(shed_replies, 0u);
+  EXPECT_EQ(server.metrics().shed, shed_replies);
+  EXPECT_EQ(server.metrics().rejected, shed_replies);
+  // The priority-3 decide at the tail is never shed.
+  const Json& decide = r.replies[r.replies.size() - 2];
+  EXPECT_TRUE(decide.bool_or("ok", false));
+}
+
+TEST_F(ServeOverloadTest, SheddingIsJobsInvariant) {
+  const std::string script = flood_script(8);
+  std::vector<std::string> outputs;
+  for (const int jobs : {1, 8}) {
+    ServeOptions o = options();
+    o.overload.queue_high = 6;
+    o.overload.queue_low = 2;
+    o.jobs = jobs;
+    Server server(o);
+    outputs.push_back(run_session(server, script).out);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST_F(ServeOverloadTest, DefaultDeadlineRejectsWhenBacklogged) {
+  ServeOptions o = options();
+  o.overload.queue_high = 1000;
+  o.overload.default_deadline_us = 100;
+  o.overload.service_us_per_unit = 100.0;
+  Server server(o);
+  std::ostringstream script;
+  script << "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n";
+  // Two cost-4 samples on consecutive lines leave ~7 units queued, an
+  // estimated wait far past the 100us default deadline. The samples carry
+  // their own generous deadlines so only the defaulted decide expires.
+  script << "{\"op\":\"sample\",\"tenant\":\"a\",\"heavy\":true,"
+            "\"iterations\":4,\"deadline_us\":1000000}\n"
+         << "{\"op\":\"sample\",\"tenant\":\"a\",\"heavy\":true,"
+            "\"iterations\":4,\"deadline_us\":1000000}\n"
+         << "{\"op\":\"decide\",\"tenant\":\"a\"}\n"
+         << "{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":100000}\n"
+         << "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(server, script.str());
+  EXPECT_EQ(r.exit, 0);
+  const Json& defaulted = r.replies[3];
+  EXPECT_FALSE(defaulted.bool_or("ok", true));
+  EXPECT_EQ(defaulted.string_or("error", ""), "deadline-expired");
+  // An explicit generous deadline overrides the default.
+  EXPECT_TRUE(r.replies[4].bool_or("ok", false));
+  EXPECT_EQ(server.metrics().deadline_expired, 1u);
+}
+
+TEST_F(ServeOverloadTest, PoisonTenantIsQuarantinedAndReleased) {
+  ServeOptions o = options();
+  o.overload.quarantine_after = 2;
+  o.overload.quarantine_cooldown = 4;
+  o.batch_max = 1;  // emit (and strike) immediately, line by line
+  Server server(o);
+  std::ostringstream script;
+  script << "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n";
+  // Two unknown-tenant failures trip the ghost; the third request lands in
+  // quarantine.
+  for (int i = 0; i < 3; ++i) {
+    script << "{\"op\":\"decide\",\"tenant\":\"ghost\"}\n";
+  }
+  // Pad past the cooldown, then the ghost is admitted (and fails) again.
+  for (int i = 0; i < 5; ++i) {
+    script << "{\"op\":\"sample\",\"tenant\":\"a\"}\n";
+  }
+  script << "{\"op\":\"decide\",\"tenant\":\"ghost\"}\n"
+         << "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(server, script.str());
+  EXPECT_EQ(r.exit, 0);
+
+  EXPECT_EQ(r.replies[1].string_or("error", ""), "unknown-tenant");
+  EXPECT_EQ(r.replies[2].string_or("error", ""), "unknown-tenant");
+  const Json& quarantined = r.replies[3];
+  EXPECT_EQ(quarantined.string_or("error", ""), "quarantined");
+  EXPECT_GT(quarantined.number_or("retry_after_ms", 0), 0);
+  EXPECT_EQ(r.replies[9].string_or("error", ""), "unknown-tenant");
+  EXPECT_EQ(server.metrics().quarantine_trips, 1u);
+  EXPECT_EQ(server.metrics().quarantine_rejected, 1u);
+}
+
+TEST_F(ServeOverloadTest, AdmissionRejectsDoNotCountAsStrikes) {
+  ServeOptions o = options();
+  o.overload.queue_high = 6;
+  o.overload.queue_low = 2;
+  o.overload.quarantine_after = 2;
+  Server server(o);
+  // The whole flood is shed rejects — admission rejects must never trip
+  // the flooding tenant into quarantine.
+  const SessionResult r = run_session(server, flood_script(12));
+  EXPECT_EQ(r.exit, 0);
+  EXPECT_GT(server.metrics().shed, 0u);
+  EXPECT_EQ(server.metrics().quarantine_trips, 0u);
+}
+
+TEST_F(ServeOverloadTest, DrainFlagStopsIntakeAndStillCheckpoints) {
+  ServeOptions o = options();
+  o.state_dir = dir_ + "/state";
+  fs::create_directories(o.state_dir);
+  volatile std::sig_atomic_t drain = 0;
+  o.drain_signal = &drain;
+  Server server(o);
+
+  // First session: register and sample normally.
+  {
+    std::istringstream in(
+        "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+        "{\"op\":\"sample\",\"tenant\":\"a\"}\n");
+    std::ostringstream out;
+    EXPECT_EQ(server.run(in, out), 0);
+  }
+  EXPECT_FALSE(server.drain_requested());
+
+  // Second session starts with the flag already raised: the daemon stops
+  // intake after the first line, flushes, checkpoints and dumps flight.
+  drain = 1;
+  std::istringstream in(
+      "{\"op\":\"sample\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+  EXPECT_TRUE(server.drain_requested());
+  EXPECT_EQ(server.metrics().drains, 1u);
+
+  // Only the first post-flag line was consumed; its reply was still
+  // emitted (drain finishes in-flight work, it does not drop it).
+  std::size_t replies = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++replies;
+  }
+  EXPECT_EQ(replies, 1u);
+  EXPECT_TRUE(fs::exists(o.state_dir + "/flight.trace.json"));
+  EXPECT_TRUE(fs::exists(o.state_dir + "/manifest.snap"));
+}
+
+#ifndef _WIN32
+// Full SIGTERM lifecycle against the real binary: acknowledged work must
+// survive the drain, and the daemon must exit 0 on its own.
+TEST(ServeDrainLifecycleTest, SigtermDrainsCheckpointsAndExitsZero) {
+  const fs::path dir =
+      fs::temp_directory_path() / "cig-serve-sigterm-drain";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "state");
+
+  int to_child[2];
+  int from_child[2];
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string state = (dir / "state").string();
+    ::execl(CIGTOOL_PATH, CIGTOOL_PATH, "serve", "--state-dir",
+            state.c_str(), "--batch-max", "1", "--cache-dir",
+            shared_cache_dir().c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  const std::string script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"checkpoint\"}\n";
+  ASSERT_EQ(::write(to_child[1], script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+
+  // batch-max 1 flushes per line: wait for all three acknowledgements so
+  // the work is definitely acknowledged before the signal.
+  std::string acked;
+  char buf[4096];
+  while (std::count(acked.begin(), acked.end(), '\n') < 3) {
+    const ssize_t n = ::read(from_child[0], buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "daemon closed its reply stream early";
+    acked.append(buf, static_cast<std::size_t>(n));
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::close(to_child[1]);
+  ::close(from_child[0]);
+
+  // The acknowledged tenant survived the drain on disk.
+  EXPECT_TRUE(fs::exists(dir / "state" / "manifest.snap"));
+  EXPECT_TRUE(fs::exists(dir / "state" / "flight.trace.json"));
+  bool tenant_checkpoint = false;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(dir / "state" / "tenants")) {
+    if (entry.is_regular_file() &&
+        entry.path().extension().string() == ".snap") {
+      tenant_checkpoint = true;
+    }
+  }
+  EXPECT_TRUE(tenant_checkpoint);
+  fs::remove_all(dir);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Serve-layer chaos scenarios.
+
+TEST(SessionFaultInjectorTest, MutationsAreDeterministicPerSeed) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 40; ++i) {
+    lines.push_back("{\"op\":\"sample\",\"tenant\":\"t\"}");
+  }
+  const std::vector<fault::SessionFaultSpec> specs = {
+      {fault::SessionFaultKind::GarbageLine, 0.3, 0, 0, UINT64_MAX},
+      {fault::SessionFaultKind::TruncatedLine, 0.3, 0.4, 0, UINT64_MAX},
+      {fault::SessionFaultKind::MidBatchDisconnect, 0.1, 0, 0, UINT64_MAX},
+  };
+  fault::SessionFaultInjector a(specs, 7);
+  fault::SessionFaultInjector b(specs, 7);
+  fault::SessionFaultInjector c(specs, 8);
+  const auto sa = a.mutate(lines).sessions;
+  const auto sb = b.mutate(lines).sessions;
+  const auto sc = c.mutate(lines).sessions;
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  ServeChaosOptions chaos_options(int jobs = 1) {
+    ServeChaosOptions o;
+    o.cache_dir = shared_cache_dir();
+    o.jobs = jobs;
+    return o;
+  }
+};
+
+TEST_F(ServeChaosTest, EveryScenarioMeetsItsSlo) {
+  for (const fault::ServeScenario& scenario : fault::serve_scenarios()) {
+    const ServeChaosResult result =
+        run_serve_chaos(scenario, chaos_options());
+    EXPECT_TRUE(result.passed)
+        << scenario.name << ": "
+        << (result.violations.empty() ? "?" : result.violations.front());
+    EXPECT_EQ(result.replies, result.requests) << scenario.name;
+    EXPECT_FALSE(result.torn) << scenario.name;
+  }
+}
+
+TEST_F(ServeChaosTest, FloodScenarioActuallySheds) {
+  const ServeChaosResult result = run_serve_chaos(
+      fault::serve_scenario_by_name("serve-flood"), chaos_options());
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_GT(result.session_metrics.injected_lines, 0u);
+}
+
+TEST_F(ServeChaosTest, CellsAreByteIdenticalAcrossJobs) {
+  const fault::ServeScenario& scenario =
+      fault::serve_scenario_by_name("serve-storm");
+  const std::string serial =
+      run_serve_chaos(scenario, chaos_options(1)).to_json().dump(2);
+  const std::string parallel =
+      run_serve_chaos(scenario, chaos_options(4)).to_json().dump(2);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ServeScenarioCatalogueTest, NamesResolveAndUnknownsThrow) {
+  EXPECT_FALSE(fault::serve_scenarios().empty());
+  for (const auto& scenario : fault::serve_scenarios()) {
+    EXPECT_TRUE(fault::is_serve_scenario(scenario.name));
+    EXPECT_EQ(fault::serve_scenario_by_name(scenario.name).name,
+              scenario.name);
+  }
+  EXPECT_FALSE(fault::is_serve_scenario("thermal-throttle"));
+  EXPECT_THROW(fault::serve_scenario_by_name("serve-nope"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cig::serve

@@ -103,6 +103,84 @@ TEST(ServeProtocol, TraceIdsAcceptedGeneratedAndValidated) {
             "bad-request");
 }
 
+TEST(ServeProtocol, QosFieldsParsedAndBounded) {
+  // Defaults: shed class 1, no per-request deadline.
+  const ParsedLine plain = parse("{\"op\":\"sample\",\"tenant\":\"a\"}");
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(plain.request.priority, kDefaultPriority);
+  EXPECT_EQ(plain.request.deadline_us, 0u);
+
+  for (std::uint32_t p = 0; p <= kMaxPriority; ++p) {
+    const ParsedLine parsed =
+        parse("{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":" +
+              std::to_string(p) + "}");
+    ASSERT_TRUE(parsed.ok) << p;
+    EXPECT_EQ(parsed.request.priority, p);
+  }
+  const ParsedLine deadline = parse(
+      "{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":2500}");
+  ASSERT_TRUE(deadline.ok);
+  EXPECT_EQ(deadline.request.deadline_us, 2500u);
+
+  // Out-of-range, fractional and wrong-typed QoS fields are bad requests.
+  EXPECT_EQ(error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":-1}"),
+            "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":" +
+                     std::to_string(kMaxPriority + 1) + "}"),
+            "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":1.5}"),
+            "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"priority\":\"high\"}"),
+      "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":0}"),
+      "bad-request");
+  EXPECT_EQ(
+      error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":-5}"),
+      "bad-request");
+  EXPECT_EQ(error_of("{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":" +
+                     std::to_string(2 * kMaxDeadlineUs) + "}"),
+            "bad-request");
+  EXPECT_EQ(
+      error_of(
+          "{\"op\":\"decide\",\"tenant\":\"a\",\"deadline_us\":\"soon\"}"),
+      "bad-request");
+}
+
+TEST(ServeProtocol, ErrorRepliesEchoRequestContext) {
+  // Whatever parsed before the rejection is echoed: op, tenant, and a
+  // client-supplied trace id.
+  const ParsedLine bad_span = parse_request(
+      "{\"op\":\"sample\",\"tenant\":\"t9\",\"trace_id\":\"tr-1\","
+      "\"span\":1}",
+      5);
+  ASSERT_FALSE(bad_span.ok);
+  EXPECT_EQ(bad_span.error.string_or("error", ""), "bad-request");
+  EXPECT_EQ(bad_span.error.string_or("op", ""), "sample");
+  EXPECT_EQ(bad_span.error.string_or("tenant", ""), "t9");
+  EXPECT_EQ(bad_span.error.string_or("trace_id", ""), "tr-1");
+
+  // An unknown op still echoes the op text and tenant.
+  const ParsedLine bad_op = parse_request(
+      "{\"op\":\"frobnicate\",\"tenant\":\"t9\"}", 6);
+  ASSERT_FALSE(bad_op.ok);
+  EXPECT_EQ(bad_op.error.string_or("op", ""), "frobnicate");
+  EXPECT_EQ(bad_op.error.string_or("tenant", ""), "t9");
+
+  // Nothing understood -> nothing invented: a parse error echoes no
+  // context fields, and generated trace ids are never echoed.
+  const ParsedLine garbage = parse_request("not json at all", 7);
+  ASSERT_FALSE(garbage.ok);
+  EXPECT_FALSE(garbage.error.contains("op"));
+  EXPECT_FALSE(garbage.error.contains("tenant"));
+  EXPECT_FALSE(garbage.error.contains("trace_id"));
+  const ParsedLine no_trace = parse_request(
+      "{\"op\":\"sample\",\"tenant\":\"t9\",\"span\":1}", 8);
+  ASSERT_FALSE(no_trace.ok);
+  EXPECT_FALSE(no_trace.error.contains("trace_id"));
+}
+
 TEST(ServeProtocol, DumpTraceParsesOptionalPath) {
   const ParsedLine bare = parse("{\"op\":\"dump_trace\"}");
   ASSERT_TRUE(bare.ok);
@@ -148,7 +226,7 @@ std::vector<std::string> fuzz_corpus(std::size_t count) {
   corpus.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     std::string line = seed_line;
-    switch (i % 4) {
+    switch (i % 5) {
       case 0:  // truncate
         line = line.substr(0, 1 + rng() % (line.size() - 1));
         break;
@@ -169,6 +247,13 @@ std::vector<std::string> fuzz_corpus(std::size_t count) {
         line = "{\"op\":\"sample\",\"tenant\":\"fuzz\",\"span\":" +
                std::to_string(static_cast<long long>(rng()) - (1LL << 31)) +
                ",\"iterations\":" + std::to_string(rng()) + "}";
+        break;
+      case 4:  // hostile QoS fields
+        line = "{\"op\":\"decide\",\"tenant\":\"fuzz\",\"priority\":" +
+               std::to_string(static_cast<long long>(rng() % 64) - 8) +
+               ",\"deadline_us\":" +
+               std::to_string(static_cast<long long>(rng()) - (1LL << 31)) +
+               "}";
         break;
     }
     corpus.push_back(std::move(line));

@@ -41,6 +41,10 @@
 //                 [--listen unix:PATH|tcp:PORT] [--script <file.jsonl>]
 //                 [--slow-request-us X] [--flight-capacity N]
 //                 [--flight-out <file.trace.json>] [--label-cap N]
+//                 [--queue-high X] [--queue-low X] [--tenant-rate X]
+//                 [--tenant-burst X] [--default-deadline-us N]
+//                 [--quarantine-after N] [--quarantine-cooldown N]
+//                 [--drain-grace-ms N]
 //                                          multi-tenant decision service:
 //                                          line-delimited JSON requests on
 //                                          stdin (or a socket / script
@@ -56,7 +60,21 @@
 //                                          dumps the flight-recorder ring
 //                                          to --flight-out. See
 //                                          docs/serving.md for the wire
-//                                          protocol.
+//                                          protocol. The --queue-* /
+//                                          --tenant-* / --quarantine-* /
+//                                          --default-deadline-us flags arm
+//                                          the deterministic overload plane
+//                                          (admission watermarks, priority
+//                                          shedding, per-tenant token
+//                                          buckets, deadline screening,
+//                                          poison-tenant quarantine; see
+//                                          docs/serving.md). SIGTERM and
+//                                          SIGINT drain gracefully: stop
+//                                          intake, finish in-flight
+//                                          batches, checkpoint every
+//                                          tenant, dump the flight ring,
+//                                          exit 0 — or exit 2 if the drain
+//                                          exceeds --drain-grace-ms.
 //   cigtool top --connect unix:PATH|tcp:PORT [--interval-ms N] [--count N]
 //               [--json]
 //                                          live dashboard over a serving
@@ -96,7 +114,15 @@
 //                                          injected into the adaptive replay
 //                                          and every cell is checked against
 //                                          its regret bound; exits non-zero
-//                                          when a bound is exceeded
+//                                          when a bound is exceeded.
+//                                          serve-* scenario names run
+//                                          hostile-client session scenarios
+//                                          (garbage, floods, stalls,
+//                                          disconnects) against an
+//                                          in-process serve daemon instead,
+//                                          checked against per-scenario SLO
+//                                          bounds (reject rate, decide p99,
+//                                          no torn state)
 //
 // <board> is a preset name (nano, tx2, xavier, generic) or a JSON file.
 // <app> is one of: shwfs, orbslam, mb1, mb3.
@@ -107,6 +133,7 @@
 // every executor; see docs/performance.md); `--cache-dir DIR` memoizes
 // characterizations across invocations (a warm `characterize` re-run skips
 // every sweep simulation — check cache.hit in the --metrics-out snapshot).
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -129,15 +156,20 @@
 #include "obs/prometheus.h"
 #include "persist/atomic_io.h"
 #include "runtime/replay.h"
+#include "fault/session.h"
+#include "serve/chaos.h"
 #include "serve/crashtest.h"
 #include "serve/server.h"
 #include "serve/socket.h"
 
 #ifndef _WIN32
 #include <arpa/inet.h>
+#include <chrono>
 #include <csignal>
 #include <ctime>
+#include <thread>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -177,7 +209,10 @@ void print_usage(std::ostream& out) {
       " [--metrics-every N] [--listen unix:PATH|tcp:PORT]"
       " [--script <file.jsonl>] [--slow-request-us X]"
       " [--flight-capacity N] [--flight-out <file.trace.json>]"
-      " [--label-cap N]\n"
+      " [--label-cap N] [--queue-high X] [--queue-low X]"
+      " [--tenant-rate X] [--tenant-burst X] [--default-deadline-us N]"
+      " [--quarantine-after N] [--quarantine-cooldown N]"
+      " [--drain-grace-ms N]\n"
       "  cigtool top --connect unix:PATH|tcp:PORT [--interval-ms N]"
       " [--count N] [--json]\n"
       "  cigtool crashtest [--mode runtime|serve] [--board b] [--seams a,b]"
@@ -186,6 +221,8 @@ void print_usage(std::ostream& out) {
       " [--metrics-out <file.prom>] [--json]\n"
       "  cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>] [--json]\n"
+      "                (scenarios named serve-* run hostile-session cells"
+      " against the serve daemon, checked against SLO bounds)\n"
       "\n"
       "global flags:\n"
       "  --jobs N        worker pool size for sweeps/grids (0 = CIG_JOBS env"
@@ -195,8 +232,9 @@ void print_usage(std::ostream& out) {
       "  --cache-dir D   content-addressed characterization cache directory\n"
       "\n"
       "exit codes: 0 ok, 1 usage error, 2 operational failure (runtime"
-      " error or check violation), 3 recovery discarded torn state"
-      " (checkpointed runtime / serve only)\n";
+      " error, check violation, or a drain that overran --drain-grace-ms),"
+      " 3 recovery discarded torn state (checkpointed runtime / serve"
+      " only)\n";
 }
 
 int usage() {
@@ -818,13 +856,60 @@ int cmd_crashtest(const std::string& mode, const std::string& cigtool_path,
 // serial request loop polls it and performs the actual dump.
 volatile std::sig_atomic_t g_dump_flight = 0;
 void on_sigusr2(int) { g_dump_flight = 1; }
+
+// SIGTERM/SIGINT drain flag, same set-only discipline: the serial loop and
+// the socket accept loop poll it and run the graceful-drain path (finish
+// in-flight batches, checkpoint, dump, exit 0).
+volatile std::sig_atomic_t g_drain = 0;
+void on_drain(int) { g_drain = 1; }
 #endif
 
 int cmd_serve(serve::ServeOptions options, const std::string& listen,
-              const std::string& script) {
+              const std::string& script, std::uint64_t drain_grace_ms) {
 #ifndef _WIN32
   options.dump_signal = &g_dump_flight;
+  options.drain_signal = &g_drain;
   std::signal(SIGUSR2, on_sigusr2);
+  // sigaction without SA_RESTART: a blocking read()/accept() must come
+  // back EINTR so the drain flag actually gets polled.
+  struct sigaction drain_action {};
+  drain_action.sa_handler = on_drain;
+  sigemptyset(&drain_action.sa_mask);
+  drain_action.sa_flags = 0;
+  ::sigaction(SIGTERM, &drain_action, nullptr);
+  ::sigaction(SIGINT, &drain_action, nullptr);
+  // Drain watchdog: once the flag is up, the daemon has --drain-grace-ms
+  // to finish draining on its own; past that the process is force-exited
+  // (2) so a wedged batch can never turn SIGTERM into a hang. The kernel
+  // may deliver the original signal to any thread; only the serial loop's
+  // blocking read noticing an EINTR makes the daemon poll the flag, so the
+  // watchdog re-delivers the signal to the main thread until it drains.
+  if (drain_grace_ms > 0) {
+    const pthread_t main_thread = ::pthread_self();
+    std::thread([drain_grace_ms, main_thread] {
+      // Keep SIGTERM/SIGINT out of this thread: re-delivery must land on
+      // the main thread, not bounce back to a sleeping watchdog.
+      sigset_t blocked;
+      sigemptyset(&blocked);
+      sigaddset(&blocked, SIGTERM);
+      sigaddset(&blocked, SIGINT);
+      ::pthread_sigmask(SIG_BLOCK, &blocked, nullptr);
+      while (g_drain == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::uint64_t waited_ms = 0;
+      while (waited_ms < drain_grace_ms) {
+        ::pthread_kill(main_thread, SIGTERM);
+        const std::uint64_t nap =
+            std::min<std::uint64_t>(250, drain_grace_ms - waited_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+        waited_ms += nap;
+      }
+      std::_Exit(2);
+    }).detach();
+  }
+#else
+  (void)drain_grace_ms;
 #endif
   serve::Server server(options);
   if (!listen.empty()) {
@@ -931,8 +1016,11 @@ int cmd_top(const std::string& connect, std::uint64_t interval_ms,
     const Json doc = Json::parse(body);
     const double requests = doc.number_or("requests", 0);
     const double interval_s = static_cast<double>(interval_ms) / 1000.0;
+    // Clamp restarts: a daemon bounce between polls makes the counter
+    // jump backwards, and a negative req/s reading is noise, not news.
     const double rate = (prev_requests >= 0 && interval_s > 0)
-                            ? (requests - prev_requests) / interval_s
+                            ? std::max(0.0, (requests - prev_requests) /
+                                                interval_s)
                             : 0;
     prev_requests = requests;
 
@@ -995,15 +1083,24 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
   if (board_names.empty()) {
     throw std::invalid_argument("chaos: --boards named no boards");
   }
+  // serve-* names route to the serve-layer session scenarios; everything
+  // else is a controller fault scenario. No names = the full catalogue of
+  // both.
   std::vector<fault::FaultScenario> scenarios;
+  std::vector<fault::ServeScenario> serve_rows;
   if (scenarios_csv.empty()) {
     scenarios = fault::all_scenarios();
+    serve_rows = fault::serve_scenarios();
   } else {
     for (const auto& name : split_csv(scenarios_csv)) {
-      scenarios.push_back(fault::scenario_by_name(name));
+      if (fault::is_serve_scenario(name)) {
+        serve_rows.push_back(fault::serve_scenario_by_name(name));
+      } else {
+        scenarios.push_back(fault::scenario_by_name(name));
+      }
     }
   }
-  if (scenarios.empty()) {
+  if (scenarios.empty() && serve_rows.empty()) {
     throw std::invalid_argument("chaos: --scenarios named no scenarios");
   }
 
@@ -1020,9 +1117,26 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
 
   std::vector<fault::ChaosResult> cells;
   for (const auto& board_name : board_names) {
+    if (scenarios.empty()) break;
     const auto board = soc::resolve_board(board_name);
     for (const auto& scenario : scenarios) {
       cells.push_back(fault::run_chaos(board, scenario, options));
+    }
+  }
+
+  // Serve cells run the same board-major serial order; each cell is an
+  // in-process daemon fed mutated client sessions and held to its SLO.
+  std::vector<serve::ServeChaosResult> serve_cells;
+  std::size_t serve_failed = 0;
+  for (const auto& board_name : board_names) {
+    for (const auto& scenario : serve_rows) {
+      serve::ServeChaosOptions serve_options;
+      serve_options.seed = seed;
+      serve_options.board = board_name;
+      serve_options.jobs = jobs == 0 ? 1 : jobs;
+      serve_options.cache_dir = cache_dir;
+      serve_cells.push_back(serve::run_serve_chaos(scenario, serve_options));
+      if (!serve_cells.back().passed) ++serve_failed;
     }
   }
 
@@ -1044,6 +1158,20 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
   aggregate.set("chaos.cells", static_cast<double>(cells.size()));
   aggregate.set("chaos.max_regret", max_regret);
   aggregate.set("chaos.over_bound", static_cast<double>(over_bound));
+  fault::SessionFaultMetrics session_total;
+  for (const auto& cell : serve_cells) {
+    for (std::size_t k = 0; k < fault::kSessionFaultKindCount; ++k) {
+      session_total.by_kind[k] += cell.session_metrics.by_kind[k];
+    }
+    session_total.total += cell.session_metrics.total;
+    session_total.mutated_lines += cell.session_metrics.mutated_lines;
+    session_total.injected_lines += cell.session_metrics.injected_lines;
+    session_total.dropped_lines += cell.session_metrics.dropped_lines;
+    session_total.disconnects += cell.session_metrics.disconnects;
+  }
+  if (!serve_cells.empty()) session_total.export_to(aggregate);
+  aggregate.set("chaos.serve_cells", static_cast<double>(serve_cells.size()));
+  aggregate.set("chaos.serve_failed", static_cast<double>(serve_failed));
 
   if (!trace_out.empty() && !cells.empty()) {
     // The last cell's trace: fault instants on the CTRL lane alongside the
@@ -1061,8 +1189,14 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
     Json cell_array = JsonArray{};
     for (const auto& cell : cells) cell_array.push_back(cell.to_json());
     j["cells"] = std::move(cell_array);
+    Json serve_array = JsonArray{};
+    for (const auto& cell : serve_cells) {
+      serve_array.push_back(cell.to_json());
+    }
+    j["serve_cells"] = std::move(serve_array);
     j["max_regret"] = Json(max_regret);
     j["over_bound"] = Json(static_cast<double>(over_bound));
+    j["serve_failed"] = Json(static_cast<double>(serve_failed));
     j["fault_total"] = Json(static_cast<double>(total.total));
     std::cout << j.dump(2) << '\n';
   } else {
@@ -1086,6 +1220,21 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
                : std::string("-")});
     }
     print_table(std::cout, table);
+    if (!serve_cells.empty()) {
+      Table serve_table({"board", "scenario", "requests", "errors", "shed",
+                         "reject", "p99us", "verdict"});
+      for (const auto& cell : serve_cells) {
+        serve_table.add_row(
+            {cell.board, cell.scenario,
+             std::to_string(cell.requests), std::to_string(cell.errors),
+             std::to_string(cell.shed), Table::num(cell.reject_rate, 3),
+             Table::num(cell.p99_us, 1),
+             cell.passed ? std::string("pass")
+                         : "FAIL: " + cell.violations.front()});
+      }
+      std::cout << '\n';
+      print_table(std::cout, serve_table);
+    }
     if (!trace_out.empty() && !cells.empty()) {
       std::cout << "\nwrote Chrome trace to " << trace_out
                 << " (load in chrome://tracing or Perfetto)\n";
@@ -1095,9 +1244,16 @@ int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
     }
   }
 
-  if (over_bound > 0) {
-    std::cerr << "cigtool: chaos: " << over_bound
-              << " cell(s) exceeded their regret bound\n";
+  if (over_bound > 0 || serve_failed > 0) {
+    std::cerr << "cigtool: chaos: ";
+    if (over_bound > 0) {
+      std::cerr << over_bound << " cell(s) exceeded their regret bound";
+    }
+    if (over_bound > 0 && serve_failed > 0) std::cerr << "; ";
+    if (serve_failed > 0) {
+      std::cerr << serve_failed << " serve cell(s) violated their SLO";
+    }
+    std::cerr << '\n';
     return 2;
   }
   return 0;
@@ -1148,6 +1304,14 @@ int main(int argc, char** argv) {
   std::string connect_spec;
   std::uint64_t interval_ms = 1000;
   std::uint64_t top_count = 0;
+  double queue_high = 0;
+  double queue_low = -1;       // < 0 = half of --queue-high
+  double tenant_rate = 0;
+  double tenant_burst = -1;    // < 0 = max(1, 16 x rate)
+  std::uint64_t default_deadline_us = 0;
+  std::uint64_t quarantine_after = 0;
+  std::uint64_t quarantine_cooldown = 0;  // 0 = keep the built-in default
+  std::uint64_t drain_grace_ms = 5000;
   std::vector<std::string> positional;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -1247,6 +1411,30 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--label-cap") {
         if (++i >= args.size()) return usage();
         label_cap = parse_seed(args[i]);
+      } else if (args[i] == "--queue-high") {
+        if (++i >= args.size()) return usage();
+        queue_high = parse_nonneg_double(args[i], "--queue-high");
+      } else if (args[i] == "--queue-low") {
+        if (++i >= args.size()) return usage();
+        queue_low = parse_nonneg_double(args[i], "--queue-low");
+      } else if (args[i] == "--tenant-rate") {
+        if (++i >= args.size()) return usage();
+        tenant_rate = parse_nonneg_double(args[i], "--tenant-rate");
+      } else if (args[i] == "--tenant-burst") {
+        if (++i >= args.size()) return usage();
+        tenant_burst = parse_nonneg_double(args[i], "--tenant-burst");
+      } else if (args[i] == "--default-deadline-us") {
+        if (++i >= args.size()) return usage();
+        default_deadline_us = parse_seed(args[i]);
+      } else if (args[i] == "--quarantine-after") {
+        if (++i >= args.size()) return usage();
+        quarantine_after = parse_seed(args[i]);
+      } else if (args[i] == "--quarantine-cooldown") {
+        if (++i >= args.size()) return usage();
+        quarantine_cooldown = parse_seed(args[i]);
+      } else if (args[i] == "--drain-grace-ms") {
+        if (++i >= args.size()) return usage();
+        drain_grace_ms = parse_seed(args[i]);
       } else if (args[i] == "--connect") {
         if (++i >= args.size()) return usage();
         connect_spec = args[i];
@@ -1335,7 +1523,17 @@ int main(int argc, char** argv) {
       }
       options.flight_out = flight_out;
       options.label_cap = static_cast<std::size_t>(label_cap);
-      return cmd_serve(options, listen, script);
+      options.overload.queue_high = queue_high;
+      if (queue_low >= 0) options.overload.queue_low = queue_low;
+      options.overload.tenant_rate = tenant_rate;
+      if (tenant_burst >= 0) options.overload.tenant_burst = tenant_burst;
+      options.overload.default_deadline_us = default_deadline_us;
+      options.overload.quarantine_after =
+          static_cast<std::uint32_t>(quarantine_after);
+      if (quarantine_cooldown > 0) {
+        options.overload.quarantine_cooldown = quarantine_cooldown;
+      }
+      return cmd_serve(options, listen, script, drain_grace_ms);
     }
     if (command == "top" && positional.size() == 1) {
       return cmd_top(connect_spec, interval_ms == 0 ? 1 : interval_ms,
