@@ -278,6 +278,8 @@ int main(int argc, char** argv) {
       {"saturation p99 (sim us)", Table::num(saturation_p99, 1)});
   table.add_row({"evictions", std::to_string(m.evictions)});
   table.add_row({"restores", std::to_string(m.restores)});
+  table.add_row({"peak footprint (bytes)",
+                 std::to_string(server.footprint_peak())});
   print_table(std::cout, table);
 
   if (!cli.bench_out.empty()) {
@@ -321,6 +323,13 @@ int main(int argc, char** argv) {
     j["saturation"] = std::move(saturation);
     j["evictions"] = Json(static_cast<double>(m.evictions));
     j["restores"] = Json(static_cast<double>(m.restores));
+    // Estimated resident-memory high-water mark (core::FootprintModel over
+    // every resident tenant), tracked since PR 10. Additive key: the perf
+    // gate keys above (req_per_sec etc.) are unchanged.
+    j["peak_footprint_bytes"] =
+        Json(static_cast<double>(server.footprint_peak()));
+    j["final_footprint_bytes"] =
+        Json(static_cast<double>(server.resident_footprint()));
     persist::atomic_write_file(cli.bench_out, j.dump(2) + "\n");
     std::cout << "\nwrote bench report to " << cli.bench_out << '\n';
   }

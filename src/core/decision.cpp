@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/footprint.h"
 #include "support/assert.h"
 
 namespace cig::core {
@@ -295,6 +296,19 @@ Recommendation DecisionEngine::recommend_for(
     }
   }
   return finish();
+}
+
+void DecisionEngine::annotate_footprint(Recommendation& rec,
+                                        Bytes shared_bytes) {
+  if (shared_bytes == 0) return;
+  rec.shared_bytes = shared_bytes;
+  rec.current_footprint_bytes =
+      FootprintModel::resident_bytes(rec.current, shared_bytes);
+  rec.suggested_footprint_bytes =
+      FootprintModel::resident_bytes(rec.suggested, shared_bytes);
+  rec.explanation.shared_bytes = shared_bytes;
+  rec.explanation.current_footprint_bytes = rec.current_footprint_bytes;
+  rec.explanation.suggested_footprint_bytes = rec.suggested_footprint_bytes;
 }
 
 }  // namespace cig::core

@@ -32,6 +32,13 @@ struct Recommendation {
   double estimated_speedup = 1.0;
   double max_speedup = 1.0;
 
+  // Resident-footprint estimates (core::FootprintModel) for the current
+  // and suggested models, filled by annotate_footprint() when the caller
+  // knows the shared-buffer size. Zero until annotated.
+  Bytes shared_bytes = 0;
+  Bytes current_footprint_bytes = 0;
+  Bytes suggested_footprint_bytes = 0;
+
   std::string rationale;
 
   // Structured provenance: counters, thresholds, the equation and inputs
@@ -91,6 +98,10 @@ class DecisionEngine {
   // Helper: eqn-1/2 cache usage from a profile report, normalised by the
   // MB1 peak of the model the profile was taken under.
   CacheUsage usage_from(const profile::ProfileReport& profile) const;
+
+  // Fills the footprint fields of `rec` (and its Explanation) from the
+  // shared-buffer size the decision was made for. A no-op at 0 bytes.
+  static void annotate_footprint(Recommendation& rec, Bytes shared_bytes);
 
  private:
   DeviceCharacterization device_;

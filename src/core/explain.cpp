@@ -63,6 +63,16 @@ Json Explanation::to_json() const {
   j["switch"] = Json(switch_model);
   j["use_overlap_pattern"] = Json(use_overlap_pattern);
 
+  if (shared_bytes > 0) {
+    Json footprint;
+    footprint["shared_bytes"] = Json(static_cast<double>(shared_bytes));
+    footprint["current_bytes"] =
+        Json(static_cast<double>(current_footprint_bytes));
+    footprint["suggested_bytes"] =
+        Json(static_cast<double>(suggested_footprint_bytes));
+    j["footprint"] = std::move(footprint);
+  }
+
   Json check_list;
   for (const auto& check : checks) check_list.push_back(Json(check));
   if (checks.empty()) check_list = JsonArray{};
@@ -102,6 +112,17 @@ Explanation Explanation::from_json(const Json& json) {
   out.suggested = model_from_name(json.at("suggested_model").as_string());
   out.switch_model = json.bool_or("switch", false);
   out.use_overlap_pattern = json.bool_or("use_overlap_pattern", false);
+
+  // Optional (documents written before footprint accounting omit it).
+  if (json.contains("footprint")) {
+    const Json& footprint = json.at("footprint");
+    out.shared_bytes =
+        static_cast<Bytes>(footprint.number_or("shared_bytes", 0));
+    out.current_footprint_bytes =
+        static_cast<Bytes>(footprint.number_or("current_bytes", 0));
+    out.suggested_footprint_bytes =
+        static_cast<Bytes>(footprint.number_or("suggested_bytes", 0));
+  }
 
   for (const auto& check : json.at("checks").as_array()) {
     out.checks.push_back(check.as_string());

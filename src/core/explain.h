@@ -18,6 +18,7 @@
 #include "core/perfmodel.h"
 #include "core/thresholds.h"
 #include "support/json.h"
+#include "support/units.h"
 
 namespace cig::core {
 
@@ -57,6 +58,13 @@ struct Explanation {
   comm::CommModel suggested = comm::CommModel::StandardCopy;
   bool switch_model = false;
   bool use_overlap_pattern = false;
+
+  // Resident-footprint accounting (core::FootprintModel), filled by
+  // callers that know the shared-buffer size (the runtime controller, the
+  // serve tenants). All zero when no buffer size was supplied.
+  Bytes shared_bytes = 0;
+  Bytes current_footprint_bytes = 0;
+  Bytes suggested_footprint_bytes = 0;
 
   // The ordered checks the decision flow evaluated, in evaluation order —
   // e.g. "gpu_cache_usage 12.3% <= gpu_threshold 57.1% -> zone 1".

@@ -1,0 +1,56 @@
+#include "core/footprint.h"
+
+#include "core/microbench.h"
+
+namespace cig::core {
+
+Bytes FootprintModel::pages(Bytes bytes) {
+  const Bytes p = kFootprintPageBytes;
+  return ((bytes + p - 1) / p) * p;
+}
+
+Bytes FootprintModel::resident_bytes(comm::CommModel model,
+                                     Bytes shared_bytes) {
+  const Bytes rounded = pages(shared_bytes);
+  const Bytes page_count = rounded / kFootprintPageBytes;
+  switch (model) {
+    case comm::CommModel::StandardCopy:
+      // Host staging copy + device copy, both page-rounded.
+      return 2 * rounded;
+    case comm::CommModel::UnifiedMemory:
+      // One managed allocation plus per-page migration metadata.
+      return rounded + page_count * kUnifiedMemoryPagePenaltyBytes;
+    case comm::CommModel::ZeroCopy:
+      // Exactly one pinned shared copy.
+      return rounded;
+  }
+  return rounded;
+}
+
+std::array<Bytes, 3> FootprintModel::table(Bytes shared_bytes) {
+  std::array<Bytes, 3> out{};
+  for (const auto model :
+       {comm::CommModel::StandardCopy, comm::CommModel::UnifiedMemory,
+        comm::CommModel::ZeroCopy}) {
+    out[model_index(model)] = resident_bytes(model, shared_bytes);
+  }
+  return out;
+}
+
+comm::CommModel FootprintModel::demote(comm::CommModel model) {
+  switch (model) {
+    case comm::CommModel::StandardCopy:
+      return comm::CommModel::UnifiedMemory;
+    case comm::CommModel::UnifiedMemory:
+      return comm::CommModel::ZeroCopy;
+    case comm::CommModel::ZeroCopy:
+      return comm::CommModel::ZeroCopy;
+  }
+  return model;
+}
+
+bool FootprintModel::is_floor(comm::CommModel model) {
+  return model == comm::CommModel::ZeroCopy;
+}
+
+}  // namespace cig::core

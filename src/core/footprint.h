@@ -1,0 +1,55 @@
+// Resident-footprint accounting per communication model.
+//
+// The decision engine optimizes time alone, but the three comm models pin
+// very different amounts of DRAM for the same shared buffer: SC keeps a
+// host staging copy *and* a device copy, UM keeps one managed allocation
+// plus per-page migration metadata, and ZC keeps exactly one pinned shared
+// copy. On embedded unified-memory parts (the paper's TX2/Xavier class)
+// that difference is what a memory-pressure governor trades against speed:
+// demoting SC -> UM -> ZC frees resident bytes monotonically.
+//
+// The model here is deliberately simple and deterministic — allocations are
+// page-rounded and the UM metadata overhead is a fixed per-page constant —
+// so footprints are a pure function of (model, shared bytes) and replay
+// byte-identically everywhere they are accounted (controller, governor,
+// serve tenants, checkpoints).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "comm/model.h"
+#include "support/units.h"
+
+namespace cig::core {
+
+// Allocation granularity of every footprint figure. Both boards the paper
+// characterizes use 4 KiB pages for pinned and managed mappings.
+inline constexpr Bytes kFootprintPageBytes = 4096;
+
+// Per-page bookkeeping the UM driver keeps for migration state (dirty /
+// residency tracking). A fixed constant keeps UM strictly between SC and
+// ZC without pretending to model a specific driver.
+inline constexpr Bytes kUnifiedMemoryPagePenaltyBytes = 64;
+
+struct FootprintModel {
+  // Bytes rounded up to whole pages.
+  static Bytes pages(Bytes bytes);
+
+  // Resident DRAM footprint of `shared_bytes` of shared data under
+  // `model`. Guarantees SC > UM > ZC for any shared_bytes > 0.
+  static Bytes resident_bytes(comm::CommModel model, Bytes shared_bytes);
+
+  // All three footprints at once, indexed by core::model_index.
+  static std::array<Bytes, 3> table(Bytes shared_bytes);
+
+  // The demotion ladder: the next model below `model` by footprint
+  // (SC -> UM -> ZC), or `model` itself when already at the bottom.
+  static comm::CommModel demote(comm::CommModel model);
+
+  // True when `model` is the smallest-footprint model (nothing to demote
+  // to).
+  static bool is_floor(comm::CommModel model);
+};
+
+}  // namespace cig::core

@@ -1,7 +1,9 @@
 #include "fault/chaos.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/footprint.h"
 #include "support/assert.h"
 #include "support/rng.h"
 
@@ -95,6 +97,31 @@ ChaosResult run_chaos(const soc::BoardConfig& board,
   // derating) and the profiler report after it (noise, dropout, spikes,
   // stale batches); the hardened controller runs the trace end to end.
   runtime::ReplayOptions replay = options.replay;
+
+  // Pressure cells arm a hard DRAM budget sized from the trace itself:
+  // 3x the page-rounded shared span, so SC (2x) fits at nominal budget and
+  // the scenario's shrink steps are what push the controller down the
+  // ladder. The ramp and the alloc-failure stream feed the controller
+  // through the pressure seam, sample by sample.
+  if (injector.has(FaultKind::MemBudgetShrink) ||
+      injector.has(FaultKind::AllocFailure)) {
+    Bytes max_extent = 0;
+    for (const auto& phase : phases) {
+      max_extent = std::max(max_extent, phase.workload.gpu.pattern.extent);
+    }
+    const Bytes initial_budget =
+        3 * core::FootprintModel::pages(max_extent);
+    replay.controller.pressure.budget = initial_budget;
+    replay.pressure_sample = [&injector, initial_budget](
+                                 runtime::AdaptiveController& controller,
+                                 std::uint64_t index) {
+      injector.pre_sample_pressure(controller.governor(), initial_budget,
+                                   &controller.tracer(), index);
+      if (injector.alloc_failure(&controller.tracer(), index)) {
+        controller.signal_alloc_failure();
+      }
+    };
+  }
   replay.before_sample = [&injector](soc::SoC& soc, obs::Tracer& tracer,
                                      std::uint64_t index) {
     injector.pre_sample(soc, &tracer, index);

@@ -51,6 +51,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::StaleBatch: return "stale_batch";
     case FaultKind::ThermalDerate: return "thermal_derate";
     case FaultKind::CorruptCharacterization: return "corrupt_characterization";
+    case FaultKind::MemBudgetShrink: return "mem_budget_shrink";
+    case FaultKind::AllocFailure: return "alloc_failure";
   }
   return "unknown";
 }
@@ -129,6 +131,49 @@ void FaultInjector::pre_sample(soc::SoC& soc, obs::Tracer* tracer,
   }
 }
 
+double FaultInjector::budget_factor(std::uint64_t index) const {
+  double factor = 1.0;
+  for (const auto& spec : specs_) {
+    if (spec.kind != FaultKind::MemBudgetShrink) continue;
+    if (index < spec.first_sample || index > spec.last_sample) continue;
+    factor *= std::max(0.05, 1.0 - spec.magnitude);
+  }
+  return factor;
+}
+
+void FaultInjector::pre_sample_pressure(mem::PressureGovernor& governor,
+                                        Bytes initial_budget,
+                                        obs::Tracer* tracer,
+                                        std::uint64_t index) {
+  const double factor = budget_factor(index);
+  if (factor == applied_budget_factor_) return;
+  applied_budget_factor_ = factor;
+  const Bytes budget = static_cast<Bytes>(
+      static_cast<double>(initial_budget) * factor);
+  governor.set_budget(budget);
+  metrics_.count(FaultKind::MemBudgetShrink);
+  if (tracer != nullptr) {
+    std::ostringstream label;
+    label.precision(3);
+    label << "fault: mem_budget_shrink x" << factor << " ("
+          << format_bytes(budget) << ")";
+    tracer->instant(sim::Lane::Ctrl, label.str());
+  }
+}
+
+bool FaultInjector::alloc_failure(obs::Tracer* tracer, std::uint64_t index) {
+  bool fired = false;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const FaultSpec& spec = specs_[s];
+    if (spec.kind != FaultKind::AllocFailure) continue;
+    if (!fires(spec, s, index)) continue;
+    fired = true;
+    metrics_.count(spec.kind);
+    mark(tracer, spec.kind);
+  }
+  return fired;
+}
+
 bool FaultInjector::on_report(profile::ProfileReport& report,
                               obs::Tracer* tracer, std::uint64_t index) {
   bool fired = false;
@@ -183,7 +228,9 @@ bool FaultInjector::on_report(profile::ProfileReport& report,
       }
       case FaultKind::ThermalDerate:
       case FaultKind::CorruptCharacterization:
-        continue;  // handled in pre_sample() / corrupt()
+      case FaultKind::MemBudgetShrink:
+      case FaultKind::AllocFailure:
+        continue;  // handled in pre_sample*() / corrupt() / alloc_failure()
     }
     fired = true;
     metrics_.count(spec.kind);

@@ -24,10 +24,12 @@
 #include <vector>
 
 #include "core/microbench.h"
+#include "mem/pressure.h"
 #include "obs/tracer.h"
 #include "profile/report.h"
 #include "sim/stat_registry.h"
 #include "soc/soc.h"
+#include "support/units.h"
 
 namespace cig::fault {
 
@@ -39,10 +41,12 @@ enum class FaultKind {
   StaleBatch,            // the previous report is delivered again
   ThermalDerate,         // bandwidth + clocks derated from a sample onward
   CorruptCharacterization,  // DeviceCharacterization fields NaN/zero/missing
+  MemBudgetShrink,       // hard DRAM budget cut from a sample onward
+  AllocFailure,          // transient allocation failure (forces demotion)
 };
 
 const char* fault_kind_name(FaultKind kind);
-constexpr std::size_t kFaultKindCount = 7;
+constexpr std::size_t kFaultKindCount = 9;
 
 struct FaultSpec {
   FaultKind kind = FaultKind::CounterNoise;
@@ -88,6 +92,24 @@ class FaultInjector {
   // Combined derate factor for `index` (1.0 = nominal) — exposed for tests.
   double derate_factor(std::uint64_t index) const;
 
+  // Combined DRAM-budget factor for `index` (1.0 = nominal). Like
+  // ThermalDerate, MemBudgetShrink specs are level-triggered: each active
+  // spec multiplies the budget by (1 - magnitude), floored at 5%. A
+  // shrinking *ramp* is several specs with staggered first_samples.
+  double budget_factor(std::uint64_t index) const;
+
+  // Applies the budget-shrink schedule for this sample to `governor`
+  // (budget = initial x budget_factor; no-op when unchanged). Emits a CTRL
+  // instant per change when a tracer is given.
+  void pre_sample_pressure(mem::PressureGovernor& governor,
+                           Bytes initial_budget, obs::Tracer* tracer,
+                           std::uint64_t index);
+
+  // True when a transient allocation failure fires at `index` (counted and
+  // marked). The caller routes it into the controller's alloc-failure
+  // demotion path.
+  bool alloc_failure(obs::Tracer* tracer, std::uint64_t index);
+
   // Applies every CorruptCharacterization spec to `device`: drops the ZC
   // throughput column, poisons thresholds (NaN / out of range) and zeroes
   // MB3 times, scaled by the spec's magnitude. The result is exactly what
@@ -110,6 +132,7 @@ class FaultInjector {
   std::uint64_t seed_;
   FaultMetrics metrics_;
   double applied_derate_ = 1.0;
+  double applied_budget_factor_ = 1.0;
   std::optional<profile::ProfileReport> last_report_;
 };
 

@@ -79,6 +79,53 @@ std::vector<FaultScenario> build_catalogue() {
     s.regret_bound = 8.0;
     catalogue.push_back(std::move(s));
   }
+  {
+    // Shrinking-DRAM ramp: the budget starts generous (SC fits), then is
+    // cut in three staggered steps — the final one squeezing below even the
+    // UM footprint, so whichever non-floor model the controller holds must
+    // demote down the ladder instead of failing. Demoted models are slower
+    // than the unconstrained best static, so the bound carries
+    // thermal-grade slack.
+    FaultScenario s;
+    s.name = "mem-shrink";
+    s.summary = "DRAM budget cut in 3 steps (to 50%/35%/25%) from sample 16 on";
+    FaultSpec step1{FaultKind::MemBudgetShrink, 1.0, 0.5};
+    step1.first_sample = 16;
+    FaultSpec step2{FaultKind::MemBudgetShrink, 1.0, 0.3};
+    step2.first_sample = 32;
+    FaultSpec step3{FaultKind::MemBudgetShrink, 1.0, 0.3};
+    step3.first_sample = 56;
+    s.specs = {step1, step2, step3};
+    s.regret_bound = 6.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    // Transient allocation failures: each one forces a one-step demotion;
+    // the controller may climb back when the flow re-recommends a larger
+    // model, so the run oscillates down/up under a healthy budget.
+    FaultScenario s;
+    s.name = "alloc-fail";
+    s.summary = "10% of samples hit a transient allocation failure";
+    s.specs = {{FaultKind::AllocFailure, 0.10, 1.0}};
+    s.regret_bound = 6.0;
+    catalogue.push_back(std::move(s));
+  }
+  {
+    // The OOM-grade crunch: a collapsing budget plus allocation failures
+    // plus counter noise — the demotion path, the budget gate and the
+    // input guards all active at once.
+    FaultScenario s;
+    s.name = "oom-crunch";
+    s.summary =
+        "budget collapses -60% at sample 24 + 15% alloc failures + noise";
+    FaultSpec crunch{FaultKind::MemBudgetShrink, 1.0, 0.6};
+    crunch.first_sample = 24;
+    s.specs = {crunch,
+               {FaultKind::AllocFailure, 0.15, 1.0},
+               {FaultKind::CounterNoise, 0.25, 0.15}};
+    s.regret_bound = 8.0;
+    catalogue.push_back(std::move(s));
+  }
 
   return catalogue;
 }

@@ -1,0 +1,88 @@
+#include "mem/pressure.h"
+
+#include <cstdlib>
+
+namespace cig::mem {
+
+const char* pressure_level_name(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::Ok: return "ok";
+    case PressureLevel::Warn: return "warn";
+    case PressureLevel::Critical: return "critical";
+  }
+  return "?";
+}
+
+Bytes resolve_mem_budget(Bytes flag_bytes) {
+  if (flag_bytes > 0) return flag_bytes;
+  const char* env = std::getenv("CIG_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  // strtoull would silently negate a leading '-'; only plain decimal
+  // digit strings count as a budget.
+  if (*env < '0' || *env > '9') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<Bytes>(value);
+}
+
+PressureLevel PressureGovernor::grade(Bytes resident_bytes) const {
+  if (!enabled()) return PressureLevel::Ok;
+  const double frac = static_cast<double>(resident_bytes) /
+                      static_cast<double>(config_.budget);
+  if (frac >= config_.critical_frac) return PressureLevel::Critical;
+  if (frac >= config_.warn_frac) return PressureLevel::Warn;
+  return PressureLevel::Ok;
+}
+
+bool PressureGovernor::observe(Bytes resident_bytes) {
+  resident_ = resident_bytes;
+  if (resident_ > peak_resident_) peak_resident_ = resident_;
+  const PressureLevel next = grade(resident_bytes);
+  if (next == level_) return false;
+  level_ = next;
+  ++level_changes_;
+  return true;
+}
+
+void PressureGovernor::export_to(sim::StatRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.set(prefix + ".budget_bytes", static_cast<double>(config_.budget));
+  registry.set(prefix + ".resident_bytes", static_cast<double>(resident_));
+  registry.set(prefix + ".peak_bytes", static_cast<double>(peak_resident_));
+  registry.set(prefix + ".level", static_cast<double>(level_));
+  registry.set(prefix + ".level_changes",
+               static_cast<double>(level_changes_));
+  registry.set(prefix + ".demotions", static_cast<double>(demotions_));
+  registry.set(prefix + ".blocked", static_cast<double>(blocked_));
+}
+
+Json PressureGovernor::snapshot() const {
+  Json j;
+  j["budget"] = Json(static_cast<double>(config_.budget));
+  j["warn_frac"] = Json(config_.warn_frac);
+  j["critical_frac"] = Json(config_.critical_frac);
+  j["level"] = Json(static_cast<double>(level_));
+  j["resident"] = Json(static_cast<double>(resident_));
+  j["peak_resident"] = Json(static_cast<double>(peak_resident_));
+  j["level_changes"] = Json(static_cast<double>(level_changes_));
+  j["demotions"] = Json(static_cast<double>(demotions_));
+  j["blocked"] = Json(static_cast<double>(blocked_));
+  return j;
+}
+
+void PressureGovernor::restore(const Json& json) {
+  config_.budget = static_cast<Bytes>(json.number_or("budget", 0));
+  config_.warn_frac = json.number_or("warn_frac", 0.75);
+  config_.critical_frac = json.number_or("critical_frac", 0.90);
+  level_ = static_cast<PressureLevel>(
+      static_cast<std::uint8_t>(json.number_or("level", 0)));
+  resident_ = static_cast<Bytes>(json.number_or("resident", 0));
+  peak_resident_ = static_cast<Bytes>(json.number_or("peak_resident", 0));
+  level_changes_ =
+      static_cast<std::uint64_t>(json.number_or("level_changes", 0));
+  demotions_ = static_cast<std::uint64_t>(json.number_or("demotions", 0));
+  blocked_ = static_cast<std::uint64_t>(json.number_or("blocked", 0));
+}
+
+}  // namespace cig::mem

@@ -1,0 +1,101 @@
+// Memory-pressure governor: a hard DRAM budget, graded pressure levels,
+// and the bookkeeping behind deterministic comm-model demotion.
+//
+// The governor itself is pure state — it holds the configured budget,
+// tracks the caller's resident-byte estimate, grades it into ok / warn /
+// critical, and counts the demotions and blocked candidates the caller
+// performs on its verdicts. It never allocates, never talks to a tracer,
+// and its transitions are a pure function of the observed byte sequence,
+// so every consumer (the runtime controller, the serve daemon, chaos
+// cells) replays byte-identically at any --jobs setting.
+//
+// Budget sources, by precedence: an explicit config (--mem-budget-mb),
+// the CIG_MEM_BUDGET environment variable (bytes), else disabled (0).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stat_registry.h"
+#include "support/json.h"
+#include "support/units.h"
+
+namespace cig::mem {
+
+enum class PressureLevel : std::uint8_t { Ok = 0, Warn, Critical };
+
+const char* pressure_level_name(PressureLevel level);
+
+struct PressureConfig {
+  // Hard resident-byte budget. 0 disables the governor entirely: every
+  // plan fits, the level pins at Ok.
+  Bytes budget = 0;
+  // Graded thresholds as fractions of the budget: Warn at or above
+  // warn_frac x budget, Critical at or above critical_frac x budget.
+  double warn_frac = 0.75;
+  double critical_frac = 0.90;
+};
+
+// Resolves the byte budget from CIG_MEM_BUDGET (decimal bytes) when
+// `flag_bytes` is 0; returns `flag_bytes` otherwise. Malformed env values
+// count as unset.
+Bytes resolve_mem_budget(Bytes flag_bytes);
+
+class PressureGovernor {
+ public:
+  PressureGovernor() = default;
+  explicit PressureGovernor(PressureConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.budget > 0; }
+  Bytes budget() const { return config_.budget; }
+  const PressureConfig& config() const { return config_; }
+
+  // Replaces the budget mid-run (the shrinking-DRAM chaos ramp). The
+  // level is re-graded against the resident estimate on the next
+  // observe().
+  void set_budget(Bytes budget) { config_.budget = budget; }
+
+  // Feeds the current resident-byte estimate and re-grades the level.
+  // Returns true when the level changed (callers emit instants/metrics on
+  // edges only, keeping traces quiet in steady state).
+  bool observe(Bytes resident_bytes);
+
+  PressureLevel level() const { return level_; }
+  Bytes resident() const { return resident_; }
+  Bytes peak_resident() const { return peak_resident_; }
+
+  // True when keeping `bytes` resident would break the hard budget.
+  bool would_exceed(Bytes bytes) const {
+    return enabled() && bytes > config_.budget;
+  }
+
+  // Demotions forced / candidate switches blocked on this governor's
+  // verdicts (counted by the caller at the point of action).
+  void count_demotion() { ++demotions_; }
+  void count_blocked() { ++blocked_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t blocked() const { return blocked_; }
+  std::uint64_t level_changes() const { return level_changes_; }
+
+  // Exports the governor's counters under `prefix` (e.g. "runtime.mem" or
+  // "serve.mem"): .budget_bytes, .resident_bytes, .peak_bytes, .level,
+  // .level_changes, .demotions, .blocked.
+  void export_to(sim::StatRegistry& registry, const std::string& prefix) const;
+
+  // Full state round-trip for crash recovery: a restored governor must
+  // grade the next observation exactly as the killed one would have.
+  Json snapshot() const;
+  void restore(const Json& json);
+
+ private:
+  PressureLevel grade(Bytes resident_bytes) const;
+
+  PressureConfig config_;
+  PressureLevel level_ = PressureLevel::Ok;
+  Bytes resident_ = 0;
+  Bytes peak_resident_ = 0;
+  std::uint64_t level_changes_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace cig::mem

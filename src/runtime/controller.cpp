@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/footprint.h"
 #include "core/microbench.h"
 #include "support/assert.h"
 #include "support/hash.h"
@@ -46,7 +47,9 @@ std::string config_fingerprint(const ControllerConfig& c,
       << c.guard.regime_change_after << '|' << c.guard.rollback_threshold
       << '|' << c.guard.quarantine_after << '|' << c.guard.cooldown_decisions
       << '|' << c.guard.watchdog_window << '|'
-      << c.guard.max_switches_in_window << '|' << c.guard.pin_decisions;
+      << c.guard.max_switches_in_window << '|' << c.guard.pin_decisions << '|'
+      << c.pressure.budget << '|' << c.pressure.warn_frac << '|'
+      << c.pressure.critical_frac;
   return support::fnv1a64_hex(support::fnv1a64(out.str()));
 }
 
@@ -70,8 +73,12 @@ Json ControlDecision::to_json() const {
   j["rolled_back"] = rolled_back;
   j["blocked_by_guard"] = blocked_by_guard;
   if (!guard_event.empty()) j["guard_event"] = guard_event;
+  j["demoted"] = demoted;
+  j["blocked_by_budget"] = blocked_by_budget;
+  j["pressure"] = mem::pressure_level_name(pressure);
+  j["footprint_bytes"] = static_cast<double>(footprint_bytes);
   j["flow_id"] = flow_id;
-  if (evaluated) j["explanation"] = explanation.to_json();
+  if (evaluated || demoted) j["explanation"] = explanation.to_json();
   return j;
 }
 
@@ -91,7 +98,8 @@ AdaptiveController::AdaptiveController(const core::DecisionEngine& engine,
                     config.hysteresis),
       cpu_band_(engine.device().cpu_threshold_pct(), config.hysteresis),
       sample_guard_(config.guard, metrics_.guard),
-      switch_guard_(config.guard, metrics_.guard) {
+      switch_guard_(config.guard, metrics_.guard),
+      governor_(config.pressure) {
   CIG_EXPECTS(config_.amortization_horizon_iters > 0);
   CIG_EXPECTS(config_.min_samples >= 1);
   CIG_EXPECTS(config_.zc_saturation_pct > 0);
@@ -178,6 +186,41 @@ ControlDecision AdaptiveController::on_sample(
     }
   }
 
+  // Memory pressure next: account the current model's resident footprint,
+  // grade it, and act before the decision flow runs — a budget breach (or
+  // a transient allocation failure) forces a deterministic demotion down
+  // the footprint ladder regardless of what the flow would recommend.
+  const Bytes footprint =
+      core::FootprintModel::resident_bytes(model_, shared_bytes);
+  decision.footprint_bytes = footprint;
+  if (governor_.enabled() && shared_bytes > 0) {
+    const bool level_changed = governor_.observe(footprint);
+    decision.pressure = governor_.level();
+    tracer_.counter("ctrl.footprint_bytes", static_cast<double>(footprint));
+    tracer_.counter("ctrl.mem_budget_bytes",
+                    static_cast<double>(governor_.budget()));
+    if (level_changed) {
+      tracer_.instant(sim::Lane::Ctrl,
+                      std::string("pressure -> ") +
+                          mem::pressure_level_name(governor_.level()));
+    }
+  }
+  if (alloc_failure_pending_) {
+    alloc_failure_pending_ = false;
+    if (!core::FootprintModel::is_floor(model_)) {
+      return demote(decision, "alloc failure", shared_base, shared_bytes);
+    }
+    // Already at the smallest footprint: nothing left to free. Record the
+    // event; the sample proceeds (the transient failure is survivable).
+    decision.guard_event = "alloc failure at ZC floor";
+    tracer_.instant(sim::Lane::Ctrl, "pressure: alloc failure at ZC floor");
+  }
+  if (governor_.enabled() && shared_bytes > 0 &&
+      governor_.would_exceed(footprint) &&
+      !core::FootprintModel::is_floor(model_)) {
+    return demote(decision, "budget", shared_base, shared_bytes);
+  }
+
   window_.add(sample);
   if (window_.size() < config_.min_samples) return decision;
 
@@ -194,8 +237,9 @@ ControlDecision AdaptiveController::on_sample(
                     std::string("zone -> ") + core::zone_name(zone));
   }
 
-  const auto rec = engine_.recommend_for(
+  auto rec = engine_.recommend_for(
       usage, zone, cpu_over, model_, core::DecisionEngine::inputs_from(smoothed));
+  core::DecisionEngine::annotate_footprint(rec, shared_bytes);
   decision.evaluated = true;
   decision.zone = zone;
   decision.offline_speedup = rec.estimated_speedup;
@@ -268,6 +312,37 @@ ControlDecision AdaptiveController::on_sample(
   }
   num_candidates = kept;
 
+  // Budget gate: drop candidates whose footprint both breaks the budget
+  // and grows the resident set (shrinking moves are always allowed — that
+  // is the demotion direction). The check that rejected each candidate is
+  // recorded so `--explain` names the model and the budget.
+  if (governor_.enabled() && shared_bytes > 0) {
+    std::size_t fit = 0;
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      const Bytes candidate_fp =
+          core::FootprintModel::resident_bytes(candidates[i], shared_bytes);
+      if (!governor_.would_exceed(candidate_fp) || candidate_fp <= footprint) {
+        candidates[fit++] = candidates[i];
+      } else {
+        governor_.count_blocked();
+        decision.blocked_by_budget = true;
+        const std::string check =
+            std::string("footprint ") + comm::model_name(candidates[i]) +
+            " " + format_bytes(candidate_fp) + " > budget " +
+            format_bytes(governor_.budget()) + " -> candidate rejected";
+        decision.explanation.checks.push_back(check);
+        tracer_.instant(sim::Lane::Ctrl,
+                        std::string("pressure blocks ") +
+                            comm::model_name(candidates[i]) + " (footprint)");
+      }
+    }
+    if (fit == 0) {
+      decision.guard_event = "all candidates over budget";
+      return decision;
+    }
+    num_candidates = fit;
+  }
+
   RefinedEstimate refined;
   comm::CommModel candidate = model_;
   for (std::size_t i = 0; i < num_candidates; ++i) {
@@ -329,6 +404,24 @@ ControlDecision AdaptiveController::on_sample(
   decision.switched = true;
   decision.switch_cost = realized.total();
   decision.model_after = candidate;
+  decision.footprint_bytes =
+      core::FootprintModel::resident_bytes(candidate, shared_bytes);
+
+  // Plan demotion: the flow asked for a bigger model, the budget gate
+  // rejected it, and the switch landed on a smaller-footprint survivor.
+  // Same ladder as a resident demotion, caught one step earlier.
+  if (decision.blocked_by_budget && rec.switch_model &&
+      candidate != rec.suggested &&
+      core::FootprintModel::resident_bytes(candidate, shared_bytes) <
+          core::FootprintModel::resident_bytes(rec.suggested, shared_bytes)) {
+    decision.demoted = true;
+    metrics_.demotions += 1;
+    governor_.count_demotion();
+    tracer_.instant(sim::Lane::Ctrl,
+                    std::string("pressure demotes plan ") +
+                        comm::model_name(rec.suggested) + "->" +
+                        comm::model_name(candidate));
+  }
 
   verify_pending_ = true;
   // Verify against the newest raw sample, not the smoothed aggregate: the
@@ -401,6 +494,80 @@ ControlDecision AdaptiveController::roll_back(ControlDecision& decision,
   return decision;
 }
 
+ControlDecision AdaptiveController::demote(ControlDecision& decision,
+                                           const std::string& cause,
+                                           std::uint64_t shared_base,
+                                           Bytes shared_bytes) {
+  const comm::CommModel from = model_;
+  // Walk the ladder to the first model the budget accepts; the ZC floor is
+  // always accepted — there is nothing smaller to fall back to.
+  comm::CommModel target = core::FootprintModel::demote(from);
+  while (!core::FootprintModel::is_floor(target) &&
+         governor_.would_exceed(
+             core::FootprintModel::resident_bytes(target, shared_bytes))) {
+    target = core::FootprintModel::demote(target);
+  }
+  const Bytes from_fp = core::FootprintModel::resident_bytes(from, shared_bytes);
+  const Bytes target_fp =
+      core::FootprintModel::resident_bytes(target, shared_bytes);
+
+  std::string reason = std::string("demote ") + comm::model_name(from) +
+                       "->" + comm::model_name(target) + " (" + cause;
+  if (cause == "budget") {
+    reason += ": footprint " + format_bytes(from_fp) + " > budget " +
+              format_bytes(governor_.budget());
+  }
+  reason += ")";
+  decision.demoted = true;
+  decision.guard_event = reason;
+  decision.pressure = governor_.level();
+  governor_.count_demotion();
+  metrics_.demotions += 1;
+
+  // Structured provenance even though the Fig. 2 flow never ran: the
+  // checks name the model the budget rejected and the budget itself.
+  core::Explanation& ex = decision.explanation;
+  ex.board = engine_.device().board;
+  ex.capability = coherence::capability_name(engine_.device().capability);
+  ex.current = from;
+  ex.suggested = target;
+  ex.switch_model = true;
+  ex.shared_bytes = shared_bytes;
+  ex.current_footprint_bytes = from_fp;
+  ex.suggested_footprint_bytes = target_fp;
+  ex.checks.push_back(std::string("footprint ") + comm::model_name(from) +
+                      " " + format_bytes(from_fp) +
+                      (cause == "budget"
+                           ? " > budget " + format_bytes(governor_.budget())
+                           : " unavailable (" + cause + ")") +
+                      " -> demote to " + comm::model_name(target) + " (" +
+                      format_bytes(target_fp) + ")");
+  ex.rationale = "Memory pressure: " + reason;
+  decision.rationale = ex.rationale;
+
+  const auto realized_cost =
+      executor_.apply_model_switch(from, target, shared_base, shared_bytes);
+  tracer_.segment(sim::Lane::Ctrl, now_, now_ + realized_cost.total(),
+                  reason);
+  tracer_.set_now(now_ + realized_cost.total());
+  tracer_.instant(sim::Lane::Ctrl, reason);
+  now_ += realized_cost.total();
+  metrics_.switch_overhead += realized_cost.total();
+  // A demotion is a switch as far as the oscillation watchdog cares: a
+  // budget flapping at a boundary must still trip the pin.
+  switch_guard_.on_switch();
+  model_ = target;
+  decision.model_after = target;
+  decision.switch_cost = realized_cost.total();
+  decision.footprint_bytes = target_fp;
+  governor_.observe(target_fp);
+
+  window_.clear();
+  sample_guard_.reset_history();
+  arm_tracker();
+  return decision;
+}
+
 void AdaptiveController::finish() {
   if (pending_flow_id_ == 0) return;
   tracer_.set_now(now_);
@@ -426,6 +593,8 @@ Json AdaptiveController::snapshot() const {
   j["pending_predicted"] = Json(pending_predicted_);
   j["rollback_model"] = Json(std::string(comm::model_name(rollback_model_)));
   j["tracer_next_flow_id"] = Json(tracer_.next_flow_id());
+  j["governor"] = governor_.snapshot();
+  j["alloc_failure_pending"] = Json(alloc_failure_pending_);
   return j;
 }
 
@@ -457,6 +626,10 @@ void AdaptiveController::restore(const Json& snapshot) {
   tracer_.set_now(now_);
   tracer_.set_next_flow_id(static_cast<std::uint64_t>(
       snapshot.number_or("tracer_next_flow_id", 1)));
+  if (snapshot.contains("governor")) {
+    governor_.restore(snapshot.at("governor"));
+  }
+  alloc_failure_pending_ = snapshot.bool_or("alloc_failure_pending", false);
 }
 
 }  // namespace cig::runtime

@@ -19,6 +19,7 @@
 
 #include "comm/executor.h"
 #include "core/decision.h"
+#include "mem/pressure.h"
 #include "obs/tracer.h"
 #include "runtime/estimator.h"
 #include "runtime/guard.h"
@@ -49,6 +50,10 @@ struct ControllerConfig {
   // Guardrails: input hygiene, misprediction rollback, quarantine and the
   // oscillation watchdog (see runtime/guard.h).
   GuardConfig guard;
+  // Memory-pressure governor: hard resident-byte budget and graded
+  // thresholds (see mem/pressure.h). budget = 0 disables everything —
+  // footprints are still accounted into decisions, never acted on.
+  mem::PressureConfig pressure;
 };
 
 // What the controller decided after ingesting one sample.
@@ -73,8 +78,16 @@ struct ControlDecision {
                                   // switch (or the whole evaluation)
   std::string guard_event;        // human-readable reason when any fired
 
+  // Memory-pressure outcomes for this sample.
+  bool demoted = false;            // governor forced a footprint demotion
+  bool blocked_by_budget = false;  // candidate dropped: footprint over budget
+  mem::PressureLevel pressure = mem::PressureLevel::Ok;
+  Bytes footprint_bytes = 0;  // resident footprint under model_after
+
   // Decision provenance: the offline flow's structured explanation (inputs,
-  // thresholds, equations, checks). Populated when `evaluated` is true.
+  // thresholds, equations, checks). Populated when `evaluated` is true and
+  // on forced demotions (the checks then name the rejected model and the
+  // budget that rejected it).
   core::Explanation explanation;
   // Trace flow-arrow id linking a committed switch to the first phase under
   // the new model (0 when no switch was committed).
@@ -124,6 +137,18 @@ class AdaptiveController {
   const StreamingProfile& window() const { return window_; }
   const ControllerConfig& config() const { return config_; }
 
+  // The memory-pressure governor. The mutable accessor exists for the
+  // chaos harness: the shrinking-DRAM ramp rewrites the budget between
+  // samples (dynamic budgets are chaos-only — see runtime/replay.h).
+  const mem::PressureGovernor& governor() const { return governor_; }
+  mem::PressureGovernor& governor() { return governor_; }
+
+  // Signals that the next sample's (re)allocation transiently failed (the
+  // fault::AllocFailure scenario): the controller reacts by demoting one
+  // step down the footprint ladder instead of crashing, or records the
+  // event when already at the ZC floor.
+  void signal_alloc_failure() { alloc_failure_pending_ = true; }
+
   // --- checkpoint/restore ----------------------------------------------------
   // Serializes the complete control-loop state — window/EWMA, hysteresis
   // debounce, guard strikes/pins, metrics (histograms included), the
@@ -148,6 +173,12 @@ class AdaptiveController {
   ControlDecision roll_back(ControlDecision& decision, double realized,
                             std::uint64_t shared_base, Bytes shared_bytes);
 
+  // Forces the model down the footprint ladder (SC -> UM -> ZC) to the
+  // first model the budget accepts. `cause` names what triggered it
+  // ("budget" / "alloc failure") in the guard event and the explanation.
+  ControlDecision demote(ControlDecision& decision, const std::string& cause,
+                         std::uint64_t shared_base, Bytes shared_bytes);
+
   const core::DecisionEngine& engine_;
   comm::Executor& executor_;
   SwitchEstimator estimator_;
@@ -159,6 +190,8 @@ class AdaptiveController {
   RuntimeMetrics metrics_;
   SampleGuard sample_guard_;
   SwitchGuard switch_guard_;
+  mem::PressureGovernor governor_;
+  bool alloc_failure_pending_ = false;
   obs::Tracer tracer_;
   Seconds now_ = 0;
 

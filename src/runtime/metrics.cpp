@@ -17,6 +17,7 @@ void RuntimeMetrics::export_to(sim::StatRegistry& registry) const {
   registry.set("runtime.mispredicted_switches",
                static_cast<double>(mispredicted_switches));
   registry.set("runtime.phase_changes", static_cast<double>(phase_changes));
+  registry.set("runtime.demotions", static_cast<double>(demotions));
   registry.set("runtime.switch_overhead_us", to_us(switch_overhead));
   for (const auto model : core::kAllModels) {
     registry.set(std::string("runtime.time_in_") + comm::model_name(model) +
@@ -40,6 +41,7 @@ Json RuntimeMetrics::to_json() const {
   j["mispredicted_switches"] =
       Json(static_cast<double>(mispredicted_switches));
   j["phase_changes"] = Json(static_cast<double>(phase_changes));
+  j["demotions"] = Json(static_cast<double>(demotions));
   Json in_model{JsonArray{}};
   for (const Seconds t : time_in_model) in_model.push_back(Json(t));
   j["time_in_model"] = std::move(in_model);
@@ -65,6 +67,7 @@ RuntimeMetrics RuntimeMetrics::from_json(const Json& j) {
       static_cast<std::uint64_t>(j.number_or("mispredicted_switches", 0));
   m.phase_changes =
       static_cast<std::uint64_t>(j.number_or("phase_changes", 0));
+  m.demotions = static_cast<std::uint64_t>(j.number_or("demotions", 0));
   const JsonArray& in_model = j.at("time_in_model").as_array();
   for (std::size_t i = 0; i < m.time_in_model.size(); ++i) {
     m.time_in_model[i] = i < in_model.size() ? in_model[i].as_number() : 0;

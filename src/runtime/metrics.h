@@ -28,6 +28,10 @@ struct RuntimeMetrics {
   // came in below 1: the controller made things worse.
   std::uint64_t mispredicted_switches = 0;
   std::uint64_t phase_changes = 0;  // debounced zone transitions observed
+  // Switches the memory-pressure governor forced down the footprint ladder
+  // (SC -> UM -> ZC), counted separately from the planner's own switches so
+  // the oscillation accounting stays comparable with and without a budget.
+  std::uint64_t demotions = 0;
 
   core::PerModel<Seconds> time_in_model{};  // observed time per model
   Seconds switch_overhead = 0;              // cumulative realized switch cost

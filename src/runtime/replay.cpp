@@ -40,8 +40,10 @@ ReplayResult replay_phasic(core::Framework& framework,
                            const ReplayOptions& options) {
   CIG_EXPECTS(!phases.empty());
   // A checkpointed run must replay deterministically from its journal;
-  // mutate_sample perturbs reports in ways the journal does not record.
+  // mutate_sample perturbs reports (and pressure_sample the budget) in
+  // ways the journal does not record.
   CIG_EXPECTS(options.checkpoint.dir.empty() || !options.mutate_sample);
+  CIG_EXPECTS(options.checkpoint.dir.empty() || !options.pressure_sample);
   const core::DecisionEngine engine(framework.device());
 
   framework.soc().reset();
@@ -115,6 +117,9 @@ ReplayResult replay_phasic(core::Framework& framework,
     if (options.before_sample) {
       options.before_sample(framework.soc(), controller.tracer(), i);
     }
+    if (options.pressure_sample) {
+      options.pressure_sample(controller, i);
+    }
     const Seconds t0 = controller.now();
     const comm::CommModel model_before = controller.model();
     comm::RunResult raw;
@@ -169,6 +174,9 @@ ReplayResult replay_phasic(core::Framework& framework,
   result.metrics = controller.metrics();
   result.persist = checkpoint.stats();
   result.metrics.export_to(result.registry);
+  if (controller.governor().enabled()) {
+    controller.governor().export_to(result.registry, "runtime.mem");
+  }
   if (checkpoint.enabled() || !options.checkpoint.dir.empty()) {
     result.persist.export_to(result.registry);
   }

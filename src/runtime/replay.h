@@ -41,6 +41,15 @@ struct ReplayOptions {
   std::function<void(soc::SoC&, obs::Tracer&, std::uint64_t)> before_sample;
   std::function<void(profile::ProfileReport&, obs::Tracer&, std::uint64_t)>
       mutate_sample;
+
+  // Memory-pressure seam (chaos only): runs before each sample with the
+  // controller itself, so the shrinking-DRAM ramp can rewrite the
+  // governor's budget and transient allocation failures can arm the
+  // demotion path. Dynamic budget mutations are not journaled, so
+  // combining this with a checkpoint dir is unsupported (replay_phasic
+  // refuses it); checkpointed runs use the *static* budget in
+  // ControllerConfig::pressure, which the config fingerprint covers.
+  std::function<void(AdaptiveController&, std::uint64_t)> pressure_sample;
 };
 
 struct SampleRecord {

@@ -214,10 +214,12 @@ fault::CrashTestReport run_serve_crashtest(
   const auto run_block = [&](const std::string& label,
                              const fs::path& script_path,
                              const std::string& extra_flags,
+                             const std::string& extra_env,
                              const std::vector<std::string>& seams) {
     const auto serve_cmd = [&](const fs::path& state_dir, int jobs) {
-      return shell_quote(options.cigtool) + " serve --state-dir " +
-             shell_quote(state_dir.string()) + " --resident-budget " +
+      return extra_env + shell_quote(options.cigtool) +
+             " serve --state-dir " + shell_quote(state_dir.string()) +
+             " --resident-budget " +
              std::to_string(options.resident_budget) + " --batch-max " +
              std::to_string(options.batch_max) + " --jobs " +
              std::to_string(jobs) + " --cache-dir " + shell_quote(cache_dir) +
@@ -336,7 +338,7 @@ fault::CrashTestReport run_serve_crashtest(
 
   const std::vector<std::string>& base_seams =
       options.seams.empty() ? serve_crash_seams() : options.seams;
-  run_block("", script_path, "", base_seams);
+  run_block("", script_path, "", "", base_seams);
 
   // --- Overload block: hostile script, admission + quarantine armed ------
   // A flood burst and a ghost tenant drive the daemon through its shed and
@@ -354,7 +356,19 @@ fault::CrashTestReport run_serve_crashtest(
     run_block("overload", hostile_path,
               " --queue-high 6 --queue-low 2 --quarantine-after 2"
               " --quarantine-cooldown 16",
-              serve_overload_crash_seams());
+              "", serve_overload_crash_seams());
+  }
+
+  // --- Pressure block: OOM-grade kills mid byte-budget eviction ----------
+  // The base script re-runs under a byte budget (CIG_MEM_BUDGET, bytes —
+  // below --mem-budget-mb granularity on purpose) sized so only one
+  // default-span tenant fits resident at a time: governor evictions fire
+  // every batch, and killing at the pressure seam checks that recovery
+  // restores the budget-shaped state — manifests, footprints, checkpoints —
+  // byte for byte.
+  if (options.pressure_cells && options.seams.empty()) {
+    run_block("pressure", script_path, "", "CIG_MEM_BUDGET=6144 ",
+              serve_pressure_crash_seams());
   }
   return report;
 }

@@ -62,6 +62,12 @@ struct ServeCrashTestOptions {
   // quarantine armed, killed at each serve_overload_crash_seams() seam.
   // Ignored when `seams` is non-empty (explicit seams run the base block).
   bool overload_cells = true;
+  // Run the memory-pressure cell block too: the base script under a byte
+  // budget tight enough (CIG_MEM_BUDGET env) that governor-triggered
+  // evictions fire every batch, killed at each serve_pressure_crash_seams()
+  // seam — the OOM-grade kill. Recovery must restore the budget-shaped
+  // state byte-identically. Ignored when `seams` is non-empty.
+  bool pressure_cells = true;
 };
 
 // Runs the full matrix; reuses the fault-layer report shape. Throws on

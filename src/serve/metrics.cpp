@@ -39,6 +39,8 @@ void ServeMetrics::export_to(sim::StatRegistry& registry,
   set("serve.quarantined", quarantine_trips);
   set("serve.quarantine.rejected", quarantine_rejected);
   set("serve.drains", drains);
+  set("serve.evictions.pressure", pressure_evictions);
+  set("serve.mem.exhausted", mem_exhausted);
   decide_us.export_to(registry, "serve.decide_us");
 }
 

@@ -48,6 +48,12 @@ struct ServeMetrics {
   std::uint64_t quarantine_trips = 0;    // tenants tripped into quarantine
   std::uint64_t drains = 0;              // graceful drains begun (0 or 1)
 
+  // Memory-pressure counters (byte budget, see mem::PressureGovernor):
+  // evictions forced by the byte budget (also counted in `evictions`) and
+  // restores refused because the tenant alone exceeds the budget.
+  std::uint64_t pressure_evictions = 0;
+  std::uint64_t mem_exhausted = 0;
+
   // Aggregate per-sample decision latency (simulated µs) across all
   // tenants; exported as serve.decide_us.count/mean/min/max/p50/p95/p99.
   obs::Histogram decide_us;

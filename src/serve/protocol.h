@@ -52,8 +52,11 @@
 //    "op":"sample","tenant":"t1"}
 //
 // with error one of: parse, oversized-line, unknown-op, bad-request,
-// unknown-tenant, no-samples, overloaded, rate-limited, deadline-expired,
-// quarantined, internal. Every error reply echoes whichever of "op",
+// unknown-tenant, no-samples, checkpoint-lost, mem-exhausted, overloaded,
+// rate-limited, deadline-expired, quarantined, internal ("mem-exhausted"
+// means the tenant's checkpoint footprint alone exceeds the daemon's
+// --mem-budget-mb byte budget, so the restore was refused; the detail
+// names both numbers). Every error reply echoes whichever of "op",
 // "tenant" and "trace_id" were understood before the line was rejected
 // (overload rejects additionally carry "retry_after_ms"). A malformed line
 // never aborts the daemon and never desynchronizes the reply stream.

@@ -14,6 +14,7 @@
 #include "soc/board_io.h"
 #include "support/log.h"
 #include "support/parallel.h"
+#include "support/units.h"
 
 namespace cig::serve {
 
@@ -45,9 +46,17 @@ const std::vector<std::string>& serve_overload_crash_seams() {
   return seams;
 }
 
+const std::vector<std::string>& serve_pressure_crash_seams() {
+  static const std::vector<std::string> seams = {
+      "serve.pressure_eviction",  // victim checkpointed, still resident
+  };
+  return seams;
+}
+
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       admission_(options_.overload),
+      governor_(mem::PressureConfig{options_.mem_budget}),
       flight_(options_.flight_capacity ? options_.flight_capacity
                                        : obs::FlightRecorder::kDefaultCapacity) {
   if (!options_.cache_dir.empty()) {
@@ -88,9 +97,22 @@ std::uint64_t Server::resident_tenants() const {
   return n;
 }
 
+Bytes Server::resident_footprint() const {
+  Bytes total = 0;
+  for (const auto& [id, slot] : tenants_) {
+    if (slot.resident) total += slot.resident->footprint_bytes();
+  }
+  return total;
+}
+
 sim::StatRegistry Server::registry() const {
   sim::StatRegistry reg;
   metrics_.export_to(reg, resident_tenants(), known_tenants());
+  reg.set("serve.mem.footprint_bytes",
+          static_cast<double>(resident_footprint()));
+  reg.set("serve.mem.footprint_peak_bytes",
+          static_cast<double>(footprint_peak_));
+  if (governor_.enabled()) governor_.export_to(reg, "serve.mem");
   return reg;
 }
 
@@ -122,6 +144,8 @@ void Server::recover_from_manifest() {
     slot.has_checkpoint = true;
     slot.checkpointed_samples =
         static_cast<std::uint64_t>(entry.number_or("samples", 0));
+    slot.checkpointed_footprint =
+        static_cast<Bytes>(entry.number_or("footprint", 0));
     slot.replay_armed = true;
     slot.lru_tick = ++lru_clock_;
     flight_.instant(sim::Lane::Ctrl, flight_now(),
@@ -412,12 +436,26 @@ void Server::flush(std::ostream& out) {
     if (pending.done) continue;
     auto it = tenants_.find(pending.req.tenant);
     if (it == tenants_.end() || !it->second.resident) {
-      // The restore failed and dropped the slot; a fresh hello recreates it.
-      pending.reply = error_reply(
-          "checkpoint-lost",
-          "tenant \"" + pending.req.tenant +
-              "\" lost its checkpoint; re-register with hello",
-          pending.lineno, error_context(pending.req));
+      if (it != tenants_.end() && it->second.restore_refused) {
+        // The byte budget refused the restore: the tenant's checkpoint
+        // alone exceeds it. Structured reject, tenant and trace_id echoed
+        // through error_context like every admission reject.
+        pending.reply = error_reply(
+            "mem-exhausted",
+            "tenant \"" + pending.req.tenant + "\" checkpoint needs " +
+                format_bytes(it->second.checkpointed_footprint) +
+                " resident but the memory budget is " +
+                format_bytes(governor_.budget()),
+            pending.lineno, error_context(pending.req));
+      } else {
+        // The restore failed and dropped the slot; a fresh hello recreates
+        // it.
+        pending.reply = error_reply(
+            "checkpoint-lost",
+            "tenant \"" + pending.req.tenant +
+                "\" lost its checkpoint; re-register with hello",
+            pending.lineno, error_context(pending.req));
+      }
       pending.done = true;
       continue;
     }
@@ -456,9 +494,15 @@ void Server::flush(std::ostream& out) {
   out.flush();
   batch_.clear();
 
+  // Governor sees the pre-eviction footprint (the batch high-water mark),
+  // then the post-eviction one — both level edges land in the flight ring.
+  observe_pressure();
   evict_over_budget();
+  observe_pressure();
   flight_.counter(flight_now(), "serve.tenants.resident",
                   static_cast<double>(resident_tenants()));
+  flight_.counter(flight_now(), "serve.mem.footprint_bytes",
+                  static_cast<double>(resident_footprint()));
 }
 
 namespace {
@@ -485,6 +529,22 @@ void Server::restore_batch(const std::vector<std::string>& ids) {
   for (const std::string& id : ids) {
     auto it = tenants_.find(id);
     if (it == tenants_.end() || it->second.resident) continue;
+    if (governor_.enabled() &&
+        it->second.checkpointed_footprint > governor_.budget()) {
+      // The tenant alone can never fit the byte budget: refuse before
+      // paying for the rebuild instead of restoring and instantly
+      // re-evicting. The batch loop answers a structured "mem-exhausted".
+      it->second.restore_refused = true;
+      ++metrics_.mem_exhausted;
+      flight_.instant(sim::Lane::Ctrl, flight_now(), "mem-exhausted " + id);
+      CIG_LOG_C(LogLevel::Warn, "serve",
+                "refusing restore of tenant \""
+                    << id << "\": checkpoint footprint "
+                    << format_bytes(it->second.checkpointed_footprint)
+                    << " exceeds memory budget "
+                    << format_bytes(governor_.budget()));
+      continue;
+    }
     Work w;
     w.id = id;
     w.slot = &it->second;
@@ -542,6 +602,8 @@ void Server::restore_batch(const std::vector<std::string>& ids) {
     RestoreResult& r = results[i];
     if (r.tenant) {
       slot.resident = std::move(r.tenant);
+      slot.restore_refused = false;
+      slot.checkpointed_footprint = slot.resident->footprint_bytes();
       if (slot.replay_armed) {
         // The first restore after recovery pins the dedup horizon to what
         // the checkpoint actually contains (it may trail the manifest).
@@ -719,6 +781,7 @@ bool Server::checkpoint_tenant(const std::string& id, TenantSlot& slot) {
   }
   slot.has_checkpoint = true;
   slot.checkpointed_samples = samples;
+  slot.checkpointed_footprint = slot.resident->footprint_bytes();
   ++metrics_.checkpoints_written;
   persist::seam("serve.tenant_checkpointed");
   return true;
@@ -746,6 +809,8 @@ void Server::publish_manifest() {
     // two state dirs with the same history compare byte-identical.
     entry["file"] = Json(tenant_file_stem(id) + ".snap");
     entry["samples"] = Json(static_cast<double>(slot.checkpointed_samples));
+    entry["footprint"] =
+        Json(static_cast<double>(slot.checkpointed_footprint));
     list.push_back(std::move(entry));
   }
   doc["tenants"] = std::move(list);
@@ -762,26 +827,56 @@ void Server::publish_manifest() {
   flight_.instant(sim::Lane::Ctrl, flight_now(), "manifest publish");
 }
 
+std::map<std::string, Server::TenantSlot>::iterator Server::lru_victim() {
+  // Victim: the least-recently-used resident tenant. LRU ticks come from
+  // the serial request clock, so the victim sequence is deterministic.
+  auto victim = tenants_.end();
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if (!it->second.resident) continue;
+    if (victim == tenants_.end() ||
+        it->second.lru_tick < victim->second.lru_tick) {
+      victim = it;
+    }
+  }
+  return victim;
+}
+
 void Server::evict_over_budget() {
   while (resident_tenants() > options_.resident_budget) {
-    // Victim: the least-recently-used resident tenant. LRU ticks come from
-    // the serial request clock, so the victim sequence is deterministic.
-    std::map<std::string, TenantSlot>::iterator victim = tenants_.end();
-    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
-      if (!it->second.resident) continue;
-      if (victim == tenants_.end() ||
-          it->second.lru_tick < victim->second.lru_tick) {
-        victim = it;
-      }
-    }
-    if (victim == tenants_.end()) return;
+    const auto victim = lru_victim();
+    if (victim == tenants_.end()) break;
     checkpoint_tenant(victim->first, victim->second);
     persist::seam("serve.mid_eviction");
     victim->second.resident.reset();
     ++metrics_.evictions;
     flight_.instant(sim::Lane::Ctrl, flight_now(), "evict " + victim->first);
   }
+  // Byte budget: governor-triggered eviction, same serial LRU order. Each
+  // victim is checkpointed before it leaves, so the shed is lossless; the
+  // loop terminates because every iteration drops one resident tenant.
+  while (governor_.enabled() && governor_.would_exceed(resident_footprint())) {
+    const auto victim = lru_victim();
+    if (victim == tenants_.end()) break;
+    checkpoint_tenant(victim->first, victim->second);
+    persist::seam("serve.pressure_eviction");
+    victim->second.resident.reset();
+    ++metrics_.evictions;
+    ++metrics_.pressure_evictions;
+    flight_.instant(sim::Lane::Ctrl, flight_now(),
+                    "evict " + victim->first + " (pressure)");
+  }
   if (manifest_dirty_) publish_manifest();
+}
+
+void Server::observe_pressure() {
+  const Bytes footprint = resident_footprint();
+  footprint_peak_ = std::max(footprint_peak_, footprint);
+  if (!governor_.enabled()) return;
+  if (governor_.observe(footprint)) {
+    flight_.instant(sim::Lane::Ctrl, flight_now(),
+                    std::string("pressure -> ") +
+                        mem::pressure_level_name(governor_.level()));
+  }
 }
 
 void Server::maybe_export_metrics(bool force) {
@@ -931,6 +1026,20 @@ Json Server::statusz_unlocked() const {
       Json(static_cast<double>(admission_.quarantined_tenants(lineno_)));
   doc["overload"] = std::move(overload);
 
+  Json memory;
+  memory["enabled"] = Json(governor_.enabled());
+  memory["budget_bytes"] = Json(static_cast<double>(governor_.budget()));
+  memory["footprint_bytes"] =
+      Json(static_cast<double>(resident_footprint()));
+  memory["footprint_peak_bytes"] =
+      Json(static_cast<double>(footprint_peak_));
+  memory["level"] =
+      Json(std::string(mem::pressure_level_name(governor_.level())));
+  memory["pressure_evictions"] =
+      Json(static_cast<double>(metrics_.pressure_evictions));
+  memory["mem_exhausted"] = Json(static_cast<double>(metrics_.mem_exhausted));
+  doc["memory"] = std::move(memory);
+
   Json tenants;
   tenants["known"] = Json(static_cast<double>(known_tenants()));
   tenants["resident"] = Json(static_cast<double>(resident_tenants()));
@@ -971,6 +1080,8 @@ Json Server::statusz_unlocked() const {
       const Tenant& tenant = *slot.resident;
       entry["samples"] = Json(static_cast<double>(tenant.samples()));
       entry["model"] = Json(model_text(tenant.model()));
+      entry["footprint_bytes"] =
+          Json(static_cast<double>(tenant.footprint_bytes()));
       const obs::Histogram& th = tenant.decide_latency_us();
       entry["p50"] = Json(th.percentile(0.50));
       entry["p95"] = Json(th.percentile(0.95));
@@ -978,6 +1089,8 @@ Json Server::statusz_unlocked() const {
     } else {
       entry["samples"] =
           Json(static_cast<double>(slot.checkpointed_samples));
+      entry["footprint_bytes"] =
+          Json(static_cast<double>(slot.checkpointed_footprint));
     }
     detail.push_back(std::move(entry));
   }

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "core/result_cache.h"
+#include "mem/pressure.h"
 #include "obs/flight.h"
 #include "serve/metrics.h"
 #include "serve/overload.h"
@@ -58,6 +59,15 @@ struct ServeOptions {
   // Max tenants kept resident after a batch; the least-recently-used
   // tenants beyond it are checkpointed and evicted.
   std::uint64_t resident_budget = 256;
+  // Hard resident-memory budget in bytes (`--mem-budget-mb` / the
+  // CIG_MEM_BUDGET env). 0 = no byte budget. When the summed per-tenant
+  // footprint estimate (core::FootprintModel over each tenant's comm model
+  // and last sample span) exceeds it after a batch, LRU tenants are
+  // checkpointed and evicted until the estimate fits — independently of the
+  // resident_budget count, and just as jobs-invariant. A checkpoint whose
+  // footprint alone exceeds the budget is refused at restore with a
+  // structured "mem-exhausted" error instead of thrashing the budget.
+  Bytes mem_budget = 0;
   // Tenant-scoped requests buffered before a parallel flush. Batch
   // boundaries depend only on the input stream, never on timing.
   std::size_t batch_max = 64;
@@ -135,6 +145,11 @@ class Server {
   const ServeMetrics& metrics() const { return metrics_; }
   std::uint64_t resident_tenants() const;
   std::uint64_t known_tenants() const { return tenants_.size(); }
+  // Summed footprint estimate of every resident tenant (bytes).
+  Bytes resident_footprint() const;
+  // High-water mark of resident_footprint() across batch flushes.
+  Bytes footprint_peak() const { return footprint_peak_; }
+  const mem::PressureGovernor& governor() const { return governor_; }
 
   // Fresh snapshot of the serve.* counters.
   sim::StatRegistry registry() const;
@@ -177,6 +192,14 @@ class Server {
     bool replay_armed = false;
     std::uint64_t replay_until = 0;
     std::uint64_t arrived = 0;  // sample requests seen this process
+    // Footprint estimate frozen at the last checkpoint: what restoring this
+    // tenant would cost. Carried through the manifest so a recovered daemon
+    // can refuse over-budget restores before paying for the rebuild.
+    Bytes checkpointed_footprint = 0;
+    // The last restore attempt was refused by the byte budget (the tenant
+    // alone exceeds it); the batch loop answers "mem-exhausted" instead of
+    // "checkpoint-lost". Cleared on a successful restore.
+    bool restore_refused = false;
   };
 
   struct Pending {
@@ -231,6 +254,12 @@ class Server {
   std::uint64_t checkpoint_all();
   void publish_manifest();
   void evict_over_budget();
+  // Least-recently-used resident tenant, or tenants_.end() when none is
+  // resident. Serial-clock LRU ticks keep the victim order deterministic.
+  std::map<std::string, TenantSlot>::iterator lru_victim();
+  // Feeds the current footprint estimate to the pressure governor; records
+  // level-edge instants and the footprint high-water mark.
+  void observe_pressure();
   void maybe_export_metrics(bool force);
   void finalize(std::ostream& out);
 
@@ -248,6 +277,8 @@ class Server {
   ServeOptions options_;
   ServeMetrics metrics_;
   AdmissionController admission_;
+  mem::PressureGovernor governor_;
+  Bytes footprint_peak_ = 0;
   obs::FlightRecorder flight_;
   // Serializes the request loop against concurrent observability snapshots
   // (never contended in single-threaded stdin/socket mode).
@@ -277,5 +308,10 @@ const std::vector<std::string>& serve_crash_seams();
 // script with admission control enabled; `crashtest --mode serve` runs
 // them as a separate cell block.
 const std::vector<std::string>& serve_overload_crash_seams();
+
+// Memory-pressure crash seams (mid byte-budget eviction, i.e. an OOM-grade
+// kill while the governor is shedding residents). Run as their own
+// crashtest cell block under a tight --mem-budget-mb.
+const std::vector<std::string>& serve_pressure_crash_seams();
 
 }  // namespace cig::serve

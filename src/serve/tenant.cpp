@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/footprint.h"
 #include "support/hash.h"
 #include "workload/builders.h"
 
@@ -54,6 +55,7 @@ SampleOutcome Tenant::ingest_sample(const Request& req) {
   const profile::ProfileReport report =
       profiler_->sample(workload, model_before, raw);
   last_report_ = report;
+  last_span_ = req.span;
 
   SampleOutcome out;
   out.decision = controller_->on_sample(report, workload.gpu.pattern.base,
@@ -75,6 +77,12 @@ SampleOutcome Tenant::ingest_sample(const Request& req) {
   return out;
 }
 
+Bytes Tenant::footprint_bytes() const {
+  if (samples_ == 0) return 0;
+  return core::FootprintModel::resident_bytes(controller_->model(),
+                                              last_span_);
+}
+
 core::Recommendation Tenant::recommend() const {
   if (samples_ == 0) {
     throw std::runtime_error("tenant \"" + id_ +
@@ -82,10 +90,12 @@ core::Recommendation Tenant::recommend() const {
   }
   // The controller clears its window when it commits a switch; fall back to
   // the most recent report so a decide right after a switch still answers.
-  if (controller_->window().empty()) {
-    return board_->engine.recommend(last_report_);
-  }
-  return board_->engine.recommend(controller_->window().smoothed());
+  core::Recommendation rec =
+      controller_->window().empty()
+          ? board_->engine.recommend(last_report_)
+          : board_->engine.recommend(controller_->window().smoothed());
+  core::DecisionEngine::annotate_footprint(rec, last_span_);
+  return rec;
 }
 
 void Tenant::replay_log_entry(const Json& entry) {
@@ -102,6 +112,7 @@ void Tenant::replay_log_entry(const Json& entry) {
   const auto workload = sample_workload(heavy, demand, span, iterations);
   comm::RunResult raw;
   last_report_ = profiler_->sample(workload, model, raw);
+  last_span_ = span;
   if (after != model) {
     profiler_->executor().apply_model_switch(model, after,
                                              workload.gpu.pattern.base,

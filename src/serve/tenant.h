@@ -64,6 +64,10 @@ class Tenant {
 
   std::uint64_t samples() const { return samples_; }
   comm::CommModel model() const { return controller_->model(); }
+  // Estimated resident footprint: the core::FootprintModel cost of the
+  // tenant's current comm model over its most recent sample span. A pure
+  // function of the sample log, so restored tenants report the same bytes.
+  Bytes footprint_bytes() const;
   const runtime::RuntimeMetrics& runtime_metrics() const {
     return controller_->metrics();
   }
@@ -105,6 +109,7 @@ class Tenant {
   // controller window was cleared by a committed switch. Not serialized —
   // restore() rebuilds it exactly by replaying the sample log.
   profile::ProfileReport last_report_;
+  Bytes last_span_ = 0;  // span of the most recent sample (footprint input)
   std::uint64_t samples_ = 0;
   obs::Histogram decide_latency_us_;
   Json last_decision_;

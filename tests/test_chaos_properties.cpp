@@ -111,6 +111,51 @@ TEST(ChaosProperties, FixedSeedIsByteIdenticalAcrossWorkerCounts) {
             run_chaos(board, scenario, wide).to_json().dump());
 }
 
+TEST(ChaosProperties, MemShrinkDemotesInsteadOfFailing) {
+  // The shrinking-DRAM ramp forces the controller down the footprint
+  // ladder: the cell completes on a valid model, the governor reports the
+  // pressure surface, and at least one demotion (plan or resident) fires
+  // instead of any failure.
+  const auto board = soc::resolve_board("tx2");
+  const auto cell = run_chaos(board, scenario_by_name("mem-shrink"), {});
+  EXPECT_GT(cell.registry.get("runtime.demotions"), 0.0);
+  EXPECT_GT(cell.registry.get("runtime.mem.blocked"), 0.0);
+  EXPECT_GT(cell.registry.get("runtime.mem.budget_bytes"), 0.0);
+  EXPECT_GT(cell.registry.get("runtime.mem.level_changes"), 0.0);
+  EXPECT_LE(cell.regret, scenario_by_name("mem-shrink").regret_bound);
+}
+
+TEST(ChaosProperties, AllocFailuresDemoteAndNeverCrash) {
+  const auto board = soc::resolve_board("tx2");
+  const auto cell = run_chaos(board, scenario_by_name("alloc-fail"), {});
+  EXPECT_GT(cell.fault_metrics.total, 0u);
+  EXPECT_GT(cell.registry.get("runtime.demotions"), 0.0);
+  EXPECT_LE(cell.regret, scenario_by_name("alloc-fail").regret_bound);
+}
+
+TEST(ChaosProperties, OomCrunchKeepsEveryGuardrailActive) {
+  const auto board = soc::resolve_board("tx2");
+  const auto cell = run_chaos(board, scenario_by_name("oom-crunch"), {});
+  EXPECT_GT(cell.registry.get("runtime.demotions"), 0.0);
+  EXPECT_GT(cell.registry.get("runtime.mem.budget_bytes"), 0.0);
+  EXPECT_LE(cell.regret, scenario_by_name("oom-crunch").regret_bound);
+}
+
+TEST(ChaosProperties, PressureCellsAreByteIdenticalAcrossWorkerCounts) {
+  // The governor's state transitions are serial and seed-pure, so a
+  // pressure-ramp cell must replay byte-identically at any --jobs.
+  const auto board = soc::resolve_board("tx2");
+  const auto& scenario = scenario_by_name("mem-shrink");
+  ChaosOptions serial;
+  serial.seed = 42;
+  serial.sweep.jobs = 1;
+  ChaosOptions wide;
+  wide.seed = 42;
+  wide.sweep.jobs = 8;
+  EXPECT_EQ(run_chaos(board, scenario, serial).to_json().dump(),
+            run_chaos(board, scenario, wide).to_json().dump());
+}
+
 TEST(ChaosProperties, DifferentSeedsDrawDifferentFaultStreams) {
   const auto board = soc::resolve_board("tx2");
   const auto& scenario = scenario_by_name("counter-noise");

@@ -22,6 +22,7 @@
 #endif
 
 #include "persist/atomic_io.h"
+#include "support/json.h"
 
 namespace {
 
@@ -97,6 +98,25 @@ TEST_F(CigtoolCliTest, SuccessExitsZero) {
   const CliResult serve =
       run_cli("serve", dir_, "{\"op\":\"shutdown\"}\n");
   EXPECT_EQ(serve.exit, 0);
+}
+
+TEST_F(CigtoolCliTest, ChaosListPrintsTheCatalogue) {
+  // --list enumerates the scenario catalogue without running a cell, so it
+  // must answer instantly (no characterization) and name every scenario
+  // class including the OOM-grade trio.
+  const CliResult list = run_cli("chaos --list", dir_);
+  EXPECT_EQ(list.exit, 0);
+  for (const char* scenario :
+       {"counter-noise", "kitchen-sink", "mem-shrink", "alloc-fail",
+        "oom-crunch", "serve-storm"}) {
+    EXPECT_NE(list.out.find(scenario), std::string::npos) << scenario;
+  }
+  EXPECT_NE(list.out.find("regret <="), std::string::npos);
+
+  const CliResult json = run_cli("chaos --list --json", dir_);
+  EXPECT_EQ(json.exit, 0);
+  const cig::Json doc = cig::Json::parse(json.out);
+  EXPECT_GE(doc.at("scenarios").as_array().size(), 15u);
 }
 
 TEST_F(CigtoolCliTest, HelpGoesToStdoutAndExitsZero) {

@@ -1,0 +1,95 @@
+// Tests for the per-comm-model resident-footprint accounting: page
+// rounding, the SC > UM > ZC ordering the demotion ladder relies on, and
+// the annotation of Recommendations/Explanations with footprint figures.
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+#include "core/footprint.h"
+
+namespace cig::core {
+namespace {
+
+using comm::CommModel;
+
+TEST(FootprintModel, PagesRoundUpToWholePages) {
+  EXPECT_EQ(FootprintModel::pages(0), 0u);
+  EXPECT_EQ(FootprintModel::pages(1), kFootprintPageBytes);
+  EXPECT_EQ(FootprintModel::pages(kFootprintPageBytes), kFootprintPageBytes);
+  EXPECT_EQ(FootprintModel::pages(kFootprintPageBytes + 1),
+            2 * kFootprintPageBytes);
+  EXPECT_EQ(FootprintModel::pages(10 * kFootprintPageBytes),
+            10 * kFootprintPageBytes);
+}
+
+TEST(FootprintModel, ExactFiguresForOnePage) {
+  const Bytes span = kFootprintPageBytes;
+  // SC: host staging copy + device copy.
+  EXPECT_EQ(FootprintModel::resident_bytes(CommModel::StandardCopy, span),
+            2 * kFootprintPageBytes);
+  // UM: one managed allocation + per-page migration metadata.
+  EXPECT_EQ(FootprintModel::resident_bytes(CommModel::UnifiedMemory, span),
+            kFootprintPageBytes + kUnifiedMemoryPagePenaltyBytes);
+  // ZC: exactly one pinned shared copy.
+  EXPECT_EQ(FootprintModel::resident_bytes(CommModel::ZeroCopy, span),
+            kFootprintPageBytes);
+}
+
+TEST(FootprintModel, LadderOrderingHoldsForAnySpan) {
+  for (const Bytes span : {Bytes(1), Bytes(4096), Bytes(65536),
+                           Bytes(262144), Bytes(1) << 26}) {
+    const Bytes sc = FootprintModel::resident_bytes(CommModel::StandardCopy,
+                                                    span);
+    const Bytes um = FootprintModel::resident_bytes(CommModel::UnifiedMemory,
+                                                    span);
+    const Bytes zc = FootprintModel::resident_bytes(CommModel::ZeroCopy, span);
+    EXPECT_GT(sc, um) << "span " << span;
+    EXPECT_GT(um, zc) << "span " << span;
+  }
+}
+
+TEST(FootprintModel, TableMatchesPerModelFigures) {
+  const Bytes span = 3 * kFootprintPageBytes + 17;
+  const auto table = FootprintModel::table(span);
+  for (const CommModel model : kAllModels) {
+    EXPECT_EQ(table[model_index(model)],
+              FootprintModel::resident_bytes(model, span));
+  }
+}
+
+TEST(FootprintModel, DemotionLadderDescendsToTheFloor) {
+  EXPECT_EQ(FootprintModel::demote(CommModel::StandardCopy),
+            CommModel::UnifiedMemory);
+  EXPECT_EQ(FootprintModel::demote(CommModel::UnifiedMemory),
+            CommModel::ZeroCopy);
+  // ZC is the floor: nothing smaller to fall back to.
+  EXPECT_EQ(FootprintModel::demote(CommModel::ZeroCopy), CommModel::ZeroCopy);
+  EXPECT_FALSE(FootprintModel::is_floor(CommModel::StandardCopy));
+  EXPECT_FALSE(FootprintModel::is_floor(CommModel::UnifiedMemory));
+  EXPECT_TRUE(FootprintModel::is_floor(CommModel::ZeroCopy));
+}
+
+TEST(FootprintAnnotation, FillsRecommendationAndExplanation) {
+  Recommendation rec;
+  rec.current = CommModel::StandardCopy;
+  rec.suggested = CommModel::ZeroCopy;
+  DecisionEngine::annotate_footprint(rec, kFootprintPageBytes);
+  EXPECT_EQ(rec.shared_bytes, kFootprintPageBytes);
+  EXPECT_EQ(rec.current_footprint_bytes, 2 * kFootprintPageBytes);
+  EXPECT_EQ(rec.suggested_footprint_bytes, kFootprintPageBytes);
+  EXPECT_EQ(rec.explanation.shared_bytes, kFootprintPageBytes);
+  EXPECT_EQ(rec.explanation.current_footprint_bytes, 2 * kFootprintPageBytes);
+  EXPECT_EQ(rec.explanation.suggested_footprint_bytes, kFootprintPageBytes);
+}
+
+TEST(FootprintAnnotation, ZeroBytesIsANoOp) {
+  Recommendation rec;
+  rec.current = CommModel::StandardCopy;
+  rec.suggested = CommModel::UnifiedMemory;
+  DecisionEngine::annotate_footprint(rec, 0);
+  EXPECT_EQ(rec.shared_bytes, 0u);
+  EXPECT_EQ(rec.current_footprint_bytes, 0u);
+  EXPECT_EQ(rec.suggested_footprint_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cig::core

@@ -1,0 +1,129 @@
+// Tests for the memory-pressure governor: budget resolution (flag vs
+// CIG_MEM_BUDGET), graded levels with edge-only reporting, the
+// would_exceed verdict, the exported counter surface, and the crash-grade
+// snapshot/restore round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "mem/pressure.h"
+#include "sim/stat_registry.h"
+
+namespace cig::mem {
+namespace {
+
+TEST(PressureGovernor, DisabledByDefault) {
+  PressureGovernor governor;
+  EXPECT_FALSE(governor.enabled());
+  EXPECT_FALSE(governor.would_exceed(1ull << 40));
+  EXPECT_FALSE(governor.observe(1ull << 40));
+  EXPECT_EQ(governor.level(), PressureLevel::Ok);
+}
+
+TEST(PressureGovernor, GradesLevelsAgainstTheBudget) {
+  PressureGovernor governor(PressureConfig{.budget = 1000});
+  ASSERT_TRUE(governor.enabled());
+
+  EXPECT_FALSE(governor.observe(100));  // ok -> ok: no edge
+  EXPECT_EQ(governor.level(), PressureLevel::Ok);
+
+  EXPECT_TRUE(governor.observe(750));  // warn_frac = 0.75
+  EXPECT_EQ(governor.level(), PressureLevel::Warn);
+  EXPECT_FALSE(governor.observe(800));  // warn -> warn: no edge
+
+  EXPECT_TRUE(governor.observe(900));  // critical_frac = 0.90
+  EXPECT_EQ(governor.level(), PressureLevel::Critical);
+
+  EXPECT_TRUE(governor.observe(0));  // back to ok is an edge too
+  EXPECT_EQ(governor.level(), PressureLevel::Ok);
+  EXPECT_EQ(governor.level_changes(), 3u);
+  EXPECT_EQ(governor.peak_resident(), 900u);
+}
+
+TEST(PressureGovernor, WouldExceedIsAStrictBudgetCheck) {
+  PressureGovernor governor(PressureConfig{.budget = 4096});
+  EXPECT_FALSE(governor.would_exceed(4096));  // exactly at budget fits
+  EXPECT_TRUE(governor.would_exceed(4097));
+}
+
+TEST(PressureGovernor, SetBudgetRegradesOnNextObserve) {
+  PressureGovernor governor(PressureConfig{.budget = 10000});
+  EXPECT_FALSE(governor.observe(5000));
+  EXPECT_EQ(governor.level(), PressureLevel::Ok);
+  governor.set_budget(5000);  // the shrinking-DRAM ramp
+  EXPECT_TRUE(governor.observe(5000));
+  EXPECT_EQ(governor.level(), PressureLevel::Critical);
+  EXPECT_TRUE(governor.would_exceed(5001));
+}
+
+TEST(PressureGovernor, LevelNamesAreStable) {
+  EXPECT_STREQ(pressure_level_name(PressureLevel::Ok), "ok");
+  EXPECT_STREQ(pressure_level_name(PressureLevel::Warn), "warn");
+  EXPECT_STREQ(pressure_level_name(PressureLevel::Critical), "critical");
+}
+
+TEST(PressureGovernor, ExportsTheFullCounterSurface) {
+  PressureGovernor governor(PressureConfig{.budget = 1000});
+  governor.observe(900);
+  governor.count_demotion();
+  governor.count_blocked();
+  governor.count_blocked();
+
+  sim::StatRegistry registry;
+  governor.export_to(registry, "runtime.mem");
+  EXPECT_EQ(registry.get("runtime.mem.budget_bytes"), 1000.0);
+  EXPECT_EQ(registry.get("runtime.mem.resident_bytes"), 900.0);
+  EXPECT_EQ(registry.get("runtime.mem.peak_bytes"), 900.0);
+  EXPECT_EQ(registry.get("runtime.mem.level"), 2.0);
+  EXPECT_EQ(registry.get("runtime.mem.level_changes"), 1.0);
+  EXPECT_EQ(registry.get("runtime.mem.demotions"), 1.0);
+  EXPECT_EQ(registry.get("runtime.mem.blocked"), 2.0);
+}
+
+TEST(PressureGovernor, SnapshotRestoreRoundTripsExactly) {
+  PressureGovernor governor(PressureConfig{.budget = 8192});
+  governor.observe(4000);
+  governor.observe(7000);
+  governor.count_demotion();
+  governor.count_blocked();
+
+  PressureGovernor restored(PressureConfig{.budget = 8192});
+  restored.restore(governor.snapshot());
+  EXPECT_EQ(restored.snapshot().dump(), governor.snapshot().dump());
+  EXPECT_EQ(restored.level(), governor.level());
+  EXPECT_EQ(restored.resident(), governor.resident());
+  EXPECT_EQ(restored.peak_resident(), governor.peak_resident());
+  EXPECT_EQ(restored.demotions(), governor.demotions());
+  EXPECT_EQ(restored.blocked(), governor.blocked());
+
+  // A restored governor grades the next observation exactly as the
+  // original would have.
+  PressureGovernor fresh(PressureConfig{.budget = 8192});
+  fresh.restore(governor.snapshot());
+  EXPECT_EQ(fresh.observe(7500), governor.observe(7500));
+  EXPECT_EQ(fresh.level(), governor.level());
+}
+
+TEST(ResolveMemBudget, FlagWinsOverEnvironment) {
+  ::setenv("CIG_MEM_BUDGET", "12345", 1);
+  EXPECT_EQ(resolve_mem_budget(999), 999u);
+  ::unsetenv("CIG_MEM_BUDGET");
+}
+
+TEST(ResolveMemBudget, EnvironmentFillsInWhenFlagUnset) {
+  ::setenv("CIG_MEM_BUDGET", "12345", 1);
+  EXPECT_EQ(resolve_mem_budget(0), 12345u);
+  ::unsetenv("CIG_MEM_BUDGET");
+  EXPECT_EQ(resolve_mem_budget(0), 0u);
+}
+
+TEST(ResolveMemBudget, MalformedEnvironmentCountsAsUnset) {
+  for (const char* bad : {"", "zzz", "-5", "12MB", "1e6"}) {
+    ::setenv("CIG_MEM_BUDGET", bad, 1);
+    EXPECT_EQ(resolve_mem_budget(0), 0u) << "env \"" << bad << "\"";
+  }
+  ::unsetenv("CIG_MEM_BUDGET");
+}
+
+}  // namespace
+}  // namespace cig::mem

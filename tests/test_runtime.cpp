@@ -312,6 +312,7 @@ TEST(RuntimeMetrics, ExportWritesEveryCounter) {
   metrics.samples = 7;
   metrics.switches = 2;
   metrics.vetoed_by_cost = 1;
+  metrics.demotions = 3;
   metrics.switch_overhead = microsec(42);
   metrics.time_in_model[core::model_index(CommModel::ZeroCopy)] =
       millisec(3);
@@ -320,9 +321,133 @@ TEST(RuntimeMetrics, ExportWritesEveryCounter) {
   EXPECT_EQ(registry.get("runtime.samples"), 7.0);
   EXPECT_EQ(registry.get("runtime.switches"), 2.0);
   EXPECT_EQ(registry.get("runtime.vetoed_by_cost"), 1.0);
+  EXPECT_EQ(registry.get("runtime.demotions"), 3.0);
   EXPECT_NEAR(registry.get("runtime.switch_overhead_us"), 42.0, 1e-9);
   EXPECT_NEAR(registry.get("runtime.time_in_ZC_us"), 3000.0, 1e-9);
   EXPECT_FALSE(metrics.to_string().empty());
+}
+
+// --- memory-pressure governor in the control loop ----------------------------
+
+class PressureControllerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    framework_ = new core::Framework(soc::jetson_tx2());
+    engine_ = new core::DecisionEngine(framework_->device());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete framework_;
+    engine_ = nullptr;
+    framework_ = nullptr;
+  }
+
+  static core::Framework* framework_;
+  static core::DecisionEngine* engine_;
+};
+
+core::Framework* PressureControllerTest::framework_ = nullptr;
+core::DecisionEngine* PressureControllerTest::engine_ = nullptr;
+
+TEST_F(PressureControllerTest, BudgetDemotesTheResidentModel) {
+  comm::Executor executor(framework_->soc());
+  ControllerConfig config;
+  // One 4 KiB page shared: SC pins 8192 B, UM 4160 B, ZC 4096 B. A 6000 B
+  // budget rejects the initial SC residency on the very first sample.
+  config.pressure.budget = 6000;
+  AdaptiveController controller(*engine_, executor, config);
+  ASSERT_EQ(controller.model(), CommModel::StandardCopy);
+
+  const auto decision = controller.on_sample(
+      sample_with(microsec(100), microsec(60), microsec(20)), 0, KiB(4));
+  EXPECT_TRUE(decision.demoted);
+  EXPECT_EQ(decision.model_before, CommModel::StandardCopy);
+  EXPECT_EQ(decision.model_after, CommModel::UnifiedMemory);
+  EXPECT_EQ(controller.model(), CommModel::UnifiedMemory);
+  EXPECT_LE(decision.footprint_bytes, 6000u);
+  EXPECT_EQ(controller.metrics().demotions, 1u);
+  EXPECT_EQ(controller.governor().demotions(), 1u);
+
+  // The forced demotion carries structured provenance naming the budget.
+  bool names_budget = false;
+  for (const auto& check : decision.explanation.checks) {
+    if (check.find("budget") != std::string::npos) names_budget = true;
+  }
+  EXPECT_TRUE(names_budget);
+  EXPECT_NE(decision.rationale.find("pressure"), std::string::npos);
+}
+
+TEST_F(PressureControllerTest, AllocFailureWalksTheLadderAndSurvivesAtFloor) {
+  comm::Executor executor(framework_->soc());
+  AdaptiveController controller(*engine_, executor, {});  // no byte budget
+  const auto sample = sample_with(microsec(100), microsec(60), microsec(20));
+
+  controller.signal_alloc_failure();
+  auto d1 = controller.on_sample(sample, 0, KiB(4));
+  EXPECT_TRUE(d1.demoted);
+  EXPECT_EQ(controller.model(), CommModel::UnifiedMemory);
+
+  controller.signal_alloc_failure();
+  auto d2 = controller.on_sample(sample, 0, KiB(4));
+  EXPECT_TRUE(d2.demoted);
+  EXPECT_EQ(controller.model(), CommModel::ZeroCopy);
+
+  // At the floor there is nothing left to free: the event is recorded and
+  // the sample proceeds instead of crashing.
+  controller.signal_alloc_failure();
+  auto d3 = controller.on_sample(sample, 0, KiB(4));
+  EXPECT_FALSE(d3.demoted);
+  EXPECT_EQ(controller.model(), CommModel::ZeroCopy);
+  EXPECT_NE(d3.guard_event.find("alloc failure"), std::string::npos);
+  EXPECT_EQ(controller.metrics().demotions, 2u);
+}
+
+TEST_F(PressureControllerTest, SnapshotRoundTripsGovernorState) {
+  comm::Executor executor(framework_->soc());
+  ControllerConfig config;
+  config.pressure.budget = 6000;
+  AdaptiveController controller(*engine_, executor, config);
+  controller.on_sample(sample_with(microsec(100), microsec(60), microsec(20)),
+                       0, KiB(4));  // forces one demotion
+  ASSERT_EQ(controller.governor().demotions(), 1u);
+
+  comm::Executor executor2(framework_->soc());
+  AdaptiveController restored(*engine_, executor2, config);
+  restored.restore(controller.snapshot());
+  EXPECT_EQ(restored.snapshot().dump(), controller.snapshot().dump());
+  EXPECT_EQ(restored.model(), controller.model());
+  EXPECT_EQ(restored.governor().demotions(), 1u);
+  EXPECT_EQ(restored.governor().level(), controller.governor().level());
+}
+
+TEST_F(PressureControllerTest, SnapshotRefusesADifferentBudgetConfig) {
+  comm::Executor executor(framework_->soc());
+  ControllerConfig config;
+  config.pressure.budget = 6000;
+  AdaptiveController controller(*engine_, executor, config);
+  const Json snap = controller.snapshot();
+
+  ControllerConfig other = config;
+  other.pressure.budget = 7000;
+  comm::Executor executor2(framework_->soc());
+  AdaptiveController mismatched(*engine_, executor2, other);
+  EXPECT_THROW(mismatched.restore(snap), std::runtime_error);
+}
+
+TEST(PressureReplay, StaticBudgetBlocksOverBudgetCandidates) {
+  core::Framework framework(soc::jetson_tx2());
+  const auto phases = workload::phasic_workload_phases(framework.board());
+  ReplayOptions options;
+  // Between the heavy-phase UM (266240 B) and SC (524288 B) footprints:
+  // the cache-bound heavy phases keep suggesting SC, the budget keeps
+  // rejecting it, and the run must still complete on a valid model.
+  options.controller.pressure.budget = 300000;
+  const auto result = replay_phasic(framework, phases, options);
+  ASSERT_FALSE(result.samples.empty());
+  EXPECT_LT(core::model_index(result.samples.back().decision.model_after), 3u);
+  EXPECT_GT(result.registry.get("runtime.mem.blocked"), 0.0);
+  EXPECT_EQ(result.registry.get("runtime.mem.budget_bytes"), 300000.0);
+  EXPECT_EQ(result.switches_into(CommModel::StandardCopy), 0u);
 }
 
 }  // namespace

@@ -390,5 +390,165 @@ TEST_F(ServeTest, CountersCoverEvictionLifecycle) {
   EXPECT_LE(reg.get("serve.tenants.resident"), 2);
 }
 
+// --- memory-pressure governor in the serve plane -----------------------------
+
+TEST_F(ServeTest, ByteBudgetEvictsUnderPressure) {
+  ScriptOptions script_options;
+  script_options.tenants = 4;
+  script_options.samples_per_tenant = 4;
+  const std::string script = scripted_session(script_options);
+
+  // 6144 B holds one default-span tenant resident (ZC 4096 B) but not two:
+  // the governor, not the count budget, does the evicting.
+  ServeOptions o = options("state");
+  o.mem_budget = 6144;
+  o.batch_max = 6;
+  Server server(o);
+  const SessionResult r = run_session(server, script);
+  EXPECT_EQ(r.exit, 0);
+  EXPECT_GT(server.metrics().pressure_evictions, 0u);
+  EXPECT_GT(server.metrics().restores, 0u);
+  EXPECT_LE(server.resident_footprint(), o.mem_budget);
+  EXPECT_GT(server.footprint_peak(), 0u);
+  EXPECT_TRUE(server.governor().enabled());
+
+  const sim::StatRegistry reg = server.registry();
+  EXPECT_EQ(reg.get("serve.evictions.pressure"),
+            static_cast<double>(server.metrics().pressure_evictions));
+  EXPECT_EQ(reg.get("serve.mem.budget_bytes"), 6144);
+  EXPECT_GT(reg.get("serve.mem.footprint_peak_bytes"), 0);
+}
+
+TEST_F(ServeTest, CountAndByteBudgetsCompose) {
+  ScriptOptions script_options;
+  script_options.tenants = 5;
+  script_options.samples_per_tenant = 3;
+  script_options.checkpoint = false;
+  const std::string script = scripted_session(script_options);
+
+  // Both budgets armed: the count loop trims to 3 residents, then the byte
+  // loop digs below that whenever their summed footprint breaks 8 KiB.
+  ServeOptions both = options("state-both");
+  both.resident_budget = 3;
+  both.mem_budget = 8192;
+  both.batch_max = 4;
+  Server both_server(both);
+  const SessionResult a = run_session(both_server, script);
+  EXPECT_EQ(a.exit, 0);
+  EXPECT_GT(both_server.metrics().evictions, 0u);
+  EXPECT_GT(both_server.metrics().pressure_evictions, 0u);
+  EXPECT_LE(both_server.resident_footprint(), both.mem_budget);
+
+  // Eviction cause is invisible to clients: a roomy run answers the same.
+  ServeOptions roomy = options("state-roomy");
+  roomy.batch_max = 4;
+  const SessionResult b = run_session(roomy, script);
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST_F(ServeTest, ZeroByteBudgetDisablesTheGovernor) {
+  ScriptOptions script_options;
+  script_options.tenants = 3;
+  script_options.samples_per_tenant = 2;
+  ServeOptions o = options("state");  // mem_budget defaults to 0
+  Server server(o);
+  const SessionResult r = run_session(server, scripted_session(script_options));
+  EXPECT_EQ(r.exit, 0);
+  EXPECT_FALSE(server.governor().enabled());
+  EXPECT_EQ(server.metrics().pressure_evictions, 0u);
+  EXPECT_EQ(server.metrics().mem_exhausted, 0u);
+  // The footprint surface stays live even without a budget.
+  EXPECT_GT(server.footprint_peak(), 0u);
+  EXPECT_FALSE(server.registry().contains("serve.mem.budget_bytes"));
+}
+
+TEST_F(ServeTest, BudgetSmallerThanOneTenantRefusesRestore) {
+  // 2 KiB cannot hold even one default-span checkpoint (ZC 4096 B): after
+  // the first eviction every touch must be refused with a structured
+  // mem-exhausted error echoing tenant and trace id — never a crash.
+  ServeOptions o = options("state");
+  o.mem_budget = 2048;
+  o.batch_max = 4;
+  Server server(o);
+  const std::string script =
+      "{\"op\":\"hello\",\"tenant\":\"a\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"hello\",\"tenant\":\"b\",\"board\":\"tx2\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"b\"}\n"
+      "{\"op\":\"sample\",\"tenant\":\"a\",\"trace_id\":\"t-abc\"}\n"
+      "{\"op\":\"decide\",\"tenant\":\"b\"}\n"
+      "{\"op\":\"shutdown\"}\n";
+  const SessionResult r = run_session(server, script);
+  EXPECT_EQ(r.exit, 0);
+  EXPECT_GT(server.metrics().mem_exhausted, 0u);
+
+  bool saw_refusal = false;
+  for (const auto& reply : r.replies) {
+    if (reply.string_or("error", "") != "mem-exhausted") continue;
+    saw_refusal = true;
+    EXPECT_FALSE(reply.string_or("tenant", "").empty());
+    const std::string detail = reply.string_or("detail", "");
+    EXPECT_NE(detail.find("checkpoint needs"), std::string::npos);
+    EXPECT_NE(detail.find("budget"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_refusal);
+
+  // The client-supplied trace id rides the refusal like any error reply.
+  bool traced_refusal = false;
+  for (const auto& reply : r.replies) {
+    if (reply.string_or("error", "") == "mem-exhausted" &&
+        reply.string_or("trace_id", "") == "t-abc") {
+      traced_refusal = true;
+    }
+  }
+  EXPECT_TRUE(traced_refusal);
+}
+
+TEST_F(ServeTest, PressureRunsAreJobsInvariant) {
+  ScriptOptions script_options;
+  script_options.tenants = 5;
+  script_options.samples_per_tenant = 4;
+  const std::string script = scripted_session(script_options);
+
+  ServeOptions serial = options("state-serial");
+  serial.mem_budget = 6144;
+  serial.batch_max = 6;
+  serial.jobs = 1;
+  const SessionResult a = run_session(serial, script);
+
+  ServeOptions wide = options("state-wide");
+  wide.mem_budget = 6144;
+  wide.batch_max = 6;
+  wide.jobs = 4;
+  const SessionResult b = run_session(wide, script);
+
+  EXPECT_EQ(a.exit, 0);
+  EXPECT_EQ(b.exit, 0);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(dir_bytes(serial.state_dir), dir_bytes(wide.state_dir));
+}
+
+TEST_F(ServeTest, ManifestCarriesCheckpointFootprints) {
+  ServeOptions o = options("state");
+  o.mem_budget = 6144;
+  o.batch_max = 4;
+  ScriptOptions script_options;
+  script_options.tenants = 3;
+  script_options.samples_per_tenant = 2;
+  Server server(o);
+  const SessionResult r = run_session(server, scripted_session(script_options));
+  EXPECT_EQ(r.exit, 0);
+
+  std::ifstream in(o.state_dir + "/manifest.snap");
+  ASSERT_TRUE(in.good());
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const std::string manifest = bytes.str();
+  // Every checkpointed tenant's entry records its resident cost, so a
+  // recovering daemon can refuse over-budget restores before paying for
+  // the rebuild.
+  EXPECT_NE(manifest.find("\"footprint\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cig::serve

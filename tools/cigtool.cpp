@@ -36,7 +36,8 @@
 //                                          decisions. Exit code 3 means
 //                                          recovery discarded torn state
 //                                          (a crash landed mid-append).
-//   cigtool serve [--state-dir <dir>] [--resident-budget N] [--batch-max N]
+//   cigtool serve [--state-dir <dir>] [--resident-budget N]
+//                 [--mem-budget-mb N] [--batch-max N]
 //                 [--jobs N] [--metrics-out <file.prom>] [--metrics-every N]
 //                 [--listen unix:PATH|tcp:PORT] [--script <file.jsonl>]
 //                 [--slow-request-us X] [--flight-capacity N]
@@ -54,7 +55,18 @@
 //                                          tenants beyond the resident
 //                                          budget are checkpointed to the
 //                                          state dir and restored on their
-//                                          next request. A --listen socket
+//                                          next request. --mem-budget-mb
+//                                          (or the CIG_MEM_BUDGET env, in
+//                                          bytes) arms a hard byte budget
+//                                          on the summed per-tenant
+//                                          footprint estimate: LRU tenants
+//                                          are evicted whenever the
+//                                          estimate exceeds it, and a
+//                                          checkpoint that alone exceeds
+//                                          the budget is refused at restore
+//                                          with a structured
+//                                          "mem-exhausted" error.
+//                                          A --listen socket
 //                                          also answers HTTP GET /metrics,
 //                                          /healthz and /statusz; SIGUSR2
 //                                          dumps the flight-recorder ring
@@ -105,9 +117,12 @@
 //                                          and the recovered state dir must
 //                                          match the golden run byte for
 //                                          byte
-//   cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]
+//   cigtool chaos [--list] [--boards a,b] [--scenarios x,y] [--seed N]
 //                 [--trace-out <file.json>] [--metrics-out <file.prom>]
 //                 [--json]
+//                                          --list prints the scenario
+//                                          catalogue (name, description,
+//                                          bound) without running anything;
 //                                          run named fault scenarios against
 //                                          each board (default tx2,xavier x
 //                                          all scenarios): faults are
@@ -153,6 +168,7 @@
 #include "fault/crash.h"
 #include "fault/crashtest.h"
 #include "fault/scenario.h"
+#include "mem/pressure.h"
 #include "obs/prometheus.h"
 #include "persist/atomic_io.h"
 #include "runtime/replay.h"
@@ -205,6 +221,7 @@ void print_usage(std::ostream& out) {
       " [--checkpoint-dir <dir>] [--checkpoint-every N]"
       " [--decisions-out <file.json>] [--no-static] [--json] [--explain]\n"
       "  cigtool serve [--state-dir <dir>] [--resident-budget N]"
+      " [--mem-budget-mb N]"
       " [--batch-max N] [--jobs N] [--metrics-out <file.prom>]"
       " [--metrics-every N] [--listen unix:PATH|tcp:PORT]"
       " [--script <file.jsonl>] [--slow-request-us X]"
@@ -219,9 +236,10 @@ void print_usage(std::ostream& out) {
       " [--occurrences N] [--scratch <dir>] [--checkpoint-every N]"
       " [--tenants N] [--samples N] [--resident-budget N]"
       " [--metrics-out <file.prom>] [--json]\n"
-      "  cigtool chaos [--boards a,b] [--scenarios x,y] [--seed N]"
+      "  cigtool chaos [--list] [--boards a,b] [--scenarios x,y] [--seed N]"
       " [--trace-out <file.json>] [--metrics-out <file.prom>] [--json]\n"
-      "                (scenarios named serve-* run hostile-session cells"
+      "                (--list prints the scenario catalogue without running"
+      " anything; scenarios named serve-* run hostile-session cells"
       " against the serve daemon, checked against SLO bounds)\n"
       "\n"
       "global flags:\n"
@@ -564,6 +582,9 @@ int cmd_runtime(const std::string& board_name, const std::string& trace,
                 bool as_json, bool explain) {
   core::Framework framework(soc::resolve_board(board_name));
   runtime::ReplayOptions options;
+  // A static budget is part of the checkpoint config fingerprint, so the
+  // env must resolve before the run (not per-sample) for resumes to match.
+  options.controller.pressure.budget = mem::resolve_mem_budget(0);
   options.checkpoint.dir = checkpoint_dir;
   options.checkpoint.snapshot_every =
       checkpoint_every == 0 ? 1 : checkpoint_every;
@@ -1075,6 +1096,48 @@ int cmd_top(const std::string&, std::uint64_t, std::uint64_t, bool) {
 
 #endif
 
+// `cigtool chaos --list`: the scenario catalogue (controller + serve) with
+// names, summaries and bounds — the table docs/robustness.md embeds. Runs
+// nothing; exits 0.
+int cmd_chaos_list(bool as_json) {
+  if (as_json) {
+    Json j;
+    Json arr = JsonArray{};
+    for (const auto& s : fault::all_scenarios()) {
+      Json row;
+      row["name"] = Json(s.name);
+      row["kind"] = Json(std::string("controller"));
+      row["summary"] = Json(s.summary);
+      row["regret_bound"] = Json(s.regret_bound);
+      arr.push_back(std::move(row));
+    }
+    for (const auto& s : fault::serve_scenarios()) {
+      Json row;
+      row["name"] = Json(s.name);
+      row["kind"] = Json(std::string("serve"));
+      row["summary"] = Json(s.summary);
+      row["max_reject_rate"] = Json(s.max_reject_rate);
+      row["p99_bound_us"] = Json(s.p99_bound_us);
+      arr.push_back(std::move(row));
+    }
+    j["scenarios"] = std::move(arr);
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  Table table({"scenario", "kind", "description", "bound"});
+  for (const auto& s : fault::all_scenarios()) {
+    table.add_row({s.name, "controller", s.summary,
+                   "regret <= " + Table::num(s.regret_bound, 1) + "x"});
+  }
+  for (const auto& s : fault::serve_scenarios()) {
+    table.add_row({s.name, "serve", s.summary,
+                   "reject <= " + Table::num(s.max_reject_rate, 2) +
+                       ", p99 <= " + Table::num(s.p99_bound_us, 0) + "us"});
+  }
+  print_table(std::cout, table);
+  return 0;
+}
+
 int cmd_chaos(const std::string& boards_csv, const std::string& scenarios_csv,
               std::uint64_t seed, int jobs, const std::string& cache_dir,
               const std::string& trace_out, const std::string& metrics_out,
@@ -1291,6 +1354,8 @@ int main(int argc, char** argv) {
   std::string mode = "runtime";
   std::string state_dir;
   std::uint64_t resident_budget = 0;
+  std::uint64_t mem_budget_mb = 0;  // 0 = CIG_MEM_BUDGET env or no budget
+  bool list_scenarios = false;
   std::uint64_t batch_max = 0;
   std::uint64_t metrics_every = 0;
   std::uint64_t tenants = 0;
@@ -1381,6 +1446,11 @@ int main(int argc, char** argv) {
       } else if (args[i] == "--resident-budget") {
         if (++i >= args.size()) return usage();
         resident_budget = parse_seed(args[i]);
+      } else if (args[i] == "--mem-budget-mb") {
+        if (++i >= args.size()) return usage();
+        mem_budget_mb = parse_seed(args[i]);
+      } else if (args[i] == "--list") {
+        list_scenarios = true;
       } else if (args[i] == "--batch-max") {
         if (++i >= args.size()) return usage();
         batch_max = parse_seed(args[i]);
@@ -1512,6 +1582,10 @@ int main(int argc, char** argv) {
       serve::ServeOptions options;
       options.state_dir = state_dir;
       if (resident_budget > 0) options.resident_budget = resident_budget;
+      // Flag wins over the CIG_MEM_BUDGET env (bytes); both absent = no
+      // byte budget.
+      options.mem_budget = mem::resolve_mem_budget(
+          static_cast<Bytes>(mem_budget_mb) * (1024ull * 1024ull));
       if (batch_max > 0) options.batch_max = batch_max;
       options.jobs = jobs == 0 ? 1 : jobs;  // serial reference path default
       options.metrics_out = metrics_out;
@@ -1547,6 +1621,7 @@ int main(int argc, char** argv) {
                            resident_budget, cache_dir, metrics_out, as_json);
     }
     if (command == "chaos" && positional.size() == 1) {
+      if (list_scenarios) return cmd_chaos_list(as_json);
       return cmd_chaos(boards_csv, scenarios_csv, seed, jobs, cache_dir,
                        trace_out, metrics_out, as_json);
     }
